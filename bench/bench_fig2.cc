@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 2 reproduction: performance of generic miss handlers (1 and
+ * 10 instructions) across the thirteen regular SPEC92-like benchmarks
+ * on both processor models.
+ *
+ * For every benchmark and machine, five bars are reported exactly as
+ * in the paper: N (no informing operations), S (single miss handler)
+ * and U (unique handler per static reference) for both handler sizes.
+ * Each bar is the execution time normalized to N, decomposed into
+ * busy / cache-stall / other-stall graduation slots.
+ */
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace imo;
+    using namespace imo::bench;
+
+    std::printf("== Figure 2: generic miss handlers, 1 and 10 "
+                "instructions ==\n");
+    const auto ooo = pipeline::makeOutOfOrderConfig();
+    const auto ino = pipeline::makeInOrderConfig();
+    printMachineHeader(ooo);
+    printMachineHeader(ino);
+    std::printf("\n");
+
+    for (const auto &machine : {ooo, ino}) {
+        TextTable table("Figure 2, " + machine.name);
+        table.header({"benchmark", "bar", "norm.time", "busy",
+                      "cache-stall", "other-stall", "insts", "traps"});
+
+        for (const auto &bm : workloads::suite()) {
+            if (bm.name == "su2cor")
+                continue;  // shown separately (Figure 3)
+            const isa::Program base = bm.build({});
+
+            Cycle baseline = 0;
+            for (const FigConfig &fc : fig2Configs) {
+                const pipeline::RunResult r =
+                    runConfig(base, fc, machine);
+                if (fc.mode == core::InformingMode::None)
+                    baseline = r.cycles;
+                auto cells = barCells(r, baseline);
+                table.row({bm.name, fc.label, cells[0], cells[1],
+                           cells[2], cells[3],
+                           std::to_string(r.instructions),
+                           std::to_string(r.traps)});
+            }
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+
+    std::printf("paper check: execution overhead stays below ~40%% for "
+                "these thirteen benchmarks (tomcatv's in-order 10-"
+                "instruction case is the noted exception).\n");
+    return 0;
+}

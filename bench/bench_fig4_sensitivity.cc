@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Section 4.3.2 sensitivity study: "either smaller network latencies
+ * or larger primary cache sizes tend to improve the relative
+ * performance of the informing memory implementation."
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "coherence/kernels.hh"
+#include "common/table.hh"
+
+namespace
+{
+
+using namespace imo;
+using namespace imo::coherence;
+
+/** Geometric-mean advantage of informing over the two alternatives. */
+void
+runPoint(const CoherenceParams &cp,
+         const std::vector<ParallelWorkload> &kernels,
+         double &ref_over_inf, double &ecc_over_inf)
+{
+    double sr = 0, se = 0;
+    for (const auto &wl : kernels) {
+        Cycle t[3];
+        int i = 0;
+        for (auto method : {AccessMethod::ReferenceCheck,
+                            AccessMethod::EccFault,
+                            AccessMethod::Informing}) {
+            CoherentMachine machine(cp, method);
+            t[i++] = machine.run(wl).execTime;
+        }
+        sr += static_cast<double>(t[0]) / t[2];
+        se += static_cast<double>(t[1]) / t[2];
+    }
+    ref_over_inf = sr / kernels.size();
+    ecc_over_inf = se / kernels.size();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Section 4.3.2 sensitivity: network latency and L1 "
+                "size ==\n\n");
+
+    KernelParams kp;
+    kp.scale = 0.5;
+    const auto kernels = makeAllKernels(kp);
+
+    {
+        TextTable table("one-way message latency sweep (16KB L1)");
+        table.header({"latency", "ref/informing", "ecc/informing"});
+        for (const Cycle lat : {300ull, 600ull, 900ull, 1500ull,
+                                3000ull}) {
+            CoherenceParams cp;
+            cp.messageLatency = lat;
+            double r, e;
+            runPoint(cp, kernels, r, e);
+            table.row({std::to_string(lat), TextTable::num(r, 3),
+                       TextTable::num(e, 3)});
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+
+    {
+        TextTable table("primary cache size sweep (900-cycle messages)");
+        table.header({"L1 size", "ref/informing", "ecc/informing"});
+        for (const std::uint64_t kb : {4ull, 8ull, 16ull, 32ull, 64ull}) {
+            CoherenceParams cp;
+            cp.l1.sizeBytes = kb * 1024;
+            double r, e;
+            runPoint(cp, kernels, r, e);
+            table.row({std::to_string(kb) + "KB", TextTable::num(r, 3),
+                       TextTable::num(e, 3)});
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+
+    {
+        TextTable table("network model: centralized round trips vs. "
+                        "3-hop distributed homes");
+        table.header({"kernel", "central ecc/inf", "dist ecc/inf",
+                      "informing speedup central->dist"});
+        for (const auto &wl : kernels) {
+            CoherenceParams central;
+            CoherenceParams dist;
+            dist.distributedHomes = true;
+            Cycle tc[2], td[2];
+            int i = 0;
+            for (auto m : {AccessMethod::EccFault,
+                           AccessMethod::Informing}) {
+                CoherentMachine c(central, m);
+                CoherentMachine d(dist, m);
+                tc[i] = c.run(wl).execTime;
+                td[i] = d.run(wl).execTime;
+                ++i;
+            }
+            table.row({wl.name,
+                       TextTable::num(static_cast<double>(tc[0]) / tc[1],
+                                      3),
+                       TextTable::num(static_cast<double>(td[0]) / td[1],
+                                      3),
+                       TextTable::num(static_cast<double>(tc[1]) / td[1],
+                                      3)});
+        }
+        table.print(std::cout);
+    }
+
+    std::printf("\npaper check: the informing scheme's advantage grows "
+                "as messages get faster (its cheap handlers matter "
+                "more) and as the primary cache grows (fewer benign "
+                "misses pay the lookup).\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * google-benchmark micro-suite: raw throughput of the simulator's
+ * building blocks (not a paper experiment; useful for keeping the
+ * harness fast enough to sweep).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/predictor.hh"
+#include "common/rng.hh"
+#include "core/informing.hh"
+#include "func/executor.hh"
+#include "memory/cache.hh"
+#include "memory/timing.hh"
+#include "pipeline/simulate.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace imo;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    memory::SetAssocCache cache(
+        {.sizeBytes = 32 * 1024, .lineBytes = 32,
+         .assoc = static_cast<std::uint32_t>(state.range(0))});
+    Rng rng(1);
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        sink += cache.access(32 * rng.below(4096), false).hit;
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_TimingMemoryRequest(benchmark::State &state)
+{
+    memory::TimingMemorySystem mem(memory::TimingMemoryParams{});
+    Rng rng(2);
+    Cycle now = 0;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        now += 2;
+        const auto r = mem.request(32 * rng.below(1024),
+                                   rng.chance(0.1) ? MemLevel::L2
+                                                   : MemLevel::L1,
+                                   now);
+        sink += r.dataReady;
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimingMemoryRequest);
+
+void
+BM_Predictor(benchmark::State &state)
+{
+    branch::TwoBitPredictor pred(2048);
+    Rng rng(3);
+    for (auto _ : state)
+        pred.predictAndUpdate(static_cast<InstAddr>(rng.below(4096)),
+                              rng.chance(0.6));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Predictor);
+
+void
+BM_FunctionalExecution(benchmark::State &state)
+{
+    workloads::WorkloadParams wp;
+    wp.scale = 0.3;
+    const isa::Program prog = workloads::build("espresso", wp);
+    const auto cfg = pipeline::makeOutOfOrderConfig();
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        func::Executor exec(prog, {.l1 = cfg.l1, .l2 = cfg.l2});
+        insts += exec.run();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_FunctionalExecution)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineSimulation(benchmark::State &state)
+{
+    workloads::WorkloadParams wp;
+    wp.scale = 0.3;
+    const isa::Program prog = workloads::build("espresso", wp);
+    const auto cfg = state.range(0) == 0
+        ? pipeline::makeOutOfOrderConfig()
+        : pipeline::makeInOrderConfig();
+    std::uint64_t insts = 0;
+    for (auto _ : state)
+        insts += pipeline::simulate(prog, cfg).instructions;
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_PipelineSimulation)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Instrumentation(benchmark::State &state)
+{
+    const isa::Program prog = workloads::build("compress");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::instrument(
+            prog, core::InformingMode::TrapUnique, {.length = 10}));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Instrumentation)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Prefetching from the miss handler (paper section 4.1.2): instead of
+ * issuing prefetches unconditionally, the prefetches live in the miss
+ * handler, so prefetch overhead is only paid when the loop is actually
+ * suffering misses.
+ *
+ * Three variants of a streaming reduction are compared on the
+ * in-order machine:
+ *   1. no prefetching,
+ *   2. unconditional software prefetching (overhead on every
+ *      iteration, even when the data is already resident),
+ *   3. informing-operation handler prefetching (overhead only on
+ *      misses).
+ *
+ * The sweep alternates between a large (miss-heavy) and a small
+ * (resident) working set, which is exactly the situation where
+ * adaptive prefetching wins.
+ */
+
+#include <cstdio>
+
+#include "core/handlers.hh"
+#include "func/executor.hh"
+#include "isa/builder.hh"
+#include "pipeline/simulate.hh"
+
+namespace
+{
+
+using namespace imo;
+using isa::intReg;
+
+enum class Variant
+{
+    None,
+    Unconditional,
+    HandlerAdaptive,
+};
+
+isa::Program
+buildVariant(Variant v)
+{
+    isa::ProgramBuilder b("prefetch-variant");
+    const std::int64_t big_words = 24 * 1024;   // 192 KiB: misses
+    const std::int64_t small_words = 512;       // 4 KiB: resident
+    const Addr big = b.allocData(big_words, 64);
+    const Addr small = b.allocData(small_words, 64);
+
+    isa::Label entry = b.newLabel();
+    b.j(entry);
+    isa::Label handler = core::emitPrefetcher(b, intReg(1),
+                                              /*lines=*/4,
+                                              /*line_bytes=*/32);
+    b.bind(entry);
+    if (v == Variant::HandlerAdaptive)
+        b.setmhar(handler);
+
+    // Alternate phases: stream the big array, then hammer the small
+    // one (repeated passes), eight times.
+    b.li(intReg(10), 0);
+    b.li(intReg(11), 8);
+    isa::Label phase = b.newLabel();
+    b.bind(phase);
+
+    auto sweep = [&](Addr base, std::int64_t words,
+                     std::int64_t passes) {
+        b.li(intReg(20), 0);
+        b.li(intReg(21), passes);
+        isa::Label pass_top = b.newLabel();
+        b.bind(pass_top);
+        b.li(intReg(1), static_cast<std::int64_t>(base));
+        b.li(intReg(2), 0);
+        b.li(intReg(3), words);
+        isa::Label top = b.newLabel();
+        b.bind(top);
+        if (v == Variant::Unconditional)
+            b.prefetch(intReg(1), 4 * 32);
+        b.ld(intReg(4), intReg(1), 0);
+        b.add(intReg(5), intReg(5), intReg(4));
+        b.addi(intReg(1), intReg(1), 8);
+        b.addi(intReg(2), intReg(2), 1);
+        b.blt(intReg(2), intReg(3), top);
+        b.addi(intReg(20), intReg(20), 1);
+        b.blt(intReg(20), intReg(21), pass_top);
+    };
+
+    sweep(big, big_words / 8, 1);    // miss-heavy phase (24 KiB slice)
+    sweep(small, small_words, 6);    // resident phase
+
+    b.addi(intReg(10), intReg(10), 1);
+    b.blt(intReg(10), intReg(11), phase);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto machine = pipeline::makeInOrderConfig();
+
+    std::printf("== software-controlled prefetching from the miss "
+                "handler (in-order machine) ==\n\n");
+    std::printf("%-22s %12s %10s %12s %10s\n", "variant", "cycles",
+                "norm", "prefetches", "missrate");
+
+    Cycle baseline = 0;
+    for (const Variant v : {Variant::None, Variant::Unconditional,
+                            Variant::HandlerAdaptive}) {
+        const isa::Program prog = buildVariant(v);
+        func::ExecStats es;
+        const pipeline::RunResult r =
+            pipeline::simulate(prog, machine, &es);
+        if (v == Variant::None)
+            baseline = r.cycles;
+        const char *name = v == Variant::None ? "no prefetch"
+            : v == Variant::Unconditional ? "unconditional"
+            : "miss-handler (adaptive)";
+        std::printf("%-22s %12llu %10.3f %12llu %10.3f\n", name,
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<double>(r.cycles) / baseline,
+                    static_cast<unsigned long long>(es.prefetches),
+                    es.l1MissRate());
+    }
+
+    std::printf("\nthe handler variant prefetches only during the "
+                "miss-heavy phase, so it gets the latency benefit "
+                "without paying prefetch overhead on the resident "
+                "phase (the paper's 'on-the-fly adaptation').\n");
+    return 0;
+}

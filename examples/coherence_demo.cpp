@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fine-grained access control with informing memory operations (paper
+ * section 4.3): a small producer-consumer workload on the 16-processor
+ * machine, run under all three access-control methods with a full cost
+ * breakdown, showing where each method pays.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "coherence/kernels.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace imo;
+    using namespace imo::coherence;
+
+    const CoherenceParams cp;
+    KernelParams kp;
+    kp.scale = 0.5;
+
+    std::printf("== fine-grained access control demo: "
+                "producer-consumer pipeline, %u processors ==\n\n",
+                cp.processors);
+
+    TextTable table("cost breakdown (cycles summed over processors)");
+    table.header({"method", "exec time", "memory", "access-ctl",
+                  "network", "barrier-wait", "lookups", "faults",
+                  "events"});
+
+    const ParallelWorkload wl = makeProdCons(kp);
+    for (auto method : {AccessMethod::ReferenceCheck,
+                        AccessMethod::EccFault,
+                        AccessMethod::Informing}) {
+        CoherentMachine machine(cp, method);
+        const CoherenceResult r = machine.run(wl);
+        table.row({accessMethodName(method),
+                   std::to_string(r.execTime),
+                   std::to_string(r.memoryCycles),
+                   std::to_string(r.accessControlCycles),
+                   std::to_string(r.networkCycles),
+                   std::to_string(r.barrierWaitCycles),
+                   std::to_string(r.lookups),
+                   std::to_string(r.faults),
+                   std::to_string(r.protocolEvents)});
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nhow to read this:\n"
+        "  - ref-check pays its %llu-cycle software lookup on *every* "
+        "shared reference;\n"
+        "  - ecc-fault pays nothing on hits but %llu/%llu-cycle faults "
+        "on coherence events\n"
+        "    (plus page-granularity write faults);\n"
+        "  - informing pays a %llu-cycle handler lookup only on shared "
+        "primary-cache misses,\n"
+        "    which is also exactly when protocol work can be needed.\n",
+        static_cast<unsigned long long>(cp.refCheckLookup),
+        static_cast<unsigned long long>(cp.eccReadFault),
+        static_cast<unsigned long long>(cp.eccWriteFault),
+        static_cast<unsigned long long>(cp.informingLookup));
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Per-reference miss profiling (paper section 4.1.1): the hash-table
+ * handler keyed by the MHRR return address attributes every primary
+ * cache miss to the static reference that caused it — the
+ * informing-operations version of a memory performance tool.
+ *
+ * The profiled program mixes a streaming reference (cold misses only),
+ * a cache-resident reference (no misses), and a conflict pair that
+ * thrashes a direct-mapped cache. The tool's report makes the culprit
+ * obvious, and the run also reports the profiling overhead in cycles,
+ * which the paper found to be low.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/handlers.hh"
+#include "func/executor.hh"
+#include "isa/builder.hh"
+#include "pipeline/simulate.hh"
+
+namespace
+{
+
+using namespace imo;
+using isa::intReg;
+
+struct ProfiledProgram
+{
+    isa::Program prog;
+    Addr table = 0;
+    std::uint32_t tableSlotsLog2 = 0;
+    std::map<std::string, InstAddr> refs;  // name -> pc of the ref
+};
+
+ProfiledProgram
+buildProfiled(bool with_profiler)
+{
+    ProfiledProgram out;
+    isa::ProgramBuilder b("profiled");
+
+    out.tableSlotsLog2 = 10;               // 1024 slots > program size
+    out.table = b.allocData(1u << out.tableSlotsLog2, 64);
+    const Addr stream = b.allocData(16384, 64);       // 128 KiB
+    const Addr resident = b.allocData(256, 64);       // 2 KiB
+    // Two arrays exactly one direct-mapped-cache apart (8 KiB).
+    const Addr conflict_a = b.allocData(1024, 8192);
+    const Addr conflict_b = conflict_a + 8 * 1024;
+
+    isa::Label entry = b.newLabel();
+    b.j(entry);
+    isa::Label handler =
+        core::emitHashProfiler(b, out.table, out.tableSlotsLog2);
+
+    b.bind(entry);
+    if (with_profiler)
+        b.setmhar(handler);
+    b.li(intReg(1), static_cast<std::int64_t>(stream));
+    b.li(intReg(2), static_cast<std::int64_t>(resident));
+    b.li(intReg(3), static_cast<std::int64_t>(conflict_a));
+    b.li(intReg(4), static_cast<std::int64_t>(conflict_b));
+    b.li(intReg(5), 0);
+    b.li(intReg(6), 16384);
+    b.li(intReg(11), 0);                    // resident-array offset
+    isa::Label top = b.newLabel();
+    b.bind(top);
+    out.refs["stream[i]   (128KB sequential)"] = b.here();
+    b.ld(intReg(7), intReg(1), 0);
+    b.add(intReg(12), intReg(2), intReg(11));
+    out.refs["resident[i] (2KB, cached)"] = b.here();
+    b.ld(intReg(8), intReg(12), 0);
+    out.refs["conflictA[i] (aliases B)"] = b.here();
+    b.ld(intReg(9), intReg(3), 0);
+    out.refs["conflictB[i] (aliases A)"] = b.here();
+    b.ld(intReg(10), intReg(4), 0);
+    b.addi(intReg(1), intReg(1), 8);
+    b.addi(intReg(11), intReg(11), 8);
+    b.andi(intReg(11), intReg(11), 0x7ff);  // wrap inside 2 KiB
+    b.addi(intReg(3), intReg(3), 8);
+    b.addi(intReg(4), intReg(4), 8);
+    b.addi(intReg(5), intReg(5), 1);
+    b.blt(intReg(5), intReg(6), top);
+    b.halt();
+
+    out.prog = b.finish();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Profile on the in-order machine: its 8 KiB direct-mapped primary
+    // cache is where the conflict pair hurts.
+    const auto machine = pipeline::makeInOrderConfig();
+
+    ProfiledProgram plain = buildProfiled(false);
+    ProfiledProgram profiled = buildProfiled(true);
+
+    func::Executor exec(profiled.prog,
+                        {.l1 = machine.l1, .l2 = machine.l2});
+    exec.run();
+
+    std::printf("== per-reference miss profile (in-order machine, 8KB "
+                "direct-mapped L1) ==\n");
+    const std::uint64_t mask = (1u << profiled.tableSlotsLog2) - 1;
+    std::uint64_t attributed = 0;
+    for (const auto &[name, pc] : profiled.refs) {
+        const std::uint64_t count =
+            exec.mem().read64(profiled.table + 8 * ((pc + 1) & mask));
+        attributed += count;
+        std::printf("  %-28s pc=%4u  misses=%8llu\n", name.c_str(), pc,
+                    static_cast<unsigned long long>(count));
+    }
+    std::printf("attributed %llu of %llu workload misses (handler's "
+                "own table traffic also misses)\n",
+                static_cast<unsigned long long>(attributed),
+                static_cast<unsigned long long>(exec.stats().traps));
+
+    // Overhead of running the tool. The paper reports under 25% for
+    // SPEC-like miss rates; this deliberately pathological program
+    // (~80% of its references miss the direct-mapped cache, which is
+    // the bug being diagnosed) is the worst case for a per-miss tool.
+    for (const auto &m : {pipeline::makeInOrderConfig(),
+                          pipeline::makeOutOfOrderConfig()}) {
+        const auto r_plain = pipeline::simulate(plain.prog, m);
+        const auto r_prof = pipeline::simulate(profiled.prog, m);
+        std::printf("\nprofiling overhead on %s: %llu -> %llu cycles "
+                    "(+%.1f%%, %llu traps)\n",
+                    m.name.c_str(),
+                    static_cast<unsigned long long>(r_plain.cycles),
+                    static_cast<unsigned long long>(r_prof.cycles),
+                    100.0 * (static_cast<double>(r_prof.cycles) /
+                             r_plain.cycles - 1.0),
+                    static_cast<unsigned long long>(r_prof.traps));
+    }
+    return 0;
+}

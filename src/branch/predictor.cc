@@ -1,0 +1,115 @@
+#include "branch/predictor.hh"
+
+#include "common/logging.hh"
+
+namespace imo::branch
+{
+
+TwoBitPredictor::TwoBitPredictor(std::uint32_t entries)
+    : _counters(entries, 1), _mask(entries - 1)
+{
+    fatal_if(entries == 0 || (entries & (entries - 1)),
+             "predictor table size must be a power of two");
+}
+
+bool
+TwoBitPredictor::predict(InstAddr pc) const
+{
+    return _counters[index(pc)] >= 2;
+}
+
+void
+TwoBitPredictor::update(InstAddr pc, bool taken)
+{
+    std::uint8_t &ctr = _counters[index(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+bool
+TwoBitPredictor::predictAndUpdate(InstAddr pc, bool taken)
+{
+    ++_lookups;
+    const bool predicted = predict(pc);
+    update(pc, taken);
+    if (predicted != taken) {
+        ++_mispredicts;
+        return false;
+    }
+    return true;
+}
+
+GsharePredictor::GsharePredictor(std::uint32_t entries,
+                                 std::uint32_t history_bits)
+    : _counters(entries, 1), _mask(entries - 1),
+      _historyMask((1u << history_bits) - 1)
+{
+    fatal_if(entries == 0 || (entries & (entries - 1)),
+             "gshare table size must be a power of two");
+    fatal_if(history_bits == 0 || history_bits > 20,
+             "unreasonable gshare history length");
+}
+
+bool
+GsharePredictor::predict(InstAddr pc) const
+{
+    return _counters[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(InstAddr pc, bool taken)
+{
+    std::uint8_t &ctr = _counters[index(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    _history = ((_history << 1) | (taken ? 1 : 0)) & _historyMask;
+}
+
+bool
+GsharePredictor::predictAndUpdate(InstAddr pc, bool taken)
+{
+    ++_lookups;
+    const bool predicted = predict(pc);
+    update(pc, taken);
+    if (predicted != taken) {
+        ++_mispredicts;
+        return false;
+    }
+    return true;
+}
+
+Btb::Btb(std::uint32_t entries) : _entries(entries), _mask(entries - 1)
+{
+    fatal_if(entries == 0 || (entries & (entries - 1)),
+             "BTB size must be a power of two");
+}
+
+std::int64_t
+Btb::lookup(InstAddr pc) const
+{
+    const Entry &e = _entries[index(pc)];
+    if (e.valid && e.pc == pc)
+        return e.target;
+    return -1;
+}
+
+void
+Btb::update(InstAddr pc, InstAddr target)
+{
+    Entry &e = _entries[index(pc)];
+    e.valid = true;
+    e.pc = pc;
+    e.target = target;
+}
+
+} // namespace imo::branch

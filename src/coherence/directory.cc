@@ -1,0 +1,124 @@
+#include "coherence/directory.hh"
+
+#include <bit>
+
+namespace imo::coherence
+{
+
+Directory::Directory(std::uint32_t processors, std::uint32_t block_bytes)
+    : _processors(processors), _blockBytes(block_bytes)
+{
+    fatal_if(processors == 0 || processors > 32,
+             "directory supports 1..32 processors, got %u", processors);
+    fatal_if(block_bytes == 0 || (block_bytes & (block_bytes - 1)),
+             "block size must be a power of two");
+}
+
+LineState
+Directory::state(std::uint32_t proc, Addr addr) const
+{
+    const auto it = _blocks.find(blockOf(addr));
+    if (it == _blocks.end())
+        return LineState::Invalid;
+    const Entry &e = it->second;
+    if (e.owner == static_cast<std::int32_t>(proc))
+        return LineState::ReadWrite;
+    if (e.sharers & (1u << proc))
+        return LineState::ReadOnly;
+    return LineState::Invalid;
+}
+
+ProtocolAction
+Directory::read(std::uint32_t proc, Addr addr)
+{
+    panic_if(proc >= _processors, "bad processor id %u", proc);
+    Entry &e = _blocks[blockOf(addr)];
+    ProtocolAction action;
+
+    if (e.owner == static_cast<std::int32_t>(proc) ||
+        (e.sharers & (1u << proc))) {
+        action.satisfied = true;
+        return action;
+    }
+
+    action.stateChange = true;
+    action.networkRounds = 1;  // fetch a readable copy
+    // 3-hop message count: requester -> home, then either home replies
+    // or forwards to the owner which replies to the requester.
+    const std::uint32_t home = homeOf(addr);
+    action.messages += proc == home ? 0 : 1;
+    if (e.owner >= 0) {
+        // Downgrade the remote writer to READONLY (its cached data
+        // stays valid for reads).
+        action.networkRounds += 1;
+        action.downgradedOwner = e.owner;
+        const auto owner = static_cast<std::uint32_t>(e.owner);
+        action.messages += home == owner ? 0 : 1;   // forward
+        action.messages += owner == proc ? 0 : 1;   // data reply
+        e.sharers |= (1u << e.owner);
+        e.owner = -1;
+    } else {
+        action.messages += home == proc ? 0 : 1;    // data reply
+    }
+    e.sharers |= (1u << proc);
+    return action;
+}
+
+ProtocolAction
+Directory::write(std::uint32_t proc, Addr addr)
+{
+    panic_if(proc >= _processors, "bad processor id %u", proc);
+    Entry &e = _blocks[blockOf(addr)];
+    ProtocolAction action;
+
+    if (e.owner == static_cast<std::int32_t>(proc)) {
+        action.satisfied = true;
+        return action;
+    }
+
+    action.stateChange = true;
+    action.networkRounds = 1;  // obtain ownership
+
+    const std::uint32_t home = homeOf(addr);
+    action.messages += proc == home ? 0 : 2;        // request + grant
+
+    std::uint32_t others = e.sharers & ~(1u << proc);
+    action.roInvalidateMask = others;
+    if (e.owner >= 0)
+        others |= (1u << e.owner);
+    if (others != 0) {
+        // User-level DMA invalidations proceed in parallel at the
+        // remote nodes: one additional (overlapped) round trip
+        // (multicast + ack on the distributed-home model).
+        action.networkRounds += 1;
+        action.invalidateMask = others;
+        action.messages += 2;
+    }
+
+    e.sharers = 0;
+    e.owner = static_cast<std::int32_t>(proc);
+    return action;
+}
+
+bool
+Directory::invariantsHold() const
+{
+    for (const auto &[addr, e] : _blocks) {
+        (void)addr;
+        if (e.owner >= 0) {
+            // A writer excludes every reader (itself included: the
+            // owner is not also listed as a sharer).
+            if (e.sharers != 0)
+                return false;
+            if (e.owner >= static_cast<std::int32_t>(_processors))
+                return false;
+        }
+        if (std::popcount(e.sharers) > static_cast<int>(_processors))
+            return false;
+        if (e.sharers >> _processors)
+            return false;
+    }
+    return true;
+}
+
+} // namespace imo::coherence

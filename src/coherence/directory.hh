@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Block-state directory for the access-control case study.
+ *
+ * Each coherence unit (32 B block) has, per processor, an access level
+ * of INVALID, READONLY, or READWRITE (the protection levels of the
+ * paper's section 4.3). Globally the directory enforces single-writer /
+ * multiple-reader: one owner with READWRITE, or any number of sharers
+ * with READONLY.
+ */
+
+#ifndef IMO_COHERENCE_DIRECTORY_HH
+#define IMO_COHERENCE_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace imo::coherence
+{
+
+/** Per-processor access level for one block. */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    ReadOnly,
+    ReadWrite,
+};
+
+/** Result of consulting the directory for one access. */
+struct ProtocolAction
+{
+    /** The requester's protection level was already sufficient. */
+    bool satisfied = false;
+    /** A local state-table change is required. */
+    bool stateChange = false;
+    /** Request/response round trips to remote nodes (overlapped DMA
+     *  invalidations count once). */
+    std::uint32_t networkRounds = 0;
+    /** One-way messages on the 3-hop distributed-home protocol
+     *  (requester -> home -> owner -> requester; invalidation
+     *  multicast + ack counts two). */
+    std::uint32_t messages = 0;
+    /** Processors whose cached copy must be invalidated. */
+    std::uint32_t invalidateMask = 0;
+    /** Subset of invalidateMask that held READONLY (for page-level
+     *  write-protection bookkeeping). */
+    std::uint32_t roInvalidateMask = 0;
+    /** Remote writer downgraded to READONLY by a read, or -1. */
+    std::int32_t downgradedOwner = -1;
+};
+
+/** Directory of block protection state over up to 32 processors. */
+class Directory
+{
+  public:
+    explicit Directory(std::uint32_t processors, std::uint32_t block_bytes);
+
+    /** @return the access level processor @p proc holds on the block
+     *  containing @p addr. */
+    LineState state(std::uint32_t proc, Addr addr) const;
+
+    /**
+     * Process a read by @p proc: upgrades it to (at least) READONLY.
+     * An existing remote writer is downgraded to READONLY.
+     */
+    ProtocolAction read(std::uint32_t proc, Addr addr);
+
+    /**
+     * Process a write by @p proc: upgrades it to READWRITE and
+     * invalidates every other copy.
+     */
+    ProtocolAction write(std::uint32_t proc, Addr addr);
+
+    /** Invariant check: one writer xor many readers, on every block. */
+    bool invariantsHold() const;
+
+    /** @return the home node of the block containing @p addr. */
+    std::uint32_t
+    homeOf(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(
+            (blockOf(addr) / _blockBytes) % _processors);
+    }
+
+    std::uint64_t blocksTracked() const { return _blocks.size(); }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t sharers = 0;  //!< bitmask of READONLY holders
+        std::int32_t owner = -1;    //!< READWRITE holder or -1
+    };
+
+    Addr blockOf(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(_blockBytes - 1);
+    }
+
+    std::uint32_t _processors;
+    std::uint32_t _blockBytes;
+    std::unordered_map<Addr, Entry> _blocks;
+};
+
+} // namespace imo::coherence
+
+#endif // IMO_COHERENCE_DIRECTORY_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Parallel application kernels for the access-control case study.
+ *
+ * The paper's Figure 4 compares the three access-control methods over
+ * parallel applications with different sharing behavior. These five
+ * kernels span the space those applications cover (see DESIGN.md):
+ * neighbor sharing, producer-consumer hand-off, migratory objects,
+ * read-mostly broadcast data, and false sharing at the coherence-unit
+ * granularity.
+ */
+
+#ifndef IMO_COHERENCE_KERNELS_HH
+#define IMO_COHERENCE_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coherence/machine.hh"
+
+namespace imo::coherence
+{
+
+/** Generation knobs shared by all kernels. */
+struct KernelParams
+{
+    std::uint32_t processors = 16;
+    double scale = 1.0;
+    std::uint64_t seed = 0x9a7a11e1;
+};
+
+/** Grid relaxation: each processor owns a band of rows and reads its
+ *  neighbors' boundary rows every phase. */
+ParallelWorkload makeStencil(const KernelParams &params);
+
+/** Pipeline: each phase, processor p consumes the buffer segment that
+ *  p-1 produced in the previous phase and produces its own. */
+ParallelWorkload makeProdCons(const KernelParams &params);
+
+/** Migratory counters: processors read-modify-write randomly chosen
+ *  shared counters, migrating exclusive ownership. */
+ParallelWorkload makeMigratory(const KernelParams &params);
+
+/** Read-mostly table: all processors read a shared table that a single
+ *  writer sparsely updates (broadcast invalidations). */
+ParallelWorkload makeReadMostly(const KernelParams &params);
+
+/** False sharing: processors update disjoint words that cohabit 32-byte
+ *  coherence units, forcing ownership ping-pong. */
+ParallelWorkload makeFalseShare(const KernelParams &params);
+
+/** All five kernels, in presentation order. */
+std::vector<ParallelWorkload> makeAllKernels(const KernelParams &params);
+
+} // namespace imo::coherence
+
+#endif // IMO_COHERENCE_KERNELS_HH

@@ -1,0 +1,285 @@
+#include "coherence/machine.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace imo::coherence
+{
+
+const char *
+accessMethodName(AccessMethod method)
+{
+    switch (method) {
+      case AccessMethod::ReferenceCheck: return "ref-check";
+      case AccessMethod::EccFault: return "ecc-fault";
+      case AccessMethod::Informing: return "informing";
+      case AccessMethod::Hardware: return "hardware";
+    }
+    return "?";
+}
+
+CoherentMachine::CoherentMachine(const CoherenceParams &params,
+                                 AccessMethod method)
+    : _params(params), _method(method),
+      _directory(params.processors, params.coherenceUnitBytes)
+{
+    fatal_if(params.processors == 0 || params.processors > 32,
+             "1..32 processors supported");
+    for (std::uint32_t p = 0; p < params.processors; ++p) {
+        _procs.push_back(Proc{.clock = 0, .pos = 0, .atBarrier = false,
+                              .l1 = memory::SetAssocCache(params.l1),
+                              .l2 = memory::SetAssocCache(params.l2)});
+    }
+}
+
+bool
+CoherentMachine::chargeCacheAccess(Proc &proc, Addr addr, bool write,
+                                   bool force_miss, CoherenceResult &res)
+{
+    if (force_miss)
+        proc.l1.invalidate(addr);
+
+    Cycle cost = _params.l1HitCost;
+    bool l1_miss = false;
+
+    const memory::CacheAccessResult r1 = proc.l1.access(addr, write);
+    if (!r1.hit) {
+        l1_miss = true;
+        ++res.l1Misses;
+        cost += _params.l1MissPenalty;
+        if (r1.writeback)
+            proc.l2.access(*r1.writeback, true);
+        const memory::CacheAccessResult r2 = proc.l2.access(addr, write);
+        if (!r2.hit)
+            cost += _params.l2MissPenalty;
+    }
+
+    proc.clock += cost;
+    res.memoryCycles += cost;
+    return l1_miss;
+}
+
+void
+CoherentMachine::invalidateRemote(std::uint32_t mask, Addr addr,
+                                  CoherenceResult &res)
+{
+    while (mask) {
+        const std::uint32_t p = std::countr_zero(mask);
+        mask &= mask - 1;
+        _procs[p].l1.invalidate(addr);
+        _procs[p].l2.invalidate(addr);
+        ++res.invalidations;
+    }
+}
+
+void
+CoherentMachine::noteReadonly(std::uint32_t p, Addr addr, bool entering)
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(p) << 52) | (addr / _params.pageBytes);
+    if (entering) {
+        ++_roBlocksPerPage[key];
+    } else {
+        auto it = _roBlocksPerPage.find(key);
+        if (it != _roBlocksPerPage.end() && it->second > 0) {
+            if (--it->second == 0)
+                _roBlocksPerPage.erase(it);
+        }
+    }
+}
+
+bool
+CoherentMachine::pageHasReadonly(std::uint32_t p, Addr addr) const
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(p) << 52) | (addr / _params.pageBytes);
+    return _roBlocksPerPage.contains(key);
+}
+
+void
+CoherentMachine::step(std::uint32_t p, const TraceItem &item,
+                      CoherenceResult &res)
+{
+    Proc &proc = _procs[p];
+
+    proc.clock += item.computeBefore;
+    res.computeCycles += item.computeBefore;
+
+    ++res.refs;
+    if (item.shared)
+        ++res.sharedRefs;
+
+    const LineState st =
+        item.shared ? _directory.state(p, item.addr) : LineState::ReadWrite;
+
+    // With informing access control, a store needing an upgrade must
+    // take a miss so its handler runs (READONLY lines are held
+    // non-writable); invalid lines were evicted at invalidation time.
+    const bool force_miss = _method == AccessMethod::Informing &&
+        item.shared && item.write && st != LineState::ReadWrite;
+
+    const bool l1_miss =
+        chargeCacheAccess(proc, item.addr, item.write, force_miss, res);
+
+    // Detection / lookup overhead.
+    Cycle ac = 0;
+    switch (_method) {
+      case AccessMethod::ReferenceCheck:
+        if (item.shared) {
+            ac += _params.refCheckLookup;
+            ++res.lookups;
+        }
+        break;
+      case AccessMethod::EccFault:
+        if (item.shared) {
+            if (!item.write && st == LineState::Invalid) {
+                ac += _params.eccReadFault;
+                ++res.faults;
+            } else if (item.write &&
+                       (st == LineState::Invalid ||
+                        pageHasReadonly(p, item.addr))) {
+                ac += _params.eccWriteFault;
+                ++res.faults;
+            }
+        }
+        break;
+      case AccessMethod::Informing:
+        if (item.shared && l1_miss) {
+            ac += _params.informingLookup;
+            ++res.lookups;
+        }
+        break;
+      case AccessMethod::Hardware:
+        // Dedicated hardware detects and resolves protection state
+        // with no instruction overhead.
+        break;
+    }
+
+    // Protocol work.
+    if (item.shared) {
+        const ProtocolAction action = item.write
+            ? _directory.write(p, item.addr)
+            : _directory.read(p, item.addr);
+
+        if (action.stateChange) {
+            ++res.protocolEvents;
+
+            // Local state-table update (the ECC faults' cost already
+            // includes the handler's state change).
+            if (_method == AccessMethod::ReferenceCheck)
+                ac += _params.refCheckStateChange;
+            else if (_method == AccessMethod::Informing)
+                ac += _params.informingStateChange;
+
+            // Page-protection bookkeeping for the ECC method.
+            if (!item.write) {
+                noteReadonly(p, item.addr, true);
+                if (action.downgradedOwner >= 0)
+                    noteReadonly(action.downgradedOwner, item.addr, true);
+            } else {
+                if (st == LineState::ReadOnly)
+                    noteReadonly(p, item.addr, false);
+                std::uint32_t ro = action.roInvalidateMask;
+                while (ro) {
+                    const std::uint32_t q = std::countr_zero(ro);
+                    ro &= ro - 1;
+                    noteReadonly(q, item.addr, false);
+                }
+            }
+
+            invalidateRemote(action.invalidateMask, item.addr, res);
+
+            const Cycle net = _params.distributedHomes
+                ? static_cast<Cycle>(action.messages) *
+                  _params.messageLatency
+                : static_cast<Cycle>(action.networkRounds) *
+                  2 * _params.messageLatency;
+            proc.clock += net;
+            res.networkCycles += net;
+            res.networkRounds += action.networkRounds;
+        }
+    }
+
+    proc.clock += ac;
+    res.accessControlCycles += ac;
+}
+
+CoherenceResult
+CoherentMachine::run(const ParallelWorkload &workload)
+{
+    fatal_if(workload.streams.size() != _procs.size(),
+             "workload '%s' has %zu streams for %zu processors",
+             workload.name.c_str(), workload.streams.size(),
+             _procs.size());
+
+    CoherenceResult res;
+    res.workload = workload.name;
+    res.method = _method;
+
+    for (Proc &proc : _procs) {
+        proc.clock = 0;
+        proc.pos = 0;
+        proc.atBarrier = false;
+        proc.l1.flushAll();
+        proc.l2.flushAll();
+    }
+    _roBlocksPerPage.clear();
+
+    const std::uint32_t n = static_cast<std::uint32_t>(_procs.size());
+
+    for (;;) {
+        // Pick the runnable processor with the smallest local clock.
+        std::int32_t best = -1;
+        for (std::uint32_t p = 0; p < n; ++p) {
+            const Proc &proc = _procs[p];
+            if (proc.atBarrier || proc.pos >= workload.streams[p].size())
+                continue;
+            if (best < 0 || proc.clock < _procs[best].clock)
+                best = static_cast<std::int32_t>(p);
+        }
+
+        if (best < 0) {
+            // Everyone is finished or waiting at a barrier.
+            std::uint32_t waiting = 0;
+            Cycle maxc = 0;
+            for (std::uint32_t p = 0; p < n; ++p) {
+                if (_procs[p].atBarrier) {
+                    ++waiting;
+                    maxc = std::max(maxc, _procs[p].clock);
+                }
+            }
+            if (waiting == 0)
+                break;  // all streams exhausted
+            for (std::uint32_t p = 0; p < n; ++p) {
+                if (!_procs[p].atBarrier)
+                    continue;
+                res.barrierWaitCycles += maxc - _procs[p].clock;
+                _procs[p].clock = maxc + _params.barrierCost;
+                _procs[p].atBarrier = false;
+                ++_procs[p].pos;
+            }
+            continue;
+        }
+
+        const std::uint32_t p = static_cast<std::uint32_t>(best);
+        const TraceItem &item = workload.streams[p][_procs[p].pos];
+        if (item.kind == TraceItem::Kind::Barrier) {
+            _procs[p].atBarrier = true;
+            continue;
+        }
+        step(p, item, res);
+        ++_procs[p].pos;
+    }
+
+    for (const Proc &proc : _procs)
+        res.execTime = std::max(res.execTime, proc.clock);
+
+    panic_if(!_directory.invariantsHold(),
+             "coherence invariants violated after '%s'",
+             workload.name.c_str());
+    return res;
+}
+
+} // namespace imo::coherence

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * CoherentMachine: an event-driven 16-processor shared-memory machine
+ * (TangoLite-style direct execution) used for the fine-grained
+ * access-control case study of section 4.3.
+ *
+ * Each processor replays a reference stream (with embedded compute
+ * delays and barriers) against its private two-level cache and the
+ * global protection directory. The configured AccessMethod determines
+ * where detection/lookup overhead is paid:
+ *
+ *  - ReferenceCheck: a protection-table lookup on every shared
+ *    reference;
+ *  - EccFault: a fault on reads of INVALID blocks and on writes to
+ *    pages containing READONLY data;
+ *  - Informing: a miss-handler lookup on shared references that miss
+ *    the primary cache (invalid blocks are evicted, so accesses
+ *    requiring protocol work always miss).
+ */
+
+#ifndef IMO_COHERENCE_MACHINE_HH
+#define IMO_COHERENCE_MACHINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coherence/directory.hh"
+#include "coherence/params.hh"
+#include "memory/cache.hh"
+
+namespace imo::coherence
+{
+
+/** One element of a processor's reference stream. */
+struct TraceItem
+{
+    enum class Kind : std::uint8_t { Ref, Barrier };
+
+    Kind kind = Kind::Ref;
+    Addr addr = 0;
+    bool write = false;
+    bool shared = false;     //!< accesses potentially-shared data
+    std::uint16_t computeBefore = 0; //!< local compute preceding it
+};
+
+/** A complete parallel workload: one stream per processor. */
+struct ParallelWorkload
+{
+    std::string name;
+    std::vector<std::vector<TraceItem>> streams;
+};
+
+/** Outcome of one machine run. */
+struct CoherenceResult
+{
+    std::string workload;
+    AccessMethod method = AccessMethod::Informing;
+
+    Cycle execTime = 0;          //!< max processor completion time
+    std::uint64_t refs = 0;
+    std::uint64_t sharedRefs = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t lookups = 0;       //!< ref-check or informing lookups
+    std::uint64_t faults = 0;        //!< ECC faults taken
+    std::uint64_t protocolEvents = 0; //!< directory state changes
+    std::uint64_t networkRounds = 0;
+    std::uint64_t invalidations = 0; //!< remote copies invalidated
+
+    Cycle computeCycles = 0;
+    Cycle memoryCycles = 0;
+    Cycle accessControlCycles = 0;  //!< lookup + fault + state change
+    Cycle networkCycles = 0;
+    Cycle barrierWaitCycles = 0;
+};
+
+/** The event-driven multiprocessor simulator. */
+class CoherentMachine
+{
+  public:
+    CoherentMachine(const CoherenceParams &params, AccessMethod method);
+
+    /** Run @p workload to completion. */
+    CoherenceResult run(const ParallelWorkload &workload);
+
+    /** @return the directory (for invariant checks in tests). */
+    const Directory &directory() const { return _directory; }
+
+  private:
+    struct Proc
+    {
+        Cycle clock = 0;
+        std::size_t pos = 0;
+        bool atBarrier = false;
+        memory::SetAssocCache l1;
+        memory::SetAssocCache l2;
+    };
+
+    /** Process one trace item on processor @p p; updates its clock. */
+    void step(std::uint32_t p, const TraceItem &item,
+              CoherenceResult &res);
+
+    /** Charge the plain memory-hierarchy cost of a reference,
+     *  optionally forcing a primary miss. @return true on L1 miss. */
+    bool chargeCacheAccess(Proc &proc, Addr addr, bool write,
+                           bool force_miss, CoherenceResult &res);
+
+    /** Invalidate remote cached copies named by @p mask. */
+    void invalidateRemote(std::uint32_t mask, Addr addr,
+                          CoherenceResult &res);
+
+    /** Track ECC page protection: blocks in READONLY per page. */
+    void noteReadonly(std::uint32_t p, Addr addr, bool entering);
+    bool pageHasReadonly(std::uint32_t p, Addr addr) const;
+
+    CoherenceParams _params;
+    AccessMethod _method;
+    Directory _directory;
+    std::vector<Proc> _procs;
+
+    /** (proc, page) -> count of READONLY blocks on that page. */
+    std::unordered_map<std::uint64_t, std::uint32_t> _roBlocksPerPage;
+};
+
+} // namespace imo::coherence
+
+#endif // IMO_COHERENCE_MACHINE_HH

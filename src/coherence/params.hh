@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Machine and access-control parameters for the fine-grained
+ * access-control case study (paper section 4.3, Table 2).
+ */
+
+#ifndef IMO_COHERENCE_PARAMS_HH
+#define IMO_COHERENCE_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "memory/geometry.hh"
+
+namespace imo::coherence
+{
+
+/** The three access-control implementations compared in Figure 4. */
+enum class AccessMethod : std::uint8_t
+{
+    /** Software check instrumenting every potentially-shared reference
+     *  (Blizzard-S style). */
+    ReferenceCheck,
+    /** ECC-fault based detection (Blizzard-E style): reads of invalid
+     *  blocks fault; writes fault on pages holding READONLY data. */
+    EccFault,
+    /** Informing-memory-operation miss handlers (this paper). */
+    Informing,
+    /** Dedicated coherence hardware (footnote 8: FLASH/Typhoon-class
+     *  machines): zero detection and state-change overhead, included
+     *  as the performance upper bound the paper compares against. */
+    Hardware,
+};
+
+/** @return a short display name for @p method. */
+const char *accessMethodName(AccessMethod method);
+
+/** Table 2: machine and per-method cost parameters. */
+struct CoherenceParams
+{
+    std::uint32_t processors = 16;
+
+    memory::CacheGeometry l1{.sizeBytes = 16 * 1024, .lineBytes = 32,
+                             .assoc = 2};
+    memory::CacheGeometry l2{.sizeBytes = 128 * 1024, .lineBytes = 32,
+                             .assoc = 4};
+    Cycle l1HitCost = 1;
+    Cycle l1MissPenalty = 10;   //!< additional cycles for an L2 hit
+    Cycle l2MissPenalty = 25;   //!< additional cycles beyond L2
+
+    std::uint32_t coherenceUnitBytes = 32;
+    std::uint32_t pageBytes = 4096;    //!< ECC write-protection grain
+    Cycle messageLatency = 900;        //!< one-way network latency
+    Cycle barrierCost = 100;
+
+    /**
+     * Network model. false (default): centralized protocol state, every
+     * remote action costs full round trips (networkRounds x 2 x
+     * latency) -- the conservative model the Figure 4 numbers use.
+     * true: blocks are homed round-robin across processors and actions
+     * pay per one-way message on a 3-hop protocol (requester -> home ->
+     * owner -> requester), so home-local accesses are cheaper.
+     */
+    bool distributedHomes = false;
+
+    // Reference-checking approach.
+    Cycle refCheckLookup = 18;
+    Cycle refCheckStateChange = 25;
+
+    // ECC-based approach.
+    Cycle eccReadFault = 250;   //!< read to an invalid block
+    Cycle eccWriteFault = 230;  //!< write to a page with READONLY data
+
+    // Informing-memory-operation approach.
+    Cycle informingLookup = 33; //!< 6-cycle dispatch + 9-cycle handler
+                                //!< + table probe, on shared misses
+    Cycle informingStateChange = 25;
+};
+
+} // namespace imo::coherence
+
+#endif // IMO_COHERENCE_PARAMS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's base/logging.hh.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config); exits.
+ * warn()   — something suspicious happened but simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef IMO_COMMON_LOGGING_HH
+#define IMO_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace imo
+{
+
+/** Print a formatted message tagged "panic:" and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted message tagged "fatal:" and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted message tagged "warn:". */
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted status message. */
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace imo
+
+#define panic(...) ::imo::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::imo::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::imo::warnImpl(__VA_ARGS__)
+#define inform(...) ::imo::informImpl(__VA_ARGS__)
+
+/**
+ * Internal consistency check. Unlike assert(), panic_if() is always
+ * compiled in and prints a formatted explanation.
+ */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) [[unlikely]]                                              \
+            panic(__VA_ARGS__);                                            \
+    } while (0)
+
+/** User-error check: abort the run with a clean message. */
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) [[unlikely]]                                              \
+            fatal(__VA_ARGS__);                                            \
+    } while (0)
+
+#endif // IMO_COMMON_LOGGING_HH

@@ -1,0 +1,100 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace imo::stats
+{
+
+StatBase::StatBase(StatGroup &parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    parent.addStat(this);
+}
+
+void
+Counter::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << _value << " # " << desc() << "\n";
+}
+
+void
+Average::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << mean() << " (n=" << _count << ") # "
+       << desc() << "\n";
+}
+
+Histogram::Histogram(StatGroup &parent, std::string name, std::string desc,
+                     std::size_t buckets, std::uint64_t bucket_width)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      _bucketWidth(bucket_width), _counts(buckets, 0)
+{
+    panic_if(buckets == 0 || bucket_width == 0,
+             "histogram needs nonzero geometry");
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    const std::size_t idx = v / _bucketWidth;
+    if (idx < _counts.size())
+        ++_counts[idx];
+    else
+        ++_overflow;
+    ++_total;
+    _sum += static_cast<double>(v);
+}
+
+void
+Histogram::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " mean=" << mean() << " total=" << _total
+       << " # " << desc() << "\n";
+    for (std::size_t i = 0; i < _counts.size(); ++i) {
+        if (_counts[i] == 0)
+            continue;
+        os << prefix << "  [" << i * _bucketWidth << ","
+           << (i + 1) * _bucketWidth << ") " << _counts[i] << "\n";
+    }
+    if (_overflow)
+        os << prefix << "  overflow " << _overflow << "\n";
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_counts.begin(), _counts.end(), 0);
+    _overflow = 0;
+    _total = 0;
+    _sum = 0.0;
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : _name(std::move(name))
+{
+    if (parent)
+        parent->addChild(this);
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string inner = prefix + _name + ".";
+    for (const StatBase *stat : _stats)
+        stat->dump(os, inner);
+    for (const StatGroup *child : _children)
+        child->dump(os, inner);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *stat : _stats)
+        stat->reset();
+    for (StatGroup *child : _children)
+        child->resetAll();
+}
+
+} // namespace imo::stats

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, averages and
+ * histograms grouped under a StatGroup that can dump itself as text.
+ *
+ * Modeled loosely on gem5's Stats package but intentionally minimal:
+ * stats register themselves with their group at construction, values
+ * are plain 64-bit integers or doubles, and dumping is deterministic
+ * (registration order).
+ */
+
+#ifndef IMO_COMMON_STATS_HH
+#define IMO_COMMON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace imo::stats
+{
+
+class StatGroup;
+
+/** Base class for anything dumpable inside a StatGroup. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup &parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Append one or more formatted lines describing this stat. */
+    virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Reset the stat to its initial value. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A monotonically updated 64-bit counter. */
+class Counter : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(std::uint64_t n) { _value += n; return *this; }
+    void set(std::uint64_t v) { _value = v; }
+
+    std::uint64_t value() const { return _value; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Running mean of a stream of samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+    }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t count() const { return _count; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _sum = 0.0; _count = 0; }
+
+  private:
+    double _sum = 0.0;
+    std::uint64_t _count = 0;
+};
+
+/** Fixed-bucket histogram over [0, buckets * bucketWidth). */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup &parent, std::string name, std::string desc,
+              std::size_t buckets, std::uint64_t bucket_width);
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t bucketCount(std::size_t i) const { return _counts.at(i); }
+    std::uint64_t overflowCount() const { return _overflow; }
+    std::uint64_t total() const { return _total; }
+    double mean() const { return _total ? _sum / _total : 0.0; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t _bucketWidth;
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _total = 0;
+    double _sum = 0.0;
+};
+
+/**
+ * A named collection of stats. Groups may nest; dump() walks the whole
+ * subtree in registration order.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Dump every stat in this group and its children. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset every stat in this group and its children. */
+    void resetAll();
+
+  private:
+    friend class StatBase;
+
+    void addStat(StatBase *stat) { _stats.push_back(stat); }
+    void addChild(StatGroup *child) { _children.push_back(child); }
+
+    std::string _name;
+    std::vector<StatBase *> _stats;
+    std::vector<StatGroup *> _children;
+};
+
+} // namespace imo::stats
+
+#endif // IMO_COMMON_STATS_HH

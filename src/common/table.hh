@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text result tables for the benchmark harnesses.
+ *
+ * Every figure/table reproduction prints its rows through TextTable so
+ * that the harness output is aligned, diffable, and mechanically
+ * convertible to CSV.
+ */
+
+#ifndef IMO_COMMON_TABLE_HH
+#define IMO_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace imo
+{
+
+/** A simple column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set the column headers; defines the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width if one was set. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return _rows.size(); }
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace imo
+
+#endif // IMO_COMMON_TABLE_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator module.
+ */
+
+#ifndef IMO_COMMON_TYPES_HH
+#define IMO_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace imo
+{
+
+/** A byte address in the simulated data address space. */
+using Addr = std::uint64_t;
+
+/** A simulated processor cycle count. */
+using Cycle = std::uint64_t;
+
+/** An instruction address: an index into a Program's instruction list. */
+using InstAddr = std::uint32_t;
+
+/** A dynamic instruction sequence number (program order). */
+using SeqNum = std::uint64_t;
+
+/**
+ * Level of the memory hierarchy that serviced a data reference.
+ * The ordering is significant: higher enum values are further from the
+ * processor and therefore slower.
+ */
+enum class MemLevel : std::uint8_t
+{
+    L1 = 0,     //!< primary-cache hit
+    L2 = 1,     //!< primary miss, secondary hit
+    Memory = 2, //!< missed both cache levels
+};
+
+/** @return a short human-readable name for a hierarchy level. */
+inline const char *
+memLevelName(MemLevel level)
+{
+    switch (level) {
+      case MemLevel::L1: return "L1";
+      case MemLevel::L2: return "L2";
+      case MemLevel::Memory: return "Memory";
+    }
+    return "?";
+}
+
+} // namespace imo
+
+#endif // IMO_COMMON_TYPES_HH

@@ -1,0 +1,122 @@
+#include "core/handlers.hh"
+
+#include "common/logging.hh"
+
+namespace imo::core
+{
+
+using isa::intReg;
+using isa::Label;
+using isa::ProgramBuilder;
+
+isa::Label
+emitMissCounter(ProgramBuilder &b, Addr counter_addr)
+{
+    const std::uint8_t s0 = intReg(handlerScratchBase);
+    const std::uint8_t s1 = intReg(handlerScratchBase + 1);
+    Label entry = b.newLabel();
+    b.bind(entry);
+    b.li(s1, static_cast<std::int64_t>(counter_addr));
+    b.ld(s0, s1, 0);
+    b.addi(s0, s0, 1);
+    b.st(s0, s1, 0);
+    b.retmh();
+    return entry;
+}
+
+isa::Label
+emitHashProfiler(ProgramBuilder &b, Addr table_base,
+                 std::uint32_t table_slots_log2)
+{
+    fatal_if(table_slots_log2 == 0 || table_slots_log2 > 30,
+             "unreasonable hash table size");
+    const std::int64_t mask = (std::int64_t{1} << table_slots_log2) - 1;
+    const std::uint8_t s0 = intReg(handlerScratchBase);
+    const std::uint8_t s1 = intReg(handlerScratchBase + 1);
+
+    Label entry = b.newLabel();
+    b.bind(entry);
+    b.getmhrr(s0);                 // return address names the reference
+    b.andi(s0, s0, mask);          // hash: low bits of the return PC
+    b.sll(s0, s0, 3);              // scale to a word offset
+    b.li(s1, static_cast<std::int64_t>(table_base));
+    b.add(s1, s1, s0);             // table slot address
+    b.ld(s0, s1, 0);
+    b.addi(s0, s0, 1);             // bump the per-reference miss count
+    b.st(s0, s1, 0);
+    b.retmh();
+    return entry;
+}
+
+isa::Label
+emitPrefetcher(ProgramBuilder &b, std::uint8_t addr_reg,
+               std::uint32_t lines, std::uint32_t line_bytes)
+{
+    fatal_if(lines == 0, "prefetch handler needs at least one line");
+    Label entry = b.newLabel();
+    b.bind(entry);
+    for (std::uint32_t i = 1; i <= lines; ++i) {
+        b.prefetch(addr_reg,
+                   static_cast<std::int64_t>(i) * line_bytes);
+    }
+    b.retmh();
+    return entry;
+}
+
+isa::Label
+emitSampledHandler(ProgramBuilder &b, Addr state_addr,
+                   std::uint32_t period, std::uint32_t work_insts)
+{
+    fatal_if(period == 0, "sampling period must be nonzero");
+    const std::uint8_t s0 = intReg(handlerScratchBase);
+    const std::uint8_t s1 = intReg(handlerScratchBase + 1);
+    const std::uint8_t s2 = intReg(handlerScratchBase + 2);
+
+    Label entry = b.newLabel();
+    Label out = b.newLabel();
+    b.bind(entry);
+    // Fast path: decrement the skip counter and return.
+    b.li(s1, static_cast<std::int64_t>(state_addr));
+    b.ld(s0, s1, 0);
+    b.addi(s0, s0, -1);
+    b.st(s0, s1, 0);
+    b.bne(s0, intReg(0), out);
+    // Sampled path: reset the counter and do the expensive work.
+    b.li(s0, period);
+    b.st(s0, s1, 0);
+    for (std::uint32_t i = 0; i < work_insts; ++i)
+        b.addi(s2, s2, 1);
+    b.bind(out);
+    b.retmh();
+    return entry;
+}
+
+isa::Label
+emitThreadSwitcher(ProgramBuilder &b, const ThreadSwitchParams &params)
+{
+    fatal_if(params.numSavedRegs == 0 || params.numSavedRegs > 23,
+             "thread switcher can save r1..r23 only");
+    const std::uint8_t tcb = intReg(30);
+    const std::uint8_t scratch = intReg(31);
+    const std::int64_t next_off =
+        static_cast<std::int64_t>(1 + params.numSavedRegs) * 8;
+
+    Label entry = b.newLabel();
+    b.bind(entry);
+    // Save the interrupted thread: resume PC, then its registers.
+    b.getmhrr(scratch);
+    b.st(scratch, tcb, 0);
+    for (std::uint8_t r = 1; r <= params.numSavedRegs; ++r)
+        b.st(intReg(r), tcb, r * 8);
+    // Round-robin to the next thread's TCB.
+    b.ld(tcb, tcb, next_off);
+    // Restore its state and return into it.
+    b.ld(scratch, tcb, 0);
+    b.setmhrr(scratch);
+    for (std::uint8_t r = 1; r <= params.numSavedRegs; ++r)
+        b.ld(intReg(r), tcb, r * 8);
+    b.retmh();
+    return entry;
+}
+
+} // namespace imo::core

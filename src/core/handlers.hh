@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A library of real (non-generic) miss handlers, emitted through the
+ * ProgramBuilder. These implement the software techniques of the
+ * paper's section 4.1: miss counting and per-reference profiling
+ * (4.1.1), prefetching from the miss handler (4.1.2), and
+ * software-controlled context-switch-on-miss multithreading (4.1.3).
+ *
+ * Register conventions: handlers may clobber integer registers r24-r31
+ * ("handler scratch"); workload code must confine itself to r1-r23.
+ * The thread switcher additionally reserves r30 as the current
+ * thread-control-block pointer.
+ */
+
+#ifndef IMO_CORE_HANDLERS_HH
+#define IMO_CORE_HANDLERS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/builder.hh"
+
+namespace imo::core
+{
+
+/** First integer register reserved for handler scratch. */
+constexpr std::uint8_t handlerScratchBase = 24;
+
+/**
+ * Emit a miss handler that increments the 64-bit counter at
+ * @p counter_addr (the paper's "single register-increment miss
+ * handler"; here it lives in memory so it survives arbitrarily many
+ * static references). Code is emitted at the current position;
+ * @return the bound entry label.
+ */
+isa::Label emitMissCounter(isa::ProgramBuilder &b, Addr counter_addr);
+
+/**
+ * Emit the hash-table profiling handler of section 4.1.1 (~10
+ * instructions): the branch-and-link return address in the MHRR
+ * indexes a table of per-reference miss counters.
+ *
+ * With @p table_slots_log2 >= ceil(log2(program size)) every static
+ * reference maps to a unique slot; the table must hold
+ * 2^table_slots_log2 words at @p table_base.
+ */
+isa::Label emitHashProfiler(isa::ProgramBuilder &b, Addr table_base,
+                            std::uint32_t table_slots_log2);
+
+/**
+ * Emit a prefetching miss handler (section 4.1.2): on a miss it issues
+ * @p lines prefetches for the lines following address register
+ * @p addr_reg (the register the enclosing loop streams through), then
+ * returns. Intended for per-reference (unique-handler) use where the
+ * handler statically knows the access pattern.
+ */
+isa::Label emitPrefetcher(isa::ProgramBuilder &b, std::uint8_t addr_reg,
+                          std::uint32_t lines, std::uint32_t line_bytes);
+
+/**
+ * Emit a sampling miss handler (the optimization suggested in section
+ * 4.2.2 for expensive monitoring tools): a short decrement-and-return
+ * fast path on most misses, with the expensive @p work_insts
+ * data-dependent chain executed only every @p period-th miss. The
+ * one-word skip counter at @p state_addr must be initialized nonzero
+ * (1 samples the first miss).
+ */
+isa::Label emitSampledHandler(isa::ProgramBuilder &b, Addr state_addr,
+                              std::uint32_t period,
+                              std::uint32_t work_insts);
+
+/**
+ * Layout of a thread control block used by the context-switch-on-miss
+ * handler: word 0 holds the saved resume PC, words 1..numSavedRegs hold
+ * the saved integer registers r1..rN, and the following word links to
+ * the next TCB (round-robin).
+ */
+struct ThreadSwitchParams
+{
+    /** Thread-visible integer registers r1..numSavedRegs are saved. */
+    std::uint8_t numSavedRegs = 8;
+};
+
+/** @return the size of one TCB in 64-bit words. */
+constexpr std::uint64_t
+tcbWords(const ThreadSwitchParams &p)
+{
+    return 1 + p.numSavedRegs + 1;
+}
+
+/**
+ * Emit the software-multithreading miss handler (section 4.1.3): saves
+ * the current thread's resume PC and registers into the TCB pointed to
+ * by r30, advances r30 to the next TCB, restores that thread's state,
+ * and returns into it. r31 is used as scratch.
+ */
+isa::Label emitThreadSwitcher(isa::ProgramBuilder &b,
+                              const ThreadSwitchParams &params);
+
+} // namespace imo::core
+
+#endif // IMO_CORE_HANDLERS_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sparse 64-bit-word data memory for functional execution.
+ */
+
+#ifndef IMO_FUNC_DATAMEM_HH
+#define IMO_FUNC_DATAMEM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace imo::func
+{
+
+/**
+ * Byte-addressed, 8-byte-aligned, zero-initialized data memory backed
+ * by 4 KiB pages allocated on demand.
+ */
+class DataMemory
+{
+  public:
+    std::uint64_t
+    read64(Addr addr) const
+    {
+        panic_if(addr & 7, "unaligned 64-bit read at %#llx",
+                 static_cast<unsigned long long>(addr));
+        auto it = _pages.find(pageOf(addr));
+        if (it == _pages.end())
+            return 0;
+        return it->second[wordInPage(addr)];
+    }
+
+    void
+    write64(Addr addr, std::uint64_t value)
+    {
+        panic_if(addr & 7, "unaligned 64-bit write at %#llx",
+                 static_cast<unsigned long long>(addr));
+        page(addr)[wordInPage(addr)] = value;
+    }
+
+    /** @return number of resident pages (for tests). */
+    std::size_t residentPages() const { return _pages.size(); }
+
+  private:
+    static constexpr Addr pageBytes = 4096;
+    static constexpr Addr wordsPerPage = pageBytes / 8;
+
+    static Addr pageOf(Addr addr) { return addr / pageBytes; }
+    static Addr wordInPage(Addr addr) { return (addr % pageBytes) / 8; }
+
+    std::vector<std::uint64_t> &
+    page(Addr addr)
+    {
+        auto [it, inserted] = _pages.try_emplace(pageOf(addr));
+        if (inserted)
+            it->second.resize(wordsPerPage, 0);
+        return it->second;
+    }
+
+    std::unordered_map<Addr, std::vector<std::uint64_t>> _pages;
+};
+
+} // namespace imo::func
+
+#endif // IMO_FUNC_DATAMEM_HH

@@ -1,0 +1,321 @@
+#include "func/executor.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace imo::func
+{
+
+using isa::Op;
+
+Executor::Executor(isa::Program program, const Config &config)
+    : _program(std::move(program)), _config(config),
+      _hier(config.l1, config.l2)
+{
+    std::string why;
+    fatal_if(!_program.validate(&why),
+             "executor: invalid program '%s': %s",
+             _program.name().c_str(), why.c_str());
+    for (const isa::DataSegment &seg : _program.data()) {
+        for (std::size_t i = 0; i < seg.words.size(); ++i)
+            _mem.write64(seg.base + i * 8, seg.words[i]);
+    }
+}
+
+std::uint64_t
+Executor::readIreg(std::uint8_t unified) const
+{
+    panic_if(isa::isFpRegId(unified), "int read of fp register");
+    return unified == 0 ? 0 : _state.ireg[unified];
+}
+
+void
+Executor::writeIreg(std::uint8_t unified, std::uint64_t value)
+{
+    panic_if(isa::isFpRegId(unified), "int write of fp register");
+    if (unified != 0)
+        _state.ireg[unified] = value;
+}
+
+double
+Executor::readFreg(std::uint8_t unified) const
+{
+    panic_if(!isa::isFpRegId(unified), "fp read of int register");
+    return _state.freg[unified - isa::numIntRegs];
+}
+
+void
+Executor::writeFreg(std::uint8_t unified, double value)
+{
+    panic_if(!isa::isFpRegId(unified), "fp write of int register");
+    _state.freg[unified - isa::numIntRegs] = value;
+}
+
+bool
+Executor::next(TraceRecord &out)
+{
+    if (_state.halted)
+        return false;
+
+    fatal_if(_stats.instructions >= _config.maxInstructions,
+             "program '%s' exceeded %llu instructions (runaway?)",
+             _program.name().c_str(),
+             static_cast<unsigned long long>(_config.maxInstructions));
+
+    panic_if(_state.pc >= _program.size(), "pc %u out of range", _state.pc);
+
+    const InstAddr pc = _state.pc;
+    const isa::Instruction &in = _program.inst(pc);
+
+    out = TraceRecord{};
+    out.inst = in;
+    out.pc = pc;
+    out.handlerCode = _inHandler;
+
+    InstAddr next_pc = pc + 1;
+
+    auto as_i64 = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
+
+    switch (in.op) {
+      // Integer ALU ---------------------------------------------------
+      case Op::ADD:
+        writeIreg(in.rd, readIreg(in.rs1) + readIreg(in.rs2));
+        break;
+      case Op::ADDI:
+        writeIreg(in.rd, readIreg(in.rs1) + static_cast<std::uint64_t>(in.imm));
+        break;
+      case Op::SUB:
+        writeIreg(in.rd, readIreg(in.rs1) - readIreg(in.rs2));
+        break;
+      case Op::MUL:
+        writeIreg(in.rd, readIreg(in.rs1) * readIreg(in.rs2));
+        break;
+      case Op::DIV: {
+        const std::uint64_t denom = readIreg(in.rs2);
+        writeIreg(in.rd, denom ? readIreg(in.rs1) / denom : 0);
+        break;
+      }
+      case Op::AND:
+        writeIreg(in.rd, readIreg(in.rs1) & readIreg(in.rs2));
+        break;
+      case Op::ANDI:
+        writeIreg(in.rd, readIreg(in.rs1) & static_cast<std::uint64_t>(in.imm));
+        break;
+      case Op::OR:
+        writeIreg(in.rd, readIreg(in.rs1) | readIreg(in.rs2));
+        break;
+      case Op::XOR:
+        writeIreg(in.rd, readIreg(in.rs1) ^ readIreg(in.rs2));
+        break;
+      case Op::SLL:
+        writeIreg(in.rd, readIreg(in.rs1) << (in.imm & 63));
+        break;
+      case Op::SRL:
+        writeIreg(in.rd, readIreg(in.rs1) >> (in.imm & 63));
+        break;
+      case Op::SLT:
+        writeIreg(in.rd, as_i64(readIreg(in.rs1)) < as_i64(readIreg(in.rs2)));
+        break;
+      case Op::SLTI:
+        writeIreg(in.rd, as_i64(readIreg(in.rs1)) < in.imm);
+        break;
+      case Op::LI:
+        writeIreg(in.rd, static_cast<std::uint64_t>(in.imm));
+        break;
+
+      // Floating point ------------------------------------------------
+      case Op::FADD:
+        writeFreg(in.rd, readFreg(in.rs1) + readFreg(in.rs2));
+        break;
+      case Op::FSUB:
+        writeFreg(in.rd, readFreg(in.rs1) - readFreg(in.rs2));
+        break;
+      case Op::FMUL:
+        writeFreg(in.rd, readFreg(in.rs1) * readFreg(in.rs2));
+        break;
+      case Op::FDIV:
+        writeFreg(in.rd, readFreg(in.rs1) / readFreg(in.rs2));
+        break;
+      case Op::FSQRT:
+        writeFreg(in.rd, std::sqrt(readFreg(in.rs1)));
+        break;
+      case Op::FMOV:
+        writeFreg(in.rd, readFreg(in.rs1));
+        break;
+      case Op::CVTIF:
+        writeFreg(in.rd, static_cast<double>(as_i64(readIreg(in.rs1))));
+        break;
+      case Op::CVTFI:
+        writeIreg(in.rd, static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(readFreg(in.rs1))));
+        break;
+
+      // Memory ----------------------------------------------------------
+      case Op::LD: case Op::ST: case Op::FLD: case Op::FST: {
+        const Addr addr =
+            readIreg(in.rs1) + static_cast<std::uint64_t>(in.imm);
+        const bool is_store = isa::isStore(in.op);
+        const MemLevel level = _hier.access(addr, is_store);
+
+        switch (in.op) {
+          case Op::LD:
+            writeIreg(in.rd, _mem.read64(addr));
+            break;
+          case Op::ST:
+            _mem.write64(addr, readIreg(in.rs2));
+            break;
+          case Op::FLD:
+            writeFreg(in.rd, std::bit_cast<double>(_mem.read64(addr)));
+            break;
+          case Op::FST:
+            _mem.write64(addr, std::bit_cast<std::uint64_t>(
+                readFreg(in.rs2)));
+            break;
+          default:
+            break;
+        }
+
+        out.addr = addr;
+        out.level = level;
+        ++_stats.dataRefs;
+        if (level != MemLevel::L1)
+            ++_stats.l1Misses;
+        if (level == MemLevel::Memory)
+            ++_stats.l2Misses;
+
+        // The cache-outcome condition codes track the most recent
+        // data reference's outcome, one bit per hierarchy level
+        // (section 2.1 and its multi-level extension).
+        _state.ccMiss = level != MemLevel::L1;
+        _state.ccMissL2 = level == MemLevel::Memory;
+
+        // Low-overhead miss trap (section 2.2): dispatch if this is an
+        // informing operation, trapping is armed, the MHAR is set, and
+        // the miss reaches the configured trap level (section 4.1.3's
+        // switch-on-secondary-miss filter).
+        const bool trap_worthy = _state.trapLevel >= 2
+            ? _state.ccMissL2 : _state.ccMiss;
+        if (trap_worthy && in.informing && _trapArmed &&
+            _state.mhar != 0) {
+            out.trapped = true;
+            ++_stats.traps;
+            _state.mhrr = pc + 1;
+            next_pc = static_cast<InstAddr>(_state.mhar);
+            _trapArmed = false;
+            _inHandler = true;
+        }
+        break;
+      }
+      case Op::PREFETCH: {
+        const Addr addr =
+            readIreg(in.rs1) + static_cast<std::uint64_t>(in.imm);
+        _hier.prefetch(addr);
+        out.addr = addr;
+        ++_stats.prefetches;
+        break;
+      }
+
+      // Control ---------------------------------------------------------
+      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE: {
+        bool taken = false;
+        const std::uint64_t a = readIreg(in.rs1);
+        const std::uint64_t b = readIreg(in.rs2);
+        switch (in.op) {
+          case Op::BEQ: taken = a == b; break;
+          case Op::BNE: taken = a != b; break;
+          case Op::BLT: taken = as_i64(a) < as_i64(b); break;
+          case Op::BGE: taken = as_i64(a) >= as_i64(b); break;
+          default: break;
+        }
+        ++_stats.condBranches;
+        if (taken) {
+            ++_stats.takenBranches;
+            next_pc = static_cast<InstAddr>(in.imm);
+        }
+        out.taken = taken;
+        break;
+      }
+      case Op::J:
+        next_pc = static_cast<InstAddr>(in.imm);
+        break;
+      case Op::JAL:
+        writeIreg(in.rd, pc + 1);
+        next_pc = static_cast<InstAddr>(in.imm);
+        break;
+      case Op::JR:
+        next_pc = static_cast<InstAddr>(readIreg(in.rs1));
+        break;
+
+      // Informing extensions ---------------------------------------------
+      case Op::SETMHAR:
+        _state.mhar = static_cast<std::uint64_t>(in.imm);
+        break;
+      case Op::SETMHARR:
+        _state.mhar = readIreg(in.rs1);
+        break;
+      case Op::SETMHARPC:
+        _state.mhar = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(pc) + in.imm);
+        break;
+      case Op::SETMHLVL:
+        _state.trapLevel = static_cast<std::uint8_t>(in.imm);
+        break;
+      case Op::GETMHRR:
+        writeIreg(in.rd, _state.mhrr);
+        break;
+      case Op::SETMHRR:
+        _state.mhrr = readIreg(in.rs1);
+        break;
+      case Op::RETMH:
+        next_pc = static_cast<InstAddr>(_state.mhrr);
+        _trapArmed = true;
+        _inHandler = false;
+        break;
+      case Op::BRMISS:
+      case Op::BRMISS2: {
+        const bool cc = in.op == Op::BRMISS ? _state.ccMiss
+                                            : _state.ccMissL2;
+        ++_stats.condBranches;
+        if (cc) {
+            ++_stats.takenBranches;
+            ++_stats.brmissTaken;
+            _state.mhrr = pc + 1;
+            next_pc = static_cast<InstAddr>(in.imm);
+            _inHandler = true;
+        }
+        out.taken = cc;
+        break;
+      }
+
+      // Miscellaneous -----------------------------------------------------
+      case Op::NOP:
+        break;
+      case Op::HALT:
+        _state.halted = true;
+        next_pc = pc;
+        break;
+      case Op::NumOps:
+        panic("executing bad opcode at pc %u", pc);
+    }
+
+    ++_stats.instructions;
+    if (out.handlerCode)
+        ++_stats.handlerInstructions;
+
+    _state.pc = next_pc;
+    out.nextPc = next_pc;
+    return true;
+}
+
+std::uint64_t
+Executor::run()
+{
+    TraceRecord rec;
+    while (next(rec)) {
+    }
+    return _stats.instructions;
+}
+
+} // namespace imo::func

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The MRISC functional executor.
+ *
+ * Executes a program to architectural completion, one instruction per
+ * step(), consulting an in-order reference cache hierarchy to decide
+ * the outcome of every data reference. All informing-memory-operation
+ * semantics are implemented here:
+ *
+ *  - every data reference records its primary-cache outcome in the
+ *    cache-outcome condition code (paper section 2.1);
+ *  - an informing data reference that misses in the primary cache while
+ *    the MHAR is nonzero dispatches a low-overhead miss trap: the MHRR
+ *    captures the return address and control transfers to the MHAR
+ *    (section 2.2); trapping is disabled until the handler returns with
+ *    RETMH so that handlers cannot recursively trap;
+ *  - BRMISS implements the explicit conditional branch-and-link-if-miss
+ *    used by the condition-code mechanism.
+ */
+
+#ifndef IMO_FUNC_EXECUTOR_HH
+#define IMO_FUNC_EXECUTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "func/datamem.hh"
+#include "func/trace.hh"
+#include "isa/program.hh"
+#include "memory/hierarchy.hh"
+
+namespace imo::func
+{
+
+/** Architecturally visible machine state. */
+struct ArchState
+{
+    std::array<std::uint64_t, isa::numIntRegs> ireg{};
+    std::array<double, isa::numFpRegs> freg{};
+    InstAddr pc = 0;
+    std::uint64_t mhar = 0;  //!< Miss Handler Address Register
+    std::uint64_t mhrr = 0;  //!< Miss Handler Return Register
+    bool ccMiss = false;     //!< primary-cache outcome condition code
+    bool ccMissL2 = false;   //!< secondary-cache outcome condition code
+    std::uint8_t trapLevel = 1; //!< 1: trap on L1 misses, 2: L2 only
+    bool halted = false;
+};
+
+/** Aggregate functional-execution statistics. */
+struct ExecStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t handlerInstructions = 0;
+    std::uint64_t dataRefs = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t traps = 0;
+    std::uint64_t brmissTaken = 0;
+    std::uint64_t prefetches = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t takenBranches = 0;
+
+    double
+    l1MissRate() const
+    {
+        return dataRefs ? static_cast<double>(l1Misses) / dataRefs : 0.0;
+    }
+};
+
+/** Executes one MRISC program against a reference cache hierarchy. */
+class Executor : public TraceSource
+{
+  public:
+    struct Config
+    {
+        memory::CacheGeometry l1;
+        memory::CacheGeometry l2;
+        /** Abort if a program runs longer than this (runaway guard). */
+        std::uint64_t maxInstructions = 400'000'000;
+    };
+
+    /** The executor keeps its own copy of @p program. */
+    Executor(isa::Program program, const Config &config);
+
+    /**
+     * Execute one instruction and describe it in @p out.
+     * @return false once the program has halted.
+     */
+    bool next(TraceRecord &out) override;
+
+    /** Run to completion, discarding records. @return retired count. */
+    std::uint64_t run();
+
+    ArchState &state() { return _state; }
+    const ArchState &state() const { return _state; }
+    DataMemory &mem() { return _mem; }
+    memory::FunctionalHierarchy &hierarchy() { return _hier; }
+    const ExecStats &stats() const { return _stats; }
+    const isa::Program &program() const { return _program; }
+
+    /** True while executing between a dispatch and its RETMH. */
+    bool inHandler() const { return _inHandler; }
+
+  private:
+    std::uint64_t readIreg(std::uint8_t unified) const;
+    void writeIreg(std::uint8_t unified, std::uint64_t value);
+    double readFreg(std::uint8_t unified) const;
+    void writeFreg(std::uint8_t unified, double value);
+
+    isa::Program _program;
+    Config _config;
+    ArchState _state;
+    DataMemory _mem;
+    memory::FunctionalHierarchy _hier;
+    ExecStats _stats;
+
+    bool _inHandler = false;   //!< between dispatch and RETMH
+    bool _trapArmed = true;    //!< hardware trap-enable (off in handler)
+};
+
+} // namespace imo::func
+
+#endif // IMO_FUNC_EXECUTOR_HH

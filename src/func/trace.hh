@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Dynamic-trace records: the interface between functional execution
+ * (phase A) and the detailed timing models (phase B).
+ */
+
+#ifndef IMO_FUNC_TRACE_HH
+#define IMO_FUNC_TRACE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace imo::func
+{
+
+/** One retired dynamic instruction. */
+struct TraceRecord
+{
+    isa::Instruction inst;   //!< static instruction (copied)
+    InstAddr pc = 0;         //!< its address
+    InstAddr nextPc = 0;     //!< actual successor (after traps/branches)
+    Addr addr = 0;           //!< effective address for memory ops
+    MemLevel level = MemLevel::L1; //!< servicing level for data refs
+    bool taken = false;      //!< outcome for conditional branches
+    bool trapped = false;    //!< this data ref dispatched a miss trap
+    bool handlerCode = false; //!< executed inside a miss handler
+};
+
+/** A pull-based stream of trace records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record in program (commit) order.
+     * @return false when the stream is exhausted.
+     */
+    virtual bool next(TraceRecord &out) = 0;
+};
+
+/** Replays a pre-recorded vector of records (testing). */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<TraceRecord> records)
+        : _records(std::move(records))
+    {
+    }
+
+    bool
+    next(TraceRecord &out) override
+    {
+        if (_pos >= _records.size())
+            return false;
+        out = _records[_pos++];
+        return true;
+    }
+
+  private:
+    std::vector<TraceRecord> _records;
+    std::size_t _pos = 0;
+};
+
+} // namespace imo::func
+
+#endif // IMO_FUNC_TRACE_HH

@@ -1,0 +1,537 @@
+#include "isa/asm.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "isa/disasm.hh"
+
+namespace imo::isa
+{
+
+namespace
+{
+
+/** Strip comments and surrounding whitespace. */
+std::string
+cleanLine(const std::string &raw)
+{
+    std::string s = raw;
+    const auto cut = s.find_first_of(";#");
+    if (cut != std::string::npos)
+        s.erase(cut);
+    const auto b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    const auto e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/** Split an operand list on commas, trimming each piece. */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : s) {
+        if (c == ',') {
+            out.push_back(cleanLine(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    const std::string last = cleanLine(cur);
+    if (!last.empty())
+        out.push_back(last);
+    return out;
+}
+
+/** Split on whitespace. */
+std::vector<std::string>
+splitWords(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string w;
+    while (is >> w)
+        out.push_back(w);
+    return out;
+}
+
+struct Parser
+{
+    std::map<std::string, Addr> dataSymbols;
+    std::map<std::string, InstAddr> labels;
+    Addr nextData = 0x10000;
+
+    std::string error;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg;
+        return false;
+    }
+
+    bool
+    parseReg(const std::string &tok, bool fp, std::uint8_t &out)
+    {
+        if (tok.size() < 2)
+            return fail("bad register '" + tok + "'");
+        const char kind = tok[0];
+        if ((fp && kind != 'f') || (!fp && kind != 'r'))
+            return fail("expected " + std::string(fp ? "f" : "r") +
+                        "-register, got '" + tok + "'");
+        char *end = nullptr;
+        const long n = std::strtol(tok.c_str() + 1, &end, 10);
+        if (*end != '\0' || n < 0 || n > 31)
+            return fail("bad register '" + tok + "'");
+        out = fp ? fpReg(static_cast<std::uint8_t>(n))
+                 : intReg(static_cast<std::uint8_t>(n));
+        return true;
+    }
+
+    bool
+    parseImm(const std::string &tok, std::int64_t &out)
+    {
+        if (tok.empty())
+            return fail("missing immediate");
+        // Symbols: data first, then code labels.
+        if (auto it = dataSymbols.find(tok); it != dataSymbols.end()) {
+            out = static_cast<std::int64_t>(it->second);
+            return true;
+        }
+        if (auto it = labels.find(tok); it != labels.end()) {
+            out = static_cast<std::int64_t>(it->second);
+            return true;
+        }
+        char *end = nullptr;
+        out = std::strtoll(tok.c_str(), &end, 0);
+        if (*end != '\0')
+            return fail("bad immediate or unknown symbol '" + tok + "'");
+        return true;
+    }
+
+    /** Control target: label name or `@N`. */
+    bool
+    parseTarget(const std::string &tok, std::int64_t &out)
+    {
+        if (!tok.empty() && tok[0] == '@') {
+            char *end = nullptr;
+            out = std::strtoll(tok.c_str() + 1, &end, 0);
+            if (*end != '\0')
+                return fail("bad target '" + tok + "'");
+            return true;
+        }
+        if (auto it = labels.find(tok); it != labels.end()) {
+            out = static_cast<std::int64_t>(it->second);
+            return true;
+        }
+        return fail("unknown label '" + tok + "'");
+    }
+
+    /** Memory operand `off(base)`. */
+    bool
+    parseMem(const std::string &tok, std::uint8_t &base,
+             std::int64_t &off)
+    {
+        const auto open = tok.find('(');
+        const auto close = tok.find(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open)
+            return fail("bad memory operand '" + tok + "'");
+        const std::string off_s = cleanLine(tok.substr(0, open));
+        const std::string base_s =
+            cleanLine(tok.substr(open + 1, close - open - 1));
+        if (off_s.empty()) {
+            off = 0;
+        } else if (!parseImm(off_s, off)) {
+            return false;
+        }
+        return parseReg(base_s, false, base);
+    }
+};
+
+/** FP-register usage per mnemonic operand slot. */
+struct OpSpec
+{
+    Op op;
+    enum class Form
+    {
+        R3,       //!< rd, rs1, rs2
+        F3,       //!< fd, fs1, fs2
+        RRI,      //!< rd, rs1, imm
+        RI,       //!< rd, imm
+        F2,       //!< fd, fs1
+        CVT_IF,   //!< fd, rs1
+        CVT_FI,   //!< rd, fs1
+        MemLd,    //!< rd, off(base)
+        MemLdF,   //!< fd, off(base)
+        MemSt,    //!< src, off(base)
+        MemStF,   //!< fsrc, off(base)
+        Mem0,     //!< off(base)
+        Branch,   //!< rs1, rs2, target
+        Target,   //!< target
+        Jal,      //!< rd, target
+        R1,       //!< rs1
+        Rd,       //!< rd
+        Setmhar,  //!< target | "off"
+        SetmharPc,//!< target | "pc+N"
+        Level,    //!< imm
+        None,
+    } form;
+};
+
+const std::map<std::string, OpSpec> &
+opTable()
+{
+    using F = OpSpec::Form;
+    static const std::map<std::string, OpSpec> table = {
+        {"add", {Op::ADD, F::R3}},       {"addi", {Op::ADDI, F::RRI}},
+        {"sub", {Op::SUB, F::R3}},       {"mul", {Op::MUL, F::R3}},
+        {"div", {Op::DIV, F::R3}},       {"and", {Op::AND, F::R3}},
+        {"andi", {Op::ANDI, F::RRI}},    {"or", {Op::OR, F::R3}},
+        {"xor", {Op::XOR, F::R3}},       {"sll", {Op::SLL, F::RRI}},
+        {"srl", {Op::SRL, F::RRI}},      {"slt", {Op::SLT, F::R3}},
+        {"slti", {Op::SLTI, F::RRI}},    {"li", {Op::LI, F::RI}},
+        {"fadd", {Op::FADD, F::F3}},     {"fsub", {Op::FSUB, F::F3}},
+        {"fmul", {Op::FMUL, F::F3}},     {"fdiv", {Op::FDIV, F::F3}},
+        {"fsqrt", {Op::FSQRT, F::F2}},   {"fmov", {Op::FMOV, F::F2}},
+        {"cvtif", {Op::CVTIF, F::CVT_IF}},
+        {"cvtfi", {Op::CVTFI, F::CVT_FI}},
+        {"ld", {Op::LD, F::MemLd}},      {"st", {Op::ST, F::MemSt}},
+        {"fld", {Op::FLD, F::MemLdF}},   {"fst", {Op::FST, F::MemStF}},
+        {"prefetch", {Op::PREFETCH, F::Mem0}},
+        {"beq", {Op::BEQ, F::Branch}},   {"bne", {Op::BNE, F::Branch}},
+        {"blt", {Op::BLT, F::Branch}},   {"bge", {Op::BGE, F::Branch}},
+        {"j", {Op::J, F::Target}},       {"jal", {Op::JAL, F::Jal}},
+        {"jr", {Op::JR, F::R1}},
+        {"setmhar", {Op::SETMHAR, F::Setmhar}},
+        {"setmharr", {Op::SETMHARR, F::R1}},
+        {"getmhrr", {Op::GETMHRR, F::Rd}},
+        {"setmhrr", {Op::SETMHRR, F::R1}},
+        {"retmh", {Op::RETMH, F::None}},
+        {"brmiss", {Op::BRMISS, F::Target}},
+        {"brmiss2", {Op::BRMISS2, F::Target}},
+        {"setmharpc", {Op::SETMHARPC, F::SetmharPc}},
+        {"setmhlvl", {Op::SETMHLVL, F::Level}},
+        {"nop", {Op::NOP, F::None}},
+        {"halt", {Op::HALT, F::None}},
+    };
+    return table;
+}
+
+} // anonymous namespace
+
+AsmResult
+assemble(const std::string &source)
+{
+    AsmResult result;
+    Parser ctx;
+
+    // Split into lines once; two passes over them.
+    std::vector<std::string> lines;
+    {
+        std::istringstream is(source);
+        std::string line;
+        while (std::getline(is, line))
+            lines.push_back(cleanLine(line));
+    }
+
+    std::string prog_name;
+    std::vector<DataSegment> segments;
+
+    auto diag = [&](int line_no, const std::string &msg) {
+        result.ok = false;
+        result.error = msg;
+        result.errorLine = line_no;
+        return result;
+    };
+
+    // Pass 1: directives, label addresses, instruction count.
+    InstAddr pc = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::string line = lines[i];
+        if (line.empty())
+            continue;
+
+        // Leading label(s).
+        while (true) {
+            const auto colon = line.find(':');
+            if (colon == std::string::npos)
+                break;
+            const std::string name = cleanLine(line.substr(0, colon));
+            if (name.empty() || name.find(' ') != std::string::npos)
+                return diag(static_cast<int>(i + 1), "bad label");
+            if (ctx.labels.count(name))
+                return diag(static_cast<int>(i + 1),
+                            "duplicate label '" + name + "'");
+            ctx.labels[name] = pc;
+            line = cleanLine(line.substr(colon + 1));
+        }
+        if (line.empty())
+            continue;
+
+        if (line[0] == '.') {
+            const auto words = splitWords(line);
+            if (words[0] == ".name") {
+                if (words.size() >= 2)
+                    prog_name = words[1];
+            } else if (words[0] == ".alloc") {
+                if (words.size() < 3)
+                    return diag(static_cast<int>(i + 1),
+                                ".alloc needs symbol and size");
+                const std::uint64_t count =
+                    std::strtoull(words[2].c_str(), nullptr, 0);
+                const std::uint64_t align = words.size() >= 4
+                    ? std::strtoull(words[3].c_str(), nullptr, 0) : 8;
+                if (align == 0 || (align & (align - 1)))
+                    return diag(static_cast<int>(i + 1),
+                                "bad .alloc alignment");
+                ctx.nextData = (ctx.nextData + align - 1) & ~(align - 1);
+                ctx.dataSymbols[words[1]] = ctx.nextData;
+                ctx.nextData += count * 8;
+            } else if (words[0] == ".init") {
+                // handled in pass 2 (symbols already known by then)
+            } else {
+                return diag(static_cast<int>(i + 1),
+                            "unknown directive " + words[0]);
+            }
+            continue;
+        }
+        ++pc;
+    }
+
+    // Pass 2: emit.
+    std::vector<Instruction> insts;
+    insts.reserve(pc);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::string line = lines[i];
+        if (line.empty())
+            continue;
+        while (true) {
+            const auto colon = line.find(':');
+            if (colon == std::string::npos)
+                break;
+            line = cleanLine(line.substr(colon + 1));
+        }
+        if (line.empty())
+            continue;
+
+        const int line_no = static_cast<int>(i + 1);
+
+        if (line[0] == '.') {
+            const auto words = splitWords(line);
+            if (words[0] == ".init") {
+                if (words.size() < 3)
+                    return diag(line_no, ".init needs base and words");
+                std::int64_t base;
+                ctx.error.clear();
+                if (!ctx.parseImm(words[1], base))
+                    return diag(line_no, ctx.error);
+                DataSegment seg;
+                seg.base = static_cast<Addr>(base);
+                for (std::size_t w = 2; w < words.size(); ++w) {
+                    seg.words.push_back(
+                        std::strtoull(words[w].c_str(), nullptr, 0));
+                }
+                segments.push_back(std::move(seg));
+            }
+            continue;
+        }
+
+        // Mnemonic + operands.
+        const auto sp = line.find_first_of(" \t");
+        const std::string mnem =
+            sp == std::string::npos ? line : line.substr(0, sp);
+        std::string rest =
+            sp == std::string::npos ? "" : cleanLine(line.substr(sp));
+
+        // Trailing "!informing" marker on memory operations.
+        bool informing = true;
+        const auto bang = rest.find("!informing");
+        if (bang != std::string::npos) {
+            informing = false;
+            rest = cleanLine(rest.substr(0, bang));
+        }
+
+        const auto it = opTable().find(mnem);
+        if (it == opTable().end())
+            return diag(line_no, "unknown mnemonic '" + mnem + "'");
+        const OpSpec &spec = it->second;
+
+        const auto ops = splitOperands(rest);
+        Instruction in;
+        in.op = spec.op;
+        in.informing = informing;
+        ctx.error.clear();
+
+        using F = OpSpec::Form;
+        auto need = [&](std::size_t n) {
+            if (ops.size() != n) {
+                ctx.fail("expected " + std::to_string(n) +
+                         " operands, got " + std::to_string(ops.size()));
+                return false;
+            }
+            return true;
+        };
+
+        bool ok = true;
+        switch (spec.form) {
+          case F::R3:
+            ok = need(3) && ctx.parseReg(ops[0], false, in.rd) &&
+                ctx.parseReg(ops[1], false, in.rs1) &&
+                ctx.parseReg(ops[2], false, in.rs2);
+            break;
+          case F::F3:
+            ok = need(3) && ctx.parseReg(ops[0], true, in.rd) &&
+                ctx.parseReg(ops[1], true, in.rs1) &&
+                ctx.parseReg(ops[2], true, in.rs2);
+            break;
+          case F::RRI:
+            ok = need(3) && ctx.parseReg(ops[0], false, in.rd) &&
+                ctx.parseReg(ops[1], false, in.rs1) &&
+                ctx.parseImm(ops[2], in.imm);
+            break;
+          case F::RI:
+            ok = need(2) && ctx.parseReg(ops[0], false, in.rd) &&
+                ctx.parseImm(ops[1], in.imm);
+            break;
+          case F::F2:
+            ok = need(2) && ctx.parseReg(ops[0], true, in.rd) &&
+                ctx.parseReg(ops[1], true, in.rs1);
+            break;
+          case F::CVT_IF:
+            ok = need(2) && ctx.parseReg(ops[0], true, in.rd) &&
+                ctx.parseReg(ops[1], false, in.rs1);
+            break;
+          case F::CVT_FI:
+            ok = need(2) && ctx.parseReg(ops[0], false, in.rd) &&
+                ctx.parseReg(ops[1], true, in.rs1);
+            break;
+          case F::MemLd:
+            ok = need(2) && ctx.parseReg(ops[0], false, in.rd) &&
+                ctx.parseMem(ops[1], in.rs1, in.imm);
+            break;
+          case F::MemLdF:
+            ok = need(2) && ctx.parseReg(ops[0], true, in.rd) &&
+                ctx.parseMem(ops[1], in.rs1, in.imm);
+            break;
+          case F::MemSt:
+            ok = need(2) && ctx.parseReg(ops[0], false, in.rs2) &&
+                ctx.parseMem(ops[1], in.rs1, in.imm);
+            break;
+          case F::MemStF:
+            ok = need(2) && ctx.parseReg(ops[0], true, in.rs2) &&
+                ctx.parseMem(ops[1], in.rs1, in.imm);
+            break;
+          case F::Mem0:
+            ok = need(1) && ctx.parseMem(ops[0], in.rs1, in.imm);
+            break;
+          case F::Branch:
+            ok = need(3) && ctx.parseReg(ops[0], false, in.rs1) &&
+                ctx.parseReg(ops[1], false, in.rs2) &&
+                ctx.parseTarget(ops[2], in.imm);
+            break;
+          case F::Target:
+            ok = need(1) && ctx.parseTarget(ops[0], in.imm);
+            break;
+          case F::Jal:
+            ok = need(2) && ctx.parseReg(ops[0], false, in.rd) &&
+                ctx.parseTarget(ops[1], in.imm);
+            break;
+          case F::R1:
+            ok = need(1) && ctx.parseReg(ops[0], false, in.rs1);
+            break;
+          case F::Rd:
+            ok = need(1) && ctx.parseReg(ops[0], false, in.rd);
+            break;
+          case F::Setmhar:
+            if (need(1)) {
+                if (ops[0] == "off")
+                    in.imm = 0;
+                else
+                    ok = ctx.parseTarget(ops[0], in.imm);
+            } else {
+                ok = false;
+            }
+            break;
+          case F::SetmharPc:
+            if (need(1)) {
+                if (ops[0].rfind("pc", 0) == 0) {
+                    // "pc+N" / "pc-N": already relative.
+                    char *end = nullptr;
+                    in.imm = std::strtoll(ops[0].c_str() + 2, &end, 0);
+                    if (*end != '\0')
+                        ok = ctx.fail("bad pc-relative operand");
+                } else if (ctx.parseTarget(ops[0], in.imm)) {
+                    // Label form: convert to an offset from this pc.
+                    in.imm -= static_cast<std::int64_t>(insts.size());
+                } else {
+                    ok = false;
+                }
+            } else {
+                ok = false;
+            }
+            break;
+          case F::Level:
+            ok = need(1) && ctx.parseImm(ops[0], in.imm);
+            break;
+          case F::None:
+            ok = need(0);
+            break;
+        }
+
+        if (!ok)
+            return diag(line_no, ctx.error.empty() ? "parse error"
+                                                   : ctx.error);
+        insts.push_back(in);
+    }
+
+    Program prog(prog_name);
+    prog.insts() = std::move(insts);
+    std::uint32_t refs = 0;
+    for (Instruction &in : prog.insts()) {
+        if (isDataRef(in.op))
+            in.staticRefId = refs++;
+    }
+    prog.setNumStaticRefs(refs);
+    for (DataSegment &seg : segments)
+        prog.addData(std::move(seg));
+
+    std::string why;
+    if (!prog.validate(&why)) {
+        result.error = "program invalid: " + why;
+        return result;
+    }
+    result.ok = true;
+    result.program = std::move(prog);
+    return result;
+}
+
+std::string
+formatAssembly(const Program &prog)
+{
+    std::ostringstream os;
+    if (!prog.name().empty())
+        os << ".name " << prog.name() << "\n";
+    for (const DataSegment &seg : prog.data()) {
+        // Chunk initializers to keep lines short.
+        for (std::size_t i = 0; i < seg.words.size(); i += 8) {
+            os << ".init " << (seg.base + i * 8);
+            for (std::size_t w = i;
+                 w < std::min(seg.words.size(), i + 8); ++w)
+                os << " 0x" << std::hex << seg.words[w] << std::dec;
+            os << "\n";
+        }
+    }
+    for (InstAddr pc = 0; pc < prog.size(); ++pc)
+        os << "    " << disassemble(prog.inst(pc)) << "\n";
+    return os.str();
+}
+
+} // namespace imo::isa

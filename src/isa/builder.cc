@@ -1,0 +1,402 @@
+#include "isa/builder.hh"
+
+#include "common/logging.hh"
+
+namespace imo::isa
+{
+
+ProgramBuilder::ProgramBuilder(std::string name) : _name(std::move(name))
+{
+}
+
+Label
+ProgramBuilder::newLabel()
+{
+    _labelAddr.push_back(-1);
+    return Label{static_cast<std::uint32_t>(_labelAddr.size() - 1)};
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    panic_if(label.id >= _labelAddr.size(), "bind: unknown label %u",
+             label.id);
+    panic_if(_labelAddr[label.id] >= 0, "bind: label %u bound twice",
+             label.id);
+    _labelAddr[label.id] = static_cast<std::int64_t>(_insts.size());
+}
+
+Addr
+ProgramBuilder::allocData(std::uint64_t words, std::uint64_t align_bytes)
+{
+    panic_if(align_bytes == 0 || (align_bytes & (align_bytes - 1)),
+             "allocData: alignment must be a power of two");
+    _nextData = (_nextData + align_bytes - 1) & ~(align_bytes - 1);
+    const Addr base = _nextData;
+    _nextData += words * 8;
+    return base;
+}
+
+void
+ProgramBuilder::initData(Addr base, std::vector<std::uint64_t> words)
+{
+    _data.push_back(DataSegment{base, std::move(words)});
+}
+
+void
+ProgramBuilder::emit(Instruction inst)
+{
+    _insts.push_back(inst);
+}
+
+// Integer ops ---------------------------------------------------------
+
+void
+ProgramBuilder::add(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+{
+    emit({.op = Op::ADD, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+}
+
+void
+ProgramBuilder::addi(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm)
+{
+    emit({.op = Op::ADDI, .rd = rd, .rs1 = rs1, .imm = imm});
+}
+
+void
+ProgramBuilder::sub(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+{
+    emit({.op = Op::SUB, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+}
+
+void
+ProgramBuilder::mul(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+{
+    emit({.op = Op::MUL, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+}
+
+void
+ProgramBuilder::div(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+{
+    emit({.op = Op::DIV, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+}
+
+void
+ProgramBuilder::and_(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+{
+    emit({.op = Op::AND, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+}
+
+void
+ProgramBuilder::andi(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm)
+{
+    emit({.op = Op::ANDI, .rd = rd, .rs1 = rs1, .imm = imm});
+}
+
+void
+ProgramBuilder::or_(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+{
+    emit({.op = Op::OR, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+}
+
+void
+ProgramBuilder::xor_(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+{
+    emit({.op = Op::XOR, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+}
+
+void
+ProgramBuilder::sll(std::uint8_t rd, std::uint8_t rs1, std::int64_t sh)
+{
+    emit({.op = Op::SLL, .rd = rd, .rs1 = rs1, .imm = sh});
+}
+
+void
+ProgramBuilder::srl(std::uint8_t rd, std::uint8_t rs1, std::int64_t sh)
+{
+    emit({.op = Op::SRL, .rd = rd, .rs1 = rs1, .imm = sh});
+}
+
+void
+ProgramBuilder::slt(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+{
+    emit({.op = Op::SLT, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+}
+
+void
+ProgramBuilder::slti(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm)
+{
+    emit({.op = Op::SLTI, .rd = rd, .rs1 = rs1, .imm = imm});
+}
+
+void
+ProgramBuilder::li(std::uint8_t rd, std::int64_t imm)
+{
+    emit({.op = Op::LI, .rd = rd, .imm = imm});
+}
+
+// Floating point ------------------------------------------------------
+
+void
+ProgramBuilder::fadd(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2)
+{
+    emit({.op = Op::FADD, .rd = fd, .rs1 = fs1, .rs2 = fs2});
+}
+
+void
+ProgramBuilder::fsub(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2)
+{
+    emit({.op = Op::FSUB, .rd = fd, .rs1 = fs1, .rs2 = fs2});
+}
+
+void
+ProgramBuilder::fmul(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2)
+{
+    emit({.op = Op::FMUL, .rd = fd, .rs1 = fs1, .rs2 = fs2});
+}
+
+void
+ProgramBuilder::fdiv(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2)
+{
+    emit({.op = Op::FDIV, .rd = fd, .rs1 = fs1, .rs2 = fs2});
+}
+
+void
+ProgramBuilder::fsqrt(std::uint8_t fd, std::uint8_t fs1)
+{
+    emit({.op = Op::FSQRT, .rd = fd, .rs1 = fs1});
+}
+
+void
+ProgramBuilder::fmov(std::uint8_t fd, std::uint8_t fs1)
+{
+    emit({.op = Op::FMOV, .rd = fd, .rs1 = fs1});
+}
+
+void
+ProgramBuilder::cvtif(std::uint8_t fd, std::uint8_t rs1)
+{
+    emit({.op = Op::CVTIF, .rd = fd, .rs1 = rs1});
+}
+
+void
+ProgramBuilder::cvtfi(std::uint8_t rd, std::uint8_t fs1)
+{
+    emit({.op = Op::CVTFI, .rd = rd, .rs1 = fs1});
+}
+
+// Memory --------------------------------------------------------------
+
+void
+ProgramBuilder::ld(std::uint8_t rd, std::uint8_t base, std::int64_t off)
+{
+    emit({.op = Op::LD, .rd = rd, .rs1 = base, .imm = off});
+}
+
+void
+ProgramBuilder::st(std::uint8_t src, std::uint8_t base, std::int64_t off)
+{
+    emit({.op = Op::ST, .rs1 = base, .rs2 = src, .imm = off});
+}
+
+void
+ProgramBuilder::fld(std::uint8_t fd, std::uint8_t base, std::int64_t off)
+{
+    emit({.op = Op::FLD, .rd = fd, .rs1 = base, .imm = off});
+}
+
+void
+ProgramBuilder::fst(std::uint8_t fsrc, std::uint8_t base, std::int64_t off)
+{
+    emit({.op = Op::FST, .rs1 = base, .rs2 = fsrc, .imm = off});
+}
+
+void
+ProgramBuilder::prefetch(std::uint8_t base, std::int64_t off)
+{
+    emit({.op = Op::PREFETCH, .rs1 = base, .imm = off});
+}
+
+// Control -------------------------------------------------------------
+
+void
+ProgramBuilder::emitBranch(Op op, std::uint8_t rs1, std::uint8_t rs2,
+                           Label target)
+{
+    _fixups.emplace_back(_insts.size(), target.id);
+    emit({.op = op, .rs1 = rs1, .rs2 = rs2,
+          .imm = static_cast<std::int64_t>(target.id)});
+}
+
+void
+ProgramBuilder::emitLabelImm(Op op, Label target)
+{
+    _fixups.emplace_back(_insts.size(), target.id);
+    emit({.op = op, .imm = static_cast<std::int64_t>(target.id)});
+}
+
+void
+ProgramBuilder::beq(std::uint8_t rs1, std::uint8_t rs2, Label target)
+{
+    emitBranch(Op::BEQ, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::bne(std::uint8_t rs1, std::uint8_t rs2, Label target)
+{
+    emitBranch(Op::BNE, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::blt(std::uint8_t rs1, std::uint8_t rs2, Label target)
+{
+    emitBranch(Op::BLT, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::bge(std::uint8_t rs1, std::uint8_t rs2, Label target)
+{
+    emitBranch(Op::BGE, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::j(Label target)
+{
+    emitLabelImm(Op::J, target);
+}
+
+void
+ProgramBuilder::jal(std::uint8_t rd, Label target)
+{
+    _fixups.emplace_back(_insts.size(), target.id);
+    emit({.op = Op::JAL, .rd = rd,
+          .imm = static_cast<std::int64_t>(target.id)});
+}
+
+void
+ProgramBuilder::jr(std::uint8_t rs1)
+{
+    emit({.op = Op::JR, .rs1 = rs1});
+}
+
+// Informing extensions -------------------------------------------------
+
+void
+ProgramBuilder::setmhar(Label handler)
+{
+    emitLabelImm(Op::SETMHAR, handler);
+}
+
+void
+ProgramBuilder::setmharDisable()
+{
+    emit({.op = Op::SETMHAR, .imm = 0});
+}
+
+void
+ProgramBuilder::setmharr(std::uint8_t rs1)
+{
+    emit({.op = Op::SETMHARR, .rs1 = rs1});
+}
+
+void
+ProgramBuilder::getmhrr(std::uint8_t rd)
+{
+    emit({.op = Op::GETMHRR, .rd = rd});
+}
+
+void
+ProgramBuilder::setmhrr(std::uint8_t rs1)
+{
+    emit({.op = Op::SETMHRR, .rs1 = rs1});
+}
+
+void
+ProgramBuilder::retmh()
+{
+    emit({.op = Op::RETMH});
+}
+
+void
+ProgramBuilder::brmiss(Label handler)
+{
+    emitLabelImm(Op::BRMISS, handler);
+}
+
+void
+ProgramBuilder::brmiss2(Label handler)
+{
+    emitLabelImm(Op::BRMISS2, handler);
+}
+
+void
+ProgramBuilder::setmharpc(Label handler)
+{
+    // Encoded PC-relative: the fixup patches an absolute address which
+    // finish() converts to an offset from the instruction itself.
+    _pcRelFixups.push_back(_insts.size());
+    emitLabelImm(Op::SETMHARPC, handler);
+}
+
+void
+ProgramBuilder::setmhlvl(std::int64_t level)
+{
+    emit({.op = Op::SETMHLVL, .imm = level});
+}
+
+// Miscellaneous --------------------------------------------------------
+
+void
+ProgramBuilder::nop()
+{
+    emit({.op = Op::NOP});
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit({.op = Op::HALT});
+}
+
+Program
+ProgramBuilder::finish()
+{
+    for (const auto &[index, label_id] : _fixups) {
+        panic_if(label_id >= _labelAddr.size(),
+                 "finish: fixup names unknown label %u", label_id);
+        fatal_if(_labelAddr[label_id] < 0,
+                 "program '%s': label %u never bound",
+                 _name.c_str(), label_id);
+        _insts[index].imm = _labelAddr[label_id];
+    }
+    for (const std::size_t index : _pcRelFixups) {
+        _insts[index].imm -= static_cast<std::int64_t>(index);
+    }
+
+    // Assign dense static-reference ids in program order.
+    std::uint32_t next_ref = 0;
+    for (Instruction &in : _insts) {
+        if (isDataRef(in.op))
+            in.staticRefId = next_ref++;
+    }
+
+    Program prog(_name);
+    prog.insts() = std::move(_insts);
+    prog.setNumStaticRefs(next_ref);
+    for (DataSegment &seg : _data)
+        prog.addData(std::move(seg));
+
+    std::string why;
+    fatal_if(!prog.validate(&why), "program '%s' failed validation: %s",
+             prog.name().c_str(), why.c_str());
+
+    _insts.clear();
+    _data.clear();
+    _fixups.clear();
+    _pcRelFixups.clear();
+    _labelAddr.clear();
+    _nextData = dataBase;
+    return prog;
+}
+
+} // namespace imo::isa

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * ProgramBuilder: a tiny in-memory assembler for MRISC.
+ *
+ * Control-flow targets are written against Labels which are patched to
+ * absolute instruction indices by finish(). The builder also owns a bump
+ * allocator for the data segment so that workload generators can lay out
+ * arrays without tracking addresses by hand.
+ */
+
+#ifndef IMO_ISA_BUILDER_HH
+#define IMO_ISA_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace imo::isa
+{
+
+/** An opaque forward-referenceable code location. */
+struct Label
+{
+    std::uint32_t id = 0;
+};
+
+/** Builds a Program instruction by instruction. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name = "");
+
+    // --- Labels -----------------------------------------------------
+
+    /** Create a fresh, unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the next emitted instruction. */
+    void bind(Label label);
+
+    /** @return the current instruction address (next emission point). */
+    InstAddr here() const { return static_cast<InstAddr>(_insts.size()); }
+
+    // --- Data layout ------------------------------------------------
+
+    /**
+     * Reserve @p words 64-bit words of data memory aligned to
+     * @p align_bytes and return the base address. Memory reads as zero
+     * unless initialized via initData().
+     */
+    Addr allocData(std::uint64_t words, std::uint64_t align_bytes = 8);
+
+    /** Initialize data memory starting at @p base. */
+    void initData(Addr base, std::vector<std::uint64_t> words);
+
+    // --- Integer ops ------------------------------------------------
+
+    void add(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+    void addi(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm);
+    void sub(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+    void mul(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+    void div(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+    void and_(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+    void andi(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm);
+    void or_(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+    void xor_(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+    void sll(std::uint8_t rd, std::uint8_t rs1, std::int64_t sh);
+    void srl(std::uint8_t rd, std::uint8_t rs1, std::int64_t sh);
+    void slt(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+    void slti(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm);
+    void li(std::uint8_t rd, std::int64_t imm);
+
+    // --- Floating point ---------------------------------------------
+
+    void fadd(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2);
+    void fsub(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2);
+    void fmul(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2);
+    void fdiv(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2);
+    void fsqrt(std::uint8_t fd, std::uint8_t fs1);
+    void fmov(std::uint8_t fd, std::uint8_t fs1);
+    void cvtif(std::uint8_t fd, std::uint8_t rs1);
+    void cvtfi(std::uint8_t rd, std::uint8_t fs1);
+
+    // --- Memory -----------------------------------------------------
+
+    void ld(std::uint8_t rd, std::uint8_t base, std::int64_t off = 0);
+    void st(std::uint8_t src, std::uint8_t base, std::int64_t off = 0);
+    void fld(std::uint8_t fd, std::uint8_t base, std::int64_t off = 0);
+    void fst(std::uint8_t fsrc, std::uint8_t base, std::int64_t off = 0);
+    void prefetch(std::uint8_t base, std::int64_t off = 0);
+
+    // --- Control ----------------------------------------------------
+
+    void beq(std::uint8_t rs1, std::uint8_t rs2, Label target);
+    void bne(std::uint8_t rs1, std::uint8_t rs2, Label target);
+    void blt(std::uint8_t rs1, std::uint8_t rs2, Label target);
+    void bge(std::uint8_t rs1, std::uint8_t rs2, Label target);
+    void j(Label target);
+    void jal(std::uint8_t rd, Label target);
+    void jr(std::uint8_t rs1);
+
+    // --- Informing extensions ---------------------------------------
+
+    void setmhar(Label handler);
+    void setmharDisable();
+    void setmharr(std::uint8_t rs1);
+    void getmhrr(std::uint8_t rd);
+    void setmhrr(std::uint8_t rs1);
+    void retmh();
+    void brmiss(Label handler);
+    void brmiss2(Label handler);
+    void setmharpc(Label handler);
+    void setmhlvl(std::int64_t level);
+
+    // --- Miscellaneous ----------------------------------------------
+
+    void nop();
+    void halt();
+
+    /** Emit a raw instruction (no label patching applied). */
+    void emit(Instruction inst);
+
+    /**
+     * Patch labels, assign dense staticRefIds to all data references,
+     * validate, and return the finished program. The builder is left
+     * empty. Aborts via fatal() if the program does not validate.
+     */
+    Program finish();
+
+  private:
+    void emitBranch(Op op, std::uint8_t rs1, std::uint8_t rs2,
+                    Label target);
+    void emitLabelImm(Op op, Label target);
+
+    std::string _name;
+    std::vector<Instruction> _insts;
+    std::vector<DataSegment> _data;
+
+    static constexpr Addr dataBase = 0x10000;
+    Addr _nextData = dataBase;
+
+    /** Unbound label table: label id -> bound address (or -1). */
+    std::vector<std::int64_t> _labelAddr;
+    /** Fixups: instruction index -> label id (imm holds label id). */
+    std::vector<std::pair<std::size_t, std::uint32_t>> _fixups;
+    /** Indices whose patched imm is converted to a PC-relative offset. */
+    std::vector<std::size_t> _pcRelFixups;
+};
+
+} // namespace imo::isa
+
+#endif // IMO_ISA_BUILDER_HH

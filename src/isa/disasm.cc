@@ -1,0 +1,110 @@
+#include "isa/disasm.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace imo::isa
+{
+
+namespace
+{
+
+std::string
+regName(std::uint8_t reg)
+{
+    char buf[8];
+    if (isFpRegId(reg))
+        std::snprintf(buf, sizeof(buf), "f%u", reg - numIntRegs);
+    else
+        std::snprintf(buf, sizeof(buf), "r%u", reg);
+    return buf;
+}
+
+} // anonymous namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opName(inst.op);
+
+    const Op op = inst.op;
+    switch (op) {
+      case Op::ADD: case Op::SUB: case Op::MUL: case Op::DIV:
+      case Op::AND: case Op::OR: case Op::XOR: case Op::SLT:
+      case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FDIV:
+        os << " " << regName(inst.rd) << ", " << regName(inst.rs1)
+           << ", " << regName(inst.rs2);
+        break;
+      case Op::ADDI: case Op::ANDI: case Op::SLL: case Op::SRL:
+      case Op::SLTI:
+        os << " " << regName(inst.rd) << ", " << regName(inst.rs1)
+           << ", " << inst.imm;
+        break;
+      case Op::LI:
+        os << " " << regName(inst.rd) << ", " << inst.imm;
+        break;
+      case Op::FSQRT: case Op::FMOV: case Op::CVTIF: case Op::CVTFI:
+        os << " " << regName(inst.rd) << ", " << regName(inst.rs1);
+        break;
+      case Op::LD: case Op::FLD:
+        os << " " << regName(inst.rd) << ", " << inst.imm << "("
+           << regName(inst.rs1) << ")";
+        break;
+      case Op::ST: case Op::FST:
+        os << " " << regName(inst.rs2) << ", " << inst.imm << "("
+           << regName(inst.rs1) << ")";
+        break;
+      case Op::PREFETCH:
+        os << " " << inst.imm << "(" << regName(inst.rs1) << ")";
+        break;
+      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+        os << " " << regName(inst.rs1) << ", " << regName(inst.rs2)
+           << ", @" << inst.imm;
+        break;
+      case Op::J: case Op::BRMISS: case Op::BRMISS2:
+        os << " @" << inst.imm;
+        break;
+      case Op::SETMHARPC:
+        os << " pc" << (inst.imm >= 0 ? "+" : "") << inst.imm;
+        break;
+      case Op::SETMHLVL:
+        os << " " << inst.imm;
+        break;
+      case Op::JAL:
+        os << " " << regName(inst.rd) << ", @" << inst.imm;
+        break;
+      case Op::JR: case Op::SETMHARR: case Op::SETMHRR:
+        os << " " << regName(inst.rs1);
+        break;
+      case Op::SETMHAR:
+        if (inst.imm == 0)
+            os << " off";
+        else
+            os << " @" << inst.imm;
+        break;
+      case Op::GETMHRR:
+        os << " " << regName(inst.rd);
+        break;
+      default:
+        break;
+    }
+
+    if (isDataRef(op) && !inst.informing)
+        os << " !informing";
+    return os.str();
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::ostringstream os;
+    for (InstAddr pc = 0; pc < prog.size(); ++pc) {
+        char addr[16];
+        std::snprintf(addr, sizeof(addr), "%5u: ", pc);
+        os << addr << disassemble(prog.inst(pc)) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace imo::isa

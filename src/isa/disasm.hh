@@ -1,0 +1,25 @@
+/**
+ * @file
+ * MRISC disassembly for debugging and tooling.
+ */
+
+#ifndef IMO_ISA_DISASM_HH
+#define IMO_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace imo::isa
+{
+
+/** @return a one-line textual rendering of @p inst. */
+std::string disassemble(const Instruction &inst);
+
+/** @return the whole program, one instruction per line with addresses. */
+std::string disassemble(const Program &prog);
+
+} // namespace imo::isa
+
+#endif // IMO_ISA_DISASM_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The MRISC operation set.
+ *
+ * MRISC is the small load/store ISA that every simulated program in this
+ * repository is written in. It is a conventional 64-bit RISC plus the
+ * informing-memory-operation extensions proposed by Horowitz et al.
+ * (ISCA 1996):
+ *
+ *  - a cache-outcome condition code, set by every data memory operation
+ *    and tested by BRMISS (conditional branch-and-link-if-miss);
+ *  - the Miss Handler Address Register (MHAR) and Miss Handler Return
+ *    Register (MHRR) with SETMHAR / RETMH for the low-overhead
+ *    cache-miss-trap mechanism.
+ */
+
+#ifndef IMO_ISA_OP_HH
+#define IMO_ISA_OP_HH
+
+#include <cstdint>
+
+namespace imo::isa
+{
+
+/** Every MRISC operation. */
+enum class Op : std::uint8_t
+{
+    // Integer ALU.
+    ADD,    //!< rd = rs1 + rs2
+    ADDI,   //!< rd = rs1 + imm
+    SUB,    //!< rd = rs1 - rs2
+    MUL,    //!< rd = rs1 * rs2
+    DIV,    //!< rd = rs1 / rs2 (0 if rs2 == 0)
+    AND,    //!< rd = rs1 & rs2
+    ANDI,   //!< rd = rs1 & imm
+    OR,     //!< rd = rs1 | rs2
+    XOR,    //!< rd = rs1 ^ rs2
+    SLL,    //!< rd = rs1 << (imm & 63)
+    SRL,    //!< rd = rs1 >> (imm & 63) (logical)
+    SLT,    //!< rd = (int64)rs1 < (int64)rs2
+    SLTI,   //!< rd = (int64)rs1 < imm
+    LI,     //!< rd = imm
+
+    // Floating point (operates on the FP register file).
+    FADD,   //!< fd = fs1 + fs2
+    FSUB,   //!< fd = fs1 - fs2
+    FMUL,   //!< fd = fs1 * fs2
+    FDIV,   //!< fd = fs1 / fs2
+    FSQRT,  //!< fd = sqrt(fs1)
+    FMOV,   //!< fd = fs1
+    CVTIF,  //!< fd = (double)(int64)rs1
+    CVTFI,  //!< rd = (int64)fs1
+
+    // Memory. Effective address is rs1 + imm.
+    LD,     //!< rd = mem64[rs1 + imm]
+    ST,     //!< mem64[rs1 + imm] = rs2
+    FLD,    //!< fd = mem64[rs1 + imm] (as double bits)
+    FST,    //!< mem64[rs1 + imm] = fs2
+    PREFETCH, //!< hint: move line at rs1 + imm toward the primary cache
+
+    // Control. Branch/jump targets are absolute instruction indices.
+    BEQ,    //!< if (rs1 == rs2) pc = imm
+    BNE,    //!< if (rs1 != rs2) pc = imm
+    BLT,    //!< if ((int64)rs1 < (int64)rs2) pc = imm
+    BGE,    //!< if ((int64)rs1 >= (int64)rs2) pc = imm
+    J,      //!< pc = imm
+    JAL,    //!< rd = pc + 1; pc = imm
+    JR,     //!< pc = rs1
+
+    // Informing-memory-operation extensions.
+    SETMHAR,  //!< MHAR = imm (0 disables miss trapping)
+    SETMHARR, //!< MHAR = rs1
+    GETMHRR,  //!< rd = MHRR
+    SETMHRR,  //!< MHRR = rs1
+    RETMH,    //!< pc = MHRR; re-enables trapping (handler return)
+    BRMISS,   //!< if (cache outcome CC == miss) { MHRR = pc + 1; pc = imm }
+    // Extensions sketched in the paper: per-level condition codes
+    // (section 2.1's "other levels of the memory hierarchy"), a
+    // PC-relative MHAR load (footnote 2), and a trap-level threshold
+    // enabling section 4.1.3's switch-on-secondary-miss policy.
+    BRMISS2,  //!< like BRMISS, but tests the secondary-cache outcome
+    SETMHARPC,//!< MHAR = pc + imm (cheap per-reference handler setup)
+    SETMHLVL, //!< trap threshold: 1 = any L1 miss, 2 = L2 misses only
+
+    // Miscellaneous.
+    NOP,
+    HALT,    //!< terminate the program
+
+    NumOps
+};
+
+/** Functional-unit class of an operation, used by the timing models. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAlu,
+    FpDiv,
+    FpSqrt,
+    Load,
+    Store,
+    Prefetch,
+    Branch,   //!< conditional branches (incl. BRMISS)
+    Jump,     //!< unconditional control transfers (incl. RETMH)
+    Nop,      //!< NOP / HALT / register-move to special regs
+    NumClasses
+};
+
+/** @return the functional-unit class of @p op. */
+OpClass opClass(Op op);
+
+/** @return the mnemonic for @p op. */
+const char *opName(Op op);
+
+/** @return true for LD/ST/FLD/FST (PREFETCH excluded: it cannot trap). */
+bool isDataRef(Op op);
+
+/** @return true for loads (LD/FLD). */
+bool isLoad(Op op);
+
+/** @return true for stores (ST/FST). */
+bool isStore(Op op);
+
+/** @return true for any op that may redirect the PC. */
+bool isControl(Op op);
+
+/** @return true for conditional branches (outcome not known at decode). */
+bool isCondBranch(Op op);
+
+/** @return true if the op reads the FP register file for its sources. */
+bool readsFpSources(Op op);
+
+/** @return true if the op writes the FP register file. */
+bool writesFp(Op op);
+
+} // namespace imo::isa
+
+#endif // IMO_ISA_OP_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A complete MRISC program: instructions plus initial data image.
+ */
+
+#ifndef IMO_ISA_PROGRAM_HH
+#define IMO_ISA_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace imo::isa
+{
+
+/** A contiguous run of initialized 64-bit words in data memory. */
+struct DataSegment
+{
+    Addr base = 0;
+    std::vector<std::uint64_t> words;
+};
+
+/**
+ * An executable MRISC program.
+ *
+ * Instruction addresses are indices into @ref insts. Data memory is
+ * byte-addressed; segments initialize it before execution, everything
+ * else reads as zero.
+ */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+    void setName(std::string n) { _name = std::move(n); }
+
+    const std::vector<Instruction> &insts() const { return _insts; }
+    std::vector<Instruction> &insts() { return _insts; }
+
+    const Instruction &
+    inst(InstAddr pc) const
+    {
+        return _insts[pc];
+    }
+
+    InstAddr size() const { return static_cast<InstAddr>(_insts.size()); }
+
+    const std::vector<DataSegment> &data() const { return _data; }
+    void addData(DataSegment seg) { _data.push_back(std::move(seg)); }
+
+    /** Number of distinct static memory references (dense ids). */
+    std::uint32_t numStaticRefs() const { return _numStaticRefs; }
+    void setNumStaticRefs(std::uint32_t n) { _numStaticRefs = n; }
+
+    /**
+     * Check structural well-formedness: register ids in range and in
+     * the correct file for each op, control targets inside the program,
+     * dense static-reference ids, and at least one HALT.
+     *
+     * @param why if non-null, receives a description of the first
+     *            problem found.
+     * @return true if the program is well-formed.
+     */
+    bool validate(std::string *why = nullptr) const;
+
+  private:
+    std::string _name;
+    std::vector<Instruction> _insts;
+    std::vector<DataSegment> _data;
+    std::uint32_t _numStaticRefs = 0;
+};
+
+} // namespace imo::isa
+
+#endif // IMO_ISA_PROGRAM_HH

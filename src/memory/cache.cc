@@ -1,0 +1,131 @@
+#include "memory/cache.hh"
+
+namespace imo::memory
+{
+
+SetAssocCache::SetAssocCache(CacheGeometry geom) : _geom(geom)
+{
+    _geom.check();
+    _lines.resize(_geom.numLines());
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr)
+{
+    const std::uint64_t set = _geom.setIndex(addr);
+    const Addr tag = _geom.tag(addr);
+    Line *base = &_lines[set * _geom.assoc];
+    for (std::uint32_t way = 0; way < _geom.assoc; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(addr);
+}
+
+SetAssocCache::Line &
+SetAssocCache::victimLine(Addr addr)
+{
+    const std::uint64_t set = _geom.setIndex(addr);
+    Line *base = &_lines[set * _geom.assoc];
+    Line *victim = &base[0];
+    for (std::uint32_t way = 0; way < _geom.assoc; ++way) {
+        if (!base[way].valid)
+            return base[way];
+        if (base[way].lruStamp < victim->lruStamp)
+            victim = &base[way];
+    }
+    return *victim;
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr addr, bool is_write)
+{
+    CacheAccessResult result;
+    if (Line *line = findLine(addr)) {
+        ++_hits;
+        result.hit = true;
+        line->lruStamp = ++_stamp;
+        line->dirty = line->dirty || is_write;
+        return result;
+    }
+
+    ++_misses;
+    Line &victim = victimLine(addr);
+    if (victim.valid && victim.dirty) {
+        ++_writebacks;
+        // Reconstruct the victim's line address from tag and set.
+        const std::uint64_t set = _geom.setIndex(addr);
+        result.writeback =
+            (victim.tag * _geom.numSets() + set) * _geom.lineBytes;
+    }
+    victim.valid = true;
+    victim.dirty = is_write;
+    victim.tag = _geom.tag(addr);
+    victim.lruStamp = ++_stamp;
+    return result;
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+std::optional<Addr>
+SetAssocCache::fill(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        line->lruStamp = ++_stamp;
+        return std::nullopt;
+    }
+    std::optional<Addr> wb;
+    Line &victim = victimLine(addr);
+    if (victim.valid && victim.dirty) {
+        ++_writebacks;
+        const std::uint64_t set = _geom.setIndex(addr);
+        wb = (victim.tag * _geom.numSets() + set) * _geom.lineBytes;
+    }
+    victim.valid = true;
+    victim.dirty = false;
+    victim.tag = _geom.tag(addr);
+    victim.lruStamp = ++_stamp;
+    return wb;
+}
+
+bool
+SetAssocCache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        line->valid = false;
+        line->dirty = false;
+        ++_invalidations;
+        return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::flushAll()
+{
+    for (Line &line : _lines) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+void
+SetAssocCache::resetStats()
+{
+    _hits = 0;
+    _misses = 0;
+    _writebacks = 0;
+    _invalidations = 0;
+}
+
+} // namespace imo::memory

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A set-associative tag store with true-LRU replacement.
+ *
+ * The cache tracks contents only (no data payload): the functional data
+ * image lives in func::DataMemory, and the timing models consume
+ * hit/miss outcomes. Writeback state is tracked so that traffic counts
+ * are meaningful.
+ */
+
+#ifndef IMO_MEMORY_CACHE_HH
+#define IMO_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "memory/geometry.hh"
+
+namespace imo::memory
+{
+
+/** Result of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** Line-aligned address of a dirty victim written back, if any. */
+    std::optional<Addr> writeback;
+};
+
+/** Content-tracking set-associative cache with LRU replacement. */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(CacheGeometry geom);
+
+    const CacheGeometry &geometry() const { return _geom; }
+
+    /**
+     * Access @p addr, allocating the line on a miss (write-allocate).
+     * @param addr byte address
+     * @param is_write marks the line dirty on stores
+     * @return hit/miss and any dirty victim evicted by the fill.
+     */
+    CacheAccessResult access(Addr addr, bool is_write);
+
+    /** @return true if the line containing @p addr is present (no LRU
+     *  update, no allocation). */
+    bool probe(Addr addr) const;
+
+    /**
+     * Fill the line containing @p addr without it being a demand access
+     * (prefetch / external fill). No-op if already present.
+     * @return any dirty victim evicted.
+     */
+    std::optional<Addr> fill(Addr addr);
+
+    /**
+     * Remove the line containing @p addr if present.
+     * @return true if a line was invalidated.
+     */
+    bool invalidate(Addr addr);
+
+    /** Drop all contents (e.g. between experiment phases). */
+    void flushAll();
+
+    // Traffic statistics.
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    std::uint64_t writebacks() const { return _writebacks; }
+    std::uint64_t invalidations() const { return _invalidations; }
+
+    double
+    missRate() const
+    {
+        const std::uint64_t total = _hits + _misses;
+        return total ? static_cast<double>(_misses) / total : 0.0;
+    }
+
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    Line &victimLine(Addr addr);
+
+    CacheGeometry _geom;
+    std::vector<Line> _lines;   // sets * assoc, set-major
+    std::uint64_t _stamp = 0;
+
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _writebacks = 0;
+    std::uint64_t _invalidations = 0;
+};
+
+} // namespace imo::memory
+
+#endif // IMO_MEMORY_CACHE_HH

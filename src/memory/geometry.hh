@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Cache geometry: size / line / associativity and address slicing.
+ */
+
+#ifndef IMO_MEMORY_GEOMETRY_HH
+#define IMO_MEMORY_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace imo::memory
+{
+
+/** Static shape of one cache level. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 0;
+    std::uint32_t lineBytes = 32;
+    std::uint32_t assoc = 1;
+
+    std::uint64_t numLines() const { return sizeBytes / lineBytes; }
+    std::uint64_t numSets() const { return numLines() / assoc; }
+
+    /** @return the line-aligned address containing @p addr. */
+    Addr
+    lineAddr(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(lineBytes - 1);
+    }
+
+    /** @return the set index for @p addr. */
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        return (addr / lineBytes) % numSets();
+    }
+
+    /** @return the tag for @p addr. */
+    Addr
+    tag(Addr addr) const
+    {
+        return addr / lineBytes / numSets();
+    }
+
+    /** Abort if the geometry is not realizable. */
+    void
+    check() const
+    {
+        fatal_if(sizeBytes == 0 || lineBytes == 0 || assoc == 0,
+                 "cache geometry has a zero parameter");
+        fatal_if(lineBytes & (lineBytes - 1),
+                 "line size %u is not a power of two", lineBytes);
+        fatal_if(sizeBytes % (static_cast<std::uint64_t>(lineBytes) * assoc),
+                 "cache size %llu not divisible by line*assoc",
+                 static_cast<unsigned long long>(sizeBytes));
+        const std::uint64_t sets = numSets();
+        fatal_if(sets == 0 || (sets & (sets - 1)),
+                 "cache set count %llu is not a power of two",
+                 static_cast<unsigned long long>(sets));
+    }
+};
+
+} // namespace imo::memory
+
+#endif // IMO_MEMORY_GEOMETRY_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * FunctionalHierarchy: the content-reference model of a two-level data
+ * cache hierarchy.
+ *
+ * The functional executor consults this model to decide the hit/miss
+ * outcome of every data reference in program order. Because the paper's
+ * section 3.3 hardware guarantees that squashed speculative fills are
+ * invalidated before they can be silently observed, the in-order
+ * contents tracked here match the contents the proposed mechanism
+ * exposes to software.
+ */
+
+#ifndef IMO_MEMORY_HIERARCHY_HH
+#define IMO_MEMORY_HIERARCHY_HH
+
+#include "common/types.hh"
+#include "memory/cache.hh"
+
+namespace imo::memory
+{
+
+/** Two-level content model: private L1 + L2 backed by main memory. */
+class FunctionalHierarchy
+{
+  public:
+    FunctionalHierarchy(CacheGeometry l1, CacheGeometry l2);
+
+    /**
+     * Perform a demand reference and update both levels.
+     * @return the level that serviced the reference.
+     */
+    MemLevel access(Addr addr, bool is_write);
+
+    /** Software prefetch: pull the line into both levels. */
+    void prefetch(Addr addr);
+
+    /** Invalidate the line in both levels (coherence / §3.3). */
+    void invalidate(Addr addr);
+
+    /** Drop all cached contents. */
+    void flushAll();
+
+    SetAssocCache &l1() { return _l1; }
+    SetAssocCache &l2() { return _l2; }
+    const SetAssocCache &l1() const { return _l1; }
+    const SetAssocCache &l2() const { return _l2; }
+
+  private:
+    SetAssocCache _l1;
+    SetAssocCache _l2;
+};
+
+} // namespace imo::memory
+
+#endif // IMO_MEMORY_HIERARCHY_HH

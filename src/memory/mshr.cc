@@ -1,0 +1,149 @@
+#include "memory/mshr.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace imo::memory
+{
+
+MshrFile::MshrFile(std::uint32_t entries, Cycle fill_cycles,
+                   bool extended_lifetime)
+    : _file(entries), _entries32(entries), _fillCycles(fill_cycles),
+      _extendedLifetime(extended_lifetime)
+{
+    fatal_if(entries == 0, "MSHR file needs at least one entry");
+}
+
+void
+MshrFile::sweep(Cycle now)
+{
+    for (Entry &e : _file) {
+        if (e.valid && !e.pinned && e.releaseCycle <= now)
+            e.valid = false;
+    }
+}
+
+MshrFile::Entry *
+MshrFile::lookup(MshrRef ref)
+{
+    if (!ref.valid() || ref.index >= _file.size())
+        return nullptr;
+    Entry &e = _file[ref.index];
+    if (!e.valid || e.generation != ref.generation)
+        return nullptr;
+    return &e;
+}
+
+MshrAllocResult
+MshrFile::allocate(Addr line_addr, Cycle now, Cycle data_ready)
+{
+    sweep(now);
+
+    MshrAllocResult result;
+
+    // Coalesce with an outstanding miss of the same line. The merged
+    // reference shares the entry; for pinned bookkeeping we count
+    // references so a squash of one does not invalidate for the other.
+    for (std::uint32_t i = 0; i < _file.size(); ++i) {
+        Entry &e = _file[i];
+        if (e.valid && e.line == line_addr && e.dataReady > now) {
+            ++_merges;
+            ++e.mergedRefs;
+            result.accepted = true;
+            result.merged = true;
+            result.dataReady = e.dataReady;
+            result.ref = MshrRef{i, e.generation};
+            return result;
+        }
+    }
+
+    // Find a free entry.
+    for (std::uint32_t i = 0; i < _file.size(); ++i) {
+        Entry &e = _file[i];
+        if (e.valid)
+            continue;
+        ++_allocations;
+        e.valid = true;
+        e.pinned = _extendedLifetime;
+        e.line = line_addr;
+        e.dataReady = data_ready;
+        e.releaseCycle = data_ready + _fillCycles;
+        e.mergedRefs = 1;
+        e.generation = _nextGeneration++;
+        result.accepted = true;
+        result.dataReady = data_ready;
+        result.ref = MshrRef{i, e.generation};
+        return result;
+    }
+
+    // All busy: report the earliest time an entry could free up.
+    ++_fullRejects;
+    Cycle earliest = std::numeric_limits<Cycle>::max();
+    for (const Entry &e : _file) {
+        if (!e.pinned)
+            earliest = std::min(earliest, e.releaseCycle);
+    }
+    // If everything is pinned, the caller must retry after notifying
+    // graduations; a one-cycle backoff keeps the simulation moving.
+    result.retryCycle =
+        earliest == std::numeric_limits<Cycle>::max() ? now + 1
+        : std::max(earliest, now + 1);
+    return result;
+}
+
+void
+MshrFile::notifyGraduated(MshrRef ref, Cycle now)
+{
+    Entry *e = lookup(ref);
+    if (!e || !e->pinned)
+        return;
+    panic_if(e->mergedRefs == 0, "MSHR refcount underflow");
+    if (--e->mergedRefs == 0) {
+        e->pinned = false;
+        e->releaseCycle = std::max(e->releaseCycle, now);
+    }
+}
+
+void
+MshrFile::notifySquashed(MshrRef ref, Cycle now)
+{
+    Entry *e = lookup(ref);
+    if (!e || !e->pinned)
+        return;
+    panic_if(e->mergedRefs == 0, "MSHR refcount underflow");
+    const bool last = --e->mergedRefs == 0;
+
+    // Section 3.3: if the fill already completed, the speculatively
+    // installed line must be invalidated before the entry is reused.
+    // (If other merged references remain, the line stays: a non-squashed
+    // instruction legitimately demanded it.)
+    if (last) {
+        if (e->dataReady <= now) {
+            if (_invalidate)
+                _invalidate(e->line);
+            ++_squashInvalidations;
+        }
+        e->pinned = false;
+        e->releaseCycle = std::max(e->releaseCycle, now);
+        if (e->dataReady > now) {
+            // Fill still in flight; entry frees once the (now unwanted)
+            // fill would have completed, and the MSHR is marked so the
+            // returning data is dropped rather than forwarded.
+            e->releaseCycle = e->dataReady;
+        }
+    }
+}
+
+std::uint32_t
+MshrFile::busyEntries(Cycle now) const
+{
+    std::uint32_t busy = 0;
+    for (const Entry &e : _file) {
+        if (e.valid && (e.pinned || e.releaseCycle > now))
+            ++busy;
+    }
+    return busy;
+}
+
+} // namespace imo::memory

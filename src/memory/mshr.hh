@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Miss Status Handling Registers for a lockup-free primary cache
+ * [Farkas & Jouppi, ISCA'94], including the lifetime extension of the
+ * paper's section 3.3:
+ *
+ * Normally an MSHR entry is released once the fill completes. With the
+ * extended lifetime enabled, entries are held until the owning memory
+ * instruction either graduates or is squashed. If it is squashed after
+ * the fill already completed, the entry's address is used to invalidate
+ * the speculatively filled line, so that squashed informing loads can
+ * never silently install primary-cache state.
+ */
+
+#ifndef IMO_MEMORY_MSHR_HH
+#define IMO_MEMORY_MSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace imo::memory
+{
+
+/** Handle to an allocated MSHR entry. */
+struct MshrRef
+{
+    std::uint32_t index = std::numeric_limits<std::uint32_t>::max();
+    std::uint64_t generation = 0;
+
+    bool valid() const
+    {
+        return index != std::numeric_limits<std::uint32_t>::max();
+    }
+};
+
+/** Outcome of asking the MSHR file to track a miss. */
+struct MshrAllocResult
+{
+    bool accepted = false;     //!< false: all entries busy, retry later
+    bool merged = false;       //!< true: coalesced with an existing miss
+    Cycle retryCycle = 0;      //!< when rejected: earliest retry time
+    Cycle dataReady = 0;       //!< when accepted: fill completion time
+    MshrRef ref;               //!< handle for graduate/squash callbacks
+};
+
+/** The register file tracking outstanding primary-cache misses. */
+class MshrFile
+{
+  public:
+    /**
+     * @param entries number of registers (the paper uses 8)
+     * @param fill_cycles cycles the fill occupies the entry after the
+     *        data is ready (Table 1 "Data Cache Fill Time")
+     * @param extended_lifetime hold entries until graduate/squash
+     */
+    MshrFile(std::uint32_t entries, Cycle fill_cycles,
+             bool extended_lifetime);
+
+    /** Callback invoked (with the line address) when a squashed entry's
+     *  completed fill must be invalidated. */
+    void
+    setInvalidateHook(std::function<void(Addr)> hook)
+    {
+        _invalidate = std::move(hook);
+    }
+
+    /**
+     * Track a miss of line @p line_addr whose data will be ready at
+     * @p data_ready. Merges with an in-flight miss of the same line.
+     */
+    MshrAllocResult allocate(Addr line_addr, Cycle now, Cycle data_ready);
+
+    /**
+     * The owning instruction graduated: the entry may be released once
+     * its fill has completed. Only meaningful with extended lifetime;
+     * without it this is a no-op (the entry self-releases).
+     */
+    void notifyGraduated(MshrRef ref, Cycle now);
+
+    /**
+     * The owning instruction was squashed. If the fill had already
+     * completed, the invalidate hook fires for the entry's line.
+     */
+    void notifySquashed(MshrRef ref, Cycle now);
+
+    /** @return number of entries currently in use at @p now. */
+    std::uint32_t busyEntries(Cycle now) const;
+
+    /** @return total number of entries. */
+    std::uint32_t capacity() const { return _entries32; }
+
+    bool extendedLifetime() const { return _extendedLifetime; }
+
+    // Statistics.
+    std::uint64_t allocations() const { return _allocations; }
+    std::uint64_t merges() const { return _merges; }
+    std::uint64_t fullRejects() const { return _fullRejects; }
+    std::uint64_t squashInvalidations() const
+    {
+        return _squashInvalidations;
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool pinned = false;       //!< waiting for graduate/squash
+        Addr line = 0;
+        Cycle dataReady = 0;
+        Cycle releaseCycle = 0;    //!< when unpinned entries free up
+        std::uint32_t mergedRefs = 0;
+        std::uint64_t generation = 0;
+    };
+
+    void sweep(Cycle now);
+    Entry *lookup(MshrRef ref);
+
+    std::vector<Entry> _file;
+    std::uint32_t _entries32;
+    Cycle _fillCycles;
+    bool _extendedLifetime;
+    std::function<void(Addr)> _invalidate;
+    std::uint64_t _nextGeneration = 1;
+
+    std::uint64_t _allocations = 0;
+    std::uint64_t _merges = 0;
+    std::uint64_t _fullRejects = 0;
+    std::uint64_t _squashInvalidations = 0;
+};
+
+} // namespace imo::memory
+
+#endif // IMO_MEMORY_MSHR_HH

@@ -1,0 +1,81 @@
+#include "memory/timing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace imo::memory
+{
+
+TimingMemorySystem::TimingMemorySystem(const TimingMemoryParams &params)
+    : _params(params),
+      _mshrs(params.mshrs, params.fillCycles, params.extendedMshrLifetime),
+      _bankFree(params.banks, 0)
+{
+    fatal_if(params.banks == 0, "memory system needs at least one bank");
+    fatal_if(params.lineBytes == 0 ||
+             (params.lineBytes & (params.lineBytes - 1)),
+             "line size must be a power of two");
+}
+
+std::uint32_t
+TimingMemorySystem::bankOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr / _params.lineBytes) %
+                                      _bankFree.size());
+}
+
+MemRequestResult
+TimingMemorySystem::request(Addr addr, MemLevel level, Cycle now)
+{
+    MemRequestResult result;
+
+    // Primary-cache bank port: one access per bank per cycle.
+    const std::uint32_t bank = bankOf(addr);
+    if (_bankFree[bank] > now) {
+        ++_bankConflicts;
+        result.retryCycle = _bankFree[bank];
+        return result;
+    }
+
+    if (level == MemLevel::L1) {
+        _bankFree[bank] = now + 1;
+        result.accepted = true;
+        result.dataReady = now + _params.l1HitLatency;
+        return result;
+    }
+
+    // Miss: the fill completion time depends on the servicing level.
+    // Main-memory requests additionally contend for memory bandwidth
+    // (one access may begin per memBandwidth cycles).
+    Cycle begin = now;
+    Cycle data_ready;
+    if (level == MemLevel::L2) {
+        data_ready = now + _params.l2Latency;
+    } else {
+        begin = std::max(now, _nextMemSlot);
+        data_ready = begin + _params.memLatency;
+    }
+
+    const Addr line = addr & ~static_cast<Addr>(_params.lineBytes - 1);
+    const MshrAllocResult alloc = _mshrs.allocate(line, now, data_ready);
+    if (!alloc.accepted) {
+        result.retryCycle = alloc.retryCycle;
+        return result;
+    }
+
+    // Commit the memory-bandwidth slot only for a fresh (non-merged)
+    // main-memory access; merged requests ride the in-flight fill.
+    if (!alloc.merged && level == MemLevel::Memory) {
+        _memQueueCycles += begin - now;
+        _nextMemSlot = begin + _params.memBandwidth;
+    }
+
+    _bankFree[bank] = now + 1;
+    result.accepted = true;
+    result.dataReady = alloc.dataReady;
+    result.mshr = alloc.ref;
+    return result;
+}
+
+} // namespace imo::memory

@@ -1,0 +1,75 @@
+#include "pipeline/config.hh"
+
+namespace imo::pipeline
+{
+
+Cycle
+LatencyTable::forClass(isa::OpClass cls) const
+{
+    switch (cls) {
+      case isa::OpClass::IntAlu: return intAlu;
+      case isa::OpClass::IntMul: return intMul;
+      case isa::OpClass::IntDiv: return intDiv;
+      case isa::OpClass::FpAlu: return fpAlu;
+      case isa::OpClass::FpDiv: return fpDiv;
+      case isa::OpClass::FpSqrt: return fpSqrt;
+      default: return 1;
+    }
+}
+
+MachineConfig
+makeOutOfOrderConfig()
+{
+    MachineConfig c;
+    c.name = "ooo-r10k";
+    c.outOfOrder = true;
+    c.issueWidth = 4;
+    c.robSize = 32;
+    c.fus = FuPool{.intUnits = 2, .fpUnits = 2, .branchUnits = 1,
+                   .memUnits = 1};
+    c.lat = LatencyTable{.intAlu = 1, .intMul = 12, .intDiv = 76,
+                         .fpAlu = 2, .fpDiv = 15, .fpSqrt = 20};
+
+    c.l1 = memory::CacheGeometry{.sizeBytes = 32 * 1024, .lineBytes = 32,
+                                 .assoc = 2};
+    c.l2 = memory::CacheGeometry{.sizeBytes = 2 * 1024 * 1024,
+                                 .lineBytes = 32, .assoc = 2};
+    c.mem = memory::TimingMemoryParams{.lineBytes = 32,
+                                       .l1HitLatency = 2,
+                                       .l2Latency = 12,
+                                       .memLatency = 75,
+                                       .mshrs = 8,
+                                       .banks = 2,
+                                       .fillCycles = 4,
+                                       .memBandwidth = 20};
+    return c;
+}
+
+MachineConfig
+makeInOrderConfig()
+{
+    MachineConfig c;
+    c.name = "inorder-21164";
+    c.outOfOrder = false;
+    c.issueWidth = 4;
+    c.fus = FuPool{.intUnits = 2, .fpUnits = 2, .branchUnits = 1,
+                   .memUnits = 0};
+    c.lat = LatencyTable{.intAlu = 1, .intMul = 12, .intDiv = 76,
+                         .fpAlu = 4, .fpDiv = 17, .fpSqrt = 20};
+
+    c.l1 = memory::CacheGeometry{.sizeBytes = 8 * 1024, .lineBytes = 32,
+                                 .assoc = 1};
+    c.l2 = memory::CacheGeometry{.sizeBytes = 2 * 1024 * 1024,
+                                 .lineBytes = 32, .assoc = 4};
+    c.mem = memory::TimingMemoryParams{.lineBytes = 32,
+                                       .l1HitLatency = 2,
+                                       .l2Latency = 11,
+                                       .memLatency = 50,
+                                       .mshrs = 8,
+                                       .banks = 2,
+                                       .fillCycles = 4,
+                                       .memBandwidth = 20};
+    return c;
+}
+
+} // namespace imo::pipeline

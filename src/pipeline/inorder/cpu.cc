@@ -1,0 +1,256 @@
+#include "pipeline/inorder/cpu.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "branch/predictor.hh"
+#include "common/logging.hh"
+#include "isa/instruction.hh"
+#include "memory/timing.hh"
+#include "pipeline/timing_util.hh"
+
+namespace imo::pipeline
+{
+
+using isa::Op;
+using isa::OpClass;
+
+namespace
+{
+
+FuGroup
+groupOf(OpClass cls, const FuPool &fus)
+{
+    switch (cls) {
+      case OpClass::IntAlu: case OpClass::IntMul: case OpClass::IntDiv:
+        return FuGroup::Int;
+      case OpClass::FpAlu: case OpClass::FpDiv: case OpClass::FpSqrt:
+        return FuGroup::Fp;
+      case OpClass::Branch: case OpClass::Jump:
+        return FuGroup::Branch;
+      case OpClass::Load: case OpClass::Store: case OpClass::Prefetch:
+        return fus.memUnits == 0 ? FuGroup::Int : FuGroup::Mem;
+      default:
+        return FuGroup::None;
+    }
+}
+
+} // anonymous namespace
+
+InOrderCpu::InOrderCpu(const MachineConfig &config) : _config(config)
+{
+    fatal_if(config.outOfOrder,
+             "InOrderCpu given an out-of-order configuration '%s'",
+             config.name.c_str());
+}
+
+RunResult
+InOrderCpu::run(func::TraceSource &src)
+{
+    const MachineConfig &cfg = _config;
+
+    FetchEngine fetch(cfg.issueWidth, cfg.takenBranchBubble);
+    InOrderIssuePort port(cfg.issueWidth,
+                          {cfg.fus.intUnits, cfg.fus.fpUnits,
+                           cfg.fus.branchUnits,
+                           cfg.fus.memUnits ? cfg.fus.memUnits
+                                            : cfg.fus.intUnits,
+                           cfg.issueWidth});
+    GraduationLedger ledger(cfg.issueWidth);
+    memory::TimingMemorySystem mem(cfg.mem);
+    branch::TwoBitPredictor bimodal(cfg.predictorEntries);
+    branch::GsharePredictor gshare(cfg.predictorEntries);
+    auto predict_and_update = [&](InstAddr pc, bool taken) {
+        return cfg.useGshare ? gshare.predictAndUpdate(pc, taken)
+                             : bimodal.predictAndUpdate(pc, taken);
+    };
+
+    // Register scoreboard: when each value becomes available, and
+    // whether it is being produced by an in-flight primary-cache miss
+    // (for replay-trap emulation).
+    std::array<Cycle, isa::numUnifiedRegs> reg_ready{};
+    std::array<Cycle, isa::numUnifiedRegs> reg_miss_detect{};
+    std::array<bool, isa::numUnifiedRegs> reg_from_miss{};
+    Cycle cc_ready = 0;
+    Cycle mhrr_ready = 0;
+    Cycle last_issue = 0;
+
+    // A pipeline flush (replay trap, misprediction) squashes every
+    // younger in-flight instruction: none may issue before the refetch
+    // reaches the issue stage again.
+    Cycle issue_floor = 0;
+    auto flush_at = [&](Cycle refetch) {
+        fetch.gate(refetch);
+        issue_floor = std::max(issue_floor,
+                               refetch + cfg.frontendDepth);
+    };
+
+    RunResult res;
+    res.machine = cfg.name;
+    res.issueWidth = cfg.issueWidth;
+
+    func::TraceRecord r;
+    while (src.next(r)) {
+        const isa::Instruction &in = r.inst;
+        const OpClass cls = isa::opClass(in.op);
+
+        const Cycle fc = fetch.fetchNext();
+        Cycle earliest = std::max({fc + cfg.frontendDepth, last_issue,
+                                   issue_floor});
+
+        // Source operands (presence bits), with the 21164 replay trap:
+        // if this instruction would have issued inside a missing load's
+        // hit shadow, it is flushed and replayed, paying the penalty.
+        const Cycle base = earliest;
+        const isa::SrcRegs srcs = isa::srcRegs(in);
+        for (std::uint8_t i = 0; i < srcs.count; ++i) {
+            const std::uint8_t s = srcs.reg[i];
+            Cycle constraint = reg_ready[s];
+            if (reg_from_miss[s] && base < reg_miss_detect[s]) {
+                constraint = std::max(constraint,
+                                      reg_miss_detect[s] +
+                                      cfg.replayTrapPenalty);
+            }
+            earliest = std::max(earliest, constraint);
+        }
+        if (in.op == Op::BRMISS || in.op == Op::BRMISS2)
+            earliest = std::max(earliest, cc_ready);
+        if (in.op == Op::RETMH || in.op == Op::GETMHRR)
+            earliest = std::max(earliest, mhrr_ready);
+
+        const Cycle issue = port.reserve(groupOf(cls, cfg.fus), earliest);
+        last_issue = issue;
+
+        Cycle complete = issue + cfg.lat.forClass(cls);
+        bool cache_reason = false;
+
+        switch (cls) {
+          case OpClass::Load:
+          case OpClass::Store:
+          case OpClass::Prefetch: {
+            // Present the reference to the lockup-free memory system,
+            // retrying on structural hazards (bank/MSHR busy).
+            Cycle probe = issue;
+            memory::MemRequestResult mr;
+            for (;;) {
+                mr = mem.request(r.addr, r.level, probe);
+                if (mr.accepted)
+                    break;
+                probe = std::max(mr.retryCycle, probe + 1);
+            }
+            const Cycle miss_detect = probe + 1;
+            const bool missed = r.level != MemLevel::L1;
+
+            if (cls == OpClass::Load) {
+                complete = std::max(mr.dataReady, probe + 1);
+                cache_reason = missed;
+            } else {
+                // Stores and prefetches retire into the write buffer /
+                // MSHR without blocking graduation.
+                complete = probe + 1;
+            }
+
+            // An in-order machine issues memory operations
+            // non-speculatively, so the section-3.3 extended MSHR
+            // lifetime releases at completion (nothing can squash).
+            if (cfg.mem.extendedMshrLifetime && mr.mshr.valid())
+                mem.notifyGraduated(mr.mshr, complete);
+
+            if (isa::isDataRef(in.op)) {
+                ++res.dataRefs;
+                if (missed)
+                    ++res.l1Misses;
+                cc_ready = miss_detect;
+
+                const int rd = isa::dstReg(in);
+                if (rd >= 0) {
+                    reg_ready[rd] = complete;
+                    reg_from_miss[rd] = missed;
+                    reg_miss_detect[rd] = miss_detect;
+                }
+
+                if (r.trapped) {
+                    // Informing dispatch via the replay-trap mechanism:
+                    // flush and refetch from the handler.
+                    ++res.traps;
+                    mhrr_ready = miss_detect + 1;
+                    flush_at(miss_detect + cfg.replayTrapPenalty);
+                }
+            }
+            break;
+          }
+
+          case OpClass::Branch: {
+            const Cycle resolve = issue + 1;
+            complete = resolve;
+            if (in.op == Op::BRMISS ||
+                in.op == Op::BRMISS2) {
+                // Statically predicted not-taken (the common case is a
+                // hit); taken means a mispredict-style redirect.
+                ++res.condBranches;
+                if (r.taken) {
+                    mhrr_ready = resolve + 1;
+                    flush_at(resolve + cfg.redirectPenalty);
+                    ++res.mispredicts;
+                }
+            } else {
+                ++res.condBranches;
+                const bool correct = predict_and_update(r.pc, r.taken);
+                if (!correct) {
+                    ++res.mispredicts;
+                    flush_at(resolve + cfg.redirectPenalty);
+                } else if (r.taken) {
+                    fetch.redirectTaken(fc);
+                }
+            }
+            break;
+          }
+
+          case OpClass::Jump: {
+            complete = issue + 1;
+            if (in.op == Op::JR) {
+                // Register-indirect target resolves at execute.
+                flush_at(complete + cfg.redirectPenalty);
+            } else {
+                // J/JAL/RETMH targets are available in the front end.
+                fetch.redirectTaken(fc);
+            }
+            if (const int rd = isa::dstReg(in); rd >= 0) {
+                reg_ready[rd] = complete;
+                reg_from_miss[rd] = false;
+            }
+            break;
+          }
+
+          default: {
+            if (const int rd = isa::dstReg(in); rd >= 0) {
+                reg_ready[rd] = complete;
+                reg_from_miss[rd] = false;
+            }
+            if (in.op == Op::SETMHRR)
+                mhrr_ready = complete;
+            if (in.op == Op::GETMHRR) {
+                reg_ready[in.rd] = complete;
+                reg_from_miss[in.rd] = false;
+            }
+            break;
+          }
+        }
+
+        if (r.handlerCode)
+            ++res.handlerInstructions;
+
+        ledger.graduate(complete, cache_reason);
+    }
+
+    res.cycles = ledger.totalCycles();
+    res.instructions = ledger.graduated();
+    res.cacheStallSlots = ledger.cacheStallSlots();
+    res.otherStallSlots = ledger.otherStallSlots();
+    res.mshrFullRejects = mem.mshrFile().fullRejects();
+    res.bankConflicts = mem.bankConflicts();
+    res.squashInvalidations = mem.mshrFile().squashInvalidations();
+    return res;
+}
+
+} // namespace imo::pipeline

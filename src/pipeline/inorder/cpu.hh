@@ -1,0 +1,44 @@
+/**
+ * @file
+ * InOrderCpu: detailed timing model of a 4-issue in-order superscalar
+ * in the style of the Alpha 21164 (paper section 3.1).
+ *
+ * Key modeled behaviors:
+ *  - in-order issue with register presence bits (an instruction issues
+ *    only when its sources are ready, and blocks younger instructions);
+ *  - the 21164 replay trap: a consumer issued speculatively in a load's
+ *    hit shadow is replayed when the load misses, costing a pipeline
+ *    flush (replayTrapPenalty);
+ *  - informing miss traps implemented with the same replay-trap
+ *    machinery: on a miss of an informing reference, fetch redirects to
+ *    the handler at miss detection plus the replay penalty;
+ *  - 2-bit branch prediction with resolve-time misprediction redirects;
+ *  - the lockup-free memory system (banks, MSHRs, bandwidth).
+ */
+
+#ifndef IMO_PIPELINE_INORDER_CPU_HH
+#define IMO_PIPELINE_INORDER_CPU_HH
+
+#include "func/trace.hh"
+#include "pipeline/config.hh"
+#include "pipeline/result.hh"
+
+namespace imo::pipeline
+{
+
+/** The in-order timing model. */
+class InOrderCpu
+{
+  public:
+    explicit InOrderCpu(const MachineConfig &config);
+
+    /** Replay @p src to exhaustion and return the timing result. */
+    RunResult run(func::TraceSource &src);
+
+  private:
+    MachineConfig _config;
+};
+
+} // namespace imo::pipeline
+
+#endif // IMO_PIPELINE_INORDER_CPU_HH

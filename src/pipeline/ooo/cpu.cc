@@ -1,0 +1,326 @@
+#include "pipeline/ooo/cpu.hh"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "common/logging.hh"
+#include "isa/instruction.hh"
+#include "memory/timing.hh"
+#include "pipeline/timing_util.hh"
+
+namespace imo::pipeline
+{
+
+using isa::Op;
+using isa::OpClass;
+
+namespace
+{
+
+FuGroup
+groupOf(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: case OpClass::IntMul: case OpClass::IntDiv:
+        return FuGroup::Int;
+      case OpClass::FpAlu: case OpClass::FpDiv: case OpClass::FpSqrt:
+        return FuGroup::Fp;
+      case OpClass::Branch: case OpClass::Jump:
+        return FuGroup::Branch;
+      case OpClass::Load: case OpClass::Store: case OpClass::Prefetch:
+        return FuGroup::Mem;
+      default:
+        return FuGroup::None;
+    }
+}
+
+} // anonymous namespace
+
+OooCpu::OooCpu(const MachineConfig &config) : _config(config)
+{
+    fatal_if(!config.outOfOrder,
+             "OooCpu given an in-order configuration '%s'",
+             config.name.c_str());
+    fatal_if(config.robSize == 0, "reorder buffer must be nonempty");
+}
+
+RunResult
+OooCpu::run(func::TraceSource &src)
+{
+    const MachineConfig &cfg = _config;
+
+    FetchEngine fetch(cfg.issueWidth, cfg.takenBranchBubble);
+    InOrderIssuePort dispatch_port(
+        cfg.issueWidth,
+        {cfg.issueWidth, cfg.issueWidth, cfg.issueWidth, cfg.issueWidth,
+         cfg.issueWidth});
+    GraduationLedger ledger(cfg.issueWidth);
+    memory::TimingMemorySystem mem(cfg.mem);
+    branch::TwoBitPredictor bimodal(cfg.predictorEntries);
+    branch::GsharePredictor gshare(cfg.predictorEntries);
+    auto predict_and_update = [&](InstAddr pc, bool taken) {
+        return cfg.useGshare ? gshare.predictAndUpdate(pc, taken)
+                             : bimodal.predictAndUpdate(pc, taken);
+    };
+
+    SlotTable fu_int(cfg.fus.intUnits);
+    SlotTable fu_fp(cfg.fus.fpUnits);
+    SlotTable fu_br(cfg.fus.branchUnits);
+    SlotTable fu_mem(std::max<std::uint32_t>(cfg.fus.memUnits, 1));
+    auto fu_for = [&](FuGroup g) -> SlotTable * {
+        switch (g) {
+          case FuGroup::Int: return &fu_int;
+          case FuGroup::Fp: return &fu_fp;
+          case FuGroup::Branch: return &fu_br;
+          case FuGroup::Mem: return &fu_mem;
+          default: return nullptr;
+        }
+    };
+
+    // Renamed register file: availability time of the newest version.
+    std::array<Cycle, isa::numUnifiedRegs> reg_ready{};
+    Cycle cc_ready = 0;
+    Cycle mhrr_ready = 0;
+
+    // Reorder buffer occupancy: graduation cycle per slot.
+    std::vector<Cycle> grad_history(cfg.robSize, 0);
+
+    // Unresolved predicted branches (shadow-state checkpoints).
+    std::vector<Cycle> outstanding_branches;
+
+    RunResult res;
+    res.machine = cfg.name;
+    res.issueWidth = cfg.issueWidth;
+
+    const bool branch_style =
+        cfg.trapDispatch == TrapDispatch::BranchStyle;
+
+    std::uint64_t index = 0;
+    Cycle last_wrong_path_addr = 0;
+
+    func::TraceRecord r;
+    while (src.next(r)) {
+        const isa::Instruction &in = r.inst;
+        const OpClass cls = isa::opClass(in.op);
+        const FuGroup group = groupOf(cls);
+
+        const Cycle fc = fetch.fetchNext();
+        Cycle d = fc + cfg.frontendDepth;
+
+        // Reorder-buffer space: reuse the entry of the instruction
+        // robSize back, one cycle after it graduated.
+        if (index >= cfg.robSize) {
+            d = std::max(d, grad_history[index % cfg.robSize] + 1);
+        }
+        d = dispatch_port.reserve(FuGroup::None, d);
+
+        // Shadow-state checkpoints: conditional branches (and,
+        // optionally, informing references in branch-style mode)
+        // each hold one until they resolve.
+        const bool needs_checkpoint =
+            isa::isCondBranch(in.op) ||
+            (cfg.informingTakesCheckpoint && branch_style &&
+             isa::isDataRef(in.op) && in.informing);
+        if (needs_checkpoint && cfg.maxUnresolvedBranches > 0) {
+            std::erase_if(outstanding_branches,
+                          [d](Cycle c) { return c <= d; });
+            if (outstanding_branches.size() >=
+                cfg.maxUnresolvedBranches) {
+                const Cycle earliest = *std::min_element(
+                    outstanding_branches.begin(),
+                    outstanding_branches.end());
+                d = std::max(d, earliest);
+                std::erase_if(outstanding_branches,
+                              [d](Cycle c) { return c <= d; });
+            }
+        }
+
+        // Wakeup: true data dependences only (renaming removes WAR/WAW).
+        Cycle ready = d + 1;
+        const isa::SrcRegs srcs = isa::srcRegs(in);
+        for (std::uint8_t i = 0; i < srcs.count; ++i)
+            ready = std::max(ready, reg_ready[srcs.reg[i]]);
+        if (in.op == Op::BRMISS || in.op == Op::BRMISS2)
+            ready = std::max(ready, cc_ready);
+        if (in.op == Op::RETMH || in.op == Op::GETMHRR)
+            ready = std::max(ready, mhrr_ready);
+
+        SlotTable *fu = fu_for(group);
+        const Cycle issue = fu ? fu->reserve(ready) : ready;
+
+        Cycle complete = issue + cfg.lat.forClass(cls);
+        bool cache_reason = false;
+        Cycle resolve_for_checkpoint = 0;
+        memory::MshrRef mshr_ref;
+
+        switch (cls) {
+          case OpClass::Load:
+          case OpClass::Store:
+          case OpClass::Prefetch: {
+            Cycle probe = issue;
+            memory::MemRequestResult mr;
+            for (;;) {
+                mr = mem.request(r.addr, r.level, probe);
+                if (mr.accepted)
+                    break;
+                probe = std::max(mr.retryCycle, probe + 1);
+            }
+            const Cycle miss_detect = probe + 1;
+            const bool missed = r.level != MemLevel::L1;
+
+            if (cls == OpClass::Load) {
+                complete = std::max(mr.dataReady, probe + 1);
+                cache_reason = missed;
+            } else {
+                complete = probe + 1;
+            }
+            resolve_for_checkpoint = miss_detect;
+
+            if (isa::isDataRef(in.op)) {
+                ++res.dataRefs;
+                if (missed)
+                    ++res.l1Misses;
+                cc_ready = miss_detect;
+
+                const int rd = isa::dstReg(in);
+                if (rd >= 0)
+                    reg_ready[rd] = complete;
+
+                if (r.trapped) {
+                    ++res.traps;
+                    if (branch_style) {
+                        // Redirect like a mispredicted branch as soon
+                        // as the miss is detected.
+                        mhrr_ready = miss_detect + 1;
+                        fetch.gate(miss_detect + cfg.redirectPenalty);
+                    }
+                    // Exception-style dispatch is applied after this
+                    // instruction's graduation (below).
+                }
+
+                mshr_ref = mr.mshr;
+            } else {
+                // Prefetch: fire and forget.
+                complete = probe + 1;
+            }
+            break;
+          }
+
+          case OpClass::Branch: {
+            const Cycle resolve = issue + 1;
+            complete = resolve;
+            resolve_for_checkpoint = resolve;
+            ++res.condBranches;
+            if (in.op == Op::BRMISS ||
+                in.op == Op::BRMISS2) {
+                if (r.taken) {
+                    ++res.mispredicts;
+                    mhrr_ready = resolve + 1;
+                    fetch.gate(resolve + cfg.redirectPenalty);
+                }
+            } else {
+                const bool correct = predict_and_update(r.pc, r.taken);
+                if (!correct) {
+                    ++res.mispredicts;
+                    fetch.gate(resolve + cfg.redirectPenalty);
+                    if (_wrongPathProbes > 0) {
+                        // Inject squashed speculative line fetches past
+                        // the mispredicted branch (section 3.3). They
+                        // execute as soon as the wrong-path loads could
+                        // issue (right after dispatch) and are squashed
+                        // when the branch resolves; fills that complete
+                        // in between must be invalidated.
+                        for (std::uint32_t p = 0; p < _wrongPathProbes;
+                             ++p) {
+                            const Addr a = r.addr + 0x4000 +
+                                (++last_wrong_path_addr *
+                                 cfg.mem.lineBytes);
+                            memory::MemRequestResult wr = mem.request(
+                                a, MemLevel::L2, d + 1);
+                            if (wr.accepted && wr.mshr.valid())
+                                mem.notifySquashed(wr.mshr, resolve);
+                        }
+                    }
+                } else if (r.taken) {
+                    fetch.redirectTaken(fc);
+                }
+            }
+            break;
+          }
+
+          case OpClass::Jump: {
+            complete = issue + 1;
+            if (in.op == Op::JR) {
+                fetch.gate(complete + cfg.redirectPenalty);
+            } else {
+                fetch.redirectTaken(fc);
+            }
+            if (const int rd = isa::dstReg(in); rd >= 0)
+                reg_ready[rd] = complete;
+            break;
+          }
+
+          default: {
+            if (const int rd = isa::dstReg(in); rd >= 0)
+                reg_ready[rd] = complete;
+            if (in.op == Op::SETMHRR)
+                mhrr_ready = complete;
+            if (in.op == Op::GETMHRR)
+                reg_ready[in.rd] = complete;
+            break;
+          }
+        }
+
+        if (needs_checkpoint && cfg.maxUnresolvedBranches > 0)
+            outstanding_branches.push_back(resolve_for_checkpoint);
+
+        if (r.handlerCode)
+            ++res.handlerInstructions;
+
+        if (isa::isDataRef(in.op) && r.trapped && !branch_style) {
+            // Exception-style informing dispatch: postponed until the
+            // reference reaches the head of the reorder buffer (all
+            // older instructions have graduated) and its miss is known;
+            // the machine is then flushed and the handler fetched. The
+            // reference itself still graduates when its data returns,
+            // overlapping the handler.
+            const Cycle at_head =
+                std::max(resolve_for_checkpoint, ledger.lastCycle());
+            mhrr_ready = at_head + cfg.exceptionFlushPenalty;
+            fetch.gate(at_head + cfg.exceptionFlushPenalty);
+        }
+
+        const Cycle grad = ledger.graduate(complete + 1, cache_reason);
+        grad_history[index % cfg.robSize] = grad;
+
+        // With the extended MSHR lifetime of section 3.3, demand-miss
+        // entries stay pinned until the owning instruction graduates.
+        // (Wrong-path probes were squashed at resolve above.)
+        if (cfg.mem.extendedMshrLifetime && mshr_ref.valid())
+            mem.notifyGraduated(mshr_ref, grad);
+
+        // Periodically prune reservation bookkeeping behind the ROB.
+        if ((index & 0xfff) == 0 && index >= cfg.robSize) {
+            const Cycle frontier = grad_history[index % cfg.robSize];
+            fu_int.pruneBelow(frontier);
+            fu_fp.pruneBelow(frontier);
+            fu_br.pruneBelow(frontier);
+            fu_mem.pruneBelow(frontier);
+        }
+
+        ++index;
+    }
+
+    res.cycles = ledger.totalCycles();
+    res.instructions = ledger.graduated();
+    res.cacheStallSlots = ledger.cacheStallSlots();
+    res.otherStallSlots = ledger.otherStallSlots();
+    res.mshrFullRejects = mem.mshrFile().fullRejects();
+    res.bankConflicts = mem.bankConflicts();
+    res.squashInvalidations = mem.mshrFile().squashInvalidations();
+    return res;
+}
+
+} // namespace imo::pipeline

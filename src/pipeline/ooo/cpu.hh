@@ -1,0 +1,55 @@
+/**
+ * @file
+ * OooCpu: detailed timing model of a 4-issue out-of-order superscalar
+ * in the style of the MIPS R10000 (paper section 3.2).
+ *
+ * Key modeled behaviors:
+ *  - register renaming (dataflow issue: only true dependences stall);
+ *  - a 32-entry reorder buffer with in-order graduation, 4 per cycle;
+ *  - shadow-state branch checkpoints: at most maxUnresolvedBranches
+ *    predicted branches in flight; further branches stall dispatch;
+ *  - 2-bit branch prediction with resolve-time redirects;
+ *  - informing miss traps dispatched either branch-style (redirect at
+ *    miss detection) or exception-style (postponed until the informing
+ *    operation reaches the head of the reorder buffer and the machine
+ *    is flushed) -- the two alternatives the paper compares;
+ *  - the lockup-free memory system, optionally with the section-3.3
+ *    extended MSHR lifetime and wrong-path probe injection so that
+ *    squashed speculative fills are invalidated.
+ */
+
+#ifndef IMO_PIPELINE_OOO_CPU_HH
+#define IMO_PIPELINE_OOO_CPU_HH
+
+#include "func/trace.hh"
+#include "pipeline/config.hh"
+#include "pipeline/result.hh"
+
+namespace imo::pipeline
+{
+
+/** The out-of-order timing model. */
+class OooCpu
+{
+  public:
+    explicit OooCpu(const MachineConfig &config);
+
+    /**
+     * Enable wrong-path probe injection: on every branch misprediction,
+     * @p probes speculative line fetches are issued past the branch and
+     * squashed at resolve. Requires cfg.mem.extendedMshrLifetime to
+     * demonstrate the section-3.3 invalidation guarantee.
+     */
+    void setWrongPathProbes(std::uint32_t probes) { _wrongPathProbes = probes; }
+
+    /** Replay @p src to exhaustion and return the timing result. */
+    RunResult run(func::TraceSource &src);
+
+  private:
+    MachineConfig _config;
+    std::uint32_t _wrongPathProbes = 0;
+};
+
+} // namespace imo::pipeline
+
+#endif // IMO_PIPELINE_OOO_CPU_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The result of one detailed timing run.
+ */
+
+#ifndef IMO_PIPELINE_RESULT_HH
+#define IMO_PIPELINE_RESULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace imo::pipeline
+{
+
+/**
+ * Timing outcome plus the graduation-slot breakdown used by the
+ * paper's Figures 2-3 (busy / lost-to-cache-miss / lost-other).
+ */
+struct RunResult
+{
+    std::string machine;
+    std::string workload;
+
+    Cycle cycles = 0;
+    std::uint32_t issueWidth = 4;
+    std::uint64_t instructions = 0;       //!< graduated instructions
+    std::uint64_t handlerInstructions = 0;
+    std::uint64_t cacheStallSlots = 0;
+    std::uint64_t otherStallSlots = 0;
+
+    std::uint64_t dataRefs = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t traps = 0;              //!< informing dispatches
+    std::uint64_t condBranches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t mshrFullRejects = 0;
+    std::uint64_t bankConflicts = 0;
+    std::uint64_t squashInvalidations = 0;
+
+    std::uint64_t totalSlots() const { return cycles * issueWidth; }
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+
+    double
+    busyFraction() const
+    {
+        return totalSlots()
+            ? static_cast<double>(instructions) / totalSlots() : 0.0;
+    }
+
+    double
+    cacheStallFraction() const
+    {
+        return totalSlots()
+            ? static_cast<double>(cacheStallSlots) / totalSlots() : 0.0;
+    }
+
+    double
+    otherStallFraction() const
+    {
+        return totalSlots()
+            ? static_cast<double>(otherStallSlots) / totalSlots() : 0.0;
+    }
+};
+
+} // namespace imo::pipeline
+
+#endif // IMO_PIPELINE_RESULT_HH

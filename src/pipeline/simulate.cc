@@ -1,0 +1,30 @@
+#include "pipeline/simulate.hh"
+
+#include "pipeline/inorder/cpu.hh"
+#include "pipeline/ooo/cpu.hh"
+
+namespace imo::pipeline
+{
+
+RunResult
+simulate(const isa::Program &program, const MachineConfig &config,
+         func::ExecStats *exec_stats)
+{
+    func::Executor exec(program,
+                        func::Executor::Config{.l1 = config.l1,
+                                               .l2 = config.l2});
+    RunResult result;
+    if (config.outOfOrder) {
+        OooCpu cpu(config);
+        result = cpu.run(exec);
+    } else {
+        InOrderCpu cpu(config);
+        result = cpu.run(exec);
+    }
+    result.workload = program.name();
+    if (exec_stats)
+        *exec_stats = exec.stats();
+    return result;
+}
+
+} // namespace imo::pipeline

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * One-call simulation driver: functional execution (phase A) coupled
+ * to the detailed timing model (phase B) for a given machine.
+ */
+
+#ifndef IMO_PIPELINE_SIMULATE_HH
+#define IMO_PIPELINE_SIMULATE_HH
+
+#include "func/executor.hh"
+#include "isa/program.hh"
+#include "pipeline/config.hh"
+#include "pipeline/result.hh"
+
+namespace imo::pipeline
+{
+
+/**
+ * Execute @p program functionally against @p config's reference cache
+ * hierarchy while replaying it through the matching timing model.
+ *
+ * @return the timing result; @p exec_stats (optional) receives the
+ * functional-side statistics.
+ */
+RunResult simulate(const isa::Program &program,
+                   const MachineConfig &config,
+                   func::ExecStats *exec_stats = nullptr);
+
+} // namespace imo::pipeline
+
+#endif // IMO_PIPELINE_SIMULATE_HH

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Shared timing machinery for the pipeline models: the fetch engine,
+ * functional-unit reservation tables, in-order issue ports, and the
+ * graduation-slot ledger that produces the paper's Figure 2 breakdown.
+ */
+
+#ifndef IMO_PIPELINE_TIMING_UTIL_HH
+#define IMO_PIPELINE_TIMING_UTIL_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace imo::pipeline
+{
+
+/**
+ * Models instruction delivery: up to `width` instructions per cycle,
+ * with taken-transfer bubbles and redirect gates (mispredictions,
+ * informing-trap dispatches, exception drains).
+ */
+class FetchEngine
+{
+  public:
+    FetchEngine(std::uint32_t width, Cycle taken_bubble)
+        : _width(width), _bubble(taken_bubble)
+    {
+        panic_if(width == 0, "fetch width must be nonzero");
+    }
+
+    /** Allocate the next fetch slot. @return its cycle. */
+    Cycle
+    fetchNext()
+    {
+        if (_used == _width) {
+            ++_cycle;
+            _used = 0;
+        }
+        ++_used;
+        return _cycle;
+    }
+
+    /** No instruction may be fetched before @p cycle. */
+    void
+    gate(Cycle cycle)
+    {
+        if (cycle > _cycle) {
+            _cycle = cycle;
+            _used = 0;
+        }
+    }
+
+    /** A taken control transfer was fetched at @p fetch_cycle: the rest
+     *  of its fetch group is wasted and a bubble follows. */
+    void
+    redirectTaken(Cycle fetch_cycle)
+    {
+        gate(fetch_cycle + 1 + _bubble);
+    }
+
+    Cycle currentCycle() const { return _cycle; }
+
+  private:
+    std::uint32_t _width;
+    Cycle _bubble;
+    Cycle _cycle = 0;
+    std::uint32_t _used = 0;
+};
+
+/**
+ * Per-cycle capacity table for a fully pipelined functional-unit class
+ * in an out-of-order machine: reservations may probe arbitrary cycles,
+ * so occupancy is kept in an ordered map pruned behind the commit
+ * frontier.
+ */
+class SlotTable
+{
+  public:
+    explicit SlotTable(std::uint32_t units_per_cycle)
+        : _units(units_per_cycle)
+    {
+        panic_if(units_per_cycle == 0, "slot table with zero units");
+    }
+
+    /** Reserve the first cycle >= @p earliest with a free unit. */
+    Cycle
+    reserve(Cycle earliest)
+    {
+        Cycle c = earliest;
+        auto it = _used.lower_bound(c);
+        while (it != _used.end() && it->first == c &&
+               it->second >= _units) {
+            ++c;
+            ++it;
+        }
+        ++_used[c];
+        return c;
+    }
+
+    /** Drop bookkeeping for cycles below @p frontier. */
+    void
+    pruneBelow(Cycle frontier)
+    {
+        _used.erase(_used.begin(), _used.lower_bound(frontier));
+    }
+
+  private:
+    std::uint32_t _units;
+    std::map<Cycle, std::uint32_t> _used;
+};
+
+/** Functional-unit groups at issue time. */
+enum class FuGroup : std::uint8_t
+{
+    Int,
+    Fp,
+    Branch,
+    Mem,
+    None,   //!< only consumes an issue slot (NOP/HALT)
+    NumGroups
+};
+
+/**
+ * In-order issue bandwidth: a monotonic port enforcing the total issue
+ * width and per-group unit counts. Monotonicity holds because an
+ * in-order machine never issues a younger instruction before an older
+ * one.
+ */
+class InOrderIssuePort
+{
+  public:
+    InOrderIssuePort(std::uint32_t width,
+                     std::array<std::uint32_t,
+                                static_cast<std::size_t>(
+                                    FuGroup::NumGroups)> group_units)
+        : _width(width), _groupUnits(group_units)
+    {
+    }
+
+    /** Issue an op of @p group no earlier than @p earliest. */
+    Cycle
+    reserve(FuGroup group, Cycle earliest)
+    {
+        advanceTo(earliest);
+        const auto g = static_cast<std::size_t>(group);
+        while (_usedTotal >= _width ||
+               (group != FuGroup::None && _usedGroup[g] >= _groupUnits[g])) {
+            advanceTo(_cycle + 1);
+        }
+        ++_usedTotal;
+        if (group != FuGroup::None)
+            ++_usedGroup[g];
+        return _cycle;
+    }
+
+  private:
+    void
+    advanceTo(Cycle c)
+    {
+        if (c > _cycle) {
+            _cycle = c;
+            _usedTotal = 0;
+            _usedGroup.fill(0);
+        }
+    }
+
+    std::uint32_t _width;
+    std::array<std::uint32_t,
+               static_cast<std::size_t>(FuGroup::NumGroups)> _groupUnits;
+    Cycle _cycle = 0;
+    std::uint32_t _usedTotal = 0;
+    std::array<std::uint32_t,
+               static_cast<std::size_t>(FuGroup::NumGroups)> _usedGroup{};
+};
+
+/**
+ * Graduation accounting in the style of the paper's Figures 2-3: every
+ * cycle provides `width` graduation slots; each is either used by a
+ * graduating instruction, lost to the head instruction waiting on a
+ * data-cache miss ("cache stall"), or lost for any other reason.
+ */
+class GraduationLedger
+{
+  public:
+    explicit GraduationLedger(std::uint32_t width) : _width(width)
+    {
+        panic_if(width == 0, "graduation width must be nonzero");
+    }
+
+    /**
+     * Graduate the next instruction (program order), which is ready to
+     * leave the machine at @p ready. Lost slots in the gap are
+     * attributed to @p cache_reason.
+     * @return the graduation cycle.
+     */
+    Cycle
+    graduate(Cycle ready, bool cache_reason)
+    {
+        if (ready > _cycle) {
+            const std::uint64_t lost =
+                (_width - _used) + _width * (ready - _cycle - 1);
+            if (cache_reason)
+                _cacheStallSlots += lost;
+            _cycle = ready;
+            _used = 1;
+        } else if (_used == _width) {
+            ++_cycle;
+            _used = 1;
+        } else {
+            ++_used;
+        }
+        ++_graduated;
+        return _cycle;
+    }
+
+    /** Total cycles elapsed (the last graduation cycle + 1). */
+    Cycle
+    totalCycles() const
+    {
+        return _graduated ? _cycle + 1 : 0;
+    }
+
+    /** Cycle of the most recent graduation. */
+    Cycle lastCycle() const { return _cycle; }
+
+    std::uint64_t graduated() const { return _graduated; }
+    std::uint64_t cacheStallSlots() const { return _cacheStallSlots; }
+
+    /** Lost slots not attributed to cache stalls. */
+    std::uint64_t
+    otherStallSlots() const
+    {
+        const std::uint64_t total = totalCycles() * _width;
+        return total - _graduated - _cacheStallSlots;
+    }
+
+  private:
+    std::uint32_t _width;
+    Cycle _cycle = 0;
+    std::uint32_t _used = 0;
+    std::uint64_t _graduated = 0;
+    std::uint64_t _cacheStallSlots = 0;
+};
+
+} // namespace imo::pipeline
+
+#endif // IMO_PIPELINE_TIMING_UTIL_HH

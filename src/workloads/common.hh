@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared helpers for the synthetic SPEC92-like workload generators.
+ *
+ * Each generator emits a complete MRISC program whose memory footprint,
+ * access pattern, instruction mix and branch behavior are calibrated to
+ * reproduce the qualitative character of one SPEC92 benchmark as it
+ * appears in the paper's Figures 2-3 (see DESIGN.md for the
+ * substitution rationale).
+ *
+ * Register conventions: workload code uses integer registers r1-r23 and
+ * any FP registers. r24-r31 are reserved for miss-handler scratch.
+ */
+
+#ifndef IMO_WORKLOADS_COMMON_HH
+#define IMO_WORKLOADS_COMMON_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/builder.hh"
+
+namespace imo::workloads
+{
+
+/** Scaling and seeding knobs common to all generators. */
+struct WorkloadParams
+{
+    /** Multiplies each benchmark's outer iteration count. */
+    double scale = 1.0;
+    /** Seed for data-layout randomization (pointer graphs, contents). */
+    std::uint64_t seed = 0x5eed;
+};
+
+/** @return @p n scaled by @p params.scale, at least 1. */
+inline std::int64_t
+scaled(const WorkloadParams &params, std::int64_t n)
+{
+    const double v = static_cast<double>(n) * params.scale;
+    return v < 1.0 ? 1 : static_cast<std::int64_t>(v);
+}
+
+/**
+ * Open a counted loop: idx runs from 0 to count-1. The caller must
+ * close it with endCountedLoop using the returned label.
+ */
+inline isa::Label
+beginCountedLoop(isa::ProgramBuilder &b, std::uint8_t idx,
+                 std::uint8_t limit, std::int64_t count)
+{
+    b.li(idx, 0);
+    b.li(limit, count);
+    isa::Label top = b.newLabel();
+    b.bind(top);
+    return top;
+}
+
+/** Close a counted loop opened with beginCountedLoop. */
+inline void
+endCountedLoop(isa::ProgramBuilder &b, std::uint8_t idx,
+               std::uint8_t limit, isa::Label top, std::int64_t step = 1)
+{
+    b.addi(idx, idx, step);
+    b.blt(idx, limit, top);
+}
+
+/** @return @p words random 64-bit values. */
+inline std::vector<std::uint64_t>
+randomWords(Rng &rng, std::uint64_t words)
+{
+    std::vector<std::uint64_t> out(words);
+    for (auto &w : out)
+        w = rng.next();
+    return out;
+}
+
+/** @return @p count doubles in (lo, hi), bit-cast to words. */
+inline std::vector<std::uint64_t>
+randomDoubles(Rng &rng, std::uint64_t count, double lo, double hi)
+{
+    std::vector<std::uint64_t> out(count);
+    for (auto &w : out)
+        w = std::bit_cast<std::uint64_t>(lo + rng.real() * (hi - lo));
+    return out;
+}
+
+/**
+ * Build a random single-cycle successor permutation over @p nodes
+ * node indices (a Sattolo cycle), for pointer-chasing kernels.
+ */
+inline std::vector<std::uint32_t>
+randomCycle(Rng &rng, std::uint32_t nodes)
+{
+    std::vector<std::uint32_t> perm(nodes);
+    for (std::uint32_t i = 0; i < nodes; ++i)
+        perm[i] = i;
+    // Sattolo's algorithm yields one cycle covering every node.
+    for (std::uint32_t i = nodes - 1; i > 0; --i) {
+        const std::uint32_t j =
+            static_cast<std::uint32_t>(rng.below(i));
+        std::swap(perm[i], perm[j]);
+    }
+    std::vector<std::uint32_t> next(nodes);
+    for (std::uint32_t i = 0; i + 1 < nodes; ++i)
+        next[perm[i]] = perm[i + 1];
+    next[perm[nodes - 1]] = perm[0];
+    return next;
+}
+
+} // namespace imo::workloads
+
+#endif // IMO_WORKLOADS_COMMON_HH

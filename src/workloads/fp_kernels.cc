@@ -1,0 +1,485 @@
+/**
+ * @file
+ * The nine floating-point SPEC92-like workload generators.
+ */
+
+#include "workloads/suite.hh"
+
+#include "isa/builder.hh"
+
+namespace imo::workloads
+{
+
+using isa::fpReg;
+using isa::intReg;
+using isa::Label;
+using isa::ProgramBuilder;
+
+namespace
+{
+
+constexpr std::uint8_t r1 = intReg(1);
+constexpr std::uint8_t r2 = intReg(2);
+constexpr std::uint8_t r3 = intReg(3);
+constexpr std::uint8_t r4 = intReg(4);
+constexpr std::uint8_t r5 = intReg(5);
+constexpr std::uint8_t r6 = intReg(6);
+constexpr std::uint8_t r7 = intReg(7);
+constexpr std::uint8_t r8 = intReg(8);
+constexpr std::uint8_t r9 = intReg(9);
+constexpr std::uint8_t r11 = intReg(11);
+constexpr std::uint8_t r12 = intReg(12);
+
+constexpr std::uint8_t f1 = fpReg(1);
+constexpr std::uint8_t f2 = fpReg(2);
+constexpr std::uint8_t f3 = fpReg(3);
+constexpr std::uint8_t f4 = fpReg(4);
+constexpr std::uint8_t f5 = fpReg(5);
+constexpr std::uint8_t f6 = fpReg(6);
+constexpr std::uint8_t f7 = fpReg(7);
+constexpr std::uint8_t f8 = fpReg(8);
+
+} // anonymous namespace
+
+/*
+ * alvinn: neural-net training. Unit-stride streaming over a 512 KiB
+ * weight array multiplied against a small (cached) input vector.
+ * Sequential misses at line rate, all serviced by L2; highly
+ * predictable branches leave the out-of-order machine ample slack.
+ */
+isa::Program
+buildAlvinn(const WorkloadParams &params)
+{
+    ProgramBuilder b("alvinn");
+    Rng rng(params.seed ^ 0xa1);
+
+    const std::uint64_t weights = 64 * 1024;  // 512 KiB
+    const std::uint64_t inputs = 256;         // 2 KiB: stays in L1
+    const Addr w = b.allocData(weights, 64);
+    b.allocData(36, 8);  // de-alias the streams
+    const Addr x = b.allocData(inputs, 64);
+    b.initData(w, randomDoubles(rng, weights, -1.0, 1.0));
+    b.initData(x, randomDoubles(rng, inputs, 0.0, 1.0));
+
+    const std::int64_t epochs = scaled(params, 3);
+    Label outer = beginCountedLoop(b, r8, r9, epochs);
+    {
+        b.li(r2, static_cast<std::int64_t>(w));
+        b.li(r3, static_cast<std::int64_t>(x));
+        b.li(r4, 0);
+        Label top = beginCountedLoop(b, r1, r12,
+                                     static_cast<std::int64_t>(weights));
+        {
+            b.fld(f1, r2, 0);       // weight stream (misses at line rate)
+            b.add(r5, r3, r4);      // cycle through the resident inputs
+            b.fld(f2, r5, 0);       // input vector (L1 resident)
+            b.fmul(f3, f1, f2);
+            b.fadd(f4, f4, f3);     // activation accumulation
+            b.addi(r2, r2, 8);
+            b.addi(r4, r4, 8);
+            b.andi(r4, r4, (inputs - 1) * 8);
+        }
+        endCountedLoop(b, r1, r12, top);
+    }
+    endCountedLoop(b, r8, r9, outer);
+    b.halt();
+    return b.finish();
+}
+
+/*
+ * doduc: Monte-Carlo reactor simulation. Long-latency FP divide and
+ * square-root chains on a small resident state table; data-dependent
+ * branches driven by the random numbers. Almost no cache misses:
+ * stalls are dominated by FP latency.
+ */
+isa::Program
+buildDoduc(const WorkloadParams &params)
+{
+    ProgramBuilder b("doduc");
+    Rng rng(params.seed ^ 0xd0d);
+
+    const std::uint64_t state_words = 768;   // 6 KiB
+    const Addr state = b.allocData(state_words, 64);
+    b.initData(state, randomDoubles(rng, state_words, 0.5, 2.0));
+
+    b.li(r2, 0x9e3779b97f4a7c15); // LCG state
+    b.li(r3, 2862933555777941757);
+    b.li(r11, static_cast<std::int64_t>(state));
+    b.li(r6, 0);
+
+    Label top = beginCountedLoop(b, r1, r12, scaled(params, 7000));
+    {
+        // Draw a random sample and index the cross-section table.
+        b.mul(r2, r2, r3);
+        b.addi(r2, r2, 3037000493);
+        b.srl(r4, r2, 40);
+        b.andi(r4, r4, state_words - 1);
+        b.sll(r4, r4, 3);
+        b.add(r4, r4, r11);
+        b.fld(f1, r4, 0);
+
+        // Collision kernel: divide/sqrt dependence chain.
+        b.cvtif(f2, r2);
+        b.fmul(f2, f2, f1);
+        b.fdiv(f3, f1, f2);
+        b.fsqrt(f4, f3);
+        b.fadd(f5, f5, f4);
+
+        // Absorb or scatter?
+        Label scatter = b.newLabel();
+        b.andi(r5, r2, 7);
+        b.bne(r5, intReg(0), scatter);
+        b.fst(f5, r4, 0);          // absorption updates the table
+        b.addi(r6, r6, 1);
+        b.bind(scatter);
+    }
+    endCountedLoop(b, r1, r12, top);
+    b.halt();
+    return b.finish();
+}
+
+/*
+ * ear: human-ear model (filter bank). Streaming FIR over a 64 KiB
+ * signal with clustered taps and a 64 KiB output stream: two
+ * sequential reference streams missing at line rate into L2.
+ */
+isa::Program
+buildEar(const WorkloadParams &params)
+{
+    ProgramBuilder b("ear");
+    Rng rng(params.seed ^ 0xea2);
+
+    const std::uint64_t samples = 8 * 1024;  // 64 KiB per stream
+    const Addr in = b.allocData(samples + 8, 64);
+    b.allocData(44, 8);  // de-alias the streams
+    const Addr out = b.allocData(samples + 8, 64);
+    b.initData(in, randomDoubles(rng, samples + 8, -1.0, 1.0));
+
+    const std::int64_t passes = scaled(params, 6);
+    Label outer = beginCountedLoop(b, r8, r9, passes);
+    {
+        b.li(r2, static_cast<std::int64_t>(in));
+        b.li(r3, static_cast<std::int64_t>(out));
+        Label top = beginCountedLoop(b, r1, r12,
+                                     static_cast<std::int64_t>(samples));
+        {
+            b.fld(f1, r2, 0);      // four clustered taps: mostly one
+            b.fld(f2, r2, 8);      // line's worth of misses
+            b.fld(f3, r2, 16);
+            b.fld(f4, r2, 24);
+            b.fmul(f5, f1, f2);
+            b.fmul(f6, f3, f4);
+            b.fadd(f7, f5, f6);
+            b.fadd(f8, f8, f7);
+            b.fst(f7, r3, 0);
+            b.addi(r2, r2, 8);
+            b.addi(r3, r3, 8);
+        }
+        endCountedLoop(b, r1, r12, top);
+    }
+    endCountedLoop(b, r8, r9, outer);
+    b.halt();
+    return b.finish();
+}
+
+/*
+ * hydro2d: hydrodynamic relaxation. Row-major stencil over a
+ * 256 KiB grid into a second 256 KiB grid; the three active rows fit
+ * the 32 KiB L1 but fight for the 8 KiB direct-mapped one.
+ */
+isa::Program
+buildHydro2d(const WorkloadParams &params)
+{
+    ProgramBuilder b("hydro2d");
+    Rng rng(params.seed ^ 0x42d);
+
+    const std::uint64_t cols = 256;
+    const std::uint64_t rows = 128;
+    const std::uint64_t cells = rows * cols;     // 256 KiB
+    const Addr u = b.allocData(cells, 64);
+    b.allocData(52, 8);  // de-alias the grids
+    const Addr un = b.allocData(cells, 64);
+    b.initData(u, randomDoubles(rng, cells, 0.0, 1.0));
+
+    const std::int64_t row_bytes = cols * 8;
+    const std::int64_t sweeps = scaled(params, 2);
+    Label outer = beginCountedLoop(b, r8, r9, sweeps);
+    {
+        // Interior sweep, skipping the first row and last column.
+        b.li(r2, static_cast<std::int64_t>(u) + row_bytes);
+        b.li(r3, static_cast<std::int64_t>(un) + row_bytes);
+        const std::int64_t interior =
+            static_cast<std::int64_t>(cells - 2 * cols);
+        Label top = beginCountedLoop(b, r1, r12, interior);
+        {
+            b.fld(f1, r2, 0);              // center
+            b.fld(f2, r2, 8);              // east (same line mostly)
+            b.fld(f3, r2, -row_bytes);     // north (previous row)
+            b.fld(f4, r2, row_bytes);      // south (next row)
+            b.fadd(f5, f1, f2);
+            b.fadd(f6, f3, f4);
+            b.fadd(f5, f5, f6);
+            b.fmul(f5, f5, f7);            // relaxation weight
+            b.fst(f5, r3, 0);
+            b.addi(r2, r2, 8);
+            b.addi(r3, r3, 8);
+        }
+        endCountedLoop(b, r1, r12, top);
+    }
+    endCountedLoop(b, r8, r9, outer);
+    b.halt();
+    return b.finish();
+}
+
+/*
+ * mdljsp2: molecular dynamics. Sequential neighbor-index list gathered
+ * into a 64 KiB position array (scattered references), followed by a
+ * wide FP force kernel whose slack the out-of-order machine uses to
+ * hide the per-reference SETMHAR overhead (the paper's +30% dynamic
+ * instructions / +1% time observation).
+ */
+isa::Program
+buildMdljsp2(const WorkloadParams &params)
+{
+    ProgramBuilder b("mdljsp2");
+    Rng rng(params.seed ^ 0x3d1);
+
+    const std::uint64_t positions = 2 * 1024;  // 16 KiB
+    const std::uint64_t pairs = 8 * 1024;      // 64 KiB index list
+    const Addr pos = b.allocData(positions, 64);
+    b.allocData(36, 8);  // de-alias list and positions
+    const Addr idx = b.allocData(pairs, 64);
+    b.initData(pos, randomDoubles(rng, positions, 0.1, 4.0));
+    std::vector<std::uint64_t> pair_list(pairs);
+    for (auto &p : pair_list)
+        p = pos + 8 * rng.below(positions);
+    b.initData(idx, std::move(pair_list));
+
+    const std::int64_t steps = scaled(params, 3);
+    Label outer = beginCountedLoop(b, r8, r9, steps);
+    {
+        b.li(r2, static_cast<std::int64_t>(idx));
+        Label top = beginCountedLoop(b, r1, r12,
+                                     static_cast<std::int64_t>(pairs));
+        {
+            b.ld(r4, r2, 0);        // neighbor address (sequential)
+            b.fld(f1, r4, 0);       // gather (scattered: misses)
+            b.fsub(f2, f1, f6);     // displacement
+            b.fmul(f3, f2, f2);     // r^2
+            b.fmul(f4, f3, f2);     // r^3
+            b.fadd(f5, f3, f4);     // potential terms
+            b.fmul(f5, f5, f7);
+            b.fadd(f8, f8, f5);     // force accumulation
+            b.addi(r2, r2, 8);
+        }
+        endCountedLoop(b, r1, r12, top);
+    }
+    endCountedLoop(b, r8, r9, outer);
+    b.halt();
+    return b.finish();
+}
+
+/*
+ * ora: optical ray tracing. Pure register-resident FP: long
+ * sqrt/divide chains per ray with a tiny (512 B) lens table. The
+ * no-miss extreme of the suite: even 100-instruction handlers cost
+ * almost nothing because they are never invoked.
+ */
+isa::Program
+buildOra(const WorkloadParams &params)
+{
+    ProgramBuilder b("ora");
+    Rng rng(params.seed ^ 0x02a);
+
+    const std::uint64_t lens_words = 64;       // 512 B: L1 resident
+    const Addr lens = b.allocData(lens_words, 64);
+    b.initData(lens, randomDoubles(rng, lens_words, 1.1, 2.2));
+
+    b.li(r11, static_cast<std::int64_t>(lens));
+    b.li(r2, 0x243f6a8885a308d3);
+    b.li(r3, 6364136223846793005);
+
+    Label top = beginCountedLoop(b, r1, r12, scaled(params, 3500));
+    {
+        b.mul(r2, r2, r3);
+        b.addi(r2, r2, 1);
+        b.andi(r4, r2, (lens_words - 1) * 8);
+        b.and_(r4, r4, r2);
+        b.andi(r4, r4, (lens_words - 1) * 8);
+        b.add(r4, r4, r11);
+        b.fld(f1, r4, 0);          // lens surface (always L1 hit)
+
+        // Ray-surface intersection: the dependence chain the paper's
+        // "other stall" section is made of.
+        b.cvtif(f2, r2);
+        b.fmul(f2, f2, f1);
+        b.fsqrt(f3, f2);
+        b.fdiv(f4, f1, f3);
+        b.fadd(f5, f4, f1);
+        b.fsqrt(f6, f5);
+        b.fdiv(f7, f6, f3);
+        b.fmul(f8, f7, f7);
+        b.fadd(f8, f8, f4);
+    }
+    endCountedLoop(b, r1, r12, top);
+    b.halt();
+    return b.finish();
+}
+
+/*
+ * su2cor: quantum-chromodynamics correlation. The suite's pathological
+ * conflict case (paper Figure 3): two 64 KiB operand arrays placed
+ * exactly 16 KiB apart so they alias in the 8 KiB direct-mapped
+ * primary cache (every access conflicts) while the 32 KiB two-way
+ * cache keeps both streams resident; the result stream is laid out
+ * conflict-free.
+ */
+isa::Program
+buildSu2cor(const WorkloadParams &params)
+{
+    ProgramBuilder b("su2cor");
+    Rng rng(params.seed ^ 0x52c);
+
+    const std::uint64_t elems = 2 * 1024;       // 16 KiB per array
+    // Alias A and B in the direct-mapped cache: allocate a 16 KiB
+    // array, then place B exactly 16 KiB after A (power-of-two set
+    // aliasing in both primary caches' indexing).
+    const Addr a = b.allocData(4 * 1024 + elems, 4096);
+    const Addr bb = a + 16 * 1024;
+    // Pad so the result stream does not alias A/B in either cache.
+    b.allocData(40, 8);
+    const Addr c = b.allocData(elems, 8);
+    b.initData(a, randomDoubles(rng, elems, -1.0, 1.0));
+    b.initData(bb, randomDoubles(rng, elems, -1.0, 1.0));
+
+    const std::int64_t sweeps = scaled(params, 12);
+    Label outer = beginCountedLoop(b, r8, r9, sweeps);
+    {
+        b.li(r2, static_cast<std::int64_t>(a));
+        b.li(r3, static_cast<std::int64_t>(bb));
+        b.li(r4, static_cast<std::int64_t>(c));
+        Label top = beginCountedLoop(b, r1, r12,
+                                     static_cast<std::int64_t>(elems));
+        {
+            b.fld(f1, r2, 0);       // conflicts with B in direct-mapped
+            b.fld(f2, r3, 0);       // conflicts with A in direct-mapped
+            b.fmul(f3, f1, f2);     // propagator product
+            b.fadd(f4, f4, f3);
+            b.fst(f3, r4, 0);
+            b.addi(r2, r2, 8);
+            b.addi(r3, r3, 8);
+            b.addi(r4, r4, 8);
+        }
+        endCountedLoop(b, r1, r12, top);
+    }
+    endCountedLoop(b, r8, r9, outer);
+    b.halt();
+    return b.finish();
+}
+
+/*
+ * swm256: shallow-water model. Three 128 KiB grids swept with unit
+ * stride per timestep: straightforward streaming misses at line rate,
+ * easily overlapped by the out-of-order machine.
+ */
+isa::Program
+buildSwm256(const WorkloadParams &params)
+{
+    ProgramBuilder b("swm256");
+    Rng rng(params.seed ^ 0x5e256);
+
+    const std::uint64_t cells = 16 * 1024;      // 128 KiB per grid
+    const Addr u = b.allocData(cells, 64);
+    b.allocData(36, 8);  // de-alias the three grids
+    const Addr v = b.allocData(cells, 64);
+    b.allocData(44, 8);
+    const Addr p = b.allocData(cells, 64);
+    b.initData(u, randomDoubles(rng, cells, -1.0, 1.0));
+    b.initData(v, randomDoubles(rng, cells, -1.0, 1.0));
+    b.initData(p, randomDoubles(rng, cells, 0.5, 1.5));
+
+    const std::int64_t steps = scaled(params, 2);
+    Label outer = beginCountedLoop(b, r8, r9, steps);
+    {
+        b.li(r2, static_cast<std::int64_t>(u));
+        b.li(r3, static_cast<std::int64_t>(v));
+        b.li(r4, static_cast<std::int64_t>(p));
+        Label top = beginCountedLoop(b, r1, r12,
+                                     static_cast<std::int64_t>(cells));
+        {
+            b.fld(f1, r2, 0);
+            b.fld(f2, r3, 0);
+            b.fld(f3, r4, 0);
+            b.fmul(f4, f1, f3);     // momentum flux
+            b.fmul(f5, f2, f3);
+            b.fadd(f6, f4, f5);
+            b.fadd(f7, f7, f6);
+            b.fst(f6, r4, 0);       // update the height field
+            b.addi(r2, r2, 8);
+            b.addi(r3, r3, 8);
+            b.addi(r4, r4, 8);
+        }
+        endCountedLoop(b, r1, r12, top);
+    }
+    endCountedLoop(b, r8, r9, outer);
+    b.halt();
+    return b.finish();
+}
+
+/*
+ * tomcatv: mesh generation. Column-order traversal of two row-major
+ * 128 KiB coordinate grids: every reference touches a new line (1 KiB
+ * stride), so both primary caches miss on nearly every grid access --
+ * the high-cache-stall benchmark of Figure 2.
+ */
+isa::Program
+buildTomcatv(const WorkloadParams &params)
+{
+    ProgramBuilder b("tomcatv");
+    Rng rng(params.seed ^ 0x70c);
+
+    const std::uint64_t cols = 128;
+    const std::uint64_t rows = 128;
+    const std::uint64_t cells = rows * cols;    // 128 KiB per grid
+    const Addr x = b.allocData(cells, 64);
+    b.allocData(36, 8);  // de-alias the coordinate grids
+    const Addr y = b.allocData(cells, 64);
+    b.initData(x, randomDoubles(rng, cells, 0.0, 1.0));
+    b.initData(y, randomDoubles(rng, cells, 0.0, 1.0));
+
+    const std::int64_t row_bytes = cols * 8;
+    const std::int64_t sweeps = scaled(params, 3);
+    Label outer = beginCountedLoop(b, r8, r9, sweeps);
+    {
+        // for each column j: walk down the column (stride = row_bytes).
+        Label col_loop = beginCountedLoop(b, r5, r6,
+                                          static_cast<std::int64_t>(cols));
+        {
+            b.sll(r7, r5, 3);
+            b.li(r2, static_cast<std::int64_t>(x));
+            b.li(r3, static_cast<std::int64_t>(y));
+            b.add(r2, r2, r7);
+            b.add(r3, r3, r7);
+            Label row_loop = beginCountedLoop(
+                b, r1, r12, static_cast<std::int64_t>(rows - 1));
+            {
+                b.fld(f1, r2, 0);          // x(i,j): new line each time
+                b.fld(f2, r3, 0);          // y(i,j): new line each time
+                b.fld(f3, r2, row_bytes);  // x(i+1,j)
+                b.fsub(f4, f3, f1);        // residuals
+                b.fmul(f5, f4, f2);
+                b.fadd(f6, f6, f5);
+                b.fst(f5, r2, 0);
+                b.addi(r2, r2, row_bytes);
+                b.addi(r3, r3, row_bytes);
+            }
+            endCountedLoop(b, r1, r12, row_loop);
+        }
+        endCountedLoop(b, r5, r6, col_loop);
+    }
+    endCountedLoop(b, r8, r9, outer);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace imo::workloads

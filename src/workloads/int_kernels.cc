@@ -1,0 +1,308 @@
+/**
+ * @file
+ * The five integer SPEC92-like workload generators.
+ */
+
+#include "workloads/suite.hh"
+
+#include "isa/builder.hh"
+
+namespace imo::workloads
+{
+
+using isa::intReg;
+using isa::Label;
+using isa::ProgramBuilder;
+
+namespace
+{
+
+constexpr std::uint8_t r1 = intReg(1);
+constexpr std::uint8_t r2 = intReg(2);
+constexpr std::uint8_t r3 = intReg(3);
+constexpr std::uint8_t r4 = intReg(4);
+constexpr std::uint8_t r5 = intReg(5);
+constexpr std::uint8_t r6 = intReg(6);
+constexpr std::uint8_t r7 = intReg(7);
+constexpr std::uint8_t r8 = intReg(8);
+constexpr std::uint8_t r9 = intReg(9);
+constexpr std::uint8_t r10 = intReg(10);
+constexpr std::uint8_t r11 = intReg(11);
+constexpr std::uint8_t r12 = intReg(12);
+
+} // anonymous namespace
+
+/*
+ * compress: LZW-style coding. Character stream hashing into a code
+ * table. Modeled as an LCG-driven random lookup into a 512 KiB string
+ * table plus a read-modify-write of a 64 KiB hash bucket, separated by
+ * a data-dependent branch and a short "encoding" dependence chain.
+ * High primary-miss rate on both machines; misses mostly hit in L2.
+ */
+isa::Program
+buildCompress(const WorkloadParams &params)
+{
+    ProgramBuilder b("compress");
+    Rng rng(params.seed ^ 0xc0);
+
+    const std::uint64_t tbl_words = 64 * 1024;  // 512 KiB
+    const std::uint64_t ht_words = 8 * 1024;    // 64 KiB
+    const Addr tbl = b.allocData(tbl_words, 64);
+    b.allocData(44, 8);  // de-alias table and buckets
+    const Addr ht = b.allocData(ht_words, 64);
+    b.initData(tbl, randomWords(rng, tbl_words));
+
+    b.li(r2, 0x2545f4914f6cdd1d);            // mixing state
+    b.li(r10, static_cast<std::int64_t>(tbl));
+    b.li(r11, static_cast<std::int64_t>(ht));
+
+    Label top = beginCountedLoop(b, r1, r12, scaled(params, 22000));
+    {
+        // Next "input character": xorshift mixing (short chain).
+        b.srl(r3, r2, 13);
+        b.xor_(r2, r2, r3);
+        b.sll(r3, r2, 7);
+        b.xor_(r2, r2, r3);
+        b.addi(r2, r2, 0x9e37);
+
+        // String-table probe (random in 512 KiB: misses L1).
+        b.srl(r4, r2, 33);
+        b.andi(r4, r4, tbl_words - 1);
+        b.sll(r4, r4, 3);
+        b.add(r4, r4, r10);
+        b.ld(r5, r4, 0);
+
+        // Hash-bucket read-modify-write (64 KiB working set).
+        b.xor_(r6, r5, r2);
+        b.andi(r6, r6, ht_words - 1);
+        b.sll(r6, r6, 3);
+        b.add(r6, r6, r11);
+        b.ld(r7, r6, 0);
+        b.addi(r7, r7, 1);
+        b.st(r7, r6, 0);
+
+        // Data-dependent "code emitted?" branch (essentially random).
+        Label no_emit = b.newLabel();
+        b.andi(r8, r5, 1);
+        b.beq(r8, intReg(0), no_emit);
+        b.xor_(r9, r9, r5);
+        b.srl(r9, r9, 1);
+        b.bind(no_emit);
+
+        // Encoding chain: dependent shifts/adds on the fetched code.
+        b.srl(r5, r5, 7);
+        b.add(r9, r9, r5);
+        b.sll(r5, r5, 2);
+        b.xor_(r9, r9, r5);
+        b.addi(r9, r9, 3);
+    }
+    endCountedLoop(b, r1, r12, top);
+    b.halt();
+    return b.finish();
+}
+
+/*
+ * eqntott: boolean-equation truth-table comparison. Two 128 KiB bit
+ * vectors scanned word-wise with an almost-always-equal compare branch;
+ * the scan is repeated so the vectors never fit the primary caches.
+ */
+isa::Program
+buildEqntott(const WorkloadParams &params)
+{
+    ProgramBuilder b("eqntott");
+    Rng rng(params.seed ^ 0xe91);
+
+    const std::uint64_t words = 768;        // 6 KiB each
+    const Addr va = b.allocData(words, 64);
+    b.allocData(36, 8);  // de-alias the two vectors
+    const Addr vb = b.allocData(words, 64);
+    auto contents = randomWords(rng, words);
+    b.initData(va, contents);
+    // Make ~1/16 of the words differ so the compare branch is biased.
+    for (auto &w : contents) {
+        if (rng.chance(1.0 / 16.0))
+            w ^= rng.next();
+    }
+    b.initData(vb, std::move(contents));
+
+    const std::int64_t sweeps = scaled(params, 40);
+    Label outer = beginCountedLoop(b, r8, r9, sweeps);
+    {
+        b.li(r2, static_cast<std::int64_t>(va));
+        b.li(r3, static_cast<std::int64_t>(vb));
+        Label top = beginCountedLoop(b, r1, r12,
+                                     static_cast<std::int64_t>(words));
+        {
+            b.ld(r4, r2, 0);
+            b.ld(r5, r3, 0);
+            Label same = b.newLabel();
+            b.beq(r4, r5, same);
+            // Mismatch path: record the difference.
+            b.xor_(r6, r4, r5);
+            b.or_(r7, r7, r6);
+            b.addi(r10, r10, 1);
+            b.bind(same);
+            b.addi(r2, r2, 8);
+            b.addi(r3, r3, 8);
+        }
+        endCountedLoop(b, r1, r12, top);
+    }
+    endCountedLoop(b, r8, r9, outer);
+    b.halt();
+    return b.finish();
+}
+
+/*
+ * espresso: logic minimization. A 16 KiB cube table revisited with a
+ * mixing stride; heavy data-dependent branching on fetched bits. The
+ * working set fits the 32 KiB out-of-order L1 but not the 8 KiB
+ * direct-mapped in-order L1.
+ */
+isa::Program
+buildEspresso(const WorkloadParams &params)
+{
+    ProgramBuilder b("espresso");
+    Rng rng(params.seed ^ 0xe59);
+
+    const std::uint64_t words = 2 * 1024;   // 16 KiB
+    const Addr tbl = b.allocData(words, 64);
+    b.initData(tbl, randomWords(rng, words));
+
+    b.li(r10, static_cast<std::int64_t>(tbl));
+    b.li(r2, 0);                  // cube index
+    b.li(r3, 0);                  // covered-count accumulator
+
+    Label top = beginCountedLoop(b, r1, r12, scaled(params, 30000));
+    {
+        // Mixing stride through the table (prime to the size).
+        b.addi(r2, r2, 563);
+        b.andi(r2, r2, words - 1);
+        b.sll(r4, r2, 3);
+        b.add(r4, r4, r10);
+        b.ld(r5, r4, 0);
+
+        // Cube containment checks: three data-dependent branches.
+        Label l1 = b.newLabel(), l2 = b.newLabel(), l3 = b.newLabel();
+        b.andi(r6, r5, 1);
+        b.beq(r6, intReg(0), l1);
+        b.addi(r3, r3, 1);
+        b.bind(l1);
+        b.andi(r6, r5, 6);
+        b.beq(r6, intReg(0), l2);
+        b.xor_(r7, r7, r5);
+        b.srl(r7, r7, 2);
+        b.bind(l2);
+        b.slti(r6, r5, 0);
+        b.beq(r6, intReg(0), l3);
+        // Raise/lower: write the cube back occasionally.
+        b.or_(r5, r5, r7);
+        b.st(r5, r4, 0);
+        b.bind(l3);
+        b.add(r8, r8, r5);
+    }
+    endCountedLoop(b, r1, r12, top);
+    b.halt();
+    return b.finish();
+}
+
+/*
+ * sc: spreadsheet recalculation. Serial pointer chase through a 64 KiB
+ * cell list in random order (dependence-bound), reading each cell's
+ * value; the chase dominates, so cache stalls are the critical path.
+ */
+isa::Program
+buildSc(const WorkloadParams &params)
+{
+    ProgramBuilder b("sc");
+    Rng rng(params.seed ^ 0x5cu);
+
+    const std::uint32_t nodes = 1280;       // x 32 B = 40 KiB
+    const std::uint64_t node_words = 4;
+    const Addr heap = b.allocData(nodes * node_words, 64);
+
+    const auto next = randomCycle(rng, nodes);
+    std::vector<std::uint64_t> image(nodes * node_words, 0);
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+        image[i * node_words + 0] = heap + next[i] * node_words * 8;
+        image[i * node_words + 1] = rng.next();
+    }
+    b.initData(heap, std::move(image));
+
+    b.li(r2, static_cast<std::int64_t>(heap));  // current cell
+    Label top = beginCountedLoop(b, r1, r12, scaled(params, 45000));
+    {
+        b.ld(r4, r2, 8);          // cell value
+        b.add(r5, r5, r4);        // accumulate the recalculation
+        Label skip = b.newLabel();
+        b.andi(r6, r4, 3);
+        b.bne(r6, intReg(0), skip);
+        b.xor_(r5, r5, r2);       // rare formula path
+        b.bind(skip);
+        b.ld(r2, r2, 0);          // chase to the next cell (serial)
+    }
+    endCountedLoop(b, r1, r12, top);
+    b.halt();
+    return b.finish();
+}
+
+/*
+ * xlisp: lisp interpreter. Random walk over a 24 KiB cons-cell heap
+ * choosing car/cdr by the cell value (unpredictable branch), with a
+ * short "eval" procedure call every iteration (JAL/JR traffic).
+ */
+isa::Program
+buildXlisp(const WorkloadParams &params)
+{
+    ProgramBuilder b("xlisp");
+    Rng rng(params.seed ^ 0x115b);
+
+    const std::uint32_t cells = 768;        // x 32 B = 24 KiB
+    const std::uint64_t cell_words = 4;
+    const Addr heap = b.allocData(cells * cell_words, 64);
+
+    std::vector<std::uint64_t> image(cells * cell_words, 0);
+    for (std::uint32_t i = 0; i < cells; ++i) {
+        const std::uint32_t car =
+            static_cast<std::uint32_t>(rng.below(cells));
+        const std::uint32_t cdr =
+            static_cast<std::uint32_t>(rng.below(cells));
+        image[i * cell_words + 0] = heap + car * cell_words * 8;
+        image[i * cell_words + 1] = heap + cdr * cell_words * 8;
+        image[i * cell_words + 2] = rng.next();
+    }
+    b.initData(heap, std::move(image));
+
+    // Skip over the "eval" procedure to the main loop.
+    Label entry = b.newLabel();
+    Label eval_fn = b.newLabel();
+    b.j(entry);
+
+    // eval: a short leaf procedure mixing the accumulator.
+    b.bind(eval_fn);
+    b.xor_(r7, r7, r5);
+    b.srl(r7, r7, 3);
+    b.add(r7, r7, r4);
+    b.jr(r9);
+
+    b.bind(entry);
+    b.li(r2, static_cast<std::int64_t>(heap));
+    Label top = beginCountedLoop(b, r1, r12, scaled(params, 24000));
+    {
+        b.ld(r4, r2, 16);         // cell value
+        Label take_cdr = b.newLabel(), walked = b.newLabel();
+        b.andi(r5, r4, 1);
+        b.beq(r5, intReg(0), take_cdr);
+        b.ld(r2, r2, 0);          // car
+        b.j(walked);
+        b.bind(take_cdr);
+        b.ld(r2, r2, 8);          // cdr
+        b.bind(walked);
+        b.jal(r9, eval_fn);       // eval the node
+        b.add(r6, r6, r4);
+    }
+    endCountedLoop(b, r1, r12, top);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace imo::workloads

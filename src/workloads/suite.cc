@@ -1,0 +1,72 @@
+#include "workloads/suite.hh"
+
+#include "common/logging.hh"
+
+namespace imo::workloads
+{
+
+const std::vector<BenchmarkInfo> &
+suite()
+{
+    static const std::vector<BenchmarkInfo> benchmarks = {
+        {"compress", false,
+         "LZW coding: random table probes + hash read-modify-write",
+         buildCompress},
+        {"eqntott", false,
+         "truth-table comparison: streaming word compares",
+         buildEqntott},
+        {"espresso", false,
+         "logic minimization: resident cube table, branchy",
+         buildEspresso},
+        {"sc", false,
+         "spreadsheet: serial pointer chase over a 64 KiB cell list",
+         buildSc},
+        {"xlisp", false,
+         "lisp interpreter: cons-heap walk with call traffic",
+         buildXlisp},
+        {"alvinn", true,
+         "neural net: unit-stride weight streaming, cached inputs",
+         buildAlvinn},
+        {"doduc", true,
+         "Monte Carlo: divide/sqrt chains, resident state",
+         buildDoduc},
+        {"ear", true,
+         "ear model: streaming FIR filter bank", buildEar},
+        {"hydro2d", true,
+         "hydrodynamics: row-major 5-point stencil", buildHydro2d},
+        {"mdljsp2", true,
+         "molecular dynamics: index-list gather + force kernel",
+         buildMdljsp2},
+        {"ora", true,
+         "ray tracing: register-resident sqrt/divide chains",
+         buildOra},
+        {"su2cor", true,
+         "QCD: pathological direct-mapped cache conflicts",
+         buildSu2cor},
+        {"swm256", true,
+         "shallow water: three-grid unit-stride sweeps", buildSwm256},
+        {"tomcatv", true,
+         "mesh generation: column-order grid traversal", buildTomcatv},
+    };
+    return benchmarks;
+}
+
+const BenchmarkInfo *
+find(const std::string &name)
+{
+    for (const BenchmarkInfo &info : suite()) {
+        if (info.name == name)
+            return &info;
+    }
+    return nullptr;
+}
+
+isa::Program
+build(const std::string &name, const WorkloadParams &params)
+{
+    const BenchmarkInfo *info = find(name);
+    fatal_if(!info, "unknown benchmark '%s'", name.c_str());
+    return info->build(params);
+}
+
+} // namespace imo::workloads

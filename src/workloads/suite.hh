@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Registry of the 14 synthetic SPEC92-like benchmarks (5 integer,
+ * 9 floating point) used by the paper's evaluation.
+ */
+
+#ifndef IMO_WORKLOADS_SUITE_HH
+#define IMO_WORKLOADS_SUITE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "workloads/common.hh"
+
+namespace imo::workloads
+{
+
+/** One registered benchmark generator. */
+struct BenchmarkInfo
+{
+    std::string name;
+    bool floatingPoint = false;
+    std::string description;
+    std::function<isa::Program(const WorkloadParams &)> build;
+};
+
+/** @return all 14 benchmarks in the paper's presentation order. */
+const std::vector<BenchmarkInfo> &suite();
+
+/** @return the entry named @p name, or nullptr. */
+const BenchmarkInfo *find(const std::string &name);
+
+/** Build the benchmark named @p name. Aborts on unknown names. */
+isa::Program build(const std::string &name,
+                   const WorkloadParams &params = {});
+
+// Integer benchmarks.
+isa::Program buildCompress(const WorkloadParams &params);
+isa::Program buildEqntott(const WorkloadParams &params);
+isa::Program buildEspresso(const WorkloadParams &params);
+isa::Program buildSc(const WorkloadParams &params);
+isa::Program buildXlisp(const WorkloadParams &params);
+
+// Floating-point benchmarks.
+isa::Program buildAlvinn(const WorkloadParams &params);
+isa::Program buildDoduc(const WorkloadParams &params);
+isa::Program buildEar(const WorkloadParams &params);
+isa::Program buildHydro2d(const WorkloadParams &params);
+isa::Program buildMdljsp2(const WorkloadParams &params);
+isa::Program buildOra(const WorkloadParams &params);
+isa::Program buildSu2cor(const WorkloadParams &params);
+isa::Program buildSwm256(const WorkloadParams &params);
+isa::Program buildTomcatv(const WorkloadParams &params);
+
+} // namespace imo::workloads
+
+#endif // IMO_WORKLOADS_SUITE_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the 2-bit saturating-counter predictor and the BTB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+
+namespace
+{
+
+using namespace imo;
+using namespace imo::branch;
+
+TEST(TwoBit, InitiallyPredictsNotTaken)
+{
+    TwoBitPredictor p(16);
+    EXPECT_FALSE(p.predict(0));
+}
+
+TEST(TwoBit, OneTakenFlipsWeaklyNotTaken)
+{
+    // Counters initialize to 1 (weakly not-taken): a single taken
+    // outcome crosses the threshold.
+    TwoBitPredictor p(16);
+    p.update(4, true);
+    EXPECT_TRUE(p.predict(4));
+    p.update(4, false);
+    EXPECT_FALSE(p.predict(4));
+}
+
+TEST(TwoBit, HysteresisSurvivesOneNotTaken)
+{
+    TwoBitPredictor p(16);
+    for (int i = 0; i < 4; ++i)
+        p.update(4, true);       // saturate at 3
+    p.update(4, false);
+    EXPECT_TRUE(p.predict(4));   // still predicts taken
+    p.update(4, false);
+    EXPECT_FALSE(p.predict(4));
+}
+
+TEST(TwoBit, CountersSaturate)
+{
+    TwoBitPredictor p(16);
+    for (int i = 0; i < 100; ++i)
+        p.update(8, false);
+    p.update(8, true);
+    p.update(8, true);
+    EXPECT_TRUE(p.predict(8));   // 0 -> 2 after two takens
+}
+
+TEST(TwoBit, AliasedPcsShareCounters)
+{
+    TwoBitPredictor p(16);
+    p.update(1, true);
+    p.update(17, true);          // same index (mod 16)
+    EXPECT_TRUE(p.predict(1));
+}
+
+TEST(TwoBit, LoopBranchAccuracyHigh)
+{
+    // A loop back-edge taken 99 times then not taken, repeated: a
+    // 2-bit counter should mispredict ~2 per 100.
+    TwoBitPredictor p(1024);
+    std::uint64_t before = 0;
+    for (int rep = 0; rep < 50; ++rep) {
+        for (int i = 0; i < 99; ++i)
+            p.predictAndUpdate(12, true);
+        p.predictAndUpdate(12, false);
+    }
+    (void)before;
+    EXPECT_GT(p.accuracy(), 0.95);
+    EXPECT_LT(p.accuracy(), 1.0);
+}
+
+TEST(TwoBit, AlternatingBranchAccuracyLow)
+{
+    TwoBitPredictor p(1024);
+    bool taken = false;
+    for (int i = 0; i < 1000; ++i) {
+        p.predictAndUpdate(12, taken);
+        taken = !taken;
+    }
+    EXPECT_LT(p.accuracy(), 0.7);
+}
+
+TEST(TwoBit, StatsCountLookups)
+{
+    TwoBitPredictor p(16);
+    p.predictAndUpdate(0, true);
+    p.predictAndUpdate(0, true);
+    EXPECT_EQ(p.lookups(), 2u);
+}
+
+TEST(Gshare, InitiallyPredictsNotTaken)
+{
+    GsharePredictor p(64, 4);
+    EXPECT_FALSE(p.predict(0));
+}
+
+TEST(Gshare, LearnsHistoryCorrelatedPattern)
+{
+    // Alternating branch: hopeless for 2-bit counters, learnable with
+    // one bit of history.
+    TwoBitPredictor bimodal(1024);
+    GsharePredictor gshare(1024, 8);
+    bool taken = false;
+    for (int i = 0; i < 2000; ++i) {
+        bimodal.predictAndUpdate(12, taken);
+        gshare.predictAndUpdate(12, taken);
+        taken = !taken;
+    }
+    EXPECT_LT(bimodal.accuracy(), 0.7);
+    EXPECT_GT(gshare.accuracy(), 0.95);
+}
+
+TEST(Gshare, MatchesBimodalOnBiasedBranches)
+{
+    TwoBitPredictor bimodal(1024);
+    GsharePredictor gshare(1024, 8);
+    for (int i = 0; i < 2000; ++i) {
+        bimodal.predictAndUpdate(40, true);
+        gshare.predictAndUpdate(40, true);
+    }
+    EXPECT_GT(bimodal.accuracy(), 0.99);
+    EXPECT_GT(gshare.accuracy(), 0.95);
+}
+
+TEST(Gshare, StatsCountLookups)
+{
+    GsharePredictor p(64, 4);
+    p.predictAndUpdate(1, true);
+    p.predictAndUpdate(2, false);
+    EXPECT_EQ(p.lookups(), 2u);
+}
+
+TEST(Btb, MissWhenEmpty)
+{
+    Btb b(64);
+    EXPECT_EQ(b.lookup(10), -1);
+}
+
+TEST(Btb, HitAfterUpdate)
+{
+    Btb b(64);
+    b.update(10, 500);
+    EXPECT_EQ(b.lookup(10), 500);
+}
+
+TEST(Btb, ConflictEvicts)
+{
+    Btb b(64);
+    b.update(10, 500);
+    b.update(10 + 64, 900);      // same slot
+    EXPECT_EQ(b.lookup(10), -1);
+    EXPECT_EQ(b.lookup(10 + 64), 900);
+}
+
+} // namespace

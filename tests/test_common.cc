@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG, stats, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace
+{
+
+using imo::Rng;
+using imo::TextTable;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(9);
+    std::array<int, 8> hits{};
+    for (int i = 0; i < 8000; ++i)
+        ++hits[r.below(8)];
+    for (int h : hits) {
+        EXPECT_GT(h, 700);
+        EXPECT_LT(h, 1300);
+    }
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.real();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Stats, CounterBasics)
+{
+    imo::stats::StatGroup g("g");
+    imo::stats::Counter c(g, "c", "a counter");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageComputesMean)
+{
+    imo::stats::StatGroup g("g");
+    imo::stats::Average a(g, "a", "an average");
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, AverageEmptyIsZero)
+{
+    imo::stats::StatGroup g("g");
+    imo::stats::Average a(g, "a", "an average");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    imo::stats::StatGroup g("g");
+    imo::stats::Histogram h(g, "h", "a histogram", 4, 10);
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(35);
+    h.sample(1000);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Stats, GroupDumpContainsAllStats)
+{
+    imo::stats::StatGroup root("cpu");
+    imo::stats::StatGroup child("fetch", &root);
+    imo::stats::Counter a(root, "cycles", "total cycles");
+    imo::stats::Counter b(child, "bubbles", "fetch bubbles");
+    a += 12;
+    b += 3;
+    std::ostringstream os;
+    root.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("cpu.cycles 12"), std::string::npos);
+    EXPECT_NE(out.find("cpu.fetch.bubbles 3"), std::string::npos);
+}
+
+TEST(Stats, GroupResetAllRecurses)
+{
+    imo::stats::StatGroup root("r");
+    imo::stats::StatGroup child("c", &root);
+    imo::stats::Counter a(root, "a", "");
+    imo::stats::Counter b(child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Table, AlignedOutput)
+{
+    TextTable t("demo");
+    t.header({"name", "value"});
+    t.row({"x", "1"});
+    t.row({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+} // namespace

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the instrumentation passes that turn a program into the
+ * paper's N / S / U / CC configurations with generic miss handlers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/informing.hh"
+#include "func/executor.hh"
+#include "isa/builder.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace imo;
+using namespace imo::isa;
+using core::GenericHandlerParams;
+using core::InformingMode;
+using imo::func::Executor;
+
+Executor::Config
+smallConfig()
+{
+    return Executor::Config{
+        .l1 = {.sizeBytes = 1024, .lineBytes = 32, .assoc = 1},
+        .l2 = {.sizeBytes = 8192, .lineBytes = 32, .assoc = 2}};
+}
+
+/** A little workload with loops, branches over refs, and both files. */
+Program
+sampleProgram()
+{
+    ProgramBuilder b("sample");
+    const Addr buf = b.allocData(512, 64);
+    b.li(intReg(1), static_cast<std::int64_t>(buf));
+    b.li(intReg(2), 0);
+    b.li(intReg(3), 64);
+    Label top = b.newLabel(), skip = b.newLabel();
+    b.bind(top);
+    b.ld(intReg(4), intReg(1), 0);
+    b.andi(intReg(5), intReg(4), 1);
+    b.beq(intReg(5), intReg(0), skip);
+    b.st(intReg(4), intReg(1), 2048);
+    b.bind(skip);
+    b.fld(fpReg(1), intReg(1), 8);
+    b.fadd(fpReg(2), fpReg(2), fpReg(1));
+    b.addi(intReg(1), intReg(1), 32);
+    b.addi(intReg(2), intReg(2), 1);
+    b.blt(intReg(2), intReg(3), top);
+    b.halt();
+    return b.finish();
+}
+
+TEST(Instrument, NoneIsIdentityPlusName)
+{
+    Program base = sampleProgram();
+    Program n = core::instrument(base, InformingMode::None, {});
+    EXPECT_EQ(n.size(), base.size());
+    EXPECT_EQ(n.name(), "sample.N");
+}
+
+TEST(Instrument, ModeNames)
+{
+    EXPECT_STREQ(core::informingModeName(InformingMode::None), "N");
+    EXPECT_STREQ(core::informingModeName(InformingMode::TrapSingle), "S");
+    EXPECT_STREQ(core::informingModeName(InformingMode::TrapUnique), "U");
+    EXPECT_STREQ(core::informingModeName(InformingMode::CondCode), "CC");
+}
+
+TEST(Instrument, PerRefOverheadCosts)
+{
+    EXPECT_EQ(core::perRefOverheadInsts(InformingMode::None), 0u);
+    EXPECT_EQ(core::perRefOverheadInsts(InformingMode::TrapSingle), 0u);
+    EXPECT_EQ(core::perRefOverheadInsts(InformingMode::TrapUnique), 1u);
+    EXPECT_EQ(core::perRefOverheadInsts(InformingMode::CondCode), 1u);
+}
+
+TEST(Instrument, SingleAddsOneSetmharAndOneHandler)
+{
+    Program base = sampleProgram();
+    const GenericHandlerParams hp{.length = 10};
+    Program s = core::instrument(base, InformingMode::TrapSingle, hp);
+    // 1 SETMHAR + original + (10 + RETMH) handler.
+    EXPECT_EQ(s.size(), base.size() + 1 + 11);
+    EXPECT_EQ(s.inst(0).op, Op::SETMHAR);
+    EXPECT_EQ(s.inst(0).imm, base.size() + 1);
+}
+
+TEST(Instrument, UniqueAddsSetmharPerRefAndHandlerPerRef)
+{
+    Program base = sampleProgram();
+    const GenericHandlerParams hp{.length = 5};
+    Program u = core::instrument(base, InformingMode::TrapUnique, hp);
+    const std::uint32_t refs = base.numStaticRefs();
+    EXPECT_EQ(u.size(), base.size() + refs + refs * 6);
+    // Each data ref is immediately preceded by a SETMHAR naming a
+    // distinct handler.
+    std::set<std::int64_t> targets;
+    for (InstAddr pc = 1; pc < u.size(); ++pc) {
+        if (isDataRef(u.inst(pc).op)) {
+            ASSERT_EQ(u.inst(pc - 1).op, Op::SETMHAR);
+            targets.insert(u.inst(pc - 1).imm);
+        }
+    }
+    EXPECT_EQ(targets.size(), refs);
+}
+
+TEST(Instrument, CondCodeAddsBrmissAfterEachRef)
+{
+    Program base = sampleProgram();
+    Program cc = core::instrument(base, InformingMode::CondCode,
+                                  {.length = 1});
+    for (InstAddr pc = 0; pc + 1 < cc.size(); ++pc) {
+        if (isDataRef(cc.inst(pc).op)) {
+            EXPECT_EQ(cc.inst(pc + 1).op, Op::BRMISS) << "pc " << pc;
+        }
+    }
+}
+
+TEST(Instrument, InstrumentedProgramsValidate)
+{
+    Program base = sampleProgram();
+    for (auto mode : {InformingMode::None, InformingMode::TrapSingle,
+                      InformingMode::TrapUnique, InformingMode::CondCode}) {
+        Program p = core::instrument(base, mode, {.length = 10});
+        std::string why;
+        EXPECT_TRUE(p.validate(&why))
+            << core::informingModeName(mode) << ": " << why;
+    }
+}
+
+/**
+ * The key functional property: instrumentation must not change the
+ * program's architectural results (workload registers r1-r23 and the
+ * FP file), because generic handlers only touch handler scratch.
+ */
+class InstrumentEquivalence
+    : public ::testing::TestWithParam<std::tuple<InformingMode,
+                                                 std::uint32_t>>
+{
+};
+
+TEST_P(InstrumentEquivalence, PreservesWorkloadState)
+{
+    const auto [mode, length] = GetParam();
+    Program base = sampleProgram();
+
+    Executor ref(base, smallConfig());
+    ref.run();
+
+    Program inst = core::instrument(base, mode,
+                                    {.length = length});
+    Executor got(inst, smallConfig());
+    got.run();
+
+    for (int r = 1; r <= 23; ++r)
+        EXPECT_EQ(got.state().ireg[r], ref.state().ireg[r]) << "r" << r;
+    for (int f = 0; f < 32; ++f)
+        EXPECT_EQ(got.state().freg[f], ref.state().freg[f]) << "f" << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndLengths, InstrumentEquivalence,
+    ::testing::Combine(::testing::Values(InformingMode::TrapSingle,
+                                         InformingMode::TrapUnique,
+                                         InformingMode::CondCode),
+                       ::testing::Values(1u, 10u, 100u)));
+
+TEST(Instrument, TrapsMatchMissesOfInformingRefs)
+{
+    Program base = sampleProgram();
+    Program s = core::instrument(base, InformingMode::TrapSingle,
+                                 {.length = 1});
+    Executor e(s, smallConfig());
+    e.run();
+    // Handlers contain no memory references, so every trap corresponds
+    // to exactly one workload miss.
+    EXPECT_EQ(e.stats().traps, e.stats().l1Misses);
+    EXPECT_GT(e.stats().traps, 0u);
+}
+
+TEST(Instrument, CondCodeBrmissTakenMatchesMisses)
+{
+    Program base = sampleProgram();
+    Program cc = core::instrument(base, InformingMode::CondCode,
+                                  {.length = 1});
+    Executor e(cc, smallConfig());
+    e.run();
+    EXPECT_EQ(e.stats().brmissTaken, e.stats().l1Misses);
+}
+
+TEST(Instrument, HandlerChainRotatesScratchRegs)
+{
+    Program base = sampleProgram();
+    const GenericHandlerParams hp{.length = 3, .rotateRegs = 4,
+                                  .firstScratchReg = 24};
+    Program u = core::instrument(base, InformingMode::TrapUnique, hp);
+    std::set<std::uint8_t> regs;
+    for (const auto &in : u.insts()) {
+        if (in.op == Op::ADDI && in.rd >= 24 && in.rd < 32)
+            regs.insert(in.rd);
+    }
+    EXPECT_EQ(regs.size(),
+              std::min<std::size_t>(4, base.numStaticRefs()));
+}
+
+TEST(Instrument, RealWorkloadSurvivesInstrumentation)
+{
+    // The full compress workload, instrumented and executed.
+    workloads::WorkloadParams wp;
+    wp.scale = 0.05;
+    Program base = workloads::build("compress", wp);
+    Program u = core::instrument(base, InformingMode::TrapUnique,
+                                 {.length = 10});
+    Executor e(u, smallConfig());
+    e.run();
+    EXPECT_GT(e.stats().traps, 0u);
+    EXPECT_EQ(e.stats().handlerInstructions, e.stats().traps * 11);
+}
+
+} // namespace

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Functional semantics of the informing-memory-operation extensions:
+ * the cache-outcome condition code with BRMISS, and the low-overhead
+ * miss trap through MHAR/MHRR (paper sections 2.1-2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/executor.hh"
+#include "isa/builder.hh"
+
+namespace
+{
+
+using namespace imo;
+using namespace imo::isa;
+using imo::func::Executor;
+using imo::func::TraceRecord;
+
+Executor::Config
+smallConfig()
+{
+    return Executor::Config{
+        .l1 = {.sizeBytes = 1024, .lineBytes = 32, .assoc = 1},
+        .l2 = {.sizeBytes = 8192, .lineBytes = 32, .assoc = 2}};
+}
+
+TEST(CondCode, BrmissTakenOnMissOnly)
+{
+    ProgramBuilder b;
+    const Addr buf = b.allocData(8);
+    Label handler = b.newLabel();
+    b.li(intReg(1), static_cast<std::int64_t>(buf));
+    b.ld(intReg(2), intReg(1), 0);     // cold miss
+    b.brmiss(handler);                 // taken
+    b.halt();
+    b.bind(handler);
+    b.addi(intReg(10), intReg(10), 1);
+    b.retmh();
+
+    Program p = b.finish();
+    Executor e(p, smallConfig());
+    e.run();
+    EXPECT_EQ(e.state().ireg[10], 1u);
+    EXPECT_EQ(e.stats().brmissTaken, 1u);
+}
+
+TEST(CondCode, BrmissFallsThroughOnHit)
+{
+    ProgramBuilder b;
+    const Addr buf = b.allocData(8);
+    Label handler = b.newLabel();
+    b.li(intReg(1), static_cast<std::int64_t>(buf));
+    b.ld(intReg(2), intReg(1), 0);     // miss
+    b.ld(intReg(3), intReg(1), 0);     // hit: cc cleared
+    b.brmiss(handler);                 // not taken
+    b.halt();
+    b.bind(handler);
+    b.addi(intReg(10), intReg(10), 1);
+    b.retmh();
+
+    Program p = b.finish();
+    Executor e(p, smallConfig());
+    e.run();
+    EXPECT_EQ(e.state().ireg[10], 0u);
+}
+
+TEST(CondCode, RetmhReturnsAfterBrmiss)
+{
+    ProgramBuilder b;
+    const Addr buf = b.allocData(8);
+    Label handler = b.newLabel();
+    b.li(intReg(1), static_cast<std::int64_t>(buf));
+    b.ld(intReg(2), intReg(1), 0);
+    b.brmiss(handler);
+    b.li(intReg(11), 77);              // must run after handler return
+    b.halt();
+    b.bind(handler);
+    b.addi(intReg(10), intReg(10), 1);
+    b.retmh();
+
+    Program p = b.finish();
+    Executor e(p, smallConfig());
+    e.run();
+    EXPECT_EQ(e.state().ireg[10], 1u);
+    EXPECT_EQ(e.state().ireg[11], 77u);
+}
+
+TEST(Trap, DispatchesOnMissWhenArmed)
+{
+    ProgramBuilder b;
+    const Addr buf = b.allocData(8);
+    Label handler = b.newLabel();
+    b.setmhar(handler);
+    b.li(intReg(1), static_cast<std::int64_t>(buf));
+    b.ld(intReg(2), intReg(1), 0);     // miss -> trap
+    b.li(intReg(11), 5);               // runs after handler returns
+    b.halt();
+    b.bind(handler);
+    b.addi(intReg(10), intReg(10), 1);
+    b.retmh();
+
+    Program p = b.finish();
+    Executor e(p, smallConfig());
+    e.run();
+    EXPECT_EQ(e.state().ireg[10], 1u);
+    EXPECT_EQ(e.state().ireg[11], 5u);
+    EXPECT_EQ(e.stats().traps, 1u);
+}
+
+TEST(Trap, NoDispatchWhenMharZero)
+{
+    ProgramBuilder b;
+    const Addr buf = b.allocData(8);
+    b.li(intReg(1), static_cast<std::int64_t>(buf));
+    b.ld(intReg(2), intReg(1), 0);
+    b.halt();
+    Program p = b.finish();
+    Executor e(p, smallConfig());
+    e.run();
+    EXPECT_EQ(e.stats().traps, 0u);
+}
+
+TEST(Trap, NoDispatchOnHits)
+{
+    ProgramBuilder b;
+    const Addr buf = b.allocData(8);
+    Label handler = b.newLabel();
+    b.setmhar(handler);
+    b.li(intReg(1), static_cast<std::int64_t>(buf));
+    b.ld(intReg(2), intReg(1), 0);     // miss: trap 1
+    b.ld(intReg(3), intReg(1), 0);     // hit: no trap
+    b.halt();
+    b.bind(handler);
+    b.retmh();
+    Program p = b.finish();
+    Executor e(p, smallConfig());
+    e.run();
+    EXPECT_EQ(e.stats().traps, 1u);
+}
+
+TEST(Trap, SetmharDisableStopsTrapping)
+{
+    ProgramBuilder b;
+    const Addr buf = b.allocData(64);
+    Label handler = b.newLabel();
+    b.setmhar(handler);
+    b.li(intReg(1), static_cast<std::int64_t>(buf));
+    b.ld(intReg(2), intReg(1), 0);     // trap
+    b.setmharDisable();
+    b.ld(intReg(3), intReg(1), 256);   // miss, no trap
+    b.halt();
+    b.bind(handler);
+    b.retmh();
+    Program p = b.finish();
+    Executor e(p, smallConfig());
+    e.run();
+    EXPECT_EQ(e.stats().traps, 1u);
+    EXPECT_EQ(e.stats().l1Misses, 2u);
+}
+
+TEST(Trap, NonInformingOpsDoNotTrap)
+{
+    ProgramBuilder b;
+    const Addr buf = b.allocData(8);
+    Label handler = b.newLabel();
+    b.setmhar(handler);
+    b.li(intReg(1), static_cast<std::int64_t>(buf));
+    b.emit({.op = Op::LD, .rd = intReg(2), .rs1 = intReg(1), .imm = 0,
+            .informing = false});
+    b.halt();
+    b.bind(handler);
+    b.retmh();
+    Program p = b.finish();
+    Executor e(p, smallConfig());
+    e.run();
+    EXPECT_EQ(e.stats().traps, 0u);
+    EXPECT_EQ(e.stats().l1Misses, 1u);
+}
+
+TEST(Trap, HandlerMissesDoNotRecurse)
+{
+    ProgramBuilder b;
+    const Addr buf = b.allocData(128);
+    Label handler = b.newLabel();
+    b.setmhar(handler);
+    b.li(intReg(1), static_cast<std::int64_t>(buf));
+    b.ld(intReg(2), intReg(1), 0);     // trap
+    b.halt();
+    b.bind(handler);
+    // The handler itself misses; trapping is disabled until RETMH.
+    b.ld(intReg(3), intReg(1), 512);
+    b.addi(intReg(10), intReg(10), 1);
+    b.retmh();
+    Program p = b.finish();
+    Executor e(p, smallConfig());
+    e.run();
+    EXPECT_EQ(e.stats().traps, 1u);
+    EXPECT_EQ(e.state().ireg[10], 1u);
+    EXPECT_EQ(e.stats().l1Misses, 2u);
+}
+
+TEST(Trap, RearmedAfterReturn)
+{
+    ProgramBuilder b;
+    const Addr buf = b.allocData(128);
+    Label handler = b.newLabel();
+    b.setmhar(handler);
+    b.li(intReg(1), static_cast<std::int64_t>(buf));
+    b.ld(intReg(2), intReg(1), 0);     // trap 1
+    b.ld(intReg(3), intReg(1), 512);   // trap 2 (different line)
+    b.halt();
+    b.bind(handler);
+    b.addi(intReg(10), intReg(10), 1);
+    b.retmh();
+    Program p = b.finish();
+    Executor e(p, smallConfig());
+    e.run();
+    EXPECT_EQ(e.stats().traps, 2u);
+    EXPECT_EQ(e.state().ireg[10], 2u);
+}
+
+TEST(Trap, MhrrHoldsReturnAddress)
+{
+    ProgramBuilder b;
+    const Addr buf = b.allocData(8);
+    Label handler = b.newLabel();
+    b.setmhar(handler);                          // pc 0
+    b.li(intReg(1), static_cast<std::int64_t>(buf)); // pc 1
+    b.ld(intReg(2), intReg(1), 0);               // pc 2: traps
+    b.halt();                                    // pc 3
+    b.bind(handler);
+    b.getmhrr(intReg(12));
+    b.retmh();
+    Program p = b.finish();
+    Executor e(p, smallConfig());
+    e.run();
+    EXPECT_EQ(e.state().ireg[12], 3u);  // instruction after the load
+}
+
+TEST(Trap, SetmhrrRedirectsReturn)
+{
+    ProgramBuilder b;
+    const Addr buf = b.allocData(8);
+    Label handler = b.newLabel(), alt = b.newLabel();
+    b.setmhar(handler);
+    b.li(intReg(1), static_cast<std::int64_t>(buf));
+    b.li(intReg(13), 0);
+    b.ld(intReg(2), intReg(1), 0);     // traps
+    b.li(intReg(13), 1);               // skipped: handler redirects
+    b.halt();
+    b.bind(alt);
+    b.li(intReg(14), 1);
+    b.halt();
+    b.bind(handler);
+    // Redirect the return to `alt` (the thread-switch primitive).
+    b.li(intReg(12), 0);               // placeholder, patched below
+    b.setmhrr(intReg(12));
+    b.retmh();
+    Program p = b.finish();
+    // Patch the placeholder LI with alt's address (the label value is
+    // the li at `alt`); find it: the instruction after HALT at pc 5.
+    // alt label bound at pc 6.
+    for (auto &in : p.insts()) {
+        if (in.op == Op::LI && in.rd == intReg(12))
+            in.imm = 6;
+    }
+    Executor e(p, smallConfig());
+    e.run();
+    EXPECT_EQ(e.state().ireg[13], 0u);
+    EXPECT_EQ(e.state().ireg[14], 1u);
+}
+
+TEST(Trap, StoresTrapToo)
+{
+    ProgramBuilder b;
+    const Addr buf = b.allocData(8);
+    Label handler = b.newLabel();
+    b.setmhar(handler);
+    b.li(intReg(1), static_cast<std::int64_t>(buf));
+    b.li(intReg(2), 9);
+    b.st(intReg(2), intReg(1), 0);     // store miss -> trap
+    b.halt();
+    b.bind(handler);
+    b.addi(intReg(10), intReg(10), 1);
+    b.retmh();
+    Program p = b.finish();
+    Executor e(p, smallConfig());
+    e.run();
+    EXPECT_EQ(e.stats().traps, 1u);
+    EXPECT_EQ(e.state().ireg[10], 1u);
+}
+
+TEST(Trap, TraceMarksTrappedAndHandlerCode)
+{
+    ProgramBuilder b;
+    const Addr buf = b.allocData(8);
+    Label handler = b.newLabel();
+    b.setmhar(handler);
+    b.li(intReg(1), static_cast<std::int64_t>(buf));
+    b.ld(intReg(2), intReg(1), 0);
+    b.halt();
+    b.bind(handler);
+    b.nop();
+    b.retmh();
+    Program p = b.finish();
+    Executor e(p, smallConfig());
+
+    TraceRecord r;
+    ASSERT_TRUE(e.next(r));  // setmhar
+    ASSERT_TRUE(e.next(r));  // li
+    ASSERT_TRUE(e.next(r));  // ld
+    EXPECT_TRUE(r.trapped);
+    EXPECT_FALSE(r.handlerCode);
+    EXPECT_EQ(r.nextPc, 4u);  // handler entry
+    ASSERT_TRUE(e.next(r));  // nop (handler)
+    EXPECT_TRUE(r.handlerCode);
+    ASSERT_TRUE(e.next(r));  // retmh
+    EXPECT_TRUE(r.handlerCode);
+    EXPECT_EQ(r.nextPc, 3u);
+    ASSERT_TRUE(e.next(r));  // halt
+    EXPECT_FALSE(r.handlerCode);
+}
+
+} // namespace

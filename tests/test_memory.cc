@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Unit and property tests for the cache tag stores, the functional
+ * hierarchy, and the timing memory system.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hh"
+#include "memory/cache.hh"
+#include "memory/hierarchy.hh"
+#include "memory/timing.hh"
+
+namespace
+{
+
+using namespace imo;
+using namespace imo::memory;
+
+CacheGeometry
+tinyCache(std::uint32_t assoc)
+{
+    return CacheGeometry{.sizeBytes = 256, .lineBytes = 32, .assoc = assoc};
+}
+
+TEST(Geometry, DerivedQuantities)
+{
+    CacheGeometry g{.sizeBytes = 8 * 1024, .lineBytes = 32, .assoc = 1};
+    g.check();
+    EXPECT_EQ(g.numLines(), 256u);
+    EXPECT_EQ(g.numSets(), 256u);
+    EXPECT_EQ(g.lineAddr(0x1234), 0x1220u);
+    EXPECT_EQ(g.setIndex(0x20), 1u);
+    EXPECT_EQ(g.setIndex(0x20 + 8 * 1024), 1u);  // wraps at cache size
+    EXPECT_NE(g.tag(0x20), g.tag(0x20 + 8 * 1024));
+}
+
+TEST(Cache, HitAfterFill)
+{
+    SetAssocCache c(tinyCache(2));
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x11f, false).hit);   // same line
+    EXPECT_FALSE(c.access(0x120, false).hit);  // next line
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 256 B, 2-way, 32 B lines: 4 sets; set stride is 128 B.
+    SetAssocCache c(tinyCache(2));
+    c.access(0x000, false);
+    c.access(0x080, false);  // same set, second way
+    c.access(0x000, false);  // touch to make 0x080 the LRU
+    c.access(0x100, false);  // evicts 0x080
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x080));
+    EXPECT_TRUE(c.probe(0x100));
+}
+
+TEST(Cache, DirtyVictimReportsWriteback)
+{
+    SetAssocCache c(tinyCache(1));
+    c.access(0x000, true);
+    const auto r = c.access(0x100, false);  // same set, evicts dirty
+    ASSERT_TRUE(r.writeback.has_value());
+    EXPECT_EQ(*r.writeback, 0x000u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanVictimNoWriteback)
+{
+    SetAssocCache c(tinyCache(1));
+    c.access(0x000, false);
+    const auto r = c.access(0x100, false);
+    EXPECT_FALSE(r.writeback.has_value());
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    SetAssocCache c(tinyCache(2));
+    c.access(0x40, true);
+    EXPECT_TRUE(c.invalidate(0x40));
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.invalidate(0x40));
+    EXPECT_EQ(c.invalidations(), 1u);
+}
+
+TEST(Cache, FillDoesNotDirty)
+{
+    SetAssocCache c(tinyCache(1));
+    c.fill(0x000);
+    const auto r = c.access(0x100, false);  // evict the filled line
+    EXPECT_FALSE(r.writeback.has_value());
+}
+
+TEST(Cache, FlushAllEmptiesCache)
+{
+    SetAssocCache c(tinyCache(2));
+    for (Addr a = 0; a < 256; a += 32)
+        c.access(a, false);
+    c.flushAll();
+    for (Addr a = 0; a < 256; a += 32)
+        EXPECT_FALSE(c.probe(a));
+}
+
+TEST(Cache, MissRateAccounting)
+{
+    SetAssocCache c(tinyCache(2));
+    c.access(0x0, false);   // miss
+    c.access(0x0, false);   // hit
+    c.access(0x0, false);   // hit
+    c.access(0x200, false); // miss
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+    c.resetStats();
+    EXPECT_EQ(c.hits(), 0u);
+}
+
+/** Property test: the cache agrees with a reference LRU model. */
+class CacheModelTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CacheModelTest, MatchesReferenceLruModel)
+{
+    const std::uint32_t assoc = GetParam();
+    CacheGeometry g{.sizeBytes = 1024, .lineBytes = 32, .assoc = assoc};
+    SetAssocCache cache(g);
+
+    // Reference model: per set, a list of lines in LRU order.
+    std::map<std::uint64_t, std::vector<Addr>> sets;
+    Rng rng(1234 + assoc);
+
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr = 32 * rng.below(128);  // 4 KiB footprint
+        const Addr line = g.lineAddr(addr);
+        auto &lru = sets[g.setIndex(addr)];
+
+        const auto it = std::find(lru.begin(), lru.end(), line);
+        const bool model_hit = it != lru.end();
+        if (model_hit)
+            lru.erase(it);
+        lru.push_back(line);
+        if (lru.size() > assoc)
+            lru.erase(lru.begin());
+
+        const bool hit = cache.access(addr, false).hit;
+        ASSERT_EQ(hit, model_hit) << "iteration " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, CacheModelTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(Hierarchy, L1ThenL2ThenMemory)
+{
+    FunctionalHierarchy h(tinyCache(1),
+                          CacheGeometry{.sizeBytes = 1024,
+                                        .lineBytes = 32, .assoc = 2});
+    EXPECT_EQ(h.access(0x0, false), MemLevel::Memory);
+    EXPECT_EQ(h.access(0x0, false), MemLevel::L1);
+    // Evict from tiny L1 (256 B direct-mapped: 0x100 aliases 0x0).
+    h.access(0x100, false);
+    EXPECT_EQ(h.access(0x0, false), MemLevel::L2);
+}
+
+TEST(Hierarchy, PrefetchInstallsInBothLevels)
+{
+    FunctionalHierarchy h(tinyCache(1),
+                          CacheGeometry{.sizeBytes = 1024,
+                                        .lineBytes = 32, .assoc = 2});
+    h.prefetch(0x40);
+    EXPECT_EQ(h.access(0x40, false), MemLevel::L1);
+}
+
+TEST(Hierarchy, InvalidateRemovesBothLevels)
+{
+    FunctionalHierarchy h(tinyCache(1),
+                          CacheGeometry{.sizeBytes = 1024,
+                                        .lineBytes = 32, .assoc = 2});
+    h.access(0x40, true);
+    h.invalidate(0x40);
+    EXPECT_EQ(h.access(0x40, false), MemLevel::Memory);
+}
+
+TEST(Hierarchy, WritebackKeepsL2Warm)
+{
+    FunctionalHierarchy h(tinyCache(1),
+                          CacheGeometry{.sizeBytes = 1024,
+                                        .lineBytes = 32, .assoc = 2});
+    h.access(0x0, true);     // dirty in L1
+    h.access(0x100, false);  // evicts 0x0 (writeback to L2)
+    EXPECT_EQ(h.access(0x0, false), MemLevel::L2);
+}
+
+TimingMemoryParams
+fastParams()
+{
+    return TimingMemoryParams{.lineBytes = 32, .l1HitLatency = 2,
+                              .l2Latency = 12, .memLatency = 75,
+                              .mshrs = 8, .banks = 2, .fillCycles = 4,
+                              .memBandwidth = 20};
+}
+
+TEST(TimingMemory, HitLatency)
+{
+    TimingMemorySystem m(fastParams());
+    const auto r = m.request(0x40, MemLevel::L1, 100);
+    ASSERT_TRUE(r.accepted);
+    EXPECT_EQ(r.dataReady, 102u);
+}
+
+TEST(TimingMemory, L2AndMemoryLatency)
+{
+    TimingMemorySystem m(fastParams());
+    const auto r2 = m.request(0x40, MemLevel::L2, 100);
+    ASSERT_TRUE(r2.accepted);
+    EXPECT_EQ(r2.dataReady, 112u);
+    const auto rm = m.request(0x2020, MemLevel::Memory, 100);
+    ASSERT_TRUE(rm.accepted);
+    EXPECT_EQ(rm.dataReady, 175u);
+}
+
+TEST(TimingMemory, BankConflictRejects)
+{
+    TimingMemorySystem m(fastParams());
+    // Two accesses to the same bank in the same cycle: with two banks,
+    // lines 0x00 and 0x40 share bank 0.
+    ASSERT_TRUE(m.request(0x00, MemLevel::L1, 10).accepted);
+    const auto r = m.request(0x40, MemLevel::L1, 10);
+    EXPECT_FALSE(r.accepted);
+    EXPECT_EQ(r.retryCycle, 11u);
+    EXPECT_EQ(m.bankConflicts(), 1u);
+    // Different bank goes through.
+    EXPECT_TRUE(m.request(0x20, MemLevel::L1, 10).accepted);
+}
+
+TEST(TimingMemory, SameLineMissesMerge)
+{
+    TimingMemorySystem m(fastParams());
+    const auto a = m.request(0x100, MemLevel::L2, 10);
+    const auto b = m.request(0x108, MemLevel::L2, 11);
+    ASSERT_TRUE(a.accepted);
+    ASSERT_TRUE(b.accepted);
+    EXPECT_EQ(b.dataReady, a.dataReady);  // coalesced
+    EXPECT_EQ(m.mshrFile().merges(), 1u);
+}
+
+TEST(TimingMemory, MshrExhaustionRejects)
+{
+    auto p = fastParams();
+    p.mshrs = 2;
+    TimingMemorySystem m(p);
+    ASSERT_TRUE(m.request(0x1000, MemLevel::L2, 10).accepted);
+    ASSERT_TRUE(m.request(0x2020, MemLevel::L2, 11).accepted);
+    const auto r = m.request(0x3000, MemLevel::L2, 12);
+    EXPECT_FALSE(r.accepted);
+    EXPECT_GT(r.retryCycle, 12u);
+    // After the fills complete (+fill time), a retry succeeds.
+    EXPECT_TRUE(m.request(0x3000, MemLevel::L2, r.retryCycle).accepted);
+}
+
+TEST(TimingMemory, MemoryBandwidthGates)
+{
+    TimingMemorySystem m(fastParams());
+    const auto a = m.request(0x0000, MemLevel::Memory, 0);
+    const auto b = m.request(0x1020, MemLevel::Memory, 1);
+    ASSERT_TRUE(a.accepted);
+    ASSERT_TRUE(b.accepted);
+    // Second main-memory access may not begin before cycle 20.
+    EXPECT_EQ(a.dataReady, 75u);
+    EXPECT_EQ(b.dataReady, 20u + 75u);
+    EXPECT_GT(m.memQueueCycles(), 0u);
+}
+
+TEST(TimingMemory, L2HitsDontConsumeMemoryBandwidth)
+{
+    TimingMemorySystem m(fastParams());
+    ASSERT_TRUE(m.request(0x0000, MemLevel::L2, 0).accepted);
+    const auto b = m.request(0x1020, MemLevel::Memory, 1);
+    ASSERT_TRUE(b.accepted);
+    EXPECT_EQ(b.dataReady, 76u);  // no queueing behind the L2 hit
+}
+
+} // namespace

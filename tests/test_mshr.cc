@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the MSHR file, including the paper's section-3.3 extended
+ * lifetime: entries are pinned until graduate/squash, and a squash
+ * after the fill completed invalidates the speculatively filled line.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "memory/cache.hh"
+#include "memory/mshr.hh"
+
+namespace
+{
+
+using namespace imo;
+using namespace imo::memory;
+
+TEST(Mshr, AllocateAndSelfRelease)
+{
+    MshrFile m(2, 4, false);
+    const auto a = m.allocate(0x100, 10, 22);
+    ASSERT_TRUE(a.accepted);
+    EXPECT_FALSE(a.merged);
+    EXPECT_EQ(a.dataReady, 22u);
+    EXPECT_EQ(m.busyEntries(20), 1u);
+    // Entry frees at dataReady + fill = 26.
+    EXPECT_EQ(m.busyEntries(26), 0u);
+}
+
+TEST(Mshr, MergesOutstandingLine)
+{
+    MshrFile m(2, 4, false);
+    const auto a = m.allocate(0x100, 10, 22);
+    const auto b = m.allocate(0x100, 12, 30);
+    ASSERT_TRUE(b.accepted);
+    EXPECT_TRUE(b.merged);
+    EXPECT_EQ(b.dataReady, a.dataReady);
+    EXPECT_EQ(m.busyEntries(15), 1u);
+}
+
+TEST(Mshr, CompletedFillDoesNotMerge)
+{
+    MshrFile m(2, 4, false);
+    m.allocate(0x100, 10, 12);
+    // At cycle 20 the data already returned: a new miss of the same
+    // line is a fresh allocation, not a merge.
+    const auto b = m.allocate(0x100, 20, 32);
+    ASSERT_TRUE(b.accepted);
+    EXPECT_FALSE(b.merged);
+}
+
+TEST(Mshr, FullFileRejectsWithRetryHint)
+{
+    MshrFile m(1, 4, false);
+    m.allocate(0x100, 10, 22);
+    const auto r = m.allocate(0x200, 11, 23);
+    EXPECT_FALSE(r.accepted);
+    EXPECT_EQ(r.retryCycle, 26u);
+    EXPECT_EQ(m.fullRejects(), 1u);
+}
+
+TEST(Mshr, ExtendedLifetimePinsUntilGraduate)
+{
+    MshrFile m(1, 4, true);
+    const auto a = m.allocate(0x100, 10, 22);
+    ASSERT_TRUE(a.accepted);
+    // Fill completed long ago, but the entry is pinned.
+    EXPECT_EQ(m.busyEntries(100), 1u);
+    const auto r = m.allocate(0x200, 100, 112);
+    EXPECT_FALSE(r.accepted);
+
+    m.notifyGraduated(a.ref, 100);
+    EXPECT_EQ(m.busyEntries(101), 0u);
+    EXPECT_TRUE(m.allocate(0x200, 101, 113).accepted);
+}
+
+TEST(Mshr, SquashAfterFillInvalidatesLine)
+{
+    MshrFile m(2, 4, true);
+    SetAssocCache cache(CacheGeometry{.sizeBytes = 256, .lineBytes = 32,
+                                      .assoc = 2});
+    m.setInvalidateHook([&cache](Addr line) { cache.invalidate(line); });
+
+    // The speculative load installed the line.
+    cache.fill(0x100);
+    const auto a = m.allocate(0x100, 10, 22);
+    ASSERT_TRUE(a.accepted);
+
+    // Squashed at cycle 30, after the fill completed at 22: the line
+    // must be removed so squashed speculation cannot update the cache.
+    m.notifySquashed(a.ref, 30);
+    EXPECT_FALSE(cache.probe(0x100));
+    EXPECT_EQ(m.squashInvalidations(), 1u);
+}
+
+TEST(Mshr, SquashBeforeFillDropsDataWithoutInvalidate)
+{
+    MshrFile m(2, 4, true);
+    int invalidations = 0;
+    m.setInvalidateHook([&](Addr) { ++invalidations; });
+
+    const auto a = m.allocate(0x100, 10, 22);
+    // Squashed at 15, before the data returns at 22: the MSHR simply
+    // drops the fill; no cache line to invalidate.
+    m.notifySquashed(a.ref, 15);
+    EXPECT_EQ(invalidations, 0);
+    EXPECT_EQ(m.squashInvalidations(), 0u);
+    // The entry remains busy until the unwanted fill would complete.
+    EXPECT_EQ(m.busyEntries(20), 1u);
+    EXPECT_EQ(m.busyEntries(23), 0u);
+}
+
+TEST(Mshr, MergedRefsAllMustRetire)
+{
+    MshrFile m(1, 4, true);
+    const auto a = m.allocate(0x100, 10, 22);
+    const auto b = m.allocate(0x100, 11, 22);
+    ASSERT_TRUE(b.merged);
+
+    m.notifyGraduated(a.ref, 30);
+    EXPECT_EQ(m.busyEntries(31), 1u);  // b still holds the entry
+    m.notifyGraduated(b.ref, 32);
+    EXPECT_EQ(m.busyEntries(33), 0u);
+}
+
+TEST(Mshr, SquashOfOneMergedRefKeepsLineForOther)
+{
+    MshrFile m(1, 4, true);
+    int invalidations = 0;
+    m.setInvalidateHook([&](Addr) { ++invalidations; });
+
+    const auto a = m.allocate(0x100, 10, 22);
+    const auto b = m.allocate(0x100, 11, 22);
+    ASSERT_TRUE(b.merged);
+
+    // A squashed speculative load shares the entry with a correct-path
+    // load: the line stays (the correct-path load demanded it).
+    m.notifySquashed(a.ref, 30);
+    EXPECT_EQ(invalidations, 0);
+    m.notifyGraduated(b.ref, 31);
+    EXPECT_EQ(m.busyEntries(32), 0u);
+}
+
+TEST(Mshr, StaleRefIsIgnored)
+{
+    MshrFile m(1, 4, true);
+    const auto a = m.allocate(0x100, 10, 22);
+    m.notifyGraduated(a.ref, 30);
+    // Entry is reused by a different miss.
+    const auto b = m.allocate(0x200, 40, 52);
+    ASSERT_TRUE(b.accepted);
+    // A duplicate notification with the stale handle must not touch
+    // the new occupant.
+    m.notifySquashed(a.ref, 60);
+    EXPECT_EQ(m.busyEntries(60), 1u);
+}
+
+/** Property: entries never exceed capacity; every accepted request
+ *  either merges or consumes a free entry; squash-after-fill always
+ *  invalidates exactly once. */
+TEST(MshrProperty, RandomStressRespectsInvariants)
+{
+    Rng rng(99);
+    MshrFile m(8, 4, true);
+    std::vector<std::pair<MshrRef, Cycle>> live;  // ref, dataReady
+    std::uint64_t invalidations = 0;
+    m.setInvalidateHook([&](Addr) { ++invalidations; });
+
+    Cycle now = 0;
+    for (int i = 0; i < 20000; ++i) {
+        now += rng.below(3);
+        ASSERT_LE(m.busyEntries(now), 8u);
+
+        if (!live.empty() && rng.chance(0.4)) {
+            const auto idx = rng.below(live.size());
+            const auto [ref, ready] = live[idx];
+            live.erase(live.begin() + idx);
+            if (rng.chance(0.3))
+                m.notifySquashed(ref, now);
+            else
+                m.notifyGraduated(ref, now);
+            continue;
+        }
+
+        const Addr line = 32 * rng.below(64);
+        const auto r = m.allocate(line, now, now + 12);
+        if (r.accepted)
+            live.emplace_back(r.ref, r.dataReady);
+    }
+    EXPECT_EQ(m.squashInvalidations(), invalidations);
+}
+
+} // namespace

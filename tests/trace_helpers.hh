@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Helpers for crafting synthetic trace-record streams in pipeline
+ * tests.
+ */
+
+#ifndef IMO_TESTS_TRACE_HELPERS_HH
+#define IMO_TESTS_TRACE_HELPERS_HH
+
+#include <vector>
+
+#include "func/trace.hh"
+#include "isa/instruction.hh"
+
+namespace imo::testhelpers
+{
+
+using func::TraceRecord;
+
+/** Fluent builder for a vector of trace records. */
+class TraceBuilder
+{
+  public:
+    /** rd = rs1 + rs2 (plain 1-cycle ALU op). */
+    TraceBuilder &
+    alu(std::uint8_t rd, std::uint8_t rs1 = 0, std::uint8_t rs2 = 0)
+    {
+        TraceRecord r = base();
+        r.inst = {.op = isa::Op::ADD, .rd = rd, .rs1 = rs1, .rs2 = rs2};
+        return push(r);
+    }
+
+    /** Long-latency integer op. */
+    TraceBuilder &
+    mul(std::uint8_t rd, std::uint8_t rs1 = 0, std::uint8_t rs2 = 0)
+    {
+        TraceRecord r = base();
+        r.inst = {.op = isa::Op::MUL, .rd = rd, .rs1 = rs1, .rs2 = rs2};
+        return push(r);
+    }
+
+    /** FP op on the FP file (register ids are raw fp indices). */
+    TraceBuilder &
+    fpop(std::uint8_t fd, std::uint8_t fs1 = 0, std::uint8_t fs2 = 0)
+    {
+        TraceRecord r = base();
+        r.inst = {.op = isa::Op::FADD, .rd = isa::fpReg(fd),
+                  .rs1 = isa::fpReg(fs1), .rs2 = isa::fpReg(fs2)};
+        return push(r);
+    }
+
+    /** Load into rd from addr with the given servicing level. */
+    TraceBuilder &
+    load(std::uint8_t rd, Addr addr, MemLevel level,
+         std::uint8_t base_reg = 0, bool trapped = false)
+    {
+        TraceRecord r = base();
+        r.inst = {.op = isa::Op::LD, .rd = rd, .rs1 = base_reg};
+        r.addr = addr;
+        r.level = level;
+        r.trapped = trapped;
+        return push(r);
+    }
+
+    /** Store (no destination). */
+    TraceBuilder &
+    store(Addr addr, MemLevel level)
+    {
+        TraceRecord r = base();
+        r.inst = {.op = isa::Op::ST, .rs1 = 0, .rs2 = 0};
+        r.addr = addr;
+        r.level = level;
+        return push(r);
+    }
+
+    /** Conditional branch with an actual outcome. Branch target, when
+     *  taken, is encoded in nextPc. */
+    TraceBuilder &
+    branch(bool taken, InstAddr target = 0)
+    {
+        TraceRecord r = base();
+        r.inst = {.op = isa::Op::BNE, .rs1 = 1, .rs2 = 2};
+        r.taken = taken;
+        r.nextPc = taken ? target : r.pc + 1;
+        return push(r);
+    }
+
+    /** Handler return jump. */
+    TraceBuilder &
+    retmh()
+    {
+        TraceRecord r = base();
+        r.inst = {.op = isa::Op::RETMH};
+        return push(r);
+    }
+
+    /** Mark the following records as miss-handler code. */
+    TraceBuilder &
+    handler(bool on)
+    {
+        _inHandler = on;
+        return *this;
+    }
+
+    /** Override the PC of the next record (for predictor aliasing). */
+    TraceBuilder &
+    at(InstAddr pc)
+    {
+        _forcedPc = static_cast<std::int64_t>(pc);
+        return *this;
+    }
+
+    std::vector<TraceRecord> take() { return std::move(_records); }
+
+    func::VectorTraceSource
+    source() const
+    {
+        return func::VectorTraceSource(_records);
+    }
+
+  private:
+    TraceRecord
+    base()
+    {
+        TraceRecord r;
+        if (_forcedPc >= 0) {
+            r.pc = static_cast<InstAddr>(_forcedPc);
+            _forcedPc = -1;
+        } else {
+            r.pc = _nextPc;
+        }
+        _nextPc = r.pc + 1;
+        r.nextPc = r.pc + 1;
+        r.handlerCode = _inHandler;
+        return r;
+    }
+
+    TraceBuilder &
+    push(const TraceRecord &r)
+    {
+        _records.push_back(r);
+        return *this;
+    }
+
+    std::vector<TraceRecord> _records;
+    InstAddr _nextPc = 0;
+    std::int64_t _forcedPc = -1;
+    bool _inHandler = false;
+};
+
+} // namespace imo::testhelpers
+
+#endif // IMO_TESTS_TRACE_HELPERS_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * imo-run: command-line driver for the simulator.
+ *
+ *   imo-run --workload compress [--machine ooo|inorder]
+ *           [--mode N|S|U|CC] [--len K] [--scale F] [--seed N] [--csv]
+ *   imo-run --asm file.mrisc [--machine ...] [--dump]
+ *   imo-run --list
+ *
+ * Runs the selected program through functional execution plus the
+ * detailed timing model and prints the result (or CSV for scripting).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/informing.hh"
+#include "isa/asm.hh"
+#include "isa/disasm.hh"
+#include "pipeline/simulate.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace imo;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+        "usage: imo-run --workload <name> | --asm <file> | --list\n"
+        "  --machine ooo|inorder   timing model (default ooo)\n"
+        "  --mode N|S|U|CC         informing instrumentation "
+        "(default N)\n"
+        "  --len K                 generic handler length "
+        "(default 10)\n"
+        "  --scale F               workload scale factor (default 1)\n"
+        "  --seed N                workload seed\n"
+        "  --dump                  print the program and exit\n"
+        "  --csv                   one CSV row instead of a report\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string asm_path;
+    std::string machine_name = "ooo";
+    std::string mode_name = "N";
+    std::uint32_t handler_len = 10;
+    workloads::WorkloadParams wp;
+    bool dump = false;
+    bool csv = false;
+    bool list = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--workload") workload = next();
+        else if (arg == "--asm") asm_path = next();
+        else if (arg == "--machine") machine_name = next();
+        else if (arg == "--mode") mode_name = next();
+        else if (arg == "--len")
+            handler_len = static_cast<std::uint32_t>(atoi(next()));
+        else if (arg == "--scale") wp.scale = atof(next());
+        else if (arg == "--seed")
+            wp.seed = static_cast<std::uint64_t>(atoll(next()));
+        else if (arg == "--dump") dump = true;
+        else if (arg == "--csv") csv = true;
+        else if (arg == "--list") list = true;
+        else return usage();
+    }
+
+    if (list) {
+        for (const auto &bm : workloads::suite()) {
+            std::printf("%-10s %-3s %s\n", bm.name.c_str(),
+                        bm.floatingPoint ? "fp" : "int",
+                        bm.description.c_str());
+        }
+        return 0;
+    }
+    if (workload.empty() == asm_path.empty())
+        return usage();
+
+    // Build the base program.
+    isa::Program base;
+    if (!workload.empty()) {
+        fatal_if(!workloads::find(workload), "unknown workload '%s'",
+                 workload.c_str());
+        base = workloads::build(workload, wp);
+    } else {
+        std::ifstream in(asm_path);
+        fatal_if(!in, "cannot open %s", asm_path.c_str());
+        std::ostringstream text;
+        text << in.rdbuf();
+        const isa::AsmResult r = isa::assemble(text.str());
+        fatal_if(!r.ok, "%s:%d: %s", asm_path.c_str(), r.errorLine,
+                 r.error.c_str());
+        base = r.program;
+    }
+
+    // Instrumentation mode.
+    core::InformingMode mode;
+    if (mode_name == "N") mode = core::InformingMode::None;
+    else if (mode_name == "S") mode = core::InformingMode::TrapSingle;
+    else if (mode_name == "U") mode = core::InformingMode::TrapUnique;
+    else if (mode_name == "CC") mode = core::InformingMode::CondCode;
+    else return usage();
+    const isa::Program prog =
+        core::instrument(base, mode, {.length = handler_len});
+
+    if (dump) {
+        std::fputs(isa::formatAssembly(prog).c_str(), stdout);
+        return 0;
+    }
+
+    pipeline::MachineConfig machine;
+    if (machine_name == "ooo")
+        machine = pipeline::makeOutOfOrderConfig();
+    else if (machine_name == "inorder")
+        machine = pipeline::makeInOrderConfig();
+    else
+        return usage();
+
+    func::ExecStats es;
+    const pipeline::RunResult r = pipeline::simulate(prog, machine, &es);
+
+    if (csv) {
+        std::printf("%s,%s,%s,%u,%llu,%llu,%.4f,%llu,%llu,%llu,%llu\n",
+                    prog.name().c_str(), machine.name.c_str(),
+                    mode_name.c_str(), handler_len,
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<unsigned long long>(r.instructions),
+                    r.ipc(),
+                    static_cast<unsigned long long>(r.dataRefs),
+                    static_cast<unsigned long long>(r.l1Misses),
+                    static_cast<unsigned long long>(r.traps),
+                    static_cast<unsigned long long>(r.mispredicts));
+        return 0;
+    }
+
+    std::printf("program   %s  (%u static insts, %u static refs)\n",
+                prog.name().c_str(), prog.size(), prog.numStaticRefs());
+    std::printf("machine   %s   mode %s", machine.name.c_str(),
+                mode_name.c_str());
+    if (mode != core::InformingMode::None)
+        std::printf(" (handler %u insts)", handler_len);
+    std::printf("\n\n");
+    std::printf("cycles        %12llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("instructions  %12llu   (IPC %.3f)\n",
+                static_cast<unsigned long long>(r.instructions),
+                r.ipc());
+    std::printf("slots         %5.1f%% busy, %5.1f%% cache stall, "
+                "%5.1f%% other\n",
+                100 * r.busyFraction(), 100 * r.cacheStallFraction(),
+                100 * r.otherStallFraction());
+    std::printf("data refs     %12llu   (L1 miss rate %.3f)\n",
+                static_cast<unsigned long long>(r.dataRefs),
+                r.dataRefs ? static_cast<double>(r.l1Misses) / r.dataRefs
+                           : 0.0);
+    std::printf("traps         %12llu   handler insts %llu\n",
+                static_cast<unsigned long long>(r.traps),
+                static_cast<unsigned long long>(r.handlerInstructions));
+    std::printf("branches      %12llu   mispredicts %llu\n",
+                static_cast<unsigned long long>(r.condBranches),
+                static_cast<unsigned long long>(r.mispredicts));
+    return 0;
+}
