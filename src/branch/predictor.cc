@@ -1,6 +1,6 @@
 #include "branch/predictor.hh"
 
-#include "common/logging.hh"
+#include "common/error.hh"
 
 namespace imo::branch
 {
@@ -8,8 +8,9 @@ namespace imo::branch
 TwoBitPredictor::TwoBitPredictor(std::uint32_t entries)
     : _counters(entries, 1), _mask(entries - 1)
 {
-    fatal_if(entries == 0 || (entries & (entries - 1)),
-             "predictor table size must be a power of two");
+    sim_throw_if(entries == 0 || (entries & (entries - 1)),
+                 ErrCode::BadConfig,
+                 "predictor table size must be a power of two");
 }
 
 bool
@@ -49,10 +50,12 @@ GsharePredictor::GsharePredictor(std::uint32_t entries,
     : _counters(entries, 1), _mask(entries - 1),
       _historyMask((1u << history_bits) - 1)
 {
-    fatal_if(entries == 0 || (entries & (entries - 1)),
-             "gshare table size must be a power of two");
-    fatal_if(history_bits == 0 || history_bits > 20,
-             "unreasonable gshare history length");
+    sim_throw_if(entries == 0 || (entries & (entries - 1)),
+                 ErrCode::BadConfig,
+                 "gshare table size must be a power of two");
+    sim_throw_if(history_bits == 0 || history_bits > 20,
+                 ErrCode::BadConfig,
+                 "unreasonable gshare history length");
 }
 
 bool
@@ -90,8 +93,9 @@ GsharePredictor::predictAndUpdate(InstAddr pc, bool taken)
 
 Btb::Btb(std::uint32_t entries) : _entries(entries), _mask(entries - 1)
 {
-    fatal_if(entries == 0 || (entries & (entries - 1)),
-             "BTB size must be a power of two");
+    sim_throw_if(entries == 0 || (entries & (entries - 1)),
+                 ErrCode::BadConfig,
+                 "BTB size must be a power of two");
 }
 
 std::int64_t

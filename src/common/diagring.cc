@@ -1,0 +1,36 @@
+#include "common/diagring.hh"
+
+#include "common/error.hh"
+
+namespace imo
+{
+
+DiagRing::DiagRing(std::size_t capacity)
+    : _events(capacity ? capacity : 1)
+{
+}
+
+std::vector<std::string>
+DiagRing::formatEvents() const
+{
+    const std::size_t cap = _events.size();
+    const std::size_t held =
+        _recorded < cap ? static_cast<std::size_t>(_recorded) : cap;
+
+    std::vector<std::string> out;
+    out.reserve(held);
+    // The oldest retained event sits at _next when the ring has wrapped.
+    std::size_t idx = _recorded < cap ? 0 : _next;
+    for (std::size_t i = 0; i < held; ++i) {
+        const DiagEvent &e = _events[idx];
+        out.push_back(simFormat(
+            "cycle %10llu  %-12s pc=%llu arg=%llu",
+            static_cast<unsigned long long>(e.cycle), e.tag,
+            static_cast<unsigned long long>(e.pc),
+            static_cast<unsigned long long>(e.arg)));
+        idx = (idx + 1) % cap;
+    }
+    return out;
+}
+
+} // namespace imo

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Last-K-events diagnostic ring buffer.
+ *
+ * The pipeline models record a cheap POD event per interesting action
+ * (issue, memory reject, trap dispatch, graduation). When a watchdog
+ * fires, the ring is formatted into the SimError context chain so a
+ * Deadlock report carries the recent pipeline history instead of just
+ * "it stopped". Recording is a few stores — no allocation, no
+ * formatting — so it can sit on the per-instruction hot path.
+ */
+
+#ifndef IMO_COMMON_DIAGRING_HH
+#define IMO_COMMON_DIAGRING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace imo
+{
+
+/** One recorded event. @ref tag must point at a string literal. */
+struct DiagEvent
+{
+    Cycle cycle = 0;
+    const char *tag = "";
+    std::uint64_t pc = 0;
+    std::uint64_t arg = 0;
+};
+
+/** Fixed-capacity ring of the most recent DiagEvents. */
+class DiagRing
+{
+  public:
+    explicit DiagRing(std::size_t capacity = 32);
+
+    /** Record one event, evicting the oldest when full. */
+    void
+    push(Cycle cycle, const char *tag, std::uint64_t pc = 0,
+         std::uint64_t arg = 0)
+    {
+        DiagEvent &e = _events[_next];
+        e.cycle = cycle;
+        e.tag = tag;
+        e.pc = pc;
+        e.arg = arg;
+        _next = (_next + 1) % _events.size();
+        ++_recorded;
+    }
+
+    /** Total events ever recorded (>= events retained). */
+    std::uint64_t recorded() const { return _recorded; }
+
+    /** @return the retained events formatted oldest-first. */
+    std::vector<std::string> formatEvents() const;
+
+  private:
+    std::vector<DiagEvent> _events;
+    std::size_t _next = 0;
+    std::uint64_t _recorded = 0;
+};
+
+} // namespace imo
+
+#endif // IMO_COMMON_DIAGRING_HH

@@ -1,0 +1,98 @@
+#include "common/error.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace imo
+{
+
+namespace
+{
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n <= 0)
+        return {};
+    std::string out(static_cast<std::size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+} // anonymous namespace
+
+const char *
+errCodeName(ErrCode code)
+{
+    switch (code) {
+      case ErrCode::None: return "None";
+      case ErrCode::BadConfig: return "BadConfig";
+      case ErrCode::BadProgram: return "BadProgram";
+      case ErrCode::Deadlock: return "Deadlock";
+      case ErrCode::RunawayExecution: return "RunawayExecution";
+      case ErrCode::FaultInjected: return "FaultInjected";
+      case ErrCode::Internal: return "Internal";
+    }
+    return "?";
+}
+
+std::string
+SimError::format() const
+{
+    std::string out = "[";
+    out += errCodeName(code);
+    out += "] ";
+    out += message;
+    for (const std::string &note : context) {
+        out += "\n    ";
+        out += note;
+    }
+    return out;
+}
+
+SimException::SimException(ErrCode code, std::string message)
+{
+    _error.code = code;
+    _error.message = std::move(message);
+}
+
+SimException::SimException(SimError error) : _error(std::move(error)) {}
+
+const char *
+SimException::what() const noexcept
+{
+    if (_what.empty()) {
+        try {
+            _what = _error.format();
+        } catch (...) {
+            return _error.message.c_str();
+        }
+    }
+    return _what.c_str();
+}
+
+std::string
+simFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string out = vformat(fmt, args);
+    va_end(args);
+    return out;
+}
+
+void
+throwSimError(ErrCode code, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string message = vformat(fmt, args);
+    va_end(args);
+    throw SimException(code, std::move(message));
+}
+
+} // namespace imo

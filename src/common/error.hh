@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Structured, recoverable simulator errors.
+ *
+ * The logging layer (logging.hh) distinguishes internal invariant
+ * violations — panic(), which still aborts — from errors caused by the
+ * *inputs* to a simulation: a malformed program, an unrealizable machine
+ * configuration, a run that stops making forward progress, or an
+ * injected fault. The latter must never kill the process: a driver
+ * sweeping thousands of configurations has to be able to record the
+ * failure and move on. Those errors are carried by SimError and thrown
+ * as SimException; pipeline::simulate() catches them at the library
+ * boundary and surfaces them in RunResult.
+ */
+
+#ifndef IMO_COMMON_ERROR_HH
+#define IMO_COMMON_ERROR_HH
+
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <vector>
+
+namespace imo
+{
+
+/** Category of a recoverable simulation error. */
+enum class ErrCode : std::uint8_t
+{
+    None = 0,         //!< no error (default-constructed SimError)
+    BadConfig,        //!< unrealizable or inconsistent machine config
+    BadProgram,       //!< malformed program, statically or at runtime
+    Deadlock,         //!< forward-progress watchdog fired
+    RunawayExecution, //!< instruction budget exceeded (likely livelock)
+    FaultInjected,    //!< an injected fault was configured to be fatal
+    Internal,         //!< wrapped foreign exception (should not happen)
+};
+
+/** @return a stable short name, e.g. "BadConfig". */
+const char *errCodeName(ErrCode code);
+
+/**
+ * One structured error: code, primary message, and a chain of context
+ * notes added as the error propagates outward (innermost first).
+ */
+struct SimError
+{
+    ErrCode code = ErrCode::None;
+    std::string message;
+    std::vector<std::string> context;
+
+    bool ok() const { return code == ErrCode::None; }
+
+    /** @return "[Code] message" plus one indented line per note. */
+    std::string format() const;
+};
+
+/** The exception boundary for recoverable simulation errors. */
+class SimException : public std::exception
+{
+  public:
+    SimException(ErrCode code, std::string message);
+    explicit SimException(SimError error);
+
+    const SimError &error() const noexcept { return _error; }
+    ErrCode code() const noexcept { return _error.code; }
+
+    /** Append one context note (chainable). */
+    SimException &
+    withContext(std::string note)
+    {
+        _error.context.push_back(std::move(note));
+        _what.clear();
+        return *this;
+    }
+
+    const char *what() const noexcept override;
+
+  private:
+    SimError _error;
+    mutable std::string _what;
+};
+
+/** printf-style std::string formatting for error messages. */
+std::string simFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a message and throw SimException(@p code, message). */
+[[noreturn]] void throwSimError(ErrCode code, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace imo
+
+/**
+ * User-input check in the style of fatal_if(), but recoverable: throws
+ * SimException instead of exiting the process.
+ */
+#define sim_throw_if(cond, code, ...)                                       \
+    do {                                                                    \
+        if (cond) [[unlikely]]                                              \
+            ::imo::throwSimError(code, __VA_ARGS__);                        \
+    } while (0)
+
+#endif // IMO_COMMON_ERROR_HH

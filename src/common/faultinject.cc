@@ -1,0 +1,107 @@
+#include "common/faultinject.hh"
+
+#include "common/error.hh"
+
+namespace imo
+{
+
+const char *
+faultPointName(FaultPoint point)
+{
+    switch (point) {
+      case FaultPoint::MemLatencySpike: return "mem-latency-spike";
+      case FaultPoint::MshrExhaustion: return "mshr-exhaustion";
+      case FaultPoint::MispredictStorm: return "mispredict-storm";
+      case FaultPoint::StuckFill: return "stuck-fill";
+      case FaultPoint::HardFault: return "hard-fault";
+      case FaultPoint::NumPoints: break;
+    }
+    return "?";
+}
+
+bool
+faultPointFromName(const std::string &name, FaultPoint *out)
+{
+    for (std::size_t i = 0; i < numFaultPoints; ++i) {
+        const auto point = static_cast<FaultPoint>(i);
+        if (name == faultPointName(point)) {
+            if (out)
+                *out = point;
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+FaultSchedule::probabilityOf(FaultPoint point) const
+{
+    switch (point) {
+      case FaultPoint::MemLatencySpike: return memLatencySpike;
+      case FaultPoint::MshrExhaustion: return mshrExhaustion;
+      case FaultPoint::MispredictStorm: return mispredictStorm;
+      case FaultPoint::StuckFill: return stuckFill;
+      case FaultPoint::HardFault: return hardFault;
+      case FaultPoint::NumPoints: break;
+    }
+    return 0.0;
+}
+
+void
+FaultSchedule::setProbability(FaultPoint point, double p)
+{
+    switch (point) {
+      case FaultPoint::MemLatencySpike: memLatencySpike = p; return;
+      case FaultPoint::MshrExhaustion: mshrExhaustion = p; return;
+      case FaultPoint::MispredictStorm: mispredictStorm = p; return;
+      case FaultPoint::StuckFill: stuckFill = p; return;
+      case FaultPoint::HardFault: hardFault = p; return;
+      case FaultPoint::NumPoints: break;
+    }
+}
+
+bool
+FaultSchedule::any() const
+{
+    for (std::size_t i = 0; i < numFaultPoints; ++i) {
+        if (probabilityOf(static_cast<FaultPoint>(i)) > 0.0)
+            return true;
+    }
+    return false;
+}
+
+FaultInjector::FaultInjector(const FaultSchedule &schedule)
+    : _enabled(schedule.any()), _schedule(schedule)
+{
+    // One independent stream per point: the golden-ratio stride keeps
+    // the expanded seeds distinct even for small consecutive seeds.
+    for (std::size_t i = 0; i < numFaultPoints; ++i)
+        _rng[i] = Rng(schedule.seed + 0x9e3779b97f4a7c15ull * (i + 1));
+}
+
+std::uint64_t
+FaultInjector::totalFired() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : _count)
+        total += c;
+    return total;
+}
+
+std::string
+FaultInjector::summary() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < numFaultPoints; ++i) {
+        if (_count[i] == 0)
+            continue;
+        if (!out.empty())
+            out += ", ";
+        out += simFormat("%s=%llu",
+                         faultPointName(static_cast<FaultPoint>(i)),
+                         static_cast<unsigned long long>(_count[i]));
+    }
+    return out.empty() ? "none" : out;
+}
+
+} // namespace imo

@@ -29,6 +29,10 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     vreport("panic", fmt, args);
     va_end(args);
     std::fprintf(stderr, "  at %s:%d\n", file, line);
+    // Flush both streams so no diagnostic is lost when abort() tears
+    // the process down without running stdio cleanup.
+    std::fflush(stderr);
+    std::fflush(stdout);
     std::abort();
 }
 
@@ -40,6 +44,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     vreport("fatal", fmt, args);
     va_end(args);
     std::fprintf(stderr, "  at %s:%d\n", file, line);
+    std::fflush(stderr);
     std::exit(1);
 }
 
@@ -55,11 +60,13 @@ warnImpl(const char *fmt, ...)
 void
 informImpl(const char *fmt, ...)
 {
+    // Diagnostics consistently go to stderr so that stdout stays clean
+    // for machine-readable output (CSV rows, dumps).
     va_list args;
     va_start(args, fmt);
-    std::fprintf(stdout, "info: ");
-    std::vfprintf(stdout, fmt, args);
-    std::fprintf(stdout, "\n");
+    std::fprintf(stderr, "info: ");
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
     va_end(args);
 }
 

@@ -3,9 +3,14 @@
  * Error-reporting helpers in the spirit of gem5's base/logging.hh.
  *
  * panic()  — an internal invariant was violated (simulator bug); aborts.
- * fatal()  — the user asked for something impossible (bad config); exits.
+ * fatal()  — unrecoverable user error in a *tool* context; exits.
  * warn()   — something suspicious happened but simulation continues.
  * inform() — plain status output.
+ *
+ * Library code must not call fatal() for user-input errors (bad
+ * configs, malformed programs): throw a SimException from
+ * common/error.hh instead so drivers can recover. fatal() remains only
+ * for top-of-main tool code where exiting is the right answer.
  */
 
 #ifndef IMO_COMMON_LOGGING_HH

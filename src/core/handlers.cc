@@ -1,5 +1,6 @@
 #include "core/handlers.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace imo::core
@@ -28,8 +29,8 @@ isa::Label
 emitHashProfiler(ProgramBuilder &b, Addr table_base,
                  std::uint32_t table_slots_log2)
 {
-    fatal_if(table_slots_log2 == 0 || table_slots_log2 > 30,
-             "unreasonable hash table size");
+    sim_throw_if(table_slots_log2 == 0 || table_slots_log2 > 30,
+                 ErrCode::BadConfig, "unreasonable hash table size");
     const std::int64_t mask = (std::int64_t{1} << table_slots_log2) - 1;
     const std::uint8_t s0 = intReg(handlerScratchBase);
     const std::uint8_t s1 = intReg(handlerScratchBase + 1);
@@ -52,7 +53,8 @@ isa::Label
 emitPrefetcher(ProgramBuilder &b, std::uint8_t addr_reg,
                std::uint32_t lines, std::uint32_t line_bytes)
 {
-    fatal_if(lines == 0, "prefetch handler needs at least one line");
+    sim_throw_if(lines == 0, ErrCode::BadConfig,
+                 "prefetch handler needs at least one line");
     Label entry = b.newLabel();
     b.bind(entry);
     for (std::uint32_t i = 1; i <= lines; ++i) {
@@ -67,7 +69,8 @@ isa::Label
 emitSampledHandler(ProgramBuilder &b, Addr state_addr,
                    std::uint32_t period, std::uint32_t work_insts)
 {
-    fatal_if(period == 0, "sampling period must be nonzero");
+    sim_throw_if(period == 0, ErrCode::BadConfig,
+                 "sampling period must be nonzero");
     const std::uint8_t s0 = intReg(handlerScratchBase);
     const std::uint8_t s1 = intReg(handlerScratchBase + 1);
     const std::uint8_t s2 = intReg(handlerScratchBase + 2);
@@ -94,8 +97,9 @@ emitSampledHandler(ProgramBuilder &b, Addr state_addr,
 isa::Label
 emitThreadSwitcher(ProgramBuilder &b, const ThreadSwitchParams &params)
 {
-    fatal_if(params.numSavedRegs == 0 || params.numSavedRegs > 23,
-             "thread switcher can save r1..r23 only");
+    sim_throw_if(params.numSavedRegs == 0 || params.numSavedRegs > 23,
+                 ErrCode::BadConfig,
+                 "thread switcher can save r1..r23 only");
     const std::uint8_t tcb = intReg(30);
     const std::uint8_t scratch = intReg(31);
     const std::int64_t next_off =

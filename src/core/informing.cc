@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "isa/op.hh"
 
@@ -50,8 +51,8 @@ appendHandler(std::vector<Instruction> &out,
     const InstAddr entry = static_cast<InstAddr>(out.size());
     const std::uint8_t reg = static_cast<std::uint8_t>(
         params.firstScratchReg + which % params.rotateRegs);
-    fatal_if(reg >= isa::numIntRegs,
-             "handler scratch registers out of range");
+    sim_throw_if(reg >= isa::numIntRegs, ErrCode::BadConfig,
+                 "handler scratch registers out of range");
     for (std::uint32_t i = 0; i < params.length; ++i)
         out.push_back({.op = Op::ADDI, .rd = reg, .rs1 = reg, .imm = 1});
     out.push_back({.op = Op::RETMH});
@@ -64,8 +65,10 @@ Program
 instrument(const Program &base, InformingMode mode,
            const GenericHandlerParams &params)
 {
-    fatal_if(params.length == 0, "generic handler length must be nonzero");
-    fatal_if(params.rotateRegs == 0, "rotateRegs must be nonzero");
+    sim_throw_if(params.length == 0, ErrCode::BadConfig,
+                 "generic handler length must be nonzero");
+    sim_throw_if(params.rotateRegs == 0, ErrCode::BadConfig,
+                 "rotateRegs must be nonzero");
 
     const auto &insts = base.insts();
     const InstAddr n = base.size();
@@ -184,9 +187,9 @@ instrument(const Program &base, InformingMode mode,
     prog.setNumStaticRefs(next_ref);
 
     std::string why;
-    fatal_if(!prog.validate(&why),
-             "instrumented program '%s' invalid: %s",
-             prog.name().c_str(), why.c_str());
+    sim_throw_if(!prog.validate(&why), ErrCode::BadProgram,
+                 "instrumented program '%s' invalid: %s",
+                 prog.name().c_str(), why.c_str());
     return prog;
 }
 

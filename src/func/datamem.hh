@@ -10,7 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/logging.hh"
+#include "common/error.hh"
 #include "common/types.hh"
 
 namespace imo::func
@@ -26,8 +26,12 @@ class DataMemory
     std::uint64_t
     read64(Addr addr) const
     {
-        panic_if(addr & 7, "unaligned 64-bit read at %#llx",
-                 static_cast<unsigned long long>(addr));
+        // Effective addresses are program-controlled (base register +
+        // displacement), so misalignment is a program error, not an
+        // internal invariant violation.
+        sim_throw_if(addr & 7, ErrCode::BadProgram,
+                     "unaligned 64-bit read at %#llx",
+                     static_cast<unsigned long long>(addr));
         auto it = _pages.find(pageOf(addr));
         if (it == _pages.end())
             return 0;
@@ -37,8 +41,9 @@ class DataMemory
     void
     write64(Addr addr, std::uint64_t value)
     {
-        panic_if(addr & 7, "unaligned 64-bit write at %#llx",
-                 static_cast<unsigned long long>(addr));
+        sim_throw_if(addr & 7, ErrCode::BadProgram,
+                     "unaligned 64-bit write at %#llx",
+                     static_cast<unsigned long long>(addr));
         page(addr)[wordInPage(addr)] = value;
     }
 

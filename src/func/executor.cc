@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace imo::func
@@ -15,9 +16,9 @@ Executor::Executor(isa::Program program, const Config &config)
       _hier(config.l1, config.l2)
 {
     std::string why;
-    fatal_if(!_program.validate(&why),
-             "executor: invalid program '%s': %s",
-             _program.name().c_str(), why.c_str());
+    sim_throw_if(!_program.validate(&why), ErrCode::BadProgram,
+                 "executor: invalid program '%s': %s",
+                 _program.name().c_str(), why.c_str());
     for (const isa::DataSegment &seg : _program.data()) {
         for (std::size_t i = 0; i < seg.words.size(); ++i)
             _mem.write64(seg.base + i * 8, seg.words[i]);
@@ -59,12 +60,19 @@ Executor::next(TraceRecord &out)
     if (_state.halted)
         return false;
 
-    fatal_if(_stats.instructions >= _config.maxInstructions,
-             "program '%s' exceeded %llu instructions (runaway?)",
-             _program.name().c_str(),
-             static_cast<unsigned long long>(_config.maxInstructions));
+    sim_throw_if(_stats.instructions >= _config.maxInstructions,
+                 ErrCode::RunawayExecution,
+                 "program '%s' exceeded %llu instructions without "
+                 "halting (runaway?)",
+                 _program.name().c_str(),
+                 static_cast<unsigned long long>(_config.maxInstructions));
 
-    panic_if(_state.pc >= _program.size(), "pc %u out of range", _state.pc);
+    // Static targets were validated; only a dynamic transfer (JR,
+    // RETMH, or a trap through SETMHARR) can take the pc out of range.
+    sim_throw_if(_state.pc >= _program.size(), ErrCode::BadProgram,
+                 "program '%s': pc %u out of range (wild indirect "
+                 "jump or handler return)",
+                 _program.name().c_str(), _state.pc);
 
     const InstAddr pc = _state.pc;
     const isa::Instruction &in = _program.inst(pc);

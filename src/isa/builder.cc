@@ -1,5 +1,6 @@
 #include "isa/builder.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace imo::isa
@@ -364,9 +365,9 @@ ProgramBuilder::finish()
     for (const auto &[index, label_id] : _fixups) {
         panic_if(label_id >= _labelAddr.size(),
                  "finish: fixup names unknown label %u", label_id);
-        fatal_if(_labelAddr[label_id] < 0,
-                 "program '%s': label %u never bound",
-                 _name.c_str(), label_id);
+        sim_throw_if(_labelAddr[label_id] < 0, ErrCode::BadProgram,
+                     "program '%s': label %u never bound",
+                     _name.c_str(), label_id);
         _insts[index].imm = _labelAddr[label_id];
     }
     for (const std::size_t index : _pcRelFixups) {
@@ -387,8 +388,9 @@ ProgramBuilder::finish()
         prog.addData(std::move(seg));
 
     std::string why;
-    fatal_if(!prog.validate(&why), "program '%s' failed validation: %s",
-             prog.name().c_str(), why.c_str());
+    sim_throw_if(!prog.validate(&why), ErrCode::BadProgram,
+                 "program '%s' failed validation: %s",
+                 prog.name().c_str(), why.c_str());
 
     _insts.clear();
     _data.clear();

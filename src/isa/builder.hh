@@ -125,7 +125,8 @@ class ProgramBuilder
     /**
      * Patch labels, assign dense staticRefIds to all data references,
      * validate, and return the finished program. The builder is left
-     * empty. Aborts via fatal() if the program does not validate.
+     * empty. Throws SimException(BadProgram) if a label was never
+     * bound or the program does not validate.
      */
     Program finish();
 

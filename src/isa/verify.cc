@@ -1,0 +1,86 @@
+#include "isa/verify.hh"
+
+#include <vector>
+
+#include "common/error.hh"
+
+namespace imo::isa
+{
+
+void
+verifyProgram(const Program &program)
+{
+    std::string why;
+    sim_throw_if(!program.validate(&why), ErrCode::BadProgram,
+                 "program '%s': %s", program.name().c_str(), why.c_str());
+
+    // Halt reachability over the static CFG. validate() has already
+    // guaranteed every static target is in range.
+    const InstAddr n = program.size();
+    std::vector<char> seen(n, 0);
+    std::vector<InstAddr> work;
+    seen[0] = 1;
+    work.push_back(0);
+
+    bool universal = false;  // a dynamic transfer can reach anything
+    auto visit = [&](std::int64_t target) {
+        if (target >= 0 && target < static_cast<std::int64_t>(n) &&
+            !seen[static_cast<InstAddr>(target)]) {
+            seen[static_cast<InstAddr>(target)] = 1;
+            work.push_back(static_cast<InstAddr>(target));
+        }
+    };
+
+    while (!work.empty() && !universal) {
+        const InstAddr pc = work.back();
+        work.pop_back();
+        const Instruction &in = program.inst(pc);
+        switch (in.op) {
+          case Op::HALT:
+            break;
+          case Op::J:
+          case Op::JAL:
+            visit(in.imm);
+            break;
+          case Op::JR:
+          case Op::RETMH:
+            universal = true;
+            break;
+          case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+          case Op::BRMISS: case Op::BRMISS2:
+            visit(in.imm);
+            visit(static_cast<std::int64_t>(pc) + 1);
+            break;
+          case Op::SETMHAR:
+            // A nonzero MHAR makes the handler a potential trap entry.
+            if (in.imm != 0)
+                visit(in.imm);
+            visit(static_cast<std::int64_t>(pc) + 1);
+            break;
+          case Op::SETMHARPC:
+            visit(static_cast<std::int64_t>(pc) + in.imm);
+            visit(static_cast<std::int64_t>(pc) + 1);
+            break;
+          case Op::SETMHARR:
+            universal = true;
+            break;
+          default:
+            visit(static_cast<std::int64_t>(pc) + 1);
+            break;
+        }
+    }
+
+    if (universal)
+        return;
+
+    for (InstAddr pc = 0; pc < n; ++pc) {
+        if (seen[pc] && program.inst(pc).op == Op::HALT)
+            return;
+    }
+    throwSimError(ErrCode::BadProgram,
+                  "program '%s': no HALT is reachable from the entry "
+                  "point (guaranteed non-termination)",
+                  program.name().c_str());
+}
+
+} // namespace imo::isa

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Whole-program static verification with structured errors.
+ *
+ * Program::validate() answers "is this program well-formed?" as a
+ * bool + description. verifyProgram() is the hardened entry point used
+ * by pipeline::simulate() and the CLI tools: it throws
+ * SimException(BadProgram) on any structural problem (register indices,
+ * control/SETMHAR targets, trap levels, static-ref density) and
+ * additionally proves that a HALT is reachable from the entry point, so
+ * obviously non-terminating programs are rejected before they burn the
+ * runaway-instruction budget.
+ */
+
+#ifndef IMO_ISA_VERIFY_HH
+#define IMO_ISA_VERIFY_HH
+
+#include "isa/program.hh"
+
+namespace imo::isa
+{
+
+/**
+ * Verify @p program, throwing SimException(ErrCode::BadProgram) on the
+ * first problem found.
+ *
+ * Reachability is computed over the static CFG from pc 0. Dynamic
+ * transfers whose target cannot be known statically (JR, RETMH,
+ * SETMHARR) conservatively mark every instruction reachable, so no
+ * valid program is ever rejected.
+ */
+void verifyProgram(const Program &program);
+
+} // namespace imo::isa
+
+#endif // IMO_ISA_VERIFY_HH

@@ -7,8 +7,9 @@
 #define IMO_MEMORY_GEOMETRY_HH
 
 #include <cstdint>
+#include <string>
 
-#include "common/logging.hh"
+#include "common/error.hh"
 #include "common/types.hh"
 
 namespace imo::memory
@@ -45,21 +46,42 @@ struct CacheGeometry
         return addr / lineBytes / numSets();
     }
 
-    /** Abort if the geometry is not realizable. */
+    /**
+     * @return true if the geometry is realizable; otherwise false,
+     * with a description of the first problem in @p why (if non-null).
+     */
+    bool
+    wellFormed(std::string *why = nullptr) const
+    {
+        auto fail = [&](std::string text) {
+            if (why)
+                *why = std::move(text);
+            return false;
+        };
+        if (sizeBytes == 0 || lineBytes == 0 || assoc == 0)
+            return fail("cache geometry has a zero parameter");
+        if (lineBytes & (lineBytes - 1))
+            return fail(simFormat("line size %u is not a power of two",
+                                  lineBytes));
+        if (sizeBytes % (static_cast<std::uint64_t>(lineBytes) * assoc))
+            return fail(simFormat(
+                "cache size %llu not divisible by line*assoc",
+                static_cast<unsigned long long>(sizeBytes)));
+        const std::uint64_t sets = numSets();
+        if (sets == 0 || (sets & (sets - 1)))
+            return fail(simFormat(
+                "cache set count %llu is not a power of two",
+                static_cast<unsigned long long>(sets)));
+        return true;
+    }
+
+    /** Throw SimException(BadConfig) if the geometry is not realizable. */
     void
     check() const
     {
-        fatal_if(sizeBytes == 0 || lineBytes == 0 || assoc == 0,
-                 "cache geometry has a zero parameter");
-        fatal_if(lineBytes & (lineBytes - 1),
-                 "line size %u is not a power of two", lineBytes);
-        fatal_if(sizeBytes % (static_cast<std::uint64_t>(lineBytes) * assoc),
-                 "cache size %llu not divisible by line*assoc",
-                 static_cast<unsigned long long>(sizeBytes));
-        const std::uint64_t sets = numSets();
-        fatal_if(sets == 0 || (sets & (sets - 1)),
-                 "cache set count %llu is not a power of two",
-                 static_cast<unsigned long long>(sets));
+        std::string why;
+        sim_throw_if(!wellFormed(&why), ErrCode::BadConfig,
+                     "cache geometry: %s", why.c_str());
     }
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace imo::memory
@@ -12,7 +13,8 @@ MshrFile::MshrFile(std::uint32_t entries, Cycle fill_cycles,
     : _file(entries), _entries32(entries), _fillCycles(fill_cycles),
       _extendedLifetime(extended_lifetime)
 {
-    fatal_if(entries == 0, "MSHR file needs at least one entry");
+    sim_throw_if(entries == 0, ErrCode::BadConfig,
+                 "MSHR file needs at least one entry");
 }
 
 void

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.hh"
+#include "common/error.hh"
 
 namespace imo::memory
 {
@@ -12,10 +12,12 @@ TimingMemorySystem::TimingMemorySystem(const TimingMemoryParams &params)
       _mshrs(params.mshrs, params.fillCycles, params.extendedMshrLifetime),
       _bankFree(params.banks, 0)
 {
-    fatal_if(params.banks == 0, "memory system needs at least one bank");
-    fatal_if(params.lineBytes == 0 ||
-             (params.lineBytes & (params.lineBytes - 1)),
-             "line size must be a power of two");
+    sim_throw_if(params.banks == 0, ErrCode::BadConfig,
+                 "memory system needs at least one bank");
+    sim_throw_if(params.lineBytes == 0 ||
+                 (params.lineBytes & (params.lineBytes - 1)),
+                 ErrCode::BadConfig,
+                 "line size must be a power of two");
 }
 
 std::uint32_t
@@ -45,6 +47,25 @@ TimingMemorySystem::request(Addr addr, MemLevel level, Cycle now)
         return result;
     }
 
+    // Fault-injection points on the miss path. HardFault propagates a
+    // structured error straight out of the timing model;
+    // MshrExhaustion refuses this allocation attempt (the pipeline
+    // retries, drawing afresh each cycle).
+    if (_faults && _faults->enabled()) {
+        if (_faults->fire(FaultPoint::HardFault)) {
+            throwSimError(ErrCode::FaultInjected,
+                          "injected hard fault on %s miss to %#llx at "
+                          "cycle %llu", memLevelName(level),
+                          static_cast<unsigned long long>(addr),
+                          static_cast<unsigned long long>(now));
+        }
+        if (_faults->fire(FaultPoint::MshrExhaustion)) {
+            ++_injectedRejects;
+            result.retryCycle = now + 1;
+            return result;
+        }
+    }
+
     // Miss: the fill completion time depends on the servicing level.
     // Main-memory requests additionally contend for memory bandwidth
     // (one access may begin per memBandwidth cycles).
@@ -55,6 +76,13 @@ TimingMemorySystem::request(Addr addr, MemLevel level, Cycle now)
     } else {
         begin = std::max(now, _nextMemSlot);
         data_ready = begin + _params.memLatency;
+    }
+
+    if (_faults && _faults->enabled()) {
+        if (_faults->fire(FaultPoint::MemLatencySpike))
+            data_ready += _faults->schedule().spikeCycles;
+        if (_faults->fire(FaultPoint::StuckFill))
+            data_ready += _faults->schedule().stuckCycles;
     }
 
     const Addr line = addr & ~static_cast<Addr>(_params.lineBytes - 1);

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/faultinject.hh"
 #include "common/types.hh"
 #include "memory/geometry.hh"
 #include "memory/mshr.hh"
@@ -76,9 +77,17 @@ class TimingMemorySystem
     MshrFile &mshrFile() { return _mshrs; }
     const TimingMemoryParams &params() const { return _params; }
 
+    /**
+     * Attach a fault injector (not owned; may be nullptr). Miss-path
+     * requests then consult the MemLatencySpike / MshrExhaustion /
+     * StuckFill / HardFault points.
+     */
+    void setFaultInjector(FaultInjector *faults) { _faults = faults; }
+
     // Statistics.
     std::uint64_t bankConflicts() const { return _bankConflicts; }
     std::uint64_t memQueueCycles() const { return _memQueueCycles; }
+    std::uint64_t injectedRejects() const { return _injectedRejects; }
 
   private:
     std::uint32_t bankOf(Addr addr) const;
@@ -87,9 +96,11 @@ class TimingMemorySystem
     MshrFile _mshrs;
     std::vector<Cycle> _bankFree;
     Cycle _nextMemSlot = 0;
+    FaultInjector *_faults = nullptr;
 
     std::uint64_t _bankConflicts = 0;
     std::uint64_t _memQueueCycles = 0;
+    std::uint64_t _injectedRejects = 0;
 };
 
 } // namespace imo::memory

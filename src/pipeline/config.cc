@@ -1,7 +1,95 @@
 #include "pipeline/config.hh"
 
+#include "common/error.hh"
+
 namespace imo::pipeline
 {
+
+namespace
+{
+
+bool
+powerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
+
+std::vector<std::string>
+MachineConfig::check() const
+{
+    std::vector<std::string> issues;
+    auto bad = [&](std::string text) { issues.push_back(std::move(text)); };
+
+    if (issueWidth == 0)
+        bad("issue width is zero");
+    else if (issueWidth > 64)
+        bad(simFormat("issue width %u is unreasonably large", issueWidth));
+    if (outOfOrder && robSize == 0)
+        bad("out-of-order machine with an empty reorder buffer");
+    if (fus.intUnits == 0)
+        bad("no integer units");
+    if (fus.fpUnits == 0)
+        bad("no floating-point units");
+    if (fus.branchUnits == 0)
+        bad("no branch units");
+    if (!powerOfTwo(predictorEntries))
+        bad(simFormat("predictor table size %u is not a power of two",
+                      predictorEntries));
+    if (!powerOfTwo(btbEntries))
+        bad(simFormat("BTB size %u is not a power of two", btbEntries));
+    if (maxInstructions == 0)
+        bad("instruction budget (maxInstructions) is zero");
+
+    std::string why;
+    if (!l1.wellFormed(&why))
+        bad(simFormat("L1 %s", why.c_str()));
+    if (!l2.wellFormed(&why))
+        bad(simFormat("L2 %s", why.c_str()));
+
+    if (mem.banks == 0)
+        bad("timing memory system has zero banks");
+    if (!powerOfTwo(mem.lineBytes))
+        bad(simFormat("timing line size %u is not a power of two",
+                      mem.lineBytes));
+    if (mem.mshrs == 0)
+        bad("MSHR file has zero entries");
+
+    // Cross-parameter consistency: the timing model and the functional
+    // reference hierarchy must agree on the transfer unit, and a
+    // memory access cannot be faster than a secondary hit.
+    if (powerOfTwo(mem.lineBytes) && l1.wellFormed()) {
+        if (mem.lineBytes != l1.lineBytes)
+            bad(simFormat("timing line size %u differs from functional "
+                          "L1 line size %u", mem.lineBytes, l1.lineBytes));
+    }
+    if (l1.wellFormed() && l2.wellFormed() &&
+        l1.lineBytes != l2.lineBytes) {
+        bad(simFormat("L1 line size %u differs from L2 line size %u",
+                      l1.lineBytes, l2.lineBytes));
+    }
+    if (mem.memLatency < mem.l2Latency)
+        bad(simFormat("memory latency %llu below secondary latency %llu",
+                      static_cast<unsigned long long>(mem.memLatency),
+                      static_cast<unsigned long long>(mem.l2Latency)));
+
+    return issues;
+}
+
+void
+MachineConfig::validate() const
+{
+    const std::vector<std::string> issues = check();
+    if (issues.empty())
+        return;
+    SimException ex(ErrCode::BadConfig,
+                    simFormat("machine config '%s': %s", name.c_str(),
+                              issues.front().c_str()));
+    for (std::size_t i = 1; i < issues.size(); ++i)
+        ex.withContext(issues[i]);
+    throw ex;
+}
 
 Cycle
 LatencyTable::forClass(isa::OpClass cls) const

@@ -13,11 +13,17 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 #include "isa/op.hh"
 #include "memory/geometry.hh"
 #include "memory/timing.hh"
+
+namespace imo
+{
+class FaultInjector;
+} // namespace imo
 
 namespace imo::pipeline
 {
@@ -104,6 +110,33 @@ struct MachineConfig
     /** Content geometry for the functional reference hierarchy. */
     memory::CacheGeometry l1;
     memory::CacheGeometry l2;
+
+    // Robustness knobs (not paper parameters).
+
+    /**
+     * Forward-progress watchdog: if an instruction's completion lands
+     * more than this many cycles past the last graduation, or a memory
+     * reference keeps being rejected (MSHR/bank livelock) for this
+     * long, the run is stopped with a structured Deadlock error
+     * carrying a recent-event dump. 0 disables the watchdog.
+     */
+    Cycle watchdogCycles = 2'000'000;
+
+    /** Functional runaway bound forwarded to func::Executor; exceeding
+     *  it raises a RunawayExecution error. */
+    std::uint64_t maxInstructions = 400'000'000;
+
+    /** Optional fault injector (not owned; nullptr = no faults). */
+    FaultInjector *faults = nullptr;
+
+    /**
+     * Collect every problem that makes this configuration
+     * unrealizable or internally inconsistent. Empty means valid.
+     */
+    std::vector<std::string> check() const;
+
+    /** Throw SimException(BadConfig) listing the problems, if any. */
+    void validate() const;
 };
 
 /** @return the out-of-order (MIPS R10000-like) configuration. */

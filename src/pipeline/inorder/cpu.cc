@@ -4,10 +4,14 @@
 #include <array>
 
 #include "branch/predictor.hh"
+#include "common/diagring.hh"
+#include "common/error.hh"
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "isa/instruction.hh"
 #include "memory/timing.hh"
 #include "pipeline/timing_util.hh"
+#include "pipeline/watchdog.hh"
 
 namespace imo::pipeline
 {
@@ -39,9 +43,9 @@ groupOf(OpClass cls, const FuPool &fus)
 
 InOrderCpu::InOrderCpu(const MachineConfig &config) : _config(config)
 {
-    fatal_if(config.outOfOrder,
-             "InOrderCpu given an out-of-order configuration '%s'",
-             config.name.c_str());
+    sim_throw_if(config.outOfOrder, ErrCode::BadConfig,
+                 "InOrderCpu given an out-of-order configuration '%s'",
+                 config.name.c_str());
 }
 
 RunResult
@@ -58,12 +62,20 @@ InOrderCpu::run(func::TraceSource &src)
                            cfg.issueWidth});
     GraduationLedger ledger(cfg.issueWidth);
     memory::TimingMemorySystem mem(cfg.mem);
+    mem.setFaultInjector(cfg.faults);
     branch::TwoBitPredictor bimodal(cfg.predictorEntries);
     branch::GsharePredictor gshare(cfg.predictorEntries);
     auto predict_and_update = [&](InstAddr pc, bool taken) {
-        return cfg.useGshare ? gshare.predictAndUpdate(pc, taken)
-                             : bimodal.predictAndUpdate(pc, taken);
+        bool correct = cfg.useGshare ? gshare.predictAndUpdate(pc, taken)
+                                     : bimodal.predictAndUpdate(pc, taken);
+        if (cfg.faults && cfg.faults->fire(FaultPoint::MispredictStorm))
+            correct = false;
+        return correct;
     };
+
+    // Forward-progress watchdog + recent-event ring for diagnostics.
+    const Cycle watchdog = cfg.watchdogCycles;
+    DiagRing ring(32);
 
     // Register scoreboard: when each value becomes available, and
     // whether it is being produced by an in-flight primary-cache miss
@@ -129,7 +141,9 @@ InOrderCpu::run(func::TraceSource &src)
           case OpClass::Store:
           case OpClass::Prefetch: {
             // Present the reference to the lockup-free memory system,
-            // retrying on structural hazards (bank/MSHR busy).
+            // retrying on structural hazards (bank/MSHR busy). A
+            // reference that keeps being rejected is a livelock: the
+            // watchdog converts it into a structured Deadlock error.
             Cycle probe = issue;
             memory::MemRequestResult mr;
             for (;;) {
@@ -137,7 +151,20 @@ InOrderCpu::run(func::TraceSource &src)
                 if (mr.accepted)
                     break;
                 probe = std::max(mr.retryCycle, probe + 1);
+                if (watchdog && probe > issue + watchdog) {
+                    ring.push(probe, "stuck-ref", r.pc,
+                              mem.mshrFile().busyEntries(probe));
+                    raiseDeadlock(ring, simFormat(
+                        "memory reference at pc %u (addr %#llx) "
+                        "rejected for %llu cycles (MSHR/bank livelock; "
+                        "%u of %u MSHRs busy)",
+                        r.pc, static_cast<unsigned long long>(r.addr),
+                        static_cast<unsigned long long>(probe - issue),
+                        mem.mshrFile().busyEntries(probe),
+                        mem.mshrFile().capacity()));
+                }
             }
+            ring.push(probe, "mem-accept", r.pc, r.addr);
             const Cycle miss_detect = probe + 1;
             const bool missed = r.level != MemLevel::L1;
 
@@ -175,6 +202,7 @@ InOrderCpu::run(func::TraceSource &src)
                     ++res.traps;
                     mhrr_ready = miss_detect + 1;
                     flush_at(miss_detect + cfg.replayTrapPenalty);
+                    ring.push(miss_detect, "trap", r.pc, r.addr);
                 }
             }
             break;
@@ -199,6 +227,7 @@ InOrderCpu::run(func::TraceSource &src)
                 if (!correct) {
                     ++res.mispredicts;
                     flush_at(resolve + cfg.redirectPenalty);
+                    ring.push(resolve, "mispredict", r.pc, r.taken);
                 } else if (r.taken) {
                     fetch.redirectTaken(fc);
                 }
@@ -240,6 +269,22 @@ InOrderCpu::run(func::TraceSource &src)
         if (r.handlerCode)
             ++res.handlerInstructions;
 
+        // Retirement watchdog: a completion time that runs away from
+        // the graduation frontier means nothing will retire for an
+        // implausibly long time (e.g. a stuck fill).
+        if (watchdog && complete > ledger.lastCycle() + watchdog) {
+            ring.push(complete, "no-retire", r.pc, ledger.lastCycle());
+            raiseDeadlock(ring, simFormat(
+                "no retirement for %llu cycles: pc %u completes at "
+                "cycle %llu, last graduation at %llu",
+                static_cast<unsigned long long>(
+                    complete - ledger.lastCycle()),
+                r.pc, static_cast<unsigned long long>(complete),
+                static_cast<unsigned long long>(ledger.lastCycle())));
+        }
+
+        ring.push(complete, "grad", r.pc,
+                  static_cast<std::uint64_t>(in.op));
         ledger.graduate(complete, cache_reason);
     }
 

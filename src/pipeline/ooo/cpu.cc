@@ -5,10 +5,14 @@
 #include <vector>
 
 #include "branch/predictor.hh"
+#include "common/diagring.hh"
+#include "common/error.hh"
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "isa/instruction.hh"
 #include "memory/timing.hh"
 #include "pipeline/timing_util.hh"
+#include "pipeline/watchdog.hh"
 
 namespace imo::pipeline
 {
@@ -40,10 +44,11 @@ groupOf(OpClass cls)
 
 OooCpu::OooCpu(const MachineConfig &config) : _config(config)
 {
-    fatal_if(!config.outOfOrder,
-             "OooCpu given an in-order configuration '%s'",
-             config.name.c_str());
-    fatal_if(config.robSize == 0, "reorder buffer must be nonempty");
+    sim_throw_if(!config.outOfOrder, ErrCode::BadConfig,
+                 "OooCpu given an in-order configuration '%s'",
+                 config.name.c_str());
+    sim_throw_if(config.robSize == 0, ErrCode::BadConfig,
+                 "reorder buffer must be nonempty");
 }
 
 RunResult
@@ -58,12 +63,20 @@ OooCpu::run(func::TraceSource &src)
          cfg.issueWidth});
     GraduationLedger ledger(cfg.issueWidth);
     memory::TimingMemorySystem mem(cfg.mem);
+    mem.setFaultInjector(cfg.faults);
     branch::TwoBitPredictor bimodal(cfg.predictorEntries);
     branch::GsharePredictor gshare(cfg.predictorEntries);
     auto predict_and_update = [&](InstAddr pc, bool taken) {
-        return cfg.useGshare ? gshare.predictAndUpdate(pc, taken)
-                             : bimodal.predictAndUpdate(pc, taken);
+        bool correct = cfg.useGshare ? gshare.predictAndUpdate(pc, taken)
+                                     : bimodal.predictAndUpdate(pc, taken);
+        if (cfg.faults && cfg.faults->fire(FaultPoint::MispredictStorm))
+            correct = false;
+        return correct;
     };
+
+    // Forward-progress watchdog + recent-event ring for diagnostics.
+    const Cycle watchdog = cfg.watchdogCycles;
+    DiagRing ring(32);
 
     SlotTable fu_int(cfg.fus.intUnits);
     SlotTable fu_fp(cfg.fus.fpUnits);
@@ -159,6 +172,9 @@ OooCpu::run(func::TraceSource &src)
           case OpClass::Load:
           case OpClass::Store:
           case OpClass::Prefetch: {
+            // Retry structural-hazard rejections (bank/MSHR busy); a
+            // reference that is rejected forever is a livelock the
+            // watchdog converts into a structured Deadlock error.
             Cycle probe = issue;
             memory::MemRequestResult mr;
             for (;;) {
@@ -166,7 +182,20 @@ OooCpu::run(func::TraceSource &src)
                 if (mr.accepted)
                     break;
                 probe = std::max(mr.retryCycle, probe + 1);
+                if (watchdog && probe > issue + watchdog) {
+                    ring.push(probe, "stuck-ref", r.pc,
+                              mem.mshrFile().busyEntries(probe));
+                    raiseDeadlock(ring, simFormat(
+                        "memory reference at pc %u (addr %#llx) "
+                        "rejected for %llu cycles (MSHR/bank livelock; "
+                        "%u of %u MSHRs busy)",
+                        r.pc, static_cast<unsigned long long>(r.addr),
+                        static_cast<unsigned long long>(probe - issue),
+                        mem.mshrFile().busyEntries(probe),
+                        mem.mshrFile().capacity()));
+                }
             }
+            ring.push(probe, "mem-accept", r.pc, r.addr);
             const Cycle miss_detect = probe + 1;
             const bool missed = r.level != MemLevel::L1;
 
@@ -190,6 +219,7 @@ OooCpu::run(func::TraceSource &src)
 
                 if (r.trapped) {
                     ++res.traps;
+                    ring.push(miss_detect, "trap", r.pc, r.addr);
                     if (branch_style) {
                         // Redirect like a mispredicted branch as soon
                         // as the miss is detected.
@@ -225,6 +255,7 @@ OooCpu::run(func::TraceSource &src)
                 if (!correct) {
                     ++res.mispredicts;
                     fetch.gate(resolve + cfg.redirectPenalty);
+                    ring.push(resolve, "mispredict", r.pc, r.taken);
                     if (_wrongPathProbes > 0) {
                         // Inject squashed speculative line fetches past
                         // the mispredicted branch (section 3.3). They
@@ -292,6 +323,22 @@ OooCpu::run(func::TraceSource &src)
             fetch.gate(at_head + cfg.exceptionFlushPenalty);
         }
 
+        // Retirement watchdog: a completion time that runs away from
+        // the graduation frontier means nothing will retire for an
+        // implausibly long time (e.g. a stuck fill).
+        if (watchdog && complete > ledger.lastCycle() + watchdog) {
+            ring.push(complete, "no-retire", r.pc, ledger.lastCycle());
+            raiseDeadlock(ring, simFormat(
+                "no retirement for %llu cycles: pc %u completes at "
+                "cycle %llu, last graduation at %llu",
+                static_cast<unsigned long long>(
+                    complete - ledger.lastCycle()),
+                r.pc, static_cast<unsigned long long>(complete),
+                static_cast<unsigned long long>(ledger.lastCycle())));
+        }
+
+        ring.push(complete, "grad", r.pc,
+                  static_cast<std::uint64_t>(in.op));
         const Cycle grad = ledger.graduate(complete + 1, cache_reason);
         grad_history[index % cfg.robSize] = grad;
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/error.hh"
 #include "common/types.hh"
 
 namespace imo::pipeline
@@ -17,11 +18,20 @@ namespace imo::pipeline
 /**
  * Timing outcome plus the graduation-slot breakdown used by the
  * paper's Figures 2-3 (busy / lost-to-cache-miss / lost-other).
+ *
+ * A run that failed validation, deadlocked, ran away, or hit a fatal
+ * injected fault comes back with ok == false and the structured error
+ * in @ref error; the statistics then cover only the portion simulated
+ * before the failure (usually nothing).
  */
 struct RunResult
 {
     std::string machine;
     std::string workload;
+
+    bool ok = true;         //!< false: @ref error describes the failure
+    SimError error;
+    std::uint64_t faultsInjected = 0; //!< injector firings (snapshot)
 
     Cycle cycles = 0;
     std::uint32_t issueWidth = 4;

@@ -1,5 +1,8 @@
 #include "pipeline/simulate.hh"
 
+#include "common/error.hh"
+#include "common/faultinject.hh"
+#include "isa/verify.hh"
 #include "pipeline/inorder/cpu.hh"
 #include "pipeline/ooo/cpu.hh"
 
@@ -10,20 +13,41 @@ RunResult
 simulate(const isa::Program &program, const MachineConfig &config,
          func::ExecStats *exec_stats)
 {
-    func::Executor exec(program,
-                        func::Executor::Config{.l1 = config.l1,
-                                               .l2 = config.l2});
     RunResult result;
-    if (config.outOfOrder) {
-        OooCpu cpu(config);
-        result = cpu.run(exec);
-    } else {
-        InOrderCpu cpu(config);
-        result = cpu.run(exec);
-    }
+    result.machine = config.name;
     result.workload = program.name();
-    if (exec_stats)
-        *exec_stats = exec.stats();
+    result.issueWidth = config.issueWidth;
+
+    try {
+        config.validate();
+        isa::verifyProgram(program);
+
+        func::Executor exec(program,
+                            func::Executor::Config{
+                                .l1 = config.l1,
+                                .l2 = config.l2,
+                                .maxInstructions = config.maxInstructions});
+        if (config.outOfOrder) {
+            OooCpu cpu(config);
+            result = cpu.run(exec);
+        } else {
+            InOrderCpu cpu(config);
+            result = cpu.run(exec);
+        }
+        result.workload = program.name();
+        if (exec_stats)
+            *exec_stats = exec.stats();
+    } catch (const SimException &e) {
+        result.ok = false;
+        result.error = e.error();
+    } catch (const std::exception &e) {
+        // Anything else escaping the models is a simulator bug, but we
+        // still refuse to take the process down with us.
+        result.ok = false;
+        result.error = SimError{ErrCode::Internal, e.what(), {}};
+    }
+    if (config.faults)
+        result.faultsInjected = config.faults->totalFired();
     return result;
 }
 

@@ -19,6 +19,12 @@ namespace imo::pipeline
  * Execute @p program functionally against @p config's reference cache
  * hierarchy while replaying it through the matching timing model.
  *
+ * The configuration and program are validated first
+ * (MachineConfig::validate(), isa::verifyProgram()). Never throws for
+ * input- or run-level failures: any SimException raised during
+ * validation or simulation is captured in the result (ok == false),
+ * so sweep drivers can record the error and continue.
+ *
  * @return the timing result; @p exec_stats (optional) receives the
  * functional-side statistics.
  */

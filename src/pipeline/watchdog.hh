@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Forward-progress watchdog shared by the two pipeline models.
+ *
+ * The timing loops are trace-driven, so the only ways they can stop
+ * making progress are (a) a memory reference that is rejected forever
+ * (MSHR/bank livelock, e.g. under injected MSHR exhaustion) and (b) a
+ * completion time that runs away from the graduation frontier (e.g. a
+ * stuck fill). Both are detected against MachineConfig::watchdogCycles
+ * and converted into a structured Deadlock error that carries the
+ * recent-event ring as its context chain.
+ */
+
+#ifndef IMO_PIPELINE_WATCHDOG_HH
+#define IMO_PIPELINE_WATCHDOG_HH
+
+#include <string>
+
+#include "common/diagring.hh"
+#include "common/error.hh"
+
+namespace imo::pipeline
+{
+
+/** Throw SimException(Deadlock, @p message) with the ring as context. */
+[[noreturn]] inline void
+raiseDeadlock(const DiagRing &ring, std::string message)
+{
+    SimException ex(ErrCode::Deadlock, std::move(message));
+    std::vector<std::string> events = ring.formatEvents();
+    ex.withContext(simFormat(
+        "last %zu pipeline events (of %llu recorded), oldest first:",
+        events.size(),
+        static_cast<unsigned long long>(ring.recorded())));
+    for (std::string &line : events)
+        ex.withContext(std::move(line));
+    throw ex;
+}
+
+} // namespace imo::pipeline
+
+#endif // IMO_PIPELINE_WATCHDOG_HH

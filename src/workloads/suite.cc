@@ -1,5 +1,6 @@
 #include "workloads/suite.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace imo::workloads
@@ -65,7 +66,8 @@ isa::Program
 build(const std::string &name, const WorkloadParams &params)
 {
     const BenchmarkInfo *info = find(name);
-    fatal_if(!info, "unknown benchmark '%s'", name.c_str());
+    sim_throw_if(!info, ErrCode::BadConfig,
+                 "unknown benchmark '%s'", name.c_str());
     return info->build(params);
 }
 

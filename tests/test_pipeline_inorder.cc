@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+
 #include "pipeline/inorder/cpu.hh"
 #include "pipeline/simulate.hh"
 #include "trace_helpers.hh"
@@ -35,8 +37,14 @@ run(TraceBuilder &tb, const MachineConfig &config)
 
 TEST(InOrder, RejectsOooConfig)
 {
-    EXPECT_EXIT(InOrderCpu cpu(pipeline::makeOutOfOrderConfig()),
-                ::testing::ExitedWithCode(1), "out-of-order");
+    try {
+        InOrderCpu cpu(pipeline::makeOutOfOrderConfig());
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().code, ErrCode::BadConfig);
+        EXPECT_NE(e.error().message.find("out-of-order"),
+                  std::string::npos);
+    }
 }
 
 TEST(InOrder, SlotConservation)

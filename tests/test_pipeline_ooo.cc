@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+
 #include "pipeline/ooo/cpu.hh"
 #include "pipeline/simulate.hh"
 #include "trace_helpers.hh"
@@ -38,8 +40,14 @@ run(TraceBuilder &tb, const MachineConfig &config)
 
 TEST(Ooo, RejectsInOrderConfig)
 {
-    EXPECT_EXIT(OooCpu cpu(pipeline::makeInOrderConfig()),
-                ::testing::ExitedWithCode(1), "in-order");
+    try {
+        OooCpu cpu(pipeline::makeInOrderConfig());
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().code, ErrCode::BadConfig);
+        EXPECT_NE(e.error().message.find("in-order"),
+                  std::string::npos);
+    }
 }
 
 TEST(Ooo, SlotConservation)

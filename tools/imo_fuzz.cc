@@ -1,0 +1,350 @@
+/**
+ * @file
+ * imo-fuzz: robustness harness for the simulation engine.
+ *
+ *   imo-fuzz [--iterations N] [--seed S] [--verbose]
+ *
+ * Each iteration generates a random (but terminating) MRISC program,
+ * picks a scenario — valid run, statically corrupted program, corrupted
+ * machine configuration, dynamically non-terminating program, or a
+ * fault-injected run — and drives pipeline::simulate(). The engine must
+ * either complete (result.ok) or come back with a structured error of
+ * the expected class; any escaping exception, abort, or unexpected
+ * error code is a harness failure (exit 1).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <string>
+
+#include "common/error.hh"
+#include "common/faultinject.hh"
+#include "common/rng.hh"
+#include "core/informing.hh"
+#include "isa/builder.hh"
+#include "isa/instruction.hh"
+#include "pipeline/simulate.hh"
+
+namespace
+{
+
+using namespace imo;
+
+/** Scratch integer registers the generator may clobber. */
+constexpr std::uint8_t firstScratch = 3;
+constexpr std::uint8_t numScratch = 8;
+
+std::uint8_t
+scratchReg(Rng &rng)
+{
+    return static_cast<std::uint8_t>(firstScratch + rng.below(numScratch));
+}
+
+std::uint8_t
+scratchFpReg(Rng &rng)
+{
+    return isa::fpReg(static_cast<std::uint8_t>(rng.below(8)));
+}
+
+/**
+ * Generate a random, guaranteed-terminating program: a counted loop
+ * (r2 counts down, untouched by the body) around a random straight-line
+ * body with optional forward skips. All memory references are 8-byte
+ * aligned inside a private data block based at r1.
+ *
+ * @param runaway if true, the loop condition never becomes false
+ * (counter held at 1), so the program is statically well-formed but
+ * dynamically non-terminating.
+ */
+isa::Program
+generateProgram(Rng &rng, std::uint64_t iter, bool runaway)
+{
+    isa::ProgramBuilder b("fuzz-" + std::to_string(iter));
+
+    const std::uint64_t words = 64 + rng.below(1024);
+    const Addr base = b.allocData(words);
+
+    b.li(1, static_cast<std::int64_t>(base));
+    b.li(2, runaway ? 1 : 1 + rng.between(1, 40));
+
+    isa::Label top = b.newLabel();
+    b.bind(top);
+
+    const std::uint64_t body = 4 + rng.below(24);
+    for (std::uint64_t k = 0; k < body; ++k) {
+        const std::uint64_t kind = rng.below(10);
+        const std::int64_t off =
+            8 * rng.between(0, static_cast<std::int64_t>(words) - 1);
+        switch (kind) {
+          case 0: case 1: case 2:
+            b.ld(scratchReg(rng), 1, off);
+            break;
+          case 3:
+            b.st(scratchReg(rng), 1, off);
+            break;
+          case 4:
+            b.add(scratchReg(rng), scratchReg(rng), scratchReg(rng));
+            break;
+          case 5:
+            b.addi(scratchReg(rng), scratchReg(rng),
+                   rng.between(-64, 64));
+            break;
+          case 6:
+            b.xor_(scratchReg(rng), scratchReg(rng), scratchReg(rng));
+            break;
+          case 7:
+            b.fadd(scratchFpReg(rng), scratchFpReg(rng),
+                   scratchFpReg(rng));
+            break;
+          case 8:
+            b.prefetch(1, off);
+            break;
+          default: {
+            // Forward skip over a couple of instructions.
+            isa::Label skip = b.newLabel();
+            b.beq(scratchReg(rng), scratchReg(rng), skip);
+            b.addi(scratchReg(rng), scratchReg(rng), 1);
+            b.ld(scratchReg(rng), 1, off);
+            b.bind(skip);
+            break;
+          }
+        }
+    }
+
+    if (!runaway)
+        b.addi(2, 2, -1);
+    b.bne(2, 0, top);
+    b.halt();
+    return b.finish();
+}
+
+/** Statically corrupt @p prog so validation must reject it. */
+const char *
+corruptProgram(Rng &rng, isa::Program &prog)
+{
+    auto &insts = prog.insts();
+    switch (rng.below(3)) {
+      case 0:
+        // Branch/jump target far outside the program.
+        for (auto &in : insts) {
+            if (in.op == isa::Op::BNE || in.op == isa::Op::BEQ) {
+                in.imm = static_cast<std::int64_t>(prog.size()) + 1000;
+                return "wild branch target";
+            }
+        }
+        [[fallthrough]];
+      case 1:
+        // Out-of-range register id.
+        insts[insts.size() / 2].rs1 = isa::numUnifiedRegs + 17;
+        insts[insts.size() / 2].op = isa::Op::ADD;
+        return "bad register id";
+      default:
+        // Remove every HALT.
+        for (auto &in : insts) {
+            if (in.op == isa::Op::HALT)
+                in.op = isa::Op::NOP;
+        }
+        return "no HALT";
+    }
+}
+
+/** Corrupt @p machine so MachineConfig::validate() must reject it. */
+const char *
+corruptConfig(Rng &rng, pipeline::MachineConfig &machine)
+{
+    switch (rng.below(4)) {
+      case 0:
+        machine.issueWidth = 0;
+        return "zero issue width";
+      case 1:
+        if (machine.outOfOrder) {
+            machine.robSize = 0;
+            return "zero ROB";
+        }
+        [[fallthrough]];
+      case 2:
+        machine.l1.lineBytes = 48;
+        return "non-pow2 L1 line";
+      default:
+        machine.mem.mshrs = 0;
+        return "zero MSHRs";
+    }
+}
+
+bool
+codeIn(ErrCode code, std::initializer_list<ErrCode> allowed)
+{
+    for (const ErrCode c : allowed) {
+        if (code == c)
+            return true;
+    }
+    return false;
+}
+
+int
+fail(std::uint64_t iter, const char *scenario, const std::string &what)
+{
+    std::fprintf(stderr,
+                 "imo-fuzz: FAILURE at iteration %llu (%s): %s\n",
+                 static_cast<unsigned long long>(iter), scenario,
+                 what.c_str());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t iterations = 200;
+    std::uint64_t seed = 1;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--iterations" && i + 1 < argc) {
+            iterations = static_cast<std::uint64_t>(atoll(argv[++i]));
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = static_cast<std::uint64_t>(atoll(argv[++i]));
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: imo-fuzz [--iterations N] [--seed S] "
+                         "[--verbose]\n");
+            return 2;
+        }
+    }
+
+    std::uint64_t ran_ok = 0, bad_prog = 0, bad_cfg = 0;
+    std::uint64_t runaways = 0, faulted = 0, fault_errors = 0;
+
+    for (std::uint64_t iter = 0; iter < iterations; ++iter) {
+        Rng rng(seed * 0x9e3779b97f4a7c15ull + iter);
+        const double roll = rng.real();
+
+        const char *scenario = "?";
+        try {
+            // Machine under test.
+            pipeline::MachineConfig machine =
+                rng.chance(0.5) ? pipeline::makeOutOfOrderConfig()
+                                : pipeline::makeInOrderConfig();
+            machine.watchdogCycles = 500'000;
+            machine.maxInstructions = 2'000'000;
+
+            const bool runaway = roll >= 0.50 && roll < 0.55;
+            isa::Program prog = generateProgram(rng, iter, runaway);
+
+            // Random informing instrumentation on top.
+            const std::uint64_t m = rng.below(4);
+            const core::InformingMode mode =
+                m == 0 ? core::InformingMode::None
+                : m == 1 ? core::InformingMode::TrapSingle
+                : m == 2 ? core::InformingMode::TrapUnique
+                         : core::InformingMode::CondCode;
+            prog = core::instrument(
+                prog, mode,
+                {.length = static_cast<std::uint32_t>(
+                    1 + rng.below(10))});
+
+            FaultInjector faults;
+            if (roll < 0.55) {
+                scenario = runaway ? "runaway" : "valid";
+            } else if (roll < 0.70) {
+                scenario = corruptProgram(rng, prog);
+            } else if (roll < 0.80) {
+                scenario = corruptConfig(rng, machine);
+            } else {
+                scenario = "fault-injection";
+                FaultSchedule sched;
+                sched.seed = rng.next();
+                sched.memLatencySpike = rng.real() * 0.05;
+                sched.mshrExhaustion =
+                    rng.chance(0.1) ? 1.0 : rng.real() * 0.02;
+                sched.mispredictStorm = rng.real() * 0.10;
+                sched.stuckFill =
+                    rng.chance(0.1) ? 1.0 : rng.real() * 0.001;
+                sched.hardFault = rng.real() * 0.001;
+                faults = FaultInjector(sched);
+                machine.faults = &faults;
+            }
+
+            const pipeline::RunResult r =
+                pipeline::simulate(prog, machine);
+
+            if (roll < 0.50) {
+                if (!r.ok)
+                    return fail(iter, scenario,
+                                "expected success, got " +
+                                r.error.format());
+                ++ran_ok;
+            } else if (roll < 0.55) {
+                if (r.ok ||
+                    r.error.code != ErrCode::RunawayExecution)
+                    return fail(iter, scenario,
+                                "expected RunawayExecution, got " +
+                                (r.ok ? std::string("success")
+                                      : r.error.format()));
+                ++runaways;
+            } else if (roll < 0.70) {
+                if (r.ok || r.error.code != ErrCode::BadProgram)
+                    return fail(iter, scenario,
+                                "expected BadProgram, got " +
+                                (r.ok ? std::string("success")
+                                      : r.error.format()));
+                ++bad_prog;
+            } else if (roll < 0.80) {
+                if (r.ok || r.error.code != ErrCode::BadConfig)
+                    return fail(iter, scenario,
+                                "expected BadConfig, got " +
+                                (r.ok ? std::string("success")
+                                      : r.error.format()));
+                ++bad_cfg;
+            } else {
+                // A faulted run may complete or fail with one of the
+                // runtime error classes — anything else is a bug.
+                if (!r.ok &&
+                    !codeIn(r.error.code,
+                            {ErrCode::Deadlock,
+                             ErrCode::RunawayExecution,
+                             ErrCode::FaultInjected}))
+                    return fail(iter, scenario,
+                                "unexpected error class: " +
+                                r.error.format());
+                ++faulted;
+                if (!r.ok)
+                    ++fault_errors;
+            }
+
+            if (verbose) {
+                std::fprintf(stderr,
+                             "iter %4llu  %-16s %s\n",
+                             static_cast<unsigned long long>(iter),
+                             scenario,
+                             r.ok ? "ok" : r.error.format().c_str());
+            }
+        } catch (const std::exception &e) {
+            // simulate() must capture everything; an escape is a bug.
+            return fail(iter, scenario,
+                        std::string("exception escaped the engine: ") +
+                        e.what());
+        } catch (...) {
+            return fail(iter, scenario,
+                        "unknown exception escaped the engine");
+        }
+    }
+
+    std::printf("imo-fuzz: %llu iterations clean "
+                "(%llu ok, %llu runaway, %llu bad-program, "
+                "%llu bad-config, %llu faulted [%llu errored])\n",
+                static_cast<unsigned long long>(iterations),
+                static_cast<unsigned long long>(ran_ok),
+                static_cast<unsigned long long>(runaways),
+                static_cast<unsigned long long>(bad_prog),
+                static_cast<unsigned long long>(bad_cfg),
+                static_cast<unsigned long long>(faulted),
+                static_cast<unsigned long long>(fault_errors));
+    return 0;
+}

@@ -9,18 +9,27 @@
  *
  * Runs the selected program through functional execution plus the
  * detailed timing model and prints the result (or CSV for scripting).
+ *
+ * Exit codes:
+ *   0  success
+ *   2  usage error (bad flags)
+ *   3  bad input (BadConfig / BadProgram)
+ *   4  simulation failure (Deadlock / RunawayExecution / ...)
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
-#include "common/logging.hh"
+#include "common/error.hh"
+#include "common/faultinject.hh"
 #include "core/informing.hh"
 #include "isa/asm.hh"
 #include "isa/disasm.hh"
+#include "isa/verify.hh"
 #include "pipeline/simulate.hh"
 #include "workloads/suite.hh"
 
@@ -28,6 +37,10 @@ namespace
 {
 
 using namespace imo;
+
+constexpr int kExitUsage = 2;    //!< bad command line
+constexpr int kExitBadInput = 3; //!< BadConfig / BadProgram
+constexpr int kExitSimError = 4; //!< Deadlock / Runaway / fault / bug
 
 int
 usage()
@@ -42,8 +55,68 @@ usage()
         "  --scale F               workload scale factor (default 1)\n"
         "  --seed N                workload seed\n"
         "  --dump                  print the program and exit\n"
-        "  --csv                   one CSV row instead of a report\n");
-    return 2;
+        "  --csv                   one CSV row instead of a report\n"
+        "  --watchdog N            deadlock watchdog threshold in "
+        "cycles (0 disables)\n"
+        "  --max-insts N           runaway-execution instruction "
+        "budget\n"
+        "  --fault NAME=PROB       enable fault injection at NAME "
+        "with probability PROB\n"
+        "                          (repeatable; see --fault list)\n"
+        "  --fault-seed N          fault-injection RNG seed\n");
+    return kExitUsage;
+}
+
+int
+listFaultPoints()
+{
+    std::fprintf(stderr, "fault points:\n");
+    for (std::size_t i = 0; i < numFaultPoints; ++i) {
+        std::fprintf(stderr, "  %s\n",
+                     faultPointName(static_cast<FaultPoint>(i)));
+    }
+    return kExitUsage;
+}
+
+/** Print a structured error, context chain and all, to stderr. */
+void
+printError(const SimError &err)
+{
+    std::fprintf(stderr, "imo-run: error [%s] %s\n",
+                 errCodeName(err.code), err.message.c_str());
+    for (const std::string &note : err.context)
+        std::fprintf(stderr, "    %s\n", note.c_str());
+}
+
+int
+exitCodeFor(ErrCode code)
+{
+    switch (code) {
+      case ErrCode::BadConfig:
+      case ErrCode::BadProgram:
+        return kExitBadInput;
+      default:
+        return kExitSimError;
+    }
+}
+
+/** Parse "name=prob" into @p schedule; false on malformed input. */
+bool
+parseFaultSpec(const std::string &spec, FaultSchedule &schedule)
+{
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size())
+        return false;
+    const std::string name = spec.substr(0, eq);
+    FaultPoint point;
+    if (!faultPointFromName(name, &point))
+        return false;
+    char *end = nullptr;
+    const double prob = std::strtod(spec.c_str() + eq + 1, &end);
+    if (end == nullptr || *end != '\0' || prob < 0.0 || prob > 1.0)
+        return false;
+    schedule.setProbability(point, prob);
+    return true;
 }
 
 } // namespace
@@ -60,26 +133,78 @@ main(int argc, char **argv)
     bool dump = false;
     bool csv = false;
     bool list = false;
+    bool have_watchdog = false;
+    Cycle watchdog_cycles = 0;
+    bool have_max_insts = false;
+    std::uint64_t max_insts = 0;
+    FaultSchedule fault_schedule;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
-            fatal_if(i + 1 >= argc, "missing value for %s", arg.c_str());
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "imo-run: missing value for %s\n",
+                             arg.c_str());
+                return nullptr;
+            }
             return argv[++i];
         };
-        if (arg == "--workload") workload = next();
-        else if (arg == "--asm") asm_path = next();
-        else if (arg == "--machine") machine_name = next();
-        else if (arg == "--mode") mode_name = next();
-        else if (arg == "--len")
-            handler_len = static_cast<std::uint32_t>(atoi(next()));
-        else if (arg == "--scale") wp.scale = atof(next());
-        else if (arg == "--seed")
-            wp.seed = static_cast<std::uint64_t>(atoll(next()));
-        else if (arg == "--dump") dump = true;
-        else if (arg == "--csv") csv = true;
-        else if (arg == "--list") list = true;
-        else return usage();
+        const char *val = nullptr;
+        if (arg == "--workload") {
+            if (!(val = next())) return usage();
+            workload = val;
+        } else if (arg == "--asm") {
+            if (!(val = next())) return usage();
+            asm_path = val;
+        } else if (arg == "--machine") {
+            if (!(val = next())) return usage();
+            machine_name = val;
+        } else if (arg == "--mode") {
+            if (!(val = next())) return usage();
+            mode_name = val;
+        } else if (arg == "--len") {
+            if (!(val = next())) return usage();
+            handler_len = static_cast<std::uint32_t>(atoi(val));
+        } else if (arg == "--scale") {
+            if (!(val = next())) return usage();
+            wp.scale = atof(val);
+        } else if (arg == "--seed") {
+            if (!(val = next())) return usage();
+            wp.seed = static_cast<std::uint64_t>(atoll(val));
+        } else if (arg == "--watchdog") {
+            if (!(val = next())) return usage();
+            watchdog_cycles = static_cast<Cycle>(atoll(val));
+            have_watchdog = true;
+        } else if (arg == "--max-insts") {
+            if (!(val = next())) return usage();
+            max_insts = static_cast<std::uint64_t>(atoll(val));
+            have_max_insts = true;
+        } else if (arg == "--fault") {
+            if (!(val = next())) return usage();
+            if (std::strcmp(val, "list") == 0)
+                return listFaultPoints();
+            if (!parseFaultSpec(val, fault_schedule)) {
+                std::fprintf(stderr,
+                             "imo-run: bad --fault spec '%s' "
+                             "(want name=prob; see --fault list)\n",
+                             val);
+                return usage();
+            }
+        } else if (arg == "--fault-seed") {
+            if (!(val = next())) return usage();
+            fault_schedule.seed =
+                static_cast<std::uint64_t>(atoll(val));
+        } else if (arg == "--dump") {
+            dump = true;
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else {
+            std::fprintf(stderr, "imo-run: unknown option '%s'\n",
+                         arg.c_str());
+            return usage();
+        }
     }
 
     if (list) {
@@ -93,88 +218,128 @@ main(int argc, char **argv)
     if (workload.empty() == asm_path.empty())
         return usage();
 
-    // Build the base program.
-    isa::Program base;
-    if (!workload.empty()) {
-        fatal_if(!workloads::find(workload), "unknown workload '%s'",
-                 workload.c_str());
-        base = workloads::build(workload, wp);
-    } else {
-        std::ifstream in(asm_path);
-        fatal_if(!in, "cannot open %s", asm_path.c_str());
-        std::ostringstream text;
-        text << in.rdbuf();
-        const isa::AsmResult r = isa::assemble(text.str());
-        fatal_if(!r.ok, "%s:%d: %s", asm_path.c_str(), r.errorLine,
-                 r.error.c_str());
-        base = r.program;
-    }
+    try {
+        // Build the base program.
+        isa::Program base;
+        if (!workload.empty()) {
+            sim_throw_if(!workloads::find(workload), ErrCode::BadConfig,
+                         "unknown workload '%s' (try --list)",
+                         workload.c_str());
+            base = workloads::build(workload, wp);
+        } else {
+            std::ifstream in(asm_path);
+            sim_throw_if(!in, ErrCode::BadProgram, "cannot open %s",
+                         asm_path.c_str());
+            std::ostringstream text;
+            text << in.rdbuf();
+            const isa::AsmResult r = isa::assemble(text.str());
+            sim_throw_if(!r.ok, ErrCode::BadProgram, "%s:%d: %s",
+                         asm_path.c_str(), r.errorLine,
+                         r.error.c_str());
+            base = r.program;
+        }
 
-    // Instrumentation mode.
-    core::InformingMode mode;
-    if (mode_name == "N") mode = core::InformingMode::None;
-    else if (mode_name == "S") mode = core::InformingMode::TrapSingle;
-    else if (mode_name == "U") mode = core::InformingMode::TrapUnique;
-    else if (mode_name == "CC") mode = core::InformingMode::CondCode;
-    else return usage();
-    const isa::Program prog =
-        core::instrument(base, mode, {.length = handler_len});
+        // Instrumentation mode.
+        core::InformingMode mode;
+        if (mode_name == "N") mode = core::InformingMode::None;
+        else if (mode_name == "S") mode = core::InformingMode::TrapSingle;
+        else if (mode_name == "U") mode = core::InformingMode::TrapUnique;
+        else if (mode_name == "CC") mode = core::InformingMode::CondCode;
+        else return usage();
+        const isa::Program prog =
+            core::instrument(base, mode, {.length = handler_len});
 
-    if (dump) {
-        std::fputs(isa::formatAssembly(prog).c_str(), stdout);
-        return 0;
-    }
+        if (dump) {
+            std::fputs(isa::formatAssembly(prog).c_str(), stdout);
+            return 0;
+        }
 
-    pipeline::MachineConfig machine;
-    if (machine_name == "ooo")
-        machine = pipeline::makeOutOfOrderConfig();
-    else if (machine_name == "inorder")
-        machine = pipeline::makeInOrderConfig();
-    else
-        return usage();
+        pipeline::MachineConfig machine;
+        if (machine_name == "ooo")
+            machine = pipeline::makeOutOfOrderConfig();
+        else if (machine_name == "inorder")
+            machine = pipeline::makeInOrderConfig();
+        else
+            return usage();
 
-    func::ExecStats es;
-    const pipeline::RunResult r = pipeline::simulate(prog, machine, &es);
+        if (have_watchdog)
+            machine.watchdogCycles = watchdog_cycles;
+        if (have_max_insts)
+            machine.maxInstructions = max_insts;
 
-    if (csv) {
-        std::printf("%s,%s,%s,%u,%llu,%llu,%.4f,%llu,%llu,%llu,%llu\n",
-                    prog.name().c_str(), machine.name.c_str(),
-                    mode_name.c_str(), handler_len,
-                    static_cast<unsigned long long>(r.cycles),
-                    static_cast<unsigned long long>(r.instructions),
-                    r.ipc(),
-                    static_cast<unsigned long long>(r.dataRefs),
-                    static_cast<unsigned long long>(r.l1Misses),
-                    static_cast<unsigned long long>(r.traps),
-                    static_cast<unsigned long long>(r.mispredicts));
-        return 0;
-    }
+        FaultInjector faults(fault_schedule);
+        if (fault_schedule.any())
+            machine.faults = &faults;
 
-    std::printf("program   %s  (%u static insts, %u static refs)\n",
-                prog.name().c_str(), prog.size(), prog.numStaticRefs());
-    std::printf("machine   %s   mode %s", machine.name.c_str(),
-                mode_name.c_str());
-    if (mode != core::InformingMode::None)
-        std::printf(" (handler %u insts)", handler_len);
-    std::printf("\n\n");
-    std::printf("cycles        %12llu\n",
-                static_cast<unsigned long long>(r.cycles));
-    std::printf("instructions  %12llu   (IPC %.3f)\n",
+        // Validate eagerly so input errors are reported before any
+        // simulation output; simulate() re-validates defensively.
+        machine.validate();
+        isa::verifyProgram(prog);
+
+        func::ExecStats es;
+        const pipeline::RunResult r =
+            pipeline::simulate(prog, machine, &es);
+        if (!r.ok) {
+            printError(r.error);
+            return exitCodeFor(r.error.code);
+        }
+
+        if (csv) {
+            std::printf(
+                "%s,%s,%s,%u,%llu,%llu,%.4f,%llu,%llu,%llu,%llu\n",
+                prog.name().c_str(), machine.name.c_str(),
+                mode_name.c_str(), handler_len,
+                static_cast<unsigned long long>(r.cycles),
                 static_cast<unsigned long long>(r.instructions),
-                r.ipc());
-    std::printf("slots         %5.1f%% busy, %5.1f%% cache stall, "
-                "%5.1f%% other\n",
-                100 * r.busyFraction(), 100 * r.cacheStallFraction(),
-                100 * r.otherStallFraction());
-    std::printf("data refs     %12llu   (L1 miss rate %.3f)\n",
+                r.ipc(),
                 static_cast<unsigned long long>(r.dataRefs),
-                r.dataRefs ? static_cast<double>(r.l1Misses) / r.dataRefs
-                           : 0.0);
-    std::printf("traps         %12llu   handler insts %llu\n",
+                static_cast<unsigned long long>(r.l1Misses),
                 static_cast<unsigned long long>(r.traps),
-                static_cast<unsigned long long>(r.handlerInstructions));
-    std::printf("branches      %12llu   mispredicts %llu\n",
-                static_cast<unsigned long long>(r.condBranches),
                 static_cast<unsigned long long>(r.mispredicts));
-    return 0;
+            return 0;
+        }
+
+        std::printf("program   %s  (%u static insts, %u static refs)\n",
+                    prog.name().c_str(), prog.size(),
+                    prog.numStaticRefs());
+        std::printf("machine   %s   mode %s", machine.name.c_str(),
+                    mode_name.c_str());
+        if (mode != core::InformingMode::None)
+            std::printf(" (handler %u insts)", handler_len);
+        std::printf("\n\n");
+        std::printf("cycles        %12llu\n",
+                    static_cast<unsigned long long>(r.cycles));
+        std::printf("instructions  %12llu   (IPC %.3f)\n",
+                    static_cast<unsigned long long>(r.instructions),
+                    r.ipc());
+        std::printf("slots         %5.1f%% busy, %5.1f%% cache stall, "
+                    "%5.1f%% other\n",
+                    100 * r.busyFraction(),
+                    100 * r.cacheStallFraction(),
+                    100 * r.otherStallFraction());
+        std::printf("data refs     %12llu   (L1 miss rate %.3f)\n",
+                    static_cast<unsigned long long>(r.dataRefs),
+                    r.dataRefs
+                        ? static_cast<double>(r.l1Misses) / r.dataRefs
+                        : 0.0);
+        std::printf("traps         %12llu   handler insts %llu\n",
+                    static_cast<unsigned long long>(r.traps),
+                    static_cast<unsigned long long>(
+                        r.handlerInstructions));
+        std::printf("branches      %12llu   mispredicts %llu\n",
+                    static_cast<unsigned long long>(r.condBranches),
+                    static_cast<unsigned long long>(r.mispredicts));
+        if (fault_schedule.any())
+            std::printf("faults        %12llu   injected (%s)\n",
+                        static_cast<unsigned long long>(
+                            r.faultsInjected),
+                        faults.summary().c_str());
+        return 0;
+    } catch (const SimException &e) {
+        printError(e.error());
+        return exitCodeFor(e.error().code);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "imo-run: internal error: %s\n", e.what());
+        return kExitSimError;
+    }
 }
