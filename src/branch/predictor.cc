@@ -1,5 +1,6 @@
 #include "branch/predictor.hh"
 
+#include "common/checkpoint.hh"
 #include "common/error.hh"
 
 namespace imo::branch
@@ -114,6 +115,81 @@ Btb::update(InstAddr pc, InstAddr target)
     e.valid = true;
     e.pc = pc;
     e.target = target;
+}
+
+namespace
+{
+
+void
+checkTableSize(std::uint64_t saved, std::size_t configured,
+               const char *what)
+{
+    sim_throw_if(saved != configured, ErrCode::BadCheckpoint,
+                 "checkpointed %s has %llu entries, configured one "
+                 "has %zu", what,
+                 static_cast<unsigned long long>(saved), configured);
+}
+
+} // namespace
+
+void
+TwoBitPredictor::save(Serializer &s) const
+{
+    s.u64(_counters.size());
+    s.vecU8(_counters);
+    s.u64(_lookups);
+    s.u64(_mispredicts);
+}
+
+void
+TwoBitPredictor::restore(Deserializer &d)
+{
+    checkTableSize(d.u64(), _counters.size(), "bimodal predictor");
+    _counters = d.vecU8();
+    _lookups = d.u64();
+    _mispredicts = d.u64();
+}
+
+void
+GsharePredictor::save(Serializer &s) const
+{
+    s.u64(_counters.size());
+    s.vecU8(_counters);
+    s.u32(_history);
+    s.u64(_lookups);
+    s.u64(_mispredicts);
+}
+
+void
+GsharePredictor::restore(Deserializer &d)
+{
+    checkTableSize(d.u64(), _counters.size(), "gshare predictor");
+    _counters = d.vecU8();
+    _history = d.u32() & _historyMask;
+    _lookups = d.u64();
+    _mispredicts = d.u64();
+}
+
+void
+Btb::save(Serializer &s) const
+{
+    s.u64(_entries.size());
+    for (const Entry &e : _entries) {
+        s.b(e.valid);
+        s.u32(e.pc);
+        s.u32(e.target);
+    }
+}
+
+void
+Btb::restore(Deserializer &d)
+{
+    checkTableSize(d.u64(), _entries.size(), "BTB");
+    for (Entry &e : _entries) {
+        e.valid = d.b();
+        e.pc = d.u32();
+        e.target = d.u32();
+    }
 }
 
 } // namespace imo::branch

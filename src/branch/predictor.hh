@@ -13,6 +13,12 @@
 
 #include "common/types.hh"
 
+namespace imo
+{
+class Serializer;
+class Deserializer;
+} // namespace imo
+
 namespace imo::branch
 {
 
@@ -46,6 +52,10 @@ class TwoBitPredictor
      * @return true if the prediction matched @p taken.
      */
     bool predictAndUpdate(InstAddr pc, bool taken);
+
+    /** Checkpoint hooks: counters and stats round-trip. */
+    void save(Serializer &s) const;
+    void restore(Deserializer &d);
 
   private:
     std::uint32_t index(InstAddr pc) const { return pc & _mask; }
@@ -83,6 +93,10 @@ class GsharePredictor
             : 1.0;
     }
 
+    /** Checkpoint hooks: counters, history, and stats round-trip. */
+    void save(Serializer &s) const;
+    void restore(Deserializer &d);
+
   private:
     std::uint32_t index(InstAddr pc) const
     {
@@ -109,6 +123,10 @@ class Btb
 
     /** Install/refresh the target of the branch at @p pc. */
     void update(InstAddr pc, InstAddr target);
+
+    /** Checkpoint hooks: entries round-trip. */
+    void save(Serializer &s) const;
+    void restore(Deserializer &d);
 
   private:
     struct Entry

@@ -1,6 +1,11 @@
 #include "coherence/directory.hh"
 
+#include <algorithm>
 #include <bit>
+#include <vector>
+
+#include "common/checkpoint.hh"
+#include "common/error.hh"
 
 namespace imo::coherence
 {
@@ -8,10 +13,16 @@ namespace imo::coherence
 Directory::Directory(std::uint32_t processors, std::uint32_t block_bytes)
     : _processors(processors), _blockBytes(block_bytes)
 {
-    fatal_if(processors == 0 || processors > 32,
-             "directory supports 1..32 processors, got %u", processors);
-    fatal_if(block_bytes == 0 || (block_bytes & (block_bytes - 1)),
-             "block size must be a power of two");
+    // Bad construction parameters are an input error, not an internal
+    // invariant violation: surface them as structured SimExceptions so
+    // sweep drivers and tools can report and continue.
+    sim_throw_if(processors == 0 || processors > 32, ErrCode::BadConfig,
+                 "directory supports 1..32 processors, got %u",
+                 processors);
+    sim_throw_if(block_bytes == 0 || (block_bytes & (block_bytes - 1)),
+                 ErrCode::BadConfig,
+                 "directory block size must be a power of two, got %u",
+                 block_bytes);
 }
 
 LineState
@@ -119,6 +130,51 @@ Directory::invariantsHold() const
             return false;
     }
     return true;
+}
+
+void
+Directory::save(Serializer &s) const
+{
+    s.u32(_processors);
+    s.u32(_blockBytes);
+    // Blocks are written sorted by address so the image is independent
+    // of hash-map iteration order.
+    std::vector<Addr> order;
+    order.reserve(_blocks.size());
+    for (const auto &[addr, e] : _blocks)
+        order.push_back(addr);
+    std::sort(order.begin(), order.end());
+    s.u64(order.size());
+    for (const Addr addr : order) {
+        const Entry &e = _blocks.at(addr);
+        s.u64(addr);
+        s.u32(e.sharers);
+        s.i64(e.owner);
+    }
+}
+
+void
+Directory::restore(Deserializer &d)
+{
+    const std::uint32_t procs = d.u32();
+    const std::uint32_t block = d.u32();
+    sim_throw_if(procs != _processors || block != _blockBytes,
+                 ErrCode::BadCheckpoint,
+                 "checkpointed directory shape (%u procs, %u B blocks) "
+                 "does not match the configured one (%u, %u)",
+                 procs, block, _processors, _blockBytes);
+    _blocks.clear();
+    const std::uint64_t count = d.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Addr addr = d.u64();
+        Entry e;
+        e.sharers = d.u32();
+        e.owner = static_cast<std::int32_t>(d.i64());
+        _blocks[addr] = e;
+    }
+    sim_throw_if(!invariantsHold(), ErrCode::BadCheckpoint,
+                 "checkpointed directory violates the single-writer/"
+                 "multiple-reader invariant");
 }
 
 } // namespace imo::coherence

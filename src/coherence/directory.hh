@@ -18,6 +18,12 @@
 #include "common/logging.hh"
 #include "common/types.hh"
 
+namespace imo
+{
+class Serializer;
+class Deserializer;
+} // namespace imo
+
 namespace imo::coherence
 {
 
@@ -86,6 +92,14 @@ class Directory
     }
 
     std::uint64_t blocksTracked() const { return _blocks.size(); }
+
+    /**
+     * Checkpoint hooks: block state round-trips (written sorted by
+     * address for determinism). restore() requires a matching shape
+     * and re-checks the protocol invariants before accepting.
+     */
+    void save(Serializer &s) const;
+    void restore(Deserializer &d);
 
   private:
     struct Entry

@@ -2,11 +2,49 @@
 
 #include <algorithm>
 #include <bit>
+#include <vector>
 
+#include "common/checkpoint.hh"
+#include "common/error.hh"
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 
 namespace imo::coherence
 {
+
+namespace
+{
+
+/** Delivery attempts per invalidation message before the network is
+ *  declared broken (a structured error, never silent corruption). */
+constexpr std::uint32_t maxInvalDeliveryAttempts = 3;
+
+/** Order-sensitive FNV-1a, shared with isa::Program::fingerprint(). */
+struct Fnv
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    }
+
+    void
+    mix(const std::string &s)
+    {
+        mix(s.size());
+        for (const char c : s) {
+            h ^= static_cast<std::uint8_t>(c);
+            h *= 0x100000001b3ull;
+        }
+    }
+};
+
+} // namespace
 
 const char *
 accessMethodName(AccessMethod method)
@@ -23,10 +61,10 @@ accessMethodName(AccessMethod method)
 CoherentMachine::CoherentMachine(const CoherenceParams &params,
                                  AccessMethod method)
     : _params(params), _method(method),
-      _directory(params.processors, params.coherenceUnitBytes)
+      _directory(params.processors, params.coherenceUnitBytes),
+      _ring(32)
 {
-    fatal_if(params.processors == 0 || params.processors > 32,
-             "1..32 processors supported");
+    _params.validate();
     for (std::uint32_t p = 0; p < params.processors; ++p) {
         _procs.push_back(Proc{.clock = 0, .pos = 0, .atBarrier = false,
                               .l1 = memory::SetAssocCache(params.l1),
@@ -34,9 +72,27 @@ CoherentMachine::CoherentMachine(const CoherenceParams &params,
     }
 }
 
+std::uint64_t
+CoherentMachine::fingerprintWorkload(const ParallelWorkload &workload)
+{
+    Fnv fnv;
+    fnv.mix(workload.name);
+    fnv.mix(workload.streams.size());
+    for (const auto &stream : workload.streams) {
+        fnv.mix(stream.size());
+        for (const TraceItem &item : stream) {
+            fnv.mix(static_cast<std::uint64_t>(item.kind));
+            fnv.mix(item.addr);
+            fnv.mix((item.write ? 1u : 0u) | (item.shared ? 2u : 0u));
+            fnv.mix(item.computeBefore);
+        }
+    }
+    return fnv.h;
+}
+
 bool
 CoherentMachine::chargeCacheAccess(Proc &proc, Addr addr, bool write,
-                                   bool force_miss, CoherenceResult &res)
+                                   bool force_miss)
 {
     if (force_miss)
         proc.l1.invalidate(addr);
@@ -47,7 +103,7 @@ CoherentMachine::chargeCacheAccess(Proc &proc, Addr addr, bool write,
     const memory::CacheAccessResult r1 = proc.l1.access(addr, write);
     if (!r1.hit) {
         l1_miss = true;
-        ++res.l1Misses;
+        ++_res.l1Misses;
         cost += _params.l1MissPenalty;
         if (r1.writeback)
             proc.l2.access(*r1.writeback, true);
@@ -57,20 +113,48 @@ CoherentMachine::chargeCacheAccess(Proc &proc, Addr addr, bool write,
     }
 
     proc.clock += cost;
-    res.memoryCycles += cost;
+    _res.memoryCycles += cost;
     return l1_miss;
 }
 
 void
-CoherentMachine::invalidateRemote(std::uint32_t mask, Addr addr,
-                                  CoherenceResult &res)
+CoherentMachine::invalidateRemote(std::uint32_t p, std::uint32_t mask,
+                                  Addr addr)
 {
+    Proc &requester = _procs[p];
     while (mask) {
-        const std::uint32_t p = std::countr_zero(mask);
+        const std::uint32_t q = std::countr_zero(mask);
         mask &= mask - 1;
-        _procs[p].l1.invalidate(addr);
-        _procs[p].l2.invalidate(addr);
-        ++res.invalidations;
+
+        // The network may lose the invalidation message (injected
+        // DroppedInvalidation fault). The protocol retransmits after a
+        // timeout -- charged to the requester, which cannot complete
+        // its upgrade until every ack arrives. Persistent loss is a
+        // structured failure; the directory has already committed the
+        // state change atomically, so it stays consistent either way.
+        std::uint32_t attempt = 0;
+        while (_faults &&
+               _faults->fire(FaultPoint::DroppedInvalidation)) {
+            ++attempt;
+            ++_res.droppedInvalidations;
+            _ring.push(requester.clock, "dropped-inval", p, addr);
+            if (attempt >= maxInvalDeliveryAttempts) {
+                throwWithRing(
+                    ErrCode::FaultInjected, _ring,
+                    simFormat("invalidation of block 0x%llx on "
+                              "processor %u lost %u times (injected "
+                              "network fault)",
+                              static_cast<unsigned long long>(addr), q,
+                              attempt));
+            }
+            const Cycle retransmit = 2 * _params.messageLatency;
+            requester.clock += retransmit;
+            _res.networkCycles += retransmit;
+        }
+
+        _procs[q].l1.invalidate(addr);
+        _procs[q].l2.invalidate(addr);
+        ++_res.invalidations;
     }
 }
 
@@ -99,17 +183,16 @@ CoherentMachine::pageHasReadonly(std::uint32_t p, Addr addr) const
 }
 
 void
-CoherentMachine::step(std::uint32_t p, const TraceItem &item,
-                      CoherenceResult &res)
+CoherentMachine::step(std::uint32_t p, const TraceItem &item)
 {
     Proc &proc = _procs[p];
 
     proc.clock += item.computeBefore;
-    res.computeCycles += item.computeBefore;
+    _res.computeCycles += item.computeBefore;
 
-    ++res.refs;
+    ++_res.refs;
     if (item.shared)
-        ++res.sharedRefs;
+        ++_res.sharedRefs;
 
     const LineState st =
         item.shared ? _directory.state(p, item.addr) : LineState::ReadWrite;
@@ -121,7 +204,7 @@ CoherentMachine::step(std::uint32_t p, const TraceItem &item,
         item.shared && item.write && st != LineState::ReadWrite;
 
     const bool l1_miss =
-        chargeCacheAccess(proc, item.addr, item.write, force_miss, res);
+        chargeCacheAccess(proc, item.addr, item.write, force_miss);
 
     // Detection / lookup overhead.
     Cycle ac = 0;
@@ -129,26 +212,26 @@ CoherentMachine::step(std::uint32_t p, const TraceItem &item,
       case AccessMethod::ReferenceCheck:
         if (item.shared) {
             ac += _params.refCheckLookup;
-            ++res.lookups;
+            ++_res.lookups;
         }
         break;
       case AccessMethod::EccFault:
         if (item.shared) {
             if (!item.write && st == LineState::Invalid) {
                 ac += _params.eccReadFault;
-                ++res.faults;
+                ++_res.faults;
             } else if (item.write &&
                        (st == LineState::Invalid ||
                         pageHasReadonly(p, item.addr))) {
                 ac += _params.eccWriteFault;
-                ++res.faults;
+                ++_res.faults;
             }
         }
         break;
       case AccessMethod::Informing:
         if (item.shared && l1_miss) {
             ac += _params.informingLookup;
-            ++res.lookups;
+            ++_res.lookups;
         }
         break;
       case AccessMethod::Hardware:
@@ -164,7 +247,9 @@ CoherentMachine::step(std::uint32_t p, const TraceItem &item,
             : _directory.read(p, item.addr);
 
         if (action.stateChange) {
-            ++res.protocolEvents;
+            ++_res.protocolEvents;
+            _ring.push(proc.clock, item.write ? "dir-write" : "dir-read",
+                       p, item.addr);
 
             // Local state-table update (the ECC faults' cost already
             // includes the handler's state change).
@@ -189,47 +274,117 @@ CoherentMachine::step(std::uint32_t p, const TraceItem &item,
                 }
             }
 
-            invalidateRemote(action.invalidateMask, item.addr, res);
+            invalidateRemote(p, action.invalidateMask, item.addr);
 
-            const Cycle net = _params.distributedHomes
+            Cycle net = _params.distributedHomes
                 ? static_cast<Cycle>(action.messages) *
                   _params.messageLatency
                 : static_cast<Cycle>(action.networkRounds) *
                   2 * _params.messageLatency;
+
+            // An injected DelayedAck stretches the requester's stall:
+            // the final acknowledgement of the protocol transaction
+            // sits in the network for extra cycles. Purely a timing
+            // perturbation -- protocol state is already committed.
+            if (net > 0 && _faults &&
+                _faults->fire(FaultPoint::DelayedAck)) {
+                const Cycle delay = _faults->schedule().ackDelayCycles;
+                net += delay;
+                ++_res.delayedAcks;
+                _ring.push(proc.clock, "delayed-ack", p, item.addr);
+            }
+
             proc.clock += net;
-            res.networkCycles += net;
-            res.networkRounds += action.networkRounds;
+            _res.networkCycles += net;
+            _res.networkRounds += action.networkRounds;
         }
     }
 
     proc.clock += ac;
-    res.accessControlCycles += ac;
+    _res.accessControlCycles += ac;
 }
 
 CoherenceResult
 CoherentMachine::run(const ParallelWorkload &workload)
 {
-    fatal_if(workload.streams.size() != _procs.size(),
-             "workload '%s' has %zu streams for %zu processors",
-             workload.name.c_str(), workload.streams.size(),
-             _procs.size());
+    return run(workload, RunHooks{});
+}
 
-    CoherenceResult res;
-    res.workload = workload.name;
-    res.method = _method;
+CoherenceResult
+CoherentMachine::run(const ParallelWorkload &workload,
+                     const RunHooks &hooks)
+{
+    sim_throw_if(workload.streams.size() != _procs.size(),
+                 ErrCode::BadProgram,
+                 "workload '%s' has %zu streams for %zu processors",
+                 workload.name.c_str(), workload.streams.size(),
+                 _procs.size());
 
-    for (Proc &proc : _procs) {
-        proc.clock = 0;
-        proc.pos = 0;
-        proc.atBarrier = false;
-        proc.l1.flushAll();
-        proc.l2.flushAll();
+    const std::uint64_t fp = fingerprintWorkload(workload);
+
+    if (hooks.resumeImage) {
+        Deserializer d(*hooks.resumeImage);
+        d.openSection("meta");
+        const std::uint64_t saved_fp = d.u64();
+        sim_throw_if(saved_fp != fp, ErrCode::BadCheckpoint,
+                     "checkpoint was taken for a different workload "
+                     "(fingerprint 0x%llx, this one is 0x%llx)",
+                     static_cast<unsigned long long>(saved_fp),
+                     static_cast<unsigned long long>(fp));
+        const std::string saved_name = d.str();
+        (void)saved_name;
+        const bool has_faults = d.b();
+        const bool have_injector = _faults && _faults->enabled();
+        sim_throw_if(has_faults && !have_injector, ErrCode::BadCheckpoint,
+                     "checkpoint carries fault-injector state but no "
+                     "injector is attached");
+        sim_throw_if(!has_faults && have_injector, ErrCode::BadCheckpoint,
+                     "fault injector attached but the checkpoint has no "
+                     "fault-injector state");
+        d.closeSection();
+        d.openSection("machine");
+        restore(d);
+        d.closeSection();
+        if (has_faults) {
+            d.openSection("faults");
+            _faults->restore(d);
+            d.closeSection();
+        }
+    } else {
+        for (Proc &proc : _procs) {
+            proc.clock = 0;
+            proc.pos = 0;
+            proc.atBarrier = false;
+            proc.l1.flushAll();
+            proc.l2.flushAll();
+        }
+        _roBlocksPerPage.clear();
+        _ring = DiagRing(32);
+        _res = CoherenceResult{};
+        _res.workload = workload.name;
+        _res.method = _method;
     }
-    _roBlocksPerPage.clear();
 
     const std::uint32_t n = static_cast<std::uint32_t>(_procs.size());
 
+    // Forward-progress watchdog: consecutive scheduler iterations that
+    // neither execute a trace item nor release a barrier. Barrier
+    // entries are legitimate non-progress but bounded by the processor
+    // count between releases, so any configured threshold above n
+    // only fires on genuine livelock.
+    std::uint64_t stuck = 0;
+
     for (;;) {
+        if (_params.watchdogEvents && stuck > _params.watchdogEvents) {
+            throwWithRing(
+                ErrCode::Deadlock, _ring,
+                simFormat("coherence machine made no forward progress "
+                          "for %llu scheduler iterations on workload "
+                          "'%s'",
+                          static_cast<unsigned long long>(stuck),
+                          workload.name.c_str()));
+        }
+
         // Pick the runnable processor with the smallest local clock.
         std::int32_t best = -1;
         for (std::uint32_t p = 0; p < n; ++p) {
@@ -255,11 +410,13 @@ CoherentMachine::run(const ParallelWorkload &workload)
             for (std::uint32_t p = 0; p < n; ++p) {
                 if (!_procs[p].atBarrier)
                     continue;
-                res.barrierWaitCycles += maxc - _procs[p].clock;
+                _res.barrierWaitCycles += maxc - _procs[p].clock;
                 _procs[p].clock = maxc + _params.barrierCost;
                 _procs[p].atBarrier = false;
                 ++_procs[p].pos;
             }
+            _ring.push(maxc, "barrier-release", waiting);
+            stuck = 0;
             continue;
         }
 
@@ -267,19 +424,153 @@ CoherentMachine::run(const ParallelWorkload &workload)
         const TraceItem &item = workload.streams[p][_procs[p].pos];
         if (item.kind == TraceItem::Kind::Barrier) {
             _procs[p].atBarrier = true;
+            _ring.push(_procs[p].clock, "barrier-enter", p);
+            ++stuck;
             continue;
         }
-        step(p, item, res);
+        step(p, item);
         ++_procs[p].pos;
+        stuck = 0;
+
+        if (hooks.checkpointEveryRefs && hooks.onCheckpoint &&
+            _res.refs % hooks.checkpointEveryRefs == 0) {
+            hooks.onCheckpoint(makeImage(fp), _res.refs);
+        }
     }
 
+    _res.execTime = 0;
     for (const Proc &proc : _procs)
-        res.execTime = std::max(res.execTime, proc.clock);
+        _res.execTime = std::max(_res.execTime, proc.clock);
 
     panic_if(!_directory.invariantsHold(),
              "coherence invariants violated after '%s'",
              workload.name.c_str());
-    return res;
+    return _res;
+}
+
+std::vector<std::uint8_t>
+CoherentMachine::makeImage(std::uint64_t workload_fp) const
+{
+    Serializer s;
+    const bool has_faults = _faults && _faults->enabled();
+
+    s.beginSection("meta");
+    s.u64(workload_fp);
+    s.str(_res.workload);
+    s.b(has_faults);
+    s.endSection();
+
+    s.beginSection("machine");
+    save(s);
+    s.endSection();
+
+    if (has_faults) {
+        s.beginSection("faults");
+        _faults->save(s);
+        s.endSection();
+    }
+    return s.finish();
+}
+
+void
+CoherentMachine::save(Serializer &s) const
+{
+    s.u32(static_cast<std::uint32_t>(_procs.size()));
+    s.u8(static_cast<std::uint8_t>(_method));
+    for (const Proc &proc : _procs) {
+        s.u64(proc.clock);
+        s.u64(proc.pos);
+        s.b(proc.atBarrier);
+        proc.l1.save(s);
+        proc.l2.save(s);
+    }
+
+    _directory.save(s);
+
+    // Page-protection counters, sorted for image determinism.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(_roBlocksPerPage.size());
+    for (const auto &[key, count] : _roBlocksPerPage)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    s.u64(keys.size());
+    for (const std::uint64_t key : keys) {
+        s.u64(key);
+        s.u32(_roBlocksPerPage.at(key));
+    }
+
+    _ring.save(s);
+
+    s.str(_res.workload);
+    s.u64(_res.execTime);
+    s.u64(_res.refs);
+    s.u64(_res.sharedRefs);
+    s.u64(_res.l1Misses);
+    s.u64(_res.lookups);
+    s.u64(_res.faults);
+    s.u64(_res.protocolEvents);
+    s.u64(_res.networkRounds);
+    s.u64(_res.invalidations);
+    s.u64(_res.droppedInvalidations);
+    s.u64(_res.delayedAcks);
+    s.u64(_res.computeCycles);
+    s.u64(_res.memoryCycles);
+    s.u64(_res.accessControlCycles);
+    s.u64(_res.networkCycles);
+    s.u64(_res.barrierWaitCycles);
+}
+
+void
+CoherentMachine::restore(Deserializer &d)
+{
+    const std::uint32_t procs = d.u32();
+    sim_throw_if(procs != _procs.size(), ErrCode::BadCheckpoint,
+                 "checkpointed machine has %u processors, configured "
+                 "one has %zu", procs, _procs.size());
+    const auto method = static_cast<AccessMethod>(d.u8());
+    sim_throw_if(method != _method, ErrCode::BadCheckpoint,
+                 "checkpointed machine used access method '%s', "
+                 "configured one uses '%s'", accessMethodName(method),
+                 accessMethodName(_method));
+
+    for (Proc &proc : _procs) {
+        proc.clock = d.u64();
+        proc.pos = d.u64();
+        proc.atBarrier = d.b();
+        proc.l1.restore(d);
+        proc.l2.restore(d);
+    }
+
+    _directory.restore(d);
+
+    _roBlocksPerPage.clear();
+    const std::uint64_t ro_count = d.u64();
+    for (std::uint64_t i = 0; i < ro_count; ++i) {
+        const std::uint64_t key = d.u64();
+        _roBlocksPerPage[key] = d.u32();
+    }
+
+    _ring.restore(d);
+
+    _res = CoherenceResult{};
+    _res.method = _method;
+    _res.workload = d.str();
+    _res.execTime = d.u64();
+    _res.refs = d.u64();
+    _res.sharedRefs = d.u64();
+    _res.l1Misses = d.u64();
+    _res.lookups = d.u64();
+    _res.faults = d.u64();
+    _res.protocolEvents = d.u64();
+    _res.networkRounds = d.u64();
+    _res.invalidations = d.u64();
+    _res.droppedInvalidations = d.u64();
+    _res.delayedAcks = d.u64();
+    _res.computeCycles = d.u64();
+    _res.memoryCycles = d.u64();
+    _res.accessControlCycles = d.u64();
+    _res.networkCycles = d.u64();
+    _res.barrierWaitCycles = d.u64();
 }
 
 } // namespace imo::coherence

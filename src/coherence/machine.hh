@@ -16,18 +16,37 @@
  *  - Informing: a miss-handler lookup on shared references that miss
  *    the primary cache (invalid blocks are evicted, so accesses
  *    requiring protocol work always miss).
+ *
+ * Robustness features:
+ *  - a forward-progress watchdog (CoherenceParams::watchdogEvents)
+ *    converts scheduler livelock into a structured Deadlock error
+ *    carrying the last protocol events;
+ *  - an optional FaultInjector exercises lost invalidation messages
+ *    (bounded retransmission, then a structured error — never a
+ *    corrupt directory) and delayed protocol acknowledgements;
+ *  - full checkpoint/restore at the event boundary (save()/restore(),
+ *    or run() with RunHooks for periodic images and resume).
  */
 
 #ifndef IMO_COHERENCE_MACHINE_HH
 #define IMO_COHERENCE_MACHINE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "coherence/directory.hh"
 #include "coherence/params.hh"
+#include "common/diagring.hh"
 #include "memory/cache.hh"
+
+namespace imo
+{
+class FaultInjector;
+class Serializer;
+class Deserializer;
+} // namespace imo
 
 namespace imo::coherence
 {
@@ -66,6 +85,8 @@ struct CoherenceResult
     std::uint64_t protocolEvents = 0; //!< directory state changes
     std::uint64_t networkRounds = 0;
     std::uint64_t invalidations = 0; //!< remote copies invalidated
+    std::uint64_t droppedInvalidations = 0; //!< injected message losses
+    std::uint64_t delayedAcks = 0;          //!< injected ack delays
 
     Cycle computeCycles = 0;
     Cycle memoryCycles = 0;
@@ -78,13 +99,56 @@ struct CoherenceResult
 class CoherentMachine
 {
   public:
+    /** Checkpoint behavior of one run() call. */
+    struct RunHooks
+    {
+        /** Image to resume from (nullptr: cold start). */
+        const std::vector<std::uint8_t> *resumeImage = nullptr;
+
+        /** Take an image every N processed references (0: none). */
+        std::uint64_t checkpointEveryRefs = 0;
+
+        /** Receives each periodic image and the reference count. */
+        std::function<void(const std::vector<std::uint8_t> &,
+                           std::uint64_t)> onCheckpoint;
+    };
+
     CoherentMachine(const CoherenceParams &params, AccessMethod method);
+
+    /**
+     * Attach a fault injector (not owned; may be nullptr). The
+     * DroppedInvalidation and DelayedAck points are then consulted on
+     * protocol actions.
+     */
+    void setFaultInjector(FaultInjector *faults) { _faults = faults; }
 
     /** Run @p workload to completion. */
     CoherenceResult run(const ParallelWorkload &workload);
 
+    /** Run with checkpoint hooks (resume and/or periodic images). */
+    CoherenceResult run(const ParallelWorkload &workload,
+                        const RunHooks &hooks);
+
     /** @return the directory (for invariant checks in tests). */
     const Directory &directory() const { return _directory; }
+
+    /**
+     * Order-sensitive digest of @p workload (name, streams, items).
+     * Embedded in checkpoints so an image cannot be resumed against a
+     * different workload.
+     */
+    static std::uint64_t fingerprintWorkload(
+        const ParallelWorkload &workload);
+
+    /**
+     * Checkpoint hooks: per-processor clocks, stream positions,
+     * caches, the directory, page-protection bookkeeping, the
+     * diagnostic ring, and the partial result all round-trip. Only
+     * meaningful at the event boundary (between trace items). The
+     * fault injector is checkpointed by the caller (see run()).
+     */
+    void save(Serializer &s) const;
+    void restore(Deserializer &d);
 
   private:
     struct Proc
@@ -97,26 +161,36 @@ class CoherentMachine
     };
 
     /** Process one trace item on processor @p p; updates its clock. */
-    void step(std::uint32_t p, const TraceItem &item,
-              CoherenceResult &res);
+    void step(std::uint32_t p, const TraceItem &item);
 
     /** Charge the plain memory-hierarchy cost of a reference,
      *  optionally forcing a primary miss. @return true on L1 miss. */
     bool chargeCacheAccess(Proc &proc, Addr addr, bool write,
-                           bool force_miss, CoherenceResult &res);
+                           bool force_miss);
 
-    /** Invalidate remote cached copies named by @p mask. */
-    void invalidateRemote(std::uint32_t mask, Addr addr,
-                          CoherenceResult &res);
+    /**
+     * Invalidate remote cached copies named by @p mask on behalf of
+     * requester @p p. Under injected DroppedInvalidation faults each
+     * message is retransmitted a bounded number of times (charging the
+     * requester); persistent loss raises a structured FaultInjected
+     * error with the directory left consistent.
+     */
+    void invalidateRemote(std::uint32_t p, std::uint32_t mask, Addr addr);
 
     /** Track ECC page protection: blocks in READONLY per page. */
     void noteReadonly(std::uint32_t p, Addr addr, bool entering);
     bool pageHasReadonly(std::uint32_t p, Addr addr) const;
 
+    /** Assemble a resumable image of the whole machine. */
+    std::vector<std::uint8_t> makeImage(std::uint64_t workload_fp) const;
+
     CoherenceParams _params;
     AccessMethod _method;
     Directory _directory;
     std::vector<Proc> _procs;
+    FaultInjector *_faults = nullptr;
+    DiagRing _ring;
+    CoherenceResult _res;
 
     /** (proc, page) -> count of READONLY blocks on that page. */
     std::unordered_map<std::uint64_t, std::uint32_t> _roBlocksPerPage;

@@ -1,0 +1,40 @@
+#include "coherence/params.hh"
+
+#include <string>
+
+#include "common/error.hh"
+
+namespace imo::coherence
+{
+
+void
+CoherenceParams::validate() const
+{
+    sim_throw_if(processors == 0 || processors > 32, ErrCode::BadConfig,
+                 "coherence machine supports 1..32 processors, got %u",
+                 processors);
+
+    std::string why;
+    sim_throw_if(!l1.wellFormed(&why), ErrCode::BadConfig,
+                 "coherence L1 geometry: %s", why.c_str());
+    sim_throw_if(!l2.wellFormed(&why), ErrCode::BadConfig,
+                 "coherence L2 geometry: %s", why.c_str());
+
+    sim_throw_if(coherenceUnitBytes == 0 ||
+                 (coherenceUnitBytes & (coherenceUnitBytes - 1)),
+                 ErrCode::BadConfig,
+                 "coherence unit must be a power of two, got %u",
+                 coherenceUnitBytes);
+    sim_throw_if(pageBytes == 0 || (pageBytes & (pageBytes - 1)),
+                 ErrCode::BadConfig,
+                 "page size must be a power of two, got %u", pageBytes);
+    sim_throw_if(pageBytes < coherenceUnitBytes, ErrCode::BadConfig,
+                 "page size %u smaller than the coherence unit %u",
+                 pageBytes, coherenceUnitBytes);
+    sim_throw_if(l1HitCost == 0, ErrCode::BadConfig,
+                 "L1 hit cost must be nonzero");
+    sim_throw_if(messageLatency == 0, ErrCode::BadConfig,
+                 "network message latency must be nonzero");
+}
+
+} // namespace imo::coherence

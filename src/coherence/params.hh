@@ -75,6 +75,23 @@ struct CoherenceParams
     Cycle informingLookup = 33; //!< 6-cycle dispatch + 9-cycle handler
                                 //!< + table probe, on shared misses
     Cycle informingStateChange = 25;
+
+    /**
+     * Forward-progress watchdog on the event loop: if this many
+     * consecutive scheduler iterations pass without any processor
+     * advancing in its stream (or a barrier releasing), the run is
+     * aborted with a structured Deadlock error carrying the recent
+     * protocol events. Barrier entries are bounded by the processor
+     * count between real steps, so the default is far above any
+     * legitimate workload. 0 disables the watchdog.
+     */
+    std::uint64_t watchdogEvents = 1'000'000;
+
+    /**
+     * Validate every field, throwing SimException(BadConfig) with the
+     * first problem found. Called by CoherentMachine's constructor.
+     */
+    void validate() const;
 };
 
 } // namespace imo::coherence

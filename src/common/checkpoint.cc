@@ -1,0 +1,284 @@
+#include "common/checkpoint.hh"
+
+#include <array>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace imo
+{
+
+namespace
+{
+
+constexpr std::array<char, 8> kMagic =
+    {'I', 'M', 'O', 'C', 'K', 'P', 'T', '\0'};
+
+constexpr std::size_t kHeaderBytes = kMagic.size() + 4 + 4;
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+void
+append(std::vector<std::uint8_t> &out, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    out.insert(out.end(), p, p + len);
+}
+
+void
+appendU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    append(out, &v, 4);
+}
+
+void
+appendU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    append(out, &v, 8);
+}
+
+} // anonymous namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+// --- Serializer -----------------------------------------------------
+
+void
+Serializer::beginSection(const std::string &name)
+{
+    panic_if(_open, "checkpoint section '%s' opened inside another",
+             name.c_str());
+    _sections.push_back(Section{name, {}});
+    _open = true;
+}
+
+void
+Serializer::endSection()
+{
+    panic_if(!_open, "endSection() with no open checkpoint section");
+    _open = false;
+}
+
+void
+Serializer::raw(const void *data, std::size_t len)
+{
+    panic_if(!_open, "checkpoint write outside any section");
+    append(_sections.back().payload, data, len);
+}
+
+std::vector<std::uint8_t>
+Serializer::finish() const
+{
+    panic_if(_open, "finish() with an unsealed checkpoint section");
+    std::vector<std::uint8_t> out;
+    append(out, kMagic.data(), kMagic.size());
+    appendU32(out, checkpointFormatVersion);
+    appendU32(out, static_cast<std::uint32_t>(_sections.size()));
+    for (const Section &s : _sections) {
+        appendU32(out, static_cast<std::uint32_t>(s.name.size()));
+        append(out, s.name.data(), s.name.size());
+        appendU64(out, s.payload.size());
+        appendU32(out, crc32(s.payload.data(), s.payload.size()));
+        append(out, s.payload.data(), s.payload.size());
+    }
+    return out;
+}
+
+void
+Serializer::writeFile(const std::string &path) const
+{
+    writeCheckpointFile(path, finish());
+}
+
+void
+writeCheckpointFile(const std::string &path,
+                    const std::vector<std::uint8_t> &image)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    sim_throw_if(!f, ErrCode::BadCheckpoint,
+                 "cannot open '%s' for writing", tmp.c_str());
+    const std::size_t written =
+        std::fwrite(image.data(), 1, image.size(), f);
+    const bool closed = std::fclose(f) == 0;
+    if (written != image.size() || !closed) {
+        std::remove(tmp.c_str());
+        throwSimError(ErrCode::BadCheckpoint,
+                      "short write while saving checkpoint '%s'",
+                      path.c_str());
+    }
+    sim_throw_if(std::rename(tmp.c_str(), path.c_str()) != 0,
+                 ErrCode::BadCheckpoint,
+                 "cannot move checkpoint into place at '%s'",
+                 path.c_str());
+}
+
+// --- Deserializer ---------------------------------------------------
+
+std::vector<std::uint8_t>
+Deserializer::readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    sim_throw_if(!f, ErrCode::BadCheckpoint,
+                 "cannot open checkpoint '%s'", path.c_str());
+    std::vector<std::uint8_t> image;
+    std::array<std::uint8_t, 64 * 1024> buf;
+    std::size_t n;
+    while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0)
+        image.insert(image.end(), buf.data(), buf.data() + n);
+    const bool failed = std::ferror(f) != 0;
+    std::fclose(f);
+    sim_throw_if(failed, ErrCode::BadCheckpoint,
+                 "read error on checkpoint '%s'", path.c_str());
+    return image;
+}
+
+Deserializer::Deserializer(std::vector<std::uint8_t> image)
+    : _image(std::move(image))
+{
+    sim_throw_if(_image.size() < kHeaderBytes, ErrCode::BadCheckpoint,
+                 "checkpoint truncated: %zu bytes is smaller than the "
+                 "%zu-byte header", _image.size(), kHeaderBytes);
+    sim_throw_if(std::memcmp(_image.data(), kMagic.data(),
+                             kMagic.size()) != 0,
+                 ErrCode::BadCheckpoint,
+                 "not a checkpoint (bad magic)");
+
+    std::size_t off = kMagic.size();
+    auto readU32 = [&]() {
+        std::uint32_t v;
+        std::memcpy(&v, _image.data() + off, 4);
+        off += 4;
+        return v;
+    };
+
+    const std::uint32_t version = readU32();
+    sim_throw_if(version != checkpointFormatVersion,
+                 ErrCode::BadCheckpoint,
+                 "checkpoint format version %u unsupported (this build "
+                 "reads version %u)", version, checkpointFormatVersion);
+
+    const std::uint32_t count = readU32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        sim_throw_if(off + 4 > _image.size(), ErrCode::BadCheckpoint,
+                     "checkpoint truncated in section %u header", i);
+        const std::uint32_t name_len = readU32();
+        sim_throw_if(off + name_len + 12 > _image.size(),
+                     ErrCode::BadCheckpoint,
+                     "checkpoint truncated in section %u header", i);
+        Section s;
+        s.name.assign(reinterpret_cast<const char *>(_image.data() + off),
+                      name_len);
+        off += name_len;
+        std::uint64_t payload_len;
+        std::memcpy(&payload_len, _image.data() + off, 8);
+        off += 8;
+        const std::uint32_t want_crc = readU32();
+        sim_throw_if(payload_len > _image.size() - off,
+                     ErrCode::BadCheckpoint,
+                     "checkpoint truncated: section '%s' claims %llu "
+                     "payload bytes but only %zu remain", s.name.c_str(),
+                     static_cast<unsigned long long>(payload_len),
+                     _image.size() - off);
+        const std::uint32_t got_crc =
+            crc32(_image.data() + off, payload_len);
+        sim_throw_if(got_crc != want_crc, ErrCode::BadCheckpoint,
+                     "checkpoint section '%s' is corrupt "
+                     "(CRC %08x, expected %08x)", s.name.c_str(),
+                     got_crc, want_crc);
+        s.offset = off;
+        s.length = payload_len;
+        off += payload_len;
+        _sections.push_back(std::move(s));
+    }
+    sim_throw_if(off != _image.size(), ErrCode::BadCheckpoint,
+                 "checkpoint has %zu trailing bytes after the last "
+                 "section", _image.size() - off);
+}
+
+bool
+Deserializer::hasSection(const std::string &name) const
+{
+    for (const Section &s : _sections) {
+        if (s.name == name)
+            return true;
+    }
+    return false;
+}
+
+void
+Deserializer::openSection(const std::string &name)
+{
+    for (std::size_t i = 0; i < _sections.size(); ++i) {
+        if (_sections[i].name == name) {
+            _current = i;
+            _cursor = 0;
+            return;
+        }
+    }
+    throwSimError(ErrCode::BadCheckpoint,
+                  "checkpoint has no '%s' section", name.c_str());
+}
+
+void
+Deserializer::closeSection()
+{
+    panic_if(_current == static_cast<std::size_t>(-1),
+             "closeSection() with no open checkpoint section");
+    const Section &s = _sections[_current];
+    sim_throw_if(_cursor != s.length, ErrCode::BadCheckpoint,
+                 "checkpoint section '%s' decoded %zu of %zu bytes "
+                 "(format drift?)", s.name.c_str(), _cursor, s.length);
+    _current = static_cast<std::size_t>(-1);
+}
+
+void
+Deserializer::raw(void *out, std::size_t len)
+{
+    sim_throw_if(_current == static_cast<std::size_t>(-1),
+                 ErrCode::BadCheckpoint,
+                 "checkpoint read outside any section");
+    const Section &s = _sections[_current];
+    sim_throw_if(len > s.length - _cursor, ErrCode::BadCheckpoint,
+                 "checkpoint section '%s' truncated: read of %zu bytes "
+                 "at offset %zu exceeds %zu-byte payload",
+                 s.name.c_str(), len, _cursor, s.length);
+    std::memcpy(out, _image.data() + s.offset + _cursor, len);
+    _cursor += len;
+}
+
+std::uint64_t
+Deserializer::countedLength(std::size_t elem_bytes)
+{
+    const std::uint64_t n = u64();
+    const Section &s = _sections[_current];
+    sim_throw_if(n > (s.length - _cursor) / elem_bytes,
+                 ErrCode::BadCheckpoint,
+                 "checkpoint section '%s' truncated: %llu elements "
+                 "do not fit in the remaining %zu bytes",
+                 s.name.c_str(), static_cast<unsigned long long>(n),
+                 s.length - _cursor);
+    return n;
+}
+
+} // namespace imo

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Versioned, self-describing binary checkpoint container.
+ *
+ * A checkpoint is a sequence of named sections behind a fixed header:
+ *
+ *   magic "IMOCKPT\0" | u32 format version | u32 section count
+ *   per section: u32 name length | name bytes
+ *                u64 payload length | u32 CRC-32 of payload | payload
+ *
+ * Every stateful component contributes one section through its
+ * save(Serializer&) / restore(Deserializer&) hooks; the container layer
+ * owns framing and integrity. Corruption — bad magic, unknown version,
+ * a CRC mismatch, truncation, a missing section, or a section whose
+ * payload does not decode exactly — surfaces as a structured
+ * SimException(ErrCode::BadCheckpoint): a damaged file must never be
+ * able to crash or silently mis-restore the simulator.
+ *
+ * Integers are stored little-endian; doubles as their IEEE-754 bit
+ * pattern. A checkpoint written on one little-endian host restores on
+ * any other.
+ */
+
+#ifndef IMO_COMMON_CHECKPOINT_HH
+#define IMO_COMMON_CHECKPOINT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace imo
+{
+
+/** Bumped whenever the section layout changes incompatibly. */
+constexpr std::uint32_t checkpointFormatVersion = 1;
+
+/** CRC-32 (IEEE 802.3 polynomial, as in zlib) of @p len bytes. */
+std::uint32_t crc32(const void *data, std::size_t len);
+
+/** Write an assembled image to @p path (atomically: temp+rename).
+ *  Throws SimException(BadCheckpoint) on I/O failure. */
+void writeCheckpointFile(const std::string &path,
+                         const std::vector<std::uint8_t> &image);
+
+/** Builds a checkpoint image section by section. */
+class Serializer
+{
+  public:
+    /** Start a named section; all writes go to it until endSection(). */
+    void beginSection(const std::string &name);
+
+    /** Seal the current section (computes its CRC). */
+    void endSection();
+
+    // Primitive writers (valid only inside a section).
+    void u8(std::uint8_t v) { raw(&v, 1); }
+    void u16(std::uint16_t v) { raw(&v, 2); }
+    void u32(std::uint32_t v) { raw(&v, 4); }
+    void u64(std::uint64_t v) { raw(&v, 8); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        raw(s.data(), s.size());
+    }
+
+    /** Length-prefixed vector of u64 (the workhorse for tables). */
+    void
+    vecU64(const std::vector<std::uint64_t> &v)
+    {
+        u64(v.size());
+        raw(v.data(), v.size() * 8);
+    }
+
+    void
+    vecU8(const std::vector<std::uint8_t> &v)
+    {
+        u64(v.size());
+        raw(v.data(), v.size());
+    }
+
+    /** @return the assembled image (header + all sealed sections). */
+    std::vector<std::uint8_t> finish() const;
+
+    /** Write the assembled image to @p path (atomically: temp+rename).
+     *  Throws SimException(BadCheckpoint) on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    void raw(const void *data, std::size_t len);
+
+    struct Section
+    {
+        std::string name;
+        std::vector<std::uint8_t> payload;
+    };
+
+    std::vector<Section> _sections;
+    bool _open = false;
+};
+
+/** Parses and validates a checkpoint image; reads section by section. */
+class Deserializer
+{
+  public:
+    /** Parse @p image: header, framing, and every section CRC are
+     *  validated up front. Throws SimException(BadCheckpoint). */
+    explicit Deserializer(std::vector<std::uint8_t> image);
+
+    /** Read a whole file into memory.
+     *  Throws SimException(BadCheckpoint) if unreadable. */
+    static std::vector<std::uint8_t> readFile(const std::string &path);
+
+    bool hasSection(const std::string &name) const;
+
+    /** Position the cursor at the start of section @p name.
+     *  Throws BadCheckpoint if the section is absent. */
+    void openSection(const std::string &name);
+
+    /** Finish the current section; throws BadCheckpoint if the reader
+     *  did not consume its payload exactly (layout drift). */
+    void closeSection();
+
+    // Primitive readers (throw BadCheckpoint on truncation).
+    std::uint8_t u8() { std::uint8_t v; raw(&v, 1); return v; }
+    std::uint16_t u16() { std::uint16_t v; raw(&v, 2); return v; }
+    std::uint32_t u32() { std::uint32_t v; raw(&v, 4); return v; }
+    std::uint64_t u64() { std::uint64_t v; raw(&v, 8); return v; }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    bool b() { return u8() != 0; }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, 8);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        std::string s(n, '\0');
+        raw(s.data(), n);
+        return s;
+    }
+
+    std::vector<std::uint64_t>
+    vecU64()
+    {
+        const std::uint64_t n = countedLength(8);
+        std::vector<std::uint64_t> v(n);
+        raw(v.data(), n * 8);
+        return v;
+    }
+
+    std::vector<std::uint8_t>
+    vecU8()
+    {
+        const std::uint64_t n = countedLength(1);
+        std::vector<std::uint8_t> v(n);
+        raw(v.data(), n);
+        return v;
+    }
+
+  private:
+    void raw(void *out, std::size_t len);
+
+    /** Read an element count and bound it by the bytes remaining. */
+    std::uint64_t countedLength(std::size_t elem_bytes);
+
+    struct Section
+    {
+        std::string name;
+        std::size_t offset = 0;  //!< payload start within _image
+        std::size_t length = 0;
+    };
+
+    std::vector<std::uint8_t> _image;
+    std::vector<Section> _sections;
+    std::size_t _current = static_cast<std::size_t>(-1);
+    std::size_t _cursor = 0;  //!< read offset within current payload
+};
+
+} // namespace imo
+
+#endif // IMO_COMMON_CHECKPOINT_HH

@@ -1,5 +1,6 @@
 #include "common/diagring.hh"
 
+#include "common/checkpoint.hh"
 #include "common/error.hh"
 
 namespace imo
@@ -31,6 +32,59 @@ DiagRing::formatEvents() const
         idx = (idx + 1) % cap;
     }
     return out;
+}
+
+void
+DiagRing::save(Serializer &s) const
+{
+    s.u64(_events.size());
+    s.u64(_next);
+    s.u64(_recorded);
+    for (const DiagEvent &e : _events) {
+        s.u64(e.cycle);
+        s.str(e.tag);
+        s.u64(e.pc);
+        s.u64(e.arg);
+    }
+}
+
+void
+DiagRing::restore(Deserializer &d)
+{
+    const std::uint64_t cap = d.u64();
+    sim_throw_if(cap == 0 || cap > 4096, ErrCode::BadCheckpoint,
+                 "diagnostic ring capacity %llu out of range",
+                 static_cast<unsigned long long>(cap));
+    _events.assign(cap, DiagEvent{});
+    _next = static_cast<std::size_t>(d.u64());
+    sim_throw_if(_next >= cap, ErrCode::BadCheckpoint,
+                 "diagnostic ring cursor out of range");
+    _recorded = d.u64();
+    // Tags normally point at string literals; restored tags point into
+    // an interned pool owned by the ring instead.
+    _internedTags.clear();
+    _internedTags.reserve(cap);
+    for (DiagEvent &e : _events) {
+        e.cycle = d.u64();
+        _internedTags.push_back(d.str());
+        e.tag = _internedTags.back().c_str();
+        e.pc = d.u64();
+        e.arg = d.u64();
+    }
+}
+
+void
+throwWithRing(ErrCode code, const DiagRing &ring, std::string message)
+{
+    SimException ex(code, std::move(message));
+    std::vector<std::string> events = ring.formatEvents();
+    ex.withContext(simFormat(
+        "last %zu events (of %llu recorded), oldest first:",
+        events.size(),
+        static_cast<unsigned long long>(ring.recorded())));
+    for (std::string &line : events)
+        ex.withContext(std::move(line));
+    throw ex;
 }
 
 } // namespace imo

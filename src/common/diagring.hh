@@ -17,10 +17,14 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/types.hh"
 
 namespace imo
 {
+
+class Serializer;
+class Deserializer;
 
 /** One recorded event. @ref tag must point at a string literal. */
 struct DiagEvent
@@ -57,11 +61,28 @@ class DiagRing
     /** @return the retained events formatted oldest-first. */
     std::vector<std::string> formatEvents() const;
 
+    /**
+     * Checkpoint hooks. Restored tags are interned copies owned by the
+     * ring (live tags point at string literals and cannot round-trip
+     * as pointers).
+     */
+    void save(Serializer &s) const;
+    void restore(Deserializer &d);
+
   private:
     std::vector<DiagEvent> _events;
     std::size_t _next = 0;
     std::uint64_t _recorded = 0;
+    std::vector<std::string> _internedTags; //!< backing for restored tags
 };
+
+/**
+ * Throw SimException(@p code, @p message) carrying the ring's recent
+ * events as the context chain — the shared shape of every watchdog
+ * report (pipeline deadlocks, coherence livelocks, injected faults).
+ */
+[[noreturn]] void throwWithRing(ErrCode code, const DiagRing &ring,
+                                std::string message);
 
 } // namespace imo
 

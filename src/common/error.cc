@@ -35,6 +35,7 @@ errCodeName(ErrCode code)
       case ErrCode::Deadlock: return "Deadlock";
       case ErrCode::RunawayExecution: return "RunawayExecution";
       case ErrCode::FaultInjected: return "FaultInjected";
+      case ErrCode::BadCheckpoint: return "BadCheckpoint";
       case ErrCode::Internal: return "Internal";
     }
     return "?";

@@ -33,6 +33,7 @@ enum class ErrCode : std::uint8_t
     Deadlock,         //!< forward-progress watchdog fired
     RunawayExecution, //!< instruction budget exceeded (likely livelock)
     FaultInjected,    //!< an injected fault was configured to be fatal
+    BadCheckpoint,    //!< corrupt, truncated, or mismatched checkpoint
     Internal,         //!< wrapped foreign exception (should not happen)
 };
 

@@ -1,5 +1,6 @@
 #include "common/faultinject.hh"
 
+#include "common/checkpoint.hh"
 #include "common/error.hh"
 
 namespace imo
@@ -14,6 +15,8 @@ faultPointName(FaultPoint point)
       case FaultPoint::MispredictStorm: return "mispredict-storm";
       case FaultPoint::StuckFill: return "stuck-fill";
       case FaultPoint::HardFault: return "hard-fault";
+      case FaultPoint::DroppedInvalidation: return "dropped-inval";
+      case FaultPoint::DelayedAck: return "delayed-ack";
       case FaultPoint::NumPoints: break;
     }
     return "?";
@@ -42,6 +45,8 @@ FaultSchedule::probabilityOf(FaultPoint point) const
       case FaultPoint::MispredictStorm: return mispredictStorm;
       case FaultPoint::StuckFill: return stuckFill;
       case FaultPoint::HardFault: return hardFault;
+      case FaultPoint::DroppedInvalidation: return droppedInvalidation;
+      case FaultPoint::DelayedAck: return delayedAck;
       case FaultPoint::NumPoints: break;
     }
     return 0.0;
@@ -56,6 +61,10 @@ FaultSchedule::setProbability(FaultPoint point, double p)
       case FaultPoint::MispredictStorm: mispredictStorm = p; return;
       case FaultPoint::StuckFill: stuckFill = p; return;
       case FaultPoint::HardFault: hardFault = p; return;
+      case FaultPoint::DroppedInvalidation:
+        droppedInvalidation = p;
+        return;
+      case FaultPoint::DelayedAck: delayedAck = p; return;
       case FaultPoint::NumPoints: break;
     }
 }
@@ -102,6 +111,49 @@ FaultInjector::summary() const
                          static_cast<unsigned long long>(_count[i]));
     }
     return out.empty() ? "none" : out;
+}
+
+void
+FaultInjector::save(Serializer &s) const
+{
+    s.b(_enabled);
+    s.u64(_schedule.seed);
+    s.u32(static_cast<std::uint32_t>(numFaultPoints));
+    for (std::size_t i = 0; i < numFaultPoints; ++i)
+        s.f64(_schedule.probabilityOf(static_cast<FaultPoint>(i)));
+    s.u64(_schedule.spikeCycles);
+    s.u64(_schedule.stuckCycles);
+    s.u64(_schedule.ackDelayCycles);
+    for (std::size_t i = 0; i < numFaultPoints; ++i) {
+        std::uint64_t words[4];
+        _rng[i].saveState(words);
+        for (const std::uint64_t w : words)
+            s.u64(w);
+        s.u64(_count[i]);
+    }
+}
+
+void
+FaultInjector::restore(Deserializer &d)
+{
+    _enabled = d.b();
+    _schedule.seed = d.u64();
+    const std::uint32_t points = d.u32();
+    sim_throw_if(points != numFaultPoints, ErrCode::BadCheckpoint,
+                 "checkpoint has %u fault-injection points, this build "
+                 "has %zu", points, numFaultPoints);
+    for (std::size_t i = 0; i < numFaultPoints; ++i)
+        _schedule.setProbability(static_cast<FaultPoint>(i), d.f64());
+    _schedule.spikeCycles = d.u64();
+    _schedule.stuckCycles = d.u64();
+    _schedule.ackDelayCycles = d.u64();
+    for (std::size_t i = 0; i < numFaultPoints; ++i) {
+        std::uint64_t words[4];
+        for (std::uint64_t &w : words)
+            w = d.u64();
+        _rng[i].restoreState(words);
+        _count[i] = d.u64();
+    }
 }
 
 } // namespace imo

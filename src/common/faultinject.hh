@@ -23,6 +23,11 @@
  *  - HardFault: the injection point throws SimException(FaultInjected)
  *    outright, exercising error propagation from deep inside the
  *    timing model.
+ *  - DroppedInvalidation: a coherence invalidation message is lost in
+ *    the network; the protocol retransmits (bounded), and persistent
+ *    loss surfaces as a structured error, never directory corruption.
+ *  - DelayedAck: a coherence acknowledgement is delayed by
+ *    ackDelayCycles, stretching the requester's stall.
  */
 
 #ifndef IMO_COMMON_FAULTINJECT_HH
@@ -38,6 +43,9 @@
 namespace imo
 {
 
+class Serializer;
+class Deserializer;
+
 /** Named fault-injection points. */
 enum class FaultPoint : std::uint8_t
 {
@@ -46,6 +54,8 @@ enum class FaultPoint : std::uint8_t
     MispredictStorm,
     StuckFill,
     HardFault,
+    DroppedInvalidation,
+    DelayedAck,
     NumPoints
 };
 
@@ -69,11 +79,15 @@ struct FaultSchedule
     double mispredictStorm = 0.0;
     double stuckFill = 0.0;
     double hardFault = 0.0;
+    double droppedInvalidation = 0.0;
+    double delayedAck = 0.0;
 
     /** Extra fill latency added by MemLatencySpike. */
     Cycle spikeCycles = 200;
     /** Extra fill latency added by StuckFill (past any sane watchdog). */
     Cycle stuckCycles = 50'000'000;
+    /** Extra latency a DelayedAck adds to a coherence action. */
+    Cycle ackDelayCycles = 500;
 
     double probabilityOf(FaultPoint point) const;
     void setProbability(FaultPoint point, double p);
@@ -120,6 +134,14 @@ class FaultInjector
 
     /** One-line per-point firing summary for reports. */
     std::string summary() const;
+
+    /**
+     * Checkpoint hooks: the schedule, every per-point PRNG stream, and
+     * the firing counts round-trip, so a restored run draws exactly
+     * the faults an uninterrupted run would have drawn.
+     */
+    void save(Serializer &s) const;
+    void restore(Deserializer &d);
 
   private:
     bool _enabled = false;

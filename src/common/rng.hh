@@ -70,6 +70,22 @@ class Rng
     /** @return true with probability p. */
     bool chance(double p) { return real() < p; }
 
+    /** Export the raw generator state (for checkpointing). */
+    void
+    saveState(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state[i];
+    }
+
+    /** Replace the generator state with @p in (from saveState()). */
+    void
+    restoreState(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state[i] = in[i];
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -6,10 +6,12 @@
 #ifndef IMO_FUNC_DATAMEM_HH
 #define IMO_FUNC_DATAMEM_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "common/checkpoint.hh"
 #include "common/error.hh"
 #include "common/types.hh"
 
@@ -49,6 +51,44 @@ class DataMemory
 
     /** @return number of resident pages (for tests). */
     std::size_t residentPages() const { return _pages.size(); }
+
+    /**
+     * Checkpoint hooks. Pages are written sorted by page number so the
+     * image is independent of hash-map iteration order.
+     */
+    void
+    save(Serializer &s) const
+    {
+        std::vector<Addr> order;
+        order.reserve(_pages.size());
+        for (const auto &[page, words] : _pages)
+            order.push_back(page);
+        std::sort(order.begin(), order.end());
+        s.u64(order.size());
+        for (const Addr page : order) {
+            s.u64(page);
+            s.vecU64(_pages.at(page));
+        }
+    }
+
+    void
+    restore(Deserializer &d)
+    {
+        _pages.clear();
+        const std::uint64_t count = d.u64();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const Addr page = d.u64();
+            std::vector<std::uint64_t> words = d.vecU64();
+            sim_throw_if(words.size() != wordsPerPage,
+                         ErrCode::BadCheckpoint,
+                         "checkpointed data page %#llx has %zu words, "
+                         "expected %llu",
+                         static_cast<unsigned long long>(page),
+                         words.size(),
+                         static_cast<unsigned long long>(wordsPerPage));
+            _pages[page] = std::move(words);
+        }
+    }
 
   private:
     static constexpr Addr pageBytes = 4096;

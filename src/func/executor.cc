@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 
+#include "common/checkpoint.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
 
@@ -324,6 +325,86 @@ Executor::run()
     while (next(rec)) {
     }
     return _stats.instructions;
+}
+
+void
+Executor::save(Serializer &s) const
+{
+    s.u64(_program.fingerprint());
+
+    for (const std::uint64_t r : _state.ireg)
+        s.u64(r);
+    for (const double r : _state.freg)
+        s.f64(r);
+    s.u32(_state.pc);
+    s.u64(_state.mhar);
+    s.u64(_state.mhrr);
+    s.b(_state.ccMiss);
+    s.b(_state.ccMissL2);
+    s.u8(_state.trapLevel);
+    s.b(_state.halted);
+
+    s.u64(_stats.instructions);
+    s.u64(_stats.handlerInstructions);
+    s.u64(_stats.dataRefs);
+    s.u64(_stats.l1Misses);
+    s.u64(_stats.l2Misses);
+    s.u64(_stats.traps);
+    s.u64(_stats.brmissTaken);
+    s.u64(_stats.prefetches);
+    s.u64(_stats.condBranches);
+    s.u64(_stats.takenBranches);
+
+    s.b(_inHandler);
+    s.b(_trapArmed);
+
+    _mem.save(s);
+    _hier.save(s);
+}
+
+void
+Executor::restore(Deserializer &d)
+{
+    const std::uint64_t fp = d.u64();
+    sim_throw_if(fp != _program.fingerprint(), ErrCode::BadCheckpoint,
+                 "checkpoint was taken with a different program than "
+                 "'%s' (fingerprint %#llx vs %#llx)",
+                 _program.name().c_str(),
+                 static_cast<unsigned long long>(fp),
+                 static_cast<unsigned long long>(_program.fingerprint()));
+
+    for (std::uint64_t &r : _state.ireg)
+        r = d.u64();
+    for (double &r : _state.freg)
+        r = d.f64();
+    _state.pc = d.u32();
+    _state.mhar = d.u64();
+    _state.mhrr = d.u64();
+    _state.ccMiss = d.b();
+    _state.ccMissL2 = d.b();
+    _state.trapLevel = d.u8();
+    _state.halted = d.b();
+    sim_throw_if(!_state.halted && _state.pc >= _program.size(),
+                 ErrCode::BadCheckpoint,
+                 "checkpointed pc %u outside program of %u instructions",
+                 _state.pc, _program.size());
+
+    _stats.instructions = d.u64();
+    _stats.handlerInstructions = d.u64();
+    _stats.dataRefs = d.u64();
+    _stats.l1Misses = d.u64();
+    _stats.l2Misses = d.u64();
+    _stats.traps = d.u64();
+    _stats.brmissTaken = d.u64();
+    _stats.prefetches = d.u64();
+    _stats.condBranches = d.u64();
+    _stats.takenBranches = d.u64();
+
+    _inHandler = d.b();
+    _trapArmed = d.b();
+
+    _mem.restore(d);
+    _hier.restore(d);
 }
 
 } // namespace imo::func

@@ -102,6 +102,15 @@ class Executor : public TraceSource
     /** True while executing between a dispatch and its RETMH. */
     bool inHandler() const { return _inHandler; }
 
+    /**
+     * Checkpoint hooks: architectural state, statistics, data memory,
+     * and the reference hierarchy all round-trip. The image embeds the
+     * program's fingerprint; restoring against a different program
+     * raises BadCheckpoint.
+     */
+    void save(Serializer &s) const;
+    void restore(Deserializer &d);
+
   private:
     std::uint64_t readIreg(std::uint8_t unified) const;
     void writeIreg(std::uint8_t unified, std::uint64_t value);

@@ -172,4 +172,59 @@ Program::validate(std::string *why) const
     return true;
 }
 
+namespace
+{
+
+// FNV-1a, folded over every field that affects execution.
+struct Fnv
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    }
+
+    void
+    mix(const std::string &s)
+    {
+        mix(s.size());
+        for (const char c : s) {
+            h ^= static_cast<std::uint8_t>(c);
+            h *= 0x100000001b3ull;
+        }
+    }
+};
+
+} // anonymous namespace
+
+std::uint64_t
+Program::fingerprint() const
+{
+    Fnv f;
+    f.mix(_name);
+    f.mix(_insts.size());
+    for (const Instruction &in : _insts) {
+        f.mix(static_cast<std::uint64_t>(in.op));
+        f.mix((static_cast<std::uint64_t>(in.rd) << 16) |
+              (static_cast<std::uint64_t>(in.rs1) << 8) | in.rs2);
+        f.mix(static_cast<std::uint64_t>(in.imm));
+        f.mix(in.informing ? 1 : 0);
+        f.mix(in.staticRefId);
+    }
+    f.mix(_data.size());
+    for (const DataSegment &seg : _data) {
+        f.mix(seg.base);
+        f.mix(seg.words.size());
+        for (const std::uint64_t w : seg.words)
+            f.mix(w);
+    }
+    f.mix(_numStaticRefs);
+    return f.h;
+}
+
 } // namespace imo::isa

@@ -67,6 +67,14 @@ class Program
      */
     bool validate(std::string *why = nullptr) const;
 
+    /**
+     * Order-sensitive 64-bit digest of the whole program (name,
+     * instructions, data image, static-ref count). Checkpoints embed it
+     * so a restore against a different program is rejected instead of
+     * silently diverging.
+     */
+    std::uint64_t fingerprint() const;
+
   private:
     std::string _name;
     std::vector<Instruction> _insts;

@@ -1,5 +1,8 @@
 #include "memory/cache.hh"
 
+#include "common/checkpoint.hh"
+#include "common/error.hh"
+
 namespace imo::memory
 {
 
@@ -126,6 +129,44 @@ SetAssocCache::resetStats()
     _misses = 0;
     _writebacks = 0;
     _invalidations = 0;
+}
+
+void
+SetAssocCache::save(Serializer &s) const
+{
+    s.u64(_lines.size());
+    s.u64(_stamp);
+    s.u64(_hits);
+    s.u64(_misses);
+    s.u64(_writebacks);
+    s.u64(_invalidations);
+    for (const Line &line : _lines) {
+        s.b(line.valid);
+        s.b(line.dirty);
+        s.u64(line.tag);
+        s.u64(line.lruStamp);
+    }
+}
+
+void
+SetAssocCache::restore(Deserializer &d)
+{
+    const std::uint64_t count = d.u64();
+    sim_throw_if(count != _lines.size(), ErrCode::BadCheckpoint,
+                 "checkpointed cache has %llu lines, configured geometry "
+                 "has %zu",
+                 static_cast<unsigned long long>(count), _lines.size());
+    _stamp = d.u64();
+    _hits = d.u64();
+    _misses = d.u64();
+    _writebacks = d.u64();
+    _invalidations = d.u64();
+    for (Line &line : _lines) {
+        line.valid = d.b();
+        line.dirty = d.b();
+        line.tag = d.u64();
+        line.lruStamp = d.u64();
+    }
 }
 
 } // namespace imo::memory

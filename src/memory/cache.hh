@@ -17,6 +17,12 @@
 
 #include "memory/geometry.hh"
 
+namespace imo
+{
+class Serializer;
+class Deserializer;
+} // namespace imo
+
 namespace imo::memory
 {
 
@@ -78,6 +84,11 @@ class SetAssocCache
     }
 
     void resetStats();
+
+    /** Checkpoint hooks: contents, LRU order, and traffic counters all
+     *  round-trip. restore() requires a matching geometry. */
+    void save(Serializer &s) const;
+    void restore(Deserializer &d);
 
   private:
     struct Line

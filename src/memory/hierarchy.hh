@@ -46,6 +46,21 @@ class FunctionalHierarchy
     const SetAssocCache &l1() const { return _l1; }
     const SetAssocCache &l2() const { return _l2; }
 
+    /** Checkpoint hooks: both levels round-trip. */
+    void
+    save(Serializer &s) const
+    {
+        _l1.save(s);
+        _l2.save(s);
+    }
+
+    void
+    restore(Deserializer &d)
+    {
+        _l1.restore(d);
+        _l2.restore(d);
+    }
+
   private:
     SetAssocCache _l1;
     SetAssocCache _l2;

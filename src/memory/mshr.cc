@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checkpoint.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
 
@@ -146,6 +147,49 @@ MshrFile::busyEntries(Cycle now) const
             ++busy;
     }
     return busy;
+}
+
+void
+MshrFile::save(Serializer &s) const
+{
+    s.u32(_entries32);
+    s.u64(_nextGeneration);
+    s.u64(_allocations);
+    s.u64(_merges);
+    s.u64(_fullRejects);
+    s.u64(_squashInvalidations);
+    for (const Entry &e : _file) {
+        s.b(e.valid);
+        s.b(e.pinned);
+        s.u64(e.line);
+        s.u64(e.dataReady);
+        s.u64(e.releaseCycle);
+        s.u32(e.mergedRefs);
+        s.u64(e.generation);
+    }
+}
+
+void
+MshrFile::restore(Deserializer &d)
+{
+    const std::uint32_t entries = d.u32();
+    sim_throw_if(entries != _entries32, ErrCode::BadCheckpoint,
+                 "checkpointed MSHR file has %u entries, configured file "
+                 "has %u", entries, _entries32);
+    _nextGeneration = d.u64();
+    _allocations = d.u64();
+    _merges = d.u64();
+    _fullRejects = d.u64();
+    _squashInvalidations = d.u64();
+    for (Entry &e : _file) {
+        e.valid = d.b();
+        e.pinned = d.b();
+        e.line = d.u64();
+        e.dataReady = d.u64();
+        e.releaseCycle = d.u64();
+        e.mergedRefs = d.u32();
+        e.generation = d.u64();
+    }
 }
 
 } // namespace imo::memory

@@ -23,6 +23,12 @@
 
 #include "common/types.hh"
 
+namespace imo
+{
+class Serializer;
+class Deserializer;
+} // namespace imo
+
 namespace imo::memory
 {
 
@@ -104,6 +110,14 @@ class MshrFile
     {
         return _squashInvalidations;
     }
+
+    /**
+     * Checkpoint hooks. The invalidate hook is a live callback into the
+     * owning hierarchy, so it is NOT serialized — the owner must call
+     * setInvalidateHook() again after restore().
+     */
+    void save(Serializer &s) const;
+    void restore(Deserializer &d);
 
   private:
     struct Entry

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checkpoint.hh"
 #include "common/error.hh"
 
 namespace imo::memory
@@ -104,6 +105,36 @@ TimingMemorySystem::request(Addr addr, MemLevel level, Cycle now)
     result.dataReady = alloc.dataReady;
     result.mshr = alloc.ref;
     return result;
+}
+
+void
+TimingMemorySystem::save(Serializer &s) const
+{
+    _mshrs.save(s);
+    s.u64(_bankFree.size());
+    for (const Cycle c : _bankFree)
+        s.u64(c);
+    s.u64(_nextMemSlot);
+    s.u64(_bankConflicts);
+    s.u64(_memQueueCycles);
+    s.u64(_injectedRejects);
+}
+
+void
+TimingMemorySystem::restore(Deserializer &d)
+{
+    _mshrs.restore(d);
+    const std::uint64_t banks = d.u64();
+    sim_throw_if(banks != _bankFree.size(), ErrCode::BadCheckpoint,
+                 "checkpointed memory system has %llu banks, configured "
+                 "system has %zu",
+                 static_cast<unsigned long long>(banks), _bankFree.size());
+    for (Cycle &c : _bankFree)
+        c = d.u64();
+    _nextMemSlot = d.u64();
+    _bankConflicts = d.u64();
+    _memQueueCycles = d.u64();
+    _injectedRejects = d.u64();
 }
 
 } // namespace imo::memory

@@ -75,6 +75,7 @@ class TimingMemorySystem
     }
 
     MshrFile &mshrFile() { return _mshrs; }
+    const MshrFile &mshrFile() const { return _mshrs; }
     const TimingMemoryParams &params() const { return _params; }
 
     /**
@@ -88,6 +89,14 @@ class TimingMemorySystem
     std::uint64_t bankConflicts() const { return _bankConflicts; }
     std::uint64_t memQueueCycles() const { return _memQueueCycles; }
     std::uint64_t injectedRejects() const { return _injectedRejects; }
+
+    /**
+     * Checkpoint hooks. The fault-injector pointer is a live attachment
+     * (its own state is checkpointed by the owner); callers must
+     * setFaultInjector() again after restore().
+     */
+    void save(Serializer &s) const;
+    void restore(Deserializer &d);
 
   private:
     std::uint32_t bankOf(Addr addr) const;

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "branch/predictor.hh"
+#include "common/checkpoint.hh"
 #include "common/diagring.hh"
 #include "common/error.hh"
 #include "common/faultinject.hh"
@@ -41,6 +42,50 @@ groupOf(OpClass cls, const FuPool &fus)
 
 } // anonymous namespace
 
+/** All mutable state of one in-order timing run. */
+struct InOrderCpu::Timing
+{
+    explicit Timing(const MachineConfig &cfg)
+        : fetch(cfg.issueWidth, cfg.takenBranchBubble),
+          port(cfg.issueWidth,
+               {cfg.fus.intUnits, cfg.fus.fpUnits, cfg.fus.branchUnits,
+                cfg.fus.memUnits ? cfg.fus.memUnits : cfg.fus.intUnits,
+                cfg.issueWidth}),
+          ledger(cfg.issueWidth), mem(cfg.mem), bimodal(cfg.predictorEntries),
+          gshare(cfg.predictorEntries), ring(32)
+    {
+        mem.setFaultInjector(cfg.faults);
+        res.machine = cfg.name;
+        res.issueWidth = cfg.issueWidth;
+    }
+
+    FetchEngine fetch;
+    InOrderIssuePort port;
+    GraduationLedger ledger;
+    memory::TimingMemorySystem mem;
+    branch::TwoBitPredictor bimodal;
+    branch::GsharePredictor gshare;
+    DiagRing ring;
+
+    // Register scoreboard: when each value becomes available, and
+    // whether it is being produced by an in-flight primary-cache miss
+    // (for replay-trap emulation).
+    std::array<Cycle, isa::numUnifiedRegs> regReady{};
+    std::array<Cycle, isa::numUnifiedRegs> regMissDetect{};
+    std::array<bool, isa::numUnifiedRegs> regFromMiss{};
+    Cycle ccReady = 0;
+    Cycle mhrrReady = 0;
+    Cycle lastIssue = 0;
+
+    // A pipeline flush (replay trap, misprediction) squashes every
+    // younger in-flight instruction: none may issue before the refetch
+    // reaches the issue stage again.
+    Cycle issueFloor = 0;
+
+    std::uint64_t consumed = 0;
+    RunResult res;   //!< live counters; derived fields filled by result()
+};
+
 InOrderCpu::InOrderCpu(const MachineConfig &config) : _config(config)
 {
     sim_throw_if(config.outOfOrder, ErrCode::BadConfig,
@@ -48,254 +93,323 @@ InOrderCpu::InOrderCpu(const MachineConfig &config) : _config(config)
                  config.name.c_str());
 }
 
-RunResult
-InOrderCpu::run(func::TraceSource &src)
-{
-    const MachineConfig &cfg = _config;
+InOrderCpu::~InOrderCpu() = default;
 
-    FetchEngine fetch(cfg.issueWidth, cfg.takenBranchBubble);
-    InOrderIssuePort port(cfg.issueWidth,
-                          {cfg.fus.intUnits, cfg.fus.fpUnits,
-                           cfg.fus.branchUnits,
-                           cfg.fus.memUnits ? cfg.fus.memUnits
-                                            : cfg.fus.intUnits,
-                           cfg.issueWidth});
-    GraduationLedger ledger(cfg.issueWidth);
-    memory::TimingMemorySystem mem(cfg.mem);
-    mem.setFaultInjector(cfg.faults);
-    branch::TwoBitPredictor bimodal(cfg.predictorEntries);
-    branch::GsharePredictor gshare(cfg.predictorEntries);
+void
+InOrderCpu::reset()
+{
+    _t = std::make_unique<Timing>(_config);
+}
+
+std::uint64_t
+InOrderCpu::retired() const
+{
+    return _t ? _t->consumed : 0;
+}
+
+bool
+InOrderCpu::step(func::TraceSource &src)
+{
+    panic_if(!_t, "InOrderCpu::step before reset()");
+    Timing &t = *_t;
+    const MachineConfig &cfg = _config;
+    const Cycle watchdog = cfg.watchdogCycles;
+
     auto predict_and_update = [&](InstAddr pc, bool taken) {
-        bool correct = cfg.useGshare ? gshare.predictAndUpdate(pc, taken)
-                                     : bimodal.predictAndUpdate(pc, taken);
+        bool correct = cfg.useGshare
+            ? t.gshare.predictAndUpdate(pc, taken)
+            : t.bimodal.predictAndUpdate(pc, taken);
         if (cfg.faults && cfg.faults->fire(FaultPoint::MispredictStorm))
             correct = false;
         return correct;
     };
-
-    // Forward-progress watchdog + recent-event ring for diagnostics.
-    const Cycle watchdog = cfg.watchdogCycles;
-    DiagRing ring(32);
-
-    // Register scoreboard: when each value becomes available, and
-    // whether it is being produced by an in-flight primary-cache miss
-    // (for replay-trap emulation).
-    std::array<Cycle, isa::numUnifiedRegs> reg_ready{};
-    std::array<Cycle, isa::numUnifiedRegs> reg_miss_detect{};
-    std::array<bool, isa::numUnifiedRegs> reg_from_miss{};
-    Cycle cc_ready = 0;
-    Cycle mhrr_ready = 0;
-    Cycle last_issue = 0;
-
-    // A pipeline flush (replay trap, misprediction) squashes every
-    // younger in-flight instruction: none may issue before the refetch
-    // reaches the issue stage again.
-    Cycle issue_floor = 0;
     auto flush_at = [&](Cycle refetch) {
-        fetch.gate(refetch);
-        issue_floor = std::max(issue_floor,
-                               refetch + cfg.frontendDepth);
+        t.fetch.gate(refetch);
+        t.issueFloor = std::max(t.issueFloor,
+                                refetch + cfg.frontendDepth);
     };
 
-    RunResult res;
-    res.machine = cfg.name;
-    res.issueWidth = cfg.issueWidth;
-
     func::TraceRecord r;
-    while (src.next(r)) {
-        const isa::Instruction &in = r.inst;
-        const OpClass cls = isa::opClass(in.op);
+    if (!src.next(r))
+        return false;
+    ++t.consumed;
 
-        const Cycle fc = fetch.fetchNext();
-        Cycle earliest = std::max({fc + cfg.frontendDepth, last_issue,
-                                   issue_floor});
+    const isa::Instruction &in = r.inst;
+    const OpClass cls = isa::opClass(in.op);
 
-        // Source operands (presence bits), with the 21164 replay trap:
-        // if this instruction would have issued inside a missing load's
-        // hit shadow, it is flushed and replayed, paying the penalty.
-        const Cycle base = earliest;
-        const isa::SrcRegs srcs = isa::srcRegs(in);
-        for (std::uint8_t i = 0; i < srcs.count; ++i) {
-            const std::uint8_t s = srcs.reg[i];
-            Cycle constraint = reg_ready[s];
-            if (reg_from_miss[s] && base < reg_miss_detect[s]) {
-                constraint = std::max(constraint,
-                                      reg_miss_detect[s] +
-                                      cfg.replayTrapPenalty);
-            }
-            earliest = std::max(earliest, constraint);
+    const Cycle fc = t.fetch.fetchNext();
+    Cycle earliest = std::max({fc + cfg.frontendDepth, t.lastIssue,
+                               t.issueFloor});
+
+    // Source operands (presence bits), with the 21164 replay trap:
+    // if this instruction would have issued inside a missing load's
+    // hit shadow, it is flushed and replayed, paying the penalty.
+    const Cycle base = earliest;
+    const isa::SrcRegs srcs = isa::srcRegs(in);
+    for (std::uint8_t i = 0; i < srcs.count; ++i) {
+        const std::uint8_t s = srcs.reg[i];
+        Cycle constraint = t.regReady[s];
+        if (t.regFromMiss[s] && base < t.regMissDetect[s]) {
+            constraint = std::max(constraint,
+                                  t.regMissDetect[s] +
+                                  cfg.replayTrapPenalty);
         }
-        if (in.op == Op::BRMISS || in.op == Op::BRMISS2)
-            earliest = std::max(earliest, cc_ready);
-        if (in.op == Op::RETMH || in.op == Op::GETMHRR)
-            earliest = std::max(earliest, mhrr_ready);
+        earliest = std::max(earliest, constraint);
+    }
+    if (in.op == Op::BRMISS || in.op == Op::BRMISS2)
+        earliest = std::max(earliest, t.ccReady);
+    if (in.op == Op::RETMH || in.op == Op::GETMHRR)
+        earliest = std::max(earliest, t.mhrrReady);
 
-        const Cycle issue = port.reserve(groupOf(cls, cfg.fus), earliest);
-        last_issue = issue;
+    const Cycle issue = t.port.reserve(groupOf(cls, cfg.fus), earliest);
+    t.lastIssue = issue;
 
-        Cycle complete = issue + cfg.lat.forClass(cls);
-        bool cache_reason = false;
+    Cycle complete = issue + cfg.lat.forClass(cls);
+    bool cache_reason = false;
 
-        switch (cls) {
-          case OpClass::Load:
-          case OpClass::Store:
-          case OpClass::Prefetch: {
-            // Present the reference to the lockup-free memory system,
-            // retrying on structural hazards (bank/MSHR busy). A
-            // reference that keeps being rejected is a livelock: the
-            // watchdog converts it into a structured Deadlock error.
-            Cycle probe = issue;
-            memory::MemRequestResult mr;
-            for (;;) {
-                mr = mem.request(r.addr, r.level, probe);
-                if (mr.accepted)
-                    break;
-                probe = std::max(mr.retryCycle, probe + 1);
-                if (watchdog && probe > issue + watchdog) {
-                    ring.push(probe, "stuck-ref", r.pc,
-                              mem.mshrFile().busyEntries(probe));
-                    raiseDeadlock(ring, simFormat(
-                        "memory reference at pc %u (addr %#llx) "
-                        "rejected for %llu cycles (MSHR/bank livelock; "
-                        "%u of %u MSHRs busy)",
-                        r.pc, static_cast<unsigned long long>(r.addr),
-                        static_cast<unsigned long long>(probe - issue),
-                        mem.mshrFile().busyEntries(probe),
-                        mem.mshrFile().capacity()));
-                }
+    switch (cls) {
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::Prefetch: {
+        // Present the reference to the lockup-free memory system,
+        // retrying on structural hazards (bank/MSHR busy). A
+        // reference that keeps being rejected is a livelock: the
+        // watchdog converts it into a structured Deadlock error.
+        Cycle probe = issue;
+        memory::MemRequestResult mr;
+        for (;;) {
+            mr = t.mem.request(r.addr, r.level, probe);
+            if (mr.accepted)
+                break;
+            probe = std::max(mr.retryCycle, probe + 1);
+            if (watchdog && probe > issue + watchdog) {
+                t.ring.push(probe, "stuck-ref", r.pc,
+                            t.mem.mshrFile().busyEntries(probe));
+                raiseDeadlock(t.ring, simFormat(
+                    "memory reference at pc %u (addr %#llx) "
+                    "rejected for %llu cycles (MSHR/bank livelock; "
+                    "%u of %u MSHRs busy)",
+                    r.pc, static_cast<unsigned long long>(r.addr),
+                    static_cast<unsigned long long>(probe - issue),
+                    t.mem.mshrFile().busyEntries(probe),
+                    t.mem.mshrFile().capacity()));
             }
-            ring.push(probe, "mem-accept", r.pc, r.addr);
-            const Cycle miss_detect = probe + 1;
-            const bool missed = r.level != MemLevel::L1;
+        }
+        t.ring.push(probe, "mem-accept", r.pc, r.addr);
+        const Cycle miss_detect = probe + 1;
+        const bool missed = r.level != MemLevel::L1;
 
-            if (cls == OpClass::Load) {
-                complete = std::max(mr.dataReady, probe + 1);
-                cache_reason = missed;
-            } else {
-                // Stores and prefetches retire into the write buffer /
-                // MSHR without blocking graduation.
-                complete = probe + 1;
-            }
-
-            // An in-order machine issues memory operations
-            // non-speculatively, so the section-3.3 extended MSHR
-            // lifetime releases at completion (nothing can squash).
-            if (cfg.mem.extendedMshrLifetime && mr.mshr.valid())
-                mem.notifyGraduated(mr.mshr, complete);
-
-            if (isa::isDataRef(in.op)) {
-                ++res.dataRefs;
-                if (missed)
-                    ++res.l1Misses;
-                cc_ready = miss_detect;
-
-                const int rd = isa::dstReg(in);
-                if (rd >= 0) {
-                    reg_ready[rd] = complete;
-                    reg_from_miss[rd] = missed;
-                    reg_miss_detect[rd] = miss_detect;
-                }
-
-                if (r.trapped) {
-                    // Informing dispatch via the replay-trap mechanism:
-                    // flush and refetch from the handler.
-                    ++res.traps;
-                    mhrr_ready = miss_detect + 1;
-                    flush_at(miss_detect + cfg.replayTrapPenalty);
-                    ring.push(miss_detect, "trap", r.pc, r.addr);
-                }
-            }
-            break;
-          }
-
-          case OpClass::Branch: {
-            const Cycle resolve = issue + 1;
-            complete = resolve;
-            if (in.op == Op::BRMISS ||
-                in.op == Op::BRMISS2) {
-                // Statically predicted not-taken (the common case is a
-                // hit); taken means a mispredict-style redirect.
-                ++res.condBranches;
-                if (r.taken) {
-                    mhrr_ready = resolve + 1;
-                    flush_at(resolve + cfg.redirectPenalty);
-                    ++res.mispredicts;
-                }
-            } else {
-                ++res.condBranches;
-                const bool correct = predict_and_update(r.pc, r.taken);
-                if (!correct) {
-                    ++res.mispredicts;
-                    flush_at(resolve + cfg.redirectPenalty);
-                    ring.push(resolve, "mispredict", r.pc, r.taken);
-                } else if (r.taken) {
-                    fetch.redirectTaken(fc);
-                }
-            }
-            break;
-          }
-
-          case OpClass::Jump: {
-            complete = issue + 1;
-            if (in.op == Op::JR) {
-                // Register-indirect target resolves at execute.
-                flush_at(complete + cfg.redirectPenalty);
-            } else {
-                // J/JAL/RETMH targets are available in the front end.
-                fetch.redirectTaken(fc);
-            }
-            if (const int rd = isa::dstReg(in); rd >= 0) {
-                reg_ready[rd] = complete;
-                reg_from_miss[rd] = false;
-            }
-            break;
-          }
-
-          default: {
-            if (const int rd = isa::dstReg(in); rd >= 0) {
-                reg_ready[rd] = complete;
-                reg_from_miss[rd] = false;
-            }
-            if (in.op == Op::SETMHRR)
-                mhrr_ready = complete;
-            if (in.op == Op::GETMHRR) {
-                reg_ready[in.rd] = complete;
-                reg_from_miss[in.rd] = false;
-            }
-            break;
-          }
+        if (cls == OpClass::Load) {
+            complete = std::max(mr.dataReady, probe + 1);
+            cache_reason = missed;
+        } else {
+            // Stores and prefetches retire into the write buffer /
+            // MSHR without blocking graduation.
+            complete = probe + 1;
         }
 
-        if (r.handlerCode)
-            ++res.handlerInstructions;
+        // An in-order machine issues memory operations
+        // non-speculatively, so the section-3.3 extended MSHR
+        // lifetime releases at completion (nothing can squash).
+        if (cfg.mem.extendedMshrLifetime && mr.mshr.valid())
+            t.mem.notifyGraduated(mr.mshr, complete);
 
-        // Retirement watchdog: a completion time that runs away from
-        // the graduation frontier means nothing will retire for an
-        // implausibly long time (e.g. a stuck fill).
-        if (watchdog && complete > ledger.lastCycle() + watchdog) {
-            ring.push(complete, "no-retire", r.pc, ledger.lastCycle());
-            raiseDeadlock(ring, simFormat(
-                "no retirement for %llu cycles: pc %u completes at "
-                "cycle %llu, last graduation at %llu",
-                static_cast<unsigned long long>(
-                    complete - ledger.lastCycle()),
-                r.pc, static_cast<unsigned long long>(complete),
-                static_cast<unsigned long long>(ledger.lastCycle())));
+        if (isa::isDataRef(in.op)) {
+            ++t.res.dataRefs;
+            if (missed)
+                ++t.res.l1Misses;
+            t.ccReady = miss_detect;
+
+            const int rd = isa::dstReg(in);
+            if (rd >= 0) {
+                t.regReady[rd] = complete;
+                t.regFromMiss[rd] = missed;
+                t.regMissDetect[rd] = miss_detect;
+            }
+
+            if (r.trapped) {
+                // Informing dispatch via the replay-trap mechanism:
+                // flush and refetch from the handler.
+                ++t.res.traps;
+                t.mhrrReady = miss_detect + 1;
+                flush_at(miss_detect + cfg.replayTrapPenalty);
+                t.ring.push(miss_detect, "trap", r.pc, r.addr);
+            }
         }
+        break;
+      }
 
-        ring.push(complete, "grad", r.pc,
-                  static_cast<std::uint64_t>(in.op));
-        ledger.graduate(complete, cache_reason);
+      case OpClass::Branch: {
+        const Cycle resolve = issue + 1;
+        complete = resolve;
+        if (in.op == Op::BRMISS ||
+            in.op == Op::BRMISS2) {
+            // Statically predicted not-taken (the common case is a
+            // hit); taken means a mispredict-style redirect.
+            ++t.res.condBranches;
+            if (r.taken) {
+                t.mhrrReady = resolve + 1;
+                flush_at(resolve + cfg.redirectPenalty);
+                ++t.res.mispredicts;
+            }
+        } else {
+            ++t.res.condBranches;
+            const bool correct = predict_and_update(r.pc, r.taken);
+            if (!correct) {
+                ++t.res.mispredicts;
+                flush_at(resolve + cfg.redirectPenalty);
+                t.ring.push(resolve, "mispredict", r.pc, r.taken);
+            } else if (r.taken) {
+                t.fetch.redirectTaken(fc);
+            }
+        }
+        break;
+      }
+
+      case OpClass::Jump: {
+        complete = issue + 1;
+        if (in.op == Op::JR) {
+            // Register-indirect target resolves at execute.
+            flush_at(complete + cfg.redirectPenalty);
+        } else {
+            // J/JAL/RETMH targets are available in the front end.
+            t.fetch.redirectTaken(fc);
+        }
+        if (const int rd = isa::dstReg(in); rd >= 0) {
+            t.regReady[rd] = complete;
+            t.regFromMiss[rd] = false;
+        }
+        break;
+      }
+
+      default: {
+        if (const int rd = isa::dstReg(in); rd >= 0) {
+            t.regReady[rd] = complete;
+            t.regFromMiss[rd] = false;
+        }
+        if (in.op == Op::SETMHRR)
+            t.mhrrReady = complete;
+        if (in.op == Op::GETMHRR) {
+            t.regReady[in.rd] = complete;
+            t.regFromMiss[in.rd] = false;
+        }
+        break;
+      }
     }
 
-    res.cycles = ledger.totalCycles();
-    res.instructions = ledger.graduated();
-    res.cacheStallSlots = ledger.cacheStallSlots();
-    res.otherStallSlots = ledger.otherStallSlots();
-    res.mshrFullRejects = mem.mshrFile().fullRejects();
-    res.bankConflicts = mem.bankConflicts();
-    res.squashInvalidations = mem.mshrFile().squashInvalidations();
+    if (r.handlerCode)
+        ++t.res.handlerInstructions;
+
+    // Retirement watchdog: a completion time that runs away from
+    // the graduation frontier means nothing will retire for an
+    // implausibly long time (e.g. a stuck fill).
+    if (watchdog && complete > t.ledger.lastCycle() + watchdog) {
+        t.ring.push(complete, "no-retire", r.pc, t.ledger.lastCycle());
+        raiseDeadlock(t.ring, simFormat(
+            "no retirement for %llu cycles: pc %u completes at "
+            "cycle %llu, last graduation at %llu",
+            static_cast<unsigned long long>(
+                complete - t.ledger.lastCycle()),
+            r.pc, static_cast<unsigned long long>(complete),
+            static_cast<unsigned long long>(t.ledger.lastCycle())));
+    }
+
+    t.ring.push(complete, "grad", r.pc,
+                static_cast<std::uint64_t>(in.op));
+    t.ledger.graduate(complete, cache_reason);
+    return true;
+}
+
+RunResult
+InOrderCpu::result() const
+{
+    if (!_t) {
+        RunResult res;
+        res.machine = _config.name;
+        res.issueWidth = _config.issueWidth;
+        return res;
+    }
+    const Timing &t = *_t;
+    RunResult res = t.res;
+    res.cycles = t.ledger.totalCycles();
+    res.instructions = t.ledger.graduated();
+    res.cacheStallSlots = t.ledger.cacheStallSlots();
+    res.otherStallSlots = t.ledger.otherStallSlots();
+    res.mshrFullRejects = t.mem.mshrFile().fullRejects();
+    res.bankConflicts = t.mem.bankConflicts();
+    res.squashInvalidations = t.mem.mshrFile().squashInvalidations();
     return res;
+}
+
+RunResult
+InOrderCpu::run(func::TraceSource &src)
+{
+    reset();
+    while (step(src)) {
+    }
+    return result();
+}
+
+void
+InOrderCpu::save(Serializer &s) const
+{
+    panic_if(!_t, "InOrderCpu::save before reset()");
+    const Timing &t = *_t;
+    t.fetch.save(s);
+    t.port.save(s);
+    t.ledger.save(s);
+    t.mem.save(s);
+    t.bimodal.save(s);
+    t.gshare.save(s);
+    t.ring.save(s);
+    for (const Cycle c : t.regReady)
+        s.u64(c);
+    for (const Cycle c : t.regMissDetect)
+        s.u64(c);
+    for (const bool f : t.regFromMiss)
+        s.b(f);
+    s.u64(t.ccReady);
+    s.u64(t.mhrrReady);
+    s.u64(t.lastIssue);
+    s.u64(t.issueFloor);
+    s.u64(t.consumed);
+    s.u64(t.res.dataRefs);
+    s.u64(t.res.l1Misses);
+    s.u64(t.res.traps);
+    s.u64(t.res.condBranches);
+    s.u64(t.res.mispredicts);
+    s.u64(t.res.handlerInstructions);
+}
+
+void
+InOrderCpu::restore(Deserializer &d)
+{
+    reset();
+    Timing &t = *_t;
+    t.fetch.restore(d);
+    t.port.restore(d);
+    t.ledger.restore(d);
+    t.mem.restore(d);
+    t.bimodal.restore(d);
+    t.gshare.restore(d);
+    t.ring.restore(d);
+    for (Cycle &c : t.regReady)
+        c = d.u64();
+    for (Cycle &c : t.regMissDetect)
+        c = d.u64();
+    for (std::size_t i = 0; i < t.regFromMiss.size(); ++i)
+        t.regFromMiss[i] = d.b();
+    t.ccReady = d.u64();
+    t.mhrrReady = d.u64();
+    t.lastIssue = d.u64();
+    t.issueFloor = d.u64();
+    t.consumed = d.u64();
+    t.res.dataRefs = d.u64();
+    t.res.l1Misses = d.u64();
+    t.res.traps = d.u64();
+    t.res.condBranches = d.u64();
+    t.res.mispredicts = d.u64();
+    t.res.handlerInstructions = d.u64();
 }
 
 } // namespace imo::pipeline

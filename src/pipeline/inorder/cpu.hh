@@ -14,14 +14,28 @@
  *    the handler at miss detection plus the replay penalty;
  *  - 2-bit branch prediction with resolve-time misprediction redirects;
  *  - the lockup-free memory system (banks, MSHRs, bandwidth).
+ *
+ * The model is trace-driven and holds all in-flight effects as
+ * future-cycle bookkeeping, so between step() calls the machine is
+ * architecturally quiesced: that boundary is where checkpoints are
+ * taken (see save()/restore()).
  */
 
 #ifndef IMO_PIPELINE_INORDER_CPU_HH
 #define IMO_PIPELINE_INORDER_CPU_HH
 
+#include <cstdint>
+#include <memory>
+
 #include "func/trace.hh"
 #include "pipeline/config.hh"
 #include "pipeline/result.hh"
+
+namespace imo
+{
+class Serializer;
+class Deserializer;
+} // namespace imo
 
 namespace imo::pipeline
 {
@@ -31,12 +45,43 @@ class InOrderCpu
 {
   public:
     explicit InOrderCpu(const MachineConfig &config);
+    ~InOrderCpu();
+
+    /** Discard all timing state and start a fresh run. */
+    void reset();
+
+    /**
+     * Consume one record from @p src and advance the timing model.
+     * Requires reset() (or restore()) first.
+     * @return false once @p src is exhausted.
+     */
+    bool step(func::TraceSource &src);
+
+    /** Records consumed since reset()/restore(). */
+    std::uint64_t retired() const;
+
+    /**
+     * Snapshot the result so far. Callable at any step boundary and
+     * after a step() threw (partial statistics for failure reports).
+     */
+    RunResult result() const;
 
     /** Replay @p src to exhaustion and return the timing result. */
     RunResult run(func::TraceSource &src);
 
+    /**
+     * Checkpoint hooks. Only meaningful between step() calls (the
+     * quiesced boundary). restore() implies reset() and requires a
+     * configuration matching the one that produced the image.
+     */
+    void save(Serializer &s) const;
+    void restore(Deserializer &d);
+
   private:
+    struct Timing;
+
     MachineConfig _config;
+    std::unique_ptr<Timing> _t;
 };
 
 } // namespace imo::pipeline

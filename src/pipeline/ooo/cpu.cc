@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "branch/predictor.hh"
+#include "common/checkpoint.hh"
 #include "common/diagring.hh"
 #include "common/error.hh"
 #include "common/faultinject.hh"
@@ -42,6 +43,55 @@ groupOf(OpClass cls)
 
 } // anonymous namespace
 
+/** All mutable state of one out-of-order timing run. */
+struct OooCpu::Timing
+{
+    explicit Timing(const MachineConfig &cfg)
+        : fetch(cfg.issueWidth, cfg.takenBranchBubble),
+          dispatchPort(cfg.issueWidth,
+                       {cfg.issueWidth, cfg.issueWidth, cfg.issueWidth,
+                        cfg.issueWidth, cfg.issueWidth}),
+          ledger(cfg.issueWidth), mem(cfg.mem),
+          bimodal(cfg.predictorEntries), gshare(cfg.predictorEntries),
+          ring(32), fuInt(cfg.fus.intUnits), fuFp(cfg.fus.fpUnits),
+          fuBr(cfg.fus.branchUnits),
+          fuMem(std::max<std::uint32_t>(cfg.fus.memUnits, 1)),
+          gradHistory(cfg.robSize, 0)
+    {
+        mem.setFaultInjector(cfg.faults);
+        res.machine = cfg.name;
+        res.issueWidth = cfg.issueWidth;
+    }
+
+    FetchEngine fetch;
+    InOrderIssuePort dispatchPort;
+    GraduationLedger ledger;
+    memory::TimingMemorySystem mem;
+    branch::TwoBitPredictor bimodal;
+    branch::GsharePredictor gshare;
+    DiagRing ring;
+
+    SlotTable fuInt;
+    SlotTable fuFp;
+    SlotTable fuBr;
+    SlotTable fuMem;
+
+    // Renamed register file: availability time of the newest version.
+    std::array<Cycle, isa::numUnifiedRegs> regReady{};
+    Cycle ccReady = 0;
+    Cycle mhrrReady = 0;
+
+    // Reorder buffer occupancy: graduation cycle per slot.
+    std::vector<Cycle> gradHistory;
+
+    // Unresolved predicted branches (shadow-state checkpoints).
+    std::vector<Cycle> outstandingBranches;
+
+    std::uint64_t index = 0;
+    Cycle lastWrongPathAddr = 0;
+    RunResult res;   //!< live counters; derived fields filled by result()
+};
+
 OooCpu::OooCpu(const MachineConfig &config) : _config(config)
 {
     sim_throw_if(!config.outOfOrder, ErrCode::BadConfig,
@@ -51,323 +101,401 @@ OooCpu::OooCpu(const MachineConfig &config) : _config(config)
                  "reorder buffer must be nonempty");
 }
 
-RunResult
-OooCpu::run(func::TraceSource &src)
-{
-    const MachineConfig &cfg = _config;
+OooCpu::~OooCpu() = default;
 
-    FetchEngine fetch(cfg.issueWidth, cfg.takenBranchBubble);
-    InOrderIssuePort dispatch_port(
-        cfg.issueWidth,
-        {cfg.issueWidth, cfg.issueWidth, cfg.issueWidth, cfg.issueWidth,
-         cfg.issueWidth});
-    GraduationLedger ledger(cfg.issueWidth);
-    memory::TimingMemorySystem mem(cfg.mem);
-    mem.setFaultInjector(cfg.faults);
-    branch::TwoBitPredictor bimodal(cfg.predictorEntries);
-    branch::GsharePredictor gshare(cfg.predictorEntries);
+void
+OooCpu::reset()
+{
+    _t = std::make_unique<Timing>(_config);
+}
+
+std::uint64_t
+OooCpu::retired() const
+{
+    return _t ? _t->index : 0;
+}
+
+bool
+OooCpu::step(func::TraceSource &src)
+{
+    panic_if(!_t, "OooCpu::step before reset()");
+    Timing &t = *_t;
+    const MachineConfig &cfg = _config;
+    const Cycle watchdog = cfg.watchdogCycles;
+    const bool branch_style =
+        cfg.trapDispatch == TrapDispatch::BranchStyle;
+
     auto predict_and_update = [&](InstAddr pc, bool taken) {
-        bool correct = cfg.useGshare ? gshare.predictAndUpdate(pc, taken)
-                                     : bimodal.predictAndUpdate(pc, taken);
+        bool correct = cfg.useGshare
+            ? t.gshare.predictAndUpdate(pc, taken)
+            : t.bimodal.predictAndUpdate(pc, taken);
         if (cfg.faults && cfg.faults->fire(FaultPoint::MispredictStorm))
             correct = false;
         return correct;
     };
-
-    // Forward-progress watchdog + recent-event ring for diagnostics.
-    const Cycle watchdog = cfg.watchdogCycles;
-    DiagRing ring(32);
-
-    SlotTable fu_int(cfg.fus.intUnits);
-    SlotTable fu_fp(cfg.fus.fpUnits);
-    SlotTable fu_br(cfg.fus.branchUnits);
-    SlotTable fu_mem(std::max<std::uint32_t>(cfg.fus.memUnits, 1));
     auto fu_for = [&](FuGroup g) -> SlotTable * {
         switch (g) {
-          case FuGroup::Int: return &fu_int;
-          case FuGroup::Fp: return &fu_fp;
-          case FuGroup::Branch: return &fu_br;
-          case FuGroup::Mem: return &fu_mem;
+          case FuGroup::Int: return &t.fuInt;
+          case FuGroup::Fp: return &t.fuFp;
+          case FuGroup::Branch: return &t.fuBr;
+          case FuGroup::Mem: return &t.fuMem;
           default: return nullptr;
         }
     };
 
-    // Renamed register file: availability time of the newest version.
-    std::array<Cycle, isa::numUnifiedRegs> reg_ready{};
-    Cycle cc_ready = 0;
-    Cycle mhrr_ready = 0;
-
-    // Reorder buffer occupancy: graduation cycle per slot.
-    std::vector<Cycle> grad_history(cfg.robSize, 0);
-
-    // Unresolved predicted branches (shadow-state checkpoints).
-    std::vector<Cycle> outstanding_branches;
-
-    RunResult res;
-    res.machine = cfg.name;
-    res.issueWidth = cfg.issueWidth;
-
-    const bool branch_style =
-        cfg.trapDispatch == TrapDispatch::BranchStyle;
-
-    std::uint64_t index = 0;
-    Cycle last_wrong_path_addr = 0;
-
     func::TraceRecord r;
-    while (src.next(r)) {
-        const isa::Instruction &in = r.inst;
-        const OpClass cls = isa::opClass(in.op);
-        const FuGroup group = groupOf(cls);
+    if (!src.next(r))
+        return false;
 
-        const Cycle fc = fetch.fetchNext();
-        Cycle d = fc + cfg.frontendDepth;
+    const isa::Instruction &in = r.inst;
+    const OpClass cls = isa::opClass(in.op);
+    const FuGroup group = groupOf(cls);
 
-        // Reorder-buffer space: reuse the entry of the instruction
-        // robSize back, one cycle after it graduated.
-        if (index >= cfg.robSize) {
-            d = std::max(d, grad_history[index % cfg.robSize] + 1);
-        }
-        d = dispatch_port.reserve(FuGroup::None, d);
+    const Cycle fc = t.fetch.fetchNext();
+    Cycle d = fc + cfg.frontendDepth;
 
-        // Shadow-state checkpoints: conditional branches (and,
-        // optionally, informing references in branch-style mode)
-        // each hold one until they resolve.
-        const bool needs_checkpoint =
-            isa::isCondBranch(in.op) ||
-            (cfg.informingTakesCheckpoint && branch_style &&
-             isa::isDataRef(in.op) && in.informing);
-        if (needs_checkpoint && cfg.maxUnresolvedBranches > 0) {
-            std::erase_if(outstanding_branches,
+    // Reorder-buffer space: reuse the entry of the instruction
+    // robSize back, one cycle after it graduated.
+    if (t.index >= cfg.robSize) {
+        d = std::max(d, t.gradHistory[t.index % cfg.robSize] + 1);
+    }
+    d = t.dispatchPort.reserve(FuGroup::None, d);
+
+    // Shadow-state checkpoints: conditional branches (and,
+    // optionally, informing references in branch-style mode)
+    // each hold one until they resolve.
+    const bool needs_checkpoint =
+        isa::isCondBranch(in.op) ||
+        (cfg.informingTakesCheckpoint && branch_style &&
+         isa::isDataRef(in.op) && in.informing);
+    if (needs_checkpoint && cfg.maxUnresolvedBranches > 0) {
+        std::erase_if(t.outstandingBranches,
+                      [d](Cycle c) { return c <= d; });
+        if (t.outstandingBranches.size() >=
+            cfg.maxUnresolvedBranches) {
+            const Cycle earliest = *std::min_element(
+                t.outstandingBranches.begin(),
+                t.outstandingBranches.end());
+            d = std::max(d, earliest);
+            std::erase_if(t.outstandingBranches,
                           [d](Cycle c) { return c <= d; });
-            if (outstanding_branches.size() >=
-                cfg.maxUnresolvedBranches) {
-                const Cycle earliest = *std::min_element(
-                    outstanding_branches.begin(),
-                    outstanding_branches.end());
-                d = std::max(d, earliest);
-                std::erase_if(outstanding_branches,
-                              [d](Cycle c) { return c <= d; });
-            }
         }
-
-        // Wakeup: true data dependences only (renaming removes WAR/WAW).
-        Cycle ready = d + 1;
-        const isa::SrcRegs srcs = isa::srcRegs(in);
-        for (std::uint8_t i = 0; i < srcs.count; ++i)
-            ready = std::max(ready, reg_ready[srcs.reg[i]]);
-        if (in.op == Op::BRMISS || in.op == Op::BRMISS2)
-            ready = std::max(ready, cc_ready);
-        if (in.op == Op::RETMH || in.op == Op::GETMHRR)
-            ready = std::max(ready, mhrr_ready);
-
-        SlotTable *fu = fu_for(group);
-        const Cycle issue = fu ? fu->reserve(ready) : ready;
-
-        Cycle complete = issue + cfg.lat.forClass(cls);
-        bool cache_reason = false;
-        Cycle resolve_for_checkpoint = 0;
-        memory::MshrRef mshr_ref;
-
-        switch (cls) {
-          case OpClass::Load:
-          case OpClass::Store:
-          case OpClass::Prefetch: {
-            // Retry structural-hazard rejections (bank/MSHR busy); a
-            // reference that is rejected forever is a livelock the
-            // watchdog converts into a structured Deadlock error.
-            Cycle probe = issue;
-            memory::MemRequestResult mr;
-            for (;;) {
-                mr = mem.request(r.addr, r.level, probe);
-                if (mr.accepted)
-                    break;
-                probe = std::max(mr.retryCycle, probe + 1);
-                if (watchdog && probe > issue + watchdog) {
-                    ring.push(probe, "stuck-ref", r.pc,
-                              mem.mshrFile().busyEntries(probe));
-                    raiseDeadlock(ring, simFormat(
-                        "memory reference at pc %u (addr %#llx) "
-                        "rejected for %llu cycles (MSHR/bank livelock; "
-                        "%u of %u MSHRs busy)",
-                        r.pc, static_cast<unsigned long long>(r.addr),
-                        static_cast<unsigned long long>(probe - issue),
-                        mem.mshrFile().busyEntries(probe),
-                        mem.mshrFile().capacity()));
-                }
-            }
-            ring.push(probe, "mem-accept", r.pc, r.addr);
-            const Cycle miss_detect = probe + 1;
-            const bool missed = r.level != MemLevel::L1;
-
-            if (cls == OpClass::Load) {
-                complete = std::max(mr.dataReady, probe + 1);
-                cache_reason = missed;
-            } else {
-                complete = probe + 1;
-            }
-            resolve_for_checkpoint = miss_detect;
-
-            if (isa::isDataRef(in.op)) {
-                ++res.dataRefs;
-                if (missed)
-                    ++res.l1Misses;
-                cc_ready = miss_detect;
-
-                const int rd = isa::dstReg(in);
-                if (rd >= 0)
-                    reg_ready[rd] = complete;
-
-                if (r.trapped) {
-                    ++res.traps;
-                    ring.push(miss_detect, "trap", r.pc, r.addr);
-                    if (branch_style) {
-                        // Redirect like a mispredicted branch as soon
-                        // as the miss is detected.
-                        mhrr_ready = miss_detect + 1;
-                        fetch.gate(miss_detect + cfg.redirectPenalty);
-                    }
-                    // Exception-style dispatch is applied after this
-                    // instruction's graduation (below).
-                }
-
-                mshr_ref = mr.mshr;
-            } else {
-                // Prefetch: fire and forget.
-                complete = probe + 1;
-            }
-            break;
-          }
-
-          case OpClass::Branch: {
-            const Cycle resolve = issue + 1;
-            complete = resolve;
-            resolve_for_checkpoint = resolve;
-            ++res.condBranches;
-            if (in.op == Op::BRMISS ||
-                in.op == Op::BRMISS2) {
-                if (r.taken) {
-                    ++res.mispredicts;
-                    mhrr_ready = resolve + 1;
-                    fetch.gate(resolve + cfg.redirectPenalty);
-                }
-            } else {
-                const bool correct = predict_and_update(r.pc, r.taken);
-                if (!correct) {
-                    ++res.mispredicts;
-                    fetch.gate(resolve + cfg.redirectPenalty);
-                    ring.push(resolve, "mispredict", r.pc, r.taken);
-                    if (_wrongPathProbes > 0) {
-                        // Inject squashed speculative line fetches past
-                        // the mispredicted branch (section 3.3). They
-                        // execute as soon as the wrong-path loads could
-                        // issue (right after dispatch) and are squashed
-                        // when the branch resolves; fills that complete
-                        // in between must be invalidated.
-                        for (std::uint32_t p = 0; p < _wrongPathProbes;
-                             ++p) {
-                            const Addr a = r.addr + 0x4000 +
-                                (++last_wrong_path_addr *
-                                 cfg.mem.lineBytes);
-                            memory::MemRequestResult wr = mem.request(
-                                a, MemLevel::L2, d + 1);
-                            if (wr.accepted && wr.mshr.valid())
-                                mem.notifySquashed(wr.mshr, resolve);
-                        }
-                    }
-                } else if (r.taken) {
-                    fetch.redirectTaken(fc);
-                }
-            }
-            break;
-          }
-
-          case OpClass::Jump: {
-            complete = issue + 1;
-            if (in.op == Op::JR) {
-                fetch.gate(complete + cfg.redirectPenalty);
-            } else {
-                fetch.redirectTaken(fc);
-            }
-            if (const int rd = isa::dstReg(in); rd >= 0)
-                reg_ready[rd] = complete;
-            break;
-          }
-
-          default: {
-            if (const int rd = isa::dstReg(in); rd >= 0)
-                reg_ready[rd] = complete;
-            if (in.op == Op::SETMHRR)
-                mhrr_ready = complete;
-            if (in.op == Op::GETMHRR)
-                reg_ready[in.rd] = complete;
-            break;
-          }
-        }
-
-        if (needs_checkpoint && cfg.maxUnresolvedBranches > 0)
-            outstanding_branches.push_back(resolve_for_checkpoint);
-
-        if (r.handlerCode)
-            ++res.handlerInstructions;
-
-        if (isa::isDataRef(in.op) && r.trapped && !branch_style) {
-            // Exception-style informing dispatch: postponed until the
-            // reference reaches the head of the reorder buffer (all
-            // older instructions have graduated) and its miss is known;
-            // the machine is then flushed and the handler fetched. The
-            // reference itself still graduates when its data returns,
-            // overlapping the handler.
-            const Cycle at_head =
-                std::max(resolve_for_checkpoint, ledger.lastCycle());
-            mhrr_ready = at_head + cfg.exceptionFlushPenalty;
-            fetch.gate(at_head + cfg.exceptionFlushPenalty);
-        }
-
-        // Retirement watchdog: a completion time that runs away from
-        // the graduation frontier means nothing will retire for an
-        // implausibly long time (e.g. a stuck fill).
-        if (watchdog && complete > ledger.lastCycle() + watchdog) {
-            ring.push(complete, "no-retire", r.pc, ledger.lastCycle());
-            raiseDeadlock(ring, simFormat(
-                "no retirement for %llu cycles: pc %u completes at "
-                "cycle %llu, last graduation at %llu",
-                static_cast<unsigned long long>(
-                    complete - ledger.lastCycle()),
-                r.pc, static_cast<unsigned long long>(complete),
-                static_cast<unsigned long long>(ledger.lastCycle())));
-        }
-
-        ring.push(complete, "grad", r.pc,
-                  static_cast<std::uint64_t>(in.op));
-        const Cycle grad = ledger.graduate(complete + 1, cache_reason);
-        grad_history[index % cfg.robSize] = grad;
-
-        // With the extended MSHR lifetime of section 3.3, demand-miss
-        // entries stay pinned until the owning instruction graduates.
-        // (Wrong-path probes were squashed at resolve above.)
-        if (cfg.mem.extendedMshrLifetime && mshr_ref.valid())
-            mem.notifyGraduated(mshr_ref, grad);
-
-        // Periodically prune reservation bookkeeping behind the ROB.
-        if ((index & 0xfff) == 0 && index >= cfg.robSize) {
-            const Cycle frontier = grad_history[index % cfg.robSize];
-            fu_int.pruneBelow(frontier);
-            fu_fp.pruneBelow(frontier);
-            fu_br.pruneBelow(frontier);
-            fu_mem.pruneBelow(frontier);
-        }
-
-        ++index;
     }
 
-    res.cycles = ledger.totalCycles();
-    res.instructions = ledger.graduated();
-    res.cacheStallSlots = ledger.cacheStallSlots();
-    res.otherStallSlots = ledger.otherStallSlots();
-    res.mshrFullRejects = mem.mshrFile().fullRejects();
-    res.bankConflicts = mem.bankConflicts();
-    res.squashInvalidations = mem.mshrFile().squashInvalidations();
+    // Wakeup: true data dependences only (renaming removes WAR/WAW).
+    Cycle ready = d + 1;
+    const isa::SrcRegs srcs = isa::srcRegs(in);
+    for (std::uint8_t i = 0; i < srcs.count; ++i)
+        ready = std::max(ready, t.regReady[srcs.reg[i]]);
+    if (in.op == Op::BRMISS || in.op == Op::BRMISS2)
+        ready = std::max(ready, t.ccReady);
+    if (in.op == Op::RETMH || in.op == Op::GETMHRR)
+        ready = std::max(ready, t.mhrrReady);
+
+    SlotTable *fu = fu_for(group);
+    const Cycle issue = fu ? fu->reserve(ready) : ready;
+
+    Cycle complete = issue + cfg.lat.forClass(cls);
+    bool cache_reason = false;
+    Cycle resolve_for_checkpoint = 0;
+    memory::MshrRef mshr_ref;
+
+    switch (cls) {
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::Prefetch: {
+        // Retry structural-hazard rejections (bank/MSHR busy); a
+        // reference that is rejected forever is a livelock the
+        // watchdog converts into a structured Deadlock error.
+        Cycle probe = issue;
+        memory::MemRequestResult mr;
+        for (;;) {
+            mr = t.mem.request(r.addr, r.level, probe);
+            if (mr.accepted)
+                break;
+            probe = std::max(mr.retryCycle, probe + 1);
+            if (watchdog && probe > issue + watchdog) {
+                t.ring.push(probe, "stuck-ref", r.pc,
+                            t.mem.mshrFile().busyEntries(probe));
+                raiseDeadlock(t.ring, simFormat(
+                    "memory reference at pc %u (addr %#llx) "
+                    "rejected for %llu cycles (MSHR/bank livelock; "
+                    "%u of %u MSHRs busy)",
+                    r.pc, static_cast<unsigned long long>(r.addr),
+                    static_cast<unsigned long long>(probe - issue),
+                    t.mem.mshrFile().busyEntries(probe),
+                    t.mem.mshrFile().capacity()));
+            }
+        }
+        t.ring.push(probe, "mem-accept", r.pc, r.addr);
+        const Cycle miss_detect = probe + 1;
+        const bool missed = r.level != MemLevel::L1;
+
+        if (cls == OpClass::Load) {
+            complete = std::max(mr.dataReady, probe + 1);
+            cache_reason = missed;
+        } else {
+            complete = probe + 1;
+        }
+        resolve_for_checkpoint = miss_detect;
+
+        if (isa::isDataRef(in.op)) {
+            ++t.res.dataRefs;
+            if (missed)
+                ++t.res.l1Misses;
+            t.ccReady = miss_detect;
+
+            const int rd = isa::dstReg(in);
+            if (rd >= 0)
+                t.regReady[rd] = complete;
+
+            if (r.trapped) {
+                ++t.res.traps;
+                t.ring.push(miss_detect, "trap", r.pc, r.addr);
+                if (branch_style) {
+                    // Redirect like a mispredicted branch as soon
+                    // as the miss is detected.
+                    t.mhrrReady = miss_detect + 1;
+                    t.fetch.gate(miss_detect + cfg.redirectPenalty);
+                }
+                // Exception-style dispatch is applied after this
+                // instruction's graduation (below).
+            }
+
+            mshr_ref = mr.mshr;
+        } else {
+            // Prefetch: fire and forget.
+            complete = probe + 1;
+        }
+        break;
+      }
+
+      case OpClass::Branch: {
+        const Cycle resolve = issue + 1;
+        complete = resolve;
+        resolve_for_checkpoint = resolve;
+        ++t.res.condBranches;
+        if (in.op == Op::BRMISS ||
+            in.op == Op::BRMISS2) {
+            if (r.taken) {
+                ++t.res.mispredicts;
+                t.mhrrReady = resolve + 1;
+                t.fetch.gate(resolve + cfg.redirectPenalty);
+            }
+        } else {
+            const bool correct = predict_and_update(r.pc, r.taken);
+            if (!correct) {
+                ++t.res.mispredicts;
+                t.fetch.gate(resolve + cfg.redirectPenalty);
+                t.ring.push(resolve, "mispredict", r.pc, r.taken);
+                if (_wrongPathProbes > 0) {
+                    // Inject squashed speculative line fetches past
+                    // the mispredicted branch (section 3.3). They
+                    // execute as soon as the wrong-path loads could
+                    // issue (right after dispatch) and are squashed
+                    // when the branch resolves; fills that complete
+                    // in between must be invalidated.
+                    for (std::uint32_t p = 0; p < _wrongPathProbes;
+                         ++p) {
+                        const Addr a = r.addr + 0x4000 +
+                            (++t.lastWrongPathAddr *
+                             cfg.mem.lineBytes);
+                        memory::MemRequestResult wr = t.mem.request(
+                            a, MemLevel::L2, d + 1);
+                        if (wr.accepted && wr.mshr.valid())
+                            t.mem.notifySquashed(wr.mshr, resolve);
+                    }
+                }
+            } else if (r.taken) {
+                t.fetch.redirectTaken(fc);
+            }
+        }
+        break;
+      }
+
+      case OpClass::Jump: {
+        complete = issue + 1;
+        if (in.op == Op::JR) {
+            t.fetch.gate(complete + cfg.redirectPenalty);
+        } else {
+            t.fetch.redirectTaken(fc);
+        }
+        if (const int rd = isa::dstReg(in); rd >= 0)
+            t.regReady[rd] = complete;
+        break;
+      }
+
+      default: {
+        if (const int rd = isa::dstReg(in); rd >= 0)
+            t.regReady[rd] = complete;
+        if (in.op == Op::SETMHRR)
+            t.mhrrReady = complete;
+        if (in.op == Op::GETMHRR)
+            t.regReady[in.rd] = complete;
+        break;
+      }
+    }
+
+    if (needs_checkpoint && cfg.maxUnresolvedBranches > 0)
+        t.outstandingBranches.push_back(resolve_for_checkpoint);
+
+    if (r.handlerCode)
+        ++t.res.handlerInstructions;
+
+    if (isa::isDataRef(in.op) && r.trapped && !branch_style) {
+        // Exception-style informing dispatch: postponed until the
+        // reference reaches the head of the reorder buffer (all
+        // older instructions have graduated) and its miss is known;
+        // the machine is then flushed and the handler fetched. The
+        // reference itself still graduates when its data returns,
+        // overlapping the handler.
+        const Cycle at_head =
+            std::max(resolve_for_checkpoint, t.ledger.lastCycle());
+        t.mhrrReady = at_head + cfg.exceptionFlushPenalty;
+        t.fetch.gate(at_head + cfg.exceptionFlushPenalty);
+    }
+
+    // Retirement watchdog: a completion time that runs away from
+    // the graduation frontier means nothing will retire for an
+    // implausibly long time (e.g. a stuck fill).
+    if (watchdog && complete > t.ledger.lastCycle() + watchdog) {
+        t.ring.push(complete, "no-retire", r.pc, t.ledger.lastCycle());
+        raiseDeadlock(t.ring, simFormat(
+            "no retirement for %llu cycles: pc %u completes at "
+            "cycle %llu, last graduation at %llu",
+            static_cast<unsigned long long>(
+                complete - t.ledger.lastCycle()),
+            r.pc, static_cast<unsigned long long>(complete),
+            static_cast<unsigned long long>(t.ledger.lastCycle())));
+    }
+
+    t.ring.push(complete, "grad", r.pc,
+                static_cast<std::uint64_t>(in.op));
+    const Cycle grad = t.ledger.graduate(complete + 1, cache_reason);
+    t.gradHistory[t.index % cfg.robSize] = grad;
+
+    // With the extended MSHR lifetime of section 3.3, demand-miss
+    // entries stay pinned until the owning instruction graduates.
+    // (Wrong-path probes were squashed at resolve above.)
+    if (cfg.mem.extendedMshrLifetime && mshr_ref.valid())
+        t.mem.notifyGraduated(mshr_ref, grad);
+
+    // Periodically prune reservation bookkeeping behind the ROB.
+    if ((t.index & 0xfff) == 0 && t.index >= cfg.robSize) {
+        const Cycle frontier = t.gradHistory[t.index % cfg.robSize];
+        t.fuInt.pruneBelow(frontier);
+        t.fuFp.pruneBelow(frontier);
+        t.fuBr.pruneBelow(frontier);
+        t.fuMem.pruneBelow(frontier);
+    }
+
+    ++t.index;
+    return true;
+}
+
+RunResult
+OooCpu::result() const
+{
+    if (!_t) {
+        RunResult res;
+        res.machine = _config.name;
+        res.issueWidth = _config.issueWidth;
+        return res;
+    }
+    const Timing &t = *_t;
+    RunResult res = t.res;
+    res.cycles = t.ledger.totalCycles();
+    res.instructions = t.ledger.graduated();
+    res.cacheStallSlots = t.ledger.cacheStallSlots();
+    res.otherStallSlots = t.ledger.otherStallSlots();
+    res.mshrFullRejects = t.mem.mshrFile().fullRejects();
+    res.bankConflicts = t.mem.bankConflicts();
+    res.squashInvalidations = t.mem.mshrFile().squashInvalidations();
     return res;
+}
+
+RunResult
+OooCpu::run(func::TraceSource &src)
+{
+    reset();
+    while (step(src)) {
+    }
+    return result();
+}
+
+void
+OooCpu::save(Serializer &s) const
+{
+    panic_if(!_t, "OooCpu::save before reset()");
+    const Timing &t = *_t;
+    s.u32(_wrongPathProbes);
+    t.fetch.save(s);
+    t.dispatchPort.save(s);
+    t.ledger.save(s);
+    t.mem.save(s);
+    t.bimodal.save(s);
+    t.gshare.save(s);
+    t.ring.save(s);
+    t.fuInt.save(s);
+    t.fuFp.save(s);
+    t.fuBr.save(s);
+    t.fuMem.save(s);
+    for (const Cycle c : t.regReady)
+        s.u64(c);
+    s.u64(t.ccReady);
+    s.u64(t.mhrrReady);
+    s.u64(t.gradHistory.size());
+    for (const Cycle c : t.gradHistory)
+        s.u64(c);
+    s.vecU64(t.outstandingBranches);
+    s.u64(t.index);
+    s.u64(t.lastWrongPathAddr);
+    s.u64(t.res.dataRefs);
+    s.u64(t.res.l1Misses);
+    s.u64(t.res.traps);
+    s.u64(t.res.condBranches);
+    s.u64(t.res.mispredicts);
+    s.u64(t.res.handlerInstructions);
+}
+
+void
+OooCpu::restore(Deserializer &d)
+{
+    reset();
+    Timing &t = *_t;
+    _wrongPathProbes = d.u32();
+    t.fetch.restore(d);
+    t.dispatchPort.restore(d);
+    t.ledger.restore(d);
+    t.mem.restore(d);
+    t.bimodal.restore(d);
+    t.gshare.restore(d);
+    t.ring.restore(d);
+    t.fuInt.restore(d);
+    t.fuFp.restore(d);
+    t.fuBr.restore(d);
+    t.fuMem.restore(d);
+    for (Cycle &c : t.regReady)
+        c = d.u64();
+    t.ccReady = d.u64();
+    t.mhrrReady = d.u64();
+    const std::uint64_t rob = d.u64();
+    sim_throw_if(rob != t.gradHistory.size(), ErrCode::BadCheckpoint,
+                 "checkpointed reorder buffer has %llu entries, "
+                 "configured machine has %zu",
+                 static_cast<unsigned long long>(rob),
+                 t.gradHistory.size());
+    for (Cycle &c : t.gradHistory)
+        c = d.u64();
+    t.outstandingBranches = d.vecU64();
+    t.index = d.u64();
+    t.lastWrongPathAddr = d.u64();
+    t.res.dataRefs = d.u64();
+    t.res.l1Misses = d.u64();
+    t.res.traps = d.u64();
+    t.res.condBranches = d.u64();
+    t.res.mispredicts = d.u64();
+    t.res.handlerInstructions = d.u64();
 }
 
 } // namespace imo::pipeline

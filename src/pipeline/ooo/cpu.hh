@@ -16,14 +16,27 @@
  *  - the lockup-free memory system, optionally with the section-3.3
  *    extended MSHR lifetime and wrong-path probe injection so that
  *    squashed speculative fills are invalidated.
+ *
+ * Like InOrderCpu, the model is trace-driven with all in-flight effects
+ * held as future-cycle bookkeeping, so between step() calls the machine
+ * is quiesced and checkpointable (save()/restore()).
  */
 
 #ifndef IMO_PIPELINE_OOO_CPU_HH
 #define IMO_PIPELINE_OOO_CPU_HH
 
+#include <cstdint>
+#include <memory>
+
 #include "func/trace.hh"
 #include "pipeline/config.hh"
 #include "pipeline/result.hh"
+
+namespace imo
+{
+class Serializer;
+class Deserializer;
+} // namespace imo
 
 namespace imo::pipeline
 {
@@ -33,6 +46,7 @@ class OooCpu
 {
   public:
     explicit OooCpu(const MachineConfig &config);
+    ~OooCpu();
 
     /**
      * Enable wrong-path probe injection: on every branch misprediction,
@@ -42,12 +56,43 @@ class OooCpu
      */
     void setWrongPathProbes(std::uint32_t probes) { _wrongPathProbes = probes; }
 
+    /** Discard all timing state and start a fresh run. */
+    void reset();
+
+    /**
+     * Consume one record from @p src and advance the timing model.
+     * Requires reset() (or restore()) first.
+     * @return false once @p src is exhausted.
+     */
+    bool step(func::TraceSource &src);
+
+    /** Records consumed since reset()/restore(). */
+    std::uint64_t retired() const;
+
+    /**
+     * Snapshot the result so far. Callable at any step boundary and
+     * after a step() threw (partial statistics for failure reports).
+     */
+    RunResult result() const;
+
     /** Replay @p src to exhaustion and return the timing result. */
     RunResult run(func::TraceSource &src);
 
+    /**
+     * Checkpoint hooks. Only meaningful between step() calls (the
+     * quiesced boundary). restore() implies reset() and requires a
+     * configuration matching the one that produced the image (the
+     * wrong-path probe count is part of the image).
+     */
+    void save(Serializer &s) const;
+    void restore(Deserializer &d);
+
   private:
+    struct Timing;
+
     MachineConfig _config;
     std::uint32_t _wrongPathProbes = 0;
+    std::unique_ptr<Timing> _t;
 };
 
 } // namespace imo::pipeline

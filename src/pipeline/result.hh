@@ -49,6 +49,10 @@ struct RunResult
     std::uint64_t bankConflicts = 0;
     std::uint64_t squashInvalidations = 0;
 
+    std::uint64_t checkpointsTaken = 0;   //!< periodic images emitted
+    /** Instruction count the run resumed from (0: cold start). */
+    std::uint64_t resumedInstructions = 0;
+
     std::uint64_t totalSlots() const { return cycles * issueWidth; }
 
     double

@@ -1,5 +1,6 @@
 #include "pipeline/simulate.hh"
 
+#include "common/checkpoint.hh"
 #include "common/error.hh"
 #include "common/faultinject.hh"
 #include "isa/verify.hh"
@@ -9,9 +10,157 @@
 namespace imo::pipeline
 {
 
+namespace
+{
+
+/**
+ * Assemble a full-machine image: a meta section naming the timing
+ * model and the program, then one section per stateful component.
+ * The fault section is present exactly when an injector is attached,
+ * and restore enforces the same attachment, so a checkpoint cannot be
+ * silently replayed under a different fault plan.
+ */
+template <typename Cpu>
+std::vector<std::uint8_t>
+makeImage(const char *kind, const isa::Program &program,
+          const func::Executor &exec, const Cpu &cpu,
+          const FaultInjector *faults, std::uint64_t retired)
+{
+    Serializer s;
+    s.beginSection("meta");
+    s.str(kind);
+    s.u64(program.fingerprint());
+    s.str(program.name());
+    s.u64(retired);
+    s.b(faults != nullptr);
+    s.endSection();
+
+    s.beginSection("executor");
+    exec.save(s);
+    s.endSection();
+
+    s.beginSection("cpu");
+    cpu.save(s);
+    s.endSection();
+
+    if (faults) {
+        s.beginSection("faults");
+        faults->save(s);
+        s.endSection();
+    }
+    return s.finish();
+}
+
+template <typename Cpu>
+std::uint64_t
+restoreImage(const std::vector<std::uint8_t> &image, const char *kind,
+             func::Executor &exec, Cpu &cpu, FaultInjector *faults)
+{
+    Deserializer d(image);
+
+    d.openSection("meta");
+    const std::string saved_kind = d.str();
+    sim_throw_if(saved_kind != kind, ErrCode::BadCheckpoint,
+                 "checkpoint was taken on a '%s' machine, this "
+                 "configuration is '%s'", saved_kind.c_str(), kind);
+    d.u64();                     // fingerprint; exec.restore() verifies
+    d.str();                     // program name (informational)
+    const std::uint64_t retired = d.u64();
+    const bool has_faults = d.b();
+    d.closeSection();
+    sim_throw_if(has_faults && !faults, ErrCode::BadCheckpoint,
+                 "checkpoint was taken with fault injection attached; "
+                 "restoring without an injector would diverge");
+    sim_throw_if(!has_faults && faults, ErrCode::BadCheckpoint,
+                 "checkpoint was taken without fault injection; "
+                 "restoring with an injector would diverge");
+
+    d.openSection("executor");
+    exec.restore(d);
+    d.closeSection();
+
+    d.openSection("cpu");
+    cpu.restore(d);
+    d.closeSection();
+
+    if (faults) {
+        d.openSection("faults");
+        faults->restore(d);
+        d.closeSection();
+    }
+    return retired;
+}
+
+/** The stepping loop shared by both timing models. */
+template <typename Cpu>
+RunResult
+drive(Cpu &cpu, func::Executor &exec, const isa::Program &program,
+      const MachineConfig &config, const SimulateOptions &opt,
+      const char *kind)
+{
+    cpu.reset();
+
+    std::vector<std::uint8_t> in_image;
+    const std::vector<std::uint8_t> *resume = opt.resumeImage;
+    if (!resume && !opt.checkpointIn.empty()) {
+        in_image = Deserializer::readFile(opt.checkpointIn);
+        resume = &in_image;
+    }
+
+    std::uint64_t resumed = 0;
+    std::vector<std::uint8_t> last_image;
+    const bool want_reproducer =
+        opt.checkpointOnError && !opt.checkpointOut.empty();
+    if (resume) {
+        resumed = restoreImage(*resume, kind, exec, cpu, config.faults);
+        if (want_reproducer)
+            last_image = *resume;
+    } else if (want_reproducer) {
+        // Cold start: until the first periodic image replaces it, the
+        // initial state is the failure reproducer.
+        last_image = makeImage(kind, program, exec, cpu, config.faults,
+                               cpu.retired());
+    }
+
+    std::uint64_t taken = 0;
+    try {
+        while (cpu.step(exec)) {
+            if (opt.checkpointEvery &&
+                cpu.retired() % opt.checkpointEvery == 0) {
+                std::vector<std::uint8_t> image =
+                    makeImage(kind, program, exec, cpu, config.faults,
+                              cpu.retired());
+                ++taken;
+                if (opt.onCheckpoint)
+                    opt.onCheckpoint(image, cpu.retired());
+                if (want_reproducer)
+                    last_image = std::move(image);
+            }
+        }
+    } catch (const SimException &) {
+        // Emit the most recent quiesced image as a crash reproducer:
+        // resuming from it deterministically replays the failure.
+        if (want_reproducer && !last_image.empty())
+            writeCheckpointFile(opt.checkpointOut, last_image);
+        throw;
+    }
+
+    RunResult res = cpu.result();
+    res.checkpointsTaken = taken;
+    res.resumedInstructions = resumed;
+    if (!opt.checkpointOut.empty()) {
+        writeCheckpointFile(opt.checkpointOut,
+                            makeImage(kind, program, exec, cpu,
+                                      config.faults, cpu.retired()));
+    }
+    return res;
+}
+
+} // anonymous namespace
+
 RunResult
 simulate(const isa::Program &program, const MachineConfig &config,
-         func::ExecStats *exec_stats)
+         const SimulateOptions &options, func::ExecStats *exec_stats)
 {
     RunResult result;
     result.machine = config.name;
@@ -29,10 +178,23 @@ simulate(const isa::Program &program, const MachineConfig &config,
                                 .maxInstructions = config.maxInstructions});
         if (config.outOfOrder) {
             OooCpu cpu(config);
-            result = cpu.run(exec);
+            try {
+                result = drive(cpu, exec, program, config, options, "ooo");
+            } catch (const SimException &e) {
+                result = cpu.result();
+                result.ok = false;
+                result.error = e.error();
+            }
         } else {
             InOrderCpu cpu(config);
-            result = cpu.run(exec);
+            try {
+                result = drive(cpu, exec, program, config, options,
+                               "inorder");
+            } catch (const SimException &e) {
+                result = cpu.result();
+                result.ok = false;
+                result.error = e.error();
+            }
         }
         result.workload = program.name();
         if (exec_stats)
@@ -49,6 +211,13 @@ simulate(const isa::Program &program, const MachineConfig &config,
     if (config.faults)
         result.faultsInjected = config.faults->totalFired();
     return result;
+}
+
+RunResult
+simulate(const isa::Program &program, const MachineConfig &config,
+         func::ExecStats *exec_stats)
+{
+    return simulate(program, config, SimulateOptions{}, exec_stats);
 }
 
 } // namespace imo::pipeline

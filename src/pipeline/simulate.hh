@@ -1,11 +1,17 @@
 /**
  * @file
  * One-call simulation driver: functional execution (phase A) coupled
- * to the detailed timing model (phase B) for a given machine.
+ * to the detailed timing model (phase B) for a given machine, with
+ * optional checkpoint/restore of the full simulation state.
  */
 
 #ifndef IMO_PIPELINE_SIMULATE_HH
 #define IMO_PIPELINE_SIMULATE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "func/executor.hh"
 #include "isa/program.hh"
@@ -15,6 +21,47 @@
 namespace imo::pipeline
 {
 
+/** Checkpoint/restore behavior of one simulate() call. */
+struct SimulateOptions
+{
+    /**
+     * Take an in-memory checkpoint every N retired instructions
+     * (0: none). Checkpoints are taken at the quiesced retire boundary
+     * and contain the executor, the timing model, and (when attached)
+     * the fault injector, so a resumed run is bit-identical to an
+     * uninterrupted one.
+     */
+    std::uint64_t checkpointEvery = 0;
+
+    /**
+     * Path to write a checkpoint file to. On success: the final
+     * machine state. On failure (SimException from the models, e.g. a
+     * watchdog Deadlock or an injected hard fault): the most recent
+     * periodic image — or, with checkpointEvery == 0, the initial
+     * state — as a failure reproducer; resuming from it replays the
+     * crash deterministically.
+     */
+    std::string checkpointOut;
+
+    /** Path of a checkpoint file to restore before running. */
+    std::string checkpointIn;
+
+    /** In-memory image to restore (takes precedence over checkpointIn). */
+    const std::vector<std::uint8_t> *resumeImage = nullptr;
+
+    /** Emit the reproducer image on failure (see checkpointOut). */
+    bool checkpointOnError = true;
+
+    /**
+     * Invoked with every periodic image as it is taken (after
+     * @ref checkpointEvery more instructions have retired) and the
+     * retired-instruction count at that boundary. Used by the fuzzer
+     * to bisect failures without touching the filesystem.
+     */
+    std::function<void(const std::vector<std::uint8_t> &, std::uint64_t)>
+        onCheckpoint;
+};
+
 /**
  * Execute @p program functionally against @p config's reference cache
  * hierarchy while replaying it through the matching timing model.
@@ -22,12 +69,20 @@ namespace imo::pipeline
  * The configuration and program are validated first
  * (MachineConfig::validate(), isa::verifyProgram()). Never throws for
  * input- or run-level failures: any SimException raised during
- * validation or simulation is captured in the result (ok == false),
- * so sweep drivers can record the error and continue.
+ * validation, restore, or simulation is captured in the result
+ * (ok == false), so sweep drivers can record the error and continue.
+ * On failure the statistics cover the portion simulated before the
+ * failure.
  *
  * @return the timing result; @p exec_stats (optional) receives the
  * functional-side statistics.
  */
+RunResult simulate(const isa::Program &program,
+                   const MachineConfig &config,
+                   const SimulateOptions &options,
+                   func::ExecStats *exec_stats = nullptr);
+
+/** Convenience overload: no checkpointing. */
 RunResult simulate(const isa::Program &program,
                    const MachineConfig &config,
                    func::ExecStats *exec_stats = nullptr);

@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "common/checkpoint.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -65,6 +66,20 @@ class FetchEngine
 
     Cycle currentCycle() const { return _cycle; }
 
+    void
+    save(Serializer &s) const
+    {
+        s.u64(_cycle);
+        s.u32(_used);
+    }
+
+    void
+    restore(Deserializer &d)
+    {
+        _cycle = d.u64();
+        _used = d.u32();
+    }
+
   private:
     std::uint32_t _width;
     Cycle _bubble;
@@ -107,6 +122,27 @@ class SlotTable
     pruneBelow(Cycle frontier)
     {
         _used.erase(_used.begin(), _used.lower_bound(frontier));
+    }
+
+    void
+    save(Serializer &s) const
+    {
+        s.u64(_used.size());
+        for (const auto &[cycle, count] : _used) {
+            s.u64(cycle);
+            s.u32(count);
+        }
+    }
+
+    void
+    restore(Deserializer &d)
+    {
+        _used.clear();
+        const std::uint64_t count = d.u64();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const Cycle cycle = d.u64();
+            _used[cycle] = d.u32();
+        }
     }
 
   private:
@@ -156,6 +192,24 @@ class InOrderIssuePort
         if (group != FuGroup::None)
             ++_usedGroup[g];
         return _cycle;
+    }
+
+    void
+    save(Serializer &s) const
+    {
+        s.u64(_cycle);
+        s.u32(_usedTotal);
+        for (const std::uint32_t g : _usedGroup)
+            s.u32(g);
+    }
+
+    void
+    restore(Deserializer &d)
+    {
+        _cycle = d.u64();
+        _usedTotal = d.u32();
+        for (std::uint32_t &g : _usedGroup)
+            g = d.u32();
     }
 
   private:
@@ -237,6 +291,24 @@ class GraduationLedger
     {
         const std::uint64_t total = totalCycles() * _width;
         return total - _graduated - _cacheStallSlots;
+    }
+
+    void
+    save(Serializer &s) const
+    {
+        s.u64(_cycle);
+        s.u32(_used);
+        s.u64(_graduated);
+        s.u64(_cacheStallSlots);
+    }
+
+    void
+    restore(Deserializer &d)
+    {
+        _cycle = d.u64();
+        _used = d.u32();
+        _graduated = d.u64();
+        _cacheStallSlots = d.u64();
     }
 
   private:

@@ -26,15 +26,7 @@ namespace imo::pipeline
 [[noreturn]] inline void
 raiseDeadlock(const DiagRing &ring, std::string message)
 {
-    SimException ex(ErrCode::Deadlock, std::move(message));
-    std::vector<std::string> events = ring.formatEvents();
-    ex.withContext(simFormat(
-        "last %zu pipeline events (of %llu recorded), oldest first:",
-        events.size(),
-        static_cast<unsigned long long>(ring.recorded())));
-    for (std::string &line : events)
-        ex.withContext(std::move(line));
-    throw ex;
+    throwWithRing(ErrCode::Deadlock, ring, std::move(message));
 }
 
 } // namespace imo::pipeline

@@ -9,6 +9,8 @@
 
 #include "coherence/directory.hh"
 #include "coherence/machine.hh"
+#include "common/error.hh"
+#include "common/faultinject.hh"
 #include "common/rng.hh"
 
 namespace
@@ -361,6 +363,193 @@ TEST(Machine, MethodNames)
                  "ref-check");
     EXPECT_STREQ(accessMethodName(AccessMethod::EccFault), "ecc-fault");
     EXPECT_STREQ(accessMethodName(AccessMethod::Informing), "informing");
+}
+
+// ---------------------------------------------------------------------
+// Robustness: validation, watchdog, fault injection.
+
+TEST(Robustness, BadParamsAreStructuredErrors)
+{
+    CoherenceParams p;
+    p.processors = 0;
+    try {
+        CoherentMachine m(p, AccessMethod::Informing);
+        FAIL() << "zero processors accepted";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().code, ErrCode::BadConfig);
+    }
+
+    CoherenceParams q;
+    q.coherenceUnitBytes = 48;  // not a power of two
+    EXPECT_THROW(CoherentMachine(q, AccessMethod::Informing),
+                 SimException);
+
+    CoherenceParams r;
+    r.pageBytes = 16;  // smaller than the coherence unit
+    EXPECT_THROW(r.validate(), SimException);
+}
+
+TEST(Robustness, BadDirectoryShapeIsAStructuredError)
+{
+    try {
+        Directory d(64, 32);
+        FAIL() << "64 processors accepted";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().code, ErrCode::BadConfig);
+    }
+    EXPECT_THROW(Directory(4, 48), SimException);
+}
+
+TEST(Robustness, StreamCountMismatchIsBadProgram)
+{
+    CoherentMachine m(twoProcParams(), AccessMethod::Informing);
+    ParallelWorkload wl;
+    wl.name = "short";
+    wl.streams = {{ref(0x100, false)}};  // one stream, two processors
+    try {
+        m.run(wl);
+        FAIL() << "stream-count mismatch accepted";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().code, ErrCode::BadProgram);
+    }
+}
+
+TEST(Robustness, WatchdogTurnsBarrierLivelockIntoDeadlock)
+{
+    // With a threshold below the processor count, the (legitimate)
+    // consecutive barrier entries alone trip the watchdog — a
+    // deterministic stand-in for a genuinely livelocked scheduler.
+    CoherenceParams p = twoProcParams();
+    p.watchdogEvents = 1;
+    CoherentMachine m(p, AccessMethod::Informing);
+    const TraceItem barrier{TraceItem::Kind::Barrier, 0, false, false, 0};
+    try {
+        m.run(twoProcWorkload({barrier, ref(0x100, false)},
+                              {barrier, ref(0x200, false)}));
+        FAIL() << "watchdog did not fire";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().code, ErrCode::Deadlock);
+        // The diagnostic ring travels in the error context.
+        bool saw_barrier_event = false;
+        for (const std::string &note : e.error().context)
+            saw_barrier_event |=
+                note.find("barrier-enter") != std::string::npos;
+        EXPECT_TRUE(saw_barrier_event);
+    }
+}
+
+TEST(Robustness, WatchdogDisabledAllowsBarriers)
+{
+    CoherenceParams p = twoProcParams();
+    p.watchdogEvents = 0;
+    CoherentMachine m(p, AccessMethod::Informing);
+    const TraceItem barrier{TraceItem::Kind::Barrier, 0, false, false, 0};
+    const auto r = m.run(twoProcWorkload(
+        {barrier, ref(0x100, false)}, {barrier, ref(0x200, false)}));
+    EXPECT_EQ(r.refs, 2u);
+}
+
+TEST(Robustness, DroppedInvalidationRetransmitsAndRecovers)
+{
+    // Per-message drop probability low enough that three consecutive
+    // losses (the give-up threshold) are never drawn with this seed:
+    // the protocol must recover by retransmitting, charge the extra
+    // network cycles, and leave the directory consistent.
+    CoherenceParams p = twoProcParams();
+    FaultSchedule sched;
+    sched.seed = 3;
+    sched.droppedInvalidation = 0.25;
+
+    Rng rng(17);
+    ParallelWorkload wl;
+    wl.name = "inval-storm";
+    for (int proc = 0; proc < 2; ++proc) {
+        std::vector<TraceItem> s;
+        for (int i = 0; i < 2000; ++i)
+            s.push_back(ref(32 * rng.below(16), rng.chance(0.5)));
+        wl.streams.push_back(std::move(s));
+    }
+
+    CoherentMachine clean(p, AccessMethod::Informing);
+    const auto base = clean.run(wl);
+
+    CoherentMachine faulty(p, AccessMethod::Informing);
+    FaultInjector faults(sched);
+    faulty.setFaultInjector(&faults);
+    try {
+        const auto r = faulty.run(wl);
+        // Recovered: all invalidations eventually delivered, protocol
+        // outcome identical, only the network time differs.
+        EXPECT_GT(r.droppedInvalidations, 0u);
+        EXPECT_EQ(r.invalidations, base.invalidations);
+        EXPECT_EQ(r.protocolEvents, base.protocolEvents);
+        EXPECT_GT(r.networkCycles, base.networkCycles);
+    } catch (const SimException &e) {
+        // Or the loss persisted: a structured error is acceptable —
+        // silent corruption is not.
+        EXPECT_EQ(e.error().code, ErrCode::FaultInjected);
+    }
+    EXPECT_TRUE(faulty.directory().invariantsHold());
+}
+
+TEST(Robustness, PersistentInvalidationLossIsAStructuredError)
+{
+    CoherenceParams p = twoProcParams();
+    FaultSchedule sched;
+    sched.seed = 1;
+    sched.droppedInvalidation = 1.0;  // every delivery attempt lost
+
+    CoherentMachine m(p, AccessMethod::Informing);
+    FaultInjector faults(sched);
+    m.setFaultInjector(&faults);
+    try {
+        // Proc 0 reads the block, proc 1 writes it: the write must
+        // invalidate proc 0's copy, and every message is lost.
+        m.run(twoProcWorkload({ref(0x100, false)},
+                              {ref(0x100, true, 100)}));
+        FAIL() << "persistent message loss went unnoticed";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().code, ErrCode::FaultInjected);
+    }
+    // The directory committed the write atomically before the
+    // invalidation round: still consistent.
+    EXPECT_TRUE(m.directory().invariantsHold());
+}
+
+TEST(Robustness, DelayedAcksStretchNetworkTimeOnly)
+{
+    // One active processor (the second stream is empty) so the event
+    // interleaving — and with it the protocol outcome — is identical
+    // with and without the injected delays; only the time changes.
+    CoherenceParams p = twoProcParams();
+    FaultSchedule sched;
+    sched.seed = 9;
+    sched.delayedAck = 1.0;  // every protocol transaction delayed
+
+    Rng rng(23);
+    ParallelWorkload wl;
+    wl.name = "ack-delay";
+    std::vector<TraceItem> s;
+    for (int i = 0; i < 500; ++i)
+        s.push_back(ref(32 * rng.below(32), rng.chance(0.3)));
+    wl.streams = {std::move(s), {}};
+
+    CoherentMachine clean(p, AccessMethod::Informing);
+    const auto base = clean.run(wl);
+
+    CoherentMachine slow(p, AccessMethod::Informing);
+    FaultInjector faults(sched);
+    slow.setFaultInjector(&faults);
+    const auto r = slow.run(wl);
+
+    EXPECT_GT(r.delayedAcks, 0u);
+    EXPECT_EQ(r.protocolEvents, base.protocolEvents);
+    EXPECT_EQ(r.invalidations, base.invalidations);
+    EXPECT_EQ(r.networkCycles,
+              base.networkCycles +
+                  r.delayedAcks * sched.ackDelayCycles);
+    EXPECT_GE(r.execTime, base.execTime);
+    EXPECT_TRUE(slow.directory().invariantsHold());
 }
 
 } // namespace

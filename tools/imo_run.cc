@@ -63,7 +63,15 @@ usage()
         "  --fault NAME=PROB       enable fault injection at NAME "
         "with probability PROB\n"
         "                          (repeatable; see --fault list)\n"
-        "  --fault-seed N          fault-injection RNG seed\n");
+        "  --fault-seed N          fault-injection RNG seed\n"
+        "  --checkpoint-out PATH   write final state (or, on failure, "
+        "a reproducer\n"
+        "                          of the most recent checkpoint) to "
+        "PATH\n"
+        "  --checkpoint-in PATH    restore state from PATH before "
+        "running\n"
+        "  --checkpoint-every N    checkpoint every N retired "
+        "instructions\n");
     return kExitUsage;
 }
 
@@ -138,6 +146,7 @@ main(int argc, char **argv)
     bool have_max_insts = false;
     std::uint64_t max_insts = 0;
     FaultSchedule fault_schedule;
+    pipeline::SimulateOptions sim_options;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -193,6 +202,16 @@ main(int argc, char **argv)
         } else if (arg == "--fault-seed") {
             if (!(val = next())) return usage();
             fault_schedule.seed =
+                static_cast<std::uint64_t>(atoll(val));
+        } else if (arg == "--checkpoint-out") {
+            if (!(val = next())) return usage();
+            sim_options.checkpointOut = val;
+        } else if (arg == "--checkpoint-in") {
+            if (!(val = next())) return usage();
+            sim_options.checkpointIn = val;
+        } else if (arg == "--checkpoint-every") {
+            if (!(val = next())) return usage();
+            sim_options.checkpointEvery =
                 static_cast<std::uint64_t>(atoll(val));
         } else if (arg == "--dump") {
             dump = true;
@@ -278,9 +297,15 @@ main(int argc, char **argv)
 
         func::ExecStats es;
         const pipeline::RunResult r =
-            pipeline::simulate(prog, machine, &es);
+            pipeline::simulate(prog, machine, sim_options, &es);
         if (!r.ok) {
             printError(r.error);
+            if (!sim_options.checkpointOut.empty()) {
+                std::fprintf(stderr,
+                             "imo-run: failure reproducer written to "
+                             "%s (resume with --checkpoint-in)\n",
+                             sim_options.checkpointOut.c_str());
+            }
             return exitCodeFor(r.error.code);
         }
 
@@ -334,6 +359,19 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(
                             r.faultsInjected),
                         faults.summary().c_str());
+        if (!sim_options.checkpointIn.empty())
+            std::printf("checkpoint    resumed at instruction %llu "
+                        "(from %s)\n",
+                        static_cast<unsigned long long>(
+                            r.resumedInstructions),
+                        sim_options.checkpointIn.c_str());
+        if (r.checkpointsTaken)
+            std::printf("checkpoint    %llu periodic images taken\n",
+                        static_cast<unsigned long long>(
+                            r.checkpointsTaken));
+        if (!sim_options.checkpointOut.empty())
+            std::printf("checkpoint    final state written to %s\n",
+                        sim_options.checkpointOut.c_str());
         return 0;
     } catch (const SimException &e) {
         printError(e.error());
