@@ -102,9 +102,12 @@ Btb::Btb(std::uint32_t entries) : _entries(entries), _mask(entries - 1)
 std::int64_t
 Btb::lookup(InstAddr pc) const
 {
+    ++_lookups;
     const Entry &e = _entries[index(pc)];
-    if (e.valid && e.pc == pc)
+    if (e.valid && e.pc == pc) {
+        ++_hits;
         return e.target;
+    }
     return -1;
 }
 
@@ -179,6 +182,8 @@ Btb::save(Serializer &s) const
         s.u32(e.pc);
         s.u32(e.target);
     }
+    s.u64(_lookups);
+    s.u64(_hits);
 }
 
 void
@@ -190,6 +195,43 @@ Btb::restore(Deserializer &d)
         e.pc = d.u32();
         e.target = d.u32();
     }
+    _lookups = d.u64();
+    _hits = d.u64();
+}
+
+void
+TwoBitPredictor::registerStats(stats::StatGroup &parent,
+                               const std::string &name)
+{
+    auto &g = parent.childGroup(name);
+    g.make<stats::Value>("lookups", "branches predicted",
+                         [this] { return _lookups; });
+    g.make<stats::Value>("mispredicts", "mispredicted branches",
+                         [this] { return _mispredicts; });
+    g.make<stats::Derived>("accuracy", "1 - mispredicts / lookups",
+                           [this] { return accuracy(); });
+}
+
+void
+GsharePredictor::registerStats(stats::StatGroup &parent,
+                               const std::string &name)
+{
+    auto &g = parent.childGroup(name);
+    g.make<stats::Value>("lookups", "branches predicted",
+                         [this] { return _lookups; });
+    g.make<stats::Value>("mispredicts", "mispredicted branches",
+                         [this] { return _mispredicts; });
+    g.make<stats::Derived>("accuracy", "1 - mispredicts / lookups",
+                           [this] { return accuracy(); });
+}
+
+void
+Btb::registerStats(stats::StatGroup &parent, const std::string &name)
+{
+    auto &g = parent.childGroup(name);
+    g.make<stats::Value>("lookups", "BTB lookups",
+                         [this] { return _lookups; });
+    g.make<stats::Value>("hits", "BTB hits", [this] { return _hits; });
 }
 
 } // namespace imo::branch

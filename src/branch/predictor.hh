@@ -9,8 +9,10 @@
 #define IMO_BRANCH_PREDICTOR_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace imo
@@ -53,6 +55,9 @@ class TwoBitPredictor
      */
     bool predictAndUpdate(InstAddr pc, bool taken);
 
+    /** Expose lookup/mispredict stats under @p parent. */
+    void registerStats(stats::StatGroup &parent, const std::string &name);
+
     /** Checkpoint hooks: counters and stats round-trip. */
     void save(Serializer &s) const;
     void restore(Deserializer &d);
@@ -93,6 +98,9 @@ class GsharePredictor
             : 1.0;
     }
 
+    /** Expose lookup/mispredict stats under @p parent. */
+    void registerStats(stats::StatGroup &parent, const std::string &name);
+
     /** Checkpoint hooks: counters, history, and stats round-trip. */
     void save(Serializer &s) const;
     void restore(Deserializer &d);
@@ -124,7 +132,14 @@ class Btb
     /** Install/refresh the target of the branch at @p pc. */
     void update(InstAddr pc, InstAddr target);
 
-    /** Checkpoint hooks: entries round-trip. */
+    // Statistics (lookup() is morally const; counting is bookkeeping).
+    std::uint64_t lookups() const { return _lookups; }
+    std::uint64_t hits() const { return _hits; }
+
+    /** Expose lookup/hit stats under @p parent. */
+    void registerStats(stats::StatGroup &parent, const std::string &name);
+
+    /** Checkpoint hooks: entries and stats round-trip. */
     void save(Serializer &s) const;
     void restore(Deserializer &d);
 
@@ -140,6 +155,9 @@ class Btb
 
     std::vector<Entry> _entries;
     std::uint32_t _mask;
+
+    mutable std::uint64_t _lookups = 0;
+    mutable std::uint64_t _hits = 0;
 };
 
 } // namespace imo::branch

@@ -72,6 +72,55 @@ CoherentMachine::CoherentMachine(const CoherenceParams &params,
     }
 }
 
+void
+CoherentMachine::registerStats(stats::StatGroup &parent)
+{
+    const CoherenceResult *r = &_res;
+    auto &g = parent.childGroup("coherence");
+    auto val = [&](const char *name, const char *desc,
+                   std::uint64_t CoherenceResult::*field) {
+        g.make<stats::Value>(name, desc, [r, field] { return r->*field; });
+    };
+    g.make<stats::Value>("exec_time", "max processor completion time",
+                         [r] { return r->execTime; });
+    val("refs", "references processed", &CoherenceResult::refs);
+    val("shared_refs", "references to potentially-shared data",
+        &CoherenceResult::sharedRefs);
+    val("l1_misses", "primary-cache misses across all processors",
+        &CoherenceResult::l1Misses);
+    val("lookups", "ref-check or informing protection lookups",
+        &CoherenceResult::lookups);
+    val("faults", "ECC faults taken", &CoherenceResult::faults);
+    val("protocol_events", "directory state changes",
+        &CoherenceResult::protocolEvents);
+    val("network_rounds", "protocol network round trips",
+        &CoherenceResult::networkRounds);
+    val("invalidations", "remote copies invalidated",
+        &CoherenceResult::invalidations);
+    val("dropped_invalidations", "injected invalidation message losses",
+        &CoherenceResult::droppedInvalidations);
+    val("delayed_acks", "injected protocol ack delays",
+        &CoherenceResult::delayedAcks);
+    g.make<stats::Value>("compute_cycles", "cycles in local compute",
+                         [r] { return r->computeCycles; });
+    g.make<stats::Value>("memory_cycles", "cycles in the cache hierarchy",
+                         [r] { return r->memoryCycles; });
+    g.make<stats::Value>("access_control_cycles",
+                         "cycles in lookup/fault/state-change overhead",
+                         [r] { return r->accessControlCycles; });
+    g.make<stats::Value>("network_cycles", "cycles waiting on the network",
+                         [r] { return r->networkCycles; });
+    g.make<stats::Value>("barrier_wait_cycles", "cycles waiting at barriers",
+                         [r] { return r->barrierWaitCycles; });
+    g.make<stats::Derived>("access_control_overhead",
+                           "access-control cycles per shared reference",
+                           [r] {
+        return r->sharedRefs
+            ? static_cast<double>(r->accessControlCycles) / r->sharedRefs
+            : 0.0;
+    });
+}
+
 std::uint64_t
 CoherentMachine::fingerprintWorkload(const ParallelWorkload &workload)
 {
@@ -138,6 +187,8 @@ CoherentMachine::invalidateRemote(std::uint32_t p, std::uint32_t mask,
             ++attempt;
             ++_res.droppedInvalidations;
             _ring.push(requester.clock, "dropped-inval", p, addr);
+            IMO_TRACE(_trace, requester.clock, obs::Cat::Coh,
+                      "dropped-inval", p, addr);
             if (attempt >= maxInvalDeliveryAttempts) {
                 throwWithRing(
                     ErrCode::FaultInjected, _ring,
@@ -155,6 +206,8 @@ CoherentMachine::invalidateRemote(std::uint32_t p, std::uint32_t mask,
         _procs[q].l1.invalidate(addr);
         _procs[q].l2.invalidate(addr);
         ++_res.invalidations;
+        IMO_TRACE(_trace, requester.clock, obs::Cat::Coh, "invalidate",
+                  p, addr, q);
     }
 }
 
@@ -250,6 +303,8 @@ CoherentMachine::step(std::uint32_t p, const TraceItem &item)
             ++_res.protocolEvents;
             _ring.push(proc.clock, item.write ? "dir-write" : "dir-read",
                        p, item.addr);
+            IMO_TRACE(_trace, proc.clock, obs::Cat::Coh,
+                      item.write ? "dir-write" : "dir-read", p, item.addr);
 
             // Local state-table update (the ECC faults' cost already
             // includes the handler's state change).
@@ -292,6 +347,8 @@ CoherentMachine::step(std::uint32_t p, const TraceItem &item)
                 net += delay;
                 ++_res.delayedAcks;
                 _ring.push(proc.clock, "delayed-ack", p, item.addr);
+                IMO_TRACE(_trace, proc.clock, obs::Cat::Coh, "delayed-ack",
+                          p, item.addr, delay);
             }
 
             proc.clock += net;
@@ -416,6 +473,8 @@ CoherentMachine::run(const ParallelWorkload &workload,
                 ++_procs[p].pos;
             }
             _ring.push(maxc, "barrier-release", waiting);
+            IMO_TRACE(_trace, maxc, obs::Cat::Coh, "barrier-release",
+                      waiting);
             stuck = 0;
             continue;
         }
@@ -425,6 +484,8 @@ CoherentMachine::run(const ParallelWorkload &workload,
         if (item.kind == TraceItem::Kind::Barrier) {
             _procs[p].atBarrier = true;
             _ring.push(_procs[p].clock, "barrier-enter", p);
+            IMO_TRACE(_trace, _procs[p].clock, obs::Cat::Coh,
+                      "barrier-enter", p);
             ++stuck;
             continue;
         }

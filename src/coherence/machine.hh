@@ -39,7 +39,9 @@
 #include "coherence/directory.hh"
 #include "coherence/params.hh"
 #include "common/diagring.hh"
+#include "common/stats.hh"
 #include "memory/cache.hh"
+#include "obs/observer.hh"
 
 namespace imo
 {
@@ -122,6 +124,25 @@ class CoherentMachine
      */
     void setFaultInjector(FaultInjector *faults) { _faults = faults; }
 
+    /**
+     * Attach observability sinks (not owned; may be nullptr). Protocol
+     * events (directory reads/writes, invalidations, barriers, injected
+     * faults) are then emitted as Cat::Coh trace events.
+     */
+    void
+    setObserver(obs::Observer *o)
+    {
+        _obs = o;
+        _trace = o ? o->traceSink() : nullptr;
+    }
+
+    /**
+     * Expose the machine's counters as a "coherence" group under
+     * @p parent. Valid for the machine's lifetime; values track the
+     * current/most recent run.
+     */
+    void registerStats(stats::StatGroup &parent);
+
     /** Run @p workload to completion. */
     CoherenceResult run(const ParallelWorkload &workload);
 
@@ -189,6 +210,8 @@ class CoherentMachine
     Directory _directory;
     std::vector<Proc> _procs;
     FaultInjector *_faults = nullptr;
+    obs::Observer *_obs = nullptr;
+    obs::TraceSink *_trace = nullptr;
     DiagRing _ring;
     CoherenceResult _res;
 

@@ -34,8 +34,10 @@
 namespace imo
 {
 
-/** Bumped whenever the section layout changes incompatibly. */
-constexpr std::uint32_t checkpointFormatVersion = 1;
+/** Bumped whenever the section layout changes incompatibly.
+ *  v2: stats registry (histograms + pipeline counters) joins the
+ *  component sections; MSHR entries record their allocation cycle. */
+constexpr std::uint32_t checkpointFormatVersion = 2;
 
 /** CRC-32 (IEEE 802.3 polynomial, as in zlib) of @p len bytes. */
 std::uint32_t crc32(const void *data, std::size_t len);

@@ -1,13 +1,17 @@
 #include "common/logging.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace imo
 {
 
 namespace
 {
+
+LogLevel gLogLevel = LogLevel::Info;
 
 void
 vreport(const char *tag, const char *fmt, va_list args)
@@ -20,6 +24,39 @@ vreport(const char *tag, const char *fmt, va_list args)
 }
 
 } // anonymous namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLogLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLogLevel;
+}
+
+bool
+initLogLevelFromEnv()
+{
+    const char *raw = std::getenv("IMO_LOG");
+    if (!raw)
+        return false;
+    std::string value(raw);
+    for (char &c : value)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (value == "quiet" || value == "none") {
+        gLogLevel = LogLevel::Quiet;
+    } else if (value == "warn") {
+        gLogLevel = LogLevel::Warn;
+    } else if (value == "info" || value == "verbose") {
+        gLogLevel = LogLevel::Info;
+    } else {
+        return false;
+    }
+    return true;
+}
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
@@ -51,6 +88,8 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 void
 warnImpl(const char *fmt, ...)
 {
+    if (gLogLevel < LogLevel::Warn)
+        return;
     va_list args;
     va_start(args, fmt);
     vreport("warn", fmt, args);
@@ -60,6 +99,8 @@ warnImpl(const char *fmt, ...)
 void
 informImpl(const char *fmt, ...)
 {
+    if (gLogLevel < LogLevel::Info)
+        return;
     // Diagnostics consistently go to stderr so that stdout stays clean
     // for machine-readable output (CSV rows, dumps).
     va_list args;

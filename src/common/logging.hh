@@ -22,6 +22,32 @@
 namespace imo
 {
 
+/**
+ * Runtime verbosity. panic()/fatal() always print; warn() requires at
+ * least Warn, inform() requires Info. Default is Info (the historical
+ * unconditional behavior).
+ */
+enum class LogLevel : int
+{
+    Quiet = 0,  //!< suppress warn() and inform()
+    Warn = 1,   //!< warnings only
+    Info = 2,   //!< everything (default)
+};
+
+/** Set the global log level. */
+void setLogLevel(LogLevel level);
+
+/** @return the current global log level. */
+LogLevel logLevel();
+
+/**
+ * Initialize the log level from the IMO_LOG environment variable
+ * (quiet | warn | info, case-insensitive). Unset or unrecognized
+ * values leave the level unchanged. @return true if IMO_LOG was
+ * recognized and applied.
+ */
+bool initLogLevelFromEnv();
+
 /** Print a formatted message tagged "panic:" and abort(). */
 [[noreturn]] void panicImpl(const char *file, int line,
                             const char *fmt, ...)

@@ -1,16 +1,75 @@
 #include "common/stats.hh"
 
-#include <iomanip>
+#include <bit>
+#include <cmath>
+#include <cstdio>
 
+#include "common/checkpoint.hh"
 #include "common/logging.hh"
 
 namespace imo::stats
 {
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "0";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    os << buf;
+}
+
 StatBase::StatBase(StatGroup &parent, std::string name, std::string desc)
     : _name(std::move(name)), _desc(std::move(desc))
 {
     parent.addStat(this);
+}
+
+StatBase::StatBase(std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+}
+
+void
+StatBase::save(Serializer &) const
+{
+}
+
+void
+StatBase::restore(Deserializer &)
+{
 }
 
 void
@@ -20,31 +79,91 @@ Counter::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Counter::dumpJson(std::ostream &os) const
+{
+    os << _value;
+}
+
+void
+Counter::save(Serializer &s) const
+{
+    s.u64(_value);
+}
+
+void
+Counter::restore(Deserializer &d)
+{
+    _value = d.u64();
+}
+
+void
 Average::dump(std::ostream &os, const std::string &prefix) const
 {
-    os << prefix << name() << " " << mean() << " (n=" << _count << ") # "
-       << desc() << "\n";
+    os << prefix << name() << " " << mean() << " (n=" << _count
+       << " min=" << min() << " max=" << max() << ") # " << desc() << "\n";
 }
+
+void
+Average::dumpJson(std::ostream &os) const
+{
+    os << "{\"mean\":";
+    jsonNumber(os, mean());
+    os << ",\"count\":" << _count << ",\"min\":";
+    jsonNumber(os, min());
+    os << ",\"max\":";
+    jsonNumber(os, max());
+    os << "}";
+}
+
+void
+Average::save(Serializer &s) const
+{
+    s.f64(_sum);
+    s.u64(_count);
+    s.f64(_min);
+    s.f64(_max);
+}
+
+void
+Average::restore(Deserializer &d)
+{
+    _sum = d.f64();
+    _count = d.u64();
+    _min = d.f64();
+    _max = d.f64();
+}
+
+namespace
+{
+
+std::uint8_t
+widthShift(std::uint64_t width)
+{
+    return std::has_single_bit(width)
+        ? static_cast<std::uint8_t>(std::countr_zero(width))
+        : std::uint8_t{0xff};
+}
+
+} // anonymous namespace
 
 Histogram::Histogram(StatGroup &parent, std::string name, std::string desc,
                      std::size_t buckets, std::uint64_t bucket_width)
     : StatBase(parent, std::move(name), std::move(desc)),
-      _bucketWidth(bucket_width), _counts(buckets, 0)
+      _bucketWidth(bucket_width), _shift(widthShift(bucket_width)),
+      _counts(buckets, 0)
 {
     panic_if(buckets == 0 || bucket_width == 0,
              "histogram needs nonzero geometry");
 }
 
-void
-Histogram::sample(std::uint64_t v)
+Histogram::Histogram(std::string name, std::string desc, std::size_t buckets,
+                     std::uint64_t bucket_width)
+    : StatBase(std::move(name), std::move(desc)),
+      _bucketWidth(bucket_width), _shift(widthShift(bucket_width)),
+      _counts(buckets, 0)
 {
-    const std::size_t idx = v / _bucketWidth;
-    if (idx < _counts.size())
-        ++_counts[idx];
-    else
-        ++_overflow;
-    ++_total;
-    _sum += static_cast<double>(v);
+    panic_if(buckets == 0 || bucket_width == 0,
+             "histogram needs nonzero geometry");
 }
 
 void
@@ -63,6 +182,21 @@ Histogram::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Histogram::dumpJson(std::ostream &os) const
+{
+    os << "{\"mean\":";
+    jsonNumber(os, mean());
+    os << ",\"total\":" << _total << ",\"bucket_width\":" << _bucketWidth
+       << ",\"counts\":[";
+    for (std::size_t i = 0; i < _counts.size(); ++i) {
+        if (i)
+            os << ",";
+        os << _counts[i];
+    }
+    os << "],\"overflow\":" << _overflow << "}";
+}
+
+void
 Histogram::reset()
 {
     std::fill(_counts.begin(), _counts.end(), 0);
@@ -71,11 +205,72 @@ Histogram::reset()
     _sum = 0.0;
 }
 
+void
+Histogram::save(Serializer &s) const
+{
+    s.u64(_counts.size());
+    for (const std::uint64_t c : _counts)
+        s.u64(c);
+    s.u64(_overflow);
+    s.u64(_total);
+    s.f64(_sum);
+}
+
+void
+Histogram::restore(Deserializer &d)
+{
+    const std::uint64_t n = d.u64();
+    if (n != _counts.size()) {
+        throw SimException(ErrCode::BadCheckpoint,
+                           "histogram '" + name() + "' bucket count " +
+                               std::to_string(n) + " != configured " +
+                               std::to_string(_counts.size()));
+    }
+    for (std::uint64_t &c : _counts)
+        c = d.u64();
+    _overflow = d.u64();
+    _total = d.u64();
+    _sum = d.f64();
+}
+
+void
+Value::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value() << " # " << desc() << "\n";
+}
+
+void
+Value::dumpJson(std::ostream &os) const
+{
+    os << value();
+}
+
+void
+Derived::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value() << " # " << desc() << "\n";
+}
+
+void
+Derived::dumpJson(std::ostream &os) const
+{
+    jsonNumber(os, value());
+}
+
 StatGroup::StatGroup(std::string name, StatGroup *parent)
     : _name(std::move(name))
 {
     if (parent)
         parent->addChild(this);
+}
+
+StatGroup &
+StatGroup::childGroup(std::string name)
+{
+    auto child = std::make_unique<StatGroup>(std::move(name), this);
+    StatGroup &ref = *child;
+    _ownedChildren.push_back(std::move(child));
+    return ref;
 }
 
 void
@@ -89,12 +284,90 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const StatBase *stat : _stats) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(stat->name()) << "\":";
+        stat->dumpJson(os);
+    }
+    for (const StatGroup *child : _children) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(child->name()) << "\":";
+        child->dumpJson(os);
+    }
+    os << "}";
+}
+
+void
 StatGroup::resetAll()
 {
     for (StatBase *stat : _stats)
         stat->reset();
     for (StatGroup *child : _children)
         child->resetAll();
+}
+
+void
+StatGroup::save(Serializer &s) const
+{
+    s.u32(static_cast<std::uint32_t>(_stats.size()));
+    for (const StatBase *stat : _stats) {
+        s.str(stat->name());
+        stat->save(s);
+    }
+    s.u32(static_cast<std::uint32_t>(_children.size()));
+    for (const StatGroup *child : _children) {
+        s.str(child->name());
+        child->save(s);
+    }
+}
+
+void
+StatGroup::restore(Deserializer &d)
+{
+    const std::uint32_t nstats = d.u32();
+    if (nstats != _stats.size()) {
+        throw SimException(ErrCode::BadCheckpoint,
+                           "stat group '" + _name + "' has " +
+                               std::to_string(_stats.size()) +
+                               " stats, checkpoint has " +
+                               std::to_string(nstats));
+    }
+    for (StatBase *stat : _stats) {
+        const std::string name = d.str();
+        if (name != stat->name()) {
+            throw SimException(ErrCode::BadCheckpoint,
+                               "stat name mismatch in group '" + _name +
+                                   "': expected '" + stat->name() +
+                                   "', checkpoint has '" + name + "'");
+        }
+        stat->restore(d);
+    }
+    const std::uint32_t nchildren = d.u32();
+    if (nchildren != _children.size()) {
+        throw SimException(ErrCode::BadCheckpoint,
+                           "stat group '" + _name + "' has " +
+                               std::to_string(_children.size()) +
+                               " children, checkpoint has " +
+                               std::to_string(nchildren));
+    }
+    for (StatGroup *child : _children) {
+        const std::string name = d.str();
+        if (name != child->name()) {
+            throw SimException(ErrCode::BadCheckpoint,
+                               "child group name mismatch in '" + _name +
+                                   "': expected '" + child->name() +
+                                   "', checkpoint has '" + name + "'");
+        }
+        child->restore(d);
+    }
 }
 
 } // namespace imo::stats

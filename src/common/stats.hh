@@ -1,32 +1,64 @@
 /**
  * @file
- * Lightweight statistics package: named scalar counters, averages and
- * histograms grouped under a StatGroup that can dump itself as text.
+ * Lightweight statistics package: named scalar counters, averages,
+ * histograms and pull-based values grouped under a StatGroup that can
+ * dump itself as text or JSON.
  *
  * Modeled loosely on gem5's Stats package but intentionally minimal:
  * stats register themselves with their group at construction, values
  * are plain 64-bit integers or doubles, and dumping is deterministic
  * (registration order).
+ *
+ * Two kinds of stats coexist:
+ *  - push stats (Counter, Average, Histogram) live inside the component
+ *    that updates them on the hot path; they checkpoint via
+ *    save()/restore() so a resumed run's final stats are bit-identical.
+ *  - pull stats (Value, Derived) wrap a closure that reads component
+ *    state at dump time; they carry no state of their own.
+ *
+ * A component exposes its push stats to a report tree either by
+ * constructing them against a parent group, or by constructing them
+ * parentless and calling StatGroup::adopt() on a transient report root
+ * at capture time (adoption never mutates the stat).
  */
 
 #ifndef IMO_COMMON_STATS_HH
 #define IMO_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
+
+namespace imo
+{
+class Serializer;
+class Deserializer;
+} // namespace imo
 
 namespace imo::stats
 {
 
 class StatGroup;
 
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Write @p v as a JSON number (non-finite values degrade to 0). */
+void jsonNumber(std::ostream &os, double v);
+
 /** Base class for anything dumpable inside a StatGroup. */
 class StatBase
 {
   public:
     StatBase(StatGroup &parent, std::string name, std::string desc);
+
+    /** Parentless construction; expose later via StatGroup::adopt(). */
+    StatBase(std::string name, std::string desc);
+
     virtual ~StatBase() = default;
 
     StatBase(const StatBase &) = delete;
@@ -38,8 +70,16 @@ class StatBase
     /** Append one or more formatted lines describing this stat. */
     virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
 
+    /** Emit this stat's value as a single JSON value (no key). */
+    virtual void dumpJson(std::ostream &os) const = 0;
+
     /** Reset the stat to its initial value. */
     virtual void reset() = 0;
+
+    /** Checkpoint hooks; pull stats are stateless and serialize
+     *  nothing, push stats round-trip exactly. */
+    virtual void save(Serializer &s) const;
+    virtual void restore(Deserializer &d);
 
   private:
     std::string _name;
@@ -59,13 +99,16 @@ class Counter : public StatBase
     std::uint64_t value() const { return _value; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
     void reset() override { _value = 0; }
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
 
   private:
     std::uint64_t _value = 0;
 };
 
-/** Running mean of a stream of samples. */
+/** Running mean of a stream of samples, with min/max tracking. */
 class Average : public StatBase
 {
   public:
@@ -76,17 +119,37 @@ class Average : public StatBase
     {
         _sum += v;
         ++_count;
+        if (v < _min || _count == 1)
+            _min = v;
+        if (v > _max || _count == 1)
+            _max = v;
     }
 
     double mean() const { return _count ? _sum / _count : 0.0; }
     std::uint64_t count() const { return _count; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
-    void reset() override { _sum = 0.0; _count = 0; }
+    void dumpJson(std::ostream &os) const override;
+
+    void
+    reset() override
+    {
+        _sum = 0.0;
+        _count = 0;
+        _min = 0.0;
+        _max = 0.0;
+    }
+
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
 
   private:
     double _sum = 0.0;
     std::uint64_t _count = 0;
+    double _min = 0.0;
+    double _max = 0.0;
 };
 
 /** Fixed-bucket histogram over [0, buckets * bucketWidth). */
@@ -96,27 +159,97 @@ class Histogram : public StatBase
     Histogram(StatGroup &parent, std::string name, std::string desc,
               std::size_t buckets, std::uint64_t bucket_width);
 
-    void sample(std::uint64_t v);
+    Histogram(std::string name, std::string desc, std::size_t buckets,
+              std::uint64_t bucket_width);
 
+    void
+    sample(std::uint64_t v)
+    {
+        // Power-of-two bucket widths (the common case on hot paths)
+        // index with a shift instead of a 64-bit divide.
+        const std::size_t idx = _shift != kNoShift
+            ? static_cast<std::size_t>(v >> _shift)
+            : static_cast<std::size_t>(v / _bucketWidth);
+        if (idx < _counts.size())
+            ++_counts[idx];
+        else
+            ++_overflow;
+        ++_total;
+        _sum += static_cast<double>(v);
+    }
+
+    std::size_t buckets() const { return _counts.size(); }
+    std::uint64_t bucketWidth() const { return _bucketWidth; }
     std::uint64_t bucketCount(std::size_t i) const { return _counts.at(i); }
     std::uint64_t overflowCount() const { return _overflow; }
     std::uint64_t total() const { return _total; }
     double mean() const { return _total ? _sum / _total : 0.0; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
     void reset() override;
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
 
   private:
+    static constexpr std::uint8_t kNoShift = 0xff;
+
     std::uint64_t _bucketWidth;
+    std::uint8_t _shift = kNoShift;
     std::vector<std::uint64_t> _counts;
     std::uint64_t _overflow = 0;
     std::uint64_t _total = 0;
     double _sum = 0.0;
 };
 
+/** Pull-based integer stat: reads component state at dump time. */
+class Value : public StatBase
+{
+  public:
+    Value(StatGroup &parent, std::string name, std::string desc,
+          std::function<std::uint64_t()> fn)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          _fn(std::move(fn))
+    {}
+
+    std::uint64_t value() const { return _fn ? _fn() : 0; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
+    void reset() override {}
+
+  private:
+    std::function<std::uint64_t()> _fn;
+};
+
+/** Pull-based floating-point stat (rates, fractions, means). */
+class Derived : public StatBase
+{
+  public:
+    Derived(StatGroup &parent, std::string name, std::string desc,
+            std::function<double()> fn)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          _fn(std::move(fn))
+    {}
+
+    double value() const { return _fn ? _fn() : 0.0; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> _fn;
+};
+
 /**
  * A named collection of stats. Groups may nest; dump() walks the whole
  * subtree in registration order.
+ *
+ * Groups can own children and stats created through childGroup() /
+ * make(), and can additionally reference externally owned ones through
+ * adopt() / adoptChild() — the report tree built at capture time adopts
+ * the push stats living inside components.
  */
 class StatGroup
 {
@@ -128,11 +261,42 @@ class StatGroup
 
     const std::string &name() const { return _name; }
 
+    /** Reference an externally owned stat (lifetime not managed). */
+    void adopt(StatBase &stat) { _stats.push_back(&stat); }
+
+    /** Reference an externally owned child group. */
+    void adoptChild(StatGroup &child) { _children.push_back(&child); }
+
+    /** Create (and own) a nested child group. */
+    StatGroup &childGroup(std::string name);
+
+    /** Create (and own) a stat registered in this group. */
+    template <typename T, typename... Args>
+    T &
+    make(Args &&...args)
+    {
+        auto stat = std::make_unique<T>(*this, std::forward<Args>(args)...);
+        T &ref = *stat;
+        _owned.push_back(std::move(stat));
+        return ref;
+    }
+
     /** Dump every stat in this group and its children. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
+    /** Dump the subtree as a JSON object: stats then child groups. */
+    void dumpJson(std::ostream &os) const;
+
     /** Reset every stat in this group and its children. */
     void resetAll();
+
+    /** Serialize every stat in the subtree, each tagged by name so
+     *  restore() can detect layout drift. */
+    void save(Serializer &s) const;
+    void restore(Deserializer &d);
+
+    const std::vector<StatBase *> &statList() const { return _stats; }
+    const std::vector<StatGroup *> &childList() const { return _children; }
 
   private:
     friend class StatBase;
@@ -143,6 +307,8 @@ class StatGroup
     std::string _name;
     std::vector<StatBase *> _stats;
     std::vector<StatGroup *> _children;
+    std::vector<std::unique_ptr<StatBase>> _owned;
+    std::vector<std::unique_ptr<StatGroup>> _ownedChildren;
 };
 
 } // namespace imo::stats

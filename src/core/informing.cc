@@ -1,9 +1,11 @@
 #include "core/informing.hh"
 
+#include <bit>
 #include <vector>
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "core/handlers.hh"
 #include "isa/op.hh"
 
 namespace imo::core
@@ -136,7 +138,7 @@ instrument(const Program &base, InformingMode mode,
 
         switch (in.op) {
           case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
-          case Op::J: case Op::JAL: case Op::BRMISS:
+          case Op::J: case Op::JAL: case Op::BRMISS: case Op::BRMISS2:
             in.imm = patch_target(in.imm);
             break;
           case Op::SETMHAR:
@@ -191,6 +193,87 @@ instrument(const Program &base, InformingMode mode,
                  "instrumented program '%s' invalid: %s",
                  prog.name().c_str(), why.c_str());
     return prog;
+}
+
+MissProfilerProgram
+instrumentWithMissProfiler(const isa::Program &base, Addr table_base)
+{
+    const auto &insts = base.insts();
+    const InstAddr n = base.size();
+
+    // TrapSingle layout: one SETMHAR prelude, originals shifted by one.
+    const InstAddr handler_base = n + 1;
+
+    // Return addresses delivered to the handler are missed-reference
+    // pcs plus one, all below handler_base (handler code runs with the
+    // trap disarmed and never shows up), so this many low bits of the
+    // MHRR name each static reference uniquely.
+    const std::uint32_t slots_log2 = std::bit_width(
+        static_cast<std::uint64_t>(handler_base));
+    const std::int64_t mask =
+        (std::int64_t{1} << slots_log2) - 1;
+    sim_throw_if(table_base & 7, ErrCode::BadConfig,
+                 "profiler table must be 8-byte aligned");
+
+    std::vector<Instruction> out;
+    out.reserve(handler_base + 9);
+    out.push_back({.op = Op::SETMHAR,
+                   .imm = static_cast<std::int64_t>(handler_base)});
+
+    for (InstAddr pc = 0; pc < n; ++pc) {
+        Instruction in = insts[pc];
+        switch (in.op) {
+          case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+          case Op::J: case Op::JAL: case Op::BRMISS: case Op::BRMISS2:
+            in.imm += 1;
+            break;
+          case Op::SETMHAR:
+            if (in.imm != 0)
+                in.imm += 1;
+            break;
+          default:
+            break;
+        }
+        out.push_back(in);
+    }
+
+    // The section-4.1.1 hash-table profiler (see emitHashProfiler),
+    // emitted as raw text so it can be appended to a finished program.
+    const std::uint8_t s0 = handlerScratchBase;
+    const std::uint8_t s1 = handlerScratchBase + 1;
+    out.push_back({.op = Op::GETMHRR, .rd = s0});
+    out.push_back({.op = Op::ANDI, .rd = s0, .rs1 = s0, .imm = mask});
+    out.push_back({.op = Op::SLL, .rd = s0, .rs1 = s0, .imm = 3});
+    out.push_back({.op = Op::LI, .rd = s1,
+                   .imm = static_cast<std::int64_t>(table_base)});
+    out.push_back({.op = Op::ADD, .rd = s1, .rs1 = s1, .rs2 = s0});
+    out.push_back({.op = Op::LD, .rd = s0, .rs1 = s1, .imm = 0});
+    out.push_back({.op = Op::ADDI, .rd = s0, .rs1 = s0, .imm = 1});
+    out.push_back({.op = Op::ST, .rs1 = s1, .rs2 = s0, .imm = 0});
+    out.push_back({.op = Op::RETMH});
+
+    MissProfilerProgram result;
+    result.tableBase = table_base;
+    result.slotsLog2 = slots_log2;
+
+    isa::Program prog(base.name() + ".profiled");
+    prog.insts() = std::move(out);
+    for (const isa::DataSegment &seg : base.data())
+        prog.addData(seg);
+
+    std::uint32_t next_ref = 0;
+    for (Instruction &in : prog.insts()) {
+        if (isa::isDataRef(in.op))
+            in.staticRefId = next_ref++;
+    }
+    prog.setNumStaticRefs(next_ref);
+
+    std::string why;
+    sim_throw_if(!prog.validate(&why), ErrCode::BadProgram,
+                 "profiled program '%s' invalid: %s",
+                 prog.name().c_str(), why.c_str());
+    result.program = std::move(prog);
+    return result;
 }
 
 } // namespace imo::core

@@ -73,6 +73,44 @@ isa::Program instrument(const isa::Program &base, InformingMode mode,
 /** Static cost model: instructions inserted per data reference. */
 std::uint32_t perRefOverheadInsts(InformingMode mode);
 
+/**
+ * A program rewritten with the section-4.1.1 miss-counting profiler
+ * handler, plus the table layout needed to read its results back.
+ *
+ * The handler hashes the trap return address (MHRR == missed pc + 1)
+ * into a table of per-reference 64-bit miss counters: slot
+ * (pc + 1) & (slots() - 1). slotsLog2 exceeds log2(program size), so
+ * every static reference maps to a unique slot and the handler-
+ * collected profile can be compared exactly against a simulator-side
+ * per-PC miss profile (obs::PcProfiler) of the same run.
+ */
+struct MissProfilerProgram
+{
+    isa::Program program;
+    Addr tableBase = 0;
+    std::uint32_t slotsLog2 = 0;
+
+    std::uint64_t slots() const { return std::uint64_t{1} << slotsLog2; }
+
+    /** Table address of the counter for the (rewritten-program)
+     *  reference at @p pc. */
+    Addr
+    slotAddr(InstAddr pc) const
+    {
+        return tableBase + ((pc + 1) & (slots() - 1)) * 8;
+    }
+};
+
+/**
+ * Rewrite @p base in TrapSingle fashion (one SETMHAR prelude, every
+ * original instruction shifted by one) with the hash-table profiling
+ * handler of section 4.1.1 as the single global handler. The counter
+ * table lives at @p table_base (uninitialized memory reads as zero,
+ * so no data segment is needed); it must not overlap workload data.
+ */
+MissProfilerProgram instrumentWithMissProfiler(
+    const isa::Program &base, Addr table_base = 0x1000'0000);
+
 } // namespace imo::core
 
 #endif // IMO_CORE_INFORMING_HH

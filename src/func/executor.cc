@@ -328,6 +328,36 @@ Executor::run()
 }
 
 void
+Executor::registerStats(stats::StatGroup &parent)
+{
+    auto &g = parent.childGroup("exec");
+    g.make<stats::Value>("instructions", "instructions retired",
+                         [this] { return _stats.instructions; });
+    g.make<stats::Value>("handler_instructions",
+                         "instructions retired inside miss handlers",
+                         [this] { return _stats.handlerInstructions; });
+    g.make<stats::Value>("data_refs", "data references executed",
+                         [this] { return _stats.dataRefs; });
+    g.make<stats::Value>("l1_misses", "primary-cache misses",
+                         [this] { return _stats.l1Misses; });
+    g.make<stats::Value>("l2_misses", "secondary-cache misses",
+                         [this] { return _stats.l2Misses; });
+    g.make<stats::Value>("traps", "informing miss traps dispatched",
+                         [this] { return _stats.traps; });
+    g.make<stats::Value>("brmiss_taken", "BRMISS branches taken",
+                         [this] { return _stats.brmissTaken; });
+    g.make<stats::Value>("prefetches", "software prefetches executed",
+                         [this] { return _stats.prefetches; });
+    g.make<stats::Value>("cond_branches", "conditional branches executed",
+                         [this] { return _stats.condBranches; });
+    g.make<stats::Value>("taken_branches", "conditional branches taken",
+                         [this] { return _stats.takenBranches; });
+    g.make<stats::Derived>("l1_miss_rate", "l1_misses / data_refs",
+                           [this] { return _stats.l1MissRate(); });
+    _hier.registerStats(g);
+}
+
+void
 Executor::save(Serializer &s) const
 {
     s.u64(_program.fingerprint());

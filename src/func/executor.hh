@@ -92,6 +92,10 @@ class Executor : public TraceSource
     /** Run to completion, discarding records. @return retired count. */
     std::uint64_t run();
 
+    /** Expose execution stats (and both cache levels) as an "exec"
+     *  group under @p parent. */
+    void registerStats(stats::StatGroup &parent);
+
     ArchState &state() { return _state; }
     const ArchState &state() const { return _state; }
     DataMemory &mem() { return _mem; }

@@ -132,6 +132,23 @@ SetAssocCache::resetStats()
 }
 
 void
+SetAssocCache::registerStats(stats::StatGroup &parent,
+                             const std::string &name)
+{
+    auto &g = parent.childGroup(name);
+    g.make<stats::Value>("hits", "demand accesses that hit",
+                         [this] { return _hits; });
+    g.make<stats::Value>("misses", "demand accesses that missed",
+                         [this] { return _misses; });
+    g.make<stats::Value>("writebacks", "dirty victims written back",
+                         [this] { return _writebacks; });
+    g.make<stats::Value>("invalidations", "lines invalidated",
+                         [this] { return _invalidations; });
+    g.make<stats::Derived>("miss_rate", "misses / (hits + misses)",
+                           [this] { return missRate(); });
+}
+
+void
 SetAssocCache::save(Serializer &s) const
 {
     s.u64(_lines.size());

@@ -13,8 +13,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "memory/geometry.hh"
 
 namespace imo
@@ -84,6 +86,9 @@ class SetAssocCache
     }
 
     void resetStats();
+
+    /** Expose traffic counters as a child group @p name of @p parent. */
+    void registerStats(stats::StatGroup &parent, const std::string &name);
 
     /** Checkpoint hooks: contents, LRU order, and traffic counters all
      *  round-trip. restore() requires a matching geometry. */

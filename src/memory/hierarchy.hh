@@ -41,6 +41,14 @@ class FunctionalHierarchy
     /** Drop all cached contents. */
     void flushAll();
 
+    /** Expose both levels' traffic stats under @p parent. */
+    void
+    registerStats(stats::StatGroup &parent)
+    {
+        _l1.registerStats(parent, "l1");
+        _l2.registerStats(parent, "l2");
+    }
+
     SetAssocCache &l1() { return _l1; }
     SetAssocCache &l2() { return _l2; }
     const SetAssocCache &l1() const { return _l1; }

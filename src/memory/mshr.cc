@@ -21,9 +21,17 @@ MshrFile::MshrFile(std::uint32_t entries, Cycle fill_cycles,
 void
 MshrFile::sweep(Cycle now)
 {
-    for (Entry &e : _file) {
-        if (e.valid && !e.pinned && e.releaseCycle <= now)
+    for (std::uint32_t i = 0; i < _file.size(); ++i) {
+        Entry &e = _file[i];
+        if (e.valid && !e.pinned && e.releaseCycle <= now) {
             e.valid = false;
+            // Residency is a function of the entry's own timestamps,
+            // not of when the lazy sweep happens to run, so resumed
+            // runs sample identically.
+            _residency.sample(e.releaseCycle - e.allocCycle);
+            IMO_TRACE(_trace, e.releaseCycle, obs::Cat::Mshr, "mshr-free",
+                      0, i, e.line);
+        }
     }
 }
 
@@ -57,6 +65,8 @@ MshrFile::allocate(Addr line_addr, Cycle now, Cycle data_ready)
             result.merged = true;
             result.dataReady = e.dataReady;
             result.ref = MshrRef{i, e.generation};
+            IMO_TRACE(_trace, now, obs::Cat::Mshr, "mshr-merge", 0, i,
+                      line_addr);
             return result;
         }
     }
@@ -70,6 +80,7 @@ MshrFile::allocate(Addr line_addr, Cycle now, Cycle data_ready)
         e.valid = true;
         e.pinned = _extendedLifetime;
         e.line = line_addr;
+        e.allocCycle = now;
         e.dataReady = data_ready;
         e.releaseCycle = data_ready + _fillCycles;
         e.mergedRefs = 1;
@@ -77,11 +88,14 @@ MshrFile::allocate(Addr line_addr, Cycle now, Cycle data_ready)
         result.accepted = true;
         result.dataReady = data_ready;
         result.ref = MshrRef{i, e.generation};
+        IMO_TRACE(_trace, now, obs::Cat::Mshr, "mshr-alloc", 0, i,
+                  line_addr);
         return result;
     }
 
     // All busy: report the earliest time an entry could free up.
     ++_fullRejects;
+    IMO_TRACE(_trace, now, obs::Cat::Mshr, "mshr-reject", 0, 0, line_addr);
     Cycle earliest = std::numeric_limits<Cycle>::max();
     for (const Entry &e : _file) {
         if (!e.pinned)
@@ -126,6 +140,11 @@ MshrFile::notifySquashed(MshrRef ref, Cycle now)
             if (_invalidate)
                 _invalidate(e->line);
             ++_squashInvalidations;
+            IMO_TRACE(_trace, now, obs::Cat::Mshr, "mshr-squash-inval", 0,
+                      ref.index, e->line);
+        } else {
+            IMO_TRACE(_trace, now, obs::Cat::Mshr, "mshr-squash-extend", 0,
+                      ref.index, e->line);
         }
         e->pinned = false;
         e->releaseCycle = std::max(e->releaseCycle, now);
@@ -150,6 +169,22 @@ MshrFile::busyEntries(Cycle now) const
 }
 
 void
+MshrFile::registerStats(stats::StatGroup &parent)
+{
+    auto &g = parent.childGroup("mshr");
+    g.make<stats::Value>("allocations", "MSHR entries allocated",
+                         [this] { return _allocations; });
+    g.make<stats::Value>("merges", "misses coalesced onto in-flight entries",
+                         [this] { return _merges; });
+    g.make<stats::Value>("full_rejects", "allocations rejected (file full)",
+                         [this] { return _fullRejects; });
+    g.make<stats::Value>("squash_invalidations",
+                         "squashed fills invalidated (section 3.3)",
+                         [this] { return _squashInvalidations; });
+    g.adopt(_residency);
+}
+
+void
 MshrFile::save(Serializer &s) const
 {
     s.u32(_entries32);
@@ -162,11 +197,13 @@ MshrFile::save(Serializer &s) const
         s.b(e.valid);
         s.b(e.pinned);
         s.u64(e.line);
+        s.u64(e.allocCycle);
         s.u64(e.dataReady);
         s.u64(e.releaseCycle);
         s.u32(e.mergedRefs);
         s.u64(e.generation);
     }
+    _residency.save(s);
 }
 
 void
@@ -185,11 +222,13 @@ MshrFile::restore(Deserializer &d)
         e.valid = d.b();
         e.pinned = d.b();
         e.line = d.u64();
+        e.allocCycle = d.u64();
         e.dataReady = d.u64();
         e.releaseCycle = d.u64();
         e.mergedRefs = d.u32();
         e.generation = d.u64();
     }
+    _residency.restore(d);
 }
 
 } // namespace imo::memory

@@ -21,7 +21,9 @@
 #include <optional>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/trace.hh"
 
 namespace imo
 {
@@ -111,6 +113,15 @@ class MshrFile
         return _squashInvalidations;
     }
 
+    /** Entry residency (allocation to release), sampled at release. */
+    const stats::Histogram &residency() const { return _residency; }
+
+    /** Attach (or detach, with nullptr) a structured trace sink. */
+    void setTraceSink(obs::TraceSink *sink) { _trace = sink; }
+
+    /** Expose counters and the residency histogram under @p parent. */
+    void registerStats(stats::StatGroup &parent);
+
     /**
      * Checkpoint hooks. The invalidate hook is a live callback into the
      * owning hierarchy, so it is NOT serialized — the owner must call
@@ -125,6 +136,7 @@ class MshrFile
         bool valid = false;
         bool pinned = false;       //!< waiting for graduate/squash
         Addr line = 0;
+        Cycle allocCycle = 0;      //!< when the entry was allocated
         Cycle dataReady = 0;
         Cycle releaseCycle = 0;    //!< when unpinned entries free up
         std::uint32_t mergedRefs = 0;
@@ -145,6 +157,11 @@ class MshrFile
     std::uint64_t _merges = 0;
     std::uint64_t _fullRejects = 0;
     std::uint64_t _squashInvalidations = 0;
+
+    stats::Histogram _residency{"residency",
+                                "MSHR entry residency (alloc to release), "
+                                "cycles", 32, 8};
+    obs::TraceSink *_trace = nullptr;
 };
 
 } // namespace imo::memory

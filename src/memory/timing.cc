@@ -38,6 +38,8 @@ TimingMemorySystem::request(Addr addr, MemLevel level, Cycle now)
     if (_bankFree[bank] > now) {
         ++_bankConflicts;
         result.retryCycle = _bankFree[bank];
+        IMO_TRACE(_trace, now, obs::Cat::Mem, "bank-conflict", 0, addr,
+                  bank);
         return result;
     }
 
@@ -45,6 +47,7 @@ TimingMemorySystem::request(Addr addr, MemLevel level, Cycle now)
         _bankFree[bank] = now + 1;
         result.accepted = true;
         result.dataReady = now + _params.l1HitLatency;
+        IMO_TRACE(_trace, now, obs::Cat::Mem, "hit", 0, addr, bank);
         return result;
     }
 
@@ -104,7 +107,28 @@ TimingMemorySystem::request(Addr addr, MemLevel level, Cycle now)
     result.accepted = true;
     result.dataReady = alloc.dataReady;
     result.mshr = alloc.ref;
+    _missLatency.sample(alloc.dataReady - now);
+    IMO_TRACE(_trace, now, obs::Cat::Mem,
+              level == MemLevel::L2 ? "miss-l2" : "miss-mem", 0, addr,
+              alloc.dataReady, alloc.dataReady - now);
     return result;
+}
+
+void
+TimingMemorySystem::registerStats(stats::StatGroup &parent)
+{
+    auto &g = parent.childGroup("mem");
+    g.make<stats::Value>("bank_conflicts",
+                         "references rejected by a busy cache bank",
+                         [this] { return _bankConflicts; });
+    g.make<stats::Value>("mem_queue_cycles",
+                         "cycles misses waited for memory bandwidth",
+                         [this] { return _memQueueCycles; });
+    g.make<stats::Value>("injected_rejects",
+                         "fault-injected MSHR exhaustion rejects",
+                         [this] { return _injectedRejects; });
+    g.adopt(_missLatency);
+    _mshrs.registerStats(g);
 }
 
 void
@@ -118,6 +142,7 @@ TimingMemorySystem::save(Serializer &s) const
     s.u64(_bankConflicts);
     s.u64(_memQueueCycles);
     s.u64(_injectedRejects);
+    _missLatency.save(s);
 }
 
 void
@@ -135,6 +160,7 @@ TimingMemorySystem::restore(Deserializer &d)
     _bankConflicts = d.u64();
     _memQueueCycles = d.u64();
     _injectedRejects = d.u64();
+    _missLatency.restore(d);
 }
 
 } // namespace imo::memory

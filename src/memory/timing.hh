@@ -85,10 +85,24 @@ class TimingMemorySystem
      */
     void setFaultInjector(FaultInjector *faults) { _faults = faults; }
 
+    /** Attach a trace sink (cache access / miss / fill events) to this
+     *  system and its MSHR file. Null detaches. */
+    void
+    setTraceSink(obs::TraceSink *sink)
+    {
+        _trace = sink;
+        _mshrs.setTraceSink(sink);
+    }
+
+    /** Expose counters and the miss-latency histogram (plus the MSHR
+     *  file's stats) as a "mem" group under @p parent. */
+    void registerStats(stats::StatGroup &parent);
+
     // Statistics.
     std::uint64_t bankConflicts() const { return _bankConflicts; }
     std::uint64_t memQueueCycles() const { return _memQueueCycles; }
     std::uint64_t injectedRejects() const { return _injectedRejects; }
+    const stats::Histogram &missLatency() const { return _missLatency; }
 
     /**
      * Checkpoint hooks. The fault-injector pointer is a live attachment
@@ -110,6 +124,11 @@ class TimingMemorySystem
     std::uint64_t _bankConflicts = 0;
     std::uint64_t _memQueueCycles = 0;
     std::uint64_t _injectedRejects = 0;
+
+    stats::Histogram _missLatency{"miss_latency",
+                                  "primary-miss service latency, cycles",
+                                  24, 8};
+    obs::TraceSink *_trace = nullptr;
 };
 
 } // namespace imo::memory

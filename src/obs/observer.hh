@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Observer: the bundle of observability sinks a run can be attached
+ * to. A single Observer hangs off MachineConfig (like the fault
+ * injector); components that see a non-null observer record trace
+ * events into its TraceSink and miss attributions into its PcProfiler,
+ * and simulate() captures the full stats registry (text + JSON) into
+ * it when the run finishes — including on failure, so a crashed run
+ * still reports what it saw.
+ */
+
+#ifndef IMO_OBS_OBSERVER_HH
+#define IMO_OBS_OBSERVER_HH
+
+#include <string>
+
+#include "obs/profiler.hh"
+#include "obs/trace.hh"
+
+namespace imo::obs
+{
+
+struct Observer
+{
+    TraceSink trace;
+    PcProfiler profiler;
+
+    /** Filled by simulate() after the run (also on failure). */
+    std::string statsText;
+    std::string statsJson;
+
+    /** @return the trace sink if any category is enabled, else null —
+     *  the pointer components cache for IMO_TRACE. */
+    TraceSink *traceSink() { return trace.enabled() ? &trace : nullptr; }
+};
+
+} // namespace imo::obs
+
+#endif // IMO_OBS_OBSERVER_HH

@@ -1,0 +1,71 @@
+#include "obs/profiler.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace imo::obs
+{
+
+const PcProfiler::Entry *
+PcProfiler::lookup(InstAddr pc) const
+{
+    const auto it = _table.find(pc);
+    return it == _table.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+PcProfiler::totalMisses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[pc, e] : _table)
+        n += e.misses;
+    return n;
+}
+
+std::uint64_t
+PcProfiler::totalTrappedMisses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[pc, e] : _table)
+        n += e.trappedMisses;
+    return n;
+}
+
+std::string
+PcProfiler::report(std::size_t top_n) const
+{
+    std::vector<std::pair<InstAddr, Entry>> rows(_table.begin(),
+                                                 _table.end());
+    std::sort(rows.begin(), rows.end(), [](const auto &a, const auto &b) {
+        if (a.second.misses != b.second.misses)
+            return a.second.misses > b.second.misses;
+        return a.first < b.first;
+    });
+    if (rows.size() > top_n)
+        rows.resize(top_n);
+
+    std::string out;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "per-PC miss profile (top %zu of %zu PCs, %llu misses)\n",
+                  rows.size(), _table.size(),
+                  static_cast<unsigned long long>(totalMisses()));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  %8s %10s %10s %10s %12s %10s\n",
+                  "pc", "misses", "trapped", "mem", "stallSlots", "avgLat");
+    out += buf;
+    for (const auto &[pc, e] : rows) {
+        std::snprintf(buf, sizeof(buf),
+                      "  %8u %10llu %10llu %10llu %12llu %10.1f\n", pc,
+                      static_cast<unsigned long long>(e.misses),
+                      static_cast<unsigned long long>(e.trappedMisses),
+                      static_cast<unsigned long long>(e.memMisses),
+                      static_cast<unsigned long long>(e.stallSlots),
+                      e.avgLatency());
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace imo::obs

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-PC miss profiler: the simulator-side ground truth for the
+ * paper's §4 software miss-counting profiler.
+ *
+ * The timing models report every primary-data-cache miss with its
+ * static PC, the level that eventually serviced it, its service
+ * latency, whether it dispatched an informing trap, and the
+ * graduation-slot stalls it was charged for. The profiler aggregates
+ * these per static PC so a report can answer "which loads miss, how
+ * often, and how much do they cost" — and so a test can check the
+ * MRISC informing-handler profile against it exactly.
+ */
+
+#ifndef IMO_OBS_PROFILER_HH
+#define IMO_OBS_PROFILER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace imo::obs
+{
+
+class PcProfiler
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t misses = 0;         //!< primary-cache misses
+        std::uint64_t trappedMisses = 0;  //!< misses that dispatched a trap
+        std::uint64_t memMisses = 0;      //!< serviced by main memory
+        std::uint64_t stallSlots = 0;     //!< graduation slots charged
+        std::uint64_t latencySum = 0;     //!< total service cycles
+
+        double
+        avgLatency() const
+        {
+            return misses ? static_cast<double>(latencySum) / misses : 0.0;
+        }
+    };
+
+    void
+    noteMiss(InstAddr pc, bool from_memory, Cycle latency, bool trapped)
+    {
+        Entry &e = _table[pc];
+        ++e.misses;
+        e.latencySum += latency;
+        if (from_memory)
+            ++e.memMisses;
+        if (trapped)
+            ++e.trappedMisses;
+    }
+
+    void
+    noteStall(InstAddr pc, std::uint64_t slots)
+    {
+        if (slots)
+            _table[pc].stallSlots += slots;
+    }
+
+    /** @return the entry for @p pc, or nullptr if it never missed. */
+    const Entry *lookup(InstAddr pc) const;
+
+    const std::unordered_map<InstAddr, Entry> &table() const
+    {
+        return _table;
+    }
+
+    std::uint64_t totalMisses() const;
+    std::uint64_t totalTrappedMisses() const;
+    bool empty() const { return _table.empty(); }
+    void clear() { _table.clear(); }
+
+    /** Human-readable top-N report, sorted by miss count (ties by PC). */
+    std::string report(std::size_t top_n = 10) const;
+
+  private:
+    std::unordered_map<InstAddr, Entry> _table;
+};
+
+} // namespace imo::obs
+
+#endif // IMO_OBS_PROFILER_HH

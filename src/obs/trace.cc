@@ -1,0 +1,102 @@
+#include "obs/trace.hh"
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace imo::obs
+{
+
+const char *
+catName(Cat c)
+{
+    switch (c) {
+      case Cat::Fetch: return "fetch";
+      case Cat::Issue: return "issue";
+      case Cat::Grad: return "grad";
+      case Cat::Mem: return "mem";
+      case Cat::Mshr: return "mshr";
+      case Cat::Trap: return "trap";
+      case Cat::Coh: return "coh";
+    }
+    return "?";
+}
+
+bool
+parseTraceCategories(const std::string &csv, std::uint32_t &mask,
+                     std::string &err)
+{
+    mask = 0;
+    std::stringstream ss(csv);
+    std::string tok;
+    bool any = false;
+    while (std::getline(ss, tok, ',')) {
+        if (tok.empty())
+            continue;
+        any = true;
+        if (tok == "all") {
+            mask |= allCategories;
+        } else if (tok == "fetch") {
+            mask |= static_cast<std::uint32_t>(Cat::Fetch);
+        } else if (tok == "issue") {
+            mask |= static_cast<std::uint32_t>(Cat::Issue);
+        } else if (tok == "grad") {
+            mask |= static_cast<std::uint32_t>(Cat::Grad);
+        } else if (tok == "mem") {
+            mask |= static_cast<std::uint32_t>(Cat::Mem);
+        } else if (tok == "mshr") {
+            mask |= static_cast<std::uint32_t>(Cat::Mshr);
+        } else if (tok == "trap") {
+            mask |= static_cast<std::uint32_t>(Cat::Trap);
+        } else if (tok == "coh") {
+            mask |= static_cast<std::uint32_t>(Cat::Coh);
+        } else {
+            err = "unknown trace category '" + tok +
+                  "' (expected fetch,issue,grad,mem,mshr,trap,coh,all)";
+            return false;
+        }
+    }
+    if (!any) {
+        err = "empty trace category list";
+        return false;
+    }
+    return true;
+}
+
+void
+TraceSink::writeJsonl(std::ostream &os) const
+{
+    for (const TraceEvent &e : _events) {
+        os << "{\"cycle\":" << e.cycle << ",\"cat\":\"" << catName(e.cat)
+           << "\",\"name\":\"" << stats::jsonEscape(e.name) << "\",\"pc\":"
+           << e.pc << ",\"a0\":" << e.a0 << ",\"a1\":" << e.a1;
+        if (e.dur)
+            os << ",\"dur\":" << e.dur;
+        os << "}\n";
+    }
+}
+
+void
+TraceSink::writeChromeTrace(std::ostream &os) const
+{
+    // One simulated cycle maps to one microsecond of trace time so the
+    // viewer's time axis reads directly in cycles.
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &e : _events) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"name\":\"" << stats::jsonEscape(e.name) << "\",\"cat\":\""
+           << catName(e.cat) << "\",\"pid\":1,\"tid\":1,\"ts\":" << e.cycle;
+        if (e.dur)
+            os << ",\"ph\":\"X\",\"dur\":" << e.dur;
+        else
+            os << ",\"ph\":\"i\",\"s\":\"t\"";
+        os << ",\"args\":{\"pc\":" << e.pc << ",\"a0\":" << e.a0
+           << ",\"a1\":" << e.a1 << "}}";
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+} // namespace imo::obs

@@ -25,6 +25,11 @@ namespace imo
 class FaultInjector;
 } // namespace imo
 
+namespace imo::obs
+{
+struct Observer;
+} // namespace imo::obs
+
 namespace imo::pipeline
 {
 
@@ -128,6 +133,10 @@ struct MachineConfig
 
     /** Optional fault injector (not owned; nullptr = no faults). */
     FaultInjector *faults = nullptr;
+
+    /** Optional observability sinks — trace events, per-PC miss
+     *  profile, captured stats (not owned; nullptr = unobserved). */
+    obs::Observer *obs = nullptr;
 
     /**
      * Collect every problem that makes this configuration

@@ -11,6 +11,8 @@
 #include "common/logging.hh"
 #include "isa/instruction.hh"
 #include "memory/timing.hh"
+#include "obs/observer.hh"
+#include "pipeline/pipe_stats.hh"
 #include "pipeline/timing_util.hh"
 #include "pipeline/watchdog.hh"
 
@@ -55,8 +57,9 @@ struct InOrderCpu::Timing
           gshare(cfg.predictorEntries), ring(32)
     {
         mem.setFaultInjector(cfg.faults);
-        res.machine = cfg.name;
-        res.issueWidth = cfg.issueWidth;
+        obs = cfg.obs;
+        trace = obs ? obs->traceSink() : nullptr;
+        mem.setTraceSink(trace);
     }
 
     FetchEngine fetch;
@@ -82,8 +85,15 @@ struct InOrderCpu::Timing
     // reaches the issue stage again.
     Cycle issueFloor = 0;
 
+    // Informing trap service measurement: dispatch cycle of the trap
+    // whose RETMH has not yet completed (handlers cannot nest).
+    bool trapPending = false;
+    Cycle trapDispatch = 0;
+
     std::uint64_t consumed = 0;
-    RunResult res;   //!< live counters; derived fields filled by result()
+    PipeStats pipe;  //!< live counters; RunResult derives from these
+    obs::Observer *obs = nullptr;
+    obs::TraceSink *trace = nullptr;
 };
 
 InOrderCpu::InOrderCpu(const MachineConfig &config) : _config(config)
@@ -146,6 +156,7 @@ InOrderCpu::step(func::TraceSource &src)
     // hit shadow, it is flushed and replayed, paying the penalty.
     const Cycle base = earliest;
     const isa::SrcRegs srcs = isa::srcRegs(in);
+    bool replayed = false;
     for (std::uint8_t i = 0; i < srcs.count; ++i) {
         const std::uint8_t s = srcs.reg[i];
         Cycle constraint = t.regReady[s];
@@ -153,8 +164,13 @@ InOrderCpu::step(func::TraceSource &src)
             constraint = std::max(constraint,
                                   t.regMissDetect[s] +
                                   cfg.replayTrapPenalty);
+            replayed = true;
         }
         earliest = std::max(earliest, constraint);
+    }
+    if (replayed) {
+        ++t.pipe.replayTraps;
+        IMO_TRACE(t.trace, base, obs::Cat::Issue, "replay-trap", r.pc);
     }
     if (in.op == Op::BRMISS || in.op == Op::BRMISS2)
         earliest = std::max(earliest, t.ccReady);
@@ -163,6 +179,8 @@ InOrderCpu::step(func::TraceSource &src)
 
     const Cycle issue = t.port.reserve(groupOf(cls, cfg.fus), earliest);
     t.lastIssue = issue;
+    IMO_TRACE(t.trace, issue, obs::Cat::Issue, "issue", r.pc,
+              static_cast<std::uint64_t>(in.op));
 
     Cycle complete = issue + cfg.lat.forClass(cls);
     bool cache_reason = false;
@@ -215,9 +233,16 @@ InOrderCpu::step(func::TraceSource &src)
             t.mem.notifyGraduated(mr.mshr, complete);
 
         if (isa::isDataRef(in.op)) {
-            ++t.res.dataRefs;
-            if (missed)
-                ++t.res.l1Misses;
+            ++t.pipe.dataRefs;
+            if (missed) {
+                ++t.pipe.l1Misses;
+                if (t.obs) {
+                    t.obs->profiler.noteMiss(
+                        r.pc, r.level == MemLevel::Memory,
+                        mr.dataReady > probe ? mr.dataReady - probe : 0,
+                        r.trapped);
+                }
+            }
             t.ccReady = miss_detect;
 
             const int rd = isa::dstReg(in);
@@ -230,10 +255,14 @@ InOrderCpu::step(func::TraceSource &src)
             if (r.trapped) {
                 // Informing dispatch via the replay-trap mechanism:
                 // flush and refetch from the handler.
-                ++t.res.traps;
+                ++t.pipe.traps;
                 t.mhrrReady = miss_detect + 1;
                 flush_at(miss_detect + cfg.replayTrapPenalty);
                 t.ring.push(miss_detect, "trap", r.pc, r.addr);
+                t.trapPending = true;
+                t.trapDispatch = miss_detect;
+                IMO_TRACE(t.trace, miss_detect, obs::Cat::Trap,
+                          "trap-enter", r.pc, r.addr);
             }
         }
         break;
@@ -246,19 +275,21 @@ InOrderCpu::step(func::TraceSource &src)
             in.op == Op::BRMISS2) {
             // Statically predicted not-taken (the common case is a
             // hit); taken means a mispredict-style redirect.
-            ++t.res.condBranches;
+            ++t.pipe.condBranches;
             if (r.taken) {
                 t.mhrrReady = resolve + 1;
                 flush_at(resolve + cfg.redirectPenalty);
-                ++t.res.mispredicts;
+                ++t.pipe.mispredicts;
             }
         } else {
-            ++t.res.condBranches;
+            ++t.pipe.condBranches;
             const bool correct = predict_and_update(r.pc, r.taken);
             if (!correct) {
-                ++t.res.mispredicts;
+                ++t.pipe.mispredicts;
                 flush_at(resolve + cfg.redirectPenalty);
                 t.ring.push(resolve, "mispredict", r.pc, r.taken);
+                IMO_TRACE(t.trace, resolve, obs::Cat::Fetch, "mispredict",
+                          r.pc, r.taken);
             } else if (r.taken) {
                 t.fetch.redirectTaken(fc);
             }
@@ -274,6 +305,12 @@ InOrderCpu::step(func::TraceSource &src)
         } else {
             // J/JAL/RETMH targets are available in the front end.
             t.fetch.redirectTaken(fc);
+        }
+        if (in.op == Op::RETMH && t.trapPending) {
+            t.pipe.trapService.sample(complete - t.trapDispatch);
+            t.trapPending = false;
+            IMO_TRACE(t.trace, t.trapDispatch, obs::Cat::Trap, "trap-exit",
+                      r.pc, 0, 0, complete - t.trapDispatch);
         }
         if (const int rd = isa::dstReg(in); rd >= 0) {
             t.regReady[rd] = complete;
@@ -298,7 +335,7 @@ InOrderCpu::step(func::TraceSource &src)
     }
 
     if (r.handlerCode)
-        ++t.res.handlerInstructions;
+        ++t.pipe.handlerInstructions;
 
     // Retirement watchdog: a completion time that runs away from
     // the graduation frontier means nothing will retire for an
@@ -316,7 +353,16 @@ InOrderCpu::step(func::TraceSource &src)
 
     t.ring.push(complete, "grad", r.pc,
                 static_cast<std::uint64_t>(in.op));
-    t.ledger.graduate(complete, cache_reason);
+    IMO_TRACE(t.trace, complete, obs::Cat::Grad, "grad", r.pc,
+              static_cast<std::uint64_t>(in.op));
+    if (t.obs && cache_reason) {
+        const std::uint64_t before = t.ledger.cacheStallSlots();
+        t.ledger.graduate(complete, cache_reason);
+        t.obs->profiler.noteStall(r.pc,
+                                  t.ledger.cacheStallSlots() - before);
+    } else {
+        t.ledger.graduate(complete, cache_reason);
+    }
     return true;
 }
 
@@ -330,7 +376,16 @@ InOrderCpu::result() const
         return res;
     }
     const Timing &t = *_t;
-    RunResult res = t.res;
+    RunResult res;
+    res.machine = _config.name;
+    res.issueWidth = _config.issueWidth;
+    res.dataRefs = t.pipe.dataRefs.value();
+    res.l1Misses = t.pipe.l1Misses.value();
+    res.traps = t.pipe.traps.value();
+    res.replayTraps = t.pipe.replayTraps.value();
+    res.condBranches = t.pipe.condBranches.value();
+    res.mispredicts = t.pipe.mispredicts.value();
+    res.handlerInstructions = t.pipe.handlerInstructions.value();
     res.cycles = t.ledger.totalCycles();
     res.instructions = t.ledger.graduated();
     res.cacheStallSlots = t.ledger.cacheStallSlots();
@@ -339,6 +394,34 @@ InOrderCpu::result() const
     res.bankConflicts = t.mem.bankConflicts();
     res.squashInvalidations = t.mem.mshrFile().squashInvalidations();
     return res;
+}
+
+void
+InOrderCpu::registerStats(stats::StatGroup &parent)
+{
+    panic_if(!_t, "InOrderCpu::registerStats before reset()");
+    Timing *t = _t.get();
+    auto &g = parent.childGroup("cpu");
+    g.make<stats::Value>("cycles", "total simulated cycles",
+                         [t] { return t->ledger.totalCycles(); });
+    g.make<stats::Value>("instructions", "instructions graduated",
+                         [t] { return t->ledger.graduated(); });
+    g.make<stats::Value>("cache_stall_slots",
+                         "graduation slots lost to cache misses",
+                         [t] { return t->ledger.cacheStallSlots(); });
+    g.make<stats::Value>("other_stall_slots",
+                         "graduation slots lost to other causes",
+                         [t] { return t->ledger.otherStallSlots(); });
+    g.make<stats::Derived>("ipc", "instructions per cycle", [t] {
+        const Cycle c = t->ledger.totalCycles();
+        return c ? static_cast<double>(t->ledger.graduated()) / c : 0.0;
+    });
+    g.adoptChild(t->pipe.group);
+    if (_config.useGshare)
+        t->gshare.registerStats(g, "predictor");
+    else
+        t->bimodal.registerStats(g, "predictor");
+    t->mem.registerStats(g);
 }
 
 RunResult
@@ -372,13 +455,10 @@ InOrderCpu::save(Serializer &s) const
     s.u64(t.mhrrReady);
     s.u64(t.lastIssue);
     s.u64(t.issueFloor);
+    s.b(t.trapPending);
+    s.u64(t.trapDispatch);
     s.u64(t.consumed);
-    s.u64(t.res.dataRefs);
-    s.u64(t.res.l1Misses);
-    s.u64(t.res.traps);
-    s.u64(t.res.condBranches);
-    s.u64(t.res.mispredicts);
-    s.u64(t.res.handlerInstructions);
+    t.pipe.save(s);
 }
 
 void
@@ -403,13 +483,10 @@ InOrderCpu::restore(Deserializer &d)
     t.mhrrReady = d.u64();
     t.lastIssue = d.u64();
     t.issueFloor = d.u64();
+    t.trapPending = d.b();
+    t.trapDispatch = d.u64();
     t.consumed = d.u64();
-    t.res.dataRefs = d.u64();
-    t.res.l1Misses = d.u64();
-    t.res.traps = d.u64();
-    t.res.condBranches = d.u64();
-    t.res.mispredicts = d.u64();
-    t.res.handlerInstructions = d.u64();
+    t.pipe.restore(d);
 }
 
 } // namespace imo::pipeline

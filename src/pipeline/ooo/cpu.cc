@@ -12,6 +12,8 @@
 #include "common/logging.hh"
 #include "isa/instruction.hh"
 #include "memory/timing.hh"
+#include "obs/observer.hh"
+#include "pipeline/pipe_stats.hh"
 #include "pipeline/timing_util.hh"
 #include "pipeline/watchdog.hh"
 
@@ -59,8 +61,9 @@ struct OooCpu::Timing
           gradHistory(cfg.robSize, 0)
     {
         mem.setFaultInjector(cfg.faults);
-        res.machine = cfg.name;
-        res.issueWidth = cfg.issueWidth;
+        obs = cfg.obs;
+        trace = obs ? obs->traceSink() : nullptr;
+        mem.setTraceSink(trace);
     }
 
     FetchEngine fetch;
@@ -87,9 +90,16 @@ struct OooCpu::Timing
     // Unresolved predicted branches (shadow-state checkpoints).
     std::vector<Cycle> outstandingBranches;
 
+    // Informing trap service measurement: dispatch cycle of the trap
+    // whose RETMH has not yet completed (handlers cannot nest).
+    bool trapPending = false;
+    Cycle trapDispatch = 0;
+
     std::uint64_t index = 0;
     Cycle lastWrongPathAddr = 0;
-    RunResult res;   //!< live counters; derived fields filled by result()
+    PipeStats pipe;  //!< live counters; RunResult derives from these
+    obs::Observer *obs = nullptr;
+    obs::TraceSink *trace = nullptr;
 };
 
 OooCpu::OooCpu(const MachineConfig &config) : _config(config)
@@ -194,6 +204,8 @@ OooCpu::step(func::TraceSource &src)
 
     SlotTable *fu = fu_for(group);
     const Cycle issue = fu ? fu->reserve(ready) : ready;
+    IMO_TRACE(t.trace, issue, obs::Cat::Issue, "issue", r.pc,
+              static_cast<std::uint64_t>(in.op));
 
     Cycle complete = issue + cfg.lat.forClass(cls);
     bool cache_reason = false;
@@ -240,9 +252,16 @@ OooCpu::step(func::TraceSource &src)
         resolve_for_checkpoint = miss_detect;
 
         if (isa::isDataRef(in.op)) {
-            ++t.res.dataRefs;
-            if (missed)
-                ++t.res.l1Misses;
+            ++t.pipe.dataRefs;
+            if (missed) {
+                ++t.pipe.l1Misses;
+                if (t.obs) {
+                    t.obs->profiler.noteMiss(
+                        r.pc, r.level == MemLevel::Memory,
+                        mr.dataReady > probe ? mr.dataReady - probe : 0,
+                        r.trapped);
+                }
+            }
             t.ccReady = miss_detect;
 
             const int rd = isa::dstReg(in);
@@ -250,13 +269,17 @@ OooCpu::step(func::TraceSource &src)
                 t.regReady[rd] = complete;
 
             if (r.trapped) {
-                ++t.res.traps;
+                ++t.pipe.traps;
                 t.ring.push(miss_detect, "trap", r.pc, r.addr);
                 if (branch_style) {
                     // Redirect like a mispredicted branch as soon
                     // as the miss is detected.
                     t.mhrrReady = miss_detect + 1;
                     t.fetch.gate(miss_detect + cfg.redirectPenalty);
+                    t.trapPending = true;
+                    t.trapDispatch = miss_detect;
+                    IMO_TRACE(t.trace, miss_detect, obs::Cat::Trap,
+                              "trap-enter", r.pc, r.addr);
                 }
                 // Exception-style dispatch is applied after this
                 // instruction's graduation (below).
@@ -274,20 +297,22 @@ OooCpu::step(func::TraceSource &src)
         const Cycle resolve = issue + 1;
         complete = resolve;
         resolve_for_checkpoint = resolve;
-        ++t.res.condBranches;
+        ++t.pipe.condBranches;
         if (in.op == Op::BRMISS ||
             in.op == Op::BRMISS2) {
             if (r.taken) {
-                ++t.res.mispredicts;
+                ++t.pipe.mispredicts;
                 t.mhrrReady = resolve + 1;
                 t.fetch.gate(resolve + cfg.redirectPenalty);
             }
         } else {
             const bool correct = predict_and_update(r.pc, r.taken);
             if (!correct) {
-                ++t.res.mispredicts;
+                ++t.pipe.mispredicts;
                 t.fetch.gate(resolve + cfg.redirectPenalty);
                 t.ring.push(resolve, "mispredict", r.pc, r.taken);
+                IMO_TRACE(t.trace, resolve, obs::Cat::Fetch, "mispredict",
+                          r.pc, r.taken);
                 if (_wrongPathProbes > 0) {
                     // Inject squashed speculative line fetches past
                     // the mispredicted branch (section 3.3). They
@@ -320,6 +345,12 @@ OooCpu::step(func::TraceSource &src)
         } else {
             t.fetch.redirectTaken(fc);
         }
+        if (in.op == Op::RETMH && t.trapPending) {
+            t.pipe.trapService.sample(complete - t.trapDispatch);
+            t.trapPending = false;
+            IMO_TRACE(t.trace, t.trapDispatch, obs::Cat::Trap, "trap-exit",
+                      r.pc, 0, 0, complete - t.trapDispatch);
+        }
         if (const int rd = isa::dstReg(in); rd >= 0)
             t.regReady[rd] = complete;
         break;
@@ -340,7 +371,7 @@ OooCpu::step(func::TraceSource &src)
         t.outstandingBranches.push_back(resolve_for_checkpoint);
 
     if (r.handlerCode)
-        ++t.res.handlerInstructions;
+        ++t.pipe.handlerInstructions;
 
     if (isa::isDataRef(in.op) && r.trapped && !branch_style) {
         // Exception-style informing dispatch: postponed until the
@@ -353,6 +384,10 @@ OooCpu::step(func::TraceSource &src)
             std::max(resolve_for_checkpoint, t.ledger.lastCycle());
         t.mhrrReady = at_head + cfg.exceptionFlushPenalty;
         t.fetch.gate(at_head + cfg.exceptionFlushPenalty);
+        t.trapPending = true;
+        t.trapDispatch = at_head + cfg.exceptionFlushPenalty;
+        IMO_TRACE(t.trace, t.trapDispatch, obs::Cat::Trap, "trap-enter",
+                  r.pc, r.addr);
     }
 
     // Retirement watchdog: a completion time that runs away from
@@ -371,7 +406,17 @@ OooCpu::step(func::TraceSource &src)
 
     t.ring.push(complete, "grad", r.pc,
                 static_cast<std::uint64_t>(in.op));
-    const Cycle grad = t.ledger.graduate(complete + 1, cache_reason);
+    IMO_TRACE(t.trace, complete, obs::Cat::Grad, "grad", r.pc,
+              static_cast<std::uint64_t>(in.op));
+    Cycle grad;
+    if (t.obs && cache_reason) {
+        const std::uint64_t before = t.ledger.cacheStallSlots();
+        grad = t.ledger.graduate(complete + 1, cache_reason);
+        t.obs->profiler.noteStall(r.pc,
+                                  t.ledger.cacheStallSlots() - before);
+    } else {
+        grad = t.ledger.graduate(complete + 1, cache_reason);
+    }
     t.gradHistory[t.index % cfg.robSize] = grad;
 
     // With the extended MSHR lifetime of section 3.3, demand-miss
@@ -403,7 +448,16 @@ OooCpu::result() const
         return res;
     }
     const Timing &t = *_t;
-    RunResult res = t.res;
+    RunResult res;
+    res.machine = _config.name;
+    res.issueWidth = _config.issueWidth;
+    res.dataRefs = t.pipe.dataRefs.value();
+    res.l1Misses = t.pipe.l1Misses.value();
+    res.traps = t.pipe.traps.value();
+    res.replayTraps = t.pipe.replayTraps.value();
+    res.condBranches = t.pipe.condBranches.value();
+    res.mispredicts = t.pipe.mispredicts.value();
+    res.handlerInstructions = t.pipe.handlerInstructions.value();
     res.cycles = t.ledger.totalCycles();
     res.instructions = t.ledger.graduated();
     res.cacheStallSlots = t.ledger.cacheStallSlots();
@@ -412,6 +466,34 @@ OooCpu::result() const
     res.bankConflicts = t.mem.bankConflicts();
     res.squashInvalidations = t.mem.mshrFile().squashInvalidations();
     return res;
+}
+
+void
+OooCpu::registerStats(stats::StatGroup &parent)
+{
+    panic_if(!_t, "OooCpu::registerStats before reset()");
+    Timing *t = _t.get();
+    auto &g = parent.childGroup("cpu");
+    g.make<stats::Value>("cycles", "total simulated cycles",
+                         [t] { return t->ledger.totalCycles(); });
+    g.make<stats::Value>("instructions", "instructions graduated",
+                         [t] { return t->ledger.graduated(); });
+    g.make<stats::Value>("cache_stall_slots",
+                         "graduation slots lost to cache misses",
+                         [t] { return t->ledger.cacheStallSlots(); });
+    g.make<stats::Value>("other_stall_slots",
+                         "graduation slots lost to other causes",
+                         [t] { return t->ledger.otherStallSlots(); });
+    g.make<stats::Derived>("ipc", "instructions per cycle", [t] {
+        const Cycle c = t->ledger.totalCycles();
+        return c ? static_cast<double>(t->ledger.graduated()) / c : 0.0;
+    });
+    g.adoptChild(t->pipe.group);
+    if (_config.useGshare)
+        t->gshare.registerStats(g, "predictor");
+    else
+        t->bimodal.registerStats(g, "predictor");
+    t->mem.registerStats(g);
 }
 
 RunResult
@@ -450,12 +532,9 @@ OooCpu::save(Serializer &s) const
     s.vecU64(t.outstandingBranches);
     s.u64(t.index);
     s.u64(t.lastWrongPathAddr);
-    s.u64(t.res.dataRefs);
-    s.u64(t.res.l1Misses);
-    s.u64(t.res.traps);
-    s.u64(t.res.condBranches);
-    s.u64(t.res.mispredicts);
-    s.u64(t.res.handlerInstructions);
+    s.b(t.trapPending);
+    s.u64(t.trapDispatch);
+    t.pipe.save(s);
 }
 
 void
@@ -490,12 +569,9 @@ OooCpu::restore(Deserializer &d)
     t.outstandingBranches = d.vecU64();
     t.index = d.u64();
     t.lastWrongPathAddr = d.u64();
-    t.res.dataRefs = d.u64();
-    t.res.l1Misses = d.u64();
-    t.res.traps = d.u64();
-    t.res.condBranches = d.u64();
-    t.res.mispredicts = d.u64();
-    t.res.handlerInstructions = d.u64();
+    t.trapPending = d.b();
+    t.trapDispatch = d.u64();
+    t.pipe.restore(d);
 }
 
 } // namespace imo::pipeline

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/stats.hh"
 #include "func/trace.hh"
 #include "pipeline/config.hh"
 #include "pipeline/result.hh"
@@ -77,6 +78,14 @@ class OooCpu
 
     /** Replay @p src to exhaustion and return the timing result. */
     RunResult run(func::TraceSource &src);
+
+    /**
+     * Expose the model's full stats tree (pipeline counters, trap
+     * service histogram, predictors, memory system, MSHRs) as a "cpu"
+     * group under @p parent. Requires reset() first; valid until the
+     * next reset().
+     */
+    void registerStats(stats::StatGroup &parent);
 
     /**
      * Checkpoint hooks. Only meaningful between step() calls (the

@@ -43,6 +43,7 @@ struct RunResult
     std::uint64_t dataRefs = 0;
     std::uint64_t l1Misses = 0;
     std::uint64_t traps = 0;              //!< informing dispatches
+    std::uint64_t replayTraps = 0;        //!< 21164 hit-shadow replays
     std::uint64_t condBranches = 0;
     std::uint64_t mispredicts = 0;
     std::uint64_t mshrFullRejects = 0;

@@ -1,9 +1,13 @@
 #include "pipeline/simulate.hh"
 
+#include <sstream>
+
 #include "common/checkpoint.hh"
 #include "common/error.hh"
 #include "common/faultinject.hh"
+#include "common/stats.hh"
 #include "isa/verify.hh"
+#include "obs/observer.hh"
 #include "pipeline/inorder/cpu.hh"
 #include "pipeline/ooo/cpu.hh"
 
@@ -156,6 +160,31 @@ drive(Cpu &cpu, func::Executor &exec, const isa::Program &program,
     return res;
 }
 
+/**
+ * Capture the full stats tree into the attached Observer (text and
+ * JSON renderings). Built as a transient report root so repeated
+ * captures cannot duplicate registrations; called on success and on
+ * failure alike (partial stats are part of a failure report).
+ */
+template <typename Cpu>
+void
+captureStats(const MachineConfig &config, func::Executor &exec, Cpu &cpu)
+{
+    if (!config.obs)
+        return;
+    stats::StatGroup root("sim");
+    exec.registerStats(root);
+    cpu.registerStats(root);
+    std::ostringstream text;
+    root.dump(text);
+    config.obs->statsText = text.str();
+    std::ostringstream json;
+    json << "{\"sim\":";
+    root.dumpJson(json);
+    json << "}\n";
+    config.obs->statsJson = json.str();
+}
+
 } // anonymous namespace
 
 RunResult
@@ -185,6 +214,7 @@ simulate(const isa::Program &program, const MachineConfig &config,
                 result.ok = false;
                 result.error = e.error();
             }
+            captureStats(config, exec, cpu);
         } else {
             InOrderCpu cpu(config);
             try {
@@ -195,6 +225,7 @@ simulate(const isa::Program &program, const MachineConfig &config,
                 result.ok = false;
                 result.error = e.error();
             }
+            captureStats(config, exec, cpu);
         }
         result.workload = program.name();
         if (exec_stats)

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON validator for tests. The stats and
+ * trace emitters promise syntactically valid JSON; this checks the
+ * promise without dragging in a JSON library dependency.
+ */
+
+#ifndef IMO_TESTS_JSON_HELPERS_HH
+#define IMO_TESTS_JSON_HELPERS_HH
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace imo::testhelpers
+{
+
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(const std::string &text) : _s(text) {}
+
+    /** @return true if the whole input is exactly one JSON value. */
+    bool
+    valid()
+    {
+        _pos = 0;
+        if (!value())
+            return false;
+        ws();
+        return _pos == _s.size();
+    }
+
+  private:
+    void
+    ws()
+    {
+        while (_pos < _s.size() &&
+               std::isspace(static_cast<unsigned char>(_s[_pos])))
+            ++_pos;
+    }
+
+    bool
+    eat(char c)
+    {
+        ws();
+        if (_pos < _s.size() && _s[_pos] == c) {
+            ++_pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (_s.compare(_pos, n, word) != 0)
+            return false;
+        _pos += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (!eat('"'))
+            return false;
+        while (_pos < _s.size()) {
+            const char c = _s[_pos];
+            if (c == '"') {
+                ++_pos;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false;  // raw control character
+            if (c == '\\') {
+                ++_pos;
+                if (_pos >= _s.size())
+                    return false;
+                const char e = _s[_pos];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (_pos + i >= _s.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                _s[_pos + i])))
+                            return false;
+                    }
+                    _pos += 4;
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return false;
+                }
+            }
+            ++_pos;
+        }
+        return false;  // unterminated
+    }
+
+    bool
+    number()
+    {
+        std::size_t p = _pos;
+        if (p < _s.size() && _s[p] == '-')
+            ++p;
+        std::size_t digits = 0;
+        while (p < _s.size() &&
+               std::isdigit(static_cast<unsigned char>(_s[p]))) {
+            ++p;
+            ++digits;
+        }
+        if (!digits)
+            return false;
+        if (p < _s.size() && _s[p] == '.') {
+            ++p;
+            digits = 0;
+            while (p < _s.size() &&
+                   std::isdigit(static_cast<unsigned char>(_s[p]))) {
+                ++p;
+                ++digits;
+            }
+            if (!digits)
+                return false;
+        }
+        if (p < _s.size() && (_s[p] == 'e' || _s[p] == 'E')) {
+            ++p;
+            if (p < _s.size() && (_s[p] == '+' || _s[p] == '-'))
+                ++p;
+            digits = 0;
+            while (p < _s.size() &&
+                   std::isdigit(static_cast<unsigned char>(_s[p]))) {
+                ++p;
+                ++digits;
+            }
+            if (!digits)
+                return false;
+        }
+        _pos = p;
+        return true;
+    }
+
+    bool
+    value()
+    {
+        ws();
+        if (_pos >= _s.size())
+            return false;
+        const char c = _s[_pos];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+
+    bool
+    object()
+    {
+        if (!eat('{'))
+            return false;
+        if (eat('}'))
+            return true;
+        do {
+            ws();
+            if (!string())
+                return false;
+            if (!eat(':'))
+                return false;
+            if (!value())
+                return false;
+        } while (eat(','));
+        return eat('}');
+    }
+
+    bool
+    array()
+    {
+        if (!eat('['))
+            return false;
+        if (eat(']'))
+            return true;
+        do {
+            if (!value())
+                return false;
+        } while (eat(','));
+        return eat(']');
+    }
+
+    const std::string &_s;
+    std::size_t _pos = 0;
+};
+
+inline bool
+validJson(const std::string &text)
+{
+    return JsonValidator(text).valid();
+}
+
+} // namespace imo::testhelpers
+
+#endif // IMO_TESTS_JSON_HELPERS_HH

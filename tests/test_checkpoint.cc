@@ -18,6 +18,7 @@
 #include "common/rng.hh"
 #include "core/informing.hh"
 #include "coherence/machine.hh"
+#include "obs/observer.hh"
 #include "pipeline/simulate.hh"
 #include "workloads/suite.hh"
 
@@ -200,6 +201,42 @@ TEST_P(CpuModelCheckpoint, ResumeIsBitIdentical)
         EXPECT_EQ(reimages[i], images[pick + 1 + i])
             << "image at mark " << remarks[i] << " diverged";
     }
+}
+
+TEST_P(CpuModelCheckpoint, ResumedStatsAreBitIdentical)
+{
+    // The full stats registry (counters, averages, histograms) rides
+    // in the checkpoint: a resumed run's captured stats report must be
+    // byte-for-byte the uninterrupted run's — text and JSON alike.
+    const isa::Program prog = testProgram();
+    constexpr std::uint64_t every = 2000;
+
+    std::vector<std::vector<std::uint8_t>> images;
+    pipeline::SimulateOptions opt;
+    opt.checkpointEvery = every;
+    opt.onCheckpoint = [&](const std::vector<std::uint8_t> &img,
+                           std::uint64_t) { images.push_back(img); };
+    FaultInjector f1(noisySchedule());
+    obs::Observer full_obs;
+    pipeline::MachineConfig m1 = machine(&f1);
+    m1.obs = &full_obs;
+    const pipeline::RunResult full = pipeline::simulate(prog, m1, opt);
+    ASSERT_TRUE(full.ok) << full.error.format();
+    ASSERT_GE(images.size(), 2u) << "program too short for the test";
+    ASSERT_FALSE(full_obs.statsJson.empty());
+
+    pipeline::SimulateOptions ropt;
+    ropt.resumeImage = &images[images.size() / 2];
+    FaultInjector f2(noisySchedule());
+    obs::Observer resumed_obs;
+    pipeline::MachineConfig m2 = machine(&f2);
+    m2.obs = &resumed_obs;
+    const pipeline::RunResult resumed =
+        pipeline::simulate(prog, m2, ropt);
+    ASSERT_TRUE(resumed.ok) << resumed.error.format();
+
+    EXPECT_EQ(full_obs.statsText, resumed_obs.statsText);
+    EXPECT_EQ(full_obs.statsJson, resumed_obs.statsJson);
 }
 
 TEST_P(CpuModelCheckpoint, ProgramMismatchIsRejected)

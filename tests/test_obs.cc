@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Observability: the structured trace sink (category filtering,
+ * capacity, JSONL / Chrome trace_event serialization), the per-PC miss
+ * profiler, stats capture through simulate(), and the flagship
+ * cross-validation of the paper's §4.1.1 software miss-counting
+ * profiler: the handler-collected per-PC counts must equal the
+ * simulator-side profile exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "coherence/machine.hh"
+#include "common/stats.hh"
+#include "core/informing.hh"
+#include "func/executor.hh"
+#include "isa/op.hh"
+#include "json_helpers.hh"
+#include "obs/observer.hh"
+#include "pipeline/inorder/cpu.hh"
+#include "pipeline/ooo/cpu.hh"
+#include "pipeline/simulate.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace imo;
+using imo::obs::Cat;
+using imo::obs::Observer;
+using imo::obs::PcProfiler;
+using imo::obs::TraceSink;
+using imo::testhelpers::validJson;
+
+// ---------------------------------------------------------------------
+// Category parsing.
+
+TEST(TraceCategories, ParsesNamesAndAll)
+{
+    std::uint32_t mask = 0;
+    std::string err;
+    EXPECT_TRUE(obs::parseTraceCategories("all", mask, err));
+    EXPECT_EQ(mask, obs::allCategories);
+
+    EXPECT_TRUE(obs::parseTraceCategories("mem,trap", mask, err));
+    EXPECT_EQ(mask, static_cast<std::uint32_t>(Cat::Mem) |
+                        static_cast<std::uint32_t>(Cat::Trap));
+
+    // Every advertised name round-trips through the parser.
+    for (Cat c : {Cat::Fetch, Cat::Issue, Cat::Grad, Cat::Mem, Cat::Mshr,
+                  Cat::Trap, Cat::Coh}) {
+        EXPECT_TRUE(obs::parseTraceCategories(obs::catName(c), mask, err))
+            << obs::catName(c);
+        EXPECT_EQ(mask, static_cast<std::uint32_t>(c));
+    }
+}
+
+TEST(TraceCategories, RejectsUnknownAndEmpty)
+{
+    std::uint32_t mask = 0;
+    std::string err;
+    EXPECT_FALSE(obs::parseTraceCategories("mem,bogus", mask, err));
+    EXPECT_NE(err.find("bogus"), std::string::npos);
+
+    err.clear();
+    EXPECT_FALSE(obs::parseTraceCategories("", mask, err));
+    EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------------
+// The sink itself.
+
+TEST(TraceSinkTest, FiltersByCategoryMask)
+{
+    TraceSink sink;
+    EXPECT_FALSE(sink.enabled());
+    sink.enable(static_cast<std::uint32_t>(Cat::Mem));
+    EXPECT_TRUE(sink.enabled());
+    EXPECT_TRUE(sink.wants(Cat::Mem));
+    EXPECT_FALSE(sink.wants(Cat::Trap));
+
+    sink.record(10, Cat::Mem, "miss", 0x40);
+    sink.record(11, Cat::Trap, "trap-enter", 0x41);  // filtered out
+    EXPECT_EQ(sink.size(), 1u);
+    EXPECT_EQ(sink.dropped(), 0u);  // filtered != dropped
+    EXPECT_EQ(sink.events()[0].cycle, 10u);
+    EXPECT_EQ(sink.events()[0].pc, 0x40u);
+}
+
+TEST(TraceSinkTest, CapacityCapsAndCountsDrops)
+{
+    TraceSink sink;
+    sink.enable(obs::allCategories);
+    sink.setCapacity(2);
+    sink.record(1, Cat::Mem, "a");
+    sink.record(2, Cat::Mem, "b");
+    sink.record(3, Cat::Mem, "c");
+    sink.record(4, Cat::Mem, "d");
+    EXPECT_EQ(sink.size(), 2u);
+    EXPECT_EQ(sink.dropped(), 2u);
+
+    sink.clear();
+    EXPECT_EQ(sink.size(), 0u);
+    EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(TraceSinkTest, MacroToleratesNullSink)
+{
+    TraceSink *none = nullptr;
+    IMO_TRACE(none, 1, Cat::Mem, "nothing");  // must not crash
+
+    TraceSink sink;
+    sink.enable(static_cast<std::uint32_t>(Cat::Trap));
+    IMO_TRACE(&sink, 5, Cat::Trap, "trap-enter", 0x10, 2, 3, 7);
+#if defined(IMO_TRACING_DISABLED)
+    EXPECT_EQ(sink.size(), 0u);
+#else
+    ASSERT_EQ(sink.size(), 1u);
+    EXPECT_EQ(sink.events()[0].dur, 7u);
+    EXPECT_EQ(sink.events()[0].a1, 3u);
+#endif
+}
+
+TEST(TraceSinkTest, JsonlIsOneValidObjectPerLine)
+{
+    TraceSink sink;
+    sink.enable(obs::allCategories);
+    sink.record(3, Cat::Mem, "miss \"x\"", 0x80, 1, 2);
+    sink.record(9, Cat::Trap, "trap-enter", 0x84, 0, 0, 12);
+
+    std::ostringstream os;
+    sink.writeJsonl(os);
+    std::istringstream lines(os.str());
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(lines, line)) {
+        EXPECT_TRUE(validJson(line)) << line;
+        ++n;
+    }
+    EXPECT_EQ(n, 2u);
+    EXPECT_NE(os.str().find("\"dur\":12"), std::string::npos);
+    EXPECT_NE(os.str().find("\\\"x\\\""), std::string::npos);
+}
+
+TEST(TraceSinkTest, ChromeTraceIsValidJson)
+{
+    TraceSink sink;
+    sink.enable(obs::allCategories);
+    sink.record(3, Cat::Mem, "miss", 0x80);          // instant
+    sink.record(9, Cat::Mshr, "residency", 0, 4, 0, 25);  // span
+
+    std::ostringstream os;
+    sink.writeChromeTrace(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(validJson(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":25"), std::string::npos);
+}
+
+TEST(TraceSinkTest, EmptyChromeTraceIsValidJson)
+{
+    TraceSink sink;
+    std::ostringstream os;
+    sink.writeChromeTrace(os);
+    EXPECT_TRUE(validJson(os.str())) << os.str();
+}
+
+// ---------------------------------------------------------------------
+// The per-PC miss profiler.
+
+TEST(PcProfilerTest, AggregatesPerPc)
+{
+    PcProfiler p;
+    EXPECT_TRUE(p.empty());
+    p.noteMiss(0x10, false, 6, false);
+    p.noteMiss(0x10, true, 60, true);
+    p.noteMiss(0x20, false, 6, true);
+    p.noteStall(0x10, 5);
+    p.noteStall(0x10, 0);   // no-op
+    p.noteStall(0x30, 0);   // must not create an entry
+
+    const PcProfiler::Entry *e = p.lookup(0x10);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->misses, 2u);
+    EXPECT_EQ(e->trappedMisses, 1u);
+    EXPECT_EQ(e->memMisses, 1u);
+    EXPECT_EQ(e->stallSlots, 5u);
+    EXPECT_EQ(e->latencySum, 66u);
+    EXPECT_DOUBLE_EQ(e->avgLatency(), 33.0);
+
+    EXPECT_EQ(p.lookup(0x30), nullptr);
+    EXPECT_EQ(p.lookup(0x99), nullptr);
+    EXPECT_EQ(p.totalMisses(), 3u);
+    EXPECT_EQ(p.totalTrappedMisses(), 2u);
+    EXPECT_EQ(p.table().size(), 2u);
+
+    p.clear();
+    EXPECT_TRUE(p.empty());
+}
+
+TEST(PcProfilerTest, ReportSortsByMissCount)
+{
+    PcProfiler p;
+    p.noteMiss(7, false, 1, false);
+    for (int i = 0; i < 3; ++i)
+        p.noteMiss(42, false, 10, true);
+    const std::string rep = p.report(1);
+    EXPECT_NE(rep.find("top 1 of 2"), std::string::npos);
+    EXPECT_NE(rep.find("42"), std::string::npos);
+    // Header, column header, and exactly one row survive top_n = 1.
+    EXPECT_EQ(std::count(rep.begin(), rep.end(), '\n'), 3);
+}
+
+// ---------------------------------------------------------------------
+// Stats and trace capture through simulate().
+
+workloads::WorkloadParams
+tinyParams()
+{
+    return workloads::WorkloadParams{.scale = 0.08, .seed = 3};
+}
+
+TEST(ObserverCapture, SimulateFillsStatsTextAndJson)
+{
+    const auto prog = core::instrument(
+        workloads::build("compress", tinyParams()),
+        core::InformingMode::TrapSingle, {.length = 6});
+    Observer observer;
+    pipeline::MachineConfig cfg = pipeline::makeInOrderConfig();
+    cfg.obs = &observer;
+    const pipeline::RunResult r = pipeline::simulate(prog, cfg);
+    ASSERT_TRUE(r.ok) << r.error.format();
+
+    EXPECT_FALSE(observer.statsText.empty());
+    EXPECT_NE(observer.statsText.find("sim.cpu.cycles"),
+              std::string::npos);
+    EXPECT_NE(observer.statsText.find("sim.exec."), std::string::npos);
+    EXPECT_TRUE(validJson(observer.statsJson)) << observer.statsJson;
+
+    // The registry-derived result and the JSON agree on headline
+    // numbers.
+    EXPECT_NE(observer.statsJson.find(
+                  "\"cycles\":" + std::to_string(r.cycles)),
+              std::string::npos);
+
+    // The profiler saw the misses the timing model reported.
+    EXPECT_FALSE(observer.profiler.empty());
+    EXPECT_EQ(observer.profiler.totalMisses(), r.l1Misses);
+    EXPECT_EQ(observer.profiler.totalTrappedMisses(), r.traps);
+}
+
+TEST(ObserverCapture, SimulateRecordsOnlyRequestedCategories)
+{
+    const auto prog = core::instrument(
+        workloads::build("compress", tinyParams()),
+        core::InformingMode::TrapSingle, {.length = 6});
+    Observer observer;
+    observer.trace.enable(static_cast<std::uint32_t>(Cat::Mem) |
+                          static_cast<std::uint32_t>(Cat::Trap));
+    pipeline::MachineConfig cfg = pipeline::makeOutOfOrderConfig();
+    cfg.obs = &observer;
+    const pipeline::RunResult r = pipeline::simulate(prog, cfg);
+    ASSERT_TRUE(r.ok) << r.error.format();
+
+#if !defined(IMO_TRACING_DISABLED)
+    ASSERT_GT(observer.trace.size(), 0u);
+    bool saw_mem = false, saw_trap = false;
+    for (const obs::TraceEvent &e : observer.trace.events()) {
+        EXPECT_TRUE(e.cat == Cat::Mem || e.cat == Cat::Trap)
+            << static_cast<std::uint32_t>(e.cat);
+        saw_mem = saw_mem || e.cat == Cat::Mem;
+        saw_trap = saw_trap || e.cat == Cat::Trap;
+    }
+    EXPECT_TRUE(saw_mem);
+    EXPECT_TRUE(saw_trap);
+
+    std::ostringstream os;
+    observer.trace.writeChromeTrace(os);
+    EXPECT_TRUE(validJson(os.str()));
+#endif
+}
+
+// ---------------------------------------------------------------------
+// Coherence machine observability.
+
+TEST(ObserverCapture, CoherenceMachineTracesAndRegistersStats)
+{
+    coherence::CoherenceParams params;
+    params.processors = 2;
+    coherence::ParallelWorkload wl;
+    wl.name = "obs-test";
+    // Cross-invalidating shared writes force protocol work.
+    std::vector<coherence::TraceItem> p0, p1;
+    for (int i = 0; i < 8; ++i) {
+        p0.push_back({coherence::TraceItem::Kind::Ref, 0x100, true,
+                      true, 0});
+        p1.push_back({coherence::TraceItem::Kind::Ref, 0x100, true,
+                      true, 0});
+    }
+    wl.streams = {std::move(p0), std::move(p1)};
+
+    Observer observer;
+    observer.trace.enable(static_cast<std::uint32_t>(Cat::Coh));
+    coherence::CoherentMachine m(params,
+                                 coherence::AccessMethod::Informing);
+    m.setObserver(&observer);
+    const coherence::CoherenceResult res = m.run(wl);
+    ASSERT_GT(res.protocolEvents, 0u);
+
+#if !defined(IMO_TRACING_DISABLED)
+    ASSERT_GT(observer.trace.size(), 0u);
+    for (const obs::TraceEvent &e : observer.trace.events())
+        EXPECT_EQ(e.cat, Cat::Coh);
+#endif
+
+    stats::StatGroup root("sim");
+    m.registerStats(root);
+    std::ostringstream text, json;
+    root.dump(text);
+    root.dumpJson(json);
+    EXPECT_NE(text.str().find("sim.coherence.protocol_events"),
+              std::string::npos);
+    EXPECT_TRUE(validJson(json.str())) << json.str();
+    EXPECT_NE(json.str().find("\"protocol_events\":" +
+                              std::to_string(res.protocolEvents)),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Flagship: the handler-collected per-PC miss profile equals the
+// simulator-side profile exactly (paper §4.1.1). Both CPU models.
+
+class HandlerProfileCheck : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(HandlerProfileCheck, MatchesSimulatorProfilerExactly)
+{
+    const auto base = workloads::build("compress", tinyParams());
+    const core::MissProfilerProgram mpp =
+        core::instrumentWithMissProfiler(base);
+
+    // Every possible trap return address (missed pc + 1) must own a
+    // unique table slot, or the comparison below would be lossy.
+    std::set<Addr> slots;
+    for (InstAddr pc = 0; pc < mpp.program.size(); ++pc) {
+        if (!isa::isDataRef(mpp.program.insts()[pc].op))
+            continue;
+        EXPECT_TRUE(slots.insert(mpp.slotAddr(pc)).second)
+            << "slot collision at pc " << pc;
+    }
+
+    pipeline::MachineConfig cfg = GetParam()
+        ? pipeline::makeOutOfOrderConfig()
+        : pipeline::makeInOrderConfig();
+    Observer observer;
+    cfg.obs = &observer;
+
+    // Drive the executor and the timing model directly so the
+    // functional data memory (holding the handler's counter table)
+    // stays accessible after the run.
+    func::Executor exec(mpp.program,
+                        func::Executor::Config{
+                            .l1 = cfg.l1,
+                            .l2 = cfg.l2,
+                            .maxInstructions = cfg.maxInstructions});
+    pipeline::RunResult r;
+    if (cfg.outOfOrder) {
+        pipeline::OooCpu cpu(cfg);
+        r = cpu.run(exec);
+    } else {
+        pipeline::InOrderCpu cpu(cfg);
+        r = cpu.run(exec);
+    }
+    ASSERT_GT(exec.stats().handlerInstructions, 0u)
+        << "profiler handler never ran";
+    ASSERT_FALSE(observer.profiler.empty());
+    ASSERT_GT(observer.profiler.totalTrappedMisses(), 0u);
+    EXPECT_EQ(observer.profiler.totalTrappedMisses(), r.traps);
+
+    // Per PC: the counter the handler maintained in simulated memory
+    // equals the trap count the timing model attributed to that PC.
+    for (const auto &[pc, entry] : observer.profiler.table()) {
+        if (entry.trappedMisses == 0)
+            continue;
+        EXPECT_EQ(exec.mem().read64(mpp.slotAddr(pc)),
+                  entry.trappedMisses)
+            << "handler and profiler disagree at pc " << pc;
+    }
+
+    // And globally: the table holds nothing else — its grand total is
+    // exactly the number of dispatched traps.
+    std::uint64_t table_total = 0;
+    for (std::uint64_t slot = 0; slot < mpp.slots(); ++slot)
+        table_total += exec.mem().read64(mpp.tableBase + slot * 8);
+    EXPECT_EQ(table_total, observer.profiler.totalTrappedMisses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, HandlerProfileCheck, ::testing::Bool());
+
+} // namespace

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * The statistics package: counters, averages with min/max tracking,
+ * fixed-bucket histograms with overflow, pull-based values, group
+ * nesting/adoption, deterministic text dumps, JSON emission, and
+ * checkpoint round trips with layout-drift detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/checkpoint.hh"
+#include "common/error.hh"
+#include "common/stats.hh"
+#include "json_helpers.hh"
+
+namespace
+{
+
+using namespace imo;
+using namespace imo::stats;
+using imo::testhelpers::validJson;
+
+// ---------------------------------------------------------------------
+// Scalar stats.
+
+TEST(StatsCounter, AccumulatesAndResets)
+{
+    StatGroup g("g");
+    Counter &c = g.make<Counter>("c", "a counter");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.set(7);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(StatsAverage, TracksMeanMinMax)
+{
+    StatGroup g("g");
+    Average &a = g.make<Average>("a", "an average");
+
+    // Empty: everything reads zero, not garbage.
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+
+    a.sample(5.0);
+    a.sample(-3.0);
+    a.sample(10.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(StatsAverage, FirstSampleSeedsMinMax)
+{
+    // A lone negative sample must become both min and max; a stale
+    // zero-initialized max would otherwise win the comparison.
+    StatGroup g("g");
+    Average &a = g.make<Average>("a", "");
+    a.sample(-7.0);
+    EXPECT_DOUBLE_EQ(a.min(), -7.0);
+    EXPECT_DOUBLE_EQ(a.max(), -7.0);
+
+    // Same hazard after a reset.
+    a.reset();
+    a.sample(-2.5);
+    EXPECT_DOUBLE_EQ(a.min(), -2.5);
+    EXPECT_DOUBLE_EQ(a.max(), -2.5);
+}
+
+TEST(StatsHistogram, BucketsAndOverflow)
+{
+    StatGroup g("g");
+    Histogram &h = g.make<Histogram>("h", "latency", 4, 4);
+
+    h.sample(0);
+    h.sample(3);    // [0,4)
+    h.sample(4);    // [4,8)
+    h.sample(15);   // [12,16)
+    h.sample(16);   // first value past the top bucket
+    h.sample(1000); // far past
+    EXPECT_EQ(h.buckets(), 4u);
+    EXPECT_EQ(h.bucketWidth(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflowCount(), 2u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 3 + 4 + 15 + 16 + 1000) / 6.0);
+
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+    for (std::size_t i = 0; i < h.buckets(); ++i)
+        EXPECT_EQ(h.bucketCount(i), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(StatsHistogram, NonPowerOfTwoWidthUsesDivision)
+{
+    // Power-of-two widths take a shift fast path; this pins the
+    // general-division path to the same bucketing semantics.
+    StatGroup g("g");
+    Histogram &h = g.make<Histogram>("h", "", 3, 10);
+    h.sample(9);
+    h.sample(10);
+    h.sample(29);
+    h.sample(30);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+}
+
+TEST(StatsHistogram, DumpShowsOccupiedBucketsOnly)
+{
+    StatGroup g("g");
+    Histogram &h = g.make<Histogram>("h", "d", 4, 8);
+    h.sample(1);
+    h.sample(30);
+    h.sample(99);
+
+    std::ostringstream os;
+    g.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("[0,8) 1"), std::string::npos);
+    EXPECT_NE(text.find("[24,32) 1"), std::string::npos);
+    EXPECT_NE(text.find("overflow 1"), std::string::npos);
+    // Empty buckets are suppressed.
+    EXPECT_EQ(text.find("[8,16)"), std::string::npos);
+}
+
+TEST(StatsPull, ValueAndDerivedReadLive)
+{
+    std::uint64_t n = 3;
+    StatGroup g("g");
+    Value &v = g.make<Value>("v", "live", [&n] { return n; });
+    Derived &d = g.make<Derived>("d", "half",
+                                 [&n] { return n / 2.0; });
+    EXPECT_EQ(v.value(), 3u);
+    EXPECT_DOUBLE_EQ(d.value(), 1.5);
+    n = 10;
+    EXPECT_EQ(v.value(), 10u);
+    EXPECT_DOUBLE_EQ(d.value(), 5.0);
+}
+
+// ---------------------------------------------------------------------
+// Groups: nesting, adoption, deterministic dumps.
+
+TEST(StatsGroup, NestedDumpUsesDottedPrefix)
+{
+    StatGroup root("sim");
+    StatGroup &cpu = root.childGroup("cpu");
+    Counter &c = cpu.make<Counter>("cycles", "total cycles");
+    c += 99;
+
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("sim.cpu.cycles 99"), std::string::npos);
+}
+
+TEST(StatsGroup, DumpIsDeterministic)
+{
+    StatGroup root("r");
+    Counter &c = root.make<Counter>("c", "");
+    c += 5;
+    Average &a = root.make<Average>("a", "");
+    a.sample(2.0);
+    StatGroup &sub = root.childGroup("sub");
+    Histogram &h = sub.make<Histogram>("h", "", 2, 10);
+    h.sample(3);
+
+    std::ostringstream t1, t2, j1, j2;
+    root.dump(t1);
+    root.dump(t2);
+    root.dumpJson(j1);
+    root.dumpJson(j2);
+    EXPECT_EQ(t1.str(), t2.str());
+    EXPECT_EQ(j1.str(), j2.str());
+    EXPECT_FALSE(t1.str().empty());
+}
+
+TEST(StatsGroup, AdoptionExposesWithoutMutating)
+{
+    // The component pattern: push stats live parentless inside a
+    // component; transient report roots adopt them at capture time.
+    Counter owned("hits", "cache hits");
+    owned += 12;
+
+    StatGroup report1("sim");
+    report1.adopt(owned);
+    std::ostringstream os1;
+    report1.dump(os1);
+    EXPECT_NE(os1.str().find("sim.hits 12"), std::string::npos);
+
+    // A second capture sees the same stat, value intact.
+    StatGroup report2("sim");
+    report2.adopt(owned);
+    std::ostringstream os2;
+    report2.dump(os2);
+    EXPECT_EQ(os1.str(), os2.str());
+    EXPECT_EQ(owned.value(), 12u);
+}
+
+TEST(StatsGroup, AdoptChildGraftsSubtree)
+{
+    StatGroup component("mshr");
+    Counter &c = component.make<Counter>("allocs", "");
+    c += 4;
+
+    StatGroup root("sim");
+    root.adoptChild(component);
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("sim.mshr.allocs 4"), std::string::npos);
+}
+
+TEST(StatsGroup, ResetAllWalksTheSubtree)
+{
+    StatGroup root("r");
+    Counter &c = root.make<Counter>("c", "");
+    c += 5;
+    StatGroup &sub = root.childGroup("sub");
+    Histogram &h = sub.make<Histogram>("h", "", 2, 1);
+    h.sample(0);
+
+    root.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.total(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// JSON emission.
+
+TEST(StatsJson, EscapeCoversControlAndQuoting)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string("x\x01y")), "x\\u0001y");
+    EXPECT_EQ(jsonEscape("\b\f\r"), "\\b\\f\\r");
+}
+
+TEST(StatsJson, NumberDegradesNonFiniteToZero)
+{
+    std::ostringstream os;
+    jsonNumber(os, std::nan(""));
+    os << " ";
+    jsonNumber(os, INFINITY);
+    os << " ";
+    jsonNumber(os, 2.5);
+    EXPECT_EQ(os.str(), "0 0 2.5");
+}
+
+TEST(StatsJson, GroupEmitsValidJson)
+{
+    StatGroup root("sim");
+    Counter &c = root.make<Counter>("count", "");
+    c += 3;
+    Average &a = root.make<Average>("avg", "");
+    a.sample(1.5);
+    a.sample(2.5);
+    Derived &d [[maybe_unused]] = root.make<Derived>(
+        "rate", "", [] { return 0.25; });
+    StatGroup &sub = root.childGroup("mem \"quoted\"");
+    Histogram &h = sub.make<Histogram>("lat", "", 3, 2);
+    h.sample(1);
+    h.sample(7);  // overflow
+
+    std::ostringstream os;
+    root.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(validJson(json)) << json;
+    EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"mean\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"counts\":[1,0,0]"), std::string::npos);
+    EXPECT_NE(json.find("\"overflow\":1"), std::string::npos);
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(StatsJson, EmptyGroupIsAnEmptyObject)
+{
+    StatGroup root("r");
+    std::ostringstream os;
+    root.dumpJson(os);
+    EXPECT_EQ(os.str(), "{}");
+    EXPECT_TRUE(validJson(os.str()));
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing: exact round trips, layout drift is a structured error.
+
+TEST(StatsCheckpoint, RoundTripIsExact)
+{
+    StatGroup src("s");
+    Counter &c = src.make<Counter>("c", "");
+    c += 17;
+    Average &a = src.make<Average>("a", "");
+    a.sample(-1.5);
+    a.sample(4.25);
+    StatGroup &sub = src.childGroup("sub");
+    Histogram &h = sub.make<Histogram>("h", "", 4, 8);
+    h.sample(5);
+    h.sample(100);
+
+    Serializer s;
+    s.beginSection("stats");
+    src.save(s);
+    s.endSection();
+    const std::vector<std::uint8_t> image = s.finish();
+
+    // Restore into a structurally identical but fresh tree.
+    StatGroup dst("s");
+    Counter &c2 = dst.make<Counter>("c", "");
+    Average &a2 = dst.make<Average>("a", "");
+    StatGroup &sub2 = dst.childGroup("sub");
+    Histogram &h2 = sub2.make<Histogram>("h", "", 4, 8);
+
+    Deserializer d(image);
+    d.openSection("stats");
+    dst.restore(d);
+    d.closeSection();
+
+    EXPECT_EQ(c2.value(), 17u);
+    EXPECT_EQ(a2.count(), 2u);
+    EXPECT_DOUBLE_EQ(a2.mean(), a.mean());
+    EXPECT_DOUBLE_EQ(a2.min(), -1.5);
+    EXPECT_DOUBLE_EQ(a2.max(), 4.25);
+    EXPECT_EQ(h2.total(), 2u);
+    EXPECT_EQ(h2.overflowCount(), 1u);
+
+    // The two trees dump byte-identically.
+    std::ostringstream before, after;
+    src.dump(before);
+    dst.dump(after);
+    EXPECT_EQ(before.str(), after.str());
+}
+
+TEST(StatsCheckpoint, StatNameDriftIsRejected)
+{
+    StatGroup src("s");
+    src.make<Counter>("old_name", "");
+
+    Serializer s;
+    s.beginSection("stats");
+    src.save(s);
+    s.endSection();
+    const std::vector<std::uint8_t> image = s.finish();
+
+    StatGroup dst("s");
+    dst.make<Counter>("new_name", "");
+    Deserializer d(image);
+    d.openSection("stats");
+    try {
+        dst.restore(d);
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().code, ErrCode::BadCheckpoint);
+        EXPECT_NE(e.error().message.find("old_name"), std::string::npos);
+    }
+}
+
+TEST(StatsCheckpoint, StatCountDriftIsRejected)
+{
+    StatGroup src("s");
+    src.make<Counter>("a", "");
+    src.make<Counter>("b", "");
+
+    Serializer s;
+    s.beginSection("stats");
+    src.save(s);
+    s.endSection();
+    const std::vector<std::uint8_t> image = s.finish();
+
+    StatGroup dst("s");
+    dst.make<Counter>("a", "");
+    Deserializer d(image);
+    d.openSection("stats");
+    try {
+        dst.restore(d);
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().code, ErrCode::BadCheckpoint);
+    }
+}
+
+TEST(StatsCheckpoint, HistogramGeometryDriftIsRejected)
+{
+    StatGroup src("s");
+    Histogram &h = src.make<Histogram>("h", "", 8, 4);
+    h.sample(3);
+
+    Serializer s;
+    s.beginSection("stats");
+    src.save(s);
+    s.endSection();
+    const std::vector<std::uint8_t> image = s.finish();
+
+    StatGroup dst("s");
+    dst.make<Histogram>("h", "", 16, 4);  // different bucket count
+    Deserializer d(image);
+    d.openSection("stats");
+    try {
+        dst.restore(d);
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().code, ErrCode::BadCheckpoint);
+        EXPECT_NE(e.error().message.find("bucket"), std::string::npos);
+    }
+}
+
+} // namespace

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/error.hh"
+#include "common/logging.hh"
 #include "common/faultinject.hh"
 #include "common/rng.hh"
 #include "core/informing.hh"
@@ -567,6 +568,8 @@ main(int argc, char **argv)
     bool verbose = false;
     bool shrink_demo = false;
 
+    imo::initLogLevelFromEnv();
+
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--iterations" && i + 1 < argc) {
@@ -575,12 +578,15 @@ main(int argc, char **argv)
             seed = static_cast<std::uint64_t>(atoll(argv[++i]));
         } else if (arg == "--verbose") {
             verbose = true;
+            imo::setLogLevel(imo::LogLevel::Info);
+        } else if (arg == "--quiet") {
+            imo::setLogLevel(imo::LogLevel::Quiet);
         } else if (arg == "--shrink-demo") {
             shrink_demo = true;
         } else {
             std::fprintf(stderr,
                          "usage: imo-fuzz [--iterations N] [--seed S] "
-                         "[--verbose] [--shrink-demo]\n");
+                         "[--verbose] [--quiet] [--shrink-demo]\n");
             return 2;
         }
     }

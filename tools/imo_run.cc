@@ -26,10 +26,12 @@
 
 #include "common/error.hh"
 #include "common/faultinject.hh"
+#include "common/logging.hh"
 #include "core/informing.hh"
 #include "isa/asm.hh"
 #include "isa/disasm.hh"
 #include "isa/verify.hh"
+#include "obs/observer.hh"
 #include "pipeline/simulate.hh"
 #include "workloads/suite.hh"
 
@@ -71,7 +73,26 @@ usage()
         "  --checkpoint-in PATH    restore state from PATH before "
         "running\n"
         "  --checkpoint-every N    checkpoint every N retired "
-        "instructions\n");
+        "instructions\n"
+        "  --stats                 print the full stats tree after the "
+        "run\n"
+        "  --stats-json PATH       write the stats tree as JSON to PATH "
+        "('-' for stdout)\n"
+        "  --trace-out PATH        write structured event trace to "
+        "PATH\n"
+        "  --trace-format F        chrome (trace_event JSON, default) "
+        "or jsonl\n"
+        "  --trace-categories CSV  categories to trace (default all): "
+        "fetch,issue,grad,\n"
+        "                          mem,mshr,trap,coh\n"
+        "  --profile               print the per-PC miss profile after "
+        "the run\n"
+        "  --profile-top N         entries shown by --profile "
+        "(default 10)\n"
+        "  --quiet                 suppress warn/info diagnostics "
+        "(also: IMO_LOG=quiet)\n"
+        "  --verbose               full diagnostics (default; also: "
+        "IMO_LOG=info)\n");
     return kExitUsage;
 }
 
@@ -147,6 +168,15 @@ main(int argc, char **argv)
     std::uint64_t max_insts = 0;
     FaultSchedule fault_schedule;
     pipeline::SimulateOptions sim_options;
+    bool want_stats = false;
+    std::string stats_json_path;
+    std::string trace_path;
+    std::string trace_format = "chrome";
+    std::string trace_categories = "all";
+    bool want_profile = false;
+    std::size_t profile_top = 10;
+
+    initLogLevelFromEnv();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -213,6 +243,32 @@ main(int argc, char **argv)
             if (!(val = next())) return usage();
             sim_options.checkpointEvery =
                 static_cast<std::uint64_t>(atoll(val));
+        } else if (arg == "--stats") {
+            want_stats = true;
+        } else if (arg == "--stats-json") {
+            if (!(val = next())) return usage();
+            stats_json_path = val;
+        } else if (arg == "--trace-out") {
+            if (!(val = next())) return usage();
+            trace_path = val;
+        } else if (arg == "--trace-format") {
+            if (!(val = next())) return usage();
+            trace_format = val;
+            if (trace_format != "chrome" && trace_format != "jsonl")
+                return usage();
+        } else if (arg == "--trace-categories") {
+            if (!(val = next())) return usage();
+            trace_categories = val;
+        } else if (arg == "--profile") {
+            want_profile = true;
+        } else if (arg == "--profile-top") {
+            if (!(val = next())) return usage();
+            profile_top = static_cast<std::size_t>(atoll(val));
+            want_profile = true;
+        } else if (arg == "--quiet") {
+            setLogLevel(LogLevel::Quiet);
+        } else if (arg == "--verbose") {
+            setLogLevel(LogLevel::Info);
         } else if (arg == "--dump") {
             dump = true;
         } else if (arg == "--csv") {
@@ -290,6 +346,22 @@ main(int argc, char **argv)
         if (fault_schedule.any())
             machine.faults = &faults;
 
+        obs::Observer observer;
+        const bool want_obs = want_stats || want_profile ||
+            !stats_json_path.empty() || !trace_path.empty();
+        if (!trace_path.empty()) {
+            std::uint32_t mask = 0;
+            std::string why;
+            if (!obs::parseTraceCategories(trace_categories, mask,
+                                           why)) {
+                std::fprintf(stderr, "imo-run: %s\n", why.c_str());
+                return usage();
+            }
+            observer.trace.enable(mask);
+        }
+        if (want_obs)
+            machine.obs = &observer;
+
         // Validate eagerly so input errors are reported before any
         // simulation output; simulate() re-validates defensively.
         machine.validate();
@@ -298,6 +370,34 @@ main(int argc, char **argv)
         func::ExecStats es;
         const pipeline::RunResult r =
             pipeline::simulate(prog, machine, sim_options, &es);
+
+        // Observability outputs are emitted on success and on failure
+        // alike: partial stats and traces are part of a failure report.
+        if (!stats_json_path.empty()) {
+            if (stats_json_path == "-") {
+                std::fputs(observer.statsJson.c_str(), stdout);
+            } else {
+                std::ofstream out(stats_json_path);
+                sim_throw_if(!out, ErrCode::BadConfig, "cannot write %s",
+                             stats_json_path.c_str());
+                out << observer.statsJson;
+            }
+        }
+        if (!trace_path.empty()) {
+            std::ofstream out(trace_path);
+            sim_throw_if(!out, ErrCode::BadConfig, "cannot write %s",
+                         trace_path.c_str());
+            if (trace_format == "chrome")
+                observer.trace.writeChromeTrace(out);
+            else
+                observer.trace.writeJsonl(out);
+            if (observer.trace.dropped()) {
+                warn("trace capacity reached: %llu events dropped",
+                     static_cast<unsigned long long>(
+                         observer.trace.dropped()));
+            }
+        }
+
         if (!r.ok) {
             printError(r.error);
             if (!sim_options.checkpointOut.empty()) {
@@ -372,6 +472,14 @@ main(int argc, char **argv)
         if (!sim_options.checkpointOut.empty())
             std::printf("checkpoint    final state written to %s\n",
                         sim_options.checkpointOut.c_str());
+        if (want_stats) {
+            std::printf("\n");
+            std::fputs(observer.statsText.c_str(), stdout);
+        }
+        if (want_profile) {
+            std::printf("\n%s",
+                        observer.profiler.report(profile_top).c_str());
+        }
         return 0;
     } catch (const SimException &e) {
         printError(e.error());
