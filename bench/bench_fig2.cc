@@ -9,9 +9,37 @@
  * and U (unique handler per static reference) for both handler sizes.
  * Each bar is the execution time normalized to N, decomposed into
  * busy / cache-stall / other-stall graduation slots.
+ *
+ * The grid runs on the sweep engine: every (machine, benchmark, bar)
+ * cell is an isolated simulation dispatched to a worker pool
+ * (IMO_SWEEP_JOBS, default: hardware concurrency), and the table is
+ * printed from the ordered results — output is identical to the
+ * sequential driver for any job count.
  */
 
+#include <cstdlib>
+#include <thread>
+
 #include "harness.hh"
+#include "sweep/engine.hh"
+
+namespace
+{
+
+unsigned
+jobsFromEnv()
+{
+    if (const char *env = std::getenv("IMO_SWEEP_JOBS")) {
+        const unsigned n =
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        if (n)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // anonymous namespace
 
 int
 main()
@@ -27,6 +55,34 @@ main()
     printMachineHeader(ino);
     std::printf("\n");
 
+    // One task per (machine, benchmark, bar) cell, in print order.
+    struct Cell
+    {
+        const pipeline::MachineConfig *machine;
+        const workloads::BenchmarkInfo *bm;
+        const FigConfig *fc;
+    };
+    std::vector<Cell> cells;
+    for (const auto *machine : {&ooo, &ino}) {
+        for (const auto &bm : workloads::suite()) {
+            if (bm.name == "su2cor")
+                continue;  // shown separately (Figure 3)
+            for (const FigConfig &fc : fig2Configs)
+                cells.push_back(Cell{machine, &bm, &fc});
+        }
+    }
+    std::vector<std::function<pipeline::RunResult()>> tasks;
+    tasks.reserve(cells.size());
+    for (const Cell &cell : cells) {
+        tasks.emplace_back([cell] {
+            const isa::Program base = cell.bm->build({});
+            return runConfig(base, *cell.fc, *cell.machine);
+        });
+    }
+    const std::vector<pipeline::RunResult> results =
+        sweep::runOrdered(tasks, jobsFromEnv());
+
+    std::size_t i = 0;
     for (const auto &machine : {ooo, ino}) {
         TextTable table("Figure 2, " + machine.name);
         table.header({"benchmark", "bar", "norm.time", "busy",
@@ -34,18 +90,16 @@ main()
 
         for (const auto &bm : workloads::suite()) {
             if (bm.name == "su2cor")
-                continue;  // shown separately (Figure 3)
-            const isa::Program base = bm.build({});
+                continue;
 
             Cycle baseline = 0;
             for (const FigConfig &fc : fig2Configs) {
-                const pipeline::RunResult r =
-                    runConfig(base, fc, machine);
+                const pipeline::RunResult &r = results[i++];
                 if (fc.mode == core::InformingMode::None)
                     baseline = r.cycles;
-                auto cells = barCells(r, baseline);
-                table.row({bm.name, fc.label, cells[0], cells[1],
-                           cells[2], cells[3],
+                auto bars = barCells(r, baseline);
+                table.row({bm.name, fc.label, bars[0], bars[1],
+                           bars[2], bars[3],
                            std::to_string(r.instructions),
                            std::to_string(r.traps)});
             }

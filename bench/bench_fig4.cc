@@ -3,13 +3,39 @@
  * Figure 4 / Table 2 reproduction: fine-grained access control for
  * parallel programs (section 4.3) — normalized execution time of the
  * three access-control methods on five parallel kernels.
+ *
+ * The (kernel, method) grid runs on the sweep engine's ordered worker
+ * pool (IMO_SWEEP_JOBS, default: hardware concurrency); each cell
+ * constructs its own CoherentMachine, so output is identical to the
+ * sequential driver for any job count.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <thread>
 
 #include "coherence/kernels.hh"
 #include "common/table.hh"
+#include "sweep/engine.hh"
+
+namespace
+{
+
+unsigned
+jobsFromEnv()
+{
+    if (const char *env = std::getenv("IMO_SWEEP_JOBS")) {
+        const unsigned n =
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        if (n)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // anonymous namespace
 
 int
 main()
@@ -49,20 +75,38 @@ main()
                   "hardware*", "events", "shared-misses", "net rounds"});
 
     const KernelParams kp;
+    const std::vector<ParallelWorkload> kernels = makeAllKernels(kp);
+    const AccessMethod methods[] = {AccessMethod::ReferenceCheck,
+                                    AccessMethod::EccFault,
+                                    AccessMethod::Informing,
+                                    AccessMethod::Hardware};
+
+    // One task per (kernel, method) cell; each constructs its own
+    // machine and only reads the shared workload description.
+    std::vector<std::function<CoherenceResult()>> tasks;
+    tasks.reserve(kernels.size() * 4);
+    for (const ParallelWorkload &wl : kernels) {
+        for (const AccessMethod method : methods) {
+            const ParallelWorkload *wlp = &wl;
+            tasks.emplace_back([&cp, method, wlp] {
+                CoherentMachine machine(cp, method);
+                return machine.run(*wlp);
+            });
+        }
+    }
+    const std::vector<CoherenceResult> results =
+        sweep::runOrdered(tasks, jobsFromEnv());
+
     double sum_ref = 0, sum_ecc = 0;
     int apps = 0;
-    for (const auto &wl : makeAllKernels(kp)) {
+    std::size_t idx = 0;
+    for (const auto &wl : kernels) {
         Cycle t[4] = {0, 0, 0, 0};
         CoherenceResult last;
-        int i = 0;
-        for (auto method : {AccessMethod::ReferenceCheck,
-                            AccessMethod::EccFault,
-                            AccessMethod::Informing,
-                            AccessMethod::Hardware}) {
-            CoherentMachine machine(cp, method);
-            const CoherenceResult r = machine.run(wl);
-            t[i++] = r.execTime;
-            if (method == AccessMethod::Informing)
+        for (int i = 0; i < 4; ++i) {
+            const CoherenceResult &r = results[idx++];
+            t[i] = r.execTime;
+            if (methods[i] == AccessMethod::Informing)
                 last = r;
         }
         const double ref_n = static_cast<double>(t[0]) / t[2];

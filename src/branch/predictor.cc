@@ -14,38 +14,6 @@ TwoBitPredictor::TwoBitPredictor(std::uint32_t entries)
                  "predictor table size must be a power of two");
 }
 
-bool
-TwoBitPredictor::predict(InstAddr pc) const
-{
-    return _counters[index(pc)] >= 2;
-}
-
-void
-TwoBitPredictor::update(InstAddr pc, bool taken)
-{
-    std::uint8_t &ctr = _counters[index(pc)];
-    if (taken) {
-        if (ctr < 3)
-            ++ctr;
-    } else {
-        if (ctr > 0)
-            --ctr;
-    }
-}
-
-bool
-TwoBitPredictor::predictAndUpdate(InstAddr pc, bool taken)
-{
-    ++_lookups;
-    const bool predicted = predict(pc);
-    update(pc, taken);
-    if (predicted != taken) {
-        ++_mispredicts;
-        return false;
-    }
-    return true;
-}
-
 GsharePredictor::GsharePredictor(std::uint32_t entries,
                                  std::uint32_t history_bits)
     : _counters(entries, 1), _mask(entries - 1),
@@ -57,39 +25,6 @@ GsharePredictor::GsharePredictor(std::uint32_t entries,
     sim_throw_if(history_bits == 0 || history_bits > 20,
                  ErrCode::BadConfig,
                  "unreasonable gshare history length");
-}
-
-bool
-GsharePredictor::predict(InstAddr pc) const
-{
-    return _counters[index(pc)] >= 2;
-}
-
-void
-GsharePredictor::update(InstAddr pc, bool taken)
-{
-    std::uint8_t &ctr = _counters[index(pc)];
-    if (taken) {
-        if (ctr < 3)
-            ++ctr;
-    } else {
-        if (ctr > 0)
-            --ctr;
-    }
-    _history = ((_history << 1) | (taken ? 1 : 0)) & _historyMask;
-}
-
-bool
-GsharePredictor::predictAndUpdate(InstAddr pc, bool taken)
-{
-    ++_lookups;
-    const bool predicted = predict(pc);
-    update(pc, taken);
-    if (predicted != taken) {
-        ++_mispredicts;
-        return false;
-    }
-    return true;
 }
 
 Btb::Btb(std::uint32_t entries) : _entries(entries), _mask(entries - 1)

@@ -32,10 +32,21 @@ class TwoBitPredictor
     explicit TwoBitPredictor(std::uint32_t entries = 2048);
 
     /** @return the predicted direction for the branch at @p pc. */
-    bool predict(InstAddr pc) const;
+    bool predict(InstAddr pc) const { return _counters[index(pc)] >= 2; }
 
     /** Train with the resolved direction. */
-    void update(InstAddr pc, bool taken);
+    void
+    update(InstAddr pc, bool taken)
+    {
+        std::uint8_t &ctr = _counters[index(pc)];
+        if (taken) {
+            if (ctr < 3)
+                ++ctr;
+        } else {
+            if (ctr > 0)
+                --ctr;
+        }
+    }
 
     // Statistics.
     std::uint64_t lookups() const { return _lookups; }
@@ -50,10 +61,22 @@ class TwoBitPredictor
     }
 
     /**
-     * Convenience: predict and update in one step.
+     * Convenience: predict and update in one step (once per conditional
+     * branch on the timing hot path, hence inline).
      * @return true if the prediction matched @p taken.
      */
-    bool predictAndUpdate(InstAddr pc, bool taken);
+    bool
+    predictAndUpdate(InstAddr pc, bool taken)
+    {
+        ++_lookups;
+        const bool predicted = predict(pc);
+        update(pc, taken);
+        if (predicted != taken) {
+            ++_mispredicts;
+            return false;
+        }
+        return true;
+    }
 
     /** Expose lookup/mispredict stats under @p parent. */
     void registerStats(stats::StatGroup &parent, const std::string &name);
@@ -83,9 +106,34 @@ class GsharePredictor
     explicit GsharePredictor(std::uint32_t entries = 2048,
                              std::uint32_t history_bits = 8);
 
-    bool predict(InstAddr pc) const;
-    void update(InstAddr pc, bool taken);
-    bool predictAndUpdate(InstAddr pc, bool taken);
+    bool predict(InstAddr pc) const { return _counters[index(pc)] >= 2; }
+
+    void
+    update(InstAddr pc, bool taken)
+    {
+        std::uint8_t &ctr = _counters[index(pc)];
+        if (taken) {
+            if (ctr < 3)
+                ++ctr;
+        } else {
+            if (ctr > 0)
+                --ctr;
+        }
+        _history = ((_history << 1) | (taken ? 1 : 0)) & _historyMask;
+    }
+
+    bool
+    predictAndUpdate(InstAddr pc, bool taken)
+    {
+        ++_lookups;
+        const bool predicted = predict(pc);
+        update(pc, taken);
+        if (predicted != taken) {
+            ++_mispredicts;
+            return false;
+        }
+        return true;
+    }
 
     std::uint64_t lookups() const { return _lookups; }
     std::uint64_t mispredicts() const { return _mispredicts; }

@@ -51,7 +51,10 @@ class DiagRing
         e.tag = tag;
         e.pc = pc;
         e.arg = arg;
-        _next = (_next + 1) % _events.size();
+        // Wrap with a compare instead of a per-push modulo; this sits
+        // on the per-instruction hot path of both CPU models.
+        if (++_next == _events.size())
+            _next = 0;
         ++_recorded;
     }
 

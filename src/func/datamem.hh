@@ -34,9 +34,15 @@ class DataMemory
         sim_throw_if(addr & 7, ErrCode::BadProgram,
                      "unaligned 64-bit read at %#llx",
                      static_cast<unsigned long long>(addr));
-        auto it = _pages.find(pageOf(addr));
+        const Addr pg = pageOf(addr);
+        if (pg == _cachedPage) [[likely]]
+            return (*_cachedWords)[wordInPage(addr)];
+        auto it = _pages.find(pg);
         if (it == _pages.end())
             return 0;
+        _cachedPage = pg;
+        // The map itself is non-const; only this accessor is const.
+        _cachedWords = const_cast<std::vector<std::uint64_t> *>(&it->second);
         return it->second[wordInPage(addr)];
     }
 
@@ -46,7 +52,15 @@ class DataMemory
         sim_throw_if(addr & 7, ErrCode::BadProgram,
                      "unaligned 64-bit write at %#llx",
                      static_cast<unsigned long long>(addr));
-        page(addr)[wordInPage(addr)] = value;
+        const Addr pg = pageOf(addr);
+        if (pg == _cachedPage) [[likely]] {
+            (*_cachedWords)[wordInPage(addr)] = value;
+            return;
+        }
+        std::vector<std::uint64_t> &words = page(addr);
+        _cachedPage = pg;
+        _cachedWords = &words;
+        words[wordInPage(addr)] = value;
     }
 
     /** @return number of resident pages (for tests). */
@@ -75,6 +89,8 @@ class DataMemory
     restore(Deserializer &d)
     {
         _pages.clear();
+        _cachedPage = kNoPage;
+        _cachedWords = nullptr;
         const std::uint64_t count = d.u64();
         for (std::uint64_t i = 0; i < count; ++i) {
             const Addr page = d.u64();
@@ -107,6 +123,15 @@ class DataMemory
     }
 
     std::unordered_map<Addr, std::vector<std::uint64_t>> _pages;
+
+    // One-entry page cache: spatial locality makes consecutive
+    // references overwhelmingly land on the same page, turning the
+    // per-reference hash lookup into a compare. Pointers to mapped
+    // values stay valid across rehashes, so only restore() (which
+    // clears the map) needs to drop the cache.
+    static constexpr Addr kNoPage = ~static_cast<Addr>(0);
+    mutable Addr _cachedPage = kNoPage;
+    mutable std::vector<std::uint64_t> *_cachedWords = nullptr;
 };
 
 } // namespace imo::func

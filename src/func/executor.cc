@@ -78,9 +78,15 @@ Executor::next(TraceRecord &out)
     const InstAddr pc = _state.pc;
     const isa::Instruction &in = _program.inst(pc);
 
-    out = TraceRecord{};
+    // Reset the scalar fields individually: value-initializing the
+    // whole record would zero the embedded Instruction only to copy
+    // over it on the next line, and this runs once per instruction.
     out.inst = in;
     out.pc = pc;
+    out.addr = 0;
+    out.level = MemLevel::L1;
+    out.taken = false;
+    out.trapped = false;
     out.handlerCode = _inHandler;
 
     InstAddr next_pc = pc + 1;

@@ -70,14 +70,63 @@ struct SrcRegs
     std::uint8_t count = 0;
 };
 
-/** @return the register sources actually read by @p inst. */
-SrcRegs srcRegs(const Instruction &inst);
+/** @return the register sources actually read by @p inst. Inline: the
+ *  wakeup logic of both timing models calls this once per instruction. */
+inline SrcRegs
+srcRegs(const Instruction &inst)
+{
+    SrcRegs out;
+    auto add = [&out](std::uint8_t r) { out.reg[out.count++] = r; };
+
+    switch (inst.op) {
+      case Op::ADD: case Op::SUB: case Op::MUL: case Op::DIV:
+      case Op::AND: case Op::OR: case Op::XOR: case Op::SLT:
+      case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FDIV:
+      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+      case Op::ST: case Op::FST:
+        add(inst.rs1);
+        add(inst.rs2);
+        break;
+      case Op::ADDI: case Op::ANDI: case Op::SLL: case Op::SRL:
+      case Op::SLTI: case Op::FSQRT: case Op::FMOV: case Op::CVTIF:
+      case Op::CVTFI: case Op::LD: case Op::FLD: case Op::PREFETCH:
+      case Op::JR: case Op::SETMHARR: case Op::SETMHRR:
+        add(inst.rs1);
+        break;
+      default:
+        break;
+    }
+
+    // Reads of the hardwired integer zero register carry no dependence.
+    SrcRegs filtered;
+    for (std::uint8_t i = 0; i < out.count; ++i) {
+        if (out.reg[i] != intReg(0))
+            filtered.reg[filtered.count++] = out.reg[i];
+    }
+    return filtered;
+}
 
 /**
  * @return the unified destination register written by @p inst, or -1 if
  * it writes none. Writes to integer r0 are reported as no destination.
  */
-int dstReg(const Instruction &inst);
+inline int
+dstReg(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Op::ADD: case Op::ADDI: case Op::SUB: case Op::MUL:
+      case Op::DIV: case Op::AND: case Op::ANDI: case Op::OR:
+      case Op::XOR: case Op::SLL: case Op::SRL: case Op::SLT:
+      case Op::SLTI: case Op::LI: case Op::CVTFI: case Op::LD:
+      case Op::GETMHRR: case Op::JAL:
+        return inst.rd == intReg(0) ? -1 : inst.rd;
+      case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FDIV:
+      case Op::FSQRT: case Op::FMOV: case Op::CVTIF: case Op::FLD:
+        return inst.rd;
+      default:
+        return -1;
+    }
+}
 
 } // namespace imo::isa
 

@@ -1,50 +1,7 @@
 #include "isa/op.hh"
 
-#include "common/logging.hh"
-
 namespace imo::isa
 {
-
-OpClass
-opClass(Op op)
-{
-    switch (op) {
-      case Op::ADD: case Op::ADDI: case Op::SUB: case Op::AND:
-      case Op::ANDI: case Op::OR: case Op::XOR: case Op::SLL:
-      case Op::SRL: case Op::SLT: case Op::SLTI: case Op::LI:
-      case Op::CVTFI:
-      case Op::SETMHAR: case Op::SETMHARR: case Op::GETMHRR:
-      case Op::SETMHRR: case Op::SETMHARPC: case Op::SETMHLVL:
-        return OpClass::IntAlu;
-      case Op::MUL:
-        return OpClass::IntMul;
-      case Op::DIV:
-        return OpClass::IntDiv;
-      case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FMOV:
-      case Op::CVTIF:
-        return OpClass::FpAlu;
-      case Op::FDIV:
-        return OpClass::FpDiv;
-      case Op::FSQRT:
-        return OpClass::FpSqrt;
-      case Op::LD: case Op::FLD:
-        return OpClass::Load;
-      case Op::ST: case Op::FST:
-        return OpClass::Store;
-      case Op::PREFETCH:
-        return OpClass::Prefetch;
-      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
-      case Op::BRMISS: case Op::BRMISS2:
-        return OpClass::Branch;
-      case Op::J: case Op::JAL: case Op::JR: case Op::RETMH:
-        return OpClass::Jump;
-      case Op::NOP: case Op::HALT:
-        return OpClass::Nop;
-      case Op::NumOps:
-        break;
-    }
-    panic("opClass: bad op %d", static_cast<int>(op));
-}
 
 const char *
 opName(Op op)
@@ -98,66 +55,6 @@ opName(Op op)
       case Op::NumOps: break;
     }
     return "?";
-}
-
-bool
-isDataRef(Op op)
-{
-    return op == Op::LD || op == Op::ST || op == Op::FLD || op == Op::FST;
-}
-
-bool
-isLoad(Op op)
-{
-    return op == Op::LD || op == Op::FLD;
-}
-
-bool
-isStore(Op op)
-{
-    return op == Op::ST || op == Op::FST;
-}
-
-bool
-isControl(Op op)
-{
-    switch (opClass(op)) {
-      case OpClass::Branch:
-      case OpClass::Jump:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isCondBranch(Op op)
-{
-    return opClass(op) == OpClass::Branch;
-}
-
-bool
-readsFpSources(Op op)
-{
-    switch (op) {
-      case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FDIV:
-      case Op::FSQRT: case Op::FMOV: case Op::CVTFI: case Op::FST:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-writesFp(Op op)
-{
-    switch (op) {
-      case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FDIV:
-      case Op::FSQRT: case Op::FMOV: case Op::CVTIF: case Op::FLD:
-        return true;
-      default:
-        return false;
-    }
 }
 
 } // namespace imo::isa

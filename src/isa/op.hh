@@ -19,6 +19,8 @@
 
 #include <cstdint>
 
+#include "common/logging.hh"
+
 namespace imo::isa
 {
 
@@ -107,32 +109,122 @@ enum class OpClass : std::uint8_t
     NumClasses
 };
 
+// The classification helpers below run several times per simulated
+// instruction in both timing models; they are defined inline so the
+// per-instruction loop never pays a cross-TU call for them. opName()
+// (cold, formatting only) stays out of line in op.cc.
+
 /** @return the functional-unit class of @p op. */
-OpClass opClass(Op op);
+inline OpClass
+opClass(Op op)
+{
+    switch (op) {
+      case Op::ADD: case Op::ADDI: case Op::SUB: case Op::AND:
+      case Op::ANDI: case Op::OR: case Op::XOR: case Op::SLL:
+      case Op::SRL: case Op::SLT: case Op::SLTI: case Op::LI:
+      case Op::CVTFI:
+      case Op::SETMHAR: case Op::SETMHARR: case Op::GETMHRR:
+      case Op::SETMHRR: case Op::SETMHARPC: case Op::SETMHLVL:
+        return OpClass::IntAlu;
+      case Op::MUL:
+        return OpClass::IntMul;
+      case Op::DIV:
+        return OpClass::IntDiv;
+      case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FMOV:
+      case Op::CVTIF:
+        return OpClass::FpAlu;
+      case Op::FDIV:
+        return OpClass::FpDiv;
+      case Op::FSQRT:
+        return OpClass::FpSqrt;
+      case Op::LD: case Op::FLD:
+        return OpClass::Load;
+      case Op::ST: case Op::FST:
+        return OpClass::Store;
+      case Op::PREFETCH:
+        return OpClass::Prefetch;
+      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+      case Op::BRMISS: case Op::BRMISS2:
+        return OpClass::Branch;
+      case Op::J: case Op::JAL: case Op::JR: case Op::RETMH:
+        return OpClass::Jump;
+      case Op::NOP: case Op::HALT:
+        return OpClass::Nop;
+      case Op::NumOps:
+        break;
+    }
+    panic("opClass: bad op %d", static_cast<int>(op));
+}
 
 /** @return the mnemonic for @p op. */
 const char *opName(Op op);
 
 /** @return true for LD/ST/FLD/FST (PREFETCH excluded: it cannot trap). */
-bool isDataRef(Op op);
+inline bool
+isDataRef(Op op)
+{
+    return op == Op::LD || op == Op::ST || op == Op::FLD || op == Op::FST;
+}
 
 /** @return true for loads (LD/FLD). */
-bool isLoad(Op op);
+inline bool
+isLoad(Op op)
+{
+    return op == Op::LD || op == Op::FLD;
+}
 
 /** @return true for stores (ST/FST). */
-bool isStore(Op op);
+inline bool
+isStore(Op op)
+{
+    return op == Op::ST || op == Op::FST;
+}
 
 /** @return true for any op that may redirect the PC. */
-bool isControl(Op op);
+inline bool
+isControl(Op op)
+{
+    switch (opClass(op)) {
+      case OpClass::Branch:
+      case OpClass::Jump:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** @return true for conditional branches (outcome not known at decode). */
-bool isCondBranch(Op op);
+inline bool
+isCondBranch(Op op)
+{
+    return opClass(op) == OpClass::Branch;
+}
 
 /** @return true if the op reads the FP register file for its sources. */
-bool readsFpSources(Op op);
+inline bool
+readsFpSources(Op op)
+{
+    switch (op) {
+      case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FDIV:
+      case Op::FSQRT: case Op::FMOV: case Op::CVTFI: case Op::FST:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** @return true if the op writes the FP register file. */
-bool writesFp(Op op);
+inline bool
+writesFp(Op op)
+{
+    switch (op) {
+      case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FDIV:
+      case Op::FSQRT: case Op::FMOV: case Op::CVTIF: case Op::FLD:
+        return true;
+      default:
+        return false;
+    }
+}
 
 } // namespace imo::isa
 

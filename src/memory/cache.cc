@@ -1,5 +1,8 @@
 #include "memory/cache.hh"
 
+#include <algorithm>
+#include <numeric>
+
 #include "common/checkpoint.hh"
 #include "common/error.hh"
 
@@ -8,69 +11,141 @@ namespace imo::memory
 
 SetAssocCache::SetAssocCache(CacheGeometry geom) : _geom(geom)
 {
-    _geom.check();
+    _geom.compile();
     _lines.resize(_geom.numLines());
+    _mru.assign(_geom.numSets(), 0);
+    _order.resize(_geom.numLines());
+    rebuildOrder();
 }
 
-SetAssocCache::Line *
-SetAssocCache::findLine(Addr addr)
+void
+SetAssocCache::rebuildOrder()
 {
-    const std::uint64_t set = _geom.setIndex(addr);
-    const Addr tag = _geom.tag(addr);
-    Line *base = &_lines[set * _geom.assoc];
-    for (std::uint32_t way = 0; way < _geom.assoc; ++way) {
-        if (base[way].valid && base[way].tag == tag)
-            return &base[way];
+    const std::uint32_t assoc = _geom.assoc;
+    for (std::uint64_t set = 0; set < _mru.size(); ++set) {
+        std::uint32_t *ord = &_order[set * assoc];
+        std::iota(ord, ord + assoc, 0u);
+        const Line *base = &_lines[set * assoc];
+        // Stable insertion sort, most-recent first: ties (possible only
+        // among never-touched lines, which are invalid and never
+        // reached via the order) keep the lower way first for
+        // determinism. Allocation-free: this runs per set, and a
+        // large L2 has tens of thousands of them.
+        for (std::uint32_t i = 1; i < assoc; ++i) {
+            const std::uint32_t way = ord[i];
+            const std::uint64_t stamp = base[way].lruStamp;
+            std::uint32_t j = i;
+            for (; j > 0 && base[ord[j - 1]].lruStamp < stamp; --j)
+                ord[j] = ord[j - 1];
+            ord[j] = way;
+        }
+        _mru[set] = ord[0];
     }
-    return nullptr;
+}
+
+std::uint32_t
+SetAssocCache::lookupWay(std::uint64_t set, Addr tag) const
+{
+    const std::uint32_t assoc = _geom.assoc;
+    const Line *base = &_lines[set * assoc];
+
+    // One-entry MRU filter: most hits re-touch the last-touched way.
+    const std::uint32_t mru = _mru[set];
+    if (base[mru].valid && base[mru].tag == tag)
+        return mru;
+    for (std::uint32_t way = 0; way < assoc; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return way;
+    }
+    return assoc;
+}
+
+std::uint32_t
+SetAssocCache::victimWay(std::uint64_t set) const
+{
+    const std::uint32_t assoc = _geom.assoc;
+    const Line *base = &_lines[set * assoc];
+    std::uint32_t way = assoc;
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        if (!base[w].valid) {
+            way = w;
+            break;
+        }
+    }
+    if (way == assoc) {
+        // All ways valid: the recency order's tail is the LRU way.
+        way = _order[set * assoc + assoc - 1];
+    }
+#ifdef IMO_PARANOID_XCHECK
+    // Reference victim selection: first invalid way, else min stamp.
+    std::uint32_t ref = 0;
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        if (!base[w].valid) {
+            ref = w;
+            break;
+        }
+        if (base[w].lruStamp < base[ref].lruStamp)
+            ref = w;
+    }
+    sim_throw_if(ref != way, ErrCode::Internal,
+                 "xcheck: fast victim way %u != reference way %u in set "
+                 "%llu", way, ref, static_cast<unsigned long long>(set));
+#endif
+    return way;
+}
+
+void
+SetAssocCache::touch(std::uint64_t set, std::uint32_t way)
+{
+    _lines[set * _geom.assoc + way].lruStamp = ++_stamp;
+    _mru[set] = way;
+    std::uint32_t *ord = &_order[set * _geom.assoc];
+    if (ord[0] == way)
+        return;
+    std::uint32_t i = 1;
+    while (ord[i] != way)
+        ++i;
+    for (; i > 0; --i)
+        ord[i] = ord[i - 1];
+    ord[0] = way;
 }
 
 const SetAssocCache::Line *
 SetAssocCache::findLine(Addr addr) const
 {
-    return const_cast<SetAssocCache *>(this)->findLine(addr);
-}
-
-SetAssocCache::Line &
-SetAssocCache::victimLine(Addr addr)
-{
     const std::uint64_t set = _geom.setIndex(addr);
-    Line *base = &_lines[set * _geom.assoc];
-    Line *victim = &base[0];
-    for (std::uint32_t way = 0; way < _geom.assoc; ++way) {
-        if (!base[way].valid)
-            return base[way];
-        if (base[way].lruStamp < victim->lruStamp)
-            victim = &base[way];
-    }
-    return *victim;
+    const std::uint32_t way = lookupWay(set, _geom.tag(addr));
+    return way == _geom.assoc ? nullptr : &_lines[set * _geom.assoc + way];
 }
 
 CacheAccessResult
 SetAssocCache::access(Addr addr, bool is_write)
 {
+    const std::uint64_t set = _geom.setIndex(addr);
+    const Addr tag = _geom.tag(addr);
+
     CacheAccessResult result;
-    if (Line *line = findLine(addr)) {
+    const std::uint32_t way = lookupWay(set, tag);
+    if (way != _geom.assoc) {
         ++_hits;
         result.hit = true;
-        line->lruStamp = ++_stamp;
-        line->dirty = line->dirty || is_write;
+        Line &line = _lines[set * _geom.assoc + way];
+        line.dirty = line.dirty || is_write;
+        touch(set, way);
         return result;
     }
 
     ++_misses;
-    Line &victim = victimLine(addr);
+    const std::uint32_t vway = victimWay(set);
+    Line &victim = _lines[set * _geom.assoc + vway];
     if (victim.valid && victim.dirty) {
         ++_writebacks;
-        // Reconstruct the victim's line address from tag and set.
-        const std::uint64_t set = _geom.setIndex(addr);
-        result.writeback =
-            (victim.tag * _geom.numSets() + set) * _geom.lineBytes;
+        result.writeback = _geom.lineAddrOf(victim.tag, set);
     }
     victim.valid = true;
     victim.dirty = is_write;
-    victim.tag = _geom.tag(addr);
-    victim.lruStamp = ++_stamp;
+    victim.tag = tag;
+    touch(set, vway);
     return result;
 }
 
@@ -83,34 +158,40 @@ SetAssocCache::probe(Addr addr) const
 std::optional<Addr>
 SetAssocCache::fill(Addr addr)
 {
-    if (Line *line = findLine(addr)) {
-        line->lruStamp = ++_stamp;
+    const std::uint64_t set = _geom.setIndex(addr);
+    const Addr tag = _geom.tag(addr);
+
+    const std::uint32_t way = lookupWay(set, tag);
+    if (way != _geom.assoc) {
+        touch(set, way);
         return std::nullopt;
     }
     std::optional<Addr> wb;
-    Line &victim = victimLine(addr);
+    const std::uint32_t vway = victimWay(set);
+    Line &victim = _lines[set * _geom.assoc + vway];
     if (victim.valid && victim.dirty) {
         ++_writebacks;
-        const std::uint64_t set = _geom.setIndex(addr);
-        wb = (victim.tag * _geom.numSets() + set) * _geom.lineBytes;
+        wb = _geom.lineAddrOf(victim.tag, set);
     }
     victim.valid = true;
     victim.dirty = false;
-    victim.tag = _geom.tag(addr);
-    victim.lruStamp = ++_stamp;
+    victim.tag = tag;
+    touch(set, vway);
     return wb;
 }
 
 bool
 SetAssocCache::invalidate(Addr addr)
 {
-    if (Line *line = findLine(addr)) {
-        line->valid = false;
-        line->dirty = false;
-        ++_invalidations;
-        return true;
-    }
-    return false;
+    const std::uint64_t set = _geom.setIndex(addr);
+    const std::uint32_t way = lookupWay(set, _geom.tag(addr));
+    if (way == _geom.assoc)
+        return false;
+    Line &line = _lines[set * _geom.assoc + way];
+    line.valid = false;
+    line.dirty = false;
+    ++_invalidations;
+    return true;
 }
 
 void
@@ -184,6 +265,7 @@ SetAssocCache::restore(Deserializer &d)
         line.tag = d.u64();
         line.lruStamp = d.u64();
     }
+    rebuildOrder();
 }
 
 } // namespace imo::memory

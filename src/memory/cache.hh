@@ -6,6 +6,15 @@
  * image lives in func::DataMemory, and the timing models consume
  * hit/miss outcomes. Writeback state is tracked so that traffic counts
  * are meaningful.
+ *
+ * Replacement is true LRU. The per-line 64-bit stamps remain the
+ * serialized source of truth (checkpoints are byte-compatible), but the
+ * hot path consults two auxiliary structures instead of scanning
+ * stamps: a one-entry MRU way filter per set (most hits re-touch the
+ * same way) and a compact per-set recency ordering whose tail is the
+ * LRU way. Both are rebuilt from the stamps on restore. The
+ * IMO_PARANOID_XCHECK build re-runs the original stamp-scan victim
+ * selection next to the fast path and aborts on any divergence.
  */
 
 #ifndef IMO_MEMORY_CACHE_HH
@@ -104,13 +113,27 @@ class SetAssocCache
         std::uint64_t lruStamp = 0;
     };
 
-    Line *findLine(Addr addr);
     const Line *findLine(Addr addr) const;
-    Line &victimLine(Addr addr);
+
+    /** Way holding (@p set, @p tag), or assoc if absent. */
+    std::uint32_t lookupWay(std::uint64_t set, Addr tag) const;
+
+    /** Way to evict in @p set: first invalid way, else the LRU way. */
+    std::uint32_t victimWay(std::uint64_t set) const;
+
+    /** Record a touch of @p way: stamp, MRU filter, recency order. */
+    void touch(std::uint64_t set, std::uint32_t way);
+
+    /** Rebuild the MRU filter and recency order from the stamps. */
+    void rebuildOrder();
 
     CacheGeometry _geom;
     std::vector<Line> _lines;   // sets * assoc, set-major
     std::uint64_t _stamp = 0;
+
+    // Fast-path replacement state (derived; not checkpointed).
+    std::vector<std::uint32_t> _order; //!< per set: ways, MRU first
+    std::vector<std::uint32_t> _mru;   //!< per set: last-touched way
 
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;

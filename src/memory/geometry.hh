@@ -1,11 +1,20 @@
 /**
  * @file
  * Cache geometry: size / line / associativity and address slicing.
+ *
+ * Every legal geometry has a power-of-two line size and a power-of-two
+ * set count (enforced by wellFormed()), so set-index and tag extraction
+ * are pure shift/mask operations. compile() precomputes those shifts
+ * once; the accessors then avoid the divide chains entirely. A plain
+ * aggregate-initialized geometry that never called compile() falls back
+ * to the reference arithmetic, so `CacheGeometry{.sizeBytes = ...}`
+ * literals keep working unchanged.
  */
 
 #ifndef IMO_MEMORY_GEOMETRY_HH
 #define IMO_MEMORY_GEOMETRY_HH
 
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -22,6 +31,14 @@ struct CacheGeometry
     std::uint32_t lineBytes = 32;
     std::uint32_t assoc = 1;
 
+    // Precomputed slicing, filled in by compile(). Left at defaults for
+    // aggregate-initialized geometries (precomputed == false routes the
+    // accessors through the reference arithmetic).
+    std::uint32_t lineShift = 0;  //!< log2(lineBytes)
+    std::uint32_t tagShift = 0;   //!< log2(lineBytes * numSets())
+    std::uint64_t setMask = 0;    //!< numSets() - 1
+    bool precomputed = false;
+
     std::uint64_t numLines() const { return sizeBytes / lineBytes; }
     std::uint64_t numSets() const { return numLines() / assoc; }
 
@@ -32,18 +49,85 @@ struct CacheGeometry
         return addr & ~static_cast<Addr>(lineBytes - 1);
     }
 
+    /** Reference set-index arithmetic (divide chain); the fast path is
+     *  cross-checked against this in the IMO_PARANOID_XCHECK build. */
+    std::uint64_t
+    setIndexRef(Addr addr) const
+    {
+        return (addr / lineBytes) % numSets();
+    }
+
+    /** Reference tag arithmetic. */
+    Addr
+    tagRef(Addr addr) const
+    {
+        return addr / lineBytes / numSets();
+    }
+
     /** @return the set index for @p addr. */
     std::uint64_t
     setIndex(Addr addr) const
     {
-        return (addr / lineBytes) % numSets();
+        if (!precomputed)
+            return setIndexRef(addr);
+        const std::uint64_t set = (addr >> lineShift) & setMask;
+#ifdef IMO_PARANOID_XCHECK
+        sim_throw_if(set != setIndexRef(addr), ErrCode::Internal,
+                     "xcheck: fast setIndex %llu != reference %llu "
+                     "for addr %#llx",
+                     static_cast<unsigned long long>(set),
+                     static_cast<unsigned long long>(setIndexRef(addr)),
+                     static_cast<unsigned long long>(addr));
+#endif
+        return set;
     }
 
     /** @return the tag for @p addr. */
     Addr
     tag(Addr addr) const
     {
-        return addr / lineBytes / numSets();
+        if (!precomputed)
+            return tagRef(addr);
+        const Addr t = addr >> tagShift;
+#ifdef IMO_PARANOID_XCHECK
+        sim_throw_if(t != tagRef(addr), ErrCode::Internal,
+                     "xcheck: fast tag %#llx != reference %#llx "
+                     "for addr %#llx",
+                     static_cast<unsigned long long>(t),
+                     static_cast<unsigned long long>(tagRef(addr)),
+                     static_cast<unsigned long long>(addr));
+#endif
+        return t;
+    }
+
+    /**
+     * Reconstruct the line-aligned byte address cached under
+     * (@p tag_v, @p set) — the inverse of setIndex()/tag(), used to
+     * name dirty victims at eviction time.
+     */
+    Addr
+    lineAddrOf(Addr tag_v, std::uint64_t set) const
+    {
+        if (!precomputed)
+            return (tag_v * numSets() + set) * lineBytes;
+        return ((tag_v << (tagShift - lineShift)) | set) << lineShift;
+    }
+
+    /**
+     * Precompute the shift/mask slicing. Throws SimException(BadConfig)
+     * if the geometry is not realizable (the shifts only exist for
+     * power-of-two line sizes and set counts).
+     */
+    void
+    compile()
+    {
+        check();
+        lineShift = static_cast<std::uint32_t>(
+            std::countr_zero(static_cast<std::uint64_t>(lineBytes)));
+        setMask = numSets() - 1;
+        tagShift = lineShift + static_cast<std::uint32_t>(
+            std::countr_zero(numSets()));
+        precomputed = true;
     }
 
     /**

@@ -1,6 +1,7 @@
 #include "memory/mshr.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/checkpoint.hh"
 #include "common/error.hh"
@@ -11,20 +12,109 @@ namespace imo::memory
 
 MshrFile::MshrFile(std::uint32_t entries, Cycle fill_cycles,
                    bool extended_lifetime)
-    : _file(entries), _entries32(entries), _fillCycles(fill_cycles),
+    : _file(entries), _validMask((entries + 63) / 64, 0),
+      _entries32(entries), _fillCycles(fill_cycles),
       _extendedLifetime(extended_lifetime)
 {
     sim_throw_if(entries == 0, ErrCode::BadConfig,
                  "MSHR file needs at least one entry");
+    // Low-load-factor table: >= 4x entries, power of two.
+    const std::uint32_t slots =
+        static_cast<std::uint32_t>(std::bit_ceil(
+            static_cast<std::uint64_t>(entries) * 4));
+    _lineIndex.assign(slots, IndexSlot{});
+    _indexMask = slots - 1;
+}
+
+std::uint32_t
+MshrFile::hashSlot(Addr line) const
+{
+    return static_cast<std::uint32_t>(
+        (line * 0x9e3779b97f4a7c15ull) >> 32) & _indexMask;
+}
+
+void
+MshrFile::indexInsert(Addr line, std::uint32_t entry)
+{
+    std::uint32_t slot = hashSlot(line);
+    while (_lineIndex[slot].entry != kEmptySlot &&
+           _lineIndex[slot].line != line) {
+        slot = (slot + 1) & _indexMask;
+    }
+    _lineIndex[slot] = IndexSlot{line, entry};
+}
+
+std::uint32_t
+MshrFile::indexFind(Addr line) const
+{
+    std::uint32_t slot = hashSlot(line);
+    while (_lineIndex[slot].entry != kEmptySlot) {
+        if (_lineIndex[slot].line == line)
+            return _lineIndex[slot].entry;
+        slot = (slot + 1) & _indexMask;
+    }
+    return kEmptySlot;
+}
+
+void
+MshrFile::indexErase(Addr line, std::uint32_t entry)
+{
+    std::uint32_t slot = hashSlot(line);
+    while (_lineIndex[slot].entry != kEmptySlot &&
+           _lineIndex[slot].line != line) {
+        slot = (slot + 1) & _indexMask;
+    }
+    // A newer allocation for the same line may own the slot; leave it.
+    if (_lineIndex[slot].entry != entry || _lineIndex[slot].line != line)
+        return;
+    // Delete, then reinsert the rest of the probe cluster so lookups
+    // never cross a spurious hole. Clusters are tiny (load factor
+    // <= 1/4), so the rebuild is a handful of slot moves.
+    _lineIndex[slot] = IndexSlot{};
+    std::uint32_t next = (slot + 1) & _indexMask;
+    while (_lineIndex[next].entry != kEmptySlot) {
+        const IndexSlot moved = _lineIndex[next];
+        _lineIndex[next] = IndexSlot{};
+        indexInsert(moved.line, moved.entry);
+        next = (next + 1) & _indexMask;
+    }
+}
+
+void
+MshrFile::rebuildIndex()
+{
+    std::fill(_validMask.begin(), _validMask.end(), 0);
+    std::fill(_lineIndex.begin(), _lineIndex.end(), IndexSlot{});
+    for (std::uint32_t i = 0; i < _file.size(); ++i) {
+        const Entry &e = _file[i];
+        if (!e.valid)
+            continue;
+        _validMask[i / 64] |= 1ull << (i % 64);
+        // The index must name the newest allocation per line, as the
+        // incremental inserts would have left it.
+        const std::uint32_t prev = indexFind(e.line);
+        if (prev == kEmptySlot ||
+            _file[prev].generation < e.generation) {
+            indexInsert(e.line, i);
+        }
+    }
 }
 
 void
 MshrFile::sweep(Cycle now)
 {
-    for (std::uint32_t i = 0; i < _file.size(); ++i) {
-        Entry &e = _file[i];
-        if (e.valid && !e.pinned && e.releaseCycle <= now) {
+    for (std::size_t w = 0; w < _validMask.size(); ++w) {
+        std::uint64_t bits = _validMask[w];
+        while (bits) {
+            const std::uint32_t i = static_cast<std::uint32_t>(
+                w * 64 + std::countr_zero(bits));
+            bits &= bits - 1;
+            Entry &e = _file[i];
+            if (e.pinned || e.releaseCycle > now)
+                continue;
             e.valid = false;
+            _validMask[w] &= ~(1ull << (i % 64));
+            indexErase(e.line, i);
             // Residency is a function of the entry's own timestamps,
             // not of when the lazy sweep happens to run, so resumed
             // runs sample identically.
@@ -56,9 +146,27 @@ MshrFile::allocate(Addr line_addr, Cycle now, Cycle data_ready)
     // Coalesce with an outstanding miss of the same line. The merged
     // reference shares the entry; for pinned bookkeeping we count
     // references so a squash of one does not invalidate for the other.
-    for (std::uint32_t i = 0; i < _file.size(); ++i) {
+    // The line index points at the newest valid entry per line, which
+    // is the only one that can still be merge-eligible.
+    if (const std::uint32_t i = indexFind(line_addr); i != kEmptySlot) {
         Entry &e = _file[i];
-        if (e.valid && e.line == line_addr && e.dataReady > now) {
+#ifdef IMO_PARANOID_XCHECK
+        // Reference lookup: lowest-index valid merge-eligible entry.
+        std::uint32_t ref = kEmptySlot;
+        for (std::uint32_t j = 0; j < _file.size(); ++j) {
+            const Entry &c = _file[j];
+            if (c.valid && c.line == line_addr && c.dataReady > now) {
+                ref = j;
+                break;
+            }
+        }
+        sim_throw_if((e.dataReady > now ? i : kEmptySlot) != ref,
+                     ErrCode::Internal,
+                     "xcheck: MSHR index merge entry %u != reference %u "
+                     "for line %#llx", i, ref,
+                     static_cast<unsigned long long>(line_addr));
+#endif
+        if (e.dataReady > now) {
             ++_merges;
             ++e.mergedRefs;
             result.accepted = true;
@@ -71,11 +179,16 @@ MshrFile::allocate(Addr line_addr, Cycle now, Cycle data_ready)
         }
     }
 
-    // Find a free entry.
-    for (std::uint32_t i = 0; i < _file.size(); ++i) {
-        Entry &e = _file[i];
-        if (e.valid)
+    // Find the first free entry (lowest index, as the linear scan did).
+    for (std::size_t w = 0; w < _validMask.size(); ++w) {
+        std::uint64_t free = ~_validMask[w];
+        if (w == _validMask.size() - 1 && (_entries32 % 64) != 0)
+            free &= (1ull << (_entries32 % 64)) - 1;
+        if (!free)
             continue;
+        const std::uint32_t i = static_cast<std::uint32_t>(
+            w * 64 + std::countr_zero(free));
+        Entry &e = _file[i];
         ++_allocations;
         e.valid = true;
         e.pinned = _extendedLifetime;
@@ -85,6 +198,8 @@ MshrFile::allocate(Addr line_addr, Cycle now, Cycle data_ready)
         e.releaseCycle = data_ready + _fillCycles;
         e.mergedRefs = 1;
         e.generation = _nextGeneration++;
+        _validMask[w] |= 1ull << (i % 64);
+        indexInsert(line_addr, i);
         result.accepted = true;
         result.dataReady = data_ready;
         result.ref = MshrRef{i, e.generation};
@@ -228,6 +343,7 @@ MshrFile::restore(Deserializer &d)
         e.mergedRefs = d.u32();
         e.generation = d.u64();
     }
+    rebuildIndex();
     _residency.restore(d);
 }
 

@@ -143,10 +143,37 @@ class MshrFile
         std::uint64_t generation = 0;
     };
 
+    /** Open-addressed hash slot of the line->entry index. */
+    struct IndexSlot
+    {
+        Addr line = 0;
+        std::uint32_t entry = kEmptySlot;
+    };
+    static constexpr std::uint32_t kEmptySlot =
+        std::numeric_limits<std::uint32_t>::max();
+
     void sweep(Cycle now);
     Entry *lookup(MshrRef ref);
 
+    std::uint32_t hashSlot(Addr line) const;
+    void indexInsert(Addr line, std::uint32_t entry);
+    std::uint32_t indexFind(Addr line) const;
+    void indexErase(Addr line, std::uint32_t entry);
+    void rebuildIndex();
+
     std::vector<Entry> _file;
+    /** Bit i set iff _file[i].valid; first-free and sweep iterate this
+     *  instead of scanning the whole file. */
+    std::vector<std::uint64_t> _validMask;
+    /**
+     * line -> most recently allocated valid entry for that line
+     * (linear-probing hash). At most one valid entry per line can still
+     * be merge-eligible (dataReady > now) — a second allocation for the
+     * line would have merged — and it is always the newest one, so a
+     * single slot per line answers the coalescing lookup exactly.
+     */
+    std::vector<IndexSlot> _lineIndex;
+    std::uint32_t _indexMask = 0;
     std::uint32_t _entries32;
     Cycle _fillCycles;
     bool _extendedLifetime;

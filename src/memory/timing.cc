@@ -1,6 +1,7 @@
 #include "memory/timing.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/checkpoint.hh"
 #include "common/error.hh"
@@ -19,13 +20,28 @@ TimingMemorySystem::TimingMemorySystem(const TimingMemoryParams &params)
                  (params.lineBytes & (params.lineBytes - 1)),
                  ErrCode::BadConfig,
                  "line size must be a power of two");
+    _lineShift = std::countr_zero(params.lineBytes);
+    _banksPow2 = std::has_single_bit(params.banks);
+    _bankMask = params.banks - 1;
 }
 
 std::uint32_t
 TimingMemorySystem::bankOf(Addr addr) const
 {
-    return static_cast<std::uint32_t>((addr / _params.lineBytes) %
-                                      _bankFree.size());
+    const Addr line = addr >> _lineShift;
+    std::uint32_t bank;
+    if (_banksPow2) [[likely]]
+        bank = static_cast<std::uint32_t>(line & _bankMask);
+    else
+        bank = static_cast<std::uint32_t>(line % _params.banks);
+#ifdef IMO_PARANOID_XCHECK
+    const std::uint32_t ref = static_cast<std::uint32_t>(
+        (addr / _params.lineBytes) % _bankFree.size());
+    sim_throw_if(ref != bank, ErrCode::Internal,
+                 "xcheck: fast bank %u != reference bank %u for %#llx",
+                 bank, ref, static_cast<unsigned long long>(addr));
+#endif
+    return bank;
 }
 
 MemRequestResult

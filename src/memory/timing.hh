@@ -116,6 +116,9 @@ class TimingMemorySystem
     std::uint32_t bankOf(Addr addr) const;
 
     TimingMemoryParams _params;
+    std::uint32_t _lineShift = 0;   //!< log2(lineBytes); ctor enforces pow2
+    std::uint32_t _bankMask = 0;    //!< banks-1 when banks is a power of two
+    bool _banksPow2 = false;
     MshrFile _mshrs;
     std::vector<Cycle> _bankFree;
     Cycle _nextMemSlot = 0;

@@ -87,6 +87,16 @@ class TraceSink
     {
         if (!wants(cat))
             return;
+        recordUnchecked(cycle, cat, name, pc, a0, a1, dur);
+    }
+
+    /** record() without the category test — for call sites (IMO_TRACE)
+     *  that already checked wants() before building the arguments. */
+    void
+    recordUnchecked(Cycle cycle, Cat cat, const char *name,
+                    std::uint64_t pc = 0, std::uint64_t a0 = 0,
+                    std::uint64_t a1 = 0, Cycle dur = 0)
+    {
         if (_events.size() >= _capacity) {
             ++_dropped;
             return;
@@ -125,18 +135,22 @@ class TraceSink
 } // namespace imo::obs
 
 /**
- * Hot-path trace macro. @p sink is a TraceSink* (may be null). Compiles
- * out entirely when the build disables tracing (-DIMO_TRACING=OFF sets
- * IMO_TRACING_DISABLED).
+ * Hot-path trace macro. @p sink is a TraceSink* (may be null), @p cat a
+ * Cat constant. The sink pointer and category mask are tested before
+ * any of the remaining arguments (timestamp, name, payload expressions)
+ * are evaluated, so an attached-but-filtered or absent sink costs the
+ * tests alone. Compiles out entirely when the build disables tracing
+ * (-DIMO_TRACING=OFF sets IMO_TRACING_DISABLED).
  */
 #if defined(IMO_TRACING_DISABLED)
-#define IMO_TRACE(sink, ...) ((void)0)
+#define IMO_TRACE(sink, cycle, cat, ...) ((void)0)
 #else
-#define IMO_TRACE(sink, ...)                                                \
+#define IMO_TRACE(sink, cycle, cat, ...)                                    \
     do {                                                                    \
         ::imo::obs::TraceSink *imo_trace_sink_ = (sink);                    \
-        if (imo_trace_sink_) [[unlikely]]                                   \
-            imo_trace_sink_->record(__VA_ARGS__);                           \
+        if (imo_trace_sink_ && imo_trace_sink_->wants(cat)) [[unlikely]]    \
+            imo_trace_sink_->recordUnchecked((cycle), (cat),                \
+                                             __VA_ARGS__);                  \
     } while (0)
 #endif
 

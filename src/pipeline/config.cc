@@ -91,20 +91,6 @@ MachineConfig::validate() const
     throw ex;
 }
 
-Cycle
-LatencyTable::forClass(isa::OpClass cls) const
-{
-    switch (cls) {
-      case isa::OpClass::IntAlu: return intAlu;
-      case isa::OpClass::IntMul: return intMul;
-      case isa::OpClass::IntDiv: return intDiv;
-      case isa::OpClass::FpAlu: return fpAlu;
-      case isa::OpClass::FpDiv: return fpDiv;
-      case isa::OpClass::FpSqrt: return fpSqrt;
-      default: return 1;
-    }
-}
-
 MachineConfig
 makeOutOfOrderConfig()
 {

@@ -56,8 +56,21 @@ struct LatencyTable
     Cycle fpSqrt = 20;
 
     /** @return the execution latency for @p cls (memory classes return
-     *  1: their real latency comes from the memory system). */
-    Cycle forClass(isa::OpClass cls) const;
+     *  1: their real latency comes from the memory system). Inline:
+     *  called once per instruction by both timing models. */
+    Cycle
+    forClass(isa::OpClass cls) const
+    {
+        switch (cls) {
+          case isa::OpClass::IntAlu: return intAlu;
+          case isa::OpClass::IntMul: return intMul;
+          case isa::OpClass::IntDiv: return intDiv;
+          case isa::OpClass::FpAlu: return fpAlu;
+          case isa::OpClass::FpDiv: return fpDiv;
+          case isa::OpClass::FpSqrt: return fpSqrt;
+          default: return 1;
+        }
+    }
 };
 
 /** Functional-unit counts. memUnits == 0 routes memory operations

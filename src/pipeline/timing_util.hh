@@ -8,6 +8,7 @@
 #ifndef IMO_PIPELINE_TIMING_UTIL_HH
 #define IMO_PIPELINE_TIMING_UTIL_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <map>
@@ -90,14 +91,23 @@ class FetchEngine
 /**
  * Per-cycle capacity table for a fully pipelined functional-unit class
  * in an out-of-order machine: reservations may probe arbitrary cycles,
- * so occupancy is kept in an ordered map pruned behind the commit
- * frontier.
+ * so occupancy must answer "first cycle >= earliest with a free unit".
+ *
+ * Occupancy lives in a fixed sliding window of per-cycle counts —
+ * pruneBelow() advances the window behind the commit frontier, and
+ * reservations land overwhelmingly inside it (the reorder buffer bounds
+ * how far completion times run ahead of the frontier), so the common
+ * reserve() is an array probe instead of an ordered-map walk. Cycles
+ * outside the window (far-future fill completions, or probes behind a
+ * freshly advanced window) spill to an ordered map. Serialization
+ * writes the merged (cycle, count) pairs in ascending cycle order —
+ * exactly the bytes the previous std::map implementation produced.
  */
 class SlotTable
 {
   public:
     explicit SlotTable(std::uint32_t units_per_cycle)
-        : _units(units_per_cycle)
+        : _units(units_per_cycle), _ring(kWindow, 0)
     {
         panic_if(units_per_cycle == 0, "slot table with zero units");
     }
@@ -107,13 +117,20 @@ class SlotTable
     reserve(Cycle earliest)
     {
         Cycle c = earliest;
-        auto it = _used.lower_bound(c);
-        while (it != _used.end() && it->first == c &&
-               it->second >= _units) {
-            ++c;
-            ++it;
+        if (c >= _base && c < _base + kWindow) [[likely]] {
+            // In-window fast path: scan the ring until a free cycle.
+            while (c < _base + kWindow) {
+                std::uint32_t &used = _ring[c & (kWindow - 1)];
+                if (used < _units) {
+                    ++used;
+                    return c;
+                }
+                ++c;
+            }
         }
-        ++_used[c];
+        while (countAt(c) >= _units)
+            ++c;
+        bumpAt(c);
         return c;
     }
 
@@ -121,33 +138,112 @@ class SlotTable
     void
     pruneBelow(Cycle frontier)
     {
-        _used.erase(_used.begin(), _used.lower_bound(frontier));
+        _spill.erase(_spill.begin(), _spill.lower_bound(frontier));
+        if (frontier <= _base)
+            return;
+        // Slide the window: clear the ring slots leaving it, then pull
+        // any spilled counts that now fall inside it back into the
+        // ring (a count may only live in one of the two structures).
+        if (frontier - _base >= kWindow) {
+            std::fill(_ring.begin(), _ring.end(), 0);
+        } else {
+            for (Cycle c = _base; c < frontier; ++c)
+                _ring[c & (kWindow - 1)] = 0;
+        }
+        _base = frontier;
+        auto it = _spill.begin();
+        while (it != _spill.end() && it->first < _base + kWindow) {
+            _ring[it->first & (kWindow - 1)] = it->second;
+            it = _spill.erase(it);
+        }
     }
 
     void
     save(Serializer &s) const
     {
-        s.u64(_used.size());
-        for (const auto &[cycle, count] : _used) {
-            s.u64(cycle);
-            s.u32(count);
+        // Ascending (cycle, count) pairs, exactly as the ordered-map
+        // representation serialized: spilled cycles below the window,
+        // then the window in cycle order, then spilled cycles above.
+        std::uint64_t entries = 0;
+        for (const auto &[cycle, count] : _spill) {
+            (void)cycle;
+            if (count)
+                ++entries;
+        }
+        for (const std::uint32_t count : _ring) {
+            if (count)
+                ++entries;
+        }
+        s.u64(entries);
+        auto it = _spill.begin();
+        for (; it != _spill.end() && it->first < _base; ++it) {
+            s.u64(it->first);
+            s.u32(it->second);
+        }
+        for (Cycle c = _base; c < _base + kWindow; ++c) {
+            const std::uint32_t count = _ring[c & (kWindow - 1)];
+            if (count) {
+                s.u64(c);
+                s.u32(count);
+            }
+        }
+        for (; it != _spill.end(); ++it) {
+            s.u64(it->first);
+            s.u32(it->second);
         }
     }
 
     void
     restore(Deserializer &d)
     {
-        _used.clear();
+        _spill.clear();
+        std::fill(_ring.begin(), _ring.end(), 0);
         const std::uint64_t count = d.u64();
+        bool first = true;
         for (std::uint64_t i = 0; i < count; ++i) {
             const Cycle cycle = d.u64();
-            _used[cycle] = d.u32();
+            const std::uint32_t used = d.u32();
+            if (first) {
+                // Anchor the window at the oldest live cycle (pairs
+                // arrive in ascending order).
+                _base = cycle;
+                first = false;
+            }
+            if (cycle >= _base && cycle < _base + kWindow)
+                _ring[cycle & (kWindow - 1)] = used;
+            else
+                _spill[cycle] = used;
         }
     }
 
   private:
+    // Power of two, comfortably larger than how far any reservation
+    // runs ahead of the commit frontier between prunes (the ROB depth
+    // plus the longest latency chain is orders of magnitude smaller).
+    static constexpr Cycle kWindow = 8192;
+
+    std::uint32_t
+    countAt(Cycle c) const
+    {
+        if (c >= _base && c < _base + kWindow)
+            return _ring[c & (kWindow - 1)];
+        const auto it = _spill.find(c);
+        return it == _spill.end() ? 0 : it->second;
+    }
+
+    void
+    bumpAt(Cycle c)
+    {
+        if (c >= _base && c < _base + kWindow)
+            ++_ring[c & (kWindow - 1)];
+        else
+            ++_spill[c];
+    }
+
     std::uint32_t _units;
-    std::map<Cycle, std::uint32_t> _used;
+    Cycle _base = 0;
+    std::vector<std::uint32_t> _ring;       //!< counts for [_base, _base+W)
+    std::map<Cycle, std::uint32_t> _spill;  //!< counts outside the window
 };
 
 /** Functional-unit groups at issue time. */

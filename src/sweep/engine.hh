@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Generic ordered parallel-for engine for configuration sweeps.
+ *
+ * Tasks are independent closures; a fixed-size std::thread pool drains
+ * an atomic work queue and every task writes its result into the slot
+ * matching its input index. Output order therefore never depends on
+ * scheduling: runOrdered(tasks, 1) and runOrdered(tasks, N) produce
+ * element-wise identical vectors as long as each task is a pure
+ * function of its inputs (the simulator guarantees this — each sweep
+ * point constructs a fully isolated machine instance).
+ */
+
+#ifndef IMO_SWEEP_ENGINE_HH
+#define IMO_SWEEP_ENGINE_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace imo::sweep
+{
+
+/**
+ * Run every task on @p jobs worker threads and return their results
+ * in input order. A task that throws poisons the run: the first
+ * exception (by task index, not completion order) is rethrown after
+ * all workers have drained, so partial results never escape silently.
+ *
+ * @param tasks  independent closures; each must not touch shared
+ *               mutable state
+ * @param jobs   worker-thread count; 0 and 1 both mean "run inline on
+ *               the calling thread"
+ */
+template <typename R>
+std::vector<R>
+runOrdered(const std::vector<std::function<R()>> &tasks,
+           unsigned jobs)
+{
+    std::vector<R> results(tasks.size());
+    if (tasks.empty())
+        return results;
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            results[i] = tasks[i]();
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    // First failing task by *index*, so the surfaced error does not
+    // depend on which worker happened to hit it first.
+    std::vector<std::exception_ptr> errors(tasks.size());
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= tasks.size())
+                return;
+            try {
+                results[i] = tasks[i]();
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    const unsigned n =
+        static_cast<unsigned>(std::min<std::size_t>(jobs, tasks.size()));
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return results;
+}
+
+} // namespace imo::sweep
+
+#endif // IMO_SWEEP_ENGINE_HH

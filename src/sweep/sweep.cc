@@ -1,0 +1,209 @@
+#include "sweep/sweep.hh"
+
+#include <ostream>
+
+#include "common/error.hh"
+#include "pipeline/simulate.hh"
+#include "sweep/engine.hh"
+#include "workloads/suite.hh"
+
+namespace imo::sweep
+{
+
+pipeline::MachineConfig
+SweepPoint::resolveConfig() const
+{
+    pipeline::MachineConfig cfg;
+    if (machine == "ooo") {
+        cfg = pipeline::makeOutOfOrderConfig();
+    } else if (machine == "inorder") {
+        cfg = pipeline::makeInOrderConfig();
+    } else {
+        throwSimError(ErrCode::BadConfig,
+                      "sweep: unknown machine '%s' (ooo or inorder)",
+                      machine.c_str());
+    }
+    if (l1SizeBytes)
+        cfg.l1.sizeBytes = l1SizeBytes;
+    if (l1Assoc)
+        cfg.l1.assoc = l1Assoc;
+    if (l2SizeBytes)
+        cfg.l2.sizeBytes = l2SizeBytes;
+    if (l2Assoc)
+        cfg.l2.assoc = l2Assoc;
+    if (l2Latency)
+        cfg.mem.l2Latency = l2Latency;
+    if (memLatency)
+        cfg.mem.memLatency = memLatency;
+    if (mshrs)
+        cfg.mem.mshrs = mshrs;
+    return cfg;
+}
+
+std::vector<SweepPoint>
+expandGrid(const SweepGrid &grid)
+{
+    auto axis = [](const auto &values, auto fallback) {
+        using V = std::decay_t<decltype(fallback)>;
+        return values.empty() ? std::vector<V>{fallback}
+                              : std::vector<V>(values.begin(),
+                                               values.end());
+    };
+    const auto machines = axis(grid.machines, std::string("ooo"));
+    const auto workloads = axis(grid.workloads, std::string("espresso"));
+    const auto modes = axis(grid.modes, core::InformingMode::None);
+    const auto lens = axis(grid.handlerLens, std::uint32_t{10});
+    const auto l1_sizes = axis(grid.l1SizesBytes, std::uint64_t{0});
+    const auto l1_assocs = axis(grid.l1Assocs, std::uint32_t{0});
+    const auto l2_lats = axis(grid.l2Latencies, std::uint64_t{0});
+    const auto mem_lats = axis(grid.memLatencies, std::uint64_t{0});
+    const auto mshr_counts = axis(grid.mshrCounts, std::uint32_t{0});
+
+    std::vector<SweepPoint> points;
+    for (const std::string &machine : machines)
+        for (const std::string &workload : workloads)
+            for (const core::InformingMode mode : modes)
+                for (const std::uint32_t len : lens)
+                    for (const std::uint64_t l1s : l1_sizes)
+                        for (const std::uint32_t l1a : l1_assocs)
+                            for (const std::uint64_t l2l : l2_lats)
+                                for (const std::uint64_t ml : mem_lats)
+                                    for (const std::uint32_t ms :
+                                         mshr_counts) {
+                                        SweepPoint p;
+                                        p.machine = machine;
+                                        p.workload = workload;
+                                        p.mode = mode;
+                                        p.handlerLen = len;
+                                        p.scale = grid.scale;
+                                        p.seed = grid.seed;
+                                        p.l1SizeBytes = l1s;
+                                        p.l1Assoc = l1a;
+                                        p.l2Latency = l2l;
+                                        p.memLatency = ml;
+                                        p.mshrs = ms;
+                                        points.push_back(p);
+                                    }
+    return points;
+}
+
+namespace
+{
+
+SweepOutcome
+runPoint(const SweepPoint &point)
+{
+    SweepOutcome out;
+    out.point = point;
+
+    const pipeline::MachineConfig cfg = point.resolveConfig();
+    workloads::WorkloadParams wp;
+    wp.scale = point.scale;
+    wp.seed = point.seed;
+    const isa::Program base = workloads::build(point.workload, wp);
+    const isa::Program prog =
+        core::instrument(base, point.mode, {.length = point.handlerLen});
+    out.result = pipeline::simulate(prog, cfg);
+    return out;
+}
+
+} // anonymous namespace
+
+std::vector<SweepOutcome>
+runSweep(const std::vector<SweepPoint> &points, unsigned jobs)
+{
+    std::vector<std::function<SweepOutcome()>> tasks;
+    tasks.reserve(points.size());
+    for (const SweepPoint &p : points)
+        tasks.emplace_back([p] { return runPoint(p); });
+    return runOrdered(tasks, jobs);
+}
+
+namespace
+{
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\' << c;
+        else
+            os << c;
+    }
+}
+
+} // anonymous namespace
+
+void
+writeReportJson(std::ostream &os,
+                const std::vector<SweepOutcome> &outcomes)
+{
+    os << "{\"sweep\":{\"points\":[";
+    bool first_point = true;
+    for (const SweepOutcome &o : outcomes) {
+        if (!first_point)
+            os << ',';
+        first_point = false;
+        const SweepPoint &p = o.point;
+        const pipeline::RunResult &r = o.result;
+        const pipeline::MachineConfig cfg = p.resolveConfig();
+
+        os << "{\"machine\":\"";
+        jsonEscape(os, cfg.name);
+        os << "\",\"workload\":\"";
+        jsonEscape(os, p.workload);
+        os << "\",\"mode\":\"" << core::informingModeName(p.mode)
+           << "\",\"handler_len\":" << p.handlerLen
+           << ",\"scale\":" << p.scale
+           << ",\"seed\":" << p.seed
+           << ",\"l1_bytes\":" << cfg.l1.sizeBytes
+           << ",\"l1_assoc\":" << cfg.l1.assoc
+           << ",\"l2_bytes\":" << cfg.l2.sizeBytes
+           << ",\"l2_assoc\":" << cfg.l2.assoc
+           << ",\"l2_latency\":" << cfg.mem.l2Latency
+           << ",\"mem_latency\":" << cfg.mem.memLatency
+           << ",\"mshrs\":" << cfg.mem.mshrs
+           << ",\"ok\":" << (r.ok ? "true" : "false");
+        if (!r.ok) {
+            os << ",\"error\":\"";
+            jsonEscape(os, r.error.message);
+            os << '"';
+        }
+        os << ",\"cycles\":" << r.cycles
+           << ",\"instructions\":" << r.instructions
+           << ",\"ipc\":" << r.ipc()
+           << ",\"data_refs\":" << r.dataRefs
+           << ",\"l1_misses\":" << r.l1Misses
+           << ",\"traps\":" << r.traps
+           << ",\"replay_traps\":" << r.replayTraps
+           << ",\"cond_branches\":" << r.condBranches
+           << ",\"mispredicts\":" << r.mispredicts
+           << ",\"cache_stall_slots\":" << r.cacheStallSlots
+           << ",\"other_stall_slots\":" << r.otherStallSlots
+           << ",\"handler_instructions\":" << r.handlerInstructions
+           << ",\"mshr_full_rejects\":" << r.mshrFullRejects
+           << ",\"bank_conflicts\":" << r.bankConflicts
+           << '}';
+    }
+    os << "]}}\n";
+}
+
+std::string
+describePoint(const SweepPoint &point)
+{
+    const pipeline::MachineConfig cfg = point.resolveConfig();
+    return simFormat(
+        "%s %s mode=%s len=%u scale=%g L1=%lluKB/%u-way "
+        "l2lat=%llu memlat=%llu mshrs=%u",
+        cfg.name.c_str(), point.workload.c_str(),
+        core::informingModeName(point.mode), point.handlerLen,
+        point.scale,
+        static_cast<unsigned long long>(cfg.l1.sizeBytes / 1024),
+        cfg.l1.assoc,
+        static_cast<unsigned long long>(cfg.mem.l2Latency),
+        static_cast<unsigned long long>(cfg.mem.memLatency),
+        cfg.mem.mshrs);
+}
+
+} // namespace imo::sweep

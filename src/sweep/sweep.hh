@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Config-grid sweeps over the timing models.
+ *
+ * A SweepGrid names axis values (machines, workloads, informing modes,
+ * handler lengths, cache and latency overrides); expandGrid() produces
+ * the cartesian product as concrete SweepPoints in a deterministic
+ * order, and runSweep() executes them on the ordered parallel engine —
+ * one fully isolated machine instance per point, results aggregated in
+ * grid order so the merged report is byte-identical for any --jobs
+ * value.
+ */
+
+#ifndef IMO_SWEEP_SWEEP_HH
+#define IMO_SWEEP_SWEEP_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/informing.hh"
+#include "pipeline/config.hh"
+#include "pipeline/result.hh"
+
+namespace imo::sweep
+{
+
+/** One concrete cell of the grid: everything needed to run it. */
+struct SweepPoint
+{
+    std::string machine = "ooo";        //!< "ooo" or "inorder"
+    std::string workload = "espresso";
+    core::InformingMode mode = core::InformingMode::None;
+    std::uint32_t handlerLen = 10;
+    double scale = 1.0;
+    std::uint64_t seed = 0x5eed;
+
+    // Overrides of the machine's Table-1 defaults; 0 keeps the default.
+    std::uint64_t l1SizeBytes = 0;
+    std::uint32_t l1Assoc = 0;
+    std::uint64_t l2SizeBytes = 0;
+    std::uint32_t l2Assoc = 0;
+    std::uint64_t l2Latency = 0;
+    std::uint64_t memLatency = 0;
+    std::uint32_t mshrs = 0;
+
+    /** The point's machine config with overrides applied. */
+    pipeline::MachineConfig resolveConfig() const;
+};
+
+/** Axis values of a sweep; empty axes fall back to one default cell. */
+struct SweepGrid
+{
+    std::vector<std::string> machines = {"ooo"};
+    std::vector<std::string> workloads = {"espresso"};
+    std::vector<core::InformingMode> modes = {core::InformingMode::None};
+    std::vector<std::uint32_t> handlerLens = {10};
+    double scale = 1.0;
+    std::uint64_t seed = 0x5eed;
+
+    std::vector<std::uint64_t> l1SizesBytes = {0};
+    std::vector<std::uint32_t> l1Assocs = {0};
+    std::vector<std::uint64_t> l2Latencies = {0};
+    std::vector<std::uint64_t> memLatencies = {0};
+    std::vector<std::uint32_t> mshrCounts = {0};
+};
+
+/**
+ * Cartesian product of the grid's axes, ordered with the machine axis
+ * outermost and the mshr axis innermost (the iteration order of the
+ * nested loops in the declaration order of SweepGrid's members).
+ */
+std::vector<SweepPoint> expandGrid(const SweepGrid &grid);
+
+/** Outcome of one point: its inputs plus the run's statistics. */
+struct SweepOutcome
+{
+    SweepPoint point;
+    pipeline::RunResult result;
+};
+
+/**
+ * Run every point with @p jobs worker threads. Each point builds its
+ * own program and machine from scratch (no shared mutable state), so
+ * outcomes[i] depends only on points[i] and the output is identical
+ * for any job count.
+ */
+std::vector<SweepOutcome> runSweep(const std::vector<SweepPoint> &points,
+                                   unsigned jobs);
+
+/**
+ * Write the merged report as deterministic JSON: points in input
+ * order, fixed key order, no timestamps or environment data.
+ */
+void writeReportJson(std::ostream &os,
+                     const std::vector<SweepOutcome> &outcomes);
+
+/** One-line summary of a point (for --list and progress output). */
+std::string describePoint(const SweepPoint &point);
+
+} // namespace imo::sweep
+
+#endif // IMO_SWEEP_SWEEP_HH

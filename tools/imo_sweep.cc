@@ -1,0 +1,237 @@
+/**
+ * @file
+ * imo-sweep: parallel configuration-sweep driver.
+ *
+ *   imo-sweep --workloads compress,tomcatv --machines ooo,inorder
+ *             --modes N,S,U --l2-lats 8,12,16 --jobs 4 --out report.json
+ *
+ * Expands the cartesian product of the requested axes into a grid of
+ * sweep points, runs each point as a fully isolated simulation on a
+ * worker pool, and writes one merged JSON report with the points in
+ * grid order. The report is byte-identical for any --jobs value.
+ *
+ * Exit codes:
+ *   0  success (individual failed points are reported in the JSON)
+ *   2  usage error (bad flags)
+ *   3  bad input (BadConfig / BadProgram)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "sweep/sweep.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace imo;
+
+constexpr int kExitUsage = 2;
+constexpr int kExitBadInput = 3;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+        "usage: imo-sweep [axes] [options]\n"
+        "axes (comma-separated values; the grid is their cartesian "
+        "product):\n"
+        "  --workloads A,B,...     workload names (default espresso)\n"
+        "  --machines M,...        ooo,inorder (default ooo)\n"
+        "  --modes M,...           N,S,U,CC (default N)\n"
+        "  --lens K,...            generic handler lengths "
+        "(default 10)\n"
+        "  --l1-sizes KB,...       L1 size override in KB (default: "
+        "machine default)\n"
+        "  --l1-assocs A,...       L1 associativity override\n"
+        "  --l2-lats N,...         L2 latency override, cycles\n"
+        "  --mem-lats N,...        memory latency override, cycles\n"
+        "  --mshrs N,...           MSHR count override\n"
+        "options:\n"
+        "  --scale F               workload scale factor (default 1)\n"
+        "  --seed N                workload seed\n"
+        "  --jobs N                worker threads (default 1)\n"
+        "  --out PATH              merged JSON report ('-' for stdout, "
+        "the default)\n"
+        "  --list                  print the expanded grid and exit\n"
+        "  --quiet                 suppress warn/info diagnostics\n");
+    return kExitUsage;
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+template <typename T>
+std::vector<T>
+parseNumbers(const std::string &s, const char *what)
+{
+    std::vector<T> out;
+    for (const std::string &item : splitCsv(s)) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(item.c_str(), &end, 10);
+        if (end == item.c_str() || *end != '\0') {
+            throwSimError(ErrCode::BadConfig,
+                          "imo-sweep: bad %s value '%s'", what,
+                          item.c_str());
+        }
+        out.push_back(static_cast<T>(v));
+    }
+    return out;
+}
+
+core::InformingMode
+parseMode(const std::string &m)
+{
+    if (m == "N")
+        return core::InformingMode::None;
+    if (m == "S")
+        return core::InformingMode::TrapSingle;
+    if (m == "U")
+        return core::InformingMode::TrapUnique;
+    if (m == "CC")
+        return core::InformingMode::CondCode;
+    throwSimError(ErrCode::BadConfig,
+                  "imo-sweep: unknown mode '%s' (N, S, U, or CC)",
+                  m.c_str());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    sweep::SweepGrid grid;
+    unsigned jobs = 1;
+    std::string out_path = "-";
+    bool list_only = false;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto value = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    throwSimError(ErrCode::BadConfig,
+                                  "imo-sweep: %s needs a value",
+                                  arg.c_str());
+                }
+                return argv[++i];
+            };
+            if (arg == "--workloads") {
+                grid.workloads = splitCsv(value());
+            } else if (arg == "--machines") {
+                grid.machines = splitCsv(value());
+            } else if (arg == "--modes") {
+                grid.modes.clear();
+                for (const std::string &m : splitCsv(value()))
+                    grid.modes.push_back(parseMode(m));
+            } else if (arg == "--lens") {
+                grid.handlerLens =
+                    parseNumbers<std::uint32_t>(value(), "handler length");
+            } else if (arg == "--l1-sizes") {
+                grid.l1SizesBytes.clear();
+                for (const std::uint64_t kb :
+                     parseNumbers<std::uint64_t>(value(), "L1 size"))
+                    grid.l1SizesBytes.push_back(kb * 1024);
+            } else if (arg == "--l1-assocs") {
+                grid.l1Assocs =
+                    parseNumbers<std::uint32_t>(value(), "L1 assoc");
+            } else if (arg == "--l2-lats") {
+                grid.l2Latencies =
+                    parseNumbers<std::uint64_t>(value(), "L2 latency");
+            } else if (arg == "--mem-lats") {
+                grid.memLatencies =
+                    parseNumbers<std::uint64_t>(value(), "memory latency");
+            } else if (arg == "--mshrs") {
+                grid.mshrCounts =
+                    parseNumbers<std::uint32_t>(value(), "MSHR count");
+            } else if (arg == "--scale") {
+                grid.scale = std::atof(value().c_str());
+            } else if (arg == "--seed") {
+                grid.seed = std::strtoull(value().c_str(), nullptr, 0);
+            } else if (arg == "--jobs") {
+                jobs = static_cast<unsigned>(
+                    std::strtoul(value().c_str(), nullptr, 10));
+                if (jobs == 0)
+                    jobs = 1;
+            } else if (arg == "--out") {
+                out_path = value();
+            } else if (arg == "--list") {
+                list_only = true;
+            } else if (arg == "--quiet") {
+                setLogLevel(LogLevel::Quiet);
+            } else {
+                std::fprintf(stderr, "imo-sweep: unknown option '%s'\n",
+                             arg.c_str());
+                return usage();
+            }
+        }
+
+        const std::vector<sweep::SweepPoint> points =
+            sweep::expandGrid(grid);
+        if (list_only) {
+            for (const sweep::SweepPoint &p : points)
+                std::printf("%s\n", sweep::describePoint(p).c_str());
+            std::printf("%zu points\n", points.size());
+            return 0;
+        }
+
+        // Validate every point's config and workload name up front so
+        // a typo fails fast instead of surfacing mid-sweep.
+        for (const sweep::SweepPoint &p : points) {
+            p.resolveConfig().validate();
+            sim_throw_if(!workloads::find(p.workload), ErrCode::BadConfig,
+                         "imo-sweep: unknown workload '%s'",
+                         p.workload.c_str());
+        }
+
+        const std::vector<sweep::SweepOutcome> outcomes =
+            sweep::runSweep(points, jobs);
+
+        if (out_path == "-") {
+            sweep::writeReportJson(std::cout, outcomes);
+        } else {
+            std::ofstream f(out_path, std::ios::binary);
+            sim_throw_if(!f, ErrCode::BadConfig,
+                         "imo-sweep: cannot open '%s' for writing",
+                         out_path.c_str());
+            sweep::writeReportJson(f, outcomes);
+        }
+
+        std::size_t failed = 0;
+        for (const sweep::SweepOutcome &o : outcomes) {
+            if (!o.result.ok)
+                ++failed;
+        }
+        std::fprintf(stderr, "imo-sweep: %zu points, %zu failed%s%s\n",
+                     outcomes.size(), failed,
+                     out_path == "-" ? "" : ", report written to ",
+                     out_path == "-" ? "" : out_path.c_str());
+        return 0;
+    } catch (const SimException &e) {
+        const SimError &err = e.error();
+        std::fprintf(stderr, "imo-sweep: error [%s] %s\n",
+                     errCodeName(err.code), err.message.c_str());
+        for (const std::string &note : err.context)
+            std::fprintf(stderr, "    %s\n", note.c_str());
+        return kExitBadInput;
+    }
+}
