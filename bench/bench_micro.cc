@@ -14,6 +14,7 @@
 #include "memory/cache.hh"
 #include "memory/timing.hh"
 #include "pipeline/simulate.hh"
+#include "sample/sample.hh"
 #include "workloads/suite.hh"
 
 namespace
@@ -101,6 +102,23 @@ BM_PipelineSimulation(benchmark::State &state)
 }
 BENCHMARK(BM_PipelineSimulation)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+void
+BM_SampledSimulation(benchmark::State &state)
+{
+    workloads::WorkloadParams wp;
+    wp.scale = 0.3;
+    const isa::Program prog = workloads::build("espresso", wp);
+    const auto cfg = pipeline::makeOutOfOrderConfig();
+    const sample::SampleParams params; // default U:W:M schedule
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        sample::Sampler sampler(prog, cfg, params);
+        insts += sampler.run().instructions;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_SampledSimulation)->Unit(benchmark::kMillisecond);
 
 void
 BM_Instrumentation(benchmark::State &state)

@@ -133,6 +133,63 @@ Average::restore(Deserializer &d)
     _max = d.f64();
 }
 
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Distribution::ci95() const
+{
+    return _count ? 1.96 * std::sqrt(variance() /
+                                     static_cast<double>(_count))
+                  : 0.0;
+}
+
+double
+Distribution::relativeError() const
+{
+    const double m = std::abs(mean());
+    return m > 0.0 ? ci95() / m : 0.0;
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << mean() << " +/- " << ci95()
+       << " (n=" << _count << " var=" << variance() << ") # " << desc()
+       << "\n";
+}
+
+void
+Distribution::dumpJson(std::ostream &os) const
+{
+    os << "{\"mean\":";
+    jsonNumber(os, mean());
+    os << ",\"count\":" << _count << ",\"variance\":";
+    jsonNumber(os, variance());
+    os << ",\"ci95\":";
+    jsonNumber(os, ci95());
+    os << "}";
+}
+
+void
+Distribution::save(Serializer &s) const
+{
+    s.u64(_count);
+    s.f64(_mean);
+    s.f64(_m2);
+}
+
+void
+Distribution::restore(Deserializer &d)
+{
+    _count = d.u64();
+    _mean = d.f64();
+    _m2 = d.f64();
+}
+
 namespace
 {
 

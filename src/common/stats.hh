@@ -152,6 +152,68 @@ class Average : public StatBase
     double _max = 0.0;
 };
 
+/**
+ * Streaming distribution of double samples: Welford's online algorithm
+ * maintains the mean and unbiased variance in O(1) state, from which a
+ * normal-approximation 95% confidence interval of the mean follows.
+ * This is the reporting primitive of the SMARTS-style sampling
+ * controller (per-window CPI and miss-rate estimates).
+ */
+class Distribution : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        ++_count;
+        const double delta = v - _mean;
+        _mean += delta / static_cast<double>(_count);
+        _m2 += delta * (v - _mean);
+    }
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _mean : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double
+    variance() const
+    {
+        return _count > 1 ? _m2 / static_cast<double>(_count - 1) : 0.0;
+    }
+
+    double stddev() const;
+
+    /**
+     * Half-width of the 95% confidence interval of the mean:
+     * 1.96 * sqrt(variance / n) (normal approximation).
+     */
+    double ci95() const;
+
+    /** ci95() / |mean()|: the relative error sampling targets. */
+    double relativeError() const;
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
+
+    void
+    reset() override
+    {
+        _count = 0;
+        _mean = 0.0;
+        _m2 = 0.0;
+    }
+
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
+
+  private:
+    std::uint64_t _count = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+};
+
 /** Fixed-bucket histogram over [0, buckets * bucketWidth). */
 class Histogram : public StatBase
 {

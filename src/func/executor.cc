@@ -55,8 +55,9 @@ Executor::writeFreg(std::uint8_t unified, double value)
     _state.freg[unified - isa::numIntRegs] = value;
 }
 
+template <bool Fill>
 bool
-Executor::next(TraceRecord &out)
+Executor::stepImpl(TraceRecord *out, WarmSink *warm)
 {
     if (_state.halted)
         return false;
@@ -77,17 +78,20 @@ Executor::next(TraceRecord &out)
 
     const InstAddr pc = _state.pc;
     const isa::Instruction &in = _program.inst(pc);
+    const bool handler_code = _inHandler;
 
-    // Reset the scalar fields individually: value-initializing the
-    // whole record would zero the embedded Instruction only to copy
-    // over it on the next line, and this runs once per instruction.
-    out.inst = in;
-    out.pc = pc;
-    out.addr = 0;
-    out.level = MemLevel::L1;
-    out.taken = false;
-    out.trapped = false;
-    out.handlerCode = _inHandler;
+    if constexpr (Fill) {
+        // Reset the scalar fields individually: value-initializing the
+        // whole record would zero the embedded Instruction only to copy
+        // over it on the next line, and this runs once per instruction.
+        out->inst = in;
+        out->pc = pc;
+        out->addr = 0;
+        out->level = MemLevel::L1;
+        out->taken = false;
+        out->trapped = false;
+        out->handlerCode = handler_code;
+    }
 
     InstAddr next_pc = pc + 1;
 
@@ -192,8 +196,10 @@ Executor::next(TraceRecord &out)
             break;
         }
 
-        out.addr = addr;
-        out.level = level;
+        if constexpr (Fill) {
+            out->addr = addr;
+            out->level = level;
+        }
         ++_stats.dataRefs;
         if (level != MemLevel::L1)
             ++_stats.l1Misses;
@@ -214,7 +220,8 @@ Executor::next(TraceRecord &out)
             ? _state.ccMissL2 : _state.ccMiss;
         if (trap_worthy && in.informing && _trapArmed &&
             _state.mhar != 0) {
-            out.trapped = true;
+            if constexpr (Fill)
+                out->trapped = true;
             ++_stats.traps;
             _state.mhrr = pc + 1;
             next_pc = static_cast<InstAddr>(_state.mhar);
@@ -227,7 +234,8 @@ Executor::next(TraceRecord &out)
         const Addr addr =
             readIreg(in.rs1) + static_cast<std::uint64_t>(in.imm);
         _hier.prefetch(addr);
-        out.addr = addr;
+        if constexpr (Fill)
+            out->addr = addr;
         ++_stats.prefetches;
         break;
       }
@@ -249,7 +257,10 @@ Executor::next(TraceRecord &out)
             ++_stats.takenBranches;
             next_pc = static_cast<InstAddr>(in.imm);
         }
-        out.taken = taken;
+        if constexpr (Fill)
+            out->taken = taken;
+        else if (warm)
+            warm->condBranch(pc, taken);
         break;
       }
       case Op::J:
@@ -300,7 +311,8 @@ Executor::next(TraceRecord &out)
             next_pc = static_cast<InstAddr>(in.imm);
             _inHandler = true;
         }
-        out.taken = cc;
+        if constexpr (Fill)
+            out->taken = cc;
         break;
       }
 
@@ -316,12 +328,28 @@ Executor::next(TraceRecord &out)
     }
 
     ++_stats.instructions;
-    if (out.handlerCode)
+    if (handler_code)
         ++_stats.handlerInstructions;
 
     _state.pc = next_pc;
-    out.nextPc = next_pc;
+    if constexpr (Fill)
+        out->nextPc = next_pc;
     return true;
+}
+
+bool
+Executor::next(TraceRecord &out)
+{
+    return stepImpl<true>(&out, nullptr);
+}
+
+std::uint64_t
+Executor::fastForward(std::uint64_t count, WarmSink *warm)
+{
+    std::uint64_t done = 0;
+    while (done < count && stepImpl<false>(nullptr, warm))
+        ++done;
+    return done;
 }
 
 std::uint64_t

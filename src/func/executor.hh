@@ -68,6 +68,22 @@ struct ExecStats
     }
 };
 
+/**
+ * Receives conditional-branch outcomes during fast-forward so a timing
+ * model's branch predictor can stay trained across the gap (functional
+ * warming in the SMARTS sense). Only the ops the timing models predict
+ * (BEQ/BNE/BLT/BGE) are reported; BRMISS-style branches are statically
+ * predicted by both CPU models and carry no predictor state.
+ */
+class WarmSink
+{
+  public:
+    virtual ~WarmSink() = default;
+
+    /** The branch at @p pc resolved with direction @p taken. */
+    virtual void condBranch(InstAddr pc, bool taken) = 0;
+};
+
 /** Executes one MRISC program against a reference cache hierarchy. */
 class Executor : public TraceSource
 {
@@ -88,6 +104,21 @@ class Executor : public TraceSource
      * @return false once the program has halted.
      */
     bool next(TraceRecord &out) override;
+
+    /**
+     * Fast functional-warming mode: execute up to @p count instructions
+     * without staging trace records for a timing model. Architectural
+     * state, the data memory, the reference cache hierarchy, and every
+     * informing-op semantic (condition codes, miss traps, handler
+     * execution, RETMH re-arming) advance exactly as under next() —
+     * only the record fill is compiled out. Conditional-branch outcomes
+     * are reported to @p warm (when non-null) so a detached timing
+     * model's branch predictor stays trained across the gap.
+     *
+     * @return the number of instructions executed; less than @p count
+     * only if the program halted first.
+     */
+    std::uint64_t fastForward(std::uint64_t count, WarmSink *warm = nullptr);
 
     /** Run to completion, discarding records. @return retired count. */
     std::uint64_t run();
@@ -116,6 +147,15 @@ class Executor : public TraceSource
     void restore(Deserializer &d);
 
   private:
+    /**
+     * The single execution step body. Fill selects at compile time
+     * whether @p out is populated (the next() path feeding a timing
+     * model) or skipped entirely (the fastForward() path, where the
+     * record fill would be pure overhead on the sampling fast path).
+     */
+    template <bool Fill>
+    bool stepImpl(TraceRecord *out, WarmSink *warm);
+
     std::uint64_t readIreg(std::uint8_t unified) const;
     void writeIreg(std::uint8_t unified, std::uint64_t value);
     double readFreg(std::uint8_t unified) const;

@@ -119,11 +119,8 @@ SetAssocCache::findLine(Addr addr) const
 }
 
 CacheAccessResult
-SetAssocCache::access(Addr addr, bool is_write)
+SetAssocCache::accessSlow(std::uint64_t set, Addr tag, bool is_write)
 {
-    const std::uint64_t set = _geom.setIndex(addr);
-    const Addr tag = _geom.tag(addr);
-
     CacheAccessResult result;
     const std::uint32_t way = lookupWay(set, tag);
     if (way != _geom.assoc) {

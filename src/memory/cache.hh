@@ -58,8 +58,27 @@ class SetAssocCache
      * @param addr byte address
      * @param is_write marks the line dirty on stores
      * @return hit/miss and any dirty victim evicted by the fill.
+     *
+     * Defined inline: the MRU-way hit is the overwhelmingly common
+     * outcome and dominates functional fast-forward time, so it is
+     * resolved here without leaving the caller's frame. touch() keeps
+     * _mru[set] and the recency head _order[set * assoc] identical, so
+     * an MRU hit needs no reordering — only a stamp refresh.
      */
-    CacheAccessResult access(Addr addr, bool is_write);
+    CacheAccessResult
+    access(Addr addr, bool is_write)
+    {
+        const std::uint64_t set = _geom.setIndex(addr);
+        const Addr tag = _geom.tag(addr);
+        Line &line = _lines[set * _geom.assoc + _mru[set]];
+        if (line.valid && line.tag == tag) [[likely]] {
+            ++_hits;
+            line.dirty = line.dirty || is_write;
+            line.lruStamp = ++_stamp;
+            return {.hit = true, .writeback = {}};
+        }
+        return accessSlow(set, tag, is_write);
+    }
 
     /** @return true if the line containing @p addr is present (no LRU
      *  update, no allocation). */
@@ -114,6 +133,11 @@ class SetAssocCache
     };
 
     const Line *findLine(Addr addr) const;
+
+    /** The non-MRU-hit remainder of access(): other-way hits (full
+     *  recency rotation) and misses (victim selection and fill). */
+    CacheAccessResult accessSlow(std::uint64_t set, Addr tag,
+                                 bool is_write);
 
     /** Way holding (@p set, @p tag), or assoc if absent. */
     std::uint32_t lookupWay(std::uint64_t set, Addr tag) const;

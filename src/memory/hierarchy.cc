@@ -8,22 +8,6 @@ FunctionalHierarchy::FunctionalHierarchy(CacheGeometry l1, CacheGeometry l2)
 {
 }
 
-MemLevel
-FunctionalHierarchy::access(Addr addr, bool is_write)
-{
-    const CacheAccessResult r1 = _l1.access(addr, is_write);
-    if (r1.hit)
-        return MemLevel::L1;
-
-    // L1 victim writebacks land in L2 (which already holds the line in
-    // an inclusive hierarchy; access keeps its LRU warm).
-    if (r1.writeback)
-        _l2.access(*r1.writeback, true);
-
-    const CacheAccessResult r2 = _l2.access(addr, is_write);
-    return r2.hit ? MemLevel::L2 : MemLevel::Memory;
-}
-
 void
 FunctionalHierarchy::prefetch(Addr addr)
 {

@@ -29,8 +29,25 @@ class FunctionalHierarchy
     /**
      * Perform a demand reference and update both levels.
      * @return the level that serviced the reference.
+     *
+     * Inline so the executor's per-reference call collapses into the
+     * L1 MRU-hit fast path of SetAssocCache::access.
      */
-    MemLevel access(Addr addr, bool is_write);
+    MemLevel
+    access(Addr addr, bool is_write)
+    {
+        const CacheAccessResult r1 = _l1.access(addr, is_write);
+        if (r1.hit) [[likely]]
+            return MemLevel::L1;
+
+        // L1 victim writebacks land in L2 (which already holds the
+        // line in an inclusive hierarchy; access keeps its LRU warm).
+        if (r1.writeback)
+            _l2.access(*r1.writeback, true);
+
+        const CacheAccessResult r2 = _l2.access(addr, is_write);
+        return r2.hit ? MemLevel::L2 : MemLevel::Memory;
+    }
 
     /** Software prefetch: pull the line into both levels. */
     void prefetch(Addr addr);

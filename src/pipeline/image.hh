@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Full-machine checkpoint images: a meta section naming the timing
+ * model and the program, then one section per stateful component
+ * (executor, cpu, optionally the fault injector).
+ *
+ * These templates are the PR-2 checkpoint hooks shared by the simulate()
+ * driver and the sampling controller: both produce and consume the same
+ * image format, so a checkpoint written by a full detailed run can seed
+ * a sampled run and vice versa.
+ */
+
+#ifndef IMO_PIPELINE_IMAGE_HH
+#define IMO_PIPELINE_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/checkpoint.hh"
+#include "common/error.hh"
+#include "common/faultinject.hh"
+#include "func/executor.hh"
+#include "isa/program.hh"
+
+namespace imo::pipeline
+{
+
+/**
+ * Assemble a full-machine image. The fault section is present exactly
+ * when an injector is attached, and restore enforces the same
+ * attachment, so a checkpoint cannot be silently replayed under a
+ * different fault plan.
+ */
+template <typename Cpu>
+std::vector<std::uint8_t>
+makeImage(const char *kind, const isa::Program &program,
+          const func::Executor &exec, const Cpu &cpu,
+          const FaultInjector *faults, std::uint64_t retired)
+{
+    Serializer s;
+    s.beginSection("meta");
+    s.str(kind);
+    s.u64(program.fingerprint());
+    s.str(program.name());
+    s.u64(retired);
+    s.b(faults != nullptr);
+    s.endSection();
+
+    s.beginSection("executor");
+    exec.save(s);
+    s.endSection();
+
+    s.beginSection("cpu");
+    cpu.save(s);
+    s.endSection();
+
+    if (faults) {
+        s.beginSection("faults");
+        faults->save(s);
+        s.endSection();
+    }
+    return s.finish();
+}
+
+/** Restore a full-machine image. @return the retired count saved in
+ *  the meta section. */
+template <typename Cpu>
+std::uint64_t
+restoreImage(const std::vector<std::uint8_t> &image, const char *kind,
+             func::Executor &exec, Cpu &cpu, FaultInjector *faults)
+{
+    Deserializer d(image);
+
+    d.openSection("meta");
+    const std::string saved_kind = d.str();
+    sim_throw_if(saved_kind != kind, ErrCode::BadCheckpoint,
+                 "checkpoint was taken on a '%s' machine, this "
+                 "configuration is '%s'", saved_kind.c_str(), kind);
+    d.u64();                     // fingerprint; exec.restore() verifies
+    d.str();                     // program name (informational)
+    const std::uint64_t retired = d.u64();
+    const bool has_faults = d.b();
+    d.closeSection();
+    sim_throw_if(has_faults && !faults, ErrCode::BadCheckpoint,
+                 "checkpoint was taken with fault injection attached; "
+                 "restoring without an injector would diverge");
+    sim_throw_if(!has_faults && faults, ErrCode::BadCheckpoint,
+                 "checkpoint was taken without fault injection; "
+                 "restoring with an injector would diverge");
+
+    d.openSection("executor");
+    exec.restore(d);
+    d.closeSection();
+
+    d.openSection("cpu");
+    cpu.restore(d);
+    d.closeSection();
+
+    if (faults) {
+        d.openSection("faults");
+        faults->restore(d);
+        d.closeSection();
+    }
+    return retired;
+}
+
+} // namespace imo::pipeline
+
+#endif // IMO_PIPELINE_IMAGE_HH

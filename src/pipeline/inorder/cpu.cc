@@ -117,6 +117,19 @@ InOrderCpu::retired() const
     return _t ? _t->consumed : 0;
 }
 
+void
+InOrderCpu::warmCondBranch(InstAddr pc, bool taken)
+{
+    panic_if(!_t, "InOrderCpu::warmCondBranch before reset()");
+    // update() only: warming must leave accuracy statistics untouched
+    // (no lookup happened in the pipeline) while keeping the counter
+    // table — and gshare's global history — exactly as trained.
+    if (_config.useGshare)
+        _t->gshare.update(pc, taken);
+    else
+        _t->bimodal.update(pc, taken);
+}
+
 bool
 InOrderCpu::step(func::TraceSource &src)
 {

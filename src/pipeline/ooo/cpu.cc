@@ -125,6 +125,19 @@ OooCpu::retired() const
     return _t ? _t->index : 0;
 }
 
+void
+OooCpu::warmCondBranch(InstAddr pc, bool taken)
+{
+    panic_if(!_t, "OooCpu::warmCondBranch before reset()");
+    // update() only: warming must leave accuracy statistics untouched
+    // (no lookup happened in the pipeline) while keeping the counter
+    // table — and gshare's global history — exactly as trained.
+    if (_config.useGshare)
+        _t->gshare.update(pc, taken);
+    else
+        _t->bimodal.update(pc, taken);
+}
+
 bool
 OooCpu::step(func::TraceSource &src)
 {

@@ -71,6 +71,16 @@ class OooCpu
     std::uint64_t retired() const;
 
     /**
+     * Functional warming: train the active branch predictor with a
+     * resolved direction without advancing the pipeline or touching
+     * lookup/mispredict statistics. Used by the sampling controller
+     * while the executor fast-forwards between detailed windows, so
+     * predictor state on re-entry matches a continuously stepped run.
+     * Requires reset() (or restore()) first.
+     */
+    void warmCondBranch(InstAddr pc, bool taken);
+
+    /**
      * Snapshot the result so far. Callable at any step boundary and
      * after a step() threw (partial statistics for failure reports).
      */

@@ -1,0 +1,371 @@
+#include "sample/sample.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/checkpoint.hh"
+#include "isa/verify.hh"
+#include "pipeline/image.hh"
+#include "pipeline/inorder/cpu.hh"
+#include "pipeline/ooo/cpu.hh"
+
+namespace imo::sample
+{
+
+void
+SampleParams::validate() const
+{
+    sim_throw_if(fastForward == 0, ErrCode::BadConfig,
+                 "sample: fast-forward gap (U) must be nonzero; use the "
+                 "full detailed simulation instead of U=0");
+    sim_throw_if(measure == 0, ErrCode::BadConfig,
+                 "sample: measurement window (M) must be nonzero");
+    sim_throw_if(maxPasses == 0, ErrCode::BadConfig,
+                 "sample: maxPasses must be at least 1");
+    sim_throw_if(targetRelErr < 0.0 || targetRelErr >= 1.0,
+                 ErrCode::BadConfig,
+                 "sample: target relative error %g outside [0, 1)",
+                 targetRelErr);
+}
+
+std::string
+SampleParams::spec() const
+{
+    return simFormat("%llu:%llu:%llu",
+                     static_cast<unsigned long long>(fastForward),
+                     static_cast<unsigned long long>(warmup),
+                     static_cast<unsigned long long>(measure));
+}
+
+SampleParams
+SampleParams::parse(const std::string &spec)
+{
+    std::vector<std::string> parts;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ':'))
+        parts.push_back(item);
+    sim_throw_if(parts.size() != 3, ErrCode::BadConfig,
+                 "sample spec '%s' is not of the form U:W:M "
+                 "(e.g. 10000:500:500)", spec.c_str());
+
+    auto num = [&spec](const std::string &s, const char *what) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+        // Digits only: strtoull would otherwise accept "-1" by
+        // wrapping it to a huge unsigned value.
+        sim_throw_if(s.empty() ||
+                     s.find_first_not_of("0123456789") !=
+                         std::string::npos ||
+                     end == s.c_str() || *end != '\0',
+                     ErrCode::BadConfig,
+                     "sample spec '%s': bad %s value '%s'",
+                     spec.c_str(), what, s.c_str());
+        return static_cast<std::uint64_t>(v);
+    };
+    SampleParams p;
+    p.fastForward = num(parts[0], "fast-forward (U)");
+    p.warmup = num(parts[1], "warmup (W)");
+    p.measure = num(parts[2], "measure (M)");
+    p.validate();
+    return p;
+}
+
+namespace
+{
+
+/** Step the timing model up to @p n instructions; @return how many. */
+template <typename Cpu>
+std::uint64_t
+stepN(Cpu &cpu, func::Executor &exec, std::uint64_t n)
+{
+    std::uint64_t done = 0;
+    while (done < n && cpu.step(exec))
+        ++done;
+    return done;
+}
+
+/** Streams fast-forwarded branch outcomes into the CPU's predictor. */
+template <typename Cpu>
+class PredictorWarmer final : public func::WarmSink
+{
+  public:
+    explicit PredictorWarmer(Cpu &cpu) : _cpu(cpu) {}
+
+    void
+    condBranch(InstAddr pc, bool taken) override
+    {
+        _cpu.warmCondBranch(pc, taken);
+    }
+
+  private:
+    Cpu &_cpu;
+};
+
+} // anonymous namespace
+
+Sampler::Sampler(isa::Program program,
+                 const pipeline::MachineConfig &config,
+                 const SampleParams &params)
+    : _program(std::move(program)), _config(config), _params(params)
+{
+}
+
+template <typename Cpu>
+void
+Sampler::runPass(const char *kind, std::uint32_t pass,
+                 const pipeline::SimulateOptions &opt)
+{
+    func::Executor exec(_program,
+                        func::Executor::Config{
+                            .l1 = _config.l1,
+                            .l2 = _config.l2,
+                            .maxInstructions = _config.maxInstructions});
+    Cpu cpu(_config);
+    cpu.reset();
+
+    std::vector<std::uint8_t> in_image;
+    const std::vector<std::uint8_t> *resume = opt.resumeImage;
+    if (!resume && !opt.checkpointIn.empty()) {
+        in_image = Deserializer::readFile(opt.checkpointIn);
+        resume = &in_image;
+    }
+    if (resume) {
+        _est.resumedInstructions =
+            pipeline::restoreImage(*resume, kind, exec, cpu,
+                                   _config.faults);
+    }
+
+    PredictorWarmer<Cpu> warmer(cpu);
+
+    const std::uint64_t U = _params.fastForward;
+    const std::uint64_t W = _params.warmup;
+    const std::uint64_t M = _params.measure;
+
+    // Deterministic phase offset: extension pass p shifts its first
+    // gap by p*U/maxPasses so its windows interleave with pass 0's
+    // instead of re-measuring the same instructions. A pure function
+    // of the parameters — no RNG, no wall clock.
+    std::uint64_t gap =
+        U + U * pass / std::max<std::uint32_t>(_params.maxPasses, 1);
+
+    for (;;) {
+        if (exec.fastForward(gap, &warmer) < gap)
+            break; // program halted inside the gap
+        gap = U;
+
+        const std::uint64_t warmed = stepN(cpu, exec, W);
+        _est.detailedInstructions += warmed;
+        if (warmed < W)
+            break; // halted during warmup
+
+        const pipeline::RunResult r0 = cpu.result();
+        const std::uint64_t measured = stepN(cpu, exec, M);
+        _est.detailedInstructions += measured;
+        if (measured < M)
+            break; // truncated window: not a full-length sample, drop
+
+        const pipeline::RunResult r1 = cpu.result();
+        _cpi.sample(static_cast<double>(r1.cycles - r0.cycles) /
+                    static_cast<double>(M));
+        const std::uint64_t misses = r1.l1Misses - r0.l1Misses;
+        const std::uint64_t refs = r1.dataRefs - r0.dataRefs;
+        // Zero-ref windows are legitimate ratio-estimator samples
+        // (they pull the estimate's weight, not its value), but a
+        // per-window ratio only exists when there are refs.
+        _winMisses.push_back(static_cast<double>(misses));
+        _winRefs.push_back(static_cast<double>(refs));
+        if (refs) {
+            _missRate.sample(static_cast<double>(misses) /
+                             static_cast<double>(refs));
+        }
+    }
+
+    // The functional side executed the whole program regardless of how
+    // the windows fell, so these totals are exact (and identical in
+    // every pass — only the window placement differs).
+    const func::ExecStats &es = exec.stats();
+    _est.instructions = es.instructions;
+    _est.dataRefs = es.dataRefs;
+    _est.l1Misses = es.l1Misses;
+    _est.traps = es.traps;
+
+    if (pass == 0 && !opt.checkpointOut.empty()) {
+        writeCheckpointFile(
+            opt.checkpointOut,
+            pipeline::makeImage(kind, _program, exec, cpu,
+                                _config.faults, es.instructions));
+    }
+}
+
+template <typename Cpu>
+void
+Sampler::runPasses(const char *kind,
+                   const pipeline::SimulateOptions &opt)
+{
+    runPass<Cpu>(kind, 0, opt);
+    _est.passes = 1;
+    // Error-targeted auto-extension: pool more phase-offset passes
+    // until the CPI confidence interval meets the target (at least two
+    // windows are needed for the interval to mean anything).
+    while (_params.targetRelErr > 0.0 && _est.passes < _params.maxPasses &&
+           (_cpi.count() < 2 ||
+            _cpi.relativeError() > _params.targetRelErr)) {
+        runPass<Cpu>(kind, _est.passes, opt);
+        ++_est.passes;
+    }
+}
+
+void
+Sampler::finishMissRateEstimate()
+{
+    // Ratio estimator over the measured windows: R = pooled misses /
+    // pooled refs, var(R) ~= sum((m_i - R r_i)^2) / (n-1) / (n rbar^2)
+    // (Taylor linearization). Each window is weighted by its refs, so
+    // ref-heavy miss-heavy windows cannot bias the estimate the way an
+    // equal-weighted mean of per-window ratios would.
+    const std::size_t n = _winMisses.size();
+    double sum_m = 0.0;
+    double sum_r = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum_m += _winMisses[i];
+        sum_r += _winRefs[i];
+    }
+    if (sum_r <= 0.0)
+        return;
+    const double ratio = sum_m / sum_r;
+    _est.missRateMean = ratio;
+    if (n < 2)
+        return;
+    const double rbar = sum_r / static_cast<double>(n);
+    double dev2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = _winMisses[i] - ratio * _winRefs[i];
+        dev2 += d * d;
+    }
+    _est.missRateVariance = dev2 / static_cast<double>(n - 1) /
+        (static_cast<double>(n) * rbar * rbar);
+    _est.missRateCi95 = 1.96 * std::sqrt(_est.missRateVariance);
+}
+
+SampleEstimate
+Sampler::run(const pipeline::SimulateOptions &options)
+{
+    _cpi.reset();
+    _missRate.reset();
+    _winMisses.clear();
+    _winRefs.clear();
+    _est = SampleEstimate{};
+    _est.machine = _config.name;
+    _est.workload = _program.name();
+    _est.spec = _params.spec();
+
+    try {
+        _params.validate();
+        _config.validate();
+        isa::verifyProgram(_program);
+
+        if (_config.outOfOrder)
+            runPasses<pipeline::OooCpu>("ooo", options);
+        else
+            runPasses<pipeline::InOrderCpu>("inorder", options);
+
+        _est.windows = _cpi.count();
+        _est.cpiMean = _cpi.mean();
+        _est.cpiVariance = _cpi.variance();
+        _est.cpiCi95 = _cpi.ci95();
+        finishMissRateEstimate();
+
+        xcheckAgainstFull();
+    } catch (const SimException &e) {
+        _est.ok = false;
+        _est.error = e.error();
+    } catch (const std::exception &e) {
+        _est.ok = false;
+        _est.error = SimError{ErrCode::Internal, e.what(), {}};
+    }
+    return _est;
+}
+
+void
+Sampler::xcheckAgainstFull()
+{
+#ifdef IMO_PARANOID_XCHECK
+    // Fault injection consumes PRNG draws per detailed event, so a
+    // full run and a sampled run see different fault streams and are
+    // not comparable; a windowless run estimates nothing. Resumed runs
+    // cover a program suffix a cold full run would not match.
+    if (_config.faults || _est.windows == 0 ||
+        _est.resumedInstructions != 0) {
+        return;
+    }
+
+    pipeline::MachineConfig full_cfg = _config;
+    full_cfg.obs = nullptr;
+    const pipeline::RunResult full =
+        pipeline::simulate(_program, full_cfg);
+    sim_throw_if(!full.ok, ErrCode::Internal,
+                 "xcheck: full reference run failed: %s",
+                 full.error.message.c_str());
+
+    // The sampled estimate must land inside its own reported interval
+    // around the detailed truth. The interval is floored at 2% of the
+    // reference value (the accuracy budget this engine targets) so a
+    // handful of near-identical windows reporting a degenerate
+    // zero-width CI cannot turn an accurate estimate into a false
+    // alarm, and at an absolute 0.002 for miss rates near zero.
+    const double full_cpi = full.instructions
+        ? static_cast<double>(full.cycles) / full.instructions : 0.0;
+    const double cpi_tol = std::max(_est.cpiCi95, 0.02 * full_cpi);
+    sim_throw_if(std::abs(full_cpi - _est.cpiMean) > cpi_tol,
+                 ErrCode::Internal,
+                 "xcheck: sampled CPI %.6f +/- %.6f misses full-run "
+                 "CPI %.6f (%s, %s, %s, %llu windows)",
+                 _est.cpiMean, cpi_tol, full_cpi,
+                 _est.machine.c_str(), _est.workload.c_str(),
+                 _est.spec.c_str(),
+                 static_cast<unsigned long long>(_est.windows));
+
+    const double full_rate = full.dataRefs
+        ? static_cast<double>(full.l1Misses) / full.dataRefs : 0.0;
+    const double rate_tol = std::max(
+        {_est.missRateCi95, 0.02 * full_rate, 0.002});
+    sim_throw_if(std::abs(full_rate - _est.missRateMean) > rate_tol,
+                 ErrCode::Internal,
+                 "xcheck: sampled L1 miss rate %.6f +/- %.6f misses "
+                 "full-run rate %.6f (%s, %s, %s)",
+                 _est.missRateMean, rate_tol, full_rate,
+                 _est.machine.c_str(), _est.workload.c_str(),
+                 _est.spec.c_str());
+#endif
+}
+
+void
+Sampler::registerStats(stats::StatGroup &parent)
+{
+    auto &g = parent.childGroup("sample");
+    g.adopt(_cpi);
+    g.adopt(_missRate);
+    g.make<stats::Value>("windows", "full measurement windows pooled",
+                         [this] { return _est.windows; });
+    g.make<stats::Value>("passes", "sampling passes run", [this] {
+        return static_cast<std::uint64_t>(_est.passes);
+    });
+    g.make<stats::Value>("instructions",
+                         "instructions executed functionally (exact)",
+                         [this] { return _est.instructions; });
+    g.make<stats::Value>("detailed_instructions",
+                         "instructions stepped through the timing model",
+                         [this] { return _est.detailedInstructions; });
+    g.make<stats::Derived>("est_cycles",
+                           "window CPI mean x exact instructions",
+                           [this] { return _est.estCycles(); });
+    g.make<stats::Derived>("exact_l1_miss_rate",
+                           "functionally exact L1 miss rate",
+                           [this] { return _est.exactMissRate(); });
+}
+
+} // namespace imo::sample

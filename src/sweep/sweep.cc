@@ -58,6 +58,7 @@ expandGrid(const SweepGrid &grid)
     const auto l2_lats = axis(grid.l2Latencies, std::uint64_t{0});
     const auto mem_lats = axis(grid.memLatencies, std::uint64_t{0});
     const auto mshr_counts = axis(grid.mshrCounts, std::uint32_t{0});
+    const auto samples = axis(grid.samples, std::string(""));
 
     std::vector<SweepPoint> points;
     for (const std::string &machine : machines)
@@ -69,21 +70,24 @@ expandGrid(const SweepGrid &grid)
                             for (const std::uint64_t l2l : l2_lats)
                                 for (const std::uint64_t ml : mem_lats)
                                     for (const std::uint32_t ms :
-                                         mshr_counts) {
-                                        SweepPoint p;
-                                        p.machine = machine;
-                                        p.workload = workload;
-                                        p.mode = mode;
-                                        p.handlerLen = len;
-                                        p.scale = grid.scale;
-                                        p.seed = grid.seed;
-                                        p.l1SizeBytes = l1s;
-                                        p.l1Assoc = l1a;
-                                        p.l2Latency = l2l;
-                                        p.memLatency = ml;
-                                        p.mshrs = ms;
-                                        points.push_back(p);
-                                    }
+                                         mshr_counts)
+                                        for (const std::string &smp :
+                                             samples) {
+                                            SweepPoint p;
+                                            p.machine = machine;
+                                            p.workload = workload;
+                                            p.mode = mode;
+                                            p.handlerLen = len;
+                                            p.scale = grid.scale;
+                                            p.seed = grid.seed;
+                                            p.l1SizeBytes = l1s;
+                                            p.l1Assoc = l1a;
+                                            p.l2Latency = l2l;
+                                            p.memLatency = ml;
+                                            p.mshrs = ms;
+                                            p.sample = smp;
+                                            points.push_back(p);
+                                        }
     return points;
 }
 
@@ -103,7 +107,16 @@ runPoint(const SweepPoint &point)
     const isa::Program base = workloads::build(point.workload, wp);
     const isa::Program prog =
         core::instrument(base, point.mode, {.length = point.handlerLen});
-    out.result = pipeline::simulate(prog, cfg);
+    if (point.sample.empty()) {
+        out.result = pipeline::simulate(prog, cfg);
+    } else {
+        // parse() throws BadConfig on a malformed spec; runSweep's
+        // callers validate up front, so here it indicates a driver bug
+        // and is allowed to propagate into the engine's error path.
+        sample::Sampler sampler(
+            prog, cfg, sample::SampleParams::parse(point.sample));
+        out.estimate = sampler.run();
+    }
     return out;
 }
 
@@ -164,7 +177,35 @@ writeReportJson(std::ostream &os,
            << ",\"l2_latency\":" << cfg.mem.l2Latency
            << ",\"mem_latency\":" << cfg.mem.memLatency
            << ",\"mshrs\":" << cfg.mem.mshrs
-           << ",\"ok\":" << (r.ok ? "true" : "false");
+           << ",\"sample\":\"";
+        jsonEscape(os, p.sample);
+        os << '"';
+        if (!p.sample.empty()) {
+            const sample::SampleEstimate &e = o.estimate;
+            os << ",\"ok\":" << (e.ok ? "true" : "false");
+            if (!e.ok) {
+                os << ",\"error\":\"";
+                jsonEscape(os, e.error.message);
+                os << '"';
+            }
+            os << ",\"windows\":" << e.windows
+               << ",\"passes\":" << e.passes
+               << ",\"cpi_mean\":" << e.cpiMean
+               << ",\"cpi_ci95\":" << e.cpiCi95
+               << ",\"est_cycles\":" << e.estCycles()
+               << ",\"instructions\":" << e.instructions
+               << ",\"ipc\":" << e.ipcMean()
+               << ",\"data_refs\":" << e.dataRefs
+               << ",\"l1_misses\":" << e.l1Misses
+               << ",\"traps\":" << e.traps
+               << ",\"miss_rate_mean\":" << e.missRateMean
+               << ",\"miss_rate_ci95\":" << e.missRateCi95
+               << ",\"exact_miss_rate\":" << e.exactMissRate()
+               << ",\"detailed_instructions\":"
+               << e.detailedInstructions << '}';
+            continue;
+        }
+        os << ",\"ok\":" << (r.ok ? "true" : "false");
         if (!r.ok) {
             os << ",\"error\":\"";
             jsonEscape(os, r.error.message);
@@ -193,7 +234,7 @@ std::string
 describePoint(const SweepPoint &point)
 {
     const pipeline::MachineConfig cfg = point.resolveConfig();
-    return simFormat(
+    std::string desc = simFormat(
         "%s %s mode=%s len=%u scale=%g L1=%lluKB/%u-way "
         "l2lat=%llu memlat=%llu mshrs=%u",
         cfg.name.c_str(), point.workload.c_str(),
@@ -204,6 +245,9 @@ describePoint(const SweepPoint &point)
         static_cast<unsigned long long>(cfg.mem.l2Latency),
         static_cast<unsigned long long>(cfg.mem.memLatency),
         cfg.mem.mshrs);
+    if (!point.sample.empty())
+        desc += simFormat(" sample=%s", point.sample.c_str());
+    return desc;
 }
 
 } // namespace imo::sweep

@@ -22,6 +22,7 @@
 #include "core/informing.hh"
 #include "pipeline/config.hh"
 #include "pipeline/result.hh"
+#include "sample/sample.hh"
 
 namespace imo::sweep
 {
@@ -45,6 +46,9 @@ struct SweepPoint
     std::uint64_t memLatency = 0;
     std::uint32_t mshrs = 0;
 
+    /** Sampling schedule as "U:W:M"; empty = full detailed run. */
+    std::string sample;
+
     /** The point's machine config with overrides applied. */
     pipeline::MachineConfig resolveConfig() const;
 };
@@ -64,6 +68,9 @@ struct SweepGrid
     std::vector<std::uint64_t> l2Latencies = {0};
     std::vector<std::uint64_t> memLatencies = {0};
     std::vector<std::uint32_t> mshrCounts = {0};
+
+    /** Sampling axis: "" = full detailed, "U:W:M" = sampled. */
+    std::vector<std::string> samples = {""};
 };
 
 /**
@@ -73,11 +80,14 @@ struct SweepGrid
  */
 std::vector<SweepPoint> expandGrid(const SweepGrid &grid);
 
-/** Outcome of one point: its inputs plus the run's statistics. */
+/** Outcome of one point: its inputs plus the run's statistics. For a
+ *  sampled point (point.sample nonempty) @ref estimate holds the
+ *  result and @ref result is unused; full points fill @ref result. */
 struct SweepOutcome
 {
     SweepPoint point;
     pipeline::RunResult result;
+    sample::SampleEstimate estimate;
 };
 
 /**

@@ -17,6 +17,7 @@
 #include "common/faultinject.hh"
 #include "common/rng.hh"
 #include "core/informing.hh"
+#include "func/datamem.hh"
 #include "coherence/machine.hh"
 #include "obs/observer.hh"
 #include "pipeline/simulate.hh"
@@ -96,6 +97,47 @@ TEST(Container, BadMagicIsRejected)
     } catch (const SimException &e) {
         EXPECT_EQ(e.error().code, ErrCode::BadCheckpoint);
     }
+}
+
+// ---------------------------------------------------------------------
+// DataMemory's one-entry page cache across restore.
+
+TEST(DataMemory, RestoreDropsThePageCache)
+{
+    func::DataMemory mem;
+    mem.write64(0x1000, 111); // allocates page 1 and primes the cache
+
+    Serializer s;
+    s.beginSection("mem");
+    mem.save(s); // snapshot holds 0x1000 == 111
+    s.endSection();
+    const std::vector<std::uint8_t> image = s.finish();
+
+    // Overwrite through the cached-page fast path, then restore the
+    // snapshot. A stale cache entry would expose the overwritten value
+    // (or chase a dangling pointer into the cleared page map) on the
+    // next read.
+    mem.write64(0x1000, 222);
+    Deserializer d(image);
+    d.openSection("mem");
+    mem.restore(d);
+    d.closeSection();
+    EXPECT_EQ(mem.read64(0x1000), 111u);
+
+    // Restoring an image with no pages at all must drop the cache too:
+    // the next read sees zero-fill, not the old page contents.
+    func::DataMemory fresh;
+    Serializer s2;
+    s2.beginSection("mem");
+    fresh.save(s2);
+    s2.endSection();
+    mem.write64(0x1000, 333); // re-prime the cache
+    Deserializer d2(s2.finish());
+    d2.openSection("mem");
+    mem.restore(d2);
+    d2.closeSection();
+    EXPECT_EQ(mem.residentPages(), 0u);
+    EXPECT_EQ(mem.read64(0x1000), 0u);
 }
 
 // ---------------------------------------------------------------------

@@ -7,7 +7,9 @@
  *    and task exceptions propagate (first failing index wins).
  *  - expandGrid(): cardinality and deterministic axis ordering.
  *  - runSweep() + writeReportJson(): byte-identical JSON for
- *    --jobs 1 vs --jobs 4 on a real (small) grid.
+ *    --jobs 1 vs --jobs 4 on a real (small) grid — with and without a
+ *    sampled (--samples) axis — and a well-formed report for an empty
+ *    grid.
  *  - CacheGeometry: the compiled shift/mask fast path agrees with the
  *    reference divide chain on randomized addresses across all legal
  *    shapes, and lineAddrOf() inverts (setIndex, tag) — the dirty-
@@ -174,6 +176,48 @@ TEST(SweepRun, ReportByteIdenticalAcrossJobCounts)
     EXPECT_EQ(j1, j4);
     EXPECT_NE(j1.find("\"machine\":\"ooo"), std::string::npos);
     EXPECT_NE(j1.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(SweepRun, EmptyGridProducesAnEmptyButValidReport)
+{
+    // A fully filtered-out grid is legal: the engine gets zero tasks
+    // and the report writer must still emit a well-formed document.
+    const std::vector<sweep::SweepPoint> none;
+    const std::vector<sweep::SweepOutcome> outcomes =
+        sweep::runSweep(none, 4);
+    EXPECT_TRUE(outcomes.empty());
+
+    std::ostringstream os;
+    sweep::writeReportJson(os, outcomes);
+    EXPECT_NE(os.str().find("\"points\":[]"), std::string::npos)
+        << os.str();
+}
+
+TEST(SweepRun, SampledAxisReportByteIdenticalAcrossJobCounts)
+{
+    sweep::SweepGrid grid;
+    grid.machines = {"ooo"};
+    grid.workloads = {"hydro2d"};
+    grid.modes = {core::InformingMode::None};
+    grid.samples = {"", "9973:300:300"};
+    grid.scale = 0.2;
+    const std::vector<sweep::SweepPoint> points = sweep::expandGrid(grid);
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].sample, "");
+    EXPECT_EQ(points[1].sample, "9973:300:300");
+
+    const auto report = [&](unsigned jobs) {
+        const std::vector<sweep::SweepOutcome> outcomes =
+            sweep::runSweep(points, jobs);
+        std::ostringstream os;
+        sweep::writeReportJson(os, outcomes);
+        return os.str();
+    };
+    const std::string j1 = report(1);
+    const std::string j4 = report(4);
+    EXPECT_EQ(j1, j4);
+    EXPECT_NE(j1.find("\"sample\":\"9973:300:300\""), std::string::npos);
+    EXPECT_NE(j1.find("\"cpi_mean\":"), std::string::npos);
 }
 
 // -------------------------------------------------------------- geometry

@@ -31,8 +31,10 @@
 #include "isa/asm.hh"
 #include "isa/disasm.hh"
 #include "isa/verify.hh"
+#include "common/stats.hh"
 #include "obs/observer.hh"
 #include "pipeline/simulate.hh"
+#include "sample/sample.hh"
 #include "workloads/suite.hh"
 
 namespace
@@ -74,6 +76,18 @@ usage()
         "running\n"
         "  --checkpoint-every N    checkpoint every N retired "
         "instructions\n"
+        "  --sample U:W:M          sampled simulation: fast-forward U "
+        "insts with\n"
+        "                          functional warming, warm up the "
+        "timing model for W,\n"
+        "                          measure M; repeats to end of "
+        "program\n"
+        "  --sample-target F       extend sampling (phase-offset "
+        "passes) until the\n"
+        "                          CPI 95%% CI is within fraction F of "
+        "the mean\n"
+        "  --sample-passes N       extension pass limit for "
+        "--sample-target (default 8)\n"
         "  --stats                 print the full stats tree after the "
         "run\n"
         "  --stats-json PATH       write the stats tree as JSON to PATH "
@@ -175,6 +189,9 @@ main(int argc, char **argv)
     std::string trace_categories = "all";
     bool want_profile = false;
     std::size_t profile_top = 10;
+    std::string sample_spec;
+    double sample_target = 0.0;
+    std::uint32_t sample_passes = 0;
 
     initLogLevelFromEnv();
 
@@ -243,6 +260,15 @@ main(int argc, char **argv)
             if (!(val = next())) return usage();
             sim_options.checkpointEvery =
                 static_cast<std::uint64_t>(atoll(val));
+        } else if (arg == "--sample") {
+            if (!(val = next())) return usage();
+            sample_spec = val;
+        } else if (arg == "--sample-target") {
+            if (!(val = next())) return usage();
+            sample_target = atof(val);
+        } else if (arg == "--sample-passes") {
+            if (!(val = next())) return usage();
+            sample_passes = static_cast<std::uint32_t>(atoi(val));
         } else if (arg == "--stats") {
             want_stats = true;
         } else if (arg == "--stats-json") {
@@ -366,6 +392,116 @@ main(int argc, char **argv)
         // simulation output; simulate() re-validates defensively.
         machine.validate();
         isa::verifyProgram(prog);
+
+        if (!sample_spec.empty()) {
+            sample::SampleParams sp =
+                sample::SampleParams::parse(sample_spec);
+            if (sample_target > 0.0)
+                sp.targetRelErr = sample_target;
+            if (sample_passes > 0)
+                sp.maxPasses = sample_passes;
+            if (sim_options.checkpointEvery) {
+                warn("--checkpoint-every is ignored in sampled mode");
+                sim_options.checkpointEvery = 0;
+            }
+
+            sample::Sampler sampler(prog, machine, sp);
+            const sample::SampleEstimate est =
+                sampler.run(sim_options);
+
+            if (want_obs) {
+                stats::StatGroup root("sim");
+                sampler.registerStats(root);
+                std::ostringstream text;
+                root.dump(text);
+                observer.statsText = text.str();
+                std::ostringstream json;
+                json << "{\"sim\":";
+                root.dumpJson(json);
+                json << "}\n";
+                observer.statsJson = json.str();
+            }
+            if (!stats_json_path.empty()) {
+                if (stats_json_path == "-") {
+                    std::fputs(observer.statsJson.c_str(), stdout);
+                } else {
+                    std::ofstream out(stats_json_path);
+                    sim_throw_if(!out, ErrCode::BadConfig,
+                                 "cannot write %s",
+                                 stats_json_path.c_str());
+                    out << observer.statsJson;
+                }
+            }
+
+            if (!est.ok) {
+                printError(est.error);
+                return exitCodeFor(est.error.code);
+            }
+
+            if (csv) {
+                std::printf(
+                    "%s,%s,%s,%u,%s,%llu,%u,%.6f,%.6f,%.0f,%llu,"
+                    "%.6f,%.6f,%.6f,%llu\n",
+                    prog.name().c_str(), machine.name.c_str(),
+                    mode_name.c_str(), handler_len, est.spec.c_str(),
+                    static_cast<unsigned long long>(est.windows),
+                    est.passes, est.cpiMean, est.cpiCi95,
+                    est.estCycles(),
+                    static_cast<unsigned long long>(est.instructions),
+                    est.missRateMean, est.missRateCi95,
+                    est.exactMissRate(),
+                    static_cast<unsigned long long>(
+                        est.detailedInstructions));
+                return 0;
+            }
+
+            std::printf("program   %s  (%u static insts, %u static "
+                        "refs)\n",
+                        prog.name().c_str(), prog.size(),
+                        prog.numStaticRefs());
+            std::printf("machine   %s   mode %s   sampled %s\n\n",
+                        machine.name.c_str(), mode_name.c_str(),
+                        est.spec.c_str());
+            std::printf("instructions  %12llu   (exact)\n",
+                        static_cast<unsigned long long>(
+                            est.instructions));
+            std::printf("windows       %12llu   across %u pass(es)\n",
+                        static_cast<unsigned long long>(est.windows),
+                        est.passes);
+            std::printf("cpi           %12.4f   +/- %.4f (95%% CI; "
+                        "IPC %.3f)\n",
+                        est.cpiMean, est.cpiCi95, est.ipcMean());
+            std::printf("est cycles    %12.0f\n", est.estCycles());
+            std::printf("detailed      %12llu   insts through the "
+                        "timing model (%.1f%%)\n",
+                        static_cast<unsigned long long>(
+                            est.detailedInstructions),
+                        est.instructions
+                            ? 100.0 * est.detailedInstructions /
+                                  est.instructions
+                            : 0.0);
+            std::printf("L1 miss rate  %12.4f   +/- %.4f (exact "
+                        "%.4f)\n",
+                        est.missRateMean, est.missRateCi95,
+                        est.exactMissRate());
+            std::printf("traps         %12llu\n",
+                        static_cast<unsigned long long>(est.traps));
+            if (!sim_options.checkpointIn.empty())
+                std::printf("checkpoint    resumed at instruction "
+                            "%llu (from %s)\n",
+                            static_cast<unsigned long long>(
+                                est.resumedInstructions),
+                            sim_options.checkpointIn.c_str());
+            if (!sim_options.checkpointOut.empty())
+                std::printf("checkpoint    final state written to "
+                            "%s\n",
+                            sim_options.checkpointOut.c_str());
+            if (want_stats) {
+                std::printf("\n");
+                std::fputs(observer.statsText.c_str(), stdout);
+            }
+            return 0;
+        }
 
         func::ExecStats es;
         const pipeline::RunResult r =

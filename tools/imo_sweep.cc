@@ -56,6 +56,10 @@ usage()
         "  --l2-lats N,...         L2 latency override, cycles\n"
         "  --mem-lats N,...        memory latency override, cycles\n"
         "  --mshrs N,...           MSHR count override\n"
+        "  --samples S,...         sampling schedules: 'full' for the "
+        "detailed\n"
+        "                          simulation, or U:W:M (e.g. "
+        "10000:500:500)\n"
         "options:\n"
         "  --scale F               workload scale factor (default 1)\n"
         "  --seed N                workload seed\n"
@@ -163,6 +167,10 @@ main(int argc, char **argv)
             } else if (arg == "--mshrs") {
                 grid.mshrCounts =
                     parseNumbers<std::uint32_t>(value(), "MSHR count");
+            } else if (arg == "--samples") {
+                grid.samples.clear();
+                for (const std::string &s : splitCsv(value()))
+                    grid.samples.push_back(s == "full" ? "" : s);
             } else if (arg == "--scale") {
                 grid.scale = std::atof(value().c_str());
             } else if (arg == "--seed") {
@@ -201,6 +209,8 @@ main(int argc, char **argv)
             sim_throw_if(!workloads::find(p.workload), ErrCode::BadConfig,
                          "imo-sweep: unknown workload '%s'",
                          p.workload.c_str());
+            if (!p.sample.empty())
+                sample::SampleParams::parse(p.sample);
         }
 
         const std::vector<sweep::SweepOutcome> outcomes =
@@ -218,7 +228,9 @@ main(int argc, char **argv)
 
         std::size_t failed = 0;
         for (const sweep::SweepOutcome &o : outcomes) {
-            if (!o.result.ok)
+            const bool ok = o.point.sample.empty() ? o.result.ok
+                                                   : o.estimate.ok;
+            if (!ok)
                 ++failed;
         }
         std::fprintf(stderr, "imo-sweep: %zu points, %zu failed%s%s\n",
