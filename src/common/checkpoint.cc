@@ -267,6 +267,20 @@ Deserializer::raw(void *out, std::size_t len)
     _cursor += len;
 }
 
+void
+Deserializer::requireRemaining(std::uint64_t bytes)
+{
+    sim_throw_if(_current == static_cast<std::size_t>(-1),
+                 ErrCode::BadCheckpoint,
+                 "checkpoint read outside any section");
+    const Section &s = _sections[_current];
+    sim_throw_if(bytes > s.length - _cursor, ErrCode::BadCheckpoint,
+                 "checkpoint section '%s' truncated: %llu bytes claimed "
+                 "but only %zu remain", s.name.c_str(),
+                 static_cast<unsigned long long>(bytes),
+                 s.length - _cursor);
+}
+
 std::uint64_t
 Deserializer::countedLength(std::size_t elem_bytes)
 {

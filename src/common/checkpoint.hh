@@ -36,8 +36,10 @@ namespace imo
 
 /** Bumped whenever the section layout changes incompatibly.
  *  v2: stats registry (histograms + pipeline counters) joins the
- *  component sections; MSHR entries record their allocation cycle. */
-constexpr std::uint32_t checkpointFormatVersion = 2;
+ *  component sections; MSHR entries record their allocation cycle.
+ *  v3: the fault-injection section grows the four farm-level points
+ *  (worker-kill, worker-stall, dropped-result, store-bit-flip). */
+constexpr std::uint32_t checkpointFormatVersion = 3;
 
 /** CRC-32 (IEEE 802.3 polynomial, as in zlib) of @p len bytes. */
 std::uint32_t crc32(const void *data, std::size_t len);
@@ -157,7 +159,11 @@ class Deserializer
     std::string
     str()
     {
+        // Validate the length against the bytes actually remaining
+        // BEFORE allocating: a hostile 4GB length prefix must produce
+        // a structured error, not an allocation spike.
         const std::uint32_t n = u32();
+        requireRemaining(n);
         std::string s(n, '\0');
         raw(s.data(), n);
         return s;
@@ -186,6 +192,9 @@ class Deserializer
 
     /** Read an element count and bound it by the bytes remaining. */
     std::uint64_t countedLength(std::size_t elem_bytes);
+
+    /** Throw BadCheckpoint unless @p bytes more payload remain. */
+    void requireRemaining(std::uint64_t bytes);
 
     struct Section
     {

@@ -37,6 +37,11 @@ errCodeName(ErrCode code)
       case ErrCode::FaultInjected: return "FaultInjected";
       case ErrCode::BadCheckpoint: return "BadCheckpoint";
       case ErrCode::Internal: return "Internal";
+      case ErrCode::Interrupted: return "Interrupted";
+      case ErrCode::LeaseExpired: return "LeaseExpired";
+      case ErrCode::WorkerLost: return "WorkerLost";
+      case ErrCode::ResultMismatch: return "ResultMismatch";
+      case ErrCode::StoreCorrupt: return "StoreCorrupt";
     }
     return "?";
 }

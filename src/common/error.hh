@@ -35,6 +35,14 @@ enum class ErrCode : std::uint8_t
     FaultInjected,    //!< an injected fault was configured to be fatal
     BadCheckpoint,    //!< corrupt, truncated, or mismatched checkpoint
     Internal,         //!< wrapped foreign exception (should not happen)
+    Interrupted,      //!< run stopped cleanly by SIGINT/SIGTERM
+
+    // Farm-level errors (src/farm/): failures of the distributed
+    // execution tier, never of the simulation itself.
+    LeaseExpired,     //!< a point exhausted its lease/retry budget
+    WorkerLost,       //!< a worker died or spoke garbage on the wire
+    ResultMismatch,   //!< duplicate results for one point disagree
+    StoreCorrupt,     //!< result-store record failed key/CRC validation
 };
 
 /** @return a stable short name, e.g. "BadConfig". */

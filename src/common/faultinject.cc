@@ -17,6 +17,10 @@ faultPointName(FaultPoint point)
       case FaultPoint::HardFault: return "hard-fault";
       case FaultPoint::DroppedInvalidation: return "dropped-inval";
       case FaultPoint::DelayedAck: return "delayed-ack";
+      case FaultPoint::WorkerKill: return "worker-kill";
+      case FaultPoint::WorkerStall: return "worker-stall";
+      case FaultPoint::DroppedResult: return "dropped-result";
+      case FaultPoint::StoreBitFlip: return "store-bit-flip";
       case FaultPoint::NumPoints: break;
     }
     return "?";
@@ -47,6 +51,10 @@ FaultSchedule::probabilityOf(FaultPoint point) const
       case FaultPoint::HardFault: return hardFault;
       case FaultPoint::DroppedInvalidation: return droppedInvalidation;
       case FaultPoint::DelayedAck: return delayedAck;
+      case FaultPoint::WorkerKill: return workerKill;
+      case FaultPoint::WorkerStall: return workerStall;
+      case FaultPoint::DroppedResult: return droppedResult;
+      case FaultPoint::StoreBitFlip: return storeBitFlip;
       case FaultPoint::NumPoints: break;
     }
     return 0.0;
@@ -65,6 +73,10 @@ FaultSchedule::setProbability(FaultPoint point, double p)
         droppedInvalidation = p;
         return;
       case FaultPoint::DelayedAck: delayedAck = p; return;
+      case FaultPoint::WorkerKill: workerKill = p; return;
+      case FaultPoint::WorkerStall: workerStall = p; return;
+      case FaultPoint::DroppedResult: droppedResult = p; return;
+      case FaultPoint::StoreBitFlip: storeBitFlip = p; return;
       case FaultPoint::NumPoints: break;
     }
 }

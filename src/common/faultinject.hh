@@ -28,6 +28,18 @@
  *    loss surfaces as a structured error, never directory corruption.
  *  - DelayedAck: a coherence acknowledgement is delayed by
  *    ackDelayCycles, stretching the requester's stall.
+ *
+ * Farm-level points (drawn by the src/farm/ execution tier, never by
+ * the timing models):
+ *  - WorkerKill: a worker SIGKILLs itself right after accepting a
+ *    lease (crash / preemption); the coordinator re-dispatches.
+ *  - WorkerStall: a worker stops heartbeating and hangs; the lease
+ *    expires and the coordinator kills and replaces it.
+ *  - DroppedResult: a worker completes a point but never sends the
+ *    result (network loss); surfaces as a lease expiry and retry.
+ *  - StoreBitFlip: a result-store record is corrupted after being
+ *    written (disk rot); the store's CRC validation catches it and the
+ *    point is recovered from memory or re-simulated.
  */
 
 #ifndef IMO_COMMON_FAULTINJECT_HH
@@ -56,6 +68,10 @@ enum class FaultPoint : std::uint8_t
     HardFault,
     DroppedInvalidation,
     DelayedAck,
+    WorkerKill,
+    WorkerStall,
+    DroppedResult,
+    StoreBitFlip,
     NumPoints
 };
 
@@ -81,6 +97,10 @@ struct FaultSchedule
     double hardFault = 0.0;
     double droppedInvalidation = 0.0;
     double delayedAck = 0.0;
+    double workerKill = 0.0;
+    double workerStall = 0.0;
+    double droppedResult = 0.0;
+    double storeBitFlip = 0.0;
 
     /** Extra fill latency added by MemLatencySpike. */
     Cycle spikeCycles = 200;

@@ -1,0 +1,783 @@
+#include "farm/farm.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "farm/proto.hh"
+#include "farm/store.hh"
+
+namespace imo::farm
+{
+
+namespace
+{
+
+std::uint64_t
+nowMs()
+{
+    using namespace std::chrono;
+    return static_cast<std::uint64_t>(
+        duration_cast<milliseconds>(steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Worker-side fault plan: a fresh PRNG stream per spawned process, so
+ *  a replacement for a killed worker draws differently than its
+ *  predecessor and retries converge. */
+FaultSchedule
+scheduleForSpawn(const FaultSchedule &base, std::uint64_t spawn_index)
+{
+    FaultSchedule s = base;
+    s.seed = base.seed + spawn_index * 0x9e3779b97f4a7c15ull;
+    return s;
+}
+
+// --- Worker process -------------------------------------------------
+
+/**
+ * Worker main loop, run in a fork()ed child. Blocking reads on
+ * @p rfd, frames out on @p wfd. Never returns normally to the
+ * caller's stack — the child _exit()s.
+ */
+void
+workerMain(int rfd, int wfd, const FarmOptions &opt,
+           std::uint64_t spawn_index)
+{
+    FaultInjector inject(scheduleForSpawn(opt.faults, spawn_index));
+
+    // The heartbeat thread and the main thread share the result pipe;
+    // frames must not interleave mid-frame.
+    std::mutex write_mutex;
+    const auto send = [&](FrameType type,
+                          const std::vector<std::uint8_t> &payload) {
+        std::lock_guard<std::mutex> lock(write_mutex);
+        writeFrame(wfd, type, payload);
+    };
+
+    send(FrameType::Hello, {});
+
+    Frame frame;
+    while (readFrame(rfd, &frame)) {
+        if (frame.type == FrameType::Shutdown)
+            break;
+        sim_throw_if(frame.type != FrameType::Lease, ErrCode::WorkerLost,
+                     "farm worker: unexpected frame type %u from "
+                     "coordinator",
+                     static_cast<unsigned>(frame.type));
+        const LeaseMsg lease = decodeLease(frame.payload);
+
+        if (inject.fire(FaultPoint::WorkerKill)) {
+            // Crash / preemption: die without a word mid-lease.
+            ::kill(::getpid(), SIGKILL);
+        }
+        if (inject.fire(FaultPoint::WorkerStall)) {
+            // Hang without heartbeats; the coordinator's lease expiry
+            // reclaims the slot and SIGKILLs us.
+            for (;;)
+                ::pause();
+        }
+
+        // Heartbeat while the simulation runs, so a long point is
+        // distinguishable from a dead worker.
+        std::atomic<bool> beat{true};
+        std::thread heartbeat([&] {
+            while (beat.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(opt.heartbeatMs));
+                if (!beat.load(std::memory_order_relaxed))
+                    break;
+                try {
+                    send(FrameType::Heartbeat,
+                         encodeHeartbeat(lease.slot));
+                } catch (const SimException &) {
+                    break; // coordinator is gone; main loop will see EOF
+                }
+            }
+        });
+
+        std::ostringstream fragment;
+        bool sim_ok = true;
+        std::string sim_err;
+        try {
+            sweep::writePointJson(fragment,
+                                  sweep::runPoint(lease.point));
+        } catch (const SimException &e) {
+            sim_ok = false;
+            sim_err = e.error().format();
+        }
+        beat.store(false, std::memory_order_relaxed);
+        heartbeat.join();
+
+        if (!sim_ok) {
+            // A point the simulator itself rejects is not a farm
+            // failure mode the lease protocol can fix; leave the
+            // diagnosis on stderr and die so the coordinator retries
+            // (and eventually fails with LeaseExpired).
+            std::fprintf(stderr, "imo-farm worker: point failed: %s\n",
+                         sim_err.c_str());
+            _exit(1);
+        }
+
+        if (inject.fire(FaultPoint::DroppedResult)) {
+            // Completed but the result is lost in transit: fall
+            // silent. The lease expires and the point is retried.
+            for (;;)
+                ::pause();
+        }
+
+        ResultMsg result;
+        result.slot = lease.slot;
+        const std::string &text = fragment.str();
+        result.fragment.assign(text.begin(), text.end());
+        send(FrameType::Result, encodeResult(result));
+    }
+}
+
+// --- Coordinator ----------------------------------------------------
+
+/** One unique content-addressed unit of work. */
+struct Slot
+{
+    PointKey key;
+    sweep::SweepPoint point;
+    std::vector<std::uint8_t> fragment;
+    bool done = false;
+    bool queued = false;       //!< sitting in the pending queue
+    unsigned attempts = 0;     //!< failure-path leases granted
+    int activeLeases = 0;      //!< workers currently running it
+    std::uint64_t readyAtMs = 0; //!< backoff gate for re-dispatch
+    std::uint64_t leaseStartMs = 0; //!< earliest active lease start
+};
+
+/** Coordinator-side view of one worker process. */
+struct Worker
+{
+    pid_t pid = -1;
+    int toFd = -1;   //!< leases/shutdown out
+    int fromFd = -1; //!< hello/heartbeat/result in
+    FrameParser parser;
+    bool alive = false;
+    bool ready = false;           //!< Hello received
+    long slot = -1;               //!< active lease, -1 when idle
+    std::uint64_t deadlineMs = 0; //!< lease expiry (heartbeat-refreshed)
+};
+
+class Coordinator
+{
+  public:
+    Coordinator(std::vector<Slot> slots, const FarmOptions &opt,
+                ResultStore *store,
+                const volatile std::sig_atomic_t *stop)
+        : _slots(std::move(slots)), _opt(opt), _store(store), _stop(stop),
+          _inject(opt.faults)
+    {
+        for (std::size_t i = 0; i < _slots.size(); ++i) {
+            if (_slots[i].done)
+                ++_doneCount;
+            else
+                enqueue(i, 0);
+        }
+    }
+
+    FarmStats &stats() { return _stats; }
+
+    /** Drive the farm to completion (or failure). @return the error. */
+    SimError
+    run()
+    {
+        // A worker dying mid-write must be an EPIPE we handle, not a
+        // process-killing SIGPIPE.
+        struct sigaction ignore_pipe{}, old_pipe{};
+        ignore_pipe.sa_handler = SIG_IGN;
+        ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+
+        try {
+            for (unsigned i = 0; i < _opt.workers && !allDone(); ++i)
+                spawnWorker();
+            loop();
+        } catch (const SimException &e) {
+            fail(e.error());
+        }
+
+        teardown();
+        ::sigaction(SIGPIPE, &old_pipe, nullptr);
+        return _error;
+    }
+
+    std::vector<Slot> takeSlots() { return std::move(_slots); }
+
+  private:
+    bool allDone() const { return _doneCount == _slots.size(); }
+    bool failed() const { return !_error.ok(); }
+
+    void
+    fail(SimError error)
+    {
+        if (_error.ok())
+            _error = std::move(error);
+    }
+
+    void
+    enqueue(std::size_t slot, std::uint64_t ready_at)
+    {
+        _slots[slot].queued = true;
+        _slots[slot].readyAtMs = ready_at;
+        _pending.push_back(slot);
+    }
+
+    void
+    spawnWorker()
+    {
+        int to_pipe[2], from_pipe[2];
+        sim_throw_if(::pipe(to_pipe) != 0, ErrCode::WorkerLost,
+                     "farm: cannot create worker pipe: %s",
+                     std::strerror(errno));
+        if (::pipe(from_pipe) != 0) {
+            ::close(to_pipe[0]);
+            ::close(to_pipe[1]);
+            throwSimError(ErrCode::WorkerLost,
+                          "farm: cannot create worker pipe: %s",
+                          std::strerror(errno));
+        }
+
+        const std::uint64_t spawn_index = _spawnCounter++;
+        const pid_t pid = ::fork();
+        sim_throw_if(pid < 0, ErrCode::WorkerLost,
+                     "farm: fork failed: %s", std::strerror(errno));
+        if (pid == 0) {
+            // Child: keep only this worker's two pipe ends.
+            ::close(to_pipe[1]);
+            ::close(from_pipe[0]);
+            for (const Worker &w : _workers) {
+                if (!w.alive)
+                    continue;
+                ::close(w.toFd);
+                ::close(w.fromFd);
+            }
+            try {
+                workerMain(to_pipe[0], from_pipe[1], _opt, spawn_index);
+            } catch (const SimException &e) {
+                std::fprintf(stderr, "imo-farm worker: %s\n",
+                             e.error().format().c_str());
+                _exit(1);
+            } catch (...) {
+                _exit(1);
+            }
+            _exit(0);
+        }
+
+        ::close(to_pipe[0]);
+        ::close(from_pipe[1]);
+        ::fcntl(from_pipe[0], F_SETFL,
+                ::fcntl(from_pipe[0], F_GETFL) | O_NONBLOCK);
+
+        Worker w;
+        w.pid = pid;
+        w.toFd = to_pipe[1];
+        w.fromFd = from_pipe[0];
+        w.alive = true;
+        // Reuse a dead worker's seat so the poll set stays compact.
+        for (Worker &seat : _workers) {
+            if (!seat.alive) {
+                seat = std::move(w);
+                return;
+            }
+        }
+        _workers.push_back(std::move(w));
+    }
+
+    /** The worker died or spoke garbage: kill, reap, requeue, replace. */
+    void
+    loseWorker(Worker &w, std::uint64_t now)
+    {
+        if (!w.alive)
+            return;
+        ++_stats.workersLost;
+        ::kill(w.pid, SIGKILL);
+        ::waitpid(w.pid, nullptr, 0);
+        ::close(w.toFd);
+        ::close(w.fromFd);
+        w.alive = false;
+        w.ready = false;
+        if (w.slot >= 0) {
+            const auto slot = static_cast<std::size_t>(w.slot);
+            w.slot = -1;
+            --_slots[slot].activeLeases;
+            requeueAfterFailure(slot, now);
+        }
+        if (!failed() && !allDone())
+            spawnWorker();
+    }
+
+    void
+    requeueAfterFailure(std::size_t slot, std::uint64_t now)
+    {
+        Slot &s = _slots[slot];
+        if (s.done || s.queued || s.activeLeases > 0)
+            return; // a twin lease is still running, or already handled
+        if (s.attempts >= _opt.maxAttempts) {
+            fail(SimError{
+                ErrCode::LeaseExpired,
+                simFormat("farm: point gave up after %u lease attempts",
+                          s.attempts),
+                {sweep::describePoint(s.point)}});
+            return;
+        }
+        ++_stats.retries;
+        std::uint64_t backoff = _opt.backoffBaseMs;
+        for (unsigned i = 1; i < s.attempts && backoff < _opt.backoffCapMs;
+             ++i)
+            backoff *= 2;
+        if (backoff > _opt.backoffCapMs)
+            backoff = _opt.backoffCapMs;
+        enqueue(slot, now + backoff);
+    }
+
+    void
+    grantLease(Worker &w, std::size_t slot, bool straggler,
+               std::uint64_t now)
+    {
+        LeaseMsg msg;
+        msg.slot = slot;
+        msg.point = _slots[slot].point;
+        try {
+            writeFrame(w.toFd, FrameType::Lease, encodeLease(msg));
+        } catch (const SimException &) {
+            loseWorker(w, now);
+            return;
+        }
+        w.slot = static_cast<long>(slot);
+        w.deadlineMs = now + _opt.leaseMs;
+        Slot &s = _slots[slot];
+        if (s.activeLeases++ == 0)
+            s.leaseStartMs = now;
+        if (straggler) {
+            ++_stats.redispatches;
+        } else {
+            s.queued = false;
+            ++s.attempts;
+        }
+    }
+
+    void
+    dispatch(std::uint64_t now)
+    {
+        for (Worker &w : _workers) {
+            if (failed() || allDone())
+                return;
+            if (!w.alive || !w.ready || w.slot >= 0)
+                continue;
+
+            // Oldest pending slot whose backoff has elapsed.
+            std::size_t pick = _pending.size();
+            for (std::size_t i = 0; i < _pending.size(); ++i) {
+                if (_slots[_pending[i]].readyAtMs <= now) {
+                    pick = i;
+                    break;
+                }
+            }
+            if (pick < _pending.size()) {
+                const std::size_t slot = _pending[pick];
+                _pending.erase(_pending.begin() +
+                               static_cast<long>(pick));
+                grantLease(w, slot, /*straggler=*/false, now);
+                continue;
+            }
+
+            // Nothing queued: duplicate the longest-running healthy
+            // lease past the straggler threshold. First result wins;
+            // the duplicate doubles as a determinism cross-check.
+            if (_opt.stragglerMs == 0)
+                continue;
+            std::size_t straggler = _slots.size();
+            for (std::size_t s = 0; s < _slots.size(); ++s) {
+                const Slot &slot = _slots[s];
+                if (slot.done || slot.activeLeases != 1 ||
+                    now - slot.leaseStartMs < _opt.stragglerMs)
+                    continue;
+                if (straggler == _slots.size() ||
+                    slot.leaseStartMs < _slots[straggler].leaseStartMs)
+                    straggler = s;
+            }
+            if (straggler < _slots.size())
+                grantLease(w, straggler, /*straggler=*/true, now);
+        }
+    }
+
+    void
+    expireLeases(std::uint64_t now)
+    {
+        for (Worker &w : _workers) {
+            if (!w.alive || w.slot < 0 || now < w.deadlineMs)
+                continue;
+            ++_stats.leasesExpired;
+            loseWorker(w, now);
+        }
+    }
+
+    void
+    acceptResult(Worker &w, ResultMsg msg, std::uint64_t now)
+    {
+        sim_throw_if(w.slot < 0 ||
+                         msg.slot != static_cast<std::uint64_t>(w.slot),
+                     ErrCode::WorkerLost,
+                     "farm: worker delivered slot %llu while leased "
+                     "slot %ld",
+                     static_cast<unsigned long long>(msg.slot), w.slot);
+        Slot &s = _slots[msg.slot];
+        w.slot = -1;
+        --s.activeLeases;
+
+        if (s.done) {
+            // A straggler's twin finished too: the determinism
+            // contract says both runs produced identical bytes.
+            ++_stats.duplicateResults;
+            if (msg.fragment != s.fragment)
+                fail(SimError{
+                    ErrCode::ResultMismatch,
+                    "farm: duplicate results for one point disagree",
+                    {sweep::describePoint(s.point)}});
+            return;
+        }
+
+        s.fragment = std::move(msg.fragment);
+        s.done = true;
+        ++_doneCount;
+        ++_stats.simulated;
+        if (_store)
+            storeResult(s, now);
+    }
+
+    void
+    storeResult(Slot &s, std::uint64_t now)
+    {
+        (void)now;
+        try {
+            _store->put(s.key, s.fragment);
+        } catch (const SimException &e) {
+            // A write failure only costs memoization; the in-memory
+            // fragment still reaches the report.
+            warn("farm: %s", e.error().format().c_str());
+            return;
+        }
+        if (_inject.fire(FaultPoint::StoreBitFlip))
+            flipStoredBit(s);
+    }
+
+    /** Injected disk rot: flip one payload bit of the record just
+     *  written. The integrity pass (or the next run's CRC check) must
+     *  catch and repair it. */
+    void
+    flipStoredBit(const Slot &s)
+    {
+        const std::string path = _store->recordPath(s.key);
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        if (!f)
+            return;
+        std::fseek(f, 0, SEEK_END);
+        const long size = std::ftell(f);
+        if (size > 0) {
+            const long at = size / 2;
+            std::fseek(f, at, SEEK_SET);
+            int byte = std::fgetc(f);
+            if (byte != EOF) {
+                std::fseek(f, at, SEEK_SET);
+                std::fputc(byte ^ 0x10, f);
+            }
+        }
+        std::fclose(f);
+    }
+
+    /** Drain everything readable from one worker. */
+    void
+    drainWorker(Worker &w, std::uint64_t now)
+    {
+        std::uint8_t buf[65536];
+        for (;;) {
+            const ssize_t n = ::read(w.fromFd, buf, sizeof buf);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK)
+                    break;
+                loseWorker(w, now);
+                return;
+            }
+            if (n == 0) { // EOF: the worker is gone
+                loseWorker(w, now);
+                return;
+            }
+            try {
+                w.parser.feed(buf, static_cast<std::size_t>(n));
+            } catch (const SimException &) {
+                loseWorker(w, now);
+                return;
+            }
+            if (n < static_cast<ssize_t>(sizeof buf))
+                break;
+        }
+
+        Frame frame;
+        for (;;) {
+            try {
+                if (!w.parser.next(&frame))
+                    return;
+            } catch (const SimException &) {
+                loseWorker(w, now);
+                return;
+            }
+            switch (frame.type) {
+            case FrameType::Hello:
+                w.ready = true;
+                break;
+            case FrameType::Heartbeat:
+                try {
+                    if (w.slot >= 0 &&
+                        decodeHeartbeat(frame.payload) ==
+                            static_cast<std::uint64_t>(w.slot))
+                        w.deadlineMs = now + _opt.leaseMs;
+                } catch (const SimException &) {
+                    loseWorker(w, now);
+                    return;
+                }
+                break;
+            case FrameType::Result:
+                try {
+                    acceptResult(w, decodeResult(frame.payload), now);
+                } catch (const SimException &) {
+                    loseWorker(w, now);
+                    return;
+                }
+                if (failed())
+                    return;
+                break;
+            default:
+                loseWorker(w, now); // Lease/Shutdown have no business here
+                return;
+            }
+            if (!w.alive)
+                return;
+        }
+    }
+
+    void
+    loop()
+    {
+        while (!allDone() && !failed()) {
+            if (_stop && *_stop) {
+                fail(SimError{ErrCode::Interrupted,
+                              "farm interrupted; finished points are in "
+                              "the result store — re-run with --resume "
+                              "to continue",
+                              {}});
+                break;
+            }
+            std::uint64_t now = nowMs();
+            expireLeases(now);
+            if (failed())
+                break;
+            dispatch(now);
+            if (allDone() || failed())
+                break;
+
+            std::vector<struct pollfd> fds;
+            fds.reserve(_workers.size());
+            for (const Worker &w : _workers)
+                if (w.alive)
+                    fds.push_back({w.fromFd, POLLIN, 0});
+            if (fds.empty()) {
+                // Everything pending is in backoff; just wait it out.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+                continue;
+            }
+            const int rc =
+                ::poll(fds.data(),
+                       static_cast<nfds_t>(fds.size()), 50);
+            if (rc < 0 && errno != EINTR)
+                throwSimError(ErrCode::WorkerLost,
+                              "farm: poll failed: %s",
+                              std::strerror(errno));
+            if (rc <= 0)
+                continue;
+
+            now = nowMs();
+            for (const struct pollfd &fd : fds) {
+                if (!(fd.revents & (POLLIN | POLLHUP | POLLERR)))
+                    continue;
+                for (Worker &w : _workers) {
+                    if (w.alive && w.fromFd == fd.fd) {
+                        drainWorker(w, now);
+                        break;
+                    }
+                }
+                if (failed())
+                    break;
+            }
+        }
+    }
+
+    void
+    teardown()
+    {
+        for (Worker &w : _workers) {
+            if (!w.alive)
+                continue;
+            try {
+                writeFrame(w.toFd, FrameType::Shutdown, {});
+            } catch (const SimException &) {
+            }
+            ::close(w.toFd);
+        }
+
+        // Brief grace for clean exits, then SIGKILL the rest (stalled
+        // or mid-simulation workers have nothing we still need).
+        const std::uint64_t grace_until = nowMs() + 200;
+        for (;;) {
+            bool any_alive = false;
+            for (Worker &w : _workers) {
+                if (!w.alive)
+                    continue;
+                if (::waitpid(w.pid, nullptr, WNOHANG) == w.pid) {
+                    ::close(w.fromFd);
+                    w.alive = false;
+                } else {
+                    any_alive = true;
+                }
+            }
+            if (!any_alive || nowMs() >= grace_until)
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        for (Worker &w : _workers) {
+            if (!w.alive)
+                continue;
+            ::kill(w.pid, SIGKILL);
+            ::waitpid(w.pid, nullptr, 0);
+            ::close(w.fromFd);
+            w.alive = false;
+        }
+    }
+
+    std::vector<Slot> _slots;
+    const FarmOptions &_opt;
+    ResultStore *_store;
+    const volatile std::sig_atomic_t *_stop;
+    FaultInjector _inject; //!< coordinator-side draws (StoreBitFlip)
+
+    std::vector<Worker> _workers;
+    std::vector<std::size_t> _pending; //!< slot indices awaiting a lease
+    std::size_t _doneCount = 0;
+    std::uint64_t _spawnCounter = 0;
+    FarmStats _stats;
+    SimError _error;
+};
+
+} // anonymous namespace
+
+FarmResult
+runFarm(const std::vector<sweep::SweepPoint> &points,
+        const FarmOptions &options,
+        const volatile std::sig_atomic_t *stop)
+{
+    sim_throw_if(options.workers == 0, ErrCode::BadConfig,
+                 "farm: worker count must be at least 1");
+    sim_throw_if(options.maxAttempts == 0, ErrCode::BadConfig,
+                 "farm: lease attempt budget must be at least 1");
+    sim_throw_if(options.leaseMs == 0, ErrCode::BadConfig,
+                 "farm: lease deadline must be nonzero");
+
+    FarmResult res;
+    res.stats.points = points.size();
+
+    // Collapse content-identical points into unique slots: overlapping
+    // grids simulate once, and every input index maps to its slot.
+    std::vector<Slot> slots;
+    std::map<std::string, std::size_t> slot_by_key;
+    std::vector<std::size_t> slot_of(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const PointKey key = keyForPoint(points[i]);
+        const auto [it, inserted] =
+            slot_by_key.emplace(key.hex(), slots.size());
+        if (inserted) {
+            Slot s;
+            s.key = key;
+            s.point = points[i];
+            slots.push_back(std::move(s));
+        }
+        slot_of[i] = it->second;
+    }
+    res.stats.uniqueSlots = slots.size();
+
+    std::optional<ResultStore> store;
+    if (!options.storeDir.empty()) {
+        store.emplace(options.storeDir, options.resume);
+        for (Slot &s : slots) {
+            if (store->get(s.key, &s.fragment) == StoreGet::Hit) {
+                s.done = true;
+                ++res.stats.storeHits;
+            }
+        }
+    }
+
+    Coordinator coord(std::move(slots), options,
+                      store ? &*store : nullptr, stop);
+    res.error = coord.run();
+    res.stats.simulated = coord.stats().simulated;
+    res.stats.retries = coord.stats().retries;
+    res.stats.workersLost = coord.stats().workersLost;
+    res.stats.leasesExpired = coord.stats().leasesExpired;
+    res.stats.redispatches = coord.stats().redispatches;
+    res.stats.duplicateResults = coord.stats().duplicateResults;
+    slots = coord.takeSlots();
+
+    res.ok = res.error.ok();
+    if (res.ok && store) {
+        // Integrity pass: every record on disk must round-trip before
+        // the report ships; a record the fault injector rotted (or a
+        // foreign writer damaged) is repaired from memory.
+        for (const Slot &s : slots)
+            store->verifyOrRepair(s.key, s.fragment);
+    }
+    if (store)
+        res.stats.storeCorrupt = store->corruptRecords();
+
+    if (res.ok) {
+        res.fragments.reserve(points.size());
+        for (std::size_t i = 0; i < points.size(); ++i)
+            res.fragments.push_back(slots[slot_of[i]].fragment);
+    }
+    return res;
+}
+
+void
+writeFarmReportJson(std::ostream &os, const FarmResult &result)
+{
+    os << sweep::reportJsonPrefix;
+    bool first = true;
+    for (const std::vector<std::uint8_t> &frag : result.fragments) {
+        if (!first)
+            os << ',';
+        first = false;
+        os.write(reinterpret_cast<const char *>(frag.data()),
+                 static_cast<std::streamsize>(frag.size()));
+    }
+    os << sweep::reportJsonSuffix;
+}
+
+} // namespace imo::farm

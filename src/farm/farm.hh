@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Fault-tolerant coordinator/worker execution tier for sweeps.
+ *
+ * runFarm() shards a set of SweepPoints across local worker processes
+ * (fork()ed from the coordinator, pipes as the transport — the framed
+ * protocol in proto.hh carries over a socket unchanged for
+ * multi-machine farms later) under a leasing discipline:
+ *
+ *  - Points with identical content addresses (store.hh) collapse into
+ *    one *slot*; overlapping grids are simulated once.
+ *  - A slot is leased to a worker with a deadline. Heartbeats refresh
+ *    the deadline while the worker makes progress; a worker that
+ *    crashes (EOF), stalls (deadline passes), or drops its result is
+ *    SIGKILLed, replaced, and the slot is retried with exponential
+ *    backoff — up to maxAttempts, after which the farm fails with a
+ *    structured LeaseExpired error.
+ *  - A healthy-but-slow slot past stragglerMs is re-dispatched to an
+ *    idle worker; the first result wins and any duplicate result must
+ *    be byte-identical (ResultMismatch otherwise — the determinism
+ *    contract is enforced, not assumed).
+ *  - Finished fragments land in the content-addressed ResultStore (if
+ *    configured); before the merged report is emitted, an integrity
+ *    pass re-validates every record's key and CRC on disk.
+ *
+ * The merged report is assembled from per-point JSON fragments in grid
+ * order, so it is byte-identical to single-process imo-sweep for any
+ * worker count and any failure schedule.
+ */
+
+#ifndef IMO_FARM_FARM_HH
+#define IMO_FARM_FARM_HH
+
+#include <csignal>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/faultinject.hh"
+#include "sweep/sweep.hh"
+
+namespace imo::farm
+{
+
+/** Knobs of one farm run. */
+struct FarmOptions
+{
+    /** Worker processes (>= 1; the CLI maps 0 to the core count). */
+    unsigned workers = 1;
+
+    /** Result-store directory; empty disables memoization. */
+    std::string storeDir;
+
+    /** Allow reusing a store that already holds records (resume or
+     *  memoized re-run). */
+    bool resume = false;
+
+    /** Lease deadline: a worker that neither heartbeats nor delivers
+     *  for this long is declared lost. */
+    std::uint64_t leaseMs = 10'000;
+
+    /** Worker heartbeat period while simulating. */
+    std::uint64_t heartbeatMs = 200;
+
+    /** Lease attempts per slot before the farm fails (>= 1). */
+    unsigned maxAttempts = 30;
+
+    /** Exponential backoff: base * 2^(attempt-1), capped. */
+    std::uint64_t backoffBaseMs = 20;
+    std::uint64_t backoffCapMs = 2'000;
+
+    /** Re-dispatch a still-leased slot to an idle worker after this
+     *  long (straggler mitigation; 0 disables). */
+    std::uint64_t stragglerMs = 30'000;
+
+    /** Farm-level fault plan (worker-kill / worker-stall /
+     *  dropped-result / store-bit-flip); other points are ignored
+     *  here. Seed-deterministic per spawned worker. */
+    FaultSchedule faults;
+};
+
+/** Observability counters of one farm run. */
+struct FarmStats
+{
+    std::uint64_t points = 0;       //!< grid points requested
+    std::uint64_t uniqueSlots = 0;  //!< distinct content addresses
+    std::uint64_t storeHits = 0;    //!< slots served from the store
+    std::uint64_t simulated = 0;    //!< slots simulated by workers
+    std::uint64_t retries = 0;      //!< slot re-queues after a failure
+    std::uint64_t workersLost = 0;  //!< worker deaths (crash or kill)
+    std::uint64_t leasesExpired = 0;
+    std::uint64_t redispatches = 0; //!< straggler duplicate leases
+    std::uint64_t duplicateResults = 0;
+    std::uint64_t storeCorrupt = 0; //!< records failing key/CRC checks
+};
+
+/** Outcome of a farm run. */
+struct FarmResult
+{
+    bool ok = true;
+    SimError error; //!< set when !ok (LeaseExpired, ResultMismatch, ...)
+    FarmStats stats;
+
+    /** Per input point, in grid order: the exact report-JSON fragment
+     *  bytes (empty when !ok). */
+    std::vector<std::vector<std::uint8_t>> fragments;
+};
+
+/**
+ * Run @p points on a local worker farm. Never throws for run-level
+ * failures: lease exhaustion, protocol garbage, result mismatches,
+ * and interruption all surface in FarmResult::error. @p stop is an
+ * optional cooperative stop flag (SIGINT/SIGTERM): when it fires, the
+ * farm shuts down cleanly — the store keeps every finished point, so
+ * a re-run with resume=true continues where it left off.
+ */
+FarmResult runFarm(const std::vector<sweep::SweepPoint> &points,
+                   const FarmOptions &options,
+                   const volatile std::sig_atomic_t *stop = nullptr);
+
+/**
+ * Write the merged sweep report from a successful farm run. The bytes
+ * equal sweep::writeReportJson() over the same points by construction.
+ */
+void writeFarmReportJson(std::ostream &os, const FarmResult &result);
+
+} // namespace imo::farm
+
+#endif // IMO_FARM_FARM_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Framed coordinator/worker wire protocol for the sweep farm.
+ *
+ * Every message is one frame on a byte stream:
+ *
+ *   u32 magic "IMOF" | u32 type | u64 payload length
+ *   u32 CRC-32 of payload | payload bytes
+ *
+ * The framing carries no file descriptors, shared memory, or process
+ * assumptions — today it runs over pipes to local worker processes,
+ * and the same byte stream works over a socket for multi-machine
+ * farms. Structured payloads reuse the checkpoint container
+ * (Serializer/Deserializer), so every field is length-checked and
+ * CRC'd twice: once by the frame, once by the container.
+ *
+ * A frame that fails validation (bad magic, oversized payload, CRC
+ * mismatch, truncated container) surfaces as a structured
+ * SimException(WorkerLost): a misbehaving peer is indistinguishable
+ * from a dead one and is handled by the same kill-and-retry path.
+ */
+
+#ifndef IMO_FARM_PROTO_HH
+#define IMO_FARM_PROTO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.hh"
+
+namespace imo::farm
+{
+
+/** Wire message types. */
+enum class FrameType : std::uint32_t
+{
+    Hello = 1,     //!< worker -> coordinator: ready for leases
+    Lease = 2,     //!< coordinator -> worker: run this point
+    Heartbeat = 3, //!< worker -> coordinator: still alive on a point
+    Result = 4,    //!< worker -> coordinator: point finished
+    Shutdown = 5,  //!< coordinator -> worker: exit cleanly
+};
+
+/** One parsed frame. */
+struct Frame
+{
+    FrameType type = FrameType::Hello;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Upper bound on a frame payload; larger is treated as garbage. */
+constexpr std::uint64_t maxFramePayload = 64ull << 20;
+
+/**
+ * Write one frame to @p fd, retrying on EINTR.
+ * Throws SimException(WorkerLost) on EPIPE or any short write.
+ */
+void writeFrame(int fd, FrameType type,
+                const std::vector<std::uint8_t> &payload);
+
+/**
+ * Blocking read of one frame from @p fd (worker side).
+ * @return false on clean EOF at a frame boundary.
+ * Throws SimException(WorkerLost) on mid-frame EOF or a bad frame.
+ */
+bool readFrame(int fd, Frame *out);
+
+/**
+ * Incremental frame parser (coordinator side, for poll()-driven
+ * non-blocking reads): feed() raw bytes as they arrive, next() yields
+ * complete frames. Throws SimException(WorkerLost) when the stream is
+ * unparseable — the connection cannot be resynchronized after that.
+ */
+class FrameParser
+{
+  public:
+    void feed(const std::uint8_t *data, std::size_t len);
+
+    /** @return true and fill @p out if a complete frame is buffered. */
+    bool next(Frame *out);
+
+    /** @return true if partial frame bytes are buffered (dirty EOF). */
+    bool midFrame() const { return !_buf.empty(); }
+
+  private:
+    std::vector<std::uint8_t> _buf;
+};
+
+// --- Message payload codecs -----------------------------------------
+
+/** Lease: which grid slot to run and the full point description. */
+struct LeaseMsg
+{
+    std::uint64_t slot = 0;
+    sweep::SweepPoint point;
+};
+
+/** Result: the slot and the point's report-JSON fragment bytes. */
+struct ResultMsg
+{
+    std::uint64_t slot = 0;
+    std::vector<std::uint8_t> fragment;
+};
+
+std::vector<std::uint8_t> encodeLease(const LeaseMsg &msg);
+LeaseMsg decodeLease(const std::vector<std::uint8_t> &payload);
+
+std::vector<std::uint8_t> encodeHeartbeat(std::uint64_t slot);
+std::uint64_t decodeHeartbeat(const std::vector<std::uint8_t> &payload);
+
+std::vector<std::uint8_t> encodeResult(const ResultMsg &msg);
+ResultMsg decodeResult(const std::vector<std::uint8_t> &payload);
+
+} // namespace imo::farm
+
+#endif // IMO_FARM_PROTO_HH

@@ -52,6 +52,25 @@ drive(Cpu &cpu, func::Executor &exec, const isa::Program &program,
     std::uint64_t taken = 0;
     try {
         while (cpu.step(exec)) {
+            if (opt.stopFlag && *opt.stopFlag) [[unlikely]] {
+                // Graceful stop: flush the state at this quiesced step
+                // boundary as the resumable marker, then surface a
+                // structured Interrupted error (partial stats are
+                // captured by the normal failure path).
+                if (!opt.checkpointOut.empty()) {
+                    writeCheckpointFile(
+                        opt.checkpointOut,
+                        makeImage(kind, program, exec, cpu,
+                                  config.faults, cpu.retired()));
+                }
+                throwSimError(ErrCode::Interrupted,
+                              "interrupted at instruction %llu (cycle "
+                              "%llu)",
+                              static_cast<unsigned long long>(
+                                  cpu.retired()),
+                              static_cast<unsigned long long>(
+                                  cpu.result().cycles));
+            }
             if (opt.checkpointEvery &&
                 cpu.retired() % opt.checkpointEvery == 0) {
                 std::vector<std::uint8_t> image =
@@ -64,11 +83,14 @@ drive(Cpu &cpu, func::Executor &exec, const isa::Program &program,
                     last_image = std::move(image);
             }
         }
-    } catch (const SimException &) {
+    } catch (const SimException &e) {
         // Emit the most recent quiesced image as a crash reproducer:
-        // resuming from it deterministically replays the failure.
-        if (want_reproducer && !last_image.empty())
+        // resuming from it deterministically replays the failure. An
+        // Interrupted stop already wrote its own (newer) resume image.
+        if (want_reproducer && !last_image.empty() &&
+            e.code() != ErrCode::Interrupted) {
             writeCheckpointFile(opt.checkpointOut, last_image);
+        }
         throw;
     }
 

@@ -8,6 +8,7 @@
 #ifndef IMO_PIPELINE_SIMULATE_HH
 #define IMO_PIPELINE_SIMULATE_HH
 
+#include <csignal>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -60,6 +61,16 @@ struct SimulateOptions
      */
     std::function<void(const std::vector<std::uint8_t> &, std::uint64_t)>
         onCheckpoint;
+
+    /**
+     * Cooperative stop flag, polled once per simulated cycle (typically
+     * set by a SIGINT/SIGTERM handler). When it becomes nonzero the run
+     * stops at the next step boundary with a structured
+     * ErrCode::Interrupted error; if checkpointOut is set, the state at
+     * that boundary is written first, so the run is resumable with
+     * checkpointIn — a graceful stop is never a mid-write kill.
+     */
+    const volatile std::sig_atomic_t *stopFlag = nullptr;
 };
 
 /**

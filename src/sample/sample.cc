@@ -153,6 +153,13 @@ Sampler::runPass(const char *kind, std::uint32_t pass,
         U + U * pass / std::max<std::uint32_t>(_params.maxPasses, 1);
 
     for (;;) {
+        if (opt.stopFlag && *opt.stopFlag) [[unlikely]] {
+            // Graceful stop between windows; run() surfaces it as a
+            // structured Interrupted estimate failure.
+            throwSimError(ErrCode::Interrupted,
+                          "interrupted after %llu sampled windows",
+                          static_cast<unsigned long long>(_cpi.count()));
+        }
         if (exec.fastForward(gap, &warmer) < gap)
             break; // program halted inside the gap
         gap = U;

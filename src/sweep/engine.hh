@@ -16,7 +16,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <thread>
@@ -31,23 +33,41 @@ namespace imo::sweep
  * exception (by task index, not completion order) is rethrown after
  * all workers have drained, so partial results never escape silently.
  *
- * @param tasks  independent closures; each must not touch shared
- *               mutable state
- * @param jobs   worker-thread count; 0 and 1 both mean "run inline on
- *               the calling thread"
+ * Cooperative cancellation: when @p cancel is non-null and becomes
+ * nonzero (typically from a SIGINT handler), workers stop pulling new
+ * tasks; tasks already running finish normally. @p completed (when
+ * non-null) is sized to the task count and records, per slot, whether
+ * its task ran to completion — the caller uses it to emit a partial
+ * report of exactly the finished work.
+ *
+ * @param tasks      independent closures; each must not touch shared
+ *                   mutable state
+ * @param jobs       worker-thread count; 0 and 1 both mean "run inline
+ *                   on the calling thread"
+ * @param cancel     optional stop flag polled between tasks
+ * @param completed  optional per-slot completion record
  */
 template <typename R>
 std::vector<R>
 runOrdered(const std::vector<std::function<R()>> &tasks,
-           unsigned jobs)
+           unsigned jobs,
+           const volatile std::sig_atomic_t *cancel = nullptr,
+           std::vector<std::uint8_t> *completed = nullptr)
 {
     std::vector<R> results(tasks.size());
+    if (completed)
+        completed->assign(tasks.size(), 0);
     if (tasks.empty())
         return results;
 
     if (jobs <= 1) {
-        for (std::size_t i = 0; i < tasks.size(); ++i)
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            if (cancel && *cancel)
+                break;
             results[i] = tasks[i]();
+            if (completed)
+                (*completed)[i] = 1;
+        }
         return results;
     }
 
@@ -58,12 +78,16 @@ runOrdered(const std::vector<std::function<R()>> &tasks,
 
     auto worker = [&] {
         for (;;) {
+            if (cancel && *cancel)
+                return;
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= tasks.size())
                 return;
             try {
                 results[i] = tasks[i]();
+                if (completed)
+                    (*completed)[i] = 1;
             } catch (...) {
                 errors[i] = std::current_exception();
             }

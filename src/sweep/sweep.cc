@@ -91,9 +91,6 @@ expandGrid(const SweepGrid &grid)
     return points;
 }
 
-namespace
-{
-
 SweepOutcome
 runPoint(const SweepPoint &point)
 {
@@ -120,16 +117,16 @@ runPoint(const SweepPoint &point)
     return out;
 }
 
-} // anonymous namespace
-
 std::vector<SweepOutcome>
-runSweep(const std::vector<SweepPoint> &points, unsigned jobs)
+runSweep(const std::vector<SweepPoint> &points, unsigned jobs,
+         const volatile std::sig_atomic_t *cancel,
+         std::vector<std::uint8_t> *completed)
 {
     std::vector<std::function<SweepOutcome()>> tasks;
     tasks.reserve(points.size());
     for (const SweepPoint &p : points)
         tasks.emplace_back([p] { return runPoint(p); });
-    return runOrdered(tasks, jobs);
+    return runOrdered(tasks, jobs, cancel, completed);
 }
 
 namespace
@@ -148,16 +145,13 @@ jsonEscape(std::ostream &os, const std::string &s)
 
 } // anonymous namespace
 
+const char *const reportJsonPrefix = "{\"sweep\":{\"points\":[";
+const char *const reportJsonSuffix = "]}}\n";
+
 void
-writeReportJson(std::ostream &os,
-                const std::vector<SweepOutcome> &outcomes)
+writePointJson(std::ostream &os, const SweepOutcome &o)
 {
-    os << "{\"sweep\":{\"points\":[";
-    bool first_point = true;
-    for (const SweepOutcome &o : outcomes) {
-        if (!first_point)
-            os << ',';
-        first_point = false;
+    {
         const SweepPoint &p = o.point;
         const pipeline::RunResult &r = o.result;
         const pipeline::MachineConfig cfg = p.resolveConfig();
@@ -203,7 +197,7 @@ writeReportJson(std::ostream &os,
                << ",\"exact_miss_rate\":" << e.exactMissRate()
                << ",\"detailed_instructions\":"
                << e.detailedInstructions << '}';
-            continue;
+            return;
         }
         os << ",\"ok\":" << (r.ok ? "true" : "false");
         if (!r.ok) {
@@ -227,7 +221,21 @@ writeReportJson(std::ostream &os,
            << ",\"bank_conflicts\":" << r.bankConflicts
            << '}';
     }
-    os << "]}}\n";
+}
+
+void
+writeReportJson(std::ostream &os,
+                const std::vector<SweepOutcome> &outcomes)
+{
+    os << reportJsonPrefix;
+    bool first_point = true;
+    for (const SweepOutcome &o : outcomes) {
+        if (!first_point)
+            os << ',';
+        first_point = false;
+        writePointJson(os, o);
+    }
+    os << reportJsonSuffix;
 }
 
 std::string

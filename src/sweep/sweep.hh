@@ -14,6 +14,7 @@
 #ifndef IMO_SWEEP_SWEEP_HH
 #define IMO_SWEEP_SWEEP_HH
 
+#include <csignal>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -26,6 +27,14 @@
 
 namespace imo::sweep
 {
+
+/**
+ * Version of the per-point report JSON produced by writePointJson().
+ * Bumped whenever the field set or formatting changes; the farm's
+ * content-addressed result store keys records on it so a report-format
+ * change can never serve stale bytes.
+ */
+constexpr std::uint32_t reportSchemaVersion = 1;
 
 /** One concrete cell of the grid: everything needed to run it. */
 struct SweepPoint
@@ -91,13 +100,34 @@ struct SweepOutcome
 };
 
 /**
+ * Run one point to completion: build its program, instrument it, and
+ * simulate (full or sampled). Pure function of @p point — this is the
+ * unit of work a farm worker executes.
+ */
+SweepOutcome runPoint(const SweepPoint &point);
+
+/**
  * Run every point with @p jobs worker threads. Each point builds its
  * own program and machine from scratch (no shared mutable state), so
  * outcomes[i] depends only on points[i] and the output is identical
  * for any job count.
+ *
+ * @p cancel / @p completed (both optional) add cooperative
+ * cancellation: see runOrdered().
  */
-std::vector<SweepOutcome> runSweep(const std::vector<SweepPoint> &points,
-                                   unsigned jobs);
+std::vector<SweepOutcome> runSweep(
+    const std::vector<SweepPoint> &points, unsigned jobs,
+    const volatile std::sig_atomic_t *cancel = nullptr,
+    std::vector<std::uint8_t> *completed = nullptr);
+
+/**
+ * Write one point's report object (the bytes between the braces of one
+ * "points" array element, braces included). writeReportJson() is
+ * defined as these fragments joined with commas inside a fixed frame,
+ * so any executor that stores or ships fragments — notably the farm's
+ * result store — reproduces the merged report byte-identically.
+ */
+void writePointJson(std::ostream &os, const SweepOutcome &outcome);
 
 /**
  * Write the merged report as deterministic JSON: points in input
@@ -105,6 +135,10 @@ std::vector<SweepOutcome> runSweep(const std::vector<SweepPoint> &points,
  */
 void writeReportJson(std::ostream &os,
                      const std::vector<SweepOutcome> &outcomes);
+
+/** The fixed frame around the joined point fragments. */
+extern const char *const reportJsonPrefix;  //!< before the first point
+extern const char *const reportJsonSuffix;  //!< after the last point
 
 /** One-line summary of a point (for --list and progress output). */
 std::string describePoint(const SweepPoint &point);

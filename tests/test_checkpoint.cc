@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <random>
 #include <vector>
 
 #include "common/checkpoint.hh"
@@ -94,6 +95,90 @@ TEST(Container, BadMagicIsRejected)
     try {
         Deserializer d(std::move(image));
         FAIL() << "bad magic accepted";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().code, ErrCode::BadCheckpoint);
+    }
+}
+
+TEST(Container, RandomBitFlipsNeverEscapeBadCheckpoint)
+{
+    // Hostile-input fuzz: any single flipped bit must either be caught
+    // (structured BadCheckpoint) or land in a spot that leaves the
+    // image readable (e.g. a section-name byte, making that section
+    // unfindable). Nothing may crash, over-allocate, or surface as a
+    // foreign exception type.
+    const std::vector<std::uint8_t> clean = tinyImage();
+    std::mt19937_64 rng(12345);
+    for (int iter = 0; iter < 500; ++iter) {
+        std::vector<std::uint8_t> image = clean;
+        const std::size_t byte = rng() % image.size();
+        image[byte] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+        try {
+            Deserializer d(std::move(image));
+            if (!d.hasSection("alpha"))
+                continue; // name byte flipped; structurally fine
+            d.openSection("alpha");
+            d.u64();
+            d.str();
+            d.closeSection();
+        } catch (const SimException &e) {
+            EXPECT_EQ(e.error().code, ErrCode::BadCheckpoint)
+                << "iteration " << iter;
+        }
+        // Any other exception type propagates and fails the test.
+    }
+}
+
+TEST(Container, OversizedStringLengthIsRejectedBeforeAllocation)
+{
+    // A hostile 4GB string-length prefix must produce a structured
+    // error from the remaining-bytes check, not an allocation spike.
+    Serializer s;
+    s.beginSection("hostile");
+    s.u32(0xffffffffu); // claims ~4GB of string payload
+    s.u8(0);
+    s.endSection();
+    Deserializer d(s.finish());
+    d.openSection("hostile");
+    try {
+        (void)d.str();
+        FAIL() << "oversized string length accepted";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().code, ErrCode::BadCheckpoint);
+    }
+}
+
+TEST(Container, OversizedVectorCountIsRejectedBeforeAllocation)
+{
+    // Same for a u64 element count far past the payload size.
+    Serializer s;
+    s.beginSection("hostile");
+    s.u64(0x2000000000000000ull); // 2^61 elements
+    s.endSection();
+    Deserializer d(s.finish());
+    d.openSection("hostile");
+    try {
+        (void)d.vecU64();
+        FAIL() << "oversized vector count accepted";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().code, ErrCode::BadCheckpoint);
+    }
+}
+
+TEST(Container, HostileSectionCountIsRejected)
+{
+    // The header's section count is attacker-controlled too: a count
+    // that promises more sections than the file can hold must fail
+    // framing validation up front.
+    std::vector<std::uint8_t> image = tinyImage();
+    // Header layout: 8-byte magic, u32 version, u32 section count.
+    image[12] = 0xff;
+    image[13] = 0xff;
+    image[14] = 0xff;
+    image[15] = 0x7f;
+    try {
+        Deserializer d(std::move(image));
+        FAIL() << "hostile section count accepted";
     } catch (const SimException &e) {
         EXPECT_EQ(e.error().code, ErrCode::BadCheckpoint);
     }

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Tests for the fault-tolerant sweep farm (src/farm/).
+ *
+ *  - PointKey: deterministic, sensitive to config and workload
+ *    changes, stable hex encoding.
+ *  - ResultStore: verbatim round-trip, explicit opt-in to reuse,
+ *    corruption quarantine, and verifyOrRepair() semantics.
+ *  - runFarm(): merged report byte-identical to single-process
+ *    runSweep() for any worker count, under every farm-level fault,
+ *    with duplicate input points collapsed, and with a second run
+ *    served entirely from the memoized store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/error.hh"
+#include "farm/farm.hh"
+#include "farm/store.hh"
+#include "sweep/sweep.hh"
+
+namespace
+{
+
+using namespace imo;
+
+std::vector<sweep::SweepPoint>
+smallPoints()
+{
+    sweep::SweepGrid g;
+    g.workloads = {"ora"};
+    g.machines = {"inorder"};
+    g.modes = {core::InformingMode::None,
+               core::InformingMode::TrapSingle};
+    g.handlerLens = {1};
+    g.scale = 0.1;
+    return sweep::expandGrid(g);
+}
+
+std::string
+sweepReport(const std::vector<sweep::SweepPoint> &points)
+{
+    const std::vector<sweep::SweepOutcome> outcomes =
+        sweep::runSweep(points, 1);
+    std::ostringstream os;
+    sweep::writeReportJson(os, outcomes);
+    return os.str();
+}
+
+std::string
+farmReport(const farm::FarmResult &res)
+{
+    std::ostringstream os;
+    farm::writeFarmReportJson(os, res);
+    return os.str();
+}
+
+/** Fresh temp directory; removed lazily by the OS, unique per call. */
+std::string
+tempDir(const char *tag)
+{
+    std::string tmpl = ::testing::TempDir() + "imo_farm_" + tag +
+        "_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char *dir = ::mkdtemp(buf.data());
+    EXPECT_NE(dir, nullptr);
+    return dir ? dir : "";
+}
+
+void
+corruptFile(const std::string &path)
+{
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    ASSERT_GT(size, 0);
+    f.seekg(size / 2);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(size / 2);
+    byte = static_cast<char>(byte ^ 0x04);
+    f.write(&byte, 1);
+}
+
+// -------------------------------------------------------------- PointKey
+
+TEST(FarmPointKey, DeterministicAndSensitive)
+{
+    const std::vector<sweep::SweepPoint> pts = smallPoints();
+    ASSERT_GE(pts.size(), 2u);
+
+    const farm::PointKey a1 = farm::keyForPoint(pts[0]);
+    const farm::PointKey a2 = farm::keyForPoint(pts[0]);
+    EXPECT_EQ(a1, a2);
+    EXPECT_EQ(a1.hex(), a2.hex());
+    EXPECT_EQ(a1.hex().size(), 40u);
+
+    // A different mode changes both the config hash and the
+    // instrumented program fingerprint.
+    const farm::PointKey b = farm::keyForPoint(pts[1]);
+    EXPECT_NE(a1.hex(), b.hex());
+
+    // A pure machine-config change leaves the program alone but must
+    // still produce a different address.
+    sweep::SweepPoint tweaked = pts[0];
+    tweaked.l2Latency = 99;
+    const farm::PointKey c = farm::keyForPoint(tweaked);
+    EXPECT_EQ(a1.programHash, c.programHash);
+    EXPECT_NE(a1.configHash, c.configHash);
+}
+
+// ----------------------------------------------------------- ResultStore
+
+TEST(FarmStore, RoundTripIsVerbatim)
+{
+    farm::ResultStore store(tempDir("rt"), false);
+    const farm::PointKey key = farm::keyForPoint(smallPoints()[0]);
+    const std::vector<std::uint8_t> bytes = {'{', '"', 'x', '"', ':',
+                                             '1', '}'};
+
+    std::vector<std::uint8_t> out;
+    EXPECT_EQ(store.get(key, &out), farm::StoreGet::Miss);
+    store.put(key, bytes);
+    EXPECT_EQ(store.get(key, &out), farm::StoreGet::Hit);
+    EXPECT_EQ(out, bytes);
+    EXPECT_EQ(store.corruptRecords(), 0u);
+}
+
+TEST(FarmStore, ReuseRequiresExplicitOptIn)
+{
+    const std::string dir = tempDir("optin");
+    const farm::PointKey key = farm::keyForPoint(smallPoints()[0]);
+    {
+        farm::ResultStore store(dir, false);
+        store.put(key, {1, 2, 3});
+    }
+    // A store holding records must be rejected unless resume is on.
+    try {
+        farm::ResultStore again(dir, false);
+        FAIL() << "expected BadConfig for a non-empty store";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.code(), ErrCode::BadConfig);
+    }
+    farm::ResultStore resumed(dir, true);
+    std::vector<std::uint8_t> out;
+    EXPECT_EQ(resumed.get(key, &out), farm::StoreGet::Hit);
+}
+
+TEST(FarmStore, CorruptRecordIsQuarantined)
+{
+    farm::ResultStore store(tempDir("corrupt"), false);
+    const farm::PointKey key = farm::keyForPoint(smallPoints()[0]);
+    store.put(key, {9, 9, 9, 9});
+    corruptFile(store.recordPath(key));
+
+    std::vector<std::uint8_t> out;
+    EXPECT_EQ(store.get(key, &out), farm::StoreGet::Corrupt);
+    EXPECT_EQ(store.corruptRecords(), 1u);
+    // Quarantined: the record is gone, the evidence is kept.
+    EXPECT_EQ(store.get(key, &out), farm::StoreGet::Miss);
+    std::ifstream bad(store.recordPath(key) + ".bad");
+    EXPECT_TRUE(bad.good());
+}
+
+TEST(FarmStore, VerifyOrRepairRestoresTruth)
+{
+    farm::ResultStore store(tempDir("repair"), false);
+    const farm::PointKey key = farm::keyForPoint(smallPoints()[0]);
+    const std::vector<std::uint8_t> truth = {'t', 'r', 'u', 'e'};
+
+    store.put(key, truth);
+    EXPECT_TRUE(store.verifyOrRepair(key, truth));
+
+    // Bit rot: CRC fails, record is rewritten from memory.
+    corruptFile(store.recordPath(key));
+    EXPECT_FALSE(store.verifyOrRepair(key, truth));
+    std::vector<std::uint8_t> out;
+    EXPECT_EQ(store.get(key, &out), farm::StoreGet::Hit);
+    EXPECT_EQ(out, truth);
+
+    // A valid container holding the wrong bytes (foreign writer) is
+    // corruption too.
+    store.put(key, {'l', 'i', 'e'});
+    const std::uint64_t before = store.corruptRecords();
+    EXPECT_FALSE(store.verifyOrRepair(key, truth));
+    EXPECT_GT(store.corruptRecords(), before);
+    EXPECT_EQ(store.get(key, &out), farm::StoreGet::Hit);
+    EXPECT_EQ(out, truth);
+}
+
+// ---------------------------------------------------------------- runFarm
+
+TEST(Farm, RejectsZeroWorkers)
+{
+    farm::FarmOptions opt;
+    opt.workers = 0;
+    try {
+        farm::runFarm(smallPoints(), opt);
+        FAIL() << "expected BadConfig";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.code(), ErrCode::BadConfig);
+    }
+}
+
+TEST(Farm, ReportMatchesSweepForAnyWorkerCount)
+{
+    const std::vector<sweep::SweepPoint> pts = smallPoints();
+    const std::string expect = sweepReport(pts);
+
+    for (const unsigned workers : {1u, 4u}) {
+        farm::FarmOptions opt;
+        opt.workers = workers;
+        const farm::FarmResult res = farm::runFarm(pts, opt);
+        ASSERT_TRUE(res.ok) << res.error.format();
+        EXPECT_EQ(res.stats.points, pts.size());
+        EXPECT_EQ(res.stats.simulated, res.stats.uniqueSlots);
+        EXPECT_EQ(farmReport(res), expect)
+            << "workers=" << workers;
+    }
+}
+
+TEST(Farm, DuplicatePointsCollapseIntoOneSlot)
+{
+    std::vector<sweep::SweepPoint> pts = smallPoints();
+    const std::size_t unique = pts.size();
+    pts.push_back(pts[0]); // overlap: same content address
+    pts.push_back(pts[1]);
+
+    farm::FarmOptions opt;
+    opt.workers = 2;
+    const farm::FarmResult res = farm::runFarm(pts, opt);
+    ASSERT_TRUE(res.ok) << res.error.format();
+    EXPECT_EQ(res.stats.points, pts.size());
+    EXPECT_EQ(res.stats.uniqueSlots, unique);
+    EXPECT_EQ(res.stats.simulated, unique);
+    ASSERT_EQ(res.fragments.size(), pts.size());
+    EXPECT_EQ(res.fragments[0], res.fragments[unique]);
+    EXPECT_EQ(res.fragments[1], res.fragments[unique + 1]);
+
+    // And the merged report equals a sweep over the duplicated grid.
+    EXPECT_EQ(farmReport(res), sweepReport(pts));
+}
+
+/** One chaos schedule per farm-level fault point: the farm must
+ *  complete via retry/re-dispatch and the bytes must not change. */
+class FarmChaos : public ::testing::TestWithParam<FaultPoint>
+{
+};
+
+TEST_P(FarmChaos, ReportSurvivesFault)
+{
+    const std::vector<sweep::SweepPoint> pts = smallPoints();
+    const std::string expect = sweepReport(pts);
+
+    farm::FarmOptions opt;
+    opt.workers = 2;
+    opt.leaseMs = 1500; // short: stalled workers reclaimed quickly
+    opt.heartbeatMs = 50;
+    opt.backoffBaseMs = 5;
+    opt.backoffCapMs = 50;
+    opt.maxAttempts = 30;
+    opt.faults.seed = 17;
+    opt.faults.setProbability(GetParam(), 0.5);
+    if (GetParam() == FaultPoint::StoreBitFlip)
+        opt.storeDir = tempDir("chaos_flip");
+
+    const farm::FarmResult res = farm::runFarm(pts, opt);
+    ASSERT_TRUE(res.ok) << res.error.format();
+    EXPECT_EQ(farmReport(res), expect)
+        << "fault " << faultPointName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFarmFaults, FarmChaos,
+    ::testing::Values(FaultPoint::WorkerKill, FaultPoint::WorkerStall,
+                      FaultPoint::DroppedResult,
+                      FaultPoint::StoreBitFlip),
+    [](const ::testing::TestParamInfo<FaultPoint> &info) {
+        std::string name = faultPointName(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(Farm, SecondRunIsServedFromStore)
+{
+    const std::vector<sweep::SweepPoint> pts = smallPoints();
+    const std::string dir = tempDir("memo");
+
+    farm::FarmOptions opt;
+    opt.workers = 2;
+    opt.storeDir = dir;
+
+    const farm::FarmResult first = farm::runFarm(pts, opt);
+    ASSERT_TRUE(first.ok) << first.error.format();
+    EXPECT_EQ(first.stats.storeHits, 0u);
+    EXPECT_EQ(first.stats.simulated, first.stats.uniqueSlots);
+
+    // The re-run must not simulate anything: every unique point is a
+    // store hit, and the replayed bytes are verbatim.
+    opt.resume = true;
+    const farm::FarmResult second = farm::runFarm(pts, opt);
+    ASSERT_TRUE(second.ok) << second.error.format();
+    EXPECT_EQ(second.stats.storeHits, second.stats.uniqueSlots);
+    EXPECT_EQ(second.stats.simulated, 0u);
+    EXPECT_EQ(farmReport(second), farmReport(first));
+    EXPECT_EQ(farmReport(second), sweepReport(pts));
+}
+
+TEST(Farm, StopFlagInterruptsCleanly)
+{
+    // A pre-raised stop flag: the farm must shut down before leasing
+    // anything and surface a structured Interrupted error.
+    static volatile std::sig_atomic_t stop = 1;
+    farm::FarmOptions opt;
+    opt.workers = 2;
+    const farm::FarmResult res = farm::runFarm(smallPoints(), opt, &stop);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.error.code, ErrCode::Interrupted);
+    EXPECT_EQ(res.stats.simulated, 0u);
+    EXPECT_TRUE(res.fragments.empty());
+}
+
+} // anonymous namespace

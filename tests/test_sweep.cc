@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdint>
 #include <random>
 #include <sstream>
@@ -57,6 +58,61 @@ TEST(SweepEngine, ResultsInInputOrder)
     for (std::size_t i = 0; i < kTasks; ++i)
         EXPECT_EQ(seq[i], i);
     EXPECT_EQ(seq, par);
+}
+
+TEST(SweepEngine, CancelStopsSchedulingAndReportsCompletion)
+{
+    // A task trips the cancel flag partway through; no new tasks may
+    // start after that, and the completion mask must say exactly which
+    // results are real.
+    constexpr std::size_t kTasks = 32;
+    constexpr std::size_t kTrip = 5;
+    static volatile std::sig_atomic_t cancel;
+    cancel = 0;
+    std::vector<std::function<std::size_t()>> tasks;
+    for (std::size_t i = 0; i < kTasks; ++i) {
+        tasks.emplace_back([i] {
+            if (i == kTrip)
+                cancel = 1;
+            return i + 100;
+        });
+    }
+
+    for (const unsigned jobs : {1u, 4u}) {
+        cancel = 0;
+        std::vector<std::uint8_t> completed;
+        const std::vector<std::size_t> out =
+            sweep::runOrdered(tasks, jobs, &cancel, &completed);
+        ASSERT_EQ(out.size(), kTasks);
+        ASSERT_EQ(completed.size(), kTasks);
+
+        std::size_t done = 0;
+        for (std::size_t i = 0; i < kTasks; ++i) {
+            if (completed[i]) {
+                EXPECT_EQ(out[i], i + 100) << "jobs=" << jobs;
+                ++done;
+            }
+        }
+        // The tripping task itself completes; everything the flag beat
+        // to the scheduler does not.
+        EXPECT_GE(done, kTrip + 1) << "jobs=" << jobs;
+        EXPECT_LT(done, kTasks) << "jobs=" << jobs;
+    }
+}
+
+TEST(SweepEngine, NullCancelRunsEverything)
+{
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < 8; ++i)
+        tasks.emplace_back([i] { return i; });
+    std::vector<std::uint8_t> completed;
+    const std::vector<int> out =
+        sweep::runOrdered(tasks, 2, nullptr, &completed);
+    ASSERT_EQ(completed.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_TRUE(completed[i]);
+        EXPECT_EQ(out[i], static_cast<int>(i));
+    }
 }
 
 TEST(SweepEngine, JobsZeroAndOversubscribedBothWork)

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Interrupt an in-flight imo-sweep and verify the graceful-shutdown
+# contract: exit code 5, a partial report, and an .interrupted marker.
+#
+#   check_sigint.sh <imo-sweep-binary> <report-path>
+set -u
+BIN=$1
+OUT=$2
+
+rm -f "$OUT" "$OUT.interrupted"
+
+# ~2s per point: long enough that the signal lands mid-sweep, short
+# enough that the in-flight point finishes promptly afterwards.
+"$BIN" --workloads hydro2d --machines ooo --modes N,S,U,CC \
+       --scale 50 --jobs 1 --out "$OUT" &
+PID=$!
+sleep 1
+kill -INT "$PID" 2>/dev/null
+wait "$PID"
+RC=$?
+
+if [ "$RC" -ne 5 ]; then
+    echo "FAIL: expected exit code 5 after SIGINT, got $RC"
+    exit 1
+fi
+if [ ! -f "$OUT" ]; then
+    echo "FAIL: partial report $OUT was not written"
+    exit 1
+fi
+if [ ! -f "$OUT.interrupted" ]; then
+    echo "FAIL: marker $OUT.interrupted was not written"
+    exit 1
+fi
+echo "ok: exit 5, partial report and marker present"
+exit 0

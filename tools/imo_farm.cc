@@ -1,0 +1,283 @@
+/**
+ * @file
+ * imo-farm: fault-tolerant multi-process sweep driver.
+ *
+ *   imo-farm --workloads compress --modes N,S,U --l2-lats 8,12,16
+ *            --workers 4 --store results/ --out report.json
+ *
+ * Expands the same grid axes as imo-sweep, but runs the points on a
+ * coordinator/worker farm (src/farm/): each point is leased to a
+ * worker process, workers that crash, stall, or drop results are
+ * killed and their points retried with exponential backoff, and
+ * finished points are memoized in a content-addressed result store so
+ * a re-run (or a resume after an interrupt) only simulates what is
+ * missing. The merged report is byte-identical to imo-sweep over the
+ * same grid, for any worker count and any failure schedule.
+ *
+ * On SIGINT/SIGTERM the farm shuts down cleanly; every finished point
+ * is already in the store, and a re-run with --resume continues from
+ * there. Exit code 5 marks the interrupted run.
+ *
+ * Exit codes:
+ *   0  success
+ *   2  usage error (bad flags)
+ *   3  bad input (BadConfig / BadProgram)
+ *   4  farm failure (LeaseExpired / ResultMismatch / ...)
+ *   5  interrupted (finished points preserved in the store)
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/faultinject.hh"
+#include "common/logging.hh"
+#include "farm/farm.hh"
+#include "sweep/gridcli.hh"
+#include "sweep/sweep.hh"
+
+namespace
+{
+
+using namespace imo;
+
+constexpr int kExitUsage = 2;
+constexpr int kExitBadInput = 3;
+constexpr int kExitFarmError = 4;
+constexpr int kExitInterrupted = 5;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop = 1;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+        "usage: imo-farm [axes] [options]\n"
+        "%s"
+        "options:\n"
+        "  --workers N             worker processes (0 = one per "
+        "hardware thread;\n"
+        "                          default 1)\n"
+        "  --store DIR             content-addressed result store "
+        "(memoizes finished\n"
+        "                          points across runs)\n"
+        "  --resume                allow reusing a store that already "
+        "holds records\n"
+        "  --lease-ms N            lease deadline before a silent "
+        "worker is declared\n"
+        "                          lost (default 10000)\n"
+        "  --max-attempts N        lease attempts per point before the "
+        "farm fails\n"
+        "                          (default 30)\n"
+        "  --straggler-ms N        duplicate a healthy lease to an idle "
+        "worker after\n"
+        "                          this long (0 disables; default "
+        "30000)\n"
+        "  --fault NAME=PROB       enable farm fault injection "
+        "(worker-kill,\n"
+        "                          worker-stall, dropped-result, "
+        "store-bit-flip)\n"
+        "  --fault-seed N          fault-injection RNG seed\n"
+        "  --out PATH              merged JSON report ('-' for stdout, "
+        "the default)\n"
+        "  --list                  print the expanded grid and exit\n"
+        "  --quiet                 suppress warn/info diagnostics\n",
+        sweep::gridAxesHelp());
+    return kExitUsage;
+}
+
+/** Parse "name=prob" into @p schedule; false on malformed input. */
+bool
+parseFaultSpec(const std::string &spec, FaultSchedule &schedule)
+{
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size())
+        return false;
+    FaultPoint point;
+    if (!faultPointFromName(spec.substr(0, eq), &point))
+        return false;
+    char *end = nullptr;
+    const double prob = std::strtod(spec.c_str() + eq + 1, &end);
+    if (end == nullptr || *end != '\0' || prob < 0.0 || prob > 1.0)
+        return false;
+    schedule.setProbability(point, prob);
+    return true;
+}
+
+int
+exitCodeFor(ErrCode code)
+{
+    switch (code) {
+      case ErrCode::BadConfig:
+      case ErrCode::BadProgram:
+        return kExitBadInput;
+      case ErrCode::Interrupted:
+        return kExitInterrupted;
+      default:
+        return kExitFarmError;
+    }
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    sweep::SweepGrid grid;
+    farm::FarmOptions opt;
+    std::string out_path = "-";
+    bool list_only = false;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto value = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    throwSimError(ErrCode::BadConfig,
+                                  "imo-farm: %s needs a value",
+                                  arg.c_str());
+                }
+                return argv[++i];
+            };
+            if (sweep::applyGridArg(&grid, arg, value)) {
+                // handled
+            } else if (arg == "--workers") {
+                opt.workers =
+                    sweep::parseParallelism(value(), "--workers");
+            } else if (arg == "--store") {
+                opt.storeDir = value();
+            } else if (arg == "--resume") {
+                opt.resume = true;
+            } else if (arg == "--lease-ms") {
+                opt.leaseMs =
+                    std::strtoull(value().c_str(), nullptr, 10);
+            } else if (arg == "--max-attempts") {
+                opt.maxAttempts = static_cast<unsigned>(
+                    std::strtoul(value().c_str(), nullptr, 10));
+            } else if (arg == "--straggler-ms") {
+                opt.stragglerMs =
+                    std::strtoull(value().c_str(), nullptr, 10);
+            } else if (arg == "--fault") {
+                const std::string spec = value();
+                if (!parseFaultSpec(spec, opt.faults)) {
+                    std::fprintf(stderr,
+                                 "imo-farm: bad --fault spec '%s' "
+                                 "(want name=prob)\n",
+                                 spec.c_str());
+                    return usage();
+                }
+            } else if (arg == "--fault-seed") {
+                opt.faults.seed =
+                    std::strtoull(value().c_str(), nullptr, 10);
+            } else if (arg == "--out") {
+                out_path = value();
+            } else if (arg == "--list") {
+                list_only = true;
+            } else if (arg == "--quiet") {
+                setLogLevel(LogLevel::Quiet);
+            } else {
+                std::fprintf(stderr, "imo-farm: unknown option '%s'\n",
+                             arg.c_str());
+                return usage();
+            }
+        }
+
+        const std::vector<sweep::SweepPoint> points =
+            sweep::expandGrid(grid);
+        if (list_only) {
+            for (const sweep::SweepPoint &p : points)
+                std::printf("%s\n", sweep::describePoint(p).c_str());
+            std::printf("%zu points\n", points.size());
+            return 0;
+        }
+
+        // Fail fast on typos before any worker is spawned.
+        sweep::validatePoints(points);
+
+        {
+            struct sigaction sa{};
+            sa.sa_handler = onStopSignal;
+            sa.sa_flags = SA_RESETHAND;
+            ::sigaction(SIGINT, &sa, nullptr);
+            ::sigaction(SIGTERM, &sa, nullptr);
+        }
+
+        const farm::FarmResult res =
+            farm::runFarm(points, opt, &g_stop);
+
+        if (!res.ok) {
+            std::fprintf(stderr, "imo-farm: error [%s] %s\n",
+                         errCodeName(res.error.code),
+                         res.error.message.c_str());
+            for (const std::string &note : res.error.context)
+                std::fprintf(stderr, "    %s\n", note.c_str());
+            if (res.error.code == ErrCode::Interrupted &&
+                !opt.storeDir.empty()) {
+                std::fprintf(stderr,
+                             "imo-farm: %llu finished points are in "
+                             "'%s'; resume with --resume\n",
+                             static_cast<unsigned long long>(
+                                 res.stats.storeHits +
+                                 res.stats.simulated),
+                             opt.storeDir.c_str());
+            }
+            return exitCodeFor(res.error.code);
+        }
+
+        if (out_path == "-") {
+            farm::writeFarmReportJson(std::cout, res);
+        } else {
+            std::ofstream f(out_path, std::ios::binary);
+            sim_throw_if(!f, ErrCode::BadConfig,
+                         "imo-farm: cannot open '%s' for writing",
+                         out_path.c_str());
+            farm::writeFarmReportJson(f, res);
+        }
+
+        const farm::FarmStats &st = res.stats;
+        std::fprintf(stderr,
+                     "imo-farm: %llu points (%llu unique), served "
+                     "%llu/%llu from store, %llu simulated\n",
+                     static_cast<unsigned long long>(st.points),
+                     static_cast<unsigned long long>(st.uniqueSlots),
+                     static_cast<unsigned long long>(st.storeHits),
+                     static_cast<unsigned long long>(st.uniqueSlots),
+                     static_cast<unsigned long long>(st.simulated));
+        if (st.retries || st.workersLost || st.redispatches ||
+            st.storeCorrupt) {
+            std::fprintf(
+                stderr,
+                "imo-farm: %llu retries, %llu workers lost, %llu "
+                "leases expired, %llu re-dispatches, %llu corrupt "
+                "store records repaired\n",
+                static_cast<unsigned long long>(st.retries),
+                static_cast<unsigned long long>(st.workersLost),
+                static_cast<unsigned long long>(st.leasesExpired),
+                static_cast<unsigned long long>(st.redispatches),
+                static_cast<unsigned long long>(st.storeCorrupt));
+        }
+        if (out_path != "-")
+            std::fprintf(stderr, "imo-farm: report written to %s\n",
+                         out_path.c_str());
+        return 0;
+    } catch (const SimException &e) {
+        const SimError &err = e.error();
+        std::fprintf(stderr, "imo-farm: error [%s] %s\n",
+                     errCodeName(err.code), err.message.c_str());
+        for (const std::string &note : err.context)
+            std::fprintf(stderr, "    %s\n", note.c_str());
+        return exitCodeFor(err.code);
+    }
+}

@@ -15,8 +15,10 @@
  *   2  usage error (bad flags)
  *   3  bad input (BadConfig / BadProgram)
  *   4  simulation failure (Deadlock / RunawayExecution / ...)
+ *   5  interrupted (SIGINT/SIGTERM; partial outputs were flushed)
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,9 +44,33 @@ namespace
 
 using namespace imo;
 
-constexpr int kExitUsage = 2;    //!< bad command line
-constexpr int kExitBadInput = 3; //!< BadConfig / BadProgram
-constexpr int kExitSimError = 4; //!< Deadlock / Runaway / fault / bug
+constexpr int kExitUsage = 2;       //!< bad command line
+constexpr int kExitBadInput = 3;    //!< BadConfig / BadProgram
+constexpr int kExitSimError = 4;    //!< Deadlock / Runaway / fault / bug
+constexpr int kExitInterrupted = 5; //!< stopped by SIGINT/SIGTERM
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop = 1;
+}
+
+/** Route SIGINT/SIGTERM to the cooperative stop flag: the simulation
+ *  loop notices, flushes a resume checkpoint if one was requested, and
+ *  unwinds with a structured Interrupted error instead of dying with
+ *  partial output. A second signal falls back to the default (kill)
+ *  disposition so a wedged run can still be stopped. */
+void
+installStopHandlers()
+{
+    struct sigaction sa{};
+    sa.sa_handler = onStopSignal;
+    sa.sa_flags = SA_RESETHAND;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
 
 int
 usage()
@@ -138,6 +164,8 @@ exitCodeFor(ErrCode code)
       case ErrCode::BadConfig:
       case ErrCode::BadProgram:
         return kExitBadInput;
+      case ErrCode::Interrupted:
+        return kExitInterrupted;
       default:
         return kExitSimError;
     }
@@ -393,6 +421,9 @@ main(int argc, char **argv)
         machine.validate();
         isa::verifyProgram(prog);
 
+        installStopHandlers();
+        sim_options.stopFlag = &g_stop;
+
         if (!sample_spec.empty()) {
             sample::SampleParams sp =
                 sample::SampleParams::parse(sample_spec);
@@ -537,9 +568,13 @@ main(int argc, char **argv)
         if (!r.ok) {
             printError(r.error);
             if (!sim_options.checkpointOut.empty()) {
+                const bool interrupted =
+                    r.error.code == ErrCode::Interrupted;
                 std::fprintf(stderr,
-                             "imo-run: failure reproducer written to "
-                             "%s (resume with --checkpoint-in)\n",
+                             "imo-run: %s written to %s (resume with "
+                             "--checkpoint-in)\n",
+                             interrupted ? "interrupted state"
+                                         : "failure reproducer",
                              sim_options.checkpointOut.c_str());
             }
             return exitCodeFor(r.error.code);

@@ -10,25 +10,30 @@
  * worker pool, and writes one merged JSON report with the points in
  * grid order. The report is byte-identical for any --jobs value.
  *
+ * On SIGINT/SIGTERM the sweep stops scheduling new points, lets the
+ * in-flight ones finish, writes a report of the completed prefix plus
+ * an <out>.interrupted marker, and exits 5.
+ *
  * Exit codes:
  *   0  success (individual failed points are reported in the JSON)
  *   2  usage error (bad flags)
  *   3  bad input (BadConfig / BadProgram)
+ *   5  interrupted (partial report flushed)
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "sweep/gridcli.hh"
 #include "sweep/sweep.hh"
-#include "workloads/suite.hh"
 
 namespace
 {
@@ -37,85 +42,32 @@ using namespace imo;
 
 constexpr int kExitUsage = 2;
 constexpr int kExitBadInput = 3;
+constexpr int kExitInterrupted = 5;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop = 1;
+}
 
 int
 usage()
 {
     std::fprintf(stderr,
         "usage: imo-sweep [axes] [options]\n"
-        "axes (comma-separated values; the grid is their cartesian "
-        "product):\n"
-        "  --workloads A,B,...     workload names (default espresso)\n"
-        "  --machines M,...        ooo,inorder (default ooo)\n"
-        "  --modes M,...           N,S,U,CC (default N)\n"
-        "  --lens K,...            generic handler lengths "
-        "(default 10)\n"
-        "  --l1-sizes KB,...       L1 size override in KB (default: "
-        "machine default)\n"
-        "  --l1-assocs A,...       L1 associativity override\n"
-        "  --l2-lats N,...         L2 latency override, cycles\n"
-        "  --mem-lats N,...        memory latency override, cycles\n"
-        "  --mshrs N,...           MSHR count override\n"
-        "  --samples S,...         sampling schedules: 'full' for the "
-        "detailed\n"
-        "                          simulation, or U:W:M (e.g. "
-        "10000:500:500)\n"
+        "%s"
         "options:\n"
-        "  --scale F               workload scale factor (default 1)\n"
-        "  --seed N                workload seed\n"
-        "  --jobs N                worker threads (default 1)\n"
+        "  --jobs N                worker threads (0 = one per hardware "
+        "thread;\n"
+        "                          default 1)\n"
         "  --out PATH              merged JSON report ('-' for stdout, "
         "the default)\n"
         "  --list                  print the expanded grid and exit\n"
-        "  --quiet                 suppress warn/info diagnostics\n");
+        "  --quiet                 suppress warn/info diagnostics\n",
+        sweep::gridAxesHelp());
     return kExitUsage;
-}
-
-std::vector<std::string>
-splitCsv(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::stringstream ss(s);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-        if (!item.empty())
-            out.push_back(item);
-    }
-    return out;
-}
-
-template <typename T>
-std::vector<T>
-parseNumbers(const std::string &s, const char *what)
-{
-    std::vector<T> out;
-    for (const std::string &item : splitCsv(s)) {
-        char *end = nullptr;
-        const unsigned long long v = std::strtoull(item.c_str(), &end, 10);
-        if (end == item.c_str() || *end != '\0') {
-            throwSimError(ErrCode::BadConfig,
-                          "imo-sweep: bad %s value '%s'", what,
-                          item.c_str());
-        }
-        out.push_back(static_cast<T>(v));
-    }
-    return out;
-}
-
-core::InformingMode
-parseMode(const std::string &m)
-{
-    if (m == "N")
-        return core::InformingMode::None;
-    if (m == "S")
-        return core::InformingMode::TrapSingle;
-    if (m == "U")
-        return core::InformingMode::TrapUnique;
-    if (m == "CC")
-        return core::InformingMode::CondCode;
-    throwSimError(ErrCode::BadConfig,
-                  "imo-sweep: unknown mode '%s' (N, S, U, or CC)",
-                  m.c_str());
 }
 
 } // anonymous namespace
@@ -139,47 +91,10 @@ main(int argc, char **argv)
                 }
                 return argv[++i];
             };
-            if (arg == "--workloads") {
-                grid.workloads = splitCsv(value());
-            } else if (arg == "--machines") {
-                grid.machines = splitCsv(value());
-            } else if (arg == "--modes") {
-                grid.modes.clear();
-                for (const std::string &m : splitCsv(value()))
-                    grid.modes.push_back(parseMode(m));
-            } else if (arg == "--lens") {
-                grid.handlerLens =
-                    parseNumbers<std::uint32_t>(value(), "handler length");
-            } else if (arg == "--l1-sizes") {
-                grid.l1SizesBytes.clear();
-                for (const std::uint64_t kb :
-                     parseNumbers<std::uint64_t>(value(), "L1 size"))
-                    grid.l1SizesBytes.push_back(kb * 1024);
-            } else if (arg == "--l1-assocs") {
-                grid.l1Assocs =
-                    parseNumbers<std::uint32_t>(value(), "L1 assoc");
-            } else if (arg == "--l2-lats") {
-                grid.l2Latencies =
-                    parseNumbers<std::uint64_t>(value(), "L2 latency");
-            } else if (arg == "--mem-lats") {
-                grid.memLatencies =
-                    parseNumbers<std::uint64_t>(value(), "memory latency");
-            } else if (arg == "--mshrs") {
-                grid.mshrCounts =
-                    parseNumbers<std::uint32_t>(value(), "MSHR count");
-            } else if (arg == "--samples") {
-                grid.samples.clear();
-                for (const std::string &s : splitCsv(value()))
-                    grid.samples.push_back(s == "full" ? "" : s);
-            } else if (arg == "--scale") {
-                grid.scale = std::atof(value().c_str());
-            } else if (arg == "--seed") {
-                grid.seed = std::strtoull(value().c_str(), nullptr, 0);
+            if (sweep::applyGridArg(&grid, arg, value)) {
+                // handled
             } else if (arg == "--jobs") {
-                jobs = static_cast<unsigned>(
-                    std::strtoul(value().c_str(), nullptr, 10));
-                if (jobs == 0)
-                    jobs = 1;
+                jobs = sweep::parseParallelism(value(), "--jobs");
             } else if (arg == "--out") {
                 out_path = value();
             } else if (arg == "--list") {
@@ -204,26 +119,57 @@ main(int argc, char **argv)
 
         // Validate every point's config and workload name up front so
         // a typo fails fast instead of surfacing mid-sweep.
-        for (const sweep::SweepPoint &p : points) {
-            p.resolveConfig().validate();
-            sim_throw_if(!workloads::find(p.workload), ErrCode::BadConfig,
-                         "imo-sweep: unknown workload '%s'",
-                         p.workload.c_str());
-            if (!p.sample.empty())
-                sample::SampleParams::parse(p.sample);
+        sweep::validatePoints(points);
+
+        {
+            struct sigaction sa{};
+            sa.sa_handler = onStopSignal;
+            sa.sa_flags = SA_RESETHAND;
+            ::sigaction(SIGINT, &sa, nullptr);
+            ::sigaction(SIGTERM, &sa, nullptr);
         }
 
+        std::vector<std::uint8_t> completed;
         const std::vector<sweep::SweepOutcome> outcomes =
-            sweep::runSweep(points, jobs);
+            sweep::runSweep(points, jobs, &g_stop, &completed);
+
+        // On interruption, the report covers exactly the completed
+        // points (still in grid order) so nothing simulated is lost.
+        std::vector<sweep::SweepOutcome> report;
+        if (g_stop) {
+            for (std::size_t i = 0; i < outcomes.size(); ++i)
+                if (completed[i])
+                    report.push_back(outcomes[i]);
+        }
+        const std::vector<sweep::SweepOutcome> &emit =
+            g_stop ? report : outcomes;
 
         if (out_path == "-") {
-            sweep::writeReportJson(std::cout, outcomes);
+            sweep::writeReportJson(std::cout, emit);
         } else {
             std::ofstream f(out_path, std::ios::binary);
             sim_throw_if(!f, ErrCode::BadConfig,
                          "imo-sweep: cannot open '%s' for writing",
                          out_path.c_str());
-            sweep::writeReportJson(f, outcomes);
+            sweep::writeReportJson(f, emit);
+        }
+
+        if (g_stop) {
+            if (out_path != "-") {
+                // Resumable marker: which prefix of the grid the
+                // partial report covers.
+                std::ofstream marker(out_path + ".interrupted");
+                marker << emit.size() << " of " << points.size()
+                       << " points completed\n";
+            }
+            std::fprintf(stderr,
+                         "imo-sweep: interrupted; %zu of %zu points "
+                         "completed, partial report %s%s\n",
+                         emit.size(), points.size(),
+                         out_path == "-" ? "written to stdout"
+                                         : "written to ",
+                         out_path == "-" ? "" : out_path.c_str());
+            return kExitInterrupted;
         }
 
         std::size_t failed = 0;
