@@ -21,6 +21,7 @@ faultPointName(FaultPoint point)
       case FaultPoint::WorkerStall: return "worker-stall";
       case FaultPoint::DroppedResult: return "dropped-result";
       case FaultPoint::StoreBitFlip: return "store-bit-flip";
+      case FaultPoint::LeaseWriteFail: return "lease-write-fail";
       case FaultPoint::NumPoints: break;
     }
     return "?";
@@ -55,6 +56,7 @@ FaultSchedule::probabilityOf(FaultPoint point) const
       case FaultPoint::WorkerStall: return workerStall;
       case FaultPoint::DroppedResult: return droppedResult;
       case FaultPoint::StoreBitFlip: return storeBitFlip;
+      case FaultPoint::LeaseWriteFail: return leaseWriteFail;
       case FaultPoint::NumPoints: break;
     }
     return 0.0;
@@ -77,6 +79,7 @@ FaultSchedule::setProbability(FaultPoint point, double p)
       case FaultPoint::WorkerStall: workerStall = p; return;
       case FaultPoint::DroppedResult: droppedResult = p; return;
       case FaultPoint::StoreBitFlip: storeBitFlip = p; return;
+      case FaultPoint::LeaseWriteFail: leaseWriteFail = p; return;
       case FaultPoint::NumPoints: break;
     }
 }

@@ -40,6 +40,10 @@
  *  - StoreBitFlip: a result-store record is corrupted after being
  *    written (disk rot); the store's CRC validation catches it and the
  *    point is recovered from memory or re-simulated.
+ *  - LeaseWriteFail: an idle worker dies unseen (OOM-kill, external
+ *    preemption) just before the coordinator writes it a lease; the
+ *    write hits EPIPE, the slot returns to the queue, and the worker
+ *    is replaced.
  */
 
 #ifndef IMO_COMMON_FAULTINJECT_HH
@@ -72,6 +76,7 @@ enum class FaultPoint : std::uint8_t
     WorkerStall,
     DroppedResult,
     StoreBitFlip,
+    LeaseWriteFail,
     NumPoints
 };
 
@@ -101,6 +106,7 @@ struct FaultSchedule
     double workerStall = 0.0;
     double droppedResult = 0.0;
     double storeBitFlip = 0.0;
+    double leaseWriteFail = 0.0;
 
     /** Extra fill latency added by MemLatencySpike. */
     Cycle spikeCycles = 200;

@@ -20,6 +20,7 @@
 #include "common/logging.hh"
 #include "farm/proto.hh"
 #include "farm/store.hh"
+#include "sweep/engine.hh"
 
 namespace imo::farm
 {
@@ -112,25 +113,30 @@ workerMain(int rfd, int wfd, const FarmOptions &opt,
 
         std::ostringstream fragment;
         bool sim_ok = true;
-        std::string sim_err;
+        SimError sim_err;
         try {
             sweep::writePointJson(fragment,
                                   sweep::runPoint(lease.point));
         } catch (const SimException &e) {
             sim_ok = false;
-            sim_err = e.error().format();
+            sim_err = e.error();
         }
         beat.store(false, std::memory_order_relaxed);
         heartbeat.join();
 
         if (!sim_ok) {
-            // A point the simulator itself rejects is not a farm
-            // failure mode the lease protocol can fix; leave the
-            // diagnosis on stderr and die so the coordinator retries
-            // (and eventually fails with LeaseExpired).
+            // A point the simulator itself rejects fails
+            // deterministically — retrying cannot help. Carry the
+            // structured diagnosis back so the coordinator fails the
+            // farm fast with the real error instead of burning the
+            // lease/retry budget.
             std::fprintf(stderr, "imo-farm worker: point failed: %s\n",
-                         sim_err.c_str());
-            _exit(1);
+                         sim_err.format().c_str());
+            ErrorMsg err;
+            err.slot = lease.slot;
+            err.error = std::move(sim_err);
+            send(FrameType::Error, encodeError(err));
+            continue;
         }
 
         if (inject.fire(FaultPoint::DroppedResult)) {
@@ -352,12 +358,31 @@ class Coordinator
     grantLease(Worker &w, std::size_t slot, bool straggler,
                std::uint64_t now)
     {
+        if (_inject.fire(FaultPoint::LeaseWriteFail)) {
+            // Injected "idle worker died unseen" (OOM-kill, external
+            // preemption): kill it and wait for its fd teardown —
+            // WNOWAIT leaves the zombie for loseWorker() to reap —
+            // so the write below hits the genuine EPIPE path.
+            ::kill(w.pid, SIGKILL);
+            siginfo_t info{};
+            ::waitid(P_PID, static_cast<id_t>(w.pid), &info,
+                     WEXITED | WNOWAIT);
+        }
         LeaseMsg msg;
         msg.slot = slot;
         msg.point = _slots[slot].point;
         try {
             writeFrame(w.toFd, FrameType::Lease, encodeLease(msg));
         } catch (const SimException &) {
+            // The lease never reached the worker. Put the slot back
+            // exactly as dispatch() found it (still queued, backoff
+            // unchanged) before replacing the worker — w.slot is
+            // still -1, so loseWorker() alone would orphan the slot
+            // with queued=true and the farm would hang forever. A
+            // straggler grant has nothing to restore: the original
+            // lease is still active.
+            if (!straggler)
+                _pending.push_back(slot);
             loseWorker(w, now);
             return;
         }
@@ -463,6 +488,37 @@ class Coordinator
             storeResult(s, now);
     }
 
+    /** The simulator rejected the worker's point: deterministic, so
+     *  fail the farm with the worker's own diagnosis, not a generic
+     *  LeaseExpired after maxAttempts wasted re-simulations. */
+    void
+    acceptWorkerError(Worker &w, ErrorMsg msg)
+    {
+        sim_throw_if(w.slot < 0 ||
+                         msg.slot != static_cast<std::uint64_t>(w.slot),
+                     ErrCode::WorkerLost,
+                     "farm: worker reported an error for slot %llu "
+                     "while leased slot %ld",
+                     static_cast<unsigned long long>(msg.slot), w.slot);
+        Slot &s = _slots[msg.slot];
+        w.slot = -1;
+        --s.activeLeases;
+
+        if (s.done) {
+            // A straggler twin already delivered a *successful* result
+            // for this point: determinism is broken either way.
+            fail(SimError{ErrCode::ResultMismatch,
+                          "farm: duplicate runs of one point disagree "
+                          "(one succeeded, one failed)",
+                          {msg.error.format(),
+                           sweep::describePoint(s.point)}});
+            return;
+        }
+        SimError err = std::move(msg.error);
+        err.context.push_back(sweep::describePoint(s.point));
+        fail(std::move(err));
+    }
+
     void
     storeResult(Slot &s, std::uint64_t now)
     {
@@ -559,6 +615,16 @@ class Coordinator
             case FrameType::Result:
                 try {
                     acceptResult(w, decodeResult(frame.payload), now);
+                } catch (const SimException &) {
+                    loseWorker(w, now);
+                    return;
+                }
+                if (failed())
+                    return;
+                break;
+            case FrameType::Error:
+                try {
+                    acceptWorkerError(w, decodeError(frame.payload));
                 } catch (const SimException &) {
                     loseWorker(w, now);
                     return;
@@ -678,7 +744,8 @@ class Coordinator
     const FarmOptions &_opt;
     ResultStore *_store;
     const volatile std::sig_atomic_t *_stop;
-    FaultInjector _inject; //!< coordinator-side draws (StoreBitFlip)
+    FaultInjector _inject; //!< coordinator-side draws (StoreBitFlip,
+                           //!< LeaseWriteFail)
 
     std::vector<Worker> _workers;
     std::vector<std::size_t> _pending; //!< slot indices awaiting a lease
@@ -705,13 +772,38 @@ runFarm(const std::vector<sweep::SweepPoint> &points,
     FarmResult res;
     res.stats.points = points.size();
 
+    // Content addressing builds and instruments each point's program,
+    // which can rival a short simulation in cost — so first collapse
+    // structurally identical points (their wire encoding covers every
+    // field) and fingerprint only the distinct ones, in parallel
+    // across the worker budget.
+    std::vector<sweep::SweepPoint> distinct;
+    std::map<std::string, std::size_t> by_struct;
+    std::vector<std::size_t> struct_of(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        LeaseMsg probe;
+        probe.point = points[i];
+        const std::vector<std::uint8_t> enc = encodeLease(probe);
+        const auto [it, inserted] = by_struct.emplace(
+            std::string(enc.begin(), enc.end()), distinct.size());
+        if (inserted)
+            distinct.push_back(points[i]);
+        struct_of[i] = it->second;
+    }
+    std::vector<std::function<PointKey()>> key_tasks;
+    key_tasks.reserve(distinct.size());
+    for (const sweep::SweepPoint &p : distinct)
+        key_tasks.emplace_back([&p] { return keyForPoint(p); });
+    const std::vector<PointKey> keys =
+        sweep::runOrdered(key_tasks, options.workers);
+
     // Collapse content-identical points into unique slots: overlapping
     // grids simulate once, and every input index maps to its slot.
     std::vector<Slot> slots;
     std::map<std::string, std::size_t> slot_by_key;
     std::vector<std::size_t> slot_of(points.size());
     for (std::size_t i = 0; i < points.size(); ++i) {
-        const PointKey key = keyForPoint(points[i]);
+        const PointKey &key = keys[struct_of[i]];
         const auto [it, inserted] =
             slot_by_key.emplace(key.hex(), slots.size());
         if (inserted) {

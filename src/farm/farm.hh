@@ -14,7 +14,12 @@
  *    crashes (EOF), stalls (deadline passes), or drops its result is
  *    SIGKILLed, replaced, and the slot is retried with exponential
  *    backoff — up to maxAttempts, after which the farm fails with a
- *    structured LeaseExpired error.
+ *    structured LeaseExpired error. A lease write that fails because
+ *    an idle worker died unseen returns the slot to the queue and
+ *    replaces the worker.
+ *  - A point the *simulator* rejects fails deterministically; the
+ *    worker reports the structured error back and the farm fails fast
+ *    with that diagnosis instead of retrying.
  *  - A healthy-but-slow slot past stragglerMs is re-dispatched to an
  *    idle worker; the first result wins and any duplicate result must
  *    be byte-identical (ResultMismatch otherwise — the determinism
@@ -76,8 +81,9 @@ struct FarmOptions
     std::uint64_t stragglerMs = 30'000;
 
     /** Farm-level fault plan (worker-kill / worker-stall /
-     *  dropped-result / store-bit-flip); other points are ignored
-     *  here. Seed-deterministic per spawned worker. */
+     *  dropped-result / store-bit-flip / lease-write-fail); other
+     *  points are ignored here. Seed-deterministic per spawned
+     *  worker. */
     FaultSchedule faults;
 };
 

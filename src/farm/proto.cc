@@ -22,7 +22,7 @@ bool
 validFrameType(std::uint32_t t)
 {
     return t >= static_cast<std::uint32_t>(FrameType::Hello) &&
-           t <= static_cast<std::uint32_t>(FrameType::Shutdown);
+           t <= static_cast<std::uint32_t>(FrameType::Error);
 }
 
 void
@@ -318,6 +318,47 @@ decodeResult(const std::vector<std::uint8_t> &payload)
         ResultMsg msg;
         msg.slot = d.u64();
         msg.fragment = d.vecU8();
+        d.closeSection();
+        return msg;
+    });
+}
+
+std::vector<std::uint8_t>
+encodeError(const ErrorMsg &msg)
+{
+    Serializer s;
+    s.beginSection("error");
+    s.u64(msg.slot);
+    s.u8(static_cast<std::uint8_t>(msg.error.code));
+    s.str(msg.error.message);
+    s.u32(static_cast<std::uint32_t>(msg.error.context.size()));
+    for (const std::string &note : msg.error.context)
+        s.str(note);
+    s.endSection();
+    return s.finish();
+}
+
+ErrorMsg
+decodeError(const std::vector<std::uint8_t> &payload)
+{
+    return decodePayload("error", [&] {
+        Deserializer d(payload);
+        d.openSection("error");
+        ErrorMsg msg;
+        msg.slot = d.u64();
+        const std::uint8_t code = d.u8();
+        // A "no error" or out-of-range code is wire garbage, not a
+        // valid diagnosis.
+        sim_throw_if(code == 0 ||
+                         code > static_cast<std::uint8_t>(
+                                    ErrCode::StoreCorrupt),
+                     ErrCode::WorkerLost,
+                     "farm protocol: invalid error code %u", code);
+        msg.error.code = static_cast<ErrCode>(code);
+        msg.error.message = d.str();
+        const std::uint32_t notes = d.u32();
+        for (std::uint32_t i = 0; i < notes; ++i)
+            msg.error.context.push_back(d.str());
         d.closeSection();
         return msg;
     });

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "sweep/sweep.hh"
 
 namespace imo::farm
@@ -41,6 +42,8 @@ enum class FrameType : std::uint32_t
     Heartbeat = 3, //!< worker -> coordinator: still alive on a point
     Result = 4,    //!< worker -> coordinator: point finished
     Shutdown = 5,  //!< coordinator -> worker: exit cleanly
+    Error = 6,     //!< worker -> coordinator: the simulator rejected
+                   //!< the point (deterministic; retry cannot help)
 };
 
 /** One parsed frame. */
@@ -104,6 +107,16 @@ struct ResultMsg
     std::vector<std::uint8_t> fragment;
 };
 
+/** Error: the simulator itself rejected the slot's point. Since a
+ *  point is a pure function, the failure is deterministic — the
+ *  coordinator fails the farm with this diagnosis instead of burning
+ *  the lease/retry budget on re-simulations. */
+struct ErrorMsg
+{
+    std::uint64_t slot = 0;
+    SimError error;
+};
+
 std::vector<std::uint8_t> encodeLease(const LeaseMsg &msg);
 LeaseMsg decodeLease(const std::vector<std::uint8_t> &payload);
 
@@ -112,6 +125,9 @@ std::uint64_t decodeHeartbeat(const std::vector<std::uint8_t> &payload);
 
 std::vector<std::uint8_t> encodeResult(const ResultMsg &msg);
 ResultMsg decodeResult(const std::vector<std::uint8_t> &payload);
+
+std::vector<std::uint8_t> encodeError(const ErrorMsg &msg);
+ErrorMsg decodeError(const std::vector<std::uint8_t> &payload);
 
 } // namespace imo::farm
 

@@ -42,6 +42,19 @@ parseU64List(const std::string &s, const char *what)
     return out;
 }
 
+std::uint64_t
+parseU64(const std::string &s, const char *what)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    sim_throw_if(end == s.c_str() || *end != '\0' || errno != 0 ||
+                     v < 0,
+                 ErrCode::BadConfig, "bad %s value '%s'", what,
+                 s.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
 core::InformingMode
 parseModeName(const std::string &m)
 {

@@ -27,6 +27,11 @@ std::vector<std::string> splitCsv(const std::string &s);
 std::vector<std::uint64_t> parseU64List(const std::string &s,
                                         const char *what);
 
+/** Parse one non-negative integer (e.g. a millisecond or seed flag).
+ *  Throws SimException(BadConfig) naming @p what on malformed input —
+ *  a typo must never silently become 0. */
+std::uint64_t parseU64(const std::string &s, const char *what);
+
 /** Parse an informing-mode name (N, S, U, CC).
  *  Throws SimException(BadConfig) for anything else. */
 core::InformingMode parseModeName(const std::string &m);

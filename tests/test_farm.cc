@@ -273,7 +273,12 @@ TEST_P(FarmChaos, ReportSurvivesFault)
     opt.backoffCapMs = 50;
     opt.maxAttempts = 30;
     opt.faults.seed = 17;
-    opt.faults.setProbability(GetParam(), 0.5);
+    // Most points draw many times per run; lease-write-fail draws only
+    // once per grant, so it needs a higher probability to reliably
+    // exercise the recovery path.
+    opt.faults.setProbability(
+        GetParam(),
+        GetParam() == FaultPoint::LeaseWriteFail ? 0.9 : 0.5);
     if (GetParam() == FaultPoint::StoreBitFlip)
         opt.storeDir = tempDir("chaos_flip");
 
@@ -287,7 +292,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllFarmFaults, FarmChaos,
     ::testing::Values(FaultPoint::WorkerKill, FaultPoint::WorkerStall,
                       FaultPoint::DroppedResult,
-                      FaultPoint::StoreBitFlip),
+                      FaultPoint::StoreBitFlip,
+                      FaultPoint::LeaseWriteFail),
     [](const ::testing::TestParamInfo<FaultPoint> &info) {
         std::string name = faultPointName(info.param);
         for (char &c : name)
@@ -295,6 +301,24 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return name;
     });
+
+TEST(Farm, DeterministicPointFailureFailsFast)
+{
+    // A point that keys fine but fails inside the simulator (malformed
+    // sampling spec): the worker reports the structured error and the
+    // farm must fail immediately with that diagnosis — not burn the
+    // whole lease/retry budget re-simulating a deterministic failure.
+    std::vector<sweep::SweepPoint> pts = smallPoints();
+    pts[0].sample = "not-a-sample-spec";
+
+    farm::FarmOptions opt;
+    opt.workers = 2;
+    const farm::FarmResult res = farm::runFarm(pts, opt);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.error.code, ErrCode::BadConfig);
+    EXPECT_EQ(res.stats.retries, 0u);
+    EXPECT_EQ(res.stats.leasesExpired, 0u);
+}
 
 TEST(Farm, SecondRunIsServedFromStore)
 {

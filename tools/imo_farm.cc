@@ -88,7 +88,8 @@ usage()
         "  --fault NAME=PROB       enable farm fault injection "
         "(worker-kill,\n"
         "                          worker-stall, dropped-result, "
-        "store-bit-flip)\n"
+        "store-bit-flip,\n"
+        "                          lease-write-fail)\n"
         "  --fault-seed N          fault-injection RNG seed\n"
         "  --out PATH              merged JSON report ('-' for stdout, "
         "the default)\n"
@@ -161,14 +162,19 @@ main(int argc, char **argv)
             } else if (arg == "--resume") {
                 opt.resume = true;
             } else if (arg == "--lease-ms") {
-                opt.leaseMs =
-                    std::strtoull(value().c_str(), nullptr, 10);
+                opt.leaseMs = sweep::parseU64(value(), "--lease-ms");
             } else if (arg == "--max-attempts") {
-                opt.maxAttempts = static_cast<unsigned>(
-                    std::strtoul(value().c_str(), nullptr, 10));
+                const std::uint64_t v =
+                    sweep::parseU64(value(), "--max-attempts");
+                sim_throw_if(v == 0 || v > 1'000'000,
+                             ErrCode::BadConfig,
+                             "--max-attempts must be in [1, 1000000], "
+                             "got %llu",
+                             static_cast<unsigned long long>(v));
+                opt.maxAttempts = static_cast<unsigned>(v);
             } else if (arg == "--straggler-ms") {
                 opt.stragglerMs =
-                    std::strtoull(value().c_str(), nullptr, 10);
+                    sweep::parseU64(value(), "--straggler-ms");
             } else if (arg == "--fault") {
                 const std::string spec = value();
                 if (!parseFaultSpec(spec, opt.faults)) {
@@ -180,7 +186,7 @@ main(int argc, char **argv)
                 }
             } else if (arg == "--fault-seed") {
                 opt.faults.seed =
-                    std::strtoull(value().c_str(), nullptr, 10);
+                    sweep::parseU64(value(), "--fault-seed");
             } else if (arg == "--out") {
                 out_path = value();
             } else if (arg == "--list") {
