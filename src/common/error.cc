@@ -42,6 +42,7 @@ errCodeName(ErrCode code)
       case ErrCode::WorkerLost: return "WorkerLost";
       case ErrCode::ResultMismatch: return "ResultMismatch";
       case ErrCode::StoreCorrupt: return "StoreCorrupt";
+      case ErrCode::AuthFailed: return "AuthFailed";
     }
     return "?";
 }

@@ -43,6 +43,8 @@ enum class ErrCode : std::uint8_t
     WorkerLost,       //!< a worker died or spoke garbage on the wire
     ResultMismatch,   //!< duplicate results for one point disagree
     StoreCorrupt,     //!< result-store record failed key/CRC validation
+    AuthFailed,       //!< worker admission rejected: protocol/schema
+                      //!< version skew or a shared-token mismatch
 };
 
 /** @return a stable short name, e.g. "BadConfig". */

@@ -22,6 +22,9 @@ faultPointName(FaultPoint point)
       case FaultPoint::DroppedResult: return "dropped-result";
       case FaultPoint::StoreBitFlip: return "store-bit-flip";
       case FaultPoint::LeaseWriteFail: return "lease-write-fail";
+      case FaultPoint::ConnDrop: return "conn-drop";
+      case FaultPoint::ConnStutter: return "conn-stutter";
+      case FaultPoint::HandshakeCorrupt: return "handshake-corrupt";
       case FaultPoint::NumPoints: break;
     }
     return "?";
@@ -57,6 +60,9 @@ FaultSchedule::probabilityOf(FaultPoint point) const
       case FaultPoint::DroppedResult: return droppedResult;
       case FaultPoint::StoreBitFlip: return storeBitFlip;
       case FaultPoint::LeaseWriteFail: return leaseWriteFail;
+      case FaultPoint::ConnDrop: return connDrop;
+      case FaultPoint::ConnStutter: return connStutter;
+      case FaultPoint::HandshakeCorrupt: return handshakeCorrupt;
       case FaultPoint::NumPoints: break;
     }
     return 0.0;
@@ -80,6 +86,9 @@ FaultSchedule::setProbability(FaultPoint point, double p)
       case FaultPoint::DroppedResult: droppedResult = p; return;
       case FaultPoint::StoreBitFlip: storeBitFlip = p; return;
       case FaultPoint::LeaseWriteFail: leaseWriteFail = p; return;
+      case FaultPoint::ConnDrop: connDrop = p; return;
+      case FaultPoint::ConnStutter: connStutter = p; return;
+      case FaultPoint::HandshakeCorrupt: handshakeCorrupt = p; return;
       case FaultPoint::NumPoints: break;
     }
 }

@@ -44,6 +44,20 @@
  *    preemption) just before the coordinator writes it a lease; the
  *    write hits EPIPE, the slot returns to the queue, and the worker
  *    is replaced.
+ *
+ * Network-transport points (drawn in a worker's socket send path, for
+ * multi-machine farms over TCP):
+ *  - ConnDrop: the connection dies mid-frame — half the frame is
+ *    written, then the socket is shut down. The coordinator sees a
+ *    dirty EOF, requeues the slot, and the worker reconnects with
+ *    backoff.
+ *  - ConnStutter: a frame is delivered one byte per write() with a
+ *    forced segment boundary, exercising the coordinator's
+ *    incremental partial-read frame parsing.
+ *  - HandshakeCorrupt: one byte of the Hello admission frame is
+ *    corrupted on the wire; the coordinator's frame CRC rejects it
+ *    and drops the connection, and the worker's reconnect retries the
+ *    handshake cleanly.
  */
 
 #ifndef IMO_COMMON_FAULTINJECT_HH
@@ -77,6 +91,9 @@ enum class FaultPoint : std::uint8_t
     DroppedResult,
     StoreBitFlip,
     LeaseWriteFail,
+    ConnDrop,
+    ConnStutter,
+    HandshakeCorrupt,
     NumPoints
 };
 
@@ -107,6 +124,9 @@ struct FaultSchedule
     double droppedResult = 0.0;
     double storeBitFlip = 0.0;
     double leaseWriteFail = 0.0;
+    double connDrop = 0.0;
+    double connStutter = 0.0;
+    double handshakeCorrupt = 0.0;
 
     /** Extra fill latency added by MemLatencySpike. */
     Cycle spikeCycles = 200;

@@ -1,25 +1,25 @@
 #include "farm/farm.hh"
 
-#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <optional>
-#include <sstream>
 #include <thread>
 
-#include <fcntl.h>
 #include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "farm/proto.hh"
 #include "farm/store.hh"
+#include "farm/transport.hh"
+#include "farm/worker.hh"
 #include "sweep/engine.hh"
 
 namespace imo::farm
@@ -48,112 +48,6 @@ scheduleForSpawn(const FaultSchedule &base, std::uint64_t spawn_index)
     return s;
 }
 
-// --- Worker process -------------------------------------------------
-
-/**
- * Worker main loop, run in a fork()ed child. Blocking reads on
- * @p rfd, frames out on @p wfd. Never returns normally to the
- * caller's stack — the child _exit()s.
- */
-void
-workerMain(int rfd, int wfd, const FarmOptions &opt,
-           std::uint64_t spawn_index)
-{
-    FaultInjector inject(scheduleForSpawn(opt.faults, spawn_index));
-
-    // The heartbeat thread and the main thread share the result pipe;
-    // frames must not interleave mid-frame.
-    std::mutex write_mutex;
-    const auto send = [&](FrameType type,
-                          const std::vector<std::uint8_t> &payload) {
-        std::lock_guard<std::mutex> lock(write_mutex);
-        writeFrame(wfd, type, payload);
-    };
-
-    send(FrameType::Hello, {});
-
-    Frame frame;
-    while (readFrame(rfd, &frame)) {
-        if (frame.type == FrameType::Shutdown)
-            break;
-        sim_throw_if(frame.type != FrameType::Lease, ErrCode::WorkerLost,
-                     "farm worker: unexpected frame type %u from "
-                     "coordinator",
-                     static_cast<unsigned>(frame.type));
-        const LeaseMsg lease = decodeLease(frame.payload);
-
-        if (inject.fire(FaultPoint::WorkerKill)) {
-            // Crash / preemption: die without a word mid-lease.
-            ::kill(::getpid(), SIGKILL);
-        }
-        if (inject.fire(FaultPoint::WorkerStall)) {
-            // Hang without heartbeats; the coordinator's lease expiry
-            // reclaims the slot and SIGKILLs us.
-            for (;;)
-                ::pause();
-        }
-
-        // Heartbeat while the simulation runs, so a long point is
-        // distinguishable from a dead worker.
-        std::atomic<bool> beat{true};
-        std::thread heartbeat([&] {
-            while (beat.load(std::memory_order_relaxed)) {
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(opt.heartbeatMs));
-                if (!beat.load(std::memory_order_relaxed))
-                    break;
-                try {
-                    send(FrameType::Heartbeat,
-                         encodeHeartbeat(lease.slot));
-                } catch (const SimException &) {
-                    break; // coordinator is gone; main loop will see EOF
-                }
-            }
-        });
-
-        std::ostringstream fragment;
-        bool sim_ok = true;
-        SimError sim_err;
-        try {
-            sweep::writePointJson(fragment,
-                                  sweep::runPoint(lease.point));
-        } catch (const SimException &e) {
-            sim_ok = false;
-            sim_err = e.error();
-        }
-        beat.store(false, std::memory_order_relaxed);
-        heartbeat.join();
-
-        if (!sim_ok) {
-            // A point the simulator itself rejects fails
-            // deterministically — retrying cannot help. Carry the
-            // structured diagnosis back so the coordinator fails the
-            // farm fast with the real error instead of burning the
-            // lease/retry budget.
-            std::fprintf(stderr, "imo-farm worker: point failed: %s\n",
-                         sim_err.format().c_str());
-            ErrorMsg err;
-            err.slot = lease.slot;
-            err.error = std::move(sim_err);
-            send(FrameType::Error, encodeError(err));
-            continue;
-        }
-
-        if (inject.fire(FaultPoint::DroppedResult)) {
-            // Completed but the result is lost in transit: fall
-            // silent. The lease expires and the point is retried.
-            for (;;)
-                ::pause();
-        }
-
-        ResultMsg result;
-        result.slot = lease.slot;
-        const std::string &text = fragment.str();
-        result.fragment.assign(text.begin(), text.end());
-        send(FrameType::Result, encodeResult(result));
-    }
-}
-
 // --- Coordinator ----------------------------------------------------
 
 /** One unique content-addressed unit of work. */
@@ -170,15 +64,20 @@ struct Slot
     std::uint64_t leaseStartMs = 0; //!< earliest active lease start
 };
 
-/** Coordinator-side view of one worker process. */
-struct Worker
+/**
+ * Coordinator-side view of one worker peer. Local fork+pipe workers
+ * (pid > 0) and remote TCP daemons (pid == -1) differ only in how they
+ * are created and destroyed; the lease protocol between admission and
+ * loss is identical.
+ */
+struct Peer
 {
-    pid_t pid = -1;
-    int toFd = -1;   //!< leases/shutdown out
-    int fromFd = -1; //!< hello/heartbeat/result in
-    FrameParser parser;
+    std::unique_ptr<Transport> io;
+    pid_t pid = -1;    //!< > 0 for a local fork+pipe worker
     bool alive = false;
-    bool ready = false;           //!< Hello received
+    bool ready = false; //!< admitted: authenticated Hello accepted
+    std::uint64_t nonce = 0;     //!< challenge nonce awaiting its echo
+    std::uint64_t admitByMs = 0; //!< admission (handshake) deadline
     long slot = -1;               //!< active lease, -1 when idle
     std::uint64_t deadlineMs = 0; //!< lease expiry (heartbeat-refreshed)
 };
@@ -190,7 +89,8 @@ class Coordinator
                 ResultStore *store,
                 const volatile std::sig_atomic_t *stop)
         : _slots(std::move(slots)), _opt(opt), _store(store), _stop(stop),
-          _inject(opt.faults)
+          _inject(opt.faults),
+          _nonceRng(opt.faults.seed ^ 0xa11ce5ced0c05eedull)
     {
         for (std::size_t i = 0; i < _slots.size(); ++i) {
             if (_slots[i].done)
@@ -207,14 +107,22 @@ class Coordinator
     run()
     {
         // A worker dying mid-write must be an EPIPE we handle, not a
-        // process-killing SIGPIPE.
+        // process-killing SIGPIPE. (Socket sends additionally use
+        // MSG_NOSIGNAL, so worker threads sharing this process are
+        // safe even after the handler is restored.)
         struct sigaction ignore_pipe{}, old_pipe{};
         ignore_pipe.sa_handler = SIG_IGN;
         ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
 
         try {
+            if (_opt.listen) {
+                _listener.emplace(_opt.listenHost, _opt.listenPort);
+                if (_opt.onListen)
+                    _opt.onListen(_listener->boundPort());
+            }
+            const std::uint64_t now = nowMs();
             for (unsigned i = 0; i < _opt.workers && !allDone(); ++i)
-                spawnWorker();
+                spawnWorker(now);
             loop();
         } catch (const SimException &e) {
             fail(e.error());
@@ -246,8 +154,41 @@ class Coordinator
         _pending.push_back(slot);
     }
 
+    /** Seat a new peer, reusing a dead seat so the poll set (and the
+     *  iterator stability loseWorker-inside-iteration relies on) stays
+     *  intact. @return the seated peer. */
+    Peer &
+    seat(Peer &&p)
+    {
+        for (Peer &s : _peers) {
+            if (!s.alive) {
+                s = std::move(p);
+                return s;
+            }
+        }
+        _peers.push_back(std::move(p));
+        return _peers.back();
+    }
+
+    /** Open admission: send the versioned challenge and start the
+     *  handshake deadline. */
     void
-    spawnWorker()
+    sendChallenge(Peer &p, std::uint64_t now)
+    {
+        p.nonce = _nonceRng.next();
+        p.admitByMs = now + _opt.leaseMs;
+        ChallengeMsg challenge;
+        challenge.nonce = p.nonce;
+        try {
+            p.io->sendFrame(FrameType::Challenge,
+                            encodeChallenge(challenge));
+        } catch (const SimException &) {
+            losePeer(p, now);
+        }
+    }
+
+    void
+    spawnWorker(std::uint64_t now)
     {
         int to_pipe[2], from_pipe[2];
         sim_throw_if(::pipe(to_pipe) != 0, ErrCode::WorkerLost,
@@ -269,14 +210,19 @@ class Coordinator
             // Child: keep only this worker's two pipe ends.
             ::close(to_pipe[1]);
             ::close(from_pipe[0]);
-            for (const Worker &w : _workers) {
-                if (!w.alive)
-                    continue;
-                ::close(w.toFd);
-                ::close(w.fromFd);
-            }
+            for (Peer &p : _peers)
+                if (p.alive)
+                    p.io->close();
+            if (_listener)
+                _listener->close();
             try {
-                workerMain(to_pipe[0], from_pipe[1], _opt, spawn_index);
+                FaultInjector inject(
+                    scheduleForSpawn(_opt.faults, spawn_index));
+                SessionParams params;
+                params.token = _opt.token;
+                params.heartbeatMs = _opt.heartbeatMs;
+                serveSession(to_pipe[0], from_pipe[1], params, inject,
+                             nullptr);
             } catch (const SimException &e) {
                 std::fprintf(stderr, "imo-farm worker: %s\n",
                              e.error().format().c_str());
@@ -289,45 +235,105 @@ class Coordinator
 
         ::close(to_pipe[0]);
         ::close(from_pipe[1]);
-        ::fcntl(from_pipe[0], F_SETFL,
-                ::fcntl(from_pipe[0], F_GETFL) | O_NONBLOCK);
 
-        Worker w;
-        w.pid = pid;
-        w.toFd = to_pipe[1];
-        w.fromFd = from_pipe[0];
-        w.alive = true;
-        // Reuse a dead worker's seat so the poll set stays compact.
-        for (Worker &seat : _workers) {
-            if (!seat.alive) {
-                seat = std::move(w);
-                return;
-            }
-        }
-        _workers.push_back(std::move(w));
+        Peer p;
+        p.io = Transport::pipePair(from_pipe[0], to_pipe[1]);
+        p.pid = pid;
+        p.alive = true;
+        sendChallenge(seat(std::move(p)), now);
     }
 
-    /** The worker died or spoke garbage: kill, reap, requeue, replace. */
+    /** Admit every connection queued on the listener. */
     void
-    loseWorker(Worker &w, std::uint64_t now)
+    acceptPeers(std::uint64_t now)
     {
-        if (!w.alive)
+        while (std::unique_ptr<Transport> io = _listener->accept()) {
+            Peer p;
+            p.io = std::move(io);
+            p.pid = -1;
+            p.alive = true;
+            sendChallenge(seat(std::move(p)), now);
+        }
+    }
+
+    /** The peer died or spoke garbage: kill (local), requeue, replace
+     *  (local — a remote daemon replaces itself by reconnecting). */
+    void
+    losePeer(Peer &p, std::uint64_t now)
+    {
+        if (!p.alive)
             return;
         ++_stats.workersLost;
-        ::kill(w.pid, SIGKILL);
-        ::waitpid(w.pid, nullptr, 0);
-        ::close(w.toFd);
-        ::close(w.fromFd);
-        w.alive = false;
-        w.ready = false;
-        if (w.slot >= 0) {
-            const auto slot = static_cast<std::size_t>(w.slot);
-            w.slot = -1;
+        if (p.pid > 0) {
+            ::kill(p.pid, SIGKILL);
+            ::waitpid(p.pid, nullptr, 0);
+        }
+        p.io->close();
+        p.alive = false;
+        p.ready = false;
+        if (p.slot >= 0) {
+            const auto slot = static_cast<std::size_t>(p.slot);
+            p.slot = -1;
             --_slots[slot].activeLeases;
             requeueAfterFailure(slot, now);
         }
-        if (!failed() && !allDone())
-            spawnWorker();
+        if (p.pid > 0 && !failed() && !allDone())
+            spawnWorker(now);
+    }
+
+    /** Admission denied: tell the peer why (structured AuthFailed) and
+     *  drop it. A deliberate rejection, not a lost worker — and no
+     *  local respawn, which could only fail the same way forever. */
+    void
+    rejectPeer(Peer &p, SimError err)
+    {
+        ++_stats.authFailures;
+        warn("farm: %s", err.format().c_str());
+        ErrorMsg msg;
+        msg.error = std::move(err);
+        try {
+            p.io->sendFrame(FrameType::AuthReject, encodeError(msg));
+        } catch (const SimException &) {
+        }
+        if (p.pid > 0) {
+            ::kill(p.pid, SIGKILL);
+            ::waitpid(p.pid, nullptr, 0);
+        }
+        p.io->close();
+        p.alive = false;
+        p.ready = false;
+    }
+
+    /** First frame from an unadmitted peer: verify the challenge
+     *  response. Throws (to the caller's losePeer) on a malformed
+     *  payload; a *well-formed* mismatch is an AuthFailed rejection. */
+    void
+    admitPeer(Peer &p, const Frame &frame)
+    {
+        const HelloMsg hello = decodeHello(frame.payload);
+        if (hello.protoVersion != protocolVersion ||
+            hello.schemaVersion != sweep::reportSchemaVersion) {
+            rejectPeer(p, SimError{
+                ErrCode::AuthFailed,
+                simFormat("farm: peer speaks protocol v%u / report "
+                          "schema v%u; this coordinator speaks "
+                          "v%u / v%u — upgrade the older side",
+                          hello.protoVersion, hello.schemaVersion,
+                          protocolVersion, sweep::reportSchemaVersion),
+                {}});
+            return;
+        }
+        if (hello.response != authDigest(_opt.token, p.nonce)) {
+            rejectPeer(p, SimError{
+                ErrCode::AuthFailed,
+                "farm: peer failed the shared-token challenge; check "
+                "--token on both sides",
+                {}});
+            return;
+        }
+        p.ready = true;
+        if (p.pid < 0)
+            ++_stats.remotesAdmitted;
     }
 
     void
@@ -355,13 +361,13 @@ class Coordinator
     }
 
     void
-    grantLease(Worker &w, std::size_t slot, bool straggler,
+    grantLease(Peer &w, std::size_t slot, bool straggler,
                std::uint64_t now)
     {
-        if (_inject.fire(FaultPoint::LeaseWriteFail)) {
+        if (_inject.fire(FaultPoint::LeaseWriteFail) && w.pid > 0) {
             // Injected "idle worker died unseen" (OOM-kill, external
             // preemption): kill it and wait for its fd teardown —
-            // WNOWAIT leaves the zombie for loseWorker() to reap —
+            // WNOWAIT leaves the zombie for losePeer() to reap —
             // so the write below hits the genuine EPIPE path.
             ::kill(w.pid, SIGKILL);
             siginfo_t info{};
@@ -372,18 +378,18 @@ class Coordinator
         msg.slot = slot;
         msg.point = _slots[slot].point;
         try {
-            writeFrame(w.toFd, FrameType::Lease, encodeLease(msg));
+            w.io->sendFrame(FrameType::Lease, encodeLease(msg));
         } catch (const SimException &) {
             // The lease never reached the worker. Put the slot back
             // exactly as dispatch() found it (still queued, backoff
             // unchanged) before replacing the worker — w.slot is
-            // still -1, so loseWorker() alone would orphan the slot
+            // still -1, so losePeer() alone would orphan the slot
             // with queued=true and the farm would hang forever. A
             // straggler grant has nothing to restore: the original
             // lease is still active.
             if (!straggler)
                 _pending.push_back(slot);
-            loseWorker(w, now);
+            losePeer(w, now);
             return;
         }
         w.slot = static_cast<long>(slot);
@@ -402,7 +408,7 @@ class Coordinator
     void
     dispatch(std::uint64_t now)
     {
-        for (Worker &w : _workers) {
+        for (Peer &w : _peers) {
             if (failed() || allDone())
                 return;
             if (!w.alive || !w.ready || w.slot >= 0)
@@ -447,16 +453,60 @@ class Coordinator
     void
     expireLeases(std::uint64_t now)
     {
-        for (Worker &w : _workers) {
-            if (!w.alive || w.slot < 0 || now < w.deadlineMs)
+        for (Peer &w : _peers) {
+            if (!w.alive)
+                continue;
+            if (!w.ready) {
+                // Connected but never finished the handshake: a
+                // half-open socket or a peer wedged mid-Hello.
+                if (now >= w.admitByMs)
+                    losePeer(w, now);
+                continue;
+            }
+            if (w.slot < 0 || now < w.deadlineMs)
                 continue;
             ++_stats.leasesExpired;
-            loseWorker(w, now);
+            losePeer(w, now);
         }
     }
 
+    /**
+     * Fail fast instead of waiting forever when the farm cannot make
+     * progress: if fewer than minWorkers admitted peers have been
+     * available for a full lease period while work is pending, there
+     * is no evidence more capacity is coming.
+     */
     void
-    acceptResult(Worker &w, ResultMsg msg, std::uint64_t now)
+    checkMinWorkers(std::uint64_t now)
+    {
+        unsigned avail = 0;
+        for (const Peer &p : _peers)
+            if (p.alive && p.ready)
+                ++avail;
+        if (avail >= _opt.minWorkers) {
+            _belowMinSinceMs = 0;
+            return;
+        }
+        if (_belowMinSinceMs == 0) {
+            _belowMinSinceMs = now;
+            return;
+        }
+        if (now - _belowMinSinceMs <= _opt.leaseMs)
+            return;
+        fail(SimError{
+            ErrCode::WorkerLost,
+            simFormat("farm: only %u of the required --min-workers=%u "
+                      "workers have been available for %llums; "
+                      "aborting instead of waiting forever — finished "
+                      "points are in the result store",
+                      avail, _opt.minWorkers,
+                      static_cast<unsigned long long>(
+                          now - _belowMinSinceMs)),
+            {}});
+    }
+
+    void
+    acceptResult(Peer &w, ResultMsg msg, std::uint64_t now)
     {
         sim_throw_if(w.slot < 0 ||
                          msg.slot != static_cast<std::uint64_t>(w.slot),
@@ -492,7 +542,7 @@ class Coordinator
      *  fail the farm with the worker's own diagnosis, not a generic
      *  LeaseExpired after maxAttempts wasted re-simulations. */
     void
-    acceptWorkerError(Worker &w, ErrorMsg msg)
+    acceptWorkerError(Peer &w, ErrorMsg msg)
     {
         sim_throw_if(w.slot < 0 ||
                          msg.slot != static_cast<std::uint64_t>(w.slot),
@@ -559,48 +609,48 @@ class Coordinator
         std::fclose(f);
     }
 
-    /** Drain everything readable from one worker. */
+    /** Drain everything readable from one peer, then dispatch every
+     *  complete frame. */
     void
-    drainWorker(Worker &w, std::uint64_t now)
+    drainPeer(Peer &w, std::uint64_t now)
     {
-        std::uint8_t buf[65536];
-        for (;;) {
-            const ssize_t n = ::read(w.fromFd, buf, sizeof buf);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                if (errno == EAGAIN || errno == EWOULDBLOCK)
-                    break;
-                loseWorker(w, now);
-                return;
-            }
-            if (n == 0) { // EOF: the worker is gone
-                loseWorker(w, now);
-                return;
-            }
-            try {
-                w.parser.feed(buf, static_cast<std::size_t>(n));
-            } catch (const SimException &) {
-                loseWorker(w, now);
-                return;
-            }
-            if (n < static_cast<ssize_t>(sizeof buf))
-                break;
+        bool open;
+        try {
+            open = w.io->pump();
+        } catch (const SimException &) {
+            losePeer(w, now); // unparseable stream
+            return;
         }
 
         Frame frame;
         for (;;) {
             try {
-                if (!w.parser.next(&frame))
-                    return;
+                if (!w.io->nextFrame(&frame))
+                    break;
             } catch (const SimException &) {
-                loseWorker(w, now);
+                losePeer(w, now);
                 return;
             }
+
+            if (!w.ready) {
+                // Admission: the first frame must be the challenge
+                // response; anything else is protocol garbage.
+                if (frame.type != FrameType::Hello) {
+                    losePeer(w, now);
+                    return;
+                }
+                try {
+                    admitPeer(w, frame);
+                } catch (const SimException &) {
+                    losePeer(w, now); // malformed Hello payload
+                    return;
+                }
+                if (!w.alive)
+                    return; // rejected
+                continue;
+            }
+
             switch (frame.type) {
-            case FrameType::Hello:
-                w.ready = true;
-                break;
             case FrameType::Heartbeat:
                 try {
                     if (w.slot >= 0 &&
@@ -608,7 +658,7 @@ class Coordinator
                             static_cast<std::uint64_t>(w.slot))
                         w.deadlineMs = now + _opt.leaseMs;
                 } catch (const SimException &) {
-                    loseWorker(w, now);
+                    losePeer(w, now);
                     return;
                 }
                 break;
@@ -616,7 +666,7 @@ class Coordinator
                 try {
                     acceptResult(w, decodeResult(frame.payload), now);
                 } catch (const SimException &) {
-                    loseWorker(w, now);
+                    losePeer(w, now);
                     return;
                 }
                 if (failed())
@@ -626,19 +676,22 @@ class Coordinator
                 try {
                     acceptWorkerError(w, decodeError(frame.payload));
                 } catch (const SimException &) {
-                    loseWorker(w, now);
+                    losePeer(w, now);
                     return;
                 }
                 if (failed())
                     return;
                 break;
             default:
-                loseWorker(w, now); // Lease/Shutdown have no business here
-                return;
+                losePeer(w, now); // Lease/Shutdown/a second Hello:
+                return;           // no business here
             }
             if (!w.alive)
                 return;
         }
+
+        if (!open)
+            losePeer(w, now); // EOF (after honoring buffered frames)
     }
 
     void
@@ -655,17 +708,33 @@ class Coordinator
             }
             std::uint64_t now = nowMs();
             expireLeases(now);
+            checkMinWorkers(now);
             if (failed())
                 break;
             dispatch(now);
             if (allDone() || failed())
                 break;
 
+            // Poll set: the listener, every alive peer's read side,
+            // and the write side of any peer with queued frame bytes
+            // (short-write completion).
             std::vector<struct pollfd> fds;
-            fds.reserve(_workers.size());
-            for (const Worker &w : _workers)
-                if (w.alive)
-                    fds.push_back({w.fromFd, POLLIN, 0});
+            fds.reserve(_peers.size() + 1);
+            const std::size_t listener_at = fds.size();
+            if (_listener)
+                fds.push_back({_listener->fd(), POLLIN, 0});
+            for (const Peer &p : _peers) {
+                if (!p.alive)
+                    continue;
+                short events = POLLIN;
+                if (p.io->wantsWrite() &&
+                    p.io->writeFd() == p.io->readFd())
+                    events |= POLLOUT;
+                fds.push_back({p.io->readFd(), events, 0});
+                if (p.io->wantsWrite() &&
+                    p.io->writeFd() != p.io->readFd())
+                    fds.push_back({p.io->writeFd(), POLLOUT, 0});
+            }
             if (fds.empty()) {
                 // Everything pending is in backoff; just wait it out.
                 std::this_thread::sleep_for(
@@ -683,15 +752,34 @@ class Coordinator
                 continue;
 
             now = nowMs();
-            for (const struct pollfd &fd : fds) {
-                if (!(fd.revents & (POLLIN | POLLHUP | POLLERR)))
+            if (_listener && (fds[listener_at].revents & POLLIN))
+                acceptPeers(now);
+            for (std::size_t i = 0; i < fds.size(); ++i) {
+                if (_listener && i == listener_at)
                     continue;
-                for (Worker &w : _workers) {
-                    if (w.alive && w.fromFd == fd.fd) {
-                        drainWorker(w, now);
+                const struct pollfd &fd = fds[i];
+                if (fd.revents == 0)
+                    continue;
+                Peer *peer = nullptr;
+                for (Peer &p : _peers) {
+                    if (p.alive && (p.io->readFd() == fd.fd ||
+                                    p.io->writeFd() == fd.fd)) {
+                        peer = &p;
                         break;
                     }
                 }
+                if (!peer)
+                    continue; // lost (or replaced) since poll returned
+                if (fd.revents & POLLOUT) {
+                    try {
+                        peer->io->flush();
+                    } catch (const SimException &) {
+                        losePeer(*peer, now);
+                        continue;
+                    }
+                }
+                if (fd.revents & (POLLIN | POLLHUP | POLLERR))
+                    drainPeer(*peer, now);
                 if (failed())
                     break;
             }
@@ -701,27 +789,35 @@ class Coordinator
     void
     teardown()
     {
-        for (Worker &w : _workers) {
-            if (!w.alive)
+        for (Peer &p : _peers) {
+            if (!p.alive)
                 continue;
             try {
-                writeFrame(w.toFd, FrameType::Shutdown, {});
+                p.io->sendFrame(FrameType::Shutdown, {});
             } catch (const SimException &) {
             }
-            ::close(w.toFd);
+        }
+        // Remote daemons exit on the Shutdown frame (or reconnect and
+        // give up when nobody answers); nothing to reap here.
+        for (Peer &p : _peers) {
+            if (p.alive && p.pid < 0) {
+                p.io->close();
+                p.alive = false;
+            }
         }
 
-        // Brief grace for clean exits, then SIGKILL the rest (stalled
-        // or mid-simulation workers have nothing we still need).
+        // Brief grace for clean local exits, then SIGKILL the rest
+        // (stalled or mid-simulation workers have nothing we still
+        // need).
         const std::uint64_t grace_until = nowMs() + 200;
         for (;;) {
             bool any_alive = false;
-            for (Worker &w : _workers) {
-                if (!w.alive)
+            for (Peer &p : _peers) {
+                if (!p.alive)
                     continue;
-                if (::waitpid(w.pid, nullptr, WNOHANG) == w.pid) {
-                    ::close(w.fromFd);
-                    w.alive = false;
+                if (::waitpid(p.pid, nullptr, WNOHANG) == p.pid) {
+                    p.io->close();
+                    p.alive = false;
                 } else {
                     any_alive = true;
                 }
@@ -730,14 +826,16 @@ class Coordinator
                 break;
             std::this_thread::sleep_for(std::chrono::milliseconds(10));
         }
-        for (Worker &w : _workers) {
-            if (!w.alive)
+        for (Peer &p : _peers) {
+            if (!p.alive)
                 continue;
-            ::kill(w.pid, SIGKILL);
-            ::waitpid(w.pid, nullptr, 0);
-            ::close(w.fromFd);
-            w.alive = false;
+            ::kill(p.pid, SIGKILL);
+            ::waitpid(p.pid, nullptr, 0);
+            p.io->close();
+            p.alive = false;
         }
+        if (_listener)
+            _listener->close();
     }
 
     std::vector<Slot> _slots;
@@ -746,11 +844,14 @@ class Coordinator
     const volatile std::sig_atomic_t *_stop;
     FaultInjector _inject; //!< coordinator-side draws (StoreBitFlip,
                            //!< LeaseWriteFail)
+    Rng _nonceRng;         //!< deterministic admission nonces
 
-    std::vector<Worker> _workers;
+    std::optional<Listener> _listener;
+    std::vector<Peer> _peers;
     std::vector<std::size_t> _pending; //!< slot indices awaiting a lease
     std::size_t _doneCount = 0;
     std::uint64_t _spawnCounter = 0;
+    std::uint64_t _belowMinSinceMs = 0; //!< min-workers watchdog epoch
     FarmStats _stats;
     SimError _error;
 };
@@ -762,12 +863,25 @@ runFarm(const std::vector<sweep::SweepPoint> &points,
         const FarmOptions &options,
         const volatile std::sig_atomic_t *stop)
 {
-    sim_throw_if(options.workers == 0, ErrCode::BadConfig,
-                 "farm: worker count must be at least 1");
+    sim_throw_if(options.workers == 0 && !options.listen,
+                 ErrCode::BadConfig,
+                 "farm: worker count must be at least 1 (0 means "
+                 "remote-only and requires --listen)");
     sim_throw_if(options.maxAttempts == 0, ErrCode::BadConfig,
                  "farm: lease attempt budget must be at least 1");
     sim_throw_if(options.leaseMs == 0, ErrCode::BadConfig,
                  "farm: lease deadline must be nonzero");
+    sim_throw_if(options.heartbeatMs == 0, ErrCode::BadConfig,
+                 "farm: --heartbeat-ms must be nonzero");
+    sim_throw_if(options.heartbeatMs >= options.leaseMs,
+                 ErrCode::BadConfig,
+                 "farm: --heartbeat-ms (%llu) must be smaller than "
+                 "--lease-ms (%llu), or every lease expires between "
+                 "heartbeats",
+                 static_cast<unsigned long long>(options.heartbeatMs),
+                 static_cast<unsigned long long>(options.leaseMs));
+    sim_throw_if(options.minWorkers == 0, ErrCode::BadConfig,
+                 "farm: --min-workers must be at least 1");
 
     FarmResult res;
     res.stats.points = points.size();
@@ -795,7 +909,7 @@ runFarm(const std::vector<sweep::SweepPoint> &points,
     for (const sweep::SweepPoint &p : distinct)
         key_tasks.emplace_back([&p] { return keyForPoint(p); });
     const std::vector<PointKey> keys =
-        sweep::runOrdered(key_tasks, options.workers);
+        sweep::runOrdered(key_tasks, std::max(1u, options.workers));
 
     // Collapse content-identical points into unique slots: overlapping
     // grids simulate once, and every input index maps to its slot.
@@ -836,6 +950,8 @@ runFarm(const std::vector<sweep::SweepPoint> &points,
     res.stats.leasesExpired = coord.stats().leasesExpired;
     res.stats.redispatches = coord.stats().redispatches;
     res.stats.duplicateResults = coord.stats().duplicateResults;
+    res.stats.authFailures = coord.stats().authFailures;
+    res.stats.remotesAdmitted = coord.stats().remotesAdmitted;
     slots = coord.takeSlots();
 
     res.ok = res.error.ok();

@@ -2,10 +2,11 @@
  * @file
  * Fault-tolerant coordinator/worker execution tier for sweeps.
  *
- * runFarm() shards a set of SweepPoints across local worker processes
- * (fork()ed from the coordinator, pipes as the transport — the framed
- * protocol in proto.hh carries over a socket unchanged for
- * multi-machine farms later) under a leasing discipline:
+ * runFarm() shards a set of SweepPoints across worker peers — local
+ * processes fork()ed from the coordinator (pipes as the transport)
+ * and, with listen=true, remote imo-worker daemons over TCP; the
+ * framed protocol in proto.hh is identical on both — under a leasing
+ * discipline:
  *
  *  - Points with identical content addresses (store.hh) collapse into
  *    one *slot*; overlapping grids are simulated once.
@@ -38,6 +39,7 @@
 
 #include <csignal>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -52,8 +54,31 @@ namespace imo::farm
 /** Knobs of one farm run. */
 struct FarmOptions
 {
-    /** Worker processes (>= 1; the CLI maps 0 to the core count). */
+    /** Local worker processes. With listen=true, 0 means "remote
+     *  workers only"; otherwise at least 1 is required. */
     unsigned workers = 1;
+
+    /** Accept remote imo-worker daemons over TCP. */
+    bool listen = false;
+
+    /** Listen address; port 0 binds an ephemeral port reported via
+     *  onListen. */
+    std::string listenHost = "127.0.0.1";
+    std::uint16_t listenPort = 0;
+
+    /** Called once the listener is bound, with the real port — how
+     *  the CLI's --port-file and in-process tests learn an ephemeral
+     *  port. */
+    std::function<void(std::uint16_t)> onListen;
+
+    /** Shared admission secret; every worker (local or remote) must
+     *  prove knowledge of it during the Challenge/Hello handshake. */
+    std::string token;
+
+    /** Minimum admitted-and-ready peers: if the farm stays below this
+     *  for a full lease period while work is pending, it fails with a
+     *  structured error instead of waiting forever. */
+    unsigned minWorkers = 1;
 
     /** Result-store directory; empty disables memoization. */
     std::string storeDir;
@@ -100,6 +125,8 @@ struct FarmStats
     std::uint64_t redispatches = 0; //!< straggler duplicate leases
     std::uint64_t duplicateResults = 0;
     std::uint64_t storeCorrupt = 0; //!< records failing key/CRC checks
+    std::uint64_t authFailures = 0; //!< peers rejected at admission
+    std::uint64_t remotesAdmitted = 0; //!< TCP peers through admission
 };
 
 /** Outcome of a farm run. */

@@ -16,13 +16,13 @@ namespace
 
 constexpr std::uint32_t kFrameMagic = 0x464f4d49u; // "IMOF" little-endian
 
-constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8 + 4;
+constexpr std::size_t kFrameHeaderBytes = frameHeaderBytes;
 
 bool
 validFrameType(std::uint32_t t)
 {
     return t >= static_cast<std::uint32_t>(FrameType::Hello) &&
-           t <= static_cast<std::uint32_t>(FrameType::Error);
+           t <= static_cast<std::uint32_t>(FrameType::AuthReject);
 }
 
 void
@@ -106,9 +106,8 @@ readFull(int fd, std::uint8_t *out, std::size_t len)
 
 } // anonymous namespace
 
-void
-writeFrame(int fd, FrameType type,
-           const std::vector<std::uint8_t> &payload)
+std::vector<std::uint8_t>
+buildFrame(FrameType type, const std::vector<std::uint8_t> &payload)
 {
     std::vector<std::uint8_t> buf;
     buf.reserve(kFrameHeaderBytes + payload.size());
@@ -117,6 +116,14 @@ writeFrame(int fd, FrameType type,
     putU64(buf, payload.size());
     putU32(buf, crc32(payload.data(), payload.size()));
     buf.insert(buf.end(), payload.begin(), payload.end());
+    return buf;
+}
+
+void
+writeFrame(int fd, FrameType type,
+           const std::vector<std::uint8_t> &payload)
+{
+    const std::vector<std::uint8_t> buf = buildFrame(type, payload);
 
     std::size_t done = 0;
     while (done < buf.size()) {
@@ -251,6 +258,83 @@ decodePayload(const char *what, Fn &&fn)
 
 } // anonymous namespace
 
+std::uint64_t
+authDigest(const std::string &token, std::uint64_t nonce)
+{
+    // FNV-1a over token || nonce || token: the token both prefixes and
+    // suffixes the nonce so neither an empty token nor a truncated
+    // token aliases another. Intentionally lightweight — see proto.hh.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](const std::uint8_t *p, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ull;
+        }
+    };
+    const auto *tok =
+        reinterpret_cast<const std::uint8_t *>(token.data());
+    const std::uint64_t len = token.size();
+    mix(reinterpret_cast<const std::uint8_t *>(&len), 8);
+    mix(tok, token.size());
+    mix(reinterpret_cast<const std::uint8_t *>(&nonce), 8);
+    mix(tok, token.size());
+    return h;
+}
+
+std::vector<std::uint8_t>
+encodeChallenge(const ChallengeMsg &msg)
+{
+    Serializer s;
+    s.beginSection("challenge");
+    s.u32(msg.protoVersion);
+    s.u32(msg.schemaVersion);
+    s.u64(msg.nonce);
+    s.endSection();
+    return s.finish();
+}
+
+ChallengeMsg
+decodeChallenge(const std::vector<std::uint8_t> &payload)
+{
+    return decodePayload("challenge", [&] {
+        Deserializer d(payload);
+        d.openSection("challenge");
+        ChallengeMsg msg;
+        msg.protoVersion = d.u32();
+        msg.schemaVersion = d.u32();
+        msg.nonce = d.u64();
+        d.closeSection();
+        return msg;
+    });
+}
+
+std::vector<std::uint8_t>
+encodeHello(const HelloMsg &msg)
+{
+    Serializer s;
+    s.beginSection("hello");
+    s.u32(msg.protoVersion);
+    s.u32(msg.schemaVersion);
+    s.u64(msg.response);
+    s.endSection();
+    return s.finish();
+}
+
+HelloMsg
+decodeHello(const std::vector<std::uint8_t> &payload)
+{
+    return decodePayload("hello", [&] {
+        Deserializer d(payload);
+        d.openSection("hello");
+        HelloMsg msg;
+        msg.protoVersion = d.u32();
+        msg.schemaVersion = d.u32();
+        msg.response = d.u64();
+        d.closeSection();
+        return msg;
+    });
+}
+
 std::vector<std::uint8_t>
 encodeLease(const LeaseMsg &msg)
 {
@@ -351,7 +435,7 @@ decodeError(const std::vector<std::uint8_t> &payload)
         // valid diagnosis.
         sim_throw_if(code == 0 ||
                          code > static_cast<std::uint8_t>(
-                                    ErrCode::StoreCorrupt),
+                                    ErrCode::AuthFailed),
                      ErrCode::WorkerLost,
                      "farm protocol: invalid error code %u", code);
         msg.error.code = static_cast<ErrCode>(code);

@@ -34,16 +34,31 @@
 namespace imo::farm
 {
 
+/**
+ * Version of the wire protocol itself (frame types, payload layouts,
+ * handshake shape). Both sides verify it during admission; a mismatch
+ * is a structured AuthFailed rejection, never silent misparsing.
+ *  v1: Hello/Lease/Heartbeat/Result/Shutdown/Error over pipes.
+ *  v2: Challenge/AuthReject admission handshake (versioned,
+ *      token-authenticated) for socket transports.
+ */
+constexpr std::uint32_t protocolVersion = 2;
+
 /** Wire message types. */
 enum class FrameType : std::uint32_t
 {
-    Hello = 1,     //!< worker -> coordinator: ready for leases
-    Lease = 2,     //!< coordinator -> worker: run this point
-    Heartbeat = 3, //!< worker -> coordinator: still alive on a point
-    Result = 4,    //!< worker -> coordinator: point finished
-    Shutdown = 5,  //!< coordinator -> worker: exit cleanly
-    Error = 6,     //!< worker -> coordinator: the simulator rejected
-                   //!< the point (deterministic; retry cannot help)
+    Hello = 1,      //!< worker -> coordinator: challenge response,
+                    //!< version report, ready for leases
+    Lease = 2,      //!< coordinator -> worker: run this point
+    Heartbeat = 3,  //!< worker -> coordinator: still alive on a point
+    Result = 4,     //!< worker -> coordinator: point finished
+    Shutdown = 5,   //!< coordinator -> worker: exit cleanly
+    Error = 6,      //!< worker -> coordinator: the simulator rejected
+                    //!< the point (deterministic; retry cannot help)
+    Challenge = 7,  //!< coordinator -> worker: admission nonce +
+                    //!< protocol/schema versions
+    AuthReject = 8, //!< coordinator -> worker: admission denied
+                    //!< (structured AuthFailed; do not reconnect)
 };
 
 /** One parsed frame. */
@@ -55,6 +70,15 @@ struct Frame
 
 /** Upper bound on a frame payload; larger is treated as garbage. */
 constexpr std::uint64_t maxFramePayload = 64ull << 20;
+
+/** Serialize one complete frame (header + CRC + payload) to bytes —
+ *  the transport-independent building block behind writeFrame() and
+ *  the buffered socket send path. */
+std::vector<std::uint8_t> buildFrame(FrameType type,
+                                     const std::vector<std::uint8_t> &payload);
+
+/** Size of the fixed frame header (magic, type, length, CRC). */
+constexpr std::size_t frameHeaderBytes = 4 + 4 + 8 + 4;
 
 /**
  * Write one frame to @p fd, retrying on EINTR.
@@ -93,6 +117,33 @@ class FrameParser
 
 // --- Message payload codecs -----------------------------------------
 
+/** Challenge: the coordinator's half of the admission handshake. The
+ *  worker must echo versions that match and prove knowledge of the
+ *  shared token by responding with authDigest(token, nonce). */
+struct ChallengeMsg
+{
+    std::uint32_t protoVersion = protocolVersion;
+    std::uint32_t schemaVersion = sweep::reportSchemaVersion;
+    std::uint64_t nonce = 0;
+};
+
+/** Hello: the worker's challenge response. */
+struct HelloMsg
+{
+    std::uint32_t protoVersion = protocolVersion;
+    std::uint32_t schemaVersion = sweep::reportSchemaVersion;
+    std::uint64_t response = 0; //!< authDigest(token, challenge nonce)
+};
+
+/**
+ * Keyed admission digest: a 64-bit FNV-style mix of the shared token
+ * around the per-connection nonce. This gates against version skew,
+ * cross-farm joins, and typo'd tokens — it is NOT cryptography and
+ * must not be exposed to untrusted networks (run farms on a trusted
+ * LAN or tunnel).
+ */
+std::uint64_t authDigest(const std::string &token, std::uint64_t nonce);
+
 /** Lease: which grid slot to run and the full point description. */
 struct LeaseMsg
 {
@@ -116,6 +167,12 @@ struct ErrorMsg
     std::uint64_t slot = 0;
     SimError error;
 };
+
+std::vector<std::uint8_t> encodeChallenge(const ChallengeMsg &msg);
+ChallengeMsg decodeChallenge(const std::vector<std::uint8_t> &payload);
+
+std::vector<std::uint8_t> encodeHello(const HelloMsg &msg);
+HelloMsg decodeHello(const std::vector<std::uint8_t> &payload);
 
 std::vector<std::uint8_t> encodeLease(const LeaseMsg &msg);
 LeaseMsg decodeLease(const std::vector<std::uint8_t> &payload);

@@ -189,8 +189,16 @@ ResultStore::get(const PointKey &key, std::vector<std::uint8_t> *fragment)
         ++_corrupt;
         warn("result store: quarantining corrupt record %s: %s",
              path.c_str(), e.error().message.c_str());
-        const std::string bad = path + ".bad";
-        std::remove(bad.c_str());
+        // Uniquify the quarantine name: repeated corruption of the
+        // same key (re-simulated, re-stored, rotted again) must keep
+        // every piece of evidence, not overwrite the previous one.
+        std::string bad;
+        for (unsigned n = 1;; ++n) {
+            bad = path + ".bad." + std::to_string(n);
+            struct stat bad_st;
+            if (::stat(bad.c_str(), &bad_st) != 0)
+                break;
+        }
         if (std::rename(path.c_str(), bad.c_str()) != 0)
             std::remove(path.c_str());
         return StoreGet::Corrupt;

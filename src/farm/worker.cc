@@ -1,0 +1,384 @@
+#include "farm/worker.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "farm/transport.hh"
+#include "sweep/engine.hh"
+
+namespace imo::farm
+{
+
+namespace
+{
+
+/**
+ * Frame writer shared by the session's main loop and its heartbeat
+ * side thread (frames must never interleave mid-frame), with the
+ * network fault points injected per send.
+ */
+class Writer
+{
+  public:
+    Writer(int wfd, bool isSocket, FaultInjector &inject)
+        : _wfd(wfd), _socket(isSocket), _inject(inject)
+    {
+    }
+
+    /** Send one whole frame; may fire conn-drop / conn-stutter. */
+    void
+    send(FrameType type, const std::vector<std::uint8_t> &payload)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        const std::vector<std::uint8_t> bytes =
+            buildFrame(type, payload);
+        if (_inject.fire(FaultPoint::ConnDrop)) {
+            // The link dies mid-frame: half the bytes make it out,
+            // then the connection is torn down. The coordinator sees
+            // a dirty EOF; the daemon reconnects.
+            writeAll(bytes.data(), bytes.size() / 2);
+            if (_socket)
+                ::shutdown(_wfd, SHUT_RDWR);
+            else
+                ::close(_wfd);
+            throwSimError(ErrCode::WorkerLost,
+                          "farm worker: injected conn-drop mid-frame");
+        }
+        if (_inject.fire(FaultPoint::ConnStutter)) {
+            // One byte per write(), with a forced segment boundary
+            // after the first: the coordinator must reassemble the
+            // frame from arbitrary fragments.
+            for (std::size_t i = 0; i < bytes.size(); ++i) {
+                writeAll(bytes.data() + i, 1);
+                if (i == 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+            }
+            return;
+        }
+        writeAll(bytes.data(), bytes.size());
+    }
+
+    /** Send pre-built frame bytes verbatim (handshake path, where the
+     *  caller may have corrupted them deliberately). */
+    void
+    sendRaw(const std::vector<std::uint8_t> &bytes)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        writeAll(bytes.data(), bytes.size());
+    }
+
+  private:
+    void
+    writeAll(const std::uint8_t *data, std::size_t len)
+    {
+        std::size_t done = 0;
+        while (done < len) {
+            const ssize_t n =
+                _socket ? ::send(_wfd, data + done, len - done,
+                                 MSG_NOSIGNAL)
+                        : ::write(_wfd, data + done, len - done);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                throwSimError(ErrCode::WorkerLost,
+                              "farm worker: write failed: %s",
+                              std::strerror(errno));
+            }
+            done += static_cast<std::size_t>(n);
+        }
+    }
+
+    std::mutex _mutex;
+    int _wfd;
+    bool _socket;
+    FaultInjector &_inject;
+};
+
+enum class Wait : std::uint8_t
+{
+    GotFrame,
+    Eof,
+    Stopped,
+};
+
+/** Block for the next frame, polling @p stop every 200ms. */
+Wait
+waitFrame(int rfd, Frame *out, const volatile std::sig_atomic_t *stop)
+{
+    for (;;) {
+        if (stop && *stop)
+            return Wait::Stopped;
+        struct pollfd pfd = {rfd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 200);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throwSimError(ErrCode::WorkerLost,
+                          "farm worker: poll failed: %s",
+                          std::strerror(errno));
+        }
+        if (rc == 0)
+            continue;
+        return readFrame(rfd, out) ? Wait::GotFrame : Wait::Eof;
+    }
+}
+
+/**
+ * Injected stall: go silent until the coordinator gives up on us (it
+ * SIGKILLs local workers and closes remote sockets). A remote worker
+ * recovers by reconnecting once the peer is gone.
+ */
+[[noreturn]] void
+hangUntilPeerGone(int rfd, const volatile std::sig_atomic_t *stop)
+{
+    for (;;) {
+        if (stop && *stop)
+            throwSimError(ErrCode::Interrupted,
+                          "farm worker: interrupted while stalled");
+        struct pollfd pfd = {rfd, 0, 0};
+        const int rc = ::poll(&pfd, 1, 500);
+        if (rc > 0 && (pfd.revents & (POLLHUP | POLLERR)))
+            throwSimError(ErrCode::WorkerLost,
+                          "farm worker: coordinator dropped a stalled "
+                          "worker");
+    }
+}
+
+} // anonymous namespace
+
+SessionEnd
+serveSession(int rfd, int wfd, const SessionParams &params,
+             FaultInjector &inject,
+             const volatile std::sig_atomic_t *stop, bool *admitted)
+{
+    const bool is_socket = rfd == wfd;
+    Writer writer(wfd, is_socket, inject);
+
+    // --- Admission handshake ----------------------------------------
+    Frame frame;
+    switch (waitFrame(rfd, &frame, stop)) {
+      case Wait::Eof: return SessionEnd::PeerClosed;
+      case Wait::Stopped: return SessionEnd::Stopped;
+      case Wait::GotFrame: break;
+    }
+    sim_throw_if(frame.type != FrameType::Challenge, ErrCode::WorkerLost,
+                 "farm worker: expected Challenge, got frame type %u",
+                 static_cast<unsigned>(frame.type));
+    const ChallengeMsg challenge = decodeChallenge(frame.payload);
+    sim_throw_if(challenge.protoVersion != protocolVersion ||
+                     challenge.schemaVersion !=
+                         sweep::reportSchemaVersion,
+                 ErrCode::AuthFailed,
+                 "farm worker: coordinator speaks protocol v%u / "
+                 "report schema v%u; this worker speaks v%u / v%u",
+                 challenge.protoVersion, challenge.schemaVersion,
+                 protocolVersion, sweep::reportSchemaVersion);
+
+    HelloMsg hello;
+    hello.response = authDigest(params.token, challenge.nonce);
+    std::vector<std::uint8_t> hello_frame =
+        buildFrame(FrameType::Hello, encodeHello(hello));
+    if (inject.fire(FaultPoint::HandshakeCorrupt)) {
+        // Wire corruption after the CRC was computed: the coordinator
+        // rejects the frame and drops us; the reconnect handshake
+        // heals it. (A *valid* Hello with a wrong digest would be a
+        // deterministic AuthFailed instead.)
+        hello_frame[frameHeaderBytes +
+                    (hello_frame.size() - frameHeaderBytes) / 2] ^= 0x40;
+    }
+    writer.sendRaw(hello_frame);
+
+    // --- Lease loop -------------------------------------------------
+    for (;;) {
+        switch (waitFrame(rfd, &frame, stop)) {
+          case Wait::Eof: return SessionEnd::PeerClosed;
+          case Wait::Stopped: return SessionEnd::Stopped;
+          case Wait::GotFrame: break;
+        }
+        if (frame.type == FrameType::Shutdown) {
+            if (admitted)
+                *admitted = true;
+            return SessionEnd::ShutdownReceived;
+        }
+        if (frame.type == FrameType::AuthReject) {
+            // Carry the coordinator's structured rejection out as our
+            // own failure; reconnecting cannot fix a version or token
+            // mismatch.
+            SimError err = decodeError(frame.payload).error;
+            if (err.code != ErrCode::AuthFailed)
+                err.code = ErrCode::AuthFailed;
+            throw SimException(std::move(err));
+        }
+        sim_throw_if(frame.type != FrameType::Lease, ErrCode::WorkerLost,
+                     "farm worker: unexpected frame type %u from "
+                     "coordinator",
+                     static_cast<unsigned>(frame.type));
+        if (admitted)
+            *admitted = true;
+        const LeaseMsg lease = decodeLease(frame.payload);
+
+        if (inject.fire(FaultPoint::WorkerKill)) {
+            // Crash / preemption: die without a word mid-lease.
+            ::kill(::getpid(), SIGKILL);
+        }
+        if (inject.fire(FaultPoint::WorkerStall))
+            hangUntilPeerGone(rfd, stop);
+
+        // Heartbeat while the simulation runs, so a long point is
+        // distinguishable from a dead worker.
+        std::atomic<bool> beat{true};
+        std::thread heartbeat([&] {
+            while (beat.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(params.heartbeatMs));
+                if (!beat.load(std::memory_order_relaxed))
+                    break;
+                try {
+                    writer.send(FrameType::Heartbeat,
+                                encodeHeartbeat(lease.slot));
+                } catch (const SimException &) {
+                    break; // peer is gone; main loop will see EOF
+                }
+            }
+        });
+
+        std::ostringstream fragment;
+        bool sim_ok = true;
+        SimError sim_err;
+        try {
+            sweep::writePointJson(fragment,
+                                  sweep::runPoint(lease.point));
+        } catch (const SimException &e) {
+            sim_ok = false;
+            sim_err = e.error();
+        }
+        beat.store(false, std::memory_order_relaxed);
+        heartbeat.join();
+
+        if (!sim_ok) {
+            // A point the simulator itself rejects fails
+            // deterministically — retrying cannot help. Carry the
+            // structured diagnosis back so the coordinator fails the
+            // farm fast with the real error instead of burning the
+            // lease/retry budget.
+            std::fprintf(stderr, "imo-farm worker: point failed: %s\n",
+                         sim_err.format().c_str());
+            ErrorMsg err;
+            err.slot = lease.slot;
+            err.error = std::move(sim_err);
+            writer.send(FrameType::Error, encodeError(err));
+            continue;
+        }
+
+        if (inject.fire(FaultPoint::DroppedResult)) {
+            // Completed but the result is lost in transit: fall
+            // silent. The lease expires and the point is retried.
+            hangUntilPeerGone(rfd, stop);
+        }
+
+        ResultMsg result;
+        result.slot = lease.slot;
+        const std::string &text = fragment.str();
+        result.fragment.assign(text.begin(), text.end());
+        writer.send(FrameType::Result, encodeResult(result));
+    }
+}
+
+SimError
+runWorker(const WorkerOptions &options,
+          const volatile std::sig_atomic_t *stop)
+{
+    if (options.port == 0)
+        return SimError{ErrCode::BadConfig,
+                        "worker: coordinator port must be nonzero", {}};
+    if (options.heartbeatMs == 0)
+        return SimError{ErrCode::BadConfig,
+                        "worker: --heartbeat-ms must be nonzero", {}};
+
+    FaultInjector inject(options.faults);
+    SessionParams params;
+    params.token = options.token;
+    params.heartbeatMs = options.heartbeatMs;
+
+    unsigned failures = 0;
+    for (;;) {
+        if (stop && *stop)
+            return SimError{ErrCode::Interrupted,
+                            "worker: interrupted", {}};
+
+        try {
+            const int fd = connectTcp(options.host, options.port,
+                                      options.connectTimeoutMs);
+            bool admitted = false;
+            SessionEnd end;
+            try {
+                end = serveSession(fd, fd, params, inject, stop,
+                                   &admitted);
+            } catch (...) {
+                ::close(fd);
+                throw;
+            }
+            ::close(fd);
+            switch (end) {
+              case SessionEnd::ShutdownReceived:
+                return {}; // clean exit
+              case SessionEnd::Stopped:
+                return SimError{ErrCode::Interrupted,
+                                "worker: interrupted", {}};
+              case SessionEnd::PeerClosed:
+                break; // transient: reconnect below
+            }
+            if (admitted)
+                failures = 0;
+        } catch (const SimException &e) {
+            if (e.code() == ErrCode::AuthFailed ||
+                e.code() == ErrCode::Interrupted)
+                return e.error(); // deterministic / final: do not retry
+            warn("imo-worker: %s", e.error().format().c_str());
+        }
+
+        ++failures;
+        if (options.maxRetries != 0 && failures > options.maxRetries)
+            return SimError{
+                ErrCode::WorkerLost,
+                simFormat("worker: giving up on %s:%u after %u failed "
+                          "connection attempts",
+                          options.host.c_str(),
+                          static_cast<unsigned>(options.port),
+                          failures),
+                {}};
+
+        // Capped exponential backoff, sliced so a stop signal lands
+        // promptly.
+        std::uint64_t backoff = options.backoffBaseMs;
+        for (unsigned i = 1; i < failures && backoff < options.backoffCapMs;
+             ++i)
+            backoff *= 2;
+        if (backoff > options.backoffCapMs)
+            backoff = options.backoffCapMs;
+        while (backoff > 0) {
+            if (stop && *stop)
+                return SimError{ErrCode::Interrupted,
+                                "worker: interrupted", {}};
+            const std::uint64_t slice = backoff > 100 ? 100 : backoff;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(slice));
+            backoff -= slice;
+        }
+    }
+}
+
+} // namespace imo::farm

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Worker-side farm protocol: one lease-serving session, shared by the
+ * fork+pipe local workers (src/farm/farm.cc spawns them) and the
+ * standalone imo-worker TCP daemon (tools/imo_worker.cc).
+ *
+ * A session is: read the coordinator's Challenge, answer it with an
+ * authenticated Hello (protocol version, report schema version, and
+ * the token digest), then serve Lease frames — heartbeating from a
+ * side thread while simulating — until Shutdown, EOF, or a stop
+ * signal. The network fault points (conn-drop, conn-stutter,
+ * handshake-corrupt) are drawn in this file's send path, so the same
+ * seed-deterministic chaos schedule drives both transports.
+ *
+ * runWorker() wraps a session in the daemon's reconnect loop: capped
+ * exponential backoff after a drop, a fresh handshake per attempt,
+ * and a hard stop on AuthFailed (a deterministic rejection that
+ * reconnecting cannot fix).
+ */
+
+#ifndef IMO_FARM_WORKER_HH
+#define IMO_FARM_WORKER_HH
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hh"
+#include "common/faultinject.hh"
+
+namespace imo::farm
+{
+
+/** Knobs shared by both session flavors. */
+struct SessionParams
+{
+    std::string token;               //!< admission shared secret
+    std::uint64_t heartbeatMs = 200; //!< heartbeat period mid-lease
+};
+
+/** Why a session ended (exceptional ends throw SimException). */
+enum class SessionEnd : std::uint8_t
+{
+    ShutdownReceived, //!< clean coordinator-initiated exit
+    PeerClosed,       //!< EOF: the coordinator (or the link) went away
+    Stopped,          //!< the stop flag fired (SIGINT/SIGTERM)
+};
+
+/**
+ * Serve one coordinator connection on @p rfd/@p wfd (equal for a
+ * socket, distinct for a pipe pair). Blocking reads; @p stop is
+ * polled between frames. @p admitted is set once a post-handshake
+ * frame arrives (the daemon uses it to reset its backoff).
+ *
+ * Throws SimException(AuthFailed) when either side's admission check
+ * fails — deterministic, do not reconnect — and
+ * SimException(WorkerLost) on protocol garbage or an injected
+ * connection fault (transient, reconnect).
+ */
+SessionEnd serveSession(int rfd, int wfd, const SessionParams &params,
+                        FaultInjector &inject,
+                        const volatile std::sig_atomic_t *stop,
+                        bool *admitted = nullptr);
+
+/** Configuration of the standalone TCP worker daemon. */
+struct WorkerOptions
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::string token;
+    std::uint64_t heartbeatMs = 200;
+
+    /** Reconnect backoff: base * 2^(attempt-1), capped. */
+    std::uint64_t backoffBaseMs = 100;
+    std::uint64_t backoffCapMs = 5'000;
+
+    /** Consecutive failed connect/handshake attempts before giving up
+     *  (0 = retry forever). Resets on every successful admission. */
+    unsigned maxRetries = 0;
+
+    std::uint64_t connectTimeoutMs = 5'000;
+
+    /** Worker-side fault plan (worker-kill / worker-stall /
+     *  dropped-result / conn-drop / conn-stutter /
+     *  handshake-corrupt). */
+    FaultSchedule faults;
+};
+
+/**
+ * Run the worker daemon until the coordinator sends Shutdown (ok), the
+ * stop flag fires (Interrupted), admission is rejected (AuthFailed),
+ * or the reconnect budget is exhausted (WorkerLost). Never throws;
+ * the outcome comes back as a SimError (ok() for a clean shutdown).
+ */
+SimError runWorker(const WorkerOptions &options,
+                   const volatile std::sig_atomic_t *stop = nullptr);
+
+} // namespace imo::farm
+
+#endif // IMO_FARM_WORKER_HH

@@ -10,23 +10,34 @@
  *    runSweep() for any worker count, under every farm-level fault,
  *    with duplicate input points collapsed, and with a second run
  *    served entirely from the memoized store.
+ *  - Wire protocol: FrameParser reassembly at every fragmentation
+ *    boundary, and the authDigest admission keying.
+ *  - TCP farms: in-process imo-worker sessions over loopback sockets —
+ *    report identity, late joins, token rejection (AuthFailed), the
+ *    min-workers fail-fast, and the three network fault points.
  */
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
 
 #include "common/error.hh"
+#include "common/rng.hh"
 #include "farm/farm.hh"
+#include "farm/proto.hh"
 #include "farm/store.hh"
+#include "farm/worker.hh"
 #include "sweep/sweep.hh"
 
 namespace
@@ -171,8 +182,32 @@ TEST(FarmStore, CorruptRecordIsQuarantined)
     EXPECT_EQ(store.corruptRecords(), 1u);
     // Quarantined: the record is gone, the evidence is kept.
     EXPECT_EQ(store.get(key, &out), farm::StoreGet::Miss);
-    std::ifstream bad(store.recordPath(key) + ".bad");
+    std::ifstream bad(store.recordPath(key) + ".bad.1");
     EXPECT_TRUE(bad.good());
+}
+
+TEST(FarmStore, RepeatedCorruptionKeepsAllEvidence)
+{
+    // The same key corrupted twice (re-simulated, re-stored, rotted
+    // again) must quarantine two distinct evidence files, not
+    // overwrite the first.
+    farm::ResultStore store(tempDir("recorrupt"), false);
+    const farm::PointKey key = farm::keyForPoint(smallPoints()[0]);
+
+    store.put(key, {1, 1, 1, 1});
+    corruptFile(store.recordPath(key));
+    std::vector<std::uint8_t> out;
+    EXPECT_EQ(store.get(key, &out), farm::StoreGet::Corrupt);
+
+    store.put(key, {2, 2, 2, 2});
+    corruptFile(store.recordPath(key));
+    EXPECT_EQ(store.get(key, &out), farm::StoreGet::Corrupt);
+    EXPECT_EQ(store.corruptRecords(), 2u);
+
+    std::ifstream bad1(store.recordPath(key) + ".bad.1");
+    std::ifstream bad2(store.recordPath(key) + ".bad.2");
+    EXPECT_TRUE(bad1.good());
+    EXPECT_TRUE(bad2.good());
 }
 
 TEST(FarmStore, VerifyOrRepairRestoresTruth)
@@ -344,6 +379,323 @@ TEST(Farm, SecondRunIsServedFromStore)
     EXPECT_EQ(farmReport(second), farmReport(first));
     EXPECT_EQ(farmReport(second), sweepReport(pts));
 }
+
+// --------------------------------------------------------- wire protocol
+
+/** A small multi-frame stream plus the frames it should parse into. */
+std::vector<std::uint8_t>
+sampleStream(std::vector<farm::Frame> *expect)
+{
+    farm::HelloMsg hello;
+    hello.response = farm::authDigest("tok", 42);
+    farm::ResultMsg result;
+    result.slot = 7;
+    result.fragment = {'{', '"', 'y', '"', ':', '2', '}'};
+
+    const std::vector<std::vector<std::uint8_t>> frames = {
+        farm::buildFrame(farm::FrameType::Hello,
+                         farm::encodeHello(hello)),
+        farm::buildFrame(farm::FrameType::Heartbeat,
+                         farm::encodeHeartbeat(7)),
+        farm::buildFrame(farm::FrameType::Result,
+                         farm::encodeResult(result)),
+        farm::buildFrame(farm::FrameType::Shutdown, {}),
+    };
+    const farm::FrameType types[] = {
+        farm::FrameType::Hello, farm::FrameType::Heartbeat,
+        farm::FrameType::Result, farm::FrameType::Shutdown};
+
+    std::vector<std::uint8_t> stream;
+    expect->clear();
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        farm::Frame f;
+        f.type = types[i];
+        f.payload.assign(frames[i].begin() + static_cast<long>(
+                             farm::frameHeaderBytes),
+                         frames[i].end());
+        expect->push_back(std::move(f));
+        stream.insert(stream.end(), frames[i].begin(), frames[i].end());
+    }
+    return stream;
+}
+
+void
+expectParsesTo(farm::FrameParser &parser,
+               const std::vector<farm::Frame> &expect,
+               std::size_t *next, const char *what)
+{
+    farm::Frame f;
+    while (parser.next(&f)) {
+        ASSERT_LT(*next, expect.size()) << what;
+        EXPECT_EQ(f.type, expect[*next].type) << what;
+        EXPECT_EQ(f.payload, expect[*next].payload) << what;
+        ++*next;
+    }
+}
+
+TEST(FarmProto, ParserReassemblesAtEveryBoundary)
+{
+    std::vector<farm::Frame> expect;
+    const std::vector<std::uint8_t> stream = sampleStream(&expect);
+
+    // Split the whole stream at every byte boundary: prefix then
+    // suffix. Every cut — mid-magic, mid-length, mid-CRC, mid-payload —
+    // must reassemble to the same four frames.
+    for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+        farm::FrameParser parser;
+        std::size_t next = 0;
+        if (cut > 0)
+            parser.feed(stream.data(), cut);
+        expectParsesTo(parser, expect, &next, "prefix");
+        if (cut < stream.size())
+            parser.feed(stream.data() + cut, stream.size() - cut);
+        expectParsesTo(parser, expect, &next, "suffix");
+        EXPECT_EQ(next, expect.size()) << "cut at " << cut;
+        EXPECT_FALSE(parser.midFrame()) << "cut at " << cut;
+    }
+}
+
+TEST(FarmProto, ParserReassemblesRandomFragments)
+{
+    std::vector<farm::Frame> expect;
+    const std::vector<std::uint8_t> stream = sampleStream(&expect);
+
+    Rng rng(0xf7a9u); // seeded: failures reproduce
+    for (int round = 0; round < 200; ++round) {
+        farm::FrameParser parser;
+        std::size_t next = 0;
+        std::size_t at = 0;
+        while (at < stream.size()) {
+            const std::size_t chunk = 1 +
+                static_cast<std::size_t>(
+                    rng.below(stream.size() - at));
+            parser.feed(stream.data() + at, chunk);
+            at += chunk;
+            expectParsesTo(parser, expect, &next, "fragment");
+        }
+        EXPECT_EQ(next, expect.size()) << "round " << round;
+        EXPECT_FALSE(parser.midFrame()) << "round " << round;
+    }
+}
+
+TEST(FarmProto, AuthDigestKeysOnTokenAndNonce)
+{
+    // Deterministic for a given (token, nonce)...
+    EXPECT_EQ(farm::authDigest("secret", 1),
+              farm::authDigest("secret", 1));
+    // ...and different under any change of either input.
+    EXPECT_NE(farm::authDigest("secret", 1),
+              farm::authDigest("secret", 2));
+    EXPECT_NE(farm::authDigest("secret", 1),
+              farm::authDigest("Secret", 1));
+    EXPECT_NE(farm::authDigest("", 1), farm::authDigest("x", 1));
+    // The length prefix keeps token/nonce boundaries unambiguous.
+    EXPECT_NE(farm::authDigest("ab", 0), farm::authDigest("a", 0));
+}
+
+TEST(Farm, RejectsBadHeartbeatTimers)
+{
+    // Zero heartbeat, and a heartbeat that cannot keep a lease alive:
+    // both are BadConfig naming the flags, not mysterious lease churn.
+    farm::FarmOptions opt;
+    opt.heartbeatMs = 0;
+    try {
+        farm::runFarm(smallPoints(), opt);
+        FAIL() << "expected BadConfig for heartbeat 0";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.code(), ErrCode::BadConfig);
+    }
+
+    opt.heartbeatMs = 1000;
+    opt.leaseMs = 1000;
+    try {
+        farm::runFarm(smallPoints(), opt);
+        FAIL() << "expected BadConfig for heartbeat >= lease";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.code(), ErrCode::BadConfig);
+        EXPECT_NE(e.error().message.find("--heartbeat-ms"),
+                  std::string::npos);
+        EXPECT_NE(e.error().message.find("--lease-ms"),
+                  std::string::npos);
+    }
+}
+
+// ------------------------------------------------------------- TCP farms
+
+/**
+ * In-process TCP farm: the coordinator listens on an ephemeral
+ * loopback port with zero local workers (no fork in a threaded test
+ * binary), and imo-worker sessions run as plain threads — the same
+ * runWorker() the daemon binary wraps.
+ */
+struct TcpWorker
+{
+    std::string token = "hunter2";
+    std::uint64_t startDelayMs = 0;
+    FaultSchedule faults;
+    SimError result;
+};
+
+farm::FarmResult
+runTcpFarm(const std::vector<sweep::SweepPoint> &pts,
+           farm::FarmOptions &opt, std::vector<TcpWorker> &workers)
+{
+    opt.workers = 0;
+    opt.listen = true;
+    std::promise<std::uint16_t> port_promise;
+    std::shared_future<std::uint16_t> port =
+        port_promise.get_future().share();
+    opt.onListen = [&port_promise](std::uint16_t p) {
+        port_promise.set_value(p);
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers.size());
+    for (TcpWorker &w : workers) {
+        threads.emplace_back([&w, port] {
+            if (w.startDelayMs)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(w.startDelayMs));
+            farm::WorkerOptions o;
+            o.port = port.get();
+            o.token = w.token;
+            o.heartbeatMs = 50;
+            o.backoffBaseMs = 5;
+            o.backoffCapMs = 50;
+            o.maxRetries = 400;
+            o.connectTimeoutMs = 2'000;
+            o.faults = w.faults;
+            w.result = farm::runWorker(o);
+        });
+    }
+    const farm::FarmResult res = farm::runFarm(pts, opt);
+    for (std::thread &t : threads)
+        t.join();
+    return res;
+}
+
+TEST(FarmTcp, ReportMatchesSweep)
+{
+    const std::vector<sweep::SweepPoint> pts = smallPoints();
+    const std::string expect = sweepReport(pts);
+
+    farm::FarmOptions opt;
+    opt.token = "hunter2";
+    std::vector<TcpWorker> workers(2);
+    const farm::FarmResult res = runTcpFarm(pts, opt, workers);
+
+    ASSERT_TRUE(res.ok) << res.error.format();
+    EXPECT_EQ(res.stats.remotesAdmitted, 2u);
+    EXPECT_EQ(res.stats.authFailures, 0u);
+    EXPECT_EQ(farmReport(res), expect);
+    for (const TcpWorker &w : workers)
+        EXPECT_TRUE(w.result.ok()) << w.result.format();
+}
+
+TEST(FarmTcp, LateJoiningWorkerGetsIdenticalBytes)
+{
+    const std::vector<sweep::SweepPoint> pts = smallPoints();
+    const std::string expect = sweepReport(pts);
+
+    farm::FarmOptions opt;
+    opt.token = "hunter2";
+    std::vector<TcpWorker> workers(2);
+    workers[1].startDelayMs = 250; // joins a farm already in flight
+
+    const farm::FarmResult res = runTcpFarm(pts, opt, workers);
+    ASSERT_TRUE(res.ok) << res.error.format();
+    EXPECT_GE(res.stats.remotesAdmitted, 1u);
+    EXPECT_EQ(farmReport(res), expect);
+    // The early worker must have shut down cleanly; the late one may
+    // find the farm already gone, which is a WorkerLost, not a hang.
+    EXPECT_TRUE(workers[0].result.ok()) << workers[0].result.format();
+}
+
+TEST(FarmTcp, WrongTokenIsRejectedNotRetried)
+{
+    const std::vector<sweep::SweepPoint> pts = smallPoints();
+    const std::string expect = sweepReport(pts);
+
+    farm::FarmOptions opt;
+    opt.token = "hunter2";
+    std::vector<TcpWorker> workers(2);
+    workers[1].token = "wrong-token";
+
+    const farm::FarmResult res = runTcpFarm(pts, opt, workers);
+    ASSERT_TRUE(res.ok) << res.error.format();
+
+    // The farm completed on the authenticated worker alone, and the
+    // impostor got a structured final rejection instead of a
+    // reconnect loop.
+    EXPECT_GE(res.stats.authFailures, 1u);
+    EXPECT_EQ(farmReport(res), expect);
+    EXPECT_TRUE(workers[0].result.ok()) << workers[0].result.format();
+    EXPECT_EQ(workers[1].result.code, ErrCode::AuthFailed)
+        << workers[1].result.format();
+}
+
+TEST(FarmTcp, MinWorkersFailsStructuredInsteadOfHanging)
+{
+    farm::FarmOptions opt;
+    opt.leaseMs = 400; // the watchdog grace period
+    opt.heartbeatMs = 50;
+    std::vector<TcpWorker> workers; // nobody ever connects
+
+    const farm::FarmResult res =
+        runTcpFarm(smallPoints(), opt, workers);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.error.code, ErrCode::WorkerLost);
+    EXPECT_NE(res.error.message.find("--min-workers"),
+              std::string::npos)
+        << res.error.format();
+}
+
+/** Network chaos: under each socket-level fault the farm must converge
+ *  via drop/reconnect/retry to byte-identical output. */
+class FarmTcpChaos : public ::testing::TestWithParam<FaultPoint>
+{
+};
+
+TEST_P(FarmTcpChaos, ReportSurvivesNetworkFault)
+{
+    const std::vector<sweep::SweepPoint> pts = smallPoints();
+    const std::string expect = sweepReport(pts);
+
+    farm::FarmOptions opt;
+    opt.token = "hunter2";
+    opt.leaseMs = 1500;
+    opt.heartbeatMs = 50;
+    opt.backoffBaseMs = 5;
+    opt.backoffCapMs = 50;
+    opt.maxAttempts = 30;
+
+    // conn-drop draws on every send (heartbeats included), so it runs
+    // at a lower probability than the per-handshake faults.
+    const double prob =
+        GetParam() == FaultPoint::ConnDrop ? 0.3 : 0.5;
+    std::vector<TcpWorker> workers(2);
+    workers[0].faults.seed = 21;
+    workers[0].faults.setProbability(GetParam(), prob);
+    workers[1].faults.seed = 22;
+    workers[1].faults.setProbability(GetParam(), prob);
+
+    const farm::FarmResult res = runTcpFarm(pts, opt, workers);
+    ASSERT_TRUE(res.ok) << res.error.format();
+    EXPECT_EQ(farmReport(res), expect)
+        << "fault " << faultPointName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNetworkFaults, FarmTcpChaos,
+    ::testing::Values(FaultPoint::ConnDrop, FaultPoint::ConnStutter,
+                      FaultPoint::HandshakeCorrupt),
+    [](const ::testing::TestParamInfo<FaultPoint> &info) {
+        std::string name = faultPointName(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
 
 TEST(Farm, StopFlagInterruptsCleanly)
 {

@@ -67,9 +67,24 @@ usage()
         "usage: imo-farm [axes] [options]\n"
         "%s"
         "options:\n"
-        "  --workers N             worker processes (0 = one per "
-        "hardware thread;\n"
-        "                          default 1)\n"
+        "  --workers N             local worker processes (default 1; "
+        "without\n"
+        "                          --listen, 0 = one per hardware "
+        "thread, with\n"
+        "                          --listen, 0 = remote workers only)\n"
+        "  --listen [HOST:]PORT    accept remote imo-worker daemons "
+        "over TCP\n"
+        "                          (default host 127.0.0.1; port 0 "
+        "picks an\n"
+        "                          ephemeral port — see --port-file)\n"
+        "  --port-file PATH        write the bound listen port to PATH\n"
+        "  --token SECRET          shared admission secret workers "
+        "must present\n"
+        "  --min-workers N         fail (instead of waiting forever) "
+        "if fewer\n"
+        "                          workers are available for a full "
+        "lease period\n"
+        "                          (default 1)\n"
         "  --store DIR             content-addressed result store "
         "(memoizes finished\n"
         "                          points across runs)\n"
@@ -78,6 +93,9 @@ usage()
         "  --lease-ms N            lease deadline before a silent "
         "worker is declared\n"
         "                          lost (default 10000)\n"
+        "  --heartbeat-ms N        worker heartbeat period while "
+        "simulating\n"
+        "                          (default 200; must be < --lease-ms)\n"
         "  --max-attempts N        lease attempts per point before the "
         "farm fails\n"
         "                          (default 30)\n"
@@ -89,7 +107,9 @@ usage()
         "(worker-kill,\n"
         "                          worker-stall, dropped-result, "
         "store-bit-flip,\n"
-        "                          lease-write-fail)\n"
+        "                          lease-write-fail, conn-drop, "
+        "conn-stutter,\n"
+        "                          handshake-corrupt)\n"
         "  --fault-seed N          fault-injection RNG seed\n"
         "  --out PATH              merged JSON report ('-' for stdout, "
         "the default)\n"
@@ -117,6 +137,28 @@ parseFaultSpec(const std::string &spec, FaultSchedule &schedule)
     return true;
 }
 
+/** Parse "[HOST:]PORT" into the listen options. */
+void
+parseListenSpec(const std::string &spec, farm::FarmOptions &opt)
+{
+    const std::size_t colon = spec.rfind(':');
+    std::string port_text = spec;
+    if (colon != std::string::npos) {
+        sim_throw_if(colon == 0 || colon + 1 >= spec.size(),
+                     ErrCode::BadConfig,
+                     "bad --listen value '%s' (want [HOST:]PORT)",
+                     spec.c_str());
+        opt.listenHost = spec.substr(0, colon);
+        port_text = spec.substr(colon + 1);
+    }
+    const std::uint64_t port = sweep::parseU64(port_text, "--listen");
+    sim_throw_if(port > 65535, ErrCode::BadConfig,
+                 "--listen port must be in [0, 65535], got %llu",
+                 static_cast<unsigned long long>(port));
+    opt.listen = true;
+    opt.listenPort = static_cast<std::uint16_t>(port);
+}
+
 int
 exitCodeFor(ErrCode code)
 {
@@ -139,6 +181,8 @@ main(int argc, char **argv)
     sweep::SweepGrid grid;
     farm::FarmOptions opt;
     std::string out_path = "-";
+    std::string port_file;
+    std::string workers_text; //!< parsed after --listen is known
     bool list_only = false;
 
     try {
@@ -155,8 +199,25 @@ main(int argc, char **argv)
             if (sweep::applyGridArg(&grid, arg, value)) {
                 // handled
             } else if (arg == "--workers") {
-                opt.workers =
-                    sweep::parseParallelism(value(), "--workers");
+                workers_text = value();
+            } else if (arg == "--listen") {
+                parseListenSpec(value(), opt);
+            } else if (arg == "--port-file") {
+                port_file = value();
+            } else if (arg == "--token") {
+                opt.token = value();
+            } else if (arg == "--min-workers") {
+                const std::uint64_t v =
+                    sweep::parseU64(value(), "--min-workers");
+                sim_throw_if(v == 0 || v > 1'000'000,
+                             ErrCode::BadConfig,
+                             "--min-workers must be in [1, 1000000], "
+                             "got %llu",
+                             static_cast<unsigned long long>(v));
+                opt.minWorkers = static_cast<unsigned>(v);
+            } else if (arg == "--heartbeat-ms") {
+                opt.heartbeatMs =
+                    sweep::parseU64(value(), "--heartbeat-ms");
             } else if (arg == "--store") {
                 opt.storeDir = value();
             } else if (arg == "--resume") {
@@ -198,6 +259,34 @@ main(int argc, char **argv)
                              arg.c_str());
                 return usage();
             }
+        }
+
+        // --workers is parsed late because its 0 means "one process
+        // per hardware thread" for a local farm but "remote workers
+        // only" when listening.
+        if (!workers_text.empty()) {
+            if (opt.listen) {
+                const std::uint64_t v =
+                    sweep::parseU64(workers_text, "--workers");
+                sim_throw_if(v > 4096, ErrCode::BadConfig,
+                             "--workers must be in [0, 4096], got %llu",
+                             static_cast<unsigned long long>(v));
+                opt.workers = static_cast<unsigned>(v);
+            } else {
+                opt.workers = sweep::parseParallelism(workers_text,
+                                                      "--workers");
+            }
+        }
+        if (!port_file.empty()) {
+            sim_throw_if(!opt.listen, ErrCode::BadConfig,
+                         "--port-file needs --listen");
+            opt.onListen = [port_file](std::uint16_t port) {
+                std::ofstream f(port_file, std::ios::trunc);
+                sim_throw_if(!f, ErrCode::BadConfig,
+                             "imo-farm: cannot write --port-file '%s'",
+                             port_file.c_str());
+                f << port << '\n';
+            };
         }
 
         const std::vector<sweep::SweepPoint> points =
