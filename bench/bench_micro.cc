@@ -10,6 +10,9 @@
 #include "branch/predictor.hh"
 #include "common/rng.hh"
 #include "core/informing.hh"
+#include "farm/proto.hh"
+#include "farm/telemetry.hh"
+#include "obs/trace.hh"
 #include "func/executor.hh"
 #include "memory/cache.hh"
 #include "memory/timing.hh"
@@ -131,6 +134,41 @@ BM_Instrumentation(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Instrumentation)->Unit(benchmark::kMicrosecond);
+
+/** Coordinator-side telemetry bookkeeping for one farmed point: the
+ *  full note-chain a slot travels (describe, enqueue, grant, worker
+ *  stats, result, store put) with the lease-timeline trace attached.
+ *  This is the per-point cost --trace-out / --manifest add to a farm
+ *  run; the simulation itself is deliberately absent. */
+void
+BM_FarmOverhead(benchmark::State &state)
+{
+    farm::FarmOptions opt;
+    obs::TraceSink trace;
+    trace.enable(static_cast<std::uint32_t>(obs::Cat::Farm) |
+                 static_cast<std::uint32_t>(obs::Cat::Store));
+    opt.trace = &trace;
+    farm::FarmTelemetry telemetry(opt, 0);
+    farm::StatsMsg stats;
+    stats.simulateMs = 3;
+    stats.serializeMs = 1;
+    stats.statsJson = "{\"cycles\":1000,\"instructions\":400}";
+    std::uint64_t now = 1;
+    std::size_t slot = 0;
+    for (auto _ : state) {
+        telemetry.describeSlot(slot, "0123456789abcdef", "bench point");
+        telemetry.noteEnqueue(slot, now);
+        telemetry.noteGrant(slot, slot % 4, false, 1, now + 1);
+        stats.slot = slot;
+        telemetry.noteWorkerStats(slot, stats, now + 5);
+        telemetry.noteResult(slot, slot % 4, false, 512, now + 5);
+        telemetry.noteStorePut(slot, 1, now + 6);
+        now += 7;
+        ++slot;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(slot));
+}
+BENCHMARK(BM_FarmOverhead)->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

@@ -1,0 +1,416 @@
+#include "common/json.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace imo::json
+{
+
+namespace
+{
+
+const Array kEmptyArray;
+const Members kEmptyMembers;
+
+/** Hand-rolled recursive-descent parser over a byte buffer. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &err)
+        : _text(text), _err(err)
+    {
+    }
+
+    bool
+    document(Value &out)
+    {
+        skipWs();
+        if (!value(out, 0))
+            return false;
+        skipWs();
+        if (_pos != _text.size())
+            return fail("trailing garbage after JSON document");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 256;
+
+    bool
+    fail(const std::string &what)
+    {
+        _err = what + " at byte " + std::to_string(_pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _text.size()) {
+            char c = _text[_pos];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++_pos;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::char_traits<char>::length(word);
+        if (_text.compare(_pos, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        _pos += n;
+        return true;
+    }
+
+    bool
+    value(Value &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (_pos >= _text.size())
+            return fail("unexpected end of input");
+        switch (_text[_pos]) {
+          case 'n':
+            if (!literal("null"))
+                return false;
+            out = Value::makeNull();
+            return true;
+          case 't':
+            if (!literal("true"))
+                return false;
+            out = Value::makeBool(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return false;
+            out = Value::makeBool(false);
+            return true;
+          case '"': {
+            std::string s;
+            if (!string(s))
+                return false;
+            out = Value::makeString(std::move(s));
+            return true;
+          }
+          case '[':
+            return array(out, depth);
+          case '{':
+            return object(out, depth);
+          default:
+            return number(out);
+        }
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++_pos; // opening quote
+        while (true) {
+            if (_pos >= _text.size())
+                return fail("unterminated string");
+            char c = _text[_pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (_pos >= _text.size())
+                return fail("unterminated escape");
+            char e = _text[_pos++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                unsigned cp = 0;
+                if (!hex4(cp))
+                    return false;
+                // Surrogate pair?
+                if (cp >= 0xd800 && cp <= 0xdbff &&
+                    _text.compare(_pos, 2, "\\u") == 0) {
+                    std::size_t save = _pos;
+                    _pos += 2;
+                    unsigned lo = 0;
+                    if (!hex4(lo))
+                        return false;
+                    if (lo >= 0xdc00 && lo <= 0xdfff) {
+                        cp = 0x10000 + ((cp - 0xd800) << 10) +
+                             (lo - 0xdc00);
+                    } else {
+                        _pos = save; // unpaired; emit replacement below
+                    }
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail("bad escape character");
+            }
+        }
+    }
+
+    bool
+    hex4(unsigned &out)
+    {
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (_pos >= _text.size())
+                return fail("unterminated \\u escape");
+            char c = _text[_pos++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= unsigned(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= unsigned(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= unsigned(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp >= 0xd800 && cp <= 0xdfff)
+            cp = 0xfffd; // unpaired surrogate
+        if (cp < 0x80) {
+            out.push_back(char(cp));
+        } else if (cp < 0x800) {
+            out.push_back(char(0xc0 | (cp >> 6)));
+            out.push_back(char(0x80 | (cp & 0x3f)));
+        } else if (cp < 0x10000) {
+            out.push_back(char(0xe0 | (cp >> 12)));
+            out.push_back(char(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(char(0x80 | (cp & 0x3f)));
+        } else {
+            out.push_back(char(0xf0 | (cp >> 18)));
+            out.push_back(char(0x80 | ((cp >> 12) & 0x3f)));
+            out.push_back(char(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(char(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    bool
+    number(Value &out)
+    {
+        std::size_t start = _pos;
+        if (_pos < _text.size() && _text[_pos] == '-')
+            ++_pos;
+        bool digits = false;
+        while (_pos < _text.size() && _text[_pos] >= '0' &&
+               _text[_pos] <= '9') {
+            ++_pos;
+            digits = true;
+        }
+        if (!digits)
+            return fail("expected a JSON value");
+        if (_pos < _text.size() && _text[_pos] == '.') {
+            ++_pos;
+            while (_pos < _text.size() && _text[_pos] >= '0' &&
+                   _text[_pos] <= '9')
+                ++_pos;
+        }
+        if (_pos < _text.size() &&
+            (_text[_pos] == 'e' || _text[_pos] == 'E')) {
+            ++_pos;
+            if (_pos < _text.size() &&
+                (_text[_pos] == '+' || _text[_pos] == '-'))
+                ++_pos;
+            while (_pos < _text.size() && _text[_pos] >= '0' &&
+                   _text[_pos] <= '9')
+                ++_pos;
+        }
+        std::string raw = _text.substr(start, _pos - start);
+        // Convert before the call: argument evaluation order is
+        // unspecified, and makeNumber takes raw by value — strtod must
+        // not race the move that empties it.
+        const double num = std::strtod(raw.c_str(), nullptr);
+        out = Value::makeNumber(num, std::move(raw));
+        return true;
+    }
+
+    bool
+    array(Value &out, int depth)
+    {
+        ++_pos; // '['
+        Array items;
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == ']') {
+            ++_pos;
+            out = Value::makeArray(std::move(items));
+            return true;
+        }
+        while (true) {
+            skipWs();
+            Value v;
+            if (!value(v, depth + 1))
+                return false;
+            items.push_back(std::move(v));
+            skipWs();
+            if (_pos >= _text.size())
+                return fail("unterminated array");
+            char c = _text[_pos++];
+            if (c == ']')
+                break;
+            if (c != ',')
+                return fail("expected ',' or ']' in array");
+        }
+        out = Value::makeArray(std::move(items));
+        return true;
+    }
+
+    bool
+    object(Value &out, int depth)
+    {
+        ++_pos; // '{'
+        Members members;
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == '}') {
+            ++_pos;
+            out = Value::makeObject(std::move(members));
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (_pos >= _text.size() || _text[_pos] != '"')
+                return fail("expected object key string");
+            std::string key;
+            if (!string(key))
+                return false;
+            skipWs();
+            if (_pos >= _text.size() || _text[_pos] != ':')
+                return fail("expected ':' after object key");
+            ++_pos;
+            skipWs();
+            Value v;
+            if (!value(v, depth + 1))
+                return false;
+            members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (_pos >= _text.size())
+                return fail("unterminated object");
+            char c = _text[_pos++];
+            if (c == '}')
+                break;
+            if (c != ',')
+                return fail("expected ',' or '}' in object");
+        }
+        out = Value::makeObject(std::move(members));
+        return true;
+    }
+
+    const std::string &_text;
+    std::string &_err;
+    std::size_t _pos = 0;
+};
+
+} // anonymous namespace
+
+const Array &
+Value::array() const
+{
+    return _array ? *_array : kEmptyArray;
+}
+
+const Members &
+Value::members() const
+{
+    return _members ? *_members : kEmptyMembers;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (!_members)
+        return nullptr;
+    for (const auto &[k, v] : *_members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+Value
+Value::makeBool(bool b)
+{
+    Value v;
+    v._type = Type::Bool;
+    v._bool = b;
+    return v;
+}
+
+Value
+Value::makeNumber(double d, std::string raw)
+{
+    Value v;
+    v._type = Type::Number;
+    v._num = d;
+    v._str = std::move(raw);
+    return v;
+}
+
+Value
+Value::makeString(std::string s)
+{
+    Value v;
+    v._type = Type::String;
+    v._str = std::move(s);
+    return v;
+}
+
+Value
+Value::makeArray(Array a)
+{
+    Value v;
+    v._type = Type::Array;
+    v._array = std::make_shared<Array>(std::move(a));
+    return v;
+}
+
+Value
+Value::makeObject(Members m)
+{
+    Value v;
+    v._type = Type::Object;
+    v._members = std::make_shared<Members>(std::move(m));
+    return v;
+}
+
+bool
+parse(const std::string &text, Value &out, std::string &err)
+{
+    Parser p(text, err);
+    return p.document(out);
+}
+
+bool
+parseFile(const std::string &path, Value &out, std::string &err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!parse(buf.str(), out, err)) {
+        err = path + ": " + err;
+        return false;
+    }
+    return true;
+}
+
+} // namespace imo::json

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal JSON value tree + recursive-descent parser.
+ *
+ * The simulator *writes* JSON all over (stats dumps, sweep reports,
+ * traces, manifests) via hand-rolled emitters; this is the matching
+ * *reader* for the tools that must join those artifacts back together
+ * (imo-report, tests). Scope is deliberately small: full JSON parsing
+ * into an immutable tree, object key order preserved, numbers kept as
+ * double plus the raw text (so 64-bit ids survive round-trips as
+ * strings when needed). No serializer — emitters stay hand-rolled so
+ * byte-exact report formats cannot drift.
+ */
+
+#ifndef IMO_COMMON_JSON_HH
+#define IMO_COMMON_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace imo::json
+{
+
+enum class Type : std::uint8_t
+{
+    Null,
+    Bool,
+    Number,
+    String,
+    Array,
+    Object,
+};
+
+class Value;
+
+using Array = std::vector<Value>;
+/** Key order preserved (insertion order) — mirrors emitter order. */
+using Members = std::vector<std::pair<std::string, Value>>;
+
+class Value
+{
+  public:
+    Value() = default;
+
+    Type type() const { return _type; }
+    bool isNull() const { return _type == Type::Null; }
+    bool isBool() const { return _type == Type::Bool; }
+    bool isNumber() const { return _type == Type::Number; }
+    bool isString() const { return _type == Type::String; }
+    bool isArray() const { return _type == Type::Array; }
+    bool isObject() const { return _type == Type::Object; }
+
+    bool asBool() const { return _bool; }
+    double asDouble() const { return _num; }
+    std::int64_t asInt() const { return static_cast<std::int64_t>(_num); }
+    std::uint64_t asUint() const { return static_cast<std::uint64_t>(_num); }
+    const std::string &asString() const { return _str; }
+    /** Raw source text of a number (exact, before double conversion). */
+    const std::string &numberText() const { return _str; }
+
+    const Array &array() const;
+    const Members &members() const;
+
+    /** Object member lookup; @return nullptr when absent (or not an
+     *  object). */
+    const Value *find(const std::string &key) const;
+
+    /** find() for nested paths: obj.find2("a", "b") == obj["a"]["b"]. */
+    const Value *
+    find2(const std::string &k1, const std::string &k2) const
+    {
+        const Value *v = find(k1);
+        return v ? v->find(k2) : nullptr;
+    }
+
+    // Construction (used by the parser; public so tests can build trees).
+    static Value makeNull() { return Value(); }
+    static Value makeBool(bool b);
+    static Value makeNumber(double d, std::string raw);
+    static Value makeString(std::string s);
+    static Value makeArray(Array a);
+    static Value makeObject(Members m);
+
+  private:
+    Type _type = Type::Null;
+    bool _bool = false;
+    double _num = 0.0;
+    std::string _str; // string value, or raw number text
+    std::shared_ptr<Array> _array;
+    std::shared_ptr<Members> _members;
+};
+
+/**
+ * Parse @p text as one JSON document. @return false and set @p err
+ * (with a byte offset) on malformed input; trailing garbage after the
+ * document is an error.
+ */
+bool parse(const std::string &text, Value &out, std::string &err);
+
+/** parse() from a file. @return false on I/O or parse errors. */
+bool parseFile(const std::string &path, Value &out, std::string &err);
+
+} // namespace imo::json
+
+#endif // IMO_COMMON_JSON_HH

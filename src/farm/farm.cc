@@ -15,9 +15,11 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "common/manifest.hh"
 #include "common/rng.hh"
 #include "farm/proto.hh"
 #include "farm/store.hh"
+#include "farm/telemetry.hh"
 #include "farm/transport.hh"
 #include "farm/worker.hh"
 #include "sweep/engine.hh"
@@ -86,10 +88,10 @@ class Coordinator
 {
   public:
     Coordinator(std::vector<Slot> slots, const FarmOptions &opt,
-                ResultStore *store,
+                ResultStore *store, FarmTelemetry &tel,
                 const volatile std::sig_atomic_t *stop)
-        : _slots(std::move(slots)), _opt(opt), _store(store), _stop(stop),
-          _inject(opt.faults),
+        : _slots(std::move(slots)), _opt(opt), _store(store), _tel(tel),
+          _stop(stop), _inject(opt.faults),
           _nonceRng(opt.faults.seed ^ 0xa11ce5ced0c05eedull)
     {
         for (std::size_t i = 0; i < _slots.size(); ++i) {
@@ -152,6 +154,14 @@ class Coordinator
         _slots[slot].queued = true;
         _slots[slot].readyAtMs = ready_at;
         _pending.push_back(slot);
+        _tel.noteEnqueue(slot, nowMs());
+    }
+
+    /** Stable seat index of a peer (its position in the poll set). */
+    unsigned
+    seatIndex(const Peer &p) const
+    {
+        return static_cast<unsigned>(&p - _peers.data());
     }
 
     /** Seat a new peer, reusing a dead seat so the poll set (and the
@@ -179,6 +189,7 @@ class Coordinator
         p.admitByMs = now + _opt.leaseMs;
         ChallengeMsg challenge;
         challenge.nonce = p.nonce;
+        challenge.runId = _opt.runId;
         try {
             p.io->sendFrame(FrameType::Challenge,
                             encodeChallenge(challenge));
@@ -240,7 +251,9 @@ class Coordinator
         p.io = Transport::pipePair(from_pipe[0], to_pipe[1]);
         p.pid = pid;
         p.alive = true;
-        sendChallenge(seat(std::move(p)), now);
+        Peer &seated = seat(std::move(p));
+        _tel.noteSpawn(seatIndex(seated), /*remote=*/false, now);
+        sendChallenge(seated, now);
     }
 
     /** Admit every connection queued on the listener. */
@@ -252,7 +265,9 @@ class Coordinator
             p.io = std::move(io);
             p.pid = -1;
             p.alive = true;
-            sendChallenge(seat(std::move(p)), now);
+            Peer &seated = seat(std::move(p));
+            _tel.noteSpawn(seatIndex(seated), /*remote=*/true, now);
+            sendChallenge(seated, now);
         }
     }
 
@@ -264,6 +279,7 @@ class Coordinator
         if (!p.alive)
             return;
         ++_stats.workersLost;
+        _tel.notePeerLost(seatIndex(p), now);
         if (p.pid > 0) {
             ::kill(p.pid, SIGKILL);
             ::waitpid(p.pid, nullptr, 0);
@@ -285,9 +301,10 @@ class Coordinator
      *  drop it. A deliberate rejection, not a lost worker — and no
      *  local respawn, which could only fail the same way forever. */
     void
-    rejectPeer(Peer &p, SimError err)
+    rejectPeer(Peer &p, SimError err, std::uint64_t now)
     {
         ++_stats.authFailures;
+        _tel.noteAuthReject(seatIndex(p), now);
         warn("farm: %s", err.format().c_str());
         ErrorMsg msg;
         msg.error = std::move(err);
@@ -308,7 +325,7 @@ class Coordinator
      *  response. Throws (to the caller's losePeer) on a malformed
      *  payload; a *well-formed* mismatch is an AuthFailed rejection. */
     void
-    admitPeer(Peer &p, const Frame &frame)
+    admitPeer(Peer &p, const Frame &frame, std::uint64_t now)
     {
         const HelloMsg hello = decodeHello(frame.payload);
         if (hello.protoVersion != protocolVersion ||
@@ -320,7 +337,7 @@ class Coordinator
                           "v%u / v%u — upgrade the older side",
                           hello.protoVersion, hello.schemaVersion,
                           protocolVersion, sweep::reportSchemaVersion),
-                {}});
+                {}}, now);
             return;
         }
         if (hello.response != authDigest(_opt.token, p.nonce)) {
@@ -328,10 +345,11 @@ class Coordinator
                 ErrCode::AuthFailed,
                 "farm: peer failed the shared-token challenge; check "
                 "--token on both sides",
-                {}});
+                {}}, now);
             return;
         }
         p.ready = true;
+        _tel.noteAdmit(seatIndex(p), p.pid < 0, now);
         if (p.pid < 0)
             ++_stats.remotesAdmitted;
     }
@@ -357,6 +375,7 @@ class Coordinator
             backoff *= 2;
         if (backoff > _opt.backoffCapMs)
             backoff = _opt.backoffCapMs;
+        _tel.noteRetry(slot, s.attempts, backoff, now);
         enqueue(slot, now + backoff);
     }
 
@@ -403,6 +422,7 @@ class Coordinator
             s.queued = false;
             ++s.attempts;
         }
+        _tel.noteGrant(slot, seatIndex(w), straggler, s.attempts, now);
     }
 
     void
@@ -466,6 +486,8 @@ class Coordinator
             if (w.slot < 0 || now < w.deadlineMs)
                 continue;
             ++_stats.leasesExpired;
+            _tel.noteLeaseExpired(seatIndex(w),
+                                  static_cast<std::size_t>(w.slot), now);
             losePeer(w, now);
         }
     }
@@ -515,6 +537,8 @@ class Coordinator
                      "slot %ld",
                      static_cast<unsigned long long>(msg.slot), w.slot);
         Slot &s = _slots[msg.slot];
+        _tel.noteResult(msg.slot, seatIndex(w), s.done,
+                        msg.fragment.size(), now);
         w.slot = -1;
         --s.activeLeases;
 
@@ -573,6 +597,7 @@ class Coordinator
     storeResult(Slot &s, std::uint64_t now)
     {
         (void)now;
+        const std::uint64_t put_start = nowMs();
         try {
             _store->put(s.key, s.fragment);
         } catch (const SimException &e) {
@@ -581,6 +606,9 @@ class Coordinator
             warn("farm: %s", e.error().format().c_str());
             return;
         }
+        const std::uint64_t put_end = nowMs();
+        _tel.noteStorePut(static_cast<std::size_t>(&s - _slots.data()),
+                          put_end - put_start, put_end);
         if (_inject.fire(FaultPoint::StoreBitFlip))
             flipStoredBit(s);
     }
@@ -640,7 +668,7 @@ class Coordinator
                     return;
                 }
                 try {
-                    admitPeer(w, frame);
+                    admitPeer(w, frame, now);
                 } catch (const SimException &) {
                     losePeer(w, now); // malformed Hello payload
                     return;
@@ -655,8 +683,32 @@ class Coordinator
                 try {
                     if (w.slot >= 0 &&
                         decodeHeartbeat(frame.payload) ==
-                            static_cast<std::uint64_t>(w.slot))
+                            static_cast<std::uint64_t>(w.slot)) {
                         w.deadlineMs = now + _opt.leaseMs;
+                        _tel.noteHeartbeat(
+                            seatIndex(w),
+                            static_cast<std::size_t>(w.slot), now);
+                    }
+                } catch (const SimException &) {
+                    losePeer(w, now);
+                    return;
+                }
+                break;
+            case FrameType::Stats:
+                // Observational only: record the worker's per-point
+                // telemetry, never let it steer scheduling.
+                try {
+                    const StatsMsg msg = decodeStats(frame.payload);
+                    sim_throw_if(
+                        w.slot < 0 ||
+                            msg.slot !=
+                                static_cast<std::uint64_t>(w.slot),
+                        ErrCode::WorkerLost,
+                        "farm: worker sent stats for slot %llu while "
+                        "leased slot %ld",
+                        static_cast<unsigned long long>(msg.slot),
+                        w.slot);
+                    _tel.noteWorkerStats(msg.slot, msg, now);
                 } catch (const SimException &) {
                     losePeer(w, now);
                     return;
@@ -707,6 +759,12 @@ class Coordinator
                 break;
             }
             std::uint64_t now = nowMs();
+            unsigned active = 0;
+            for (const Peer &p : _peers)
+                if (p.alive && p.ready)
+                    ++active;
+            _tel.tick(_doneCount, _slots.size(), active, _stats.retries,
+                      now);
             expireLeases(now);
             checkMinWorkers(now);
             if (failed())
@@ -841,6 +899,7 @@ class Coordinator
     std::vector<Slot> _slots;
     const FarmOptions &_opt;
     ResultStore *_store;
+    FarmTelemetry &_tel;
     const volatile std::sig_atomic_t *_stop;
     FaultInjector _inject; //!< coordinator-side draws (StoreBitFlip,
                            //!< LeaseWriteFail)
@@ -883,7 +942,16 @@ runFarm(const std::vector<sweep::SweepPoint> &points,
     sim_throw_if(options.minWorkers == 0, ErrCode::BadConfig,
                  "farm: --min-workers must be at least 1");
 
+    // Telemetry identity: stamp a run id before anything observable
+    // happens (the Challenge frame, progress files, and the manifest
+    // all carry it).
+    FarmOptions opt = options;
+    if (opt.runId.empty())
+        opt.runId = manifest::makeRunId("imo-farm");
+
+    const std::uint64_t farm_start = nowMs();
     FarmResult res;
+    res.runId = opt.runId;
     res.stats.points = points.size();
 
     // Content addressing builds and instruments each point's program,
@@ -930,19 +998,26 @@ runFarm(const std::vector<sweep::SweepPoint> &points,
     }
     res.stats.uniqueSlots = slots.size();
 
+    FarmTelemetry tel(opt, farm_start);
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        tel.describeSlot(i, slots[i].key.hex(),
+                         sweep::describePoint(slots[i].point));
+
     std::optional<ResultStore> store;
     if (!options.storeDir.empty()) {
         store.emplace(options.storeDir, options.resume);
-        for (Slot &s : slots) {
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            Slot &s = slots[i];
             if (store->get(s.key, &s.fragment) == StoreGet::Hit) {
                 s.done = true;
                 ++res.stats.storeHits;
+                tel.noteStoreHit(i, nowMs());
             }
         }
     }
 
-    Coordinator coord(std::move(slots), options,
-                      store ? &*store : nullptr, stop);
+    Coordinator coord(std::move(slots), opt,
+                      store ? &*store : nullptr, tel, stop);
     res.error = coord.run();
     res.stats.simulated = coord.stats().simulated;
     res.stats.retries = coord.stats().retries;
@@ -970,6 +1045,22 @@ runFarm(const std::vector<sweep::SweepPoint> &points,
         for (std::size_t i = 0; i < points.size(); ++i)
             res.fragments.push_back(slots[slot_of[i]].fragment);
     }
+
+    const std::uint64_t farm_end = nowMs();
+    res.elapsedMs = farm_end - farm_start;
+    std::size_t done_slots = 0;
+    for (const Slot &s : slots)
+        if (s.done)
+            ++done_slots;
+    const std::string status =
+        res.ok ? "ok"
+               : (res.error.code == ErrCode::Interrupted ? "interrupted"
+                                                         : "failed");
+    tel.finish(status, done_slots, slots.size(), res.stats.retries,
+               farm_end);
+    tel.dumpStats(res.stats, res.elapsedMs, &res.statsText,
+                  &res.statsJson);
+    res.slotRecords = tel.takeSlotRecords();
     return res;
 }
 

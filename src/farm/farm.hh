@@ -48,6 +48,11 @@
 #include "common/faultinject.hh"
 #include "sweep/sweep.hh"
 
+namespace imo::obs
+{
+class TraceSink;
+} // namespace imo::obs
+
 namespace imo::farm
 {
 
@@ -110,6 +115,27 @@ struct FarmOptions
      *  points are ignored here. Seed-deterministic per spawned
      *  worker. */
     FaultSchedule faults;
+
+    // --- Telemetry (observational only: none of these may change the
+    // --- merged report's bytes) -------------------------------------
+
+    /** Lease-timeline trace sink (categories farm/store/net); null
+     *  disables orchestration tracing. Not owned. */
+    obs::TraceSink *trace = nullptr;
+
+    /** Emit a rate-limited progress line on stderr. */
+    bool progress = false;
+
+    /** Minimum interval between progress emissions. */
+    std::uint64_t progressIntervalMs = 500;
+
+    /** Heartbeat JSON file rewritten (atomically) at the progress
+     *  cadence; empty disables. */
+    std::string progressJsonPath;
+
+    /** Run id stamped into manifests, worker logs (via the Challenge
+     *  frame), and the progress file. Generated when empty. */
+    std::string runId;
 };
 
 /** Observability counters of one farm run. */
@@ -129,6 +155,25 @@ struct FarmStats
     std::uint64_t remotesAdmitted = 0; //!< TCP peers through admission
 };
 
+/** Per-unique-slot operational record of one farm run: attempt counts
+ *  and wall-clock timings, in slot (first-appearance) order. Feeds the
+ *  run manifest; never feeds the report. */
+struct SlotRecord
+{
+    std::string keyHex; //!< content address, "" without a store
+    std::string desc;   //!< describePoint() of the slot's point
+    bool storeHit = false;
+    bool done = false;
+    std::uint32_t attempts = 0;    //!< lease grants (excl. stragglers)
+    std::uint64_t queueWaitMs = 0; //!< first enqueue -> first grant
+    std::uint64_t simulateMs = 0;  //!< worker-reported simulate wall
+    std::uint64_t serializeMs = 0; //!< worker-reported serialize wall
+    std::uint64_t storePutMs = 0;  //!< coordinator store-put wall
+    std::uint64_t startMs = 0;     //!< first grant, ms since run start
+    std::uint64_t endMs = 0;       //!< result accepted (or store hit)
+    std::uint64_t fragmentBytes = 0;
+};
+
 /** Outcome of a farm run. */
 struct FarmResult
 {
@@ -139,6 +184,13 @@ struct FarmResult
     /** Per input point, in grid order: the exact report-JSON fragment
      *  bytes (empty when !ok). */
     std::vector<std::vector<std::uint8_t>> fragments;
+
+    // --- Telemetry (always filled, ok or not) -----------------------
+    std::string runId;
+    std::uint64_t elapsedMs = 0;
+    std::vector<SlotRecord> slotRecords; //!< per unique slot
+    std::string statsText; //!< aggregated farm registry, text dump
+    std::string statsJson; //!< same registry as {"farm":{...}} JSON
 };
 
 /**

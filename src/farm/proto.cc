@@ -22,7 +22,7 @@ bool
 validFrameType(std::uint32_t t)
 {
     return t >= static_cast<std::uint32_t>(FrameType::Hello) &&
-           t <= static_cast<std::uint32_t>(FrameType::AuthReject);
+           t <= static_cast<std::uint32_t>(FrameType::Stats);
 }
 
 void
@@ -289,6 +289,7 @@ encodeChallenge(const ChallengeMsg &msg)
     s.u32(msg.protoVersion);
     s.u32(msg.schemaVersion);
     s.u64(msg.nonce);
+    s.str(msg.runId);
     s.endSection();
     return s.finish();
 }
@@ -303,6 +304,7 @@ decodeChallenge(const std::vector<std::uint8_t> &payload)
         msg.protoVersion = d.u32();
         msg.schemaVersion = d.u32();
         msg.nonce = d.u64();
+        msg.runId = d.str();
         d.closeSection();
         return msg;
     });
@@ -443,6 +445,35 @@ decodeError(const std::vector<std::uint8_t> &payload)
         const std::uint32_t notes = d.u32();
         for (std::uint32_t i = 0; i < notes; ++i)
             msg.error.context.push_back(d.str());
+        d.closeSection();
+        return msg;
+    });
+}
+
+std::vector<std::uint8_t>
+encodeStats(const StatsMsg &msg)
+{
+    Serializer s;
+    s.beginSection("stats");
+    s.u64(msg.slot);
+    s.u64(msg.simulateMs);
+    s.u64(msg.serializeMs);
+    s.str(msg.statsJson);
+    s.endSection();
+    return s.finish();
+}
+
+StatsMsg
+decodeStats(const std::vector<std::uint8_t> &payload)
+{
+    return decodePayload("stats", [&] {
+        Deserializer d(payload);
+        d.openSection("stats");
+        StatsMsg msg;
+        msg.slot = d.u64();
+        msg.simulateMs = d.u64();
+        msg.serializeMs = d.u64();
+        msg.statsJson = d.str();
         d.closeSection();
         return msg;
     });

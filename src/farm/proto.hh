@@ -41,8 +41,10 @@ namespace imo::farm
  *  v1: Hello/Lease/Heartbeat/Result/Shutdown/Error over pipes.
  *  v2: Challenge/AuthReject admission handshake (versioned,
  *      token-authenticated) for socket transports.
+ *  v3: Stats telemetry frame (worker per-point timings + stats JSON);
+ *      Challenge carries the coordinator's run id.
  */
-constexpr std::uint32_t protocolVersion = 2;
+constexpr std::uint32_t protocolVersion = 3;
 
 /** Wire message types. */
 enum class FrameType : std::uint32_t
@@ -59,6 +61,8 @@ enum class FrameType : std::uint32_t
                     //!< protocol/schema versions
     AuthReject = 8, //!< coordinator -> worker: admission denied
                     //!< (structured AuthFailed; do not reconnect)
+    Stats = 9,      //!< worker -> coordinator: per-point telemetry
+                    //!< (timings + stats JSON), sent before Result
 };
 
 /** One parsed frame. */
@@ -125,6 +129,7 @@ struct ChallengeMsg
     std::uint32_t protoVersion = protocolVersion;
     std::uint32_t schemaVersion = sweep::reportSchemaVersion;
     std::uint64_t nonce = 0;
+    std::string runId; //!< coordinator run id, for joinable worker logs
 };
 
 /** Hello: the worker's challenge response. */
@@ -168,6 +173,17 @@ struct ErrorMsg
     SimError error;
 };
 
+/** Stats: one point's worker-side telemetry, sent immediately before
+ *  the matching Result. Purely observational — a coordinator may drop
+ *  it without affecting the merged report. */
+struct StatsMsg
+{
+    std::uint64_t slot = 0;
+    std::uint64_t simulateMs = 0;  //!< wall time in sweep::runPoint
+    std::uint64_t serializeMs = 0; //!< wall time serializing the fragment
+    std::string statsJson;         //!< per-point stats dump, may be empty
+};
+
 std::vector<std::uint8_t> encodeChallenge(const ChallengeMsg &msg);
 ChallengeMsg decodeChallenge(const std::vector<std::uint8_t> &payload);
 
@@ -185,6 +201,9 @@ ResultMsg decodeResult(const std::vector<std::uint8_t> &payload);
 
 std::vector<std::uint8_t> encodeError(const ErrorMsg &msg);
 ErrorMsg decodeError(const std::vector<std::uint8_t> &payload);
+
+std::vector<std::uint8_t> encodeStats(const StatsMsg &msg);
+StatsMsg decodeStats(const std::vector<std::uint8_t> &payload);
 
 } // namespace imo::farm
 

@@ -17,12 +17,23 @@
 #include "common/logging.hh"
 #include "farm/transport.hh"
 #include "sweep/engine.hh"
+#include "sweep/sweep.hh"
 
 namespace imo::farm
 {
 
 namespace
 {
+
+/** Wall-clock milliseconds (steady), for worker-side timings. */
+std::uint64_t
+steadyMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 /**
  * Frame writer shared by the session's main loop and its heartbeat
@@ -167,6 +178,14 @@ serveSession(int rfd, int wfd, const SessionParams &params,
     const bool is_socket = rfd == wfd;
     Writer writer(wfd, is_socket, inject);
 
+    std::string run_id;
+    const auto event = [&](const char *name, std::uint64_t slot,
+                           std::string detail = {}) {
+        if (params.onEvent)
+            params.onEvent(
+                SessionEvent{name, slot, run_id, std::move(detail)});
+    };
+
     // --- Admission handshake ----------------------------------------
     Frame frame;
     switch (waitFrame(rfd, &frame, stop)) {
@@ -186,6 +205,8 @@ serveSession(int rfd, int wfd, const SessionParams &params,
                  "report schema v%u; this worker speaks v%u / v%u",
                  challenge.protoVersion, challenge.schemaVersion,
                  protocolVersion, sweep::reportSchemaVersion);
+    run_id = challenge.runId;
+    event("challenge", 0);
 
     HelloMsg hello;
     hello.response = authDigest(params.token, challenge.nonce);
@@ -211,6 +232,7 @@ serveSession(int rfd, int wfd, const SessionParams &params,
         if (frame.type == FrameType::Shutdown) {
             if (admitted)
                 *admitted = true;
+            event("shutdown", 0);
             return SessionEnd::ShutdownReceived;
         }
         if (frame.type == FrameType::AuthReject) {
@@ -220,6 +242,7 @@ serveSession(int rfd, int wfd, const SessionParams &params,
             SimError err = decodeError(frame.payload).error;
             if (err.code != ErrCode::AuthFailed)
                 err.code = ErrCode::AuthFailed;
+            event("auth-reject", 0, err.format());
             throw SimException(std::move(err));
         }
         sim_throw_if(frame.type != FrameType::Lease, ErrCode::WorkerLost,
@@ -229,13 +252,17 @@ serveSession(int rfd, int wfd, const SessionParams &params,
         if (admitted)
             *admitted = true;
         const LeaseMsg lease = decodeLease(frame.payload);
+        event("lease", lease.slot, sweep::describePoint(lease.point));
 
         if (inject.fire(FaultPoint::WorkerKill)) {
             // Crash / preemption: die without a word mid-lease.
+            event("fault-worker-kill", lease.slot);
             ::kill(::getpid(), SIGKILL);
         }
-        if (inject.fire(FaultPoint::WorkerStall))
+        if (inject.fire(FaultPoint::WorkerStall)) {
+            event("fault-worker-stall", lease.slot);
             hangUntilPeerGone(rfd, stop);
+        }
 
         // Heartbeat while the simulation runs, so a long point is
         // distinguishable from a dead worker.
@@ -258,9 +285,26 @@ serveSession(int rfd, int wfd, const SessionParams &params,
         std::ostringstream fragment;
         bool sim_ok = true;
         SimError sim_err;
+        StatsMsg point_stats;
+        point_stats.slot = lease.slot;
         try {
-            sweep::writePointJson(fragment,
-                                  sweep::runPoint(lease.point));
+            const std::uint64_t t0 = steadyMs();
+            const sweep::SweepOutcome outcome =
+                sweep::runPoint(lease.point);
+            const std::uint64_t t1 = steadyMs();
+            sweep::writePointJson(fragment, outcome);
+            const std::uint64_t t2 = steadyMs();
+            point_stats.simulateMs = t1 - t0;
+            point_stats.serializeMs = t2 - t1;
+            // Compact per-point stats for farm-level aggregation
+            // (zeros for a sampled point, whose result is an
+            // estimate). The report fragment stays the only source of
+            // truth for the merged report.
+            point_stats.statsJson = simFormat(
+                "{\"cycles\":%llu,\"instructions\":%llu}",
+                static_cast<unsigned long long>(outcome.result.cycles),
+                static_cast<unsigned long long>(
+                    outcome.result.instructions));
         } catch (const SimException &e) {
             sim_ok = false;
             sim_err = e.error();
@@ -276,6 +320,7 @@ serveSession(int rfd, int wfd, const SessionParams &params,
             // lease/retry budget.
             std::fprintf(stderr, "imo-farm worker: point failed: %s\n",
                          sim_err.format().c_str());
+            event("error", lease.slot, sim_err.format());
             ErrorMsg err;
             err.slot = lease.slot;
             err.error = std::move(sim_err);
@@ -285,15 +330,28 @@ serveSession(int rfd, int wfd, const SessionParams &params,
 
         if (inject.fire(FaultPoint::DroppedResult)) {
             // Completed but the result is lost in transit: fall
-            // silent. The lease expires and the point is retried.
+            // silent. The lease expires and the point is retried —
+            // the Stats frame below is intentionally dropped with it.
+            event("fault-dropped-result", lease.slot);
             hangUntilPeerGone(rfd, stop);
         }
+
+        // Per-point timings/stats ride immediately ahead of the
+        // result, so the coordinator attributes them to this lease.
+        // Protocol v2 coordinators never see this frame (the version
+        // handshake rejects the session first).
+        writer.send(FrameType::Stats, encodeStats(point_stats));
 
         ResultMsg result;
         result.slot = lease.slot;
         const std::string &text = fragment.str();
         result.fragment.assign(text.begin(), text.end());
         writer.send(FrameType::Result, encodeResult(result));
+        event("result", lease.slot,
+              simFormat("%zu bytes, %llu ms simulate",
+                        text.size(),
+                        static_cast<unsigned long long>(
+                            point_stats.simulateMs)));
     }
 }
 
@@ -312,6 +370,7 @@ runWorker(const WorkerOptions &options,
     SessionParams params;
     params.token = options.token;
     params.heartbeatMs = options.heartbeatMs;
+    params.onEvent = options.onEvent;
 
     unsigned failures = 0;
     for (;;) {

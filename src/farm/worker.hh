@@ -23,6 +23,7 @@
 
 #include <csignal>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/error.hh"
@@ -31,11 +32,27 @@
 namespace imo::farm
 {
 
+/** One observable moment of a worker session, surfaced to the
+ *  embedding tool (imo-worker --log-json). The run id is the
+ *  coordinator's, learned from the Challenge frame, so logs from many
+ *  machines join on it. */
+struct SessionEvent
+{
+    const char *name = ""; //!< "admitted", "lease", "result", ...
+    std::uint64_t slot = 0;
+    std::string runId;     //!< empty before the Challenge arrives
+    std::string detail;    //!< point description or error text
+};
+
 /** Knobs shared by both session flavors. */
 struct SessionParams
 {
     std::string token;               //!< admission shared secret
     std::uint64_t heartbeatMs = 200; //!< heartbeat period mid-lease
+
+    /** Optional observer of session milestones (never on the
+     *  per-instruction hot path; at most a few calls per lease). */
+    std::function<void(const SessionEvent &)> onEvent;
 };
 
 /** Why a session ended (exceptional ends throw SimException). */
@@ -84,6 +101,9 @@ struct WorkerOptions
      *  dropped-result / conn-drop / conn-stutter /
      *  handshake-corrupt). */
     FaultSchedule faults;
+
+    /** Forwarded into every session's SessionParams::onEvent. */
+    std::function<void(const SessionEvent &)> onEvent;
 };
 
 /**

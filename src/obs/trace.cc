@@ -18,6 +18,10 @@ catName(Cat c)
       case Cat::Mshr: return "mshr";
       case Cat::Trap: return "trap";
       case Cat::Coh: return "coh";
+      case Cat::Sweep: return "sweep";
+      case Cat::Farm: return "farm";
+      case Cat::Store: return "store";
+      case Cat::Net: return "net";
     }
     return "?";
 }
@@ -50,9 +54,18 @@ parseTraceCategories(const std::string &csv, std::uint32_t &mask,
             mask |= static_cast<std::uint32_t>(Cat::Trap);
         } else if (tok == "coh") {
             mask |= static_cast<std::uint32_t>(Cat::Coh);
+        } else if (tok == "sweep") {
+            mask |= static_cast<std::uint32_t>(Cat::Sweep);
+        } else if (tok == "farm") {
+            mask |= static_cast<std::uint32_t>(Cat::Farm);
+        } else if (tok == "store") {
+            mask |= static_cast<std::uint32_t>(Cat::Store);
+        } else if (tok == "net") {
+            mask |= static_cast<std::uint32_t>(Cat::Net);
         } else {
             err = "unknown trace category '" + tok +
-                  "' (expected fetch,issue,grad,mem,mshr,trap,coh,all)";
+                  "' (expected fetch,issue,grad,mem,mshr,trap,coh,"
+                  "sweep,farm,store,net,all)";
             return false;
         }
     }
@@ -72,6 +85,8 @@ TraceSink::writeJsonl(std::ostream &os) const
            << e.pc << ",\"a0\":" << e.a0 << ",\"a1\":" << e.a1;
         if (e.dur)
             os << ",\"dur\":" << e.dur;
+        if (e.tid)
+            os << ",\"tid\":" << e.tid;
         os << "}\n";
     }
 }
@@ -88,7 +103,8 @@ TraceSink::writeChromeTrace(std::ostream &os) const
             os << ",";
         first = false;
         os << "\n{\"name\":\"" << stats::jsonEscape(e.name) << "\",\"cat\":\""
-           << catName(e.cat) << "\",\"pid\":1,\"tid\":1,\"ts\":" << e.cycle;
+           << catName(e.cat) << "\",\"pid\":1,\"tid\":"
+           << (e.tid ? e.tid : 1u) << ",\"ts\":" << e.cycle;
         if (e.dur)
             os << ",\"ph\":\"X\",\"dur\":" << e.dur;
         else
@@ -97,6 +113,25 @@ TraceSink::writeChromeTrace(std::ostream &os) const
            << ",\"a1\":" << e.a1 << "}}";
     }
     os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void
+TraceSink::registerStats(stats::StatGroup &parent) const
+{
+    stats::StatGroup &g = parent.childGroup("trace");
+    g.make<stats::Value>("recorded", "trace events held in the buffer",
+                         [this] { return std::uint64_t(_events.size()); });
+    g.make<stats::Value>("dropped",
+                         "trace events dropped at the buffer capacity",
+                         [this] { return _dropped; });
+    static constexpr Cat kCats[] = {
+        Cat::Fetch, Cat::Issue, Cat::Grad, Cat::Mem,  Cat::Mshr, Cat::Trap,
+        Cat::Coh,   Cat::Sweep, Cat::Farm, Cat::Store, Cat::Net,
+    };
+    for (Cat c : kCats) {
+        g.make<stats::Value>(catName(c), "events recorded in this category",
+                             [this, c] { return categoryCount(c); });
+    }
 }
 
 } // namespace imo::obs

@@ -20,6 +20,8 @@
 #ifndef IMO_OBS_TRACE_HH
 #define IMO_OBS_TRACE_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -27,10 +29,19 @@
 
 #include "common/types.hh"
 
+namespace imo::stats
+{
+class StatGroup;
+} // namespace imo::stats
+
 namespace imo::obs
 {
 
-/** Trace event categories; a TraceSink filters on a bitmask of them. */
+/** Trace event categories; a TraceSink filters on a bitmask of them.
+ *  The first seven are per-cycle simulation events (1 trace tick =
+ *  1 simulated cycle); the orchestration categories (sweep/farm/store/
+ *  net) are recorded by the sweep and farm execution tiers in
+ *  wall-clock milliseconds (1 trace tick = 1 ms). */
 enum class Cat : std::uint32_t
 {
     Fetch = 1u << 0,  //!< front-end: fetch/flush
@@ -40,9 +51,22 @@ enum class Cat : std::uint32_t
     Mshr = 1u << 4,   //!< MSHR alloc / merge / free / squash-extend
     Trap = 1u << 5,   //!< informing trap enter / exit
     Coh = 1u << 6,    //!< coherence protocol events (diag-ring vocabulary)
+    Sweep = 1u << 7,  //!< sweep engine: per-point execution spans
+    Farm = 1u << 8,   //!< coordinator scheduling: leases, retries
+    Store = 1u << 9,  //!< result-store hits / puts / repairs
+    Net = 1u << 10,   //!< admission, auth, peer connect/loss
 };
 
-constexpr std::uint32_t allCategories = 0x7f;
+constexpr std::uint32_t allCategories = 0x7ff;
+constexpr std::size_t numCategories = 11;
+
+/** Dense index of a (single-bit) category, for per-category counters. */
+constexpr std::size_t
+catIndex(Cat c)
+{
+    return static_cast<std::size_t>(
+        std::countr_zero(static_cast<std::uint32_t>(c)));
+}
 
 /** Short lowercase name of a category (e.g. "mem"). */
 const char *catName(Cat c);
@@ -64,6 +88,7 @@ struct TraceEvent
     std::uint64_t pc = 0;
     std::uint64_t a0 = 0;
     std::uint64_t a1 = 0;
+    std::uint32_t tid = 0; //!< track id; 0 renders on the default track
 };
 
 class TraceSink
@@ -83,11 +108,12 @@ class TraceSink
 
     void
     record(Cycle cycle, Cat cat, const char *name, std::uint64_t pc = 0,
-           std::uint64_t a0 = 0, std::uint64_t a1 = 0, Cycle dur = 0)
+           std::uint64_t a0 = 0, std::uint64_t a1 = 0, Cycle dur = 0,
+           std::uint32_t tid = 0)
     {
         if (!wants(cat))
             return;
-        recordUnchecked(cycle, cat, name, pc, a0, a1, dur);
+        recordUnchecked(cycle, cat, name, pc, a0, a1, dur, tid);
     }
 
     /** record() without the category test — for call sites (IMO_TRACE)
@@ -95,13 +121,15 @@ class TraceSink
     void
     recordUnchecked(Cycle cycle, Cat cat, const char *name,
                     std::uint64_t pc = 0, std::uint64_t a0 = 0,
-                    std::uint64_t a1 = 0, Cycle dur = 0)
+                    std::uint64_t a1 = 0, Cycle dur = 0,
+                    std::uint32_t tid = 0)
     {
         if (_events.size() >= _capacity) {
             ++_dropped;
             return;
         }
-        _events.push_back({cycle, dur, cat, name, pc, a0, a1});
+        ++_catCounts[catIndex(cat)];
+        _events.push_back({cycle, dur, cat, name, pc, a0, a1, tid});
     }
 
     /** Cap the in-memory buffer (default one million events). */
@@ -111,11 +139,20 @@ class TraceSink
     std::uint64_t dropped() const { return _dropped; }
     const std::vector<TraceEvent> &events() const { return _events; }
 
+    /** Number of events recorded (not dropped) in category @p c. */
+    std::uint64_t categoryCount(Cat c) const { return _catCounts[catIndex(c)]; }
+
+    /** Register pull stats (`trace.recorded`, `trace.dropped`, one
+     *  counter per category) under @p parent. The sink must outlive the
+     *  registry dump. */
+    void registerStats(stats::StatGroup &parent) const;
+
     void
     clear()
     {
         _events.clear();
         _dropped = 0;
+        _catCounts.fill(0);
     }
 
     /** One JSON object per line. */
@@ -129,6 +166,7 @@ class TraceSink
     std::uint32_t _mask = 0;
     std::size_t _capacity = 1'000'000;
     std::uint64_t _dropped = 0;
+    std::array<std::uint64_t, numCategories> _catCounts{};
     std::vector<TraceEvent> _events;
 };
 

@@ -120,6 +120,10 @@ captureStats(const MachineConfig &config, func::Executor &exec, Cpu &cpu)
     stats::StatGroup root("sim");
     exec.registerStats(root);
     cpu.registerStats(root);
+    // Trace-buffer health (record/drop counts) rides in the same dump
+    // so truncated traces are visible in --stats-json, not just as a
+    // CLI warning.
+    config.obs->trace.registerStats(root.childGroup("obs"));
     std::ostringstream text;
     root.dump(text);
     config.obs->statsText = text.str();

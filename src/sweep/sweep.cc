@@ -1,6 +1,9 @@
 #include "sweep/sweep.hh"
 
+#include <chrono>
+#include <functional>
 #include <ostream>
+#include <thread>
 
 #include "common/error.hh"
 #include "pipeline/simulate.hh"
@@ -120,12 +123,40 @@ runPoint(const SweepPoint &point)
 std::vector<SweepOutcome>
 runSweep(const std::vector<SweepPoint> &points, unsigned jobs,
          const volatile std::sig_atomic_t *cancel,
-         std::vector<std::uint8_t> *completed)
+         std::vector<std::uint8_t> *completed,
+         std::vector<PointTiming> *timings)
 {
+    if (timings) {
+        timings->clear();
+        timings->resize(points.size());
+    }
+    const auto steady_ms = [] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    };
     std::vector<std::function<SweepOutcome()>> tasks;
     tasks.reserve(points.size());
-    for (const SweepPoint &p : points)
-        tasks.emplace_back([p] { return runPoint(p); });
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        if (!timings) {
+            tasks.emplace_back([p] { return runPoint(p); });
+            continue;
+        }
+        // Each task writes only its own timing slot; the vector is
+        // pre-sized above, so no synchronisation is needed.
+        PointTiming *t = &(*timings)[i];
+        tasks.emplace_back([p, t, steady_ms] {
+            t->startMs = steady_ms();
+            t->threadId = std::hash<std::thread::id>{}(
+                std::this_thread::get_id());
+            SweepOutcome out = runPoint(p);
+            t->endMs = steady_ms();
+            t->ran = true;
+            return out;
+        });
+    }
     return runOrdered(tasks, jobs, cancel, completed);
 }
 

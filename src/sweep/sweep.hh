@@ -106,6 +106,16 @@ struct SweepOutcome
  */
 SweepOutcome runPoint(const SweepPoint &point);
 
+/** Wall-clock execution record of one sweep point — observability
+ *  only (lease timelines, manifests); never part of the report. */
+struct PointTiming
+{
+    std::uint64_t startMs = 0;  //!< steady-clock ms, process-relative
+    std::uint64_t endMs = 0;
+    std::uint64_t threadId = 0; //!< opaque; equal values = same thread
+    bool ran = false;           //!< false when cancelled before start
+};
+
 /**
  * Run every point with @p jobs worker threads. Each point builds its
  * own program and machine from scratch (no shared mutable state), so
@@ -114,11 +124,16 @@ SweepOutcome runPoint(const SweepPoint &point);
  *
  * @p cancel / @p completed (both optional) add cooperative
  * cancellation: see runOrdered().
+ *
+ * @p timings (optional) is resized to points.size() and timings[i] is
+ * written by the task running point i (no cross-task sharing); it must
+ * outlive the call.
  */
 std::vector<SweepOutcome> runSweep(
     const std::vector<SweepPoint> &points, unsigned jobs,
     const volatile std::sig_atomic_t *cancel = nullptr,
-    std::vector<std::uint8_t> *completed = nullptr);
+    std::vector<std::uint8_t> *completed = nullptr,
+    std::vector<PointTiming> *timings = nullptr);
 
 /**
  * Write one point's report object (the bytes between the braces of one

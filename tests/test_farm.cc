@@ -35,6 +35,7 @@
 #include "common/error.hh"
 #include "common/rng.hh"
 #include "farm/farm.hh"
+#include "obs/trace.hh"
 #include "farm/proto.hh"
 #include "farm/store.hh"
 #include "farm/worker.hh"
@@ -336,6 +337,58 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return name;
     });
+
+/** The lease-timeline trace must show the worker-kill retry, and
+ *  attaching it must not perturb the merged report or fragments —
+ *  telemetry is observational only. */
+TEST(FarmTrace, ChaosTimelineShowsRetryWithoutPerturbingReport)
+{
+    const std::vector<sweep::SweepPoint> pts = smallPoints();
+
+    farm::FarmOptions opt;
+    opt.workers = 2;
+    opt.leaseMs = 1500;
+    opt.heartbeatMs = 50;
+    opt.backoffBaseMs = 5;
+    opt.backoffCapMs = 50;
+    opt.maxAttempts = 30;
+    opt.faults.seed = 17;
+    opt.faults.setProbability(FaultPoint::WorkerKill, 0.5);
+
+    const farm::FarmResult plain = farm::runFarm(pts, opt);
+    ASSERT_TRUE(plain.ok) << plain.error.format();
+
+    obs::TraceSink trace;
+    trace.enable(static_cast<std::uint32_t>(obs::Cat::Sweep) |
+                 static_cast<std::uint32_t>(obs::Cat::Farm) |
+                 static_cast<std::uint32_t>(obs::Cat::Store) |
+                 static_cast<std::uint32_t>(obs::Cat::Net));
+    opt.trace = &trace;
+    const farm::FarmResult traced = farm::runFarm(pts, opt);
+    ASSERT_TRUE(traced.ok) << traced.error.format();
+
+    EXPECT_EQ(farmReport(traced), farmReport(plain));
+    ASSERT_EQ(traced.fragments.size(), plain.fragments.size());
+    for (std::size_t i = 0; i < plain.fragments.size(); ++i)
+        EXPECT_EQ(traced.fragments[i], plain.fragments[i]) << i;
+
+    // The same seeded fault schedule ran, so the timeline must carry
+    // at least one retry instant and one completed lease span.
+    bool saw_retry = false;
+    bool saw_lease_span = false;
+    for (const obs::TraceEvent &e : trace.events()) {
+        const std::string name = e.name;
+        if (name == "retry")
+            saw_retry = true;
+        if (e.cat == obs::Cat::Farm && name == "lease" && e.dur > 0 &&
+            e.tid != 0)
+            saw_lease_span = true;
+    }
+    EXPECT_GT(traced.stats.retries, 0u);
+    EXPECT_TRUE(saw_retry) << "no retry instant in the lease timeline";
+    EXPECT_TRUE(saw_lease_span) << "no completed lease span on a "
+                                   "worker track";
+}
 
 TEST(Farm, DeterministicPointFailureFailsFast)
 {

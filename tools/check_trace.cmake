@@ -1,6 +1,11 @@
 # Sanity-check an emitted trace file from ctest without external
 # tooling: ${TRACE} must exist, be non-empty, and carry the expected
-# serialization envelope for ${MODE} (chrome | jsonl).
+# serialization envelope for ${MODE} (chrome | jsonl). Chrome traces
+# are additionally parsed as JSON (cmake's string(JSON)) and every
+# complete-event span is checked for a well-formed non-negative
+# duration, so a Perfetto load cannot fail on what ctest passed.
+# Optional gates: ${EXPECT_NAME} requires at least one event with that
+# name; ${EXPECT_CAT} requires at least one event in that category.
 if(NOT EXISTS "${TRACE}")
     message(FATAL_ERROR "trace file ${TRACE} was not written")
 endif()
@@ -16,6 +21,79 @@ if(MODE STREQUAL "chrome")
     endif()
     if(NOT contents MATCHES "\\}$")
         message(FATAL_ERROR "truncated Chrome trace: ${TRACE}")
+    endif()
+
+    # The file must parse as one JSON document.
+    string(JSON err ERROR_VARIABLE json_err GET "${contents}"
+           displayTimeUnit)
+    if(NOT json_err STREQUAL "NOTFOUND")
+        message(FATAL_ERROR
+                "Chrome trace ${TRACE} is not valid JSON: ${json_err}")
+    endif()
+
+    string(JSON num_events ERROR_VARIABLE json_err
+           LENGTH "${contents}" traceEvents)
+    if(NOT json_err STREQUAL "NOTFOUND")
+        message(FATAL_ERROR
+                "Chrome trace ${TRACE}: traceEvents is not an array: "
+                "${json_err}")
+    endif()
+
+    # Walk the events (capped so a huge trace cannot stall ctest):
+    # every ph:"X" span needs dur >= 0, every event needs name/ts.
+    set(check_limit 2000)
+    if(num_events LESS check_limit)
+        set(check_limit ${num_events})
+    endif()
+    set(found_name 0)
+    set(found_cat 0)
+    math(EXPR last "${check_limit} - 1")
+    if(last GREATER_EQUAL 0)
+        foreach(i RANGE 0 ${last})
+            string(JSON ev GET "${contents}" traceEvents ${i})
+            string(JSON name ERROR_VARIABLE name_err GET "${ev}" name)
+            string(JSON ts ERROR_VARIABLE ts_err GET "${ev}" ts)
+            if(NOT name_err STREQUAL "NOTFOUND" OR
+               NOT ts_err STREQUAL "NOTFOUND")
+                message(FATAL_ERROR
+                        "Chrome trace ${TRACE}: event ${i} lacks "
+                        "name/ts: ${ev}")
+            endif()
+            string(JSON ph ERROR_VARIABLE ph_err GET "${ev}" ph)
+            if(ph_err STREQUAL "NOTFOUND" AND ph STREQUAL "X")
+                string(JSON dur ERROR_VARIABLE dur_err GET "${ev}" dur)
+                if(NOT dur_err STREQUAL "NOTFOUND")
+                    message(FATAL_ERROR
+                            "Chrome trace ${TRACE}: complete event "
+                            "${i} ('${name}') has no dur")
+                endif()
+                if(dur LESS 0)
+                    message(FATAL_ERROR
+                            "Chrome trace ${TRACE}: complete event "
+                            "${i} ('${name}') has negative dur ${dur}")
+                endif()
+            endif()
+            if(DEFINED EXPECT_NAME AND name STREQUAL "${EXPECT_NAME}")
+                set(found_name 1)
+            endif()
+            if(DEFINED EXPECT_CAT)
+                string(JSON cat ERROR_VARIABLE cat_err GET "${ev}" cat)
+                if(cat_err STREQUAL "NOTFOUND" AND
+                   cat STREQUAL "${EXPECT_CAT}")
+                    set(found_cat 1)
+                endif()
+            endif()
+        endforeach()
+    endif()
+    if(DEFINED EXPECT_NAME AND NOT found_name)
+        message(FATAL_ERROR
+                "Chrome trace ${TRACE}: no event named "
+                "'${EXPECT_NAME}' in the first ${check_limit} events")
+    endif()
+    if(DEFINED EXPECT_CAT AND NOT found_cat)
+        message(FATAL_ERROR
+                "Chrome trace ${TRACE}: no event in category "
+                "'${EXPECT_CAT}' in the first ${check_limit} events")
     endif()
 elseif(MODE STREQUAL "jsonl")
     if(NOT contents MATCHES "^\\{\"cycle\":")

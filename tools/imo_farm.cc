@@ -38,7 +38,10 @@
 #include "common/error.hh"
 #include "common/faultinject.hh"
 #include "common/logging.hh"
+#include "common/manifest.hh"
 #include "farm/farm.hh"
+#include "farm/proto.hh"
+#include "obs/trace.hh"
 #include "sweep/gridcli.hh"
 #include "sweep/sweep.hh"
 
@@ -113,6 +116,30 @@ usage()
         "  --fault-seed N          fault-injection RNG seed\n"
         "  --out PATH              merged JSON report ('-' for stdout, "
         "the default)\n"
+        "  --trace-out PATH        write the lease-timeline trace "
+        "(categories\n"
+        "                          sweep,farm,store,net; one track per "
+        "worker)\n"
+        "  --trace-format F        chrome (trace_event JSON, default) "
+        "or jsonl\n"
+        "  --progress              rate-limited progress line on "
+        "stderr\n"
+        "  --no-progress           suppress the progress line\n"
+        "  --progress-json PATH    machine-readable progress heartbeat "
+        "file,\n"
+        "                          rewritten atomically at the progress "
+        "cadence\n"
+        "  --progress-interval-ms N  progress cadence (default 500)\n"
+        "  --manifest PATH         write a versioned run manifest "
+        "(run id, per-point\n"
+        "                          timings and attempt counts, final "
+        "status)\n"
+        "  --stats                 print the aggregated farm stats tree "
+        "on stderr\n"
+        "  --stats-json PATH       write the aggregated farm stats as "
+        "JSON ('-' for\n"
+        "                          stdout)\n"
+        "  --run-id ID             override the generated run id\n"
         "  --list                  print the expanded grid and exit\n"
         "  --quiet                 suppress warn/info diagnostics\n",
         sweep::gridAxesHelp());
@@ -184,6 +211,14 @@ main(int argc, char **argv)
     std::string port_file;
     std::string workers_text; //!< parsed after --listen is known
     bool list_only = false;
+    std::string trace_path;
+    std::string trace_format = "chrome";
+    std::string manifest_path;
+    bool want_stats = false;
+    std::string stats_json_path;
+    std::string fault_spec_joined; //!< verbatim specs, for the manifest
+
+    const std::vector<std::string> cli_args(argv + 1, argv + argc);
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -245,11 +280,37 @@ main(int argc, char **argv)
                                  spec.c_str());
                     return usage();
                 }
+                if (!fault_spec_joined.empty())
+                    fault_spec_joined += ',';
+                fault_spec_joined += spec;
             } else if (arg == "--fault-seed") {
                 opt.faults.seed =
                     sweep::parseU64(value(), "--fault-seed");
             } else if (arg == "--out") {
                 out_path = value();
+            } else if (arg == "--trace-out") {
+                trace_path = value();
+            } else if (arg == "--trace-format") {
+                trace_format = value();
+                if (trace_format != "chrome" && trace_format != "jsonl")
+                    return usage();
+            } else if (arg == "--progress") {
+                opt.progress = true;
+            } else if (arg == "--no-progress") {
+                opt.progress = false;
+            } else if (arg == "--progress-json") {
+                opt.progressJsonPath = value();
+            } else if (arg == "--progress-interval-ms") {
+                opt.progressIntervalMs = sweep::parseU64(
+                    value(), "--progress-interval-ms");
+            } else if (arg == "--manifest") {
+                manifest_path = value();
+            } else if (arg == "--stats") {
+                want_stats = true;
+            } else if (arg == "--stats-json") {
+                stats_json_path = value();
+            } else if (arg == "--run-id") {
+                opt.runId = value();
             } else if (arg == "--list") {
                 list_only = true;
             } else if (arg == "--quiet") {
@@ -309,8 +370,91 @@ main(int argc, char **argv)
             ::sigaction(SIGTERM, &sa, nullptr);
         }
 
+        // The lease-timeline sink lives in the coordinator process
+        // only; forked workers never touch it.
+        obs::TraceSink trace;
+        if (!trace_path.empty()) {
+            trace.enable(static_cast<std::uint32_t>(obs::Cat::Sweep) |
+                         static_cast<std::uint32_t>(obs::Cat::Farm) |
+                         static_cast<std::uint32_t>(obs::Cat::Store) |
+                         static_cast<std::uint32_t>(obs::Cat::Net));
+            opt.trace = &trace;
+        }
+
         const farm::FarmResult res =
             farm::runFarm(points, opt, &g_stop);
+
+        // Telemetry artifacts are written on success and failure alike:
+        // a post-mortem needs them most when the run went wrong.
+        if (!trace_path.empty()) {
+            std::ofstream out(trace_path);
+            sim_throw_if(!out, ErrCode::BadConfig,
+                         "imo-farm: cannot write '%s'",
+                         trace_path.c_str());
+            if (trace_format == "chrome")
+                trace.writeChromeTrace(out);
+            else
+                trace.writeJsonl(out);
+            if (trace.dropped())
+                warn("trace capacity reached: %llu events dropped",
+                     static_cast<unsigned long long>(trace.dropped()));
+        }
+        if (!manifest_path.empty()) {
+            manifest::Manifest m;
+            m.tool = "imo-farm";
+            m.runId = res.runId;
+            m.args = cli_args;
+            m.reportSchemaVersion = sweep::reportSchemaVersion;
+            m.protocolVersion = farm::protocolVersion;
+            m.faultSpec = fault_spec_joined;
+            m.faultSeed = opt.faults.seed;
+            m.status = res.ok ? "ok"
+                              : (res.error.code == ErrCode::Interrupted
+                                     ? "interrupted"
+                                     : "failed");
+            if (!res.ok) {
+                m.errorCode = errCodeName(res.error.code);
+                m.errorMessage = res.error.message;
+            }
+            m.elapsedMs = res.elapsedMs;
+            m.pointsTotal = res.slotRecords.size();
+            for (const farm::SlotRecord &r : res.slotRecords) {
+                manifest::PointEntry e;
+                e.key = r.keyHex;
+                e.desc = r.desc;
+                e.status = r.done ? "ok" : "failed";
+                e.storeHit = r.storeHit;
+                e.attempts = r.attempts;
+                e.queueWaitMs = r.queueWaitMs;
+                e.simulateMs = r.simulateMs;
+                e.serializeMs = r.serializeMs;
+                e.storePutMs = r.storePutMs;
+                e.startMs = r.startMs;
+                e.endMs = r.endMs;
+                if (r.done)
+                    ++m.pointsDone;
+                else if (!res.ok)
+                    e.error = res.error.message;
+                m.points.push_back(std::move(e));
+            }
+            m.statsJson = res.statsJson;
+            std::string err;
+            if (!manifest::writeManifestFile(manifest_path, m, err))
+                warn("imo-farm: %s", err.c_str());
+        }
+        if (want_stats)
+            std::fputs(res.statsText.c_str(), stderr);
+        if (!stats_json_path.empty()) {
+            if (stats_json_path == "-") {
+                std::fputs(res.statsJson.c_str(), stdout);
+            } else {
+                std::ofstream out(stats_json_path);
+                sim_throw_if(!out, ErrCode::BadConfig,
+                             "imo-farm: cannot write '%s'",
+                             stats_json_path.c_str());
+                out << res.statsJson;
+            }
+        }
 
         if (!res.ok) {
             std::fprintf(stderr, "imo-farm: error [%s] %s\n",

@@ -18,6 +18,7 @@
  *   5  interrupted (SIGINT/SIGTERM; partial outputs were flushed)
  */
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -25,8 +26,10 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/error.hh"
+#include "common/manifest.hh"
 #include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "core/informing.hh"
@@ -124,7 +127,11 @@ usage()
         "or jsonl\n"
         "  --trace-categories CSV  categories to trace (default all): "
         "fetch,issue,grad,\n"
-        "                          mem,mshr,trap,coh\n"
+        "                          mem,mshr,trap,coh,sweep,farm,store,"
+        "net\n"
+        "  --manifest PATH         write a versioned run manifest "
+        "(run id, wall\n"
+        "                          time, final status)\n"
         "  --profile               print the per-PC miss profile after "
         "the run\n"
         "  --profile-top N         entries shown by --profile "
@@ -169,6 +176,59 @@ exitCodeFor(ErrCode code)
       default:
         return kExitSimError;
     }
+}
+
+/** Write the run manifest (telemetry only — failures are warnings and
+ *  never change the run's outputs or exit code). */
+void
+emitManifest(const std::string &path,
+             const std::vector<std::string> &args,
+             const std::string &desc, const std::string &fault_spec,
+             std::uint64_t fault_seed, const char *status,
+             const SimError *err, std::uint64_t elapsed_ms,
+             const std::string &stats_json)
+{
+    if (path.empty())
+        return;
+    manifest::Manifest m;
+    m.tool = "imo-run";
+    m.runId = manifest::makeRunId("imo-run");
+    m.args = args;
+    m.faultSpec = fault_spec;
+    m.faultSeed = fault_seed;
+    m.status = status;
+    if (err) {
+        m.errorCode = errCodeName(err->code);
+        m.errorMessage = err->message;
+    }
+    m.elapsedMs = elapsed_ms;
+    m.pointsTotal = 1;
+    manifest::PointEntry e;
+    e.desc = desc;
+    e.attempts = 1;
+    e.simulateMs = elapsed_ms;
+    e.endMs = elapsed_ms;
+    if (err) {
+        e.status = "failed";
+        e.error = err->message;
+    } else {
+        m.pointsDone = 1;
+    }
+    m.points.push_back(std::move(e));
+    m.statsJson = stats_json;
+    std::string werr;
+    if (!manifest::writeManifestFile(path, m, werr))
+        warn("imo-run: %s", werr.c_str());
+}
+
+/** Wall-clock milliseconds (steady), for manifest timings. */
+std::uint64_t
+steadyMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
 }
 
 /** Parse "name=prob" into @p schedule; false on malformed input. */
@@ -220,6 +280,10 @@ main(int argc, char **argv)
     std::string sample_spec;
     double sample_target = 0.0;
     std::uint32_t sample_passes = 0;
+    std::string manifest_path;
+    std::string fault_spec_joined;
+
+    const std::vector<std::string> cli_args(argv + 1, argv + argc);
 
     initLogLevelFromEnv();
 
@@ -274,6 +338,9 @@ main(int argc, char **argv)
                              val);
                 return usage();
             }
+            if (!fault_spec_joined.empty())
+                fault_spec_joined += ',';
+            fault_spec_joined += val;
         } else if (arg == "--fault-seed") {
             if (!(val = next())) return usage();
             fault_schedule.seed =
@@ -313,6 +380,9 @@ main(int argc, char **argv)
         } else if (arg == "--trace-categories") {
             if (!(val = next())) return usage();
             trace_categories = val;
+        } else if (arg == "--manifest") {
+            if (!(val = next())) return usage();
+            manifest_path = val;
         } else if (arg == "--profile") {
             want_profile = true;
         } else if (arg == "--profile-top") {
@@ -424,6 +494,15 @@ main(int argc, char **argv)
         installStopHandlers();
         sim_options.stopFlag = &g_stop;
 
+        const std::string run_desc =
+            (workload.empty() ? asm_path : workload) + " machine=" +
+            machine_name + " mode=" + mode_name;
+        const std::uint64_t run_start = steadyMs();
+        const auto statusOf = [](const SimError &err) {
+            return err.code == ErrCode::Interrupted ? "interrupted"
+                                                    : "failed";
+        };
+
         if (!sample_spec.empty()) {
             sample::SampleParams sp =
                 sample::SampleParams::parse(sample_spec);
@@ -463,6 +542,12 @@ main(int argc, char **argv)
                     out << observer.statsJson;
                 }
             }
+
+            emitManifest(manifest_path, cli_args, run_desc,
+                         fault_spec_joined, fault_schedule.seed,
+                         est.ok ? "ok" : statusOf(est.error),
+                         est.ok ? nullptr : &est.error,
+                         steadyMs() - run_start, observer.statsJson);
 
             if (!est.ok) {
                 printError(est.error);
@@ -565,6 +650,12 @@ main(int argc, char **argv)
             }
         }
 
+        emitManifest(manifest_path, cli_args, run_desc,
+                     fault_spec_joined, fault_schedule.seed,
+                     r.ok ? "ok" : statusOf(r.error),
+                     r.ok ? nullptr : &r.error, steadyMs() - run_start,
+                     observer.statsJson);
+
         if (!r.ok) {
             printError(r.error);
             if (!sim_options.checkpointOut.empty()) {
@@ -654,6 +745,10 @@ main(int argc, char **argv)
         return 0;
     } catch (const SimException &e) {
         printError(e.error());
+        emitManifest(manifest_path, cli_args,
+                     workload.empty() ? asm_path : workload,
+                     fault_spec_joined, fault_schedule.seed, "failed",
+                     &e.error(), 0, "");
         return exitCodeFor(e.error().code);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "imo-run: internal error: %s\n", e.what());

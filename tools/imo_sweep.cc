@@ -21,17 +21,21 @@
  *   5  interrupted (partial report flushed)
  */
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/manifest.hh"
+#include "obs/trace.hh"
 #include "sweep/gridcli.hh"
 #include "sweep/sweep.hh"
 
@@ -64,6 +68,16 @@ usage()
         "                          default 1)\n"
         "  --out PATH              merged JSON report ('-' for stdout, "
         "the default)\n"
+        "  --trace-out PATH        write a per-point execution "
+        "timeline (category\n"
+        "                          sweep; one track per worker "
+        "thread)\n"
+        "  --trace-format F        chrome (trace_event JSON, default) "
+        "or jsonl\n"
+        "  --manifest PATH         write a versioned run manifest "
+        "(run id,\n"
+        "                          per-point wall times, final "
+        "status)\n"
         "  --list                  print the expanded grid and exit\n"
         "  --quiet                 suppress warn/info diagnostics\n",
         sweep::gridAxesHelp());
@@ -79,6 +93,11 @@ main(int argc, char **argv)
     unsigned jobs = 1;
     std::string out_path = "-";
     bool list_only = false;
+    std::string trace_path;
+    std::string trace_format = "chrome";
+    std::string manifest_path;
+
+    const std::vector<std::string> cli_args(argv + 1, argv + argc);
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -97,6 +116,14 @@ main(int argc, char **argv)
                 jobs = sweep::parseParallelism(value(), "--jobs");
             } else if (arg == "--out") {
                 out_path = value();
+            } else if (arg == "--trace-out") {
+                trace_path = value();
+            } else if (arg == "--trace-format") {
+                trace_format = value();
+                if (trace_format != "chrome" && trace_format != "jsonl")
+                    return usage();
+            } else if (arg == "--manifest") {
+                manifest_path = value();
             } else if (arg == "--list") {
                 list_only = true;
             } else if (arg == "--quiet") {
@@ -129,9 +156,90 @@ main(int argc, char **argv)
             ::sigaction(SIGTERM, &sa, nullptr);
         }
 
+        const bool want_telemetry =
+            !trace_path.empty() || !manifest_path.empty();
+        const auto steady_ms = [] {
+            return static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now()
+                        .time_since_epoch())
+                    .count());
+        };
+        const std::uint64_t run_start = steady_ms();
+
         std::vector<std::uint8_t> completed;
+        std::vector<sweep::PointTiming> timings;
         const std::vector<sweep::SweepOutcome> outcomes =
-            sweep::runSweep(points, jobs, &g_stop, &completed);
+            sweep::runSweep(points, jobs, &g_stop, &completed,
+                            want_telemetry ? &timings : nullptr);
+        const std::uint64_t run_end = steady_ms();
+
+        // Telemetry artifacts first (written for interrupted runs too);
+        // they never touch the report bytes.
+        if (!trace_path.empty()) {
+            obs::TraceSink trace;
+            trace.enable(static_cast<std::uint32_t>(obs::Cat::Sweep));
+            // Compact worker-thread track ids, in point order.
+            std::map<std::uint64_t, std::uint32_t> tids;
+            for (std::size_t i = 0; i < timings.size(); ++i) {
+                const sweep::PointTiming &t = timings[i];
+                if (!t.ran)
+                    continue;
+                const auto [it, fresh] = tids.emplace(
+                    t.threadId,
+                    static_cast<std::uint32_t>(tids.size() + 1));
+                (void)fresh;
+                trace.record(t.startMs - run_start, obs::Cat::Sweep,
+                             "point", 0, i, 0, t.endMs - t.startMs,
+                             it->second);
+            }
+            std::ofstream out(trace_path);
+            sim_throw_if(!out, ErrCode::BadConfig,
+                         "imo-sweep: cannot write '%s'",
+                         trace_path.c_str());
+            if (trace_format == "chrome")
+                trace.writeChromeTrace(out);
+            else
+                trace.writeJsonl(out);
+        }
+        if (!manifest_path.empty()) {
+            manifest::Manifest m;
+            m.tool = "imo-sweep";
+            m.runId = manifest::makeRunId("imo-sweep");
+            m.args = cli_args;
+            m.reportSchemaVersion = sweep::reportSchemaVersion;
+            m.status = g_stop ? "interrupted" : "ok";
+            m.elapsedMs = run_end - run_start;
+            m.pointsTotal = points.size();
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                manifest::PointEntry e;
+                e.desc = sweep::describePoint(points[i]);
+                const sweep::PointTiming &t = timings[i];
+                if (!t.ran) {
+                    e.status = "cancelled";
+                } else {
+                    const sweep::SweepOutcome &o = outcomes[i];
+                    const bool ok = o.point.sample.empty()
+                                        ? o.result.ok
+                                        : o.estimate.ok;
+                    e.status = ok ? "ok" : "failed";
+                    if (!ok)
+                        e.error = (o.point.sample.empty()
+                                       ? o.result.error
+                                       : o.estimate.error)
+                                      .format();
+                    e.attempts = 1;
+                    e.simulateMs = t.endMs - t.startMs;
+                    e.startMs = t.startMs - run_start;
+                    e.endMs = t.endMs - run_start;
+                    ++m.pointsDone;
+                }
+                m.points.push_back(std::move(e));
+            }
+            std::string err;
+            if (!manifest::writeManifestFile(manifest_path, m, err))
+                warn("imo-sweep: %s", err.c_str());
+        }
 
         // On interruption, the report covers exactly the completed
         // points (still in grid order) so nothing simulated is lost.

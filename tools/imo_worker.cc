@@ -21,14 +21,19 @@
  *   5  interrupted (SIGINT/SIGTERM)
  */
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+
+#include <unistd.h>
 
 #include "common/error.hh"
 #include "common/faultinject.hh"
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "farm/worker.hh"
 #include "sweep/gridcli.hh"
 
@@ -79,6 +84,16 @@ usage()
         "conn-drop,\n"
         "                           conn-stutter, handshake-corrupt)\n"
         "  --fault-seed N           fault-injection RNG seed\n"
+        "  --log-json PATH          append structured JSONL session "
+        "events\n"
+        "                           (timestamp, worker id, run id, "
+        "event, lease\n"
+        "                           slot) — joinable with the "
+        "coordinator's\n"
+        "                           manifest on the run id\n"
+        "  --worker-id ID           worker id stamped into --log-json "
+        "lines\n"
+        "                           (default worker-<pid>)\n"
         "  --quiet                  suppress warn/info diagnostics\n");
     return kExitUsage;
 }
@@ -126,6 +141,8 @@ int
 main(int argc, char **argv)
 {
     farm::WorkerOptions opt;
+    std::string log_json_path;
+    std::string worker_id;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -174,6 +191,10 @@ main(int argc, char **argv)
             } else if (arg == "--fault-seed") {
                 opt.faults.seed =
                     sweep::parseU64(value(), "--fault-seed");
+            } else if (arg == "--log-json") {
+                log_json_path = value();
+            } else if (arg == "--worker-id") {
+                worker_id = value();
             } else if (arg == "--quiet") {
                 setLogLevel(LogLevel::Quiet);
             } else {
@@ -198,6 +219,39 @@ main(int argc, char **argv)
         sa.sa_flags = SA_RESETHAND;
         ::sigaction(SIGINT, &sa, nullptr);
         ::sigaction(SIGTERM, &sa, nullptr);
+    }
+
+    // Structured session log: one JSON object per line, appended (a
+    // reconnecting daemon keeps one continuous log), joinable with the
+    // coordinator's manifest and progress file on the run id.
+    std::ofstream log_json;
+    if (!log_json_path.empty()) {
+        if (worker_id.empty())
+            worker_id = "worker-" + std::to_string(::getpid());
+        log_json.open(log_json_path, std::ios::app);
+        if (!log_json) {
+            std::fprintf(stderr,
+                         "imo-worker: cannot open --log-json '%s'\n",
+                         log_json_path.c_str());
+            return kExitBadInput;
+        }
+        opt.onEvent = [&](const farm::SessionEvent &ev) {
+            const std::uint64_t ts = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::system_clock::now()
+                        .time_since_epoch())
+                    .count());
+            log_json << "{\"ts_ms\":" << ts << ",\"worker\":\""
+                     << stats::jsonEscape(worker_id)
+                     << "\",\"run_id\":\""
+                     << stats::jsonEscape(ev.runId) << "\",\"event\":\""
+                     << stats::jsonEscape(ev.name) << "\",\"slot\":"
+                     << ev.slot;
+            if (!ev.detail.empty())
+                log_json << ",\"detail\":\""
+                         << stats::jsonEscape(ev.detail) << "\"";
+            log_json << "}\n" << std::flush;
+        };
     }
 
     const SimError err = farm::runWorker(opt, &g_stop);
