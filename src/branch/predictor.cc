@@ -73,8 +73,10 @@ checkTableSize(std::uint64_t saved, std::size_t configured,
 void
 TwoBitPredictor::save(Serializer &s) const
 {
+    // Zero-RLE: untrained entries dominate the table for short warm
+    // spans, and per-window live-point images store one of these.
     s.u64(_counters.size());
-    s.vecU8(_counters);
+    s.vecU8Rle(_counters);
     s.u64(_lookups);
     s.u64(_mispredicts);
 }
@@ -82,8 +84,10 @@ TwoBitPredictor::save(Serializer &s) const
 void
 TwoBitPredictor::restore(Deserializer &d)
 {
-    checkTableSize(d.u64(), _counters.size(), "bimodal predictor");
-    _counters = d.vecU8();
+    const std::size_t want = _counters.size();
+    checkTableSize(d.u64(), want, "bimodal predictor");
+    _counters = d.vecU8Rle();
+    checkTableSize(_counters.size(), want, "bimodal predictor");
     _lookups = d.u64();
     _mispredicts = d.u64();
 }
@@ -92,7 +96,7 @@ void
 GsharePredictor::save(Serializer &s) const
 {
     s.u64(_counters.size());
-    s.vecU8(_counters);
+    s.vecU8Rle(_counters);
     s.u32(_history);
     s.u64(_lookups);
     s.u64(_mispredicts);
@@ -101,8 +105,10 @@ GsharePredictor::save(Serializer &s) const
 void
 GsharePredictor::restore(Deserializer &d)
 {
-    checkTableSize(d.u64(), _counters.size(), "gshare predictor");
-    _counters = d.vecU8();
+    const std::size_t want = _counters.size();
+    checkTableSize(d.u64(), want, "gshare predictor");
+    _counters = d.vecU8Rle();
+    checkTableSize(_counters.size(), want, "gshare predictor");
     _history = d.u32() & _historyMask;
     _lookups = d.u64();
     _mispredicts = d.u64();

@@ -38,11 +38,73 @@ namespace imo
  *  v2: stats registry (histograms + pipeline counters) joins the
  *  component sections; MSHR entries record their allocation cycle.
  *  v3: the fault-injection section grows the four farm-level points
- *  (worker-kill, worker-stall, dropped-result, store-bit-flip). */
-constexpr std::uint32_t checkpointFormatVersion = 3;
+ *  (worker-kill, worker-stall, dropped-result, store-bit-flip).
+ *  v4: array-heavy sections are stored columnar and compressed
+ *  (cache flag bytes zero-RLE; cache tag/LRU arrays, data-memory
+ *  pages, and predictor counter tables delta-varint packed) so
+ *  per-window live-point images stay small.
+ *  v5: packed u64 arrays carry a one-byte encoding tag and fall back
+ *  to raw little-endian words when delta-varint packing would expand
+ *  them (floating-point bit patterns pack toward 10 bytes a word), so
+ *  FP-heavy data pages stay at raw size and restore by memcpy. */
+constexpr std::uint32_t checkpointFormatVersion = 5;
 
 /** CRC-32 (IEEE 802.3 polynomial, as in zlib) of @p len bytes. */
 std::uint32_t crc32(const void *data, std::size_t len);
+
+// --- Compression codecs ---------------------------------------------
+//
+// Two helpers for the array-heavy component sections (cache tag/LRU
+// arrays, data-memory pages, predictor tables). Both are byte-exact
+// inverses of each other and reject malformed input with a structured
+// BadCheckpoint error, never out-of-bounds reads or allocation spikes.
+
+/**
+ * Pack @p v as consecutive-element deltas, zigzag-mapped and
+ * LEB128-varint encoded. Runs of equal values (invalid cache lines,
+ * zeroed memory words) collapse to one byte per element, and
+ * slowly-varying sequences (LRU stamps, sorted page numbers) to a few;
+ * worst-case expansion is bounded at 10 bytes per element.
+ */
+std::vector<std::uint8_t> packDeltaU64(const std::vector<std::uint64_t> &v);
+
+/**
+ * packDeltaU64() with an early abandon: returns an empty vector as
+ * soon as the packed form reaches @p bound bytes, signalling that
+ * packing does not pay off for this array (the caller should store it
+ * raw instead). Incompressible input is rejected after only a few
+ * elements rather than fully encoded and thrown away.
+ */
+std::vector<std::uint8_t>
+packDeltaU64Bounded(const std::vector<std::uint64_t> &v, std::size_t bound);
+
+/**
+ * Inverse of packDeltaU64(): decode exactly @p count elements from
+ * @p len bytes. Throws BadCheckpoint when the stream is truncated,
+ * over-long, or contains an overlong varint.
+ */
+std::vector<std::uint64_t> unpackDeltaU64(const std::uint8_t *data,
+                                          std::size_t len,
+                                          std::uint64_t count);
+
+/** Allocation guard for RLE decoding: a corrupt or hostile stream may
+ *  claim arbitrary decoded sizes, so readers cap them here. */
+constexpr std::uint64_t maxRleDecodedBytes = 256ull << 20;
+
+/**
+ * Zero-run-length encode a byte blob: every 0x00 is followed by a
+ * varint run length. Flag arrays that are mostly zero (cold cache
+ * valid/dirty bits) collapse to a couple of bytes.
+ */
+std::vector<std::uint8_t> packZeroRleU8(const std::vector<std::uint8_t> &v);
+
+/**
+ * Inverse of packZeroRleU8(): decode exactly @p count bytes.
+ * Throws BadCheckpoint on truncation or a run overshooting @p count.
+ */
+std::vector<std::uint8_t> unpackZeroRleU8(const std::uint8_t *data,
+                                          std::size_t len,
+                                          std::uint64_t count);
 
 /** Write an assembled image to @p path (atomically: temp+rename).
  *  Throws SimException(BadCheckpoint) on I/O failure. */
@@ -95,6 +157,35 @@ class Serializer
     {
         u64(v.size());
         raw(v.data(), v.size());
+    }
+
+    /** vecU64 stored delta-varint packed (see packDeltaU64) when that
+     *  is smaller, raw little-endian otherwise; a one-byte tag after
+     *  the element count records which encoding won. Regular
+     *  sequences (tags, page numbers, zeroed words) still collapse,
+     *  while incompressible ones (FP bit patterns) stay at raw size
+     *  instead of expanding toward 10 bytes a word. */
+    void
+    vecU64Packed(const std::vector<std::uint64_t> &v)
+    {
+        u64(v.size());
+        const std::vector<std::uint8_t> packed =
+            packDeltaU64Bounded(v, v.size() * 8);
+        if (!v.empty() && !packed.empty()) {
+            u8(1);
+            vecU8(packed);
+        } else {
+            u8(0);
+            raw(v.data(), v.size() * 8);
+        }
+    }
+
+    /** vecU8 stored zero-run-length packed (see packZeroRleU8). */
+    void
+    vecU8Rle(const std::vector<std::uint8_t> &v)
+    {
+        u64(v.size());
+        vecU8(packZeroRleU8(v));
     }
 
     /** @return the assembled image (header + all sealed sections). */
@@ -187,11 +278,79 @@ class Deserializer
         return v;
     }
 
+    /** Inverse of Serializer::vecU64Packed(). */
+    std::vector<std::uint64_t>
+    vecU64Packed()
+    {
+        // Every claimed length is validated against the bytes actually
+        // remaining before any allocation: a hostile count cannot
+        // outgrow the section payload. The payload decodes straight
+        // out of the validated image — no intermediate copy; restoring
+        // a live-point image runs through here once per data-memory
+        // page and cache array, and the raw branch is a single memcpy.
+        const std::uint64_t n = u64();
+        const std::uint8_t tag = u8();
+        if (tag == 0) {
+            requireCount(n, 8);
+            std::vector<std::uint64_t> v(n);
+            raw(v.data(), n * 8);
+            return v;
+        }
+        sim_throw_if(tag != 1, ErrCode::BadCheckpoint,
+                     "packed u64 array has unknown encoding tag %u",
+                     tag);
+        const std::uint64_t m = countedLength(1);
+        sim_throw_if(n > 0 && m < n, ErrCode::BadCheckpoint,
+                     "packed u64 array claims %llu elements in %llu "
+                     "bytes", static_cast<unsigned long long>(n),
+                     static_cast<unsigned long long>(m));
+        std::vector<std::uint64_t> v =
+            unpackDeltaU64(cursorData(), m, n);
+        _cursor += m;
+        return v;
+    }
+
+    /** Inverse of Serializer::vecU8Rle(). */
+    std::vector<std::uint8_t>
+    vecU8Rle()
+    {
+        const std::uint64_t n = u64();
+        const std::uint64_t m = countedLength(1);
+        // Unlike the delta codec, RLE output is not bounded by its
+        // input size (that is the point), so a hostile decoded-length
+        // claim is capped explicitly instead of by the section length.
+        sim_throw_if(n > maxRleDecodedBytes, ErrCode::BadCheckpoint,
+                     "RLE byte array claims %llu decoded bytes "
+                     "(limit %llu)", static_cast<unsigned long long>(n),
+                     static_cast<unsigned long long>(maxRleDecodedBytes));
+        sim_throw_if(n > 0 && m == 0, ErrCode::BadCheckpoint,
+                     "RLE byte array claims %llu bytes in an empty "
+                     "stream", static_cast<unsigned long long>(n));
+        std::vector<std::uint8_t> v = unpackZeroRleU8(cursorData(), m, n);
+        _cursor += m;
+        return v;
+    }
+
   private:
     void raw(void *out, std::size_t len);
 
+    /** Pointer to the current cursor position inside the open
+     *  section's payload. Valid only after a remaining-bytes check
+     *  (countedLength / requireRemaining) has proven the section open
+     *  and the read in bounds. */
+    const std::uint8_t *
+    cursorData() const
+    {
+        return _image.data() + _sections[_current].offset + _cursor;
+    }
+
     /** Read an element count and bound it by the bytes remaining. */
     std::uint64_t countedLength(std::size_t elem_bytes);
+
+    /** Throw BadCheckpoint unless @p n elements of @p elem_bytes fit
+     *  in the bytes remaining (overflow-safe: divides, never
+     *  multiplies the untrusted count). */
+    void requireCount(std::uint64_t n, std::size_t elem_bytes);
 
     /** Throw BadCheckpoint unless @p bytes more payload remain. */
     void requireRemaining(std::uint64_t bytes);

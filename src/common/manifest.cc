@@ -56,7 +56,14 @@ writeManifestJson(std::ostream &os, const Manifest &m)
     emitString(os, "error_message", m.errorMessage);
     os << ",\n \"elapsed_ms\":" << m.elapsedMs
        << ",\n \"points_total\":" << m.pointsTotal
-       << ",\n \"points_done\":" << m.pointsDone << ",\n \"points\":[";
+       << ",\n \"points_done\":" << m.pointsDone << ",\n ";
+    emitString(os, "library_mode", m.libraryMode);
+    os << ",\n ";
+    emitString(os, "library_path", m.libraryPath);
+    os << ",\n ";
+    emitString(os, "library_hash", m.libraryHash);
+    os << ",\n \"library_windows\":" << m.libraryWindows
+       << ",\n \"points\":[";
     for (std::size_t i = 0; i < m.points.size(); ++i) {
         const PointEntry &p = m.points[i];
         os << (i ? "," : "") << "\n  {";

@@ -27,8 +27,10 @@
 namespace imo::manifest
 {
 
-/** Bump on any incompatible change to the manifest JSON layout. */
-constexpr std::uint32_t manifestSchemaVersion = 1;
+/** Bump on any incompatible change to the manifest JSON layout.
+ *  v2: live-point library provenance (mode/path/hash/window count)
+ *  joins the top level. */
+constexpr std::uint32_t manifestSchemaVersion = 2;
 
 /** Per-point outcome and timings. Fields a tool cannot know stay 0 /
  *  empty and are still emitted (fixed schema beats optional keys). */
@@ -63,6 +65,14 @@ struct Manifest
     std::uint64_t elapsedMs = 0;
     std::uint64_t pointsTotal = 0;
     std::uint64_t pointsDone = 0;
+
+    // Live-point library provenance (sampled runs; see
+    // src/sample/livepoint.hh). Empty/0 when no library was involved.
+    std::string libraryMode; //!< "" | "capture" | "load"
+    std::string libraryPath;
+    std::string libraryHash; //!< contentHash as 16 hex digits
+    std::uint64_t libraryWindows = 0;
+
     std::vector<PointEntry> points;
     std::string statsJson; //!< embedded stats dump (raw JSON), "" = none
 };

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <thread>
 
 #include <poll.h>
@@ -17,12 +18,14 @@
 #include "common/logging.hh"
 #include "common/manifest.hh"
 #include "common/rng.hh"
+#include "core/informing.hh"
 #include "farm/proto.hh"
 #include "farm/store.hh"
 #include "farm/telemetry.hh"
 #include "farm/transport.hh"
 #include "farm/worker.hh"
 #include "sweep/engine.hh"
+#include "workloads/suite.hh"
 
 namespace imo::farm
 {
@@ -52,11 +55,19 @@ scheduleForSpawn(const FaultSchedule &base, std::uint64_t spawn_index)
 
 // --- Coordinator ----------------------------------------------------
 
-/** One unique content-addressed unit of work. */
+/** One unique content-addressed unit of work: a whole sweep point, or
+ *  (window sharding) one measurement window of a sampled point. */
 struct Slot
 {
     PointKey key;
     sweep::SweepPoint point;
+    std::string desc; //!< describePoint(), plus the window for shards
+
+    /** Window shard: which library point to ship with the lease.
+     *  library == nullptr marks a whole-point slot. */
+    std::shared_ptr<const sample::LivePointLibrary> library;
+    std::uint64_t windowIndex = LeaseMsg::noWindow;
+
     std::vector<std::uint8_t> fragment;
     bool done = false;
     bool queued = false;       //!< sitting in the pending queue
@@ -365,7 +376,7 @@ class Coordinator
                 ErrCode::LeaseExpired,
                 simFormat("farm: point gave up after %u lease attempts",
                           s.attempts),
-                {sweep::describePoint(s.point)}});
+                {s.desc}});
             return;
         }
         ++_stats.retries;
@@ -396,6 +407,16 @@ class Coordinator
         LeaseMsg msg;
         msg.slot = slot;
         msg.point = _slots[slot].point;
+        if (_slots[slot].library) {
+            // Window shard: ship the live point with the lease.
+            const Slot &s = _slots[slot];
+            msg.windowIndex = s.windowIndex;
+            msg.libraryHash = s.library->contentHash;
+            const sample::LivePoint &lp =
+                s.library->points[s.windowIndex];
+            msg.warmImage = lp.warmImage;
+            msg.execImage = lp.execImage;
+        }
         try {
             w.io->sendFrame(FrameType::Lease, encodeLease(msg));
         } catch (const SimException &) {
@@ -550,7 +571,7 @@ class Coordinator
                 fail(SimError{
                     ErrCode::ResultMismatch,
                     "farm: duplicate results for one point disagree",
-                    {sweep::describePoint(s.point)}});
+                    {s.desc}});
             return;
         }
 
@@ -585,11 +606,11 @@ class Coordinator
                           "farm: duplicate runs of one point disagree "
                           "(one succeeded, one failed)",
                           {msg.error.format(),
-                           sweep::describePoint(s.point)}});
+                           s.desc}});
             return;
         }
         SimError err = std::move(msg.error);
-        err.context.push_back(sweep::describePoint(s.point));
+        err.context.push_back(s.desc);
         fail(std::move(err));
     }
 
@@ -915,12 +936,9 @@ class Coordinator
     SimError _error;
 };
 
-} // anonymous namespace
-
-FarmResult
-runFarm(const std::vector<sweep::SweepPoint> &points,
-        const FarmOptions &options,
-        const volatile std::sig_atomic_t *stop)
+/** Input checks shared by runFarm() and runFarmWindows(). */
+void
+validateFarmOptions(const FarmOptions &options)
 {
     sim_throw_if(options.workers == 0 && !options.listen,
                  ErrCode::BadConfig,
@@ -941,6 +959,88 @@ runFarm(const std::vector<sweep::SweepPoint> &points,
                  static_cast<unsigned long long>(options.leaseMs));
     sim_throw_if(options.minWorkers == 0, ErrCode::BadConfig,
                  "farm: --min-workers must be at least 1");
+}
+
+/**
+ * Shared back half of runFarm() / runFarmWindows(): telemetry setup,
+ * store pre-hits, the coordinator itself, the post-run integrity pass,
+ * and the stats fold. Fills everything in @p res except fragments.
+ * @return the driven slots.
+ */
+std::vector<Slot>
+driveSlots(std::vector<Slot> slots, const FarmOptions &opt,
+           std::uint64_t farm_start, FarmResult &res,
+           const volatile std::sig_atomic_t *stop)
+{
+    res.stats.uniqueSlots = slots.size();
+
+    FarmTelemetry tel(opt, farm_start);
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        tel.describeSlot(i, slots[i].key.hex(), slots[i].desc);
+
+    std::optional<ResultStore> store;
+    if (!opt.storeDir.empty()) {
+        store.emplace(opt.storeDir, opt.resume);
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            Slot &s = slots[i];
+            if (store->get(s.key, &s.fragment) == StoreGet::Hit) {
+                s.done = true;
+                ++res.stats.storeHits;
+                tel.noteStoreHit(i, nowMs());
+            }
+        }
+    }
+
+    Coordinator coord(std::move(slots), opt,
+                      store ? &*store : nullptr, tel, stop);
+    res.error = coord.run();
+    res.stats.simulated = coord.stats().simulated;
+    res.stats.retries = coord.stats().retries;
+    res.stats.workersLost = coord.stats().workersLost;
+    res.stats.leasesExpired = coord.stats().leasesExpired;
+    res.stats.redispatches = coord.stats().redispatches;
+    res.stats.duplicateResults = coord.stats().duplicateResults;
+    res.stats.authFailures = coord.stats().authFailures;
+    res.stats.remotesAdmitted = coord.stats().remotesAdmitted;
+    slots = coord.takeSlots();
+
+    res.ok = res.error.ok();
+    if (res.ok && store) {
+        // Integrity pass: every record on disk must round-trip before
+        // the report ships; a record the fault injector rotted (or a
+        // foreign writer damaged) is repaired from memory.
+        for (const Slot &s : slots)
+            store->verifyOrRepair(s.key, s.fragment);
+    }
+    if (store)
+        res.stats.storeCorrupt = store->corruptRecords();
+
+    const std::uint64_t farm_end = nowMs();
+    res.elapsedMs = farm_end - farm_start;
+    std::size_t done_slots = 0;
+    for (const Slot &s : slots)
+        if (s.done)
+            ++done_slots;
+    const std::string status =
+        res.ok ? "ok"
+               : (res.error.code == ErrCode::Interrupted ? "interrupted"
+                                                         : "failed");
+    tel.finish(status, done_slots, slots.size(), res.stats.retries,
+               farm_end);
+    tel.dumpStats(res.stats, res.elapsedMs, &res.statsText,
+                  &res.statsJson);
+    res.slotRecords = tel.takeSlotRecords();
+    return slots;
+}
+
+} // anonymous namespace
+
+FarmResult
+runFarm(const std::vector<sweep::SweepPoint> &points,
+        const FarmOptions &options,
+        const volatile std::sig_atomic_t *stop)
+{
+    validateFarmOptions(options);
 
     // Telemetry identity: stamp a run id before anything observable
     // happens (the Challenge frame, progress files, and the manifest
@@ -992,75 +1092,98 @@ runFarm(const std::vector<sweep::SweepPoint> &points,
             Slot s;
             s.key = key;
             s.point = points[i];
+            s.desc = sweep::describePoint(points[i]);
             slots.push_back(std::move(s));
         }
         slot_of[i] = it->second;
     }
-    res.stats.uniqueSlots = slots.size();
 
-    FarmTelemetry tel(opt, farm_start);
-    for (std::size_t i = 0; i < slots.size(); ++i)
-        tel.describeSlot(i, slots[i].key.hex(),
-                         sweep::describePoint(slots[i].point));
-
-    std::optional<ResultStore> store;
-    if (!options.storeDir.empty()) {
-        store.emplace(options.storeDir, options.resume);
-        for (std::size_t i = 0; i < slots.size(); ++i) {
-            Slot &s = slots[i];
-            if (store->get(s.key, &s.fragment) == StoreGet::Hit) {
-                s.done = true;
-                ++res.stats.storeHits;
-                tel.noteStoreHit(i, nowMs());
-            }
-        }
-    }
-
-    Coordinator coord(std::move(slots), opt,
-                      store ? &*store : nullptr, tel, stop);
-    res.error = coord.run();
-    res.stats.simulated = coord.stats().simulated;
-    res.stats.retries = coord.stats().retries;
-    res.stats.workersLost = coord.stats().workersLost;
-    res.stats.leasesExpired = coord.stats().leasesExpired;
-    res.stats.redispatches = coord.stats().redispatches;
-    res.stats.duplicateResults = coord.stats().duplicateResults;
-    res.stats.authFailures = coord.stats().authFailures;
-    res.stats.remotesAdmitted = coord.stats().remotesAdmitted;
-    slots = coord.takeSlots();
-
-    res.ok = res.error.ok();
-    if (res.ok && store) {
-        // Integrity pass: every record on disk must round-trip before
-        // the report ships; a record the fault injector rotted (or a
-        // foreign writer damaged) is repaired from memory.
-        for (const Slot &s : slots)
-            store->verifyOrRepair(s.key, s.fragment);
-    }
-    if (store)
-        res.stats.storeCorrupt = store->corruptRecords();
+    slots = driveSlots(std::move(slots), opt, farm_start, res, stop);
 
     if (res.ok) {
         res.fragments.reserve(points.size());
         for (std::size_t i = 0; i < points.size(); ++i)
             res.fragments.push_back(slots[slot_of[i]].fragment);
     }
+    return res;
+}
 
-    const std::uint64_t farm_end = nowMs();
-    res.elapsedMs = farm_end - farm_start;
-    std::size_t done_slots = 0;
+FarmResult
+runFarmWindows(const sweep::SweepPoint &point,
+               const std::shared_ptr<const sample::LivePointLibrary>
+                   &library,
+               const FarmOptions &options,
+               const volatile std::sig_atomic_t *stop)
+{
+    validateFarmOptions(options);
+    sim_throw_if(!library, ErrCode::BadConfig,
+                 "farm: window sharding needs a live-point library");
+    sim_throw_if(point.sample.empty(), ErrCode::BadConfig,
+                 "farm: window sharding needs a sampled point "
+                 "(--samples U:W:M)");
+    sim_throw_if(!sweep::libraryMatchesPoint(*library, point),
+                 ErrCode::BadConfig,
+                 "farm: live-point library does not match the point "
+                 "(machine kind, workload program, U:W:M schedule, and "
+                 "capture digest must all agree)");
+
+    FarmOptions opt = options;
+    if (opt.runId.empty())
+        opt.runId = manifest::makeRunId("imo-farm");
+
+    const std::uint64_t farm_start = nowMs();
+    FarmResult res;
+    res.runId = opt.runId;
+    res.stats.points = library->points.size();
+
+    // One slot per measurement window; the lease ships the window's
+    // live point, so workers need neither the library file nor any
+    // shared filesystem.
+    const std::string desc = sweep::describePoint(point);
+    std::vector<Slot> slots;
+    slots.reserve(library->points.size());
+    for (std::size_t w = 0; w < library->points.size(); ++w) {
+        Slot s;
+        s.key = keyForWindow(point, library->contentHash, w);
+        s.point = point;
+        s.desc = simFormat("%s window %zu/%zu", desc.c_str(), w,
+                           library->points.size());
+        s.library = library;
+        s.windowIndex = w;
+        slots.push_back(std::move(s));
+    }
+
+    slots = driveSlots(std::move(slots), opt, farm_start, res, stop);
+    if (!res.ok)
+        return res;
+
+    // Fold the shards in window order — the exact merge the sequential
+    // sampler performs — into the point's estimate, then emit its one
+    // report fragment. Byte-identical to imo-sweep over this point.
+    std::vector<sample::WindowSample> samples;
+    samples.reserve(slots.size());
     for (const Slot &s : slots)
-        if (s.done)
-            ++done_slots;
-    const std::string status =
-        res.ok ? "ok"
-               : (res.error.code == ErrCode::Interrupted ? "interrupted"
-                                                         : "failed");
-    tel.finish(status, done_slots, slots.size(), res.stats.retries,
-               farm_end);
-    tel.dumpStats(res.stats, res.elapsedMs, &res.statsText,
-                  &res.statsJson);
-    res.slotRecords = tel.takeSlotRecords();
+        samples.push_back(sample::decodeWindowSample(
+            std::string(s.fragment.begin(), s.fragment.end())));
+
+    workloads::WorkloadParams wp;
+    wp.scale = point.scale;
+    wp.seed = point.seed;
+    const isa::Program prog =
+        core::instrument(workloads::build(point.workload, wp),
+                         point.mode, {.length = point.handlerLen});
+    sample::Sampler sampler(prog, point.resolveConfig(),
+                            sample::SampleParams::parse(point.sample));
+    sampler.setLibrary(library);
+
+    sweep::SweepOutcome outcome;
+    outcome.point = point;
+    outcome.estimate = sampler.runFromWindowSamples(samples);
+
+    std::ostringstream fragment;
+    sweep::writePointJson(fragment, outcome);
+    const std::string text = fragment.str();
+    res.fragments.emplace_back(text.begin(), text.end());
     return res;
 }
 

@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -204,6 +205,26 @@ struct FarmResult
 FarmResult runFarm(const std::vector<sweep::SweepPoint> &points,
                    const FarmOptions &options,
                    const volatile std::sig_atomic_t *stop = nullptr);
+
+/**
+ * Window-sharded sampled run of one point: every measurement window of
+ * @p library becomes its own leased unit of work, so a single sampled
+ * point spreads across all workers (and machines) of the farm. The
+ * lease/retry/straggler/store machinery is exactly runFarm()'s —
+ * window shards are memoized under keyForWindow(), duplicate shards
+ * are byte-compared, and a resumed farm re-runs only missing windows.
+ * On success the shards are folded in window order into the point's
+ * estimate, and FarmResult::fragments holds the point's single
+ * report-JSON fragment — byte-identical to imo-sweep over this point.
+ *
+ * Throws SimException(BadConfig) when @p point is not sampled or the
+ * library does not match it (sweep::libraryMatchesPoint()).
+ */
+FarmResult
+runFarmWindows(const sweep::SweepPoint &point,
+               const std::shared_ptr<const sample::LivePointLibrary> &library,
+               const FarmOptions &options,
+               const volatile std::sig_atomic_t *stop = nullptr);
 
 /**
  * Write the merged sweep report from a successful farm run. The bytes

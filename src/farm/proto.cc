@@ -344,6 +344,10 @@ encodeLease(const LeaseMsg &msg)
     s.beginSection("lease");
     s.u64(msg.slot);
     savePoint(s, msg.point);
+    s.u64(msg.windowIndex);
+    s.u64(msg.libraryHash);
+    s.vecU8(msg.warmImage);
+    s.vecU8(msg.execImage);
     s.endSection();
     return s.finish();
 }
@@ -357,6 +361,10 @@ decodeLease(const std::vector<std::uint8_t> &payload)
         LeaseMsg msg;
         msg.slot = d.u64();
         msg.point = restorePoint(d);
+        msg.windowIndex = d.u64();
+        msg.libraryHash = d.u64();
+        msg.warmImage = d.vecU8();
+        msg.execImage = d.vecU8();
         d.closeSection();
         return msg;
     });

@@ -43,8 +43,11 @@ namespace imo::farm
  *      token-authenticated) for socket transports.
  *  v3: Stats telemetry frame (worker per-point timings + stats JSON);
  *      Challenge carries the coordinator's run id.
+ *  v4: Lease optionally carries one live-point window (index, library
+ *      hash, warm/executor images) so a sampled point's measurement
+ *      windows shard across workers.
  */
-constexpr std::uint32_t protocolVersion = 3;
+constexpr std::uint32_t protocolVersion = 4;
 
 /** Wire message types. */
 enum class FrameType : std::uint32_t
@@ -149,11 +152,30 @@ struct HelloMsg
  */
 std::uint64_t authDigest(const std::string &token, std::uint64_t nonce);
 
-/** Lease: which grid slot to run and the full point description. */
+/**
+ * Lease: which grid slot to run and the full point description.
+ *
+ * A lease is either a whole point (windowIndex == noWindow, the
+ * images empty) or one measurement window of a sampled point: the
+ * worker then rebuilds the point's program and config, restores the
+ * shipped live point, runs the W+M detailed window, and returns the
+ * fixed-width WindowSample encoding as its fragment. The library
+ * content hash pins which capture the images came from (it is part of
+ * the result-store key, so shards of different captures never mix).
+ */
 struct LeaseMsg
 {
+    /** windowIndex value marking a whole-point lease. */
+    static constexpr std::uint64_t noWindow =
+        ~static_cast<std::uint64_t>(0);
+
     std::uint64_t slot = 0;
     sweep::SweepPoint point;
+
+    std::uint64_t windowIndex = noWindow;
+    std::uint64_t libraryHash = 0;         //!< LivePointLibrary::contentHash
+    std::vector<std::uint8_t> warmImage;   //!< predictor warm state
+    std::vector<std::uint8_t> execImage;   //!< functional executor state
 };
 
 /** Result: the slot and the point's report-JSON fragment bytes. */

@@ -71,12 +71,13 @@ PointKey::hex() const
                      schemaVersion);
 }
 
-PointKey
-keyForPoint(const sweep::SweepPoint &point)
+namespace
 {
-    PointKey key;
 
-    Fnv64 cfg;
+/** The point fields every key digests, in declaration order. */
+void
+mixPoint(Fnv64 &cfg, const sweep::SweepPoint &point)
+{
     cfg.str(point.machine);
     cfg.str(point.workload);
     cfg.u32(static_cast<std::uint32_t>(point.mode));
@@ -91,6 +92,17 @@ keyForPoint(const sweep::SweepPoint &point)
     cfg.u64(point.memLatency);
     cfg.u32(point.mshrs);
     cfg.str(point.sample);
+}
+
+} // anonymous namespace
+
+PointKey
+keyForPoint(const sweep::SweepPoint &point)
+{
+    PointKey key;
+
+    Fnv64 cfg;
+    mixPoint(cfg, point);
     key.configHash = cfg.value();
 
     // Fingerprint the *instrumented* program: any change to a workload
@@ -105,6 +117,21 @@ keyForPoint(const sweep::SweepPoint &point)
         core::instrument(base, point.mode, {.length = point.handlerLen});
     key.programHash = prog.fingerprint();
 
+    key.schemaVersion = sweep::reportSchemaVersion;
+    return key;
+}
+
+PointKey
+keyForWindow(const sweep::SweepPoint &point, std::uint64_t libraryHash,
+             std::uint64_t windowIndex)
+{
+    PointKey key;
+    Fnv64 cfg;
+    cfg.str("window"); // domain tag: never aliases a whole-point key
+    mixPoint(cfg, point);
+    cfg.u64(windowIndex);
+    key.configHash = cfg.value();
+    key.programHash = libraryHash;
     key.schemaVersion = sweep::reportSchemaVersion;
     return key;
 }

@@ -61,6 +61,19 @@ struct PointKey
  */
 PointKey keyForPoint(const sweep::SweepPoint &point);
 
+/**
+ * Content address of one live-point window shard. The config hash
+ * digests the point plus the window index (under a distinct domain
+ * tag, so a window record can never alias a whole-point record), and
+ * the program-hash component carries the library's content hash — the
+ * library image already pins the program fingerprint, the capture
+ * digest, and the U:W:M schedule, so shards of different captures
+ * land under different keys. Cheap: no program is built.
+ */
+PointKey keyForWindow(const sweep::SweepPoint &point,
+                      std::uint64_t libraryHash,
+                      std::uint64_t windowIndex);
+
 /** Outcome of a store lookup. */
 enum class StoreGet : std::uint8_t
 {

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -15,9 +16,14 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "core/informing.hh"
 #include "farm/transport.hh"
+#include "pipeline/inorder/cpu.hh"
+#include "pipeline/ooo/cpu.hh"
+#include "sample/livepoint.hh"
 #include "sweep/engine.hh"
 #include "sweep/sweep.hh"
+#include "workloads/suite.hh"
 
 namespace imo::farm
 {
@@ -168,6 +174,69 @@ hangUntilPeerGone(int rfd, const volatile std::sig_atomic_t *stop)
     }
 }
 
+/**
+ * Executes window leases, caching the expensive per-point setup — the
+ * instrumented program, machine config, and the executor inside the
+ * WindowRunner — across consecutive leases of the same sweep point.
+ * The coordinator shards one capture's windows across workers, so a
+ * session typically sees a long run of leases whose point is
+ * identical; rebuilding the workload and instrumenting it per window
+ * would rival the window itself. Each run() is still a pure function
+ * of the lease bytes (restoreExecImage() overwrites all executor
+ * state), so shards of one capture produce identical samples wherever
+ * they run; restoreExecImage() rejects images whose program
+ * fingerprint disagrees with the rebuilt program (deterministic
+ * BadCheckpoint).
+ */
+class WindowLeaseRunner
+{
+  public:
+    sample::WindowSample
+    run(const LeaseMsg &lease)
+    {
+        if (!_ready || !(lease.point == _point))
+            rebuild(lease.point);
+        sample::LivePoint point;
+        point.warmImage = lease.warmImage;
+        point.execImage = lease.execImage;
+        return _cfg.outOfOrder
+                   ? _ooo->run(point, _sp.warmup, _sp.measure)
+                   : _inorder->run(point, _sp.warmup, _sp.measure);
+    }
+
+  private:
+    void
+    rebuild(const sweep::SweepPoint &p)
+    {
+        _ready = false;
+        _ooo.reset();
+        _inorder.reset();
+        _point = p;
+        _cfg = p.resolveConfig();
+        _sp = sample::SampleParams::parse(p.sample);
+        workloads::WorkloadParams wp;
+        wp.scale = p.scale;
+        wp.seed = p.seed;
+        const isa::Program prog =
+            core::instrument(workloads::build(p.workload, wp), p.mode,
+                             {.length = p.handlerLen});
+        // The runner keeps a reference to the config, so it must point
+        // at the stable member, not a local.
+        if (_cfg.outOfOrder)
+            _ooo.emplace(prog, _cfg);
+        else
+            _inorder.emplace(prog, _cfg);
+        _ready = true;
+    }
+
+    bool _ready = false;
+    sweep::SweepPoint _point;
+    pipeline::MachineConfig _cfg;
+    sample::SampleParams _sp;
+    std::optional<sample::WindowRunner<pipeline::OooCpu>> _ooo;
+    std::optional<sample::WindowRunner<pipeline::InOrderCpu>> _inorder;
+};
+
 } // anonymous namespace
 
 SessionEnd
@@ -223,6 +292,7 @@ serveSession(int rfd, int wfd, const SessionParams &params,
     writer.sendRaw(hello_frame);
 
     // --- Lease loop -------------------------------------------------
+    WindowLeaseRunner window_runner;
     for (;;) {
         switch (waitFrame(rfd, &frame, stop)) {
           case Wait::Eof: return SessionEnd::PeerClosed;
@@ -252,7 +322,14 @@ serveSession(int rfd, int wfd, const SessionParams &params,
         if (admitted)
             *admitted = true;
         const LeaseMsg lease = decodeLease(frame.payload);
-        event("lease", lease.slot, sweep::describePoint(lease.point));
+        const bool is_window = lease.windowIndex != LeaseMsg::noWindow;
+        event("lease", lease.slot,
+              is_window
+                  ? simFormat("%s window %llu",
+                              sweep::describePoint(lease.point).c_str(),
+                              static_cast<unsigned long long>(
+                                  lease.windowIndex))
+                  : sweep::describePoint(lease.point));
 
         if (inject.fire(FaultPoint::WorkerKill)) {
             // Crash / preemption: die without a word mid-lease.
@@ -288,23 +365,42 @@ serveSession(int rfd, int wfd, const SessionParams &params,
         StatsMsg point_stats;
         point_stats.slot = lease.slot;
         try {
-            const std::uint64_t t0 = steadyMs();
-            const sweep::SweepOutcome outcome =
-                sweep::runPoint(lease.point);
-            const std::uint64_t t1 = steadyMs();
-            sweep::writePointJson(fragment, outcome);
-            const std::uint64_t t2 = steadyMs();
-            point_stats.simulateMs = t1 - t0;
-            point_stats.serializeMs = t2 - t1;
-            // Compact per-point stats for farm-level aggregation
-            // (zeros for a sampled point, whose result is an
-            // estimate). The report fragment stays the only source of
-            // truth for the merged report.
-            point_stats.statsJson = simFormat(
-                "{\"cycles\":%llu,\"instructions\":%llu}",
-                static_cast<unsigned long long>(outcome.result.cycles),
-                static_cast<unsigned long long>(
-                    outcome.result.instructions));
+            if (is_window) {
+                // Window shard: the fragment is the fixed-width
+                // WindowSample encoding, not report JSON — the
+                // coordinator folds the shards into the point's
+                // estimate itself.
+                const std::uint64_t t0 = steadyMs();
+                const sample::WindowSample ws =
+                    window_runner.run(lease);
+                const std::uint64_t t1 = steadyMs();
+                fragment << sample::encodeWindowSample(ws);
+                point_stats.simulateMs = t1 - t0;
+                point_stats.serializeMs = 0;
+                point_stats.statsJson = simFormat(
+                    "{\"cycles\":%llu,\"instructions\":%llu}",
+                    static_cast<unsigned long long>(ws.cycles),
+                    static_cast<unsigned long long>(ws.measured));
+            } else {
+                const std::uint64_t t0 = steadyMs();
+                const sweep::SweepOutcome outcome =
+                    sweep::runPoint(lease.point);
+                const std::uint64_t t1 = steadyMs();
+                sweep::writePointJson(fragment, outcome);
+                const std::uint64_t t2 = steadyMs();
+                point_stats.simulateMs = t1 - t0;
+                point_stats.serializeMs = t2 - t1;
+                // Compact per-point stats for farm-level aggregation
+                // (zeros for a sampled point, whose result is an
+                // estimate). The report fragment stays the only source
+                // of truth for the merged report.
+                point_stats.statsJson = simFormat(
+                    "{\"cycles\":%llu,\"instructions\":%llu}",
+                    static_cast<unsigned long long>(
+                        outcome.result.cycles),
+                    static_cast<unsigned long long>(
+                        outcome.result.instructions));
+            }
         } catch (const SimException &e) {
             sim_ok = false;
             sim_err = e.error();

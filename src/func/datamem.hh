@@ -78,11 +78,12 @@ class DataMemory
         for (const auto &[page, words] : _pages)
             order.push_back(page);
         std::sort(order.begin(), order.end());
-        s.u64(order.size());
-        for (const Addr page : order) {
-            s.u64(page);
-            s.vecU64(_pages.at(page));
-        }
+        // Format v4: page numbers delta-varint packed (sorted, so the
+        // deltas are small) and each page's words likewise (zeroed and
+        // small values dominate real data pages).
+        s.vecU64Packed(order);
+        for (const Addr page : order)
+            s.vecU64Packed(_pages.at(page));
     }
 
     void
@@ -91,18 +92,21 @@ class DataMemory
         _pages.clear();
         _cachedPage = kNoPage;
         _cachedWords = nullptr;
-        const std::uint64_t count = d.u64();
-        for (std::uint64_t i = 0; i < count; ++i) {
-            const Addr page = d.u64();
-            std::vector<std::uint64_t> words = d.vecU64();
+        const std::vector<Addr> order = d.vecU64Packed();
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            sim_throw_if(i > 0 && order[i] <= order[i - 1],
+                         ErrCode::BadCheckpoint,
+                         "checkpointed data pages out of order at "
+                         "index %zu", i);
+            std::vector<std::uint64_t> words = d.vecU64Packed();
             sim_throw_if(words.size() != wordsPerPage,
                          ErrCode::BadCheckpoint,
                          "checkpointed data page %#llx has %zu words, "
                          "expected %llu",
-                         static_cast<unsigned long long>(page),
+                         static_cast<unsigned long long>(order[i]),
                          words.size(),
                          static_cast<unsigned long long>(wordsPerPage));
-            _pages[page] = std::move(words);
+            _pages[order[i]] = std::move(words);
         }
     }
 

@@ -235,12 +235,24 @@ SetAssocCache::save(Serializer &s) const
     s.u64(_misses);
     s.u64(_writebacks);
     s.u64(_invalidations);
-    for (const Line &line : _lines) {
-        s.b(line.valid);
-        s.b(line.dirty);
-        s.u64(line.tag);
-        s.u64(line.lruStamp);
+    // Columnar, compressed (format v4): flag bytes zero-RLE (invalid
+    // lines dominate a large L2), tags and LRU stamps delta-varint.
+    // The row-major interleaved layout cost ~18 bytes per line; a
+    // mostly-cold 2MB L2 now costs a few bytes per *run* of cold
+    // lines, which is what makes per-window live-points affordable.
+    std::vector<std::uint8_t> flags(_lines.size());
+    std::vector<std::uint64_t> tags(_lines.size());
+    std::vector<std::uint64_t> stamps(_lines.size());
+    for (std::size_t i = 0; i < _lines.size(); ++i) {
+        const Line &line = _lines[i];
+        flags[i] = static_cast<std::uint8_t>((line.valid ? 1 : 0) |
+                                             (line.dirty ? 2 : 0));
+        tags[i] = line.tag;
+        stamps[i] = line.lruStamp;
     }
+    s.vecU8Rle(flags);
+    s.vecU64Packed(tags);
+    s.vecU64Packed(stamps);
 }
 
 void
@@ -256,11 +268,25 @@ SetAssocCache::restore(Deserializer &d)
     _misses = d.u64();
     _writebacks = d.u64();
     _invalidations = d.u64();
-    for (Line &line : _lines) {
-        line.valid = d.b();
-        line.dirty = d.b();
-        line.tag = d.u64();
-        line.lruStamp = d.u64();
+    const std::vector<std::uint8_t> flags = d.vecU8Rle();
+    const std::vector<std::uint64_t> tags = d.vecU64Packed();
+    const std::vector<std::uint64_t> stamps = d.vecU64Packed();
+    sim_throw_if(flags.size() != _lines.size() ||
+                 tags.size() != _lines.size() ||
+                 stamps.size() != _lines.size(),
+                 ErrCode::BadCheckpoint,
+                 "checkpointed cache arrays (%zu/%zu/%zu entries) do not "
+                 "match the %zu-line geometry", flags.size(), tags.size(),
+                 stamps.size(), _lines.size());
+    for (std::size_t i = 0; i < _lines.size(); ++i) {
+        sim_throw_if(flags[i] > 3, ErrCode::BadCheckpoint,
+                     "checkpointed cache line %zu has undefined flag "
+                     "bits %#x", i, flags[i]);
+        Line &line = _lines[i];
+        line.valid = flags[i] & 1;
+        line.dirty = flags[i] & 2;
+        line.tag = tags[i];
+        line.lruStamp = stamps[i];
     }
     rebuildOrder();
 }

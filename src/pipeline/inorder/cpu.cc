@@ -130,6 +130,22 @@ InOrderCpu::warmCondBranch(InstAddr pc, bool taken)
         _t->bimodal.update(pc, taken);
 }
 
+void
+InOrderCpu::saveWarmState(Serializer &s) const
+{
+    panic_if(!_t, "InOrderCpu::saveWarmState before reset()");
+    _t->bimodal.save(s);
+    _t->gshare.save(s);
+}
+
+void
+InOrderCpu::restoreWarmState(Deserializer &d)
+{
+    panic_if(!_t, "InOrderCpu::restoreWarmState before reset()");
+    _t->bimodal.restore(d);
+    _t->gshare.restore(d);
+}
+
 bool
 InOrderCpu::step(func::TraceSource &src)
 {

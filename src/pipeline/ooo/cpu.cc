@@ -138,6 +138,22 @@ OooCpu::warmCondBranch(InstAddr pc, bool taken)
         _t->bimodal.update(pc, taken);
 }
 
+void
+OooCpu::saveWarmState(Serializer &s) const
+{
+    panic_if(!_t, "OooCpu::saveWarmState before reset()");
+    _t->bimodal.save(s);
+    _t->gshare.save(s);
+}
+
+void
+OooCpu::restoreWarmState(Deserializer &d)
+{
+    panic_if(!_t, "OooCpu::restoreWarmState before reset()");
+    _t->bimodal.restore(d);
+    _t->gshare.restore(d);
+}
+
 bool
 OooCpu::step(func::TraceSource &src)
 {

@@ -106,6 +106,18 @@ class OooCpu
     void save(Serializer &s) const;
     void restore(Deserializer &d);
 
+    /**
+     * Live-point warm-state hooks: the subset of timing state that
+     * functional warming trains across a fast-forward gap — the branch
+     * predictor tables (and gshare history). A sampled measure window
+     * starts from a freshly reset machine plus this warm state;
+     * short-lived state (pipeline occupancy, MSHRs, BTB) is
+     * re-established by the window's warmup span. Both require
+     * reset() (or restore()) first.
+     */
+    void saveWarmState(Serializer &s) const;
+    void restoreWarmState(Deserializer &d);
+
   private:
     struct Timing;
 

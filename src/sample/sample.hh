@@ -29,6 +29,20 @@
  * phase offsets (pass p starts its first gap at p*U/maxPasses extra
  * instructions) until the CPI CI meets the target or maxPasses is hit.
  *
+ * Every measurement window runs on a *fresh* timing model seeded only
+ * with the warm predictor state a continuously warmed "accumulator"
+ * machine has reached at the window's boundary; short-lived state
+ * (pipeline occupancy, MSHRs, BTB) is re-established by the W warmup
+ * span. Windows are therefore independent by construction, which is
+ * what makes them embarrassingly parallel (sample/livepoint.hh): the
+ * controller runs them interleaved with the functional pass (the
+ * sequential fast path), or captures per-window live points and runs
+ * them on a thread pool (setJobs), or skips the functional pass
+ * entirely and replays a previously captured library (setLibrary).
+ * All three modes fold the same per-window samples in the same order,
+ * so their estimates — and any report derived from them — are
+ * byte-identical.
+ *
  * Under -DIMO_PARANOID_XCHECK=ON every run() additionally performs the
  * full detailed simulation and asserts the sampled CPI and miss-rate
  * estimates land inside their own reported confidence intervals
@@ -39,6 +53,7 @@
 #define IMO_SAMPLE_SAMPLE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,6 +62,7 @@
 #include "isa/program.hh"
 #include "pipeline/config.hh"
 #include "pipeline/simulate.hh"
+#include "sample/livepoint.hh"
 
 namespace imo::sample
 {
@@ -82,6 +98,20 @@ struct SampleParams
      * @throw SimException(BadConfig) on malformed input.
      */
     static SampleParams parse(const std::string &spec);
+
+    /**
+     * Named schedule presets (the --sample-preset argument):
+     *
+     *  - "default": the default 9973:300:300 for every workload.
+     *  - "periodic": denser per-workload schedules for the workloads
+     *    whose misses concentrate in a narrow periodic phase (eqntott,
+     *    xlisp, doduc, ora) and would alias with the default stride;
+     *    other workloads get the default. All gaps stay prime.
+     *
+     * @throw SimException(BadConfig) for an unknown preset name.
+     */
+    static SampleParams preset(const std::string &name,
+                               const std::string &workload);
 };
 
 /** The sampled estimate: exact functional totals plus interval
@@ -177,8 +207,56 @@ class Sampler
     Sampler(isa::Program program, const pipeline::MachineConfig &config,
             const SampleParams &params);
 
+    /**
+     * Worker threads for the detailed-window phase. 0 and 1 both mean
+     * sequential; >1 switches run() to capture mode (one functional
+     * pass collects live points, then the windows run on a pool).
+     * Reports are byte-identical for every value.
+     */
+    void setJobs(unsigned jobs) { _jobs = jobs; }
+
+    /** Write the pass-0 live-point library to @p path (.imolib). */
+    void setCaptureOut(std::string path) { _captureOut = std::move(path); }
+
+    /** Keep the pass-0 library in memory (capturedLibrary()) even when
+     *  no capture file was requested. */
+    void setRetainCapture(bool retain) { _retainCapture = retain; }
+
+    /**
+     * Sample from @p library instead of running the functional pass:
+     * the windows replay from the stored live points and the exact
+     * totals come from the library header. run() then rejects
+     * checkpoint options and error-targeted extension (both need the
+     * functional pass), and fails with BadConfig unless the library
+     * matches this sampler's machine kind, program, capture digest,
+     * and U:W:M schedule.
+     */
+    void
+    setLibrary(std::shared_ptr<const LivePointLibrary> library)
+    {
+        _library = std::move(library);
+    }
+
+    /** The pass-0 library captured by the last run() in capture mode
+     *  (null otherwise). Shared so sweep drivers can reuse it across
+     *  every configuration with the same capture digest. */
+    const std::shared_ptr<const LivePointLibrary> &
+    capturedLibrary() const
+    {
+        return _captured;
+    }
+
     /** Execute the sampling schedule. @return the pooled estimate. */
     SampleEstimate run(const pipeline::SimulateOptions &options = {});
+
+    /**
+     * Fold externally produced window samples (a farm's shards) into
+     * an estimate, exactly as run() would have folded locally executed
+     * windows. Requires setLibrary(); @p samples must hold one entry
+     * per library point, in window order.
+     */
+    SampleEstimate
+    runFromWindowSamples(const std::vector<WindowSample> &samples);
 
     /** Estimate from the most recent run() (empty before). */
     const SampleEstimate &estimate() const { return _est; }
@@ -196,12 +274,43 @@ class Sampler
     void runPass(const char *kind, std::uint32_t pass,
                  const pipeline::SimulateOptions &options);
 
+    template <typename Cpu>
+    void runPassFromLibrary(const char *kind,
+                            const pipeline::SimulateOptions &options);
+
+    /** Run the windows of @p points (inline or pooled) and fold them. */
+    template <typename Cpu>
+    void runWindows(const std::vector<LivePoint> &points,
+                    const pipeline::SimulateOptions &options);
+
+    /** Fold @p samples in window order; @p completed (when non-null)
+     *  marks slots skipped by a cooperative stop. */
+    void foldWindowSamples(const std::vector<WindowSample> &samples,
+                           const std::vector<std::uint8_t> *completed);
+
+    /** Fold one window. @return false when the pass must stop (the
+     *  program halted inside the window). */
+    bool foldWindow(const WindowSample &ws);
+
+    /** @throw SimException(BadConfig) unless _library matches this
+     *  sampler's machine kind, program, digest, and schedule. */
+    void validateLibrary(const char *kind) const;
+
+    void resetAccumulators();
+    void finishEstimate();
+
     void finishMissRateEstimate();
     void xcheckAgainstFull();
 
     isa::Program _program;
     pipeline::MachineConfig _config;
     SampleParams _params;
+
+    unsigned _jobs = 1;
+    std::string _captureOut;
+    bool _retainCapture = false;
+    std::shared_ptr<const LivePointLibrary> _library;
+    std::shared_ptr<const LivePointLibrary> _captured;
 
     // Per-measured-window (misses, refs) pairs across all passes, the
     // raw material of the miss-rate ratio estimator.

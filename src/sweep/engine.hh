@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -104,6 +105,97 @@ runOrdered(const std::vector<std::function<R()>> &tasks,
         t.join();
 
     for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return results;
+}
+
+/**
+ * runOrdered() with a per-worker context: @p make_ctx runs once on
+ * each worker thread (and once on the calling thread in the inline
+ * path), and every task that worker executes receives the context by
+ * reference. Built for heavy reusable scratch state — e.g. a
+ * live-point window runner whose executor every restore overwrites
+ * completely — where per-task construction would rival the task
+ * itself. The ordering contract is unchanged, and so is the purity
+ * obligation: results must stay pure functions of the task inputs, so
+ * a context must not carry state between tasks that can influence a
+ * result.
+ */
+template <typename R, typename Ctx>
+std::vector<R>
+runOrderedWith(const std::function<Ctx()> &make_ctx,
+               const std::vector<std::function<R(Ctx &)>> &tasks,
+               unsigned jobs,
+               const volatile std::sig_atomic_t *cancel = nullptr,
+               std::vector<std::uint8_t> *completed = nullptr)
+{
+    std::vector<R> results(tasks.size());
+    if (completed)
+        completed->assign(tasks.size(), 0);
+    if (tasks.empty())
+        return results;
+
+    if (jobs <= 1) {
+        Ctx ctx = make_ctx();
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            if (cancel && *cancel)
+                break;
+            results[i] = tasks[i](ctx);
+            if (completed)
+                (*completed)[i] = 1;
+        }
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(tasks.size());
+    const unsigned n =
+        static_cast<unsigned>(std::min<std::size_t>(jobs, tasks.size()));
+    // A context that fails to construct must not terminate the
+    // process (worker threads have no caller to throw to); it is
+    // reported like a task failure, attributed to the first task the
+    // worker would have pulled.
+    std::vector<std::exception_ptr> ctx_errors(n);
+
+    auto worker = [&](unsigned t) {
+        std::optional<Ctx> ctx;
+        try {
+            ctx.emplace(make_ctx());
+        } catch (...) {
+            ctx_errors[t] = std::current_exception();
+            return;
+        }
+        for (;;) {
+            if (cancel && *cancel)
+                return;
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= tasks.size())
+                return;
+            try {
+                results[i] = tasks[i](*ctx);
+                if (completed)
+                    (*completed)[i] = 1;
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        pool.emplace_back(worker, t);
+    for (std::thread &t : pool)
+        t.join();
+
+    for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    for (const std::exception_ptr &e : ctx_errors) {
         if (e)
             std::rethrow_exception(e);
     }

@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <functional>
+#include <memory>
 #include <ostream>
 #include <thread>
+#include <unordered_map>
 
 #include "common/error.hh"
 #include "pipeline/simulate.hh"
@@ -97,6 +99,14 @@ expandGrid(const SweepGrid &grid)
 SweepOutcome
 runPoint(const SweepPoint &point)
 {
+    return runPoint(point, nullptr, nullptr);
+}
+
+SweepOutcome
+runPoint(const SweepPoint &point,
+         const std::shared_ptr<const sample::LivePointLibrary> &replay,
+         std::shared_ptr<const sample::LivePointLibrary> *capture)
+{
     SweepOutcome out;
     out.point = point;
 
@@ -115,16 +125,64 @@ runPoint(const SweepPoint &point)
         // and is allowed to propagate into the engine's error path.
         sample::Sampler sampler(
             prog, cfg, sample::SampleParams::parse(point.sample));
+        if (replay)
+            sampler.setLibrary(replay);
+        if (capture)
+            sampler.setRetainCapture(true);
         out.estimate = sampler.run();
+        if (capture)
+            *capture = sampler.capturedLibrary();
     }
     return out;
+}
+
+namespace
+{
+
+/** Grouping key for library sharing: every input the capture pass
+ *  depends on. Points with equal keys can replay one library. */
+std::string
+libraryKey(const SweepPoint &p)
+{
+    return simFormat(
+        "%s|%s|%s|%u|%.17g|%llu|%s|%016llx", p.machine.c_str(),
+        p.workload.c_str(), core::informingModeName(p.mode),
+        p.handlerLen, p.scale,
+        static_cast<unsigned long long>(p.seed), p.sample.c_str(),
+        static_cast<unsigned long long>(
+            sample::captureDigest(p.resolveConfig())));
+}
+
+} // anonymous namespace
+
+bool
+libraryMatchesPoint(const sample::LivePointLibrary &supplied,
+                    const SweepPoint &point)
+{
+    if (point.sample.empty() || supplied.kind != point.machine)
+        return false;
+    const sample::SampleParams sp =
+        sample::SampleParams::parse(point.sample);
+    if (supplied.fastForward != sp.fastForward ||
+        supplied.warmup != sp.warmup || supplied.measure != sp.measure)
+        return false;
+    if (supplied.digest != sample::captureDigest(point.resolveConfig()))
+        return false;
+    workloads::WorkloadParams wp;
+    wp.scale = point.scale;
+    wp.seed = point.seed;
+    const isa::Program prog = core::instrument(
+        workloads::build(point.workload, wp), point.mode,
+        {.length = point.handlerLen});
+    return supplied.programFingerprint == prog.fingerprint();
 }
 
 std::vector<SweepOutcome>
 runSweep(const std::vector<SweepPoint> &points, unsigned jobs,
          const volatile std::sig_atomic_t *cancel,
          std::vector<std::uint8_t> *completed,
-         std::vector<PointTiming> *timings)
+         std::vector<PointTiming> *timings,
+         LibrarySharing *sharing)
 {
     if (timings) {
         timings->clear();
@@ -136,28 +194,130 @@ runSweep(const std::vector<SweepPoint> &points, unsigned jobs,
                 std::chrono::steady_clock::now().time_since_epoch())
                 .count());
     };
-    std::vector<std::function<SweepOutcome()>> tasks;
-    tasks.reserve(points.size());
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const SweepPoint &p = points[i];
-        if (!timings) {
-            tasks.emplace_back([p] { return runPoint(p); });
-            continue;
+
+    // Library-sharing plan: the first point of each geometry-matching
+    // sampled group captures ("leader"), the rest replay ("follower");
+    // a supplied library turns whole matching groups into followers.
+    enum class Role : std::uint8_t { Independent, Leader, Follower };
+    constexpr std::size_t kSupplied = static_cast<std::size_t>(-1);
+    std::vector<Role> role(points.size(), Role::Independent);
+    std::vector<std::size_t> leaderOf(points.size(), kSupplied);
+    std::vector<std::shared_ptr<const sample::LivePointLibrary>>
+        capturedLibs(points.size());
+    if (sharing) {
+        std::unordered_map<std::string, std::vector<std::size_t>>
+            groups;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (!points[i].sample.empty())
+                groups[libraryKey(points[i])].push_back(i);
         }
-        // Each task writes only its own timing slot; the vector is
-        // pre-sized above, so no synchronisation is needed.
-        PointTiming *t = &(*timings)[i];
-        tasks.emplace_back([p, t, steady_ms] {
-            t->startMs = steady_ms();
-            t->threadId = std::hash<std::thread::id>{}(
-                std::this_thread::get_id());
-            SweepOutcome out = runPoint(p);
-            t->endMs = steady_ms();
-            t->ran = true;
-            return out;
-        });
+        for (const auto &[key, members] : groups) {
+            (void)key;
+            if (sharing->supplied &&
+                libraryMatchesPoint(*sharing->supplied,
+                                    points[members[0]])) {
+                for (const std::size_t i : members)
+                    role[i] = Role::Follower; // leaderOf stays supplied
+                continue;
+            }
+            if (members.size() < 2)
+                continue; // nothing to amortize
+            role[members[0]] = Role::Leader;
+            for (std::size_t m = 1; m < members.size(); ++m) {
+                role[members[m]] = Role::Follower;
+                leaderOf[members[m]] = members[0];
+            }
+        }
     }
-    return runOrdered(tasks, jobs, cancel, completed);
+
+    // One task per point; leaders retain their capture in their own
+    // slot of capturedLibs (pre-sized, no synchronisation needed —
+    // same discipline as the timing slots).
+    const auto makeTask = [&](std::size_t i) {
+        const SweepPoint &p = points[i];
+        std::shared_ptr<const sample::LivePointLibrary> replay;
+        if (role[i] == Role::Follower) {
+            replay = leaderOf[i] == kSupplied
+                         ? sharing->supplied
+                         : capturedLibs[leaderOf[i]];
+        }
+        std::shared_ptr<const sample::LivePointLibrary> *cap =
+            role[i] == Role::Leader ? &capturedLibs[i] : nullptr;
+        PointTiming *t = timings ? &(*timings)[i] : nullptr;
+        return std::function<SweepOutcome()>(
+            [p, replay, cap, t, steady_ms] {
+                if (t) {
+                    t->startMs = steady_ms();
+                    t->threadId = std::hash<std::thread::id>{}(
+                        std::this_thread::get_id());
+                }
+                SweepOutcome out = runPoint(p, replay, cap);
+                if (t) {
+                    t->endMs = steady_ms();
+                    t->ran = true;
+                }
+                return out;
+            });
+    };
+
+    std::vector<std::size_t> followers;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (role[i] == Role::Follower)
+            followers.push_back(i);
+    }
+
+    if (followers.empty()) {
+        // No sharing opportunities: the classic single phase.
+        std::vector<std::function<SweepOutcome()>> tasks;
+        tasks.reserve(points.size());
+        for (std::size_t i = 0; i < points.size(); ++i)
+            tasks.emplace_back(makeTask(i));
+        return runOrdered(tasks, jobs, cancel, completed);
+    }
+
+    // Phase 1: leaders and independents in parallel (captures land in
+    // capturedLibs). Phase 2: followers in parallel, replaying. The
+    // output is assembled in point order either way, so the report is
+    // byte-identical to the unshared sweep.
+    std::vector<SweepOutcome> outcomes(points.size());
+    if (completed)
+        completed->assign(points.size(), 0);
+
+    std::vector<std::size_t> phase1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (role[i] != Role::Follower)
+            phase1.push_back(i);
+    }
+    const auto runPhase = [&](const std::vector<std::size_t> &index) {
+        std::vector<std::function<SweepOutcome()>> tasks;
+        tasks.reserve(index.size());
+        for (const std::size_t i : index)
+            tasks.emplace_back(makeTask(i));
+        std::vector<std::uint8_t> done;
+        std::vector<SweepOutcome> results =
+            runOrdered(tasks, jobs, cancel, completed ? &done : nullptr);
+        for (std::size_t k = 0; k < index.size(); ++k) {
+            outcomes[index[k]] = std::move(results[k]);
+            if (completed)
+                (*completed)[index[k]] = done[k];
+        }
+    };
+    runPhase(phase1);
+
+    if (sharing) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (capturedLibs[i])
+                ++sharing->captured;
+        }
+        for (const std::size_t i : followers) {
+            // A leader that failed (or was cancelled) leaves its
+            // followers libraryless; they fall back to a full run.
+            if (leaderOf[i] == kSupplied || capturedLibs[leaderOf[i]])
+                ++sharing->reused;
+        }
+    }
+    runPhase(followers);
+    return outcomes;
 }
 
 namespace

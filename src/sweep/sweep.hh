@@ -60,6 +60,8 @@ struct SweepPoint
 
     /** The point's machine config with overrides applied. */
     pipeline::MachineConfig resolveConfig() const;
+
+    bool operator==(const SweepPoint &o) const = default;
 };
 
 /** Axis values of a sweep; empty axes fall back to one default cell. */
@@ -103,8 +105,51 @@ struct SweepOutcome
  * Run one point to completion: build its program, instrument it, and
  * simulate (full or sampled). Pure function of @p point — this is the
  * unit of work a farm worker executes.
+ *
+ * The three-argument overload threads live-point libraries through a
+ * sampled point: @p replay (when non-null) skips the functional pass
+ * and replays the library's windows, and @p capture (when non-null)
+ * retains the library captured by the point's own functional pass.
+ * Replaying produces byte-identical output to a from-scratch run, so
+ * drivers may attach a library to any matching point freely.
  */
 SweepOutcome runPoint(const SweepPoint &point);
+SweepOutcome
+runPoint(const SweepPoint &point,
+         const std::shared_ptr<const sample::LivePointLibrary> &replay,
+         std::shared_ptr<const sample::LivePointLibrary> *capture);
+
+/**
+ * Does @p library serve @p point? Mirrors Sampler::validateLibrary —
+ * machine kind, U:W:M schedule, capture digest, and the instrumented
+ * program's fingerprint must all agree. Builds and instruments the
+ * point's program to check the fingerprint, so it costs about as much
+ * as content-addressing the point.
+ */
+bool libraryMatchesPoint(const sample::LivePointLibrary &library,
+                         const SweepPoint &point);
+
+/**
+ * Live-point library sharing across a sweep (in/out parameter of
+ * runSweep). Sampled points whose capture-relevant inputs match —
+ * same machine kind, workload, program, sampling schedule, and
+ * sample::captureDigest() (cache geometry, predictor, instruction
+ * budget; timing knobs like latencies and MSHR counts deliberately
+ * excluded) — share one functional-warming pass: the group's first
+ * point captures a library in memory and the rest replay it. A
+ * user-supplied library (imo-sweep --sample-library) serves every
+ * group it matches without any capture at all. Reports are unaffected:
+ * replayed points emit byte-identical JSON.
+ */
+struct LibrarySharing
+{
+    /** Optional pre-captured library to serve matching points from. */
+    std::shared_ptr<const sample::LivePointLibrary> supplied;
+
+    // Filled by runSweep():
+    std::uint64_t captured = 0; //!< libraries captured by group leaders
+    std::uint64_t reused = 0;   //!< points replayed from a shared library
+};
 
 /** Wall-clock execution record of one sweep point — observability
  *  only (lease timelines, manifests); never part of the report. */
@@ -128,12 +173,19 @@ struct PointTiming
  * @p timings (optional) is resized to points.size() and timings[i] is
  * written by the task running point i (no cross-task sharing); it must
  * outlive the call.
+ *
+ * @p sharing (optional) enables live-point library reuse across
+ * geometry-matching sampled points: group leaders run first (capturing
+ * in memory), then the followers replay in parallel. Output bytes are
+ * identical with sharing on or off; only the redundant functional
+ * warming disappears.
  */
 std::vector<SweepOutcome> runSweep(
     const std::vector<SweepPoint> &points, unsigned jobs,
     const volatile std::sig_atomic_t *cancel = nullptr,
     std::vector<std::uint8_t> *completed = nullptr,
-    std::vector<PointTiming> *timings = nullptr);
+    std::vector<PointTiming> *timings = nullptr,
+    LibrarySharing *sharing = nullptr);
 
 /**
  * Write one point's report object (the bytes between the braces of one

@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -39,6 +40,7 @@
 #include "farm/proto.hh"
 #include "farm/store.hh"
 #include "farm/worker.hh"
+#include "sample/livepoint.hh"
 #include "sweep/sweep.hh"
 
 namespace
@@ -762,6 +764,161 @@ TEST(Farm, StopFlagInterruptsCleanly)
     EXPECT_EQ(res.error.code, ErrCode::Interrupted);
     EXPECT_EQ(res.stats.simulated, 0u);
     EXPECT_TRUE(res.fragments.empty());
+}
+
+// ------------------------------------------------------ window sharding
+
+/** A sampled point small enough to window-farm in-process: ora at
+ *  scale 0.1 under a dense 499:100:100 schedule (9 windows). */
+sweep::SweepPoint
+sampledPoint()
+{
+    sweep::SweepPoint p;
+    p.machine = "inorder";
+    p.workload = "ora";
+    p.handlerLen = 1;
+    p.scale = 0.1;
+    p.sample = "499:100:100";
+    return p;
+}
+
+/** Capture the point's live-point library, content hash stamped. */
+std::shared_ptr<const sample::LivePointLibrary>
+captureLibrary(const sweep::SweepPoint &point)
+{
+    std::shared_ptr<const sample::LivePointLibrary> captured;
+    const sweep::SweepOutcome out =
+        sweep::runPoint(point, nullptr, &captured);
+    EXPECT_TRUE(out.estimate.ok) << out.estimate.error.message;
+    EXPECT_NE(captured, nullptr);
+    sample::LivePointLibrary lib = *captured;
+    sample::serializeLibrary(lib); // stamp contentHash
+    return std::make_shared<const sample::LivePointLibrary>(
+        std::move(lib));
+}
+
+TEST(FarmWindowKey, DistinctPerWindowAndNeverAliasesAPointKey)
+{
+    const sweep::SweepPoint p = sampledPoint();
+    const std::uint64_t hash = 0xfeedfacecafef00dull;
+
+    const farm::PointKey w0 = farm::keyForWindow(p, hash, 0);
+    EXPECT_EQ(w0, farm::keyForWindow(p, hash, 0));
+    EXPECT_EQ(w0.programHash, hash);
+
+    // Every window of a library is its own unit of work.
+    const farm::PointKey w1 = farm::keyForWindow(p, hash, 1);
+    EXPECT_NE(w0.configHash, w1.configHash);
+
+    // A different library (schedule, capture config, program...) never
+    // shares records even for the same window index.
+    EXPECT_NE(w0, farm::keyForWindow(p, hash + 1, 0));
+
+    // The "window" domain tag keeps shard records disjoint from the
+    // whole-point records of the same point.
+    EXPECT_NE(w0.configHash, farm::keyForPoint(p).configHash);
+
+    // And the config side is sensitive to timing-only overrides the
+    // library deliberately ignores: one library, distinct records per
+    // swept configuration.
+    sweep::SweepPoint tweaked = p;
+    tweaked.l2Latency = 99;
+    EXPECT_NE(w0.configHash,
+              farm::keyForWindow(tweaked, hash, 0).configHash);
+}
+
+TEST(FarmWindows, ReportMatchesSweepForAnyWorkerCount)
+{
+    const sweep::SweepPoint p = sampledPoint();
+    const std::string expect = sweepReport({p});
+    const auto lib = captureLibrary(p);
+    ASSERT_GT(lib->points.size(), 1u);
+
+    for (const unsigned workers : {1u, 3u}) {
+        farm::FarmOptions opt;
+        opt.workers = workers;
+        const farm::FarmResult res =
+            farm::runFarmWindows(p, lib, opt);
+        ASSERT_TRUE(res.ok) << res.error.format();
+        EXPECT_EQ(res.stats.points, lib->points.size());
+        EXPECT_EQ(res.stats.uniqueSlots, lib->points.size());
+        EXPECT_EQ(res.stats.simulated, lib->points.size());
+        ASSERT_EQ(res.fragments.size(), 1u);
+        EXPECT_EQ(farmReport(res), expect) << "workers=" << workers;
+    }
+}
+
+TEST(FarmWindows, SecondRunIsServedFromStore)
+{
+    const sweep::SweepPoint p = sampledPoint();
+    const auto lib = captureLibrary(p);
+    const std::string dir = tempDir("windows");
+
+    farm::FarmOptions opt;
+    opt.workers = 2;
+    opt.storeDir = dir;
+
+    const farm::FarmResult first = farm::runFarmWindows(p, lib, opt);
+    ASSERT_TRUE(first.ok) << first.error.format();
+    EXPECT_EQ(first.stats.storeHits, 0u);
+    EXPECT_EQ(first.stats.simulated, lib->points.size());
+
+    // The re-run simulates nothing: every window is a store hit, and
+    // the folded report is verbatim.
+    opt.resume = true;
+    const farm::FarmResult second = farm::runFarmWindows(p, lib, opt);
+    ASSERT_TRUE(second.ok) << second.error.format();
+    EXPECT_EQ(second.stats.storeHits, lib->points.size());
+    EXPECT_EQ(second.stats.simulated, 0u);
+    EXPECT_EQ(farmReport(second), farmReport(first));
+    EXPECT_EQ(farmReport(second), sweepReport({p}));
+}
+
+TEST(FarmWindows, RejectsUnsampledPointAndForeignLibrary)
+{
+    const sweep::SweepPoint p = sampledPoint();
+    const auto lib = captureLibrary(p);
+    farm::FarmOptions opt;
+    opt.workers = 1;
+
+    // A full-detail point has no windows to shard.
+    sweep::SweepPoint full = p;
+    full.sample.clear();
+    try {
+        farm::runFarmWindows(full, lib, opt);
+        FAIL() << "expected BadConfig for an unsampled point";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.code(), ErrCode::BadConfig);
+    }
+
+    // A library captured for another schedule must be refused before
+    // any worker is spawned.
+    sweep::SweepPoint other = p;
+    other.sample = "499:100:150";
+    try {
+        farm::runFarmWindows(other, lib, opt);
+        FAIL() << "expected BadConfig for a mismatched library";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.code(), ErrCode::BadConfig);
+    }
+}
+
+TEST(FarmWindows, ReportSurvivesWorkerChaos)
+{
+    const sweep::SweepPoint p = sampledPoint();
+    const auto lib = captureLibrary(p);
+    const std::string expect = sweepReport({p});
+
+    farm::FarmOptions opt;
+    opt.workers = 3;
+    opt.leaseMs = 4'000;
+    opt.backoffBaseMs = 1;
+    opt.faults.seed = 7;
+    opt.faults.setProbability(FaultPoint::WorkerKill, 0.3);
+
+    const farm::FarmResult res = farm::runFarmWindows(p, lib, opt);
+    ASSERT_TRUE(res.ok) << res.error.format();
+    EXPECT_EQ(farmReport(res), expect);
 }
 
 } // anonymous namespace

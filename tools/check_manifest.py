@@ -3,7 +3,8 @@
 
 Usage:
     check_manifest.py manifest PATH [--expect-status S] [--expect-tool T]
-                      [--min-attempts N]
+                      [--min-attempts N] [--expect-library-mode M]
+                      [--expect-library-windows N]
     check_manifest.py progress PATH
 
 Used by ctest and CI to gate the telemetry artifacts imo-run /
@@ -15,8 +16,10 @@ violation otherwise.
 import json
 import sys
 
-MANIFEST_SCHEMA_VERSION = 1
+MANIFEST_SCHEMA_VERSION = 2
 PROGRESS_SCHEMA_VERSION = 1
+
+LIBRARY_MODES = {"", "capture", "load"}
 
 POINT_STATUSES = {"ok", "failed", "cancelled"}
 RUN_STATUSES = {"ok", "failed", "interrupted"}
@@ -51,6 +54,10 @@ MANIFEST_FIELDS = {
     "elapsed_ms": int,
     "points_total": int,
     "points_done": int,
+    "library_mode": str,
+    "library_path": str,
+    "library_hash": str,
+    "library_windows": int,
     "points": list,
 }
 
@@ -93,7 +100,8 @@ class Checker:
                 self.fail(f"{where}: unknown field '{name}'")
 
 
-def check_manifest(doc, chk, expect_status, expect_tool, min_attempts):
+def check_manifest(doc, chk, expect_status, expect_tool, min_attempts,
+                   expect_library_mode, expect_library_windows):
     chk.check_fields(doc, MANIFEST_FIELDS, "manifest")
     if chk.errors:
         return
@@ -126,6 +134,35 @@ def check_manifest(doc, chk, expect_status, expect_tool, min_attempts):
         chk.require(
             doc["tool"] == expect_tool,
             f"tool is '{doc['tool']}', expected '{expect_tool}'",
+        )
+
+    chk.require(
+        doc["library_mode"] in LIBRARY_MODES,
+        f"library_mode '{doc['library_mode']}' not in "
+        f"{sorted(LIBRARY_MODES)}",
+    )
+    if doc["library_mode"]:
+        h = doc["library_hash"]
+        chk.require(
+            len(h) == 16 and all(c in "0123456789abcdef" for c in h),
+            f"library_hash '{h}' is not 16 lowercase hex digits",
+        )
+    else:
+        chk.require(
+            doc["library_hash"] == "" and doc["library_windows"] == 0,
+            "library_hash/library_windows set without a library_mode",
+        )
+    if expect_library_mode is not None:
+        chk.require(
+            doc["library_mode"] == expect_library_mode,
+            f"library_mode is '{doc['library_mode']}', expected "
+            f"'{expect_library_mode}'",
+        )
+    if expect_library_windows is not None:
+        chk.require(
+            doc["library_windows"] == expect_library_windows,
+            f"library_windows is {doc['library_windows']}, expected "
+            f"{expect_library_windows}",
         )
 
     points = doc["points"]
@@ -212,6 +249,8 @@ def main(argv):
     expect_status = None
     expect_tool = None
     min_attempts = None
+    expect_library_mode = None
+    expect_library_windows = None
     args = argv[3:]
     while args:
         flag = args.pop(0)
@@ -221,6 +260,10 @@ def main(argv):
             expect_tool = args.pop(0)
         elif flag == "--min-attempts" and args:
             min_attempts = int(args.pop(0))
+        elif flag == "--expect-library-mode" and args:
+            expect_library_mode = args.pop(0)
+        elif flag == "--expect-library-windows" and args:
+            expect_library_windows = int(args.pop(0))
         else:
             sys.stderr.write(f"unknown flag {flag}\n")
             return 2
@@ -237,7 +280,8 @@ def main(argv):
         chk.fail("document is not a JSON object")
     elif mode == "manifest":
         check_manifest(doc, chk, expect_status, expect_tool,
-                       min_attempts)
+                       min_attempts, expect_library_mode,
+                       expect_library_windows)
     else:
         check_progress(doc, chk)
 

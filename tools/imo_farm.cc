@@ -35,6 +35,8 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/error.hh"
 #include "common/faultinject.hh"
 #include "common/logging.hh"
@@ -42,6 +44,7 @@
 #include "farm/farm.hh"
 #include "farm/proto.hh"
 #include "obs/trace.hh"
+#include "sample/livepoint.hh"
 #include "sweep/gridcli.hh"
 #include "sweep/sweep.hh"
 
@@ -139,6 +142,14 @@ usage()
         "  --stats-json PATH       write the aggregated farm stats as "
         "JSON ('-' for\n"
         "                          stdout)\n"
+        "  --sample-library PATH   shard the measurement windows of "
+        "one sampled\n"
+        "                          grid point across the farm's "
+        "workers, replaying\n"
+        "                          live points from the .imolib "
+        "capture (the grid\n"
+        "                          must expand to exactly that one "
+        "point)\n"
         "  --run-id ID             override the generated run id\n"
         "  --list                  print the expanded grid and exit\n"
         "  --quiet                 suppress warn/info diagnostics\n",
@@ -217,6 +228,7 @@ main(int argc, char **argv)
     bool want_stats = false;
     std::string stats_json_path;
     std::string fault_spec_joined; //!< verbatim specs, for the manifest
+    std::string library_path;
 
     const std::vector<std::string> cli_args(argv + 1, argv + argc);
 
@@ -309,6 +321,8 @@ main(int argc, char **argv)
                 want_stats = true;
             } else if (arg == "--stats-json") {
                 stats_json_path = value();
+            } else if (arg == "--sample-library") {
+                library_path = value();
             } else if (arg == "--run-id") {
                 opt.runId = value();
             } else if (arg == "--list") {
@@ -381,8 +395,24 @@ main(int argc, char **argv)
             opt.trace = &trace;
         }
 
+        // Window sharding: one sampled point, its measurement windows
+        // leased individually from the supplied live-point capture.
+        std::shared_ptr<const sample::LivePointLibrary> library;
+        if (!library_path.empty()) {
+            sim_throw_if(points.size() != 1, ErrCode::BadConfig,
+                         "imo-farm: --sample-library shards the "
+                         "windows of exactly one grid point, but the "
+                         "grid expands to %zu points",
+                         points.size());
+            library =
+                std::make_shared<const sample::LivePointLibrary>(
+                    sample::loadLibraryFile(library_path));
+        }
+
         const farm::FarmResult res =
-            farm::runFarm(points, opt, &g_stop);
+            library ? farm::runFarmWindows(points[0], library, opt,
+                                           &g_stop)
+                    : farm::runFarm(points, opt, &g_stop);
 
         // Telemetry artifacts are written on success and failure alike:
         // a post-mortem needs them most when the run went wrong.
@@ -408,6 +438,14 @@ main(int argc, char **argv)
             m.protocolVersion = farm::protocolVersion;
             m.faultSpec = fault_spec_joined;
             m.faultSeed = opt.faults.seed;
+            if (library) {
+                m.libraryMode = "load";
+                m.libraryPath = library_path;
+                m.libraryHash = simFormat(
+                    "%016llx", static_cast<unsigned long long>(
+                                   library->contentHash));
+                m.libraryWindows = library->points.size();
+            }
             m.status = res.ok ? "ok"
                               : (res.error.code == ErrCode::Interrupted
                                      ? "interrupted"

@@ -32,10 +32,13 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "common/manifest.hh"
 #include "obs/trace.hh"
+#include "sample/livepoint.hh"
 #include "sweep/gridcli.hh"
 #include "sweep/sweep.hh"
 
@@ -78,6 +81,11 @@ usage()
         "(run id,\n"
         "                          per-point wall times, final "
         "status)\n"
+        "  --sample-library PATH   serve matching sampled points from "
+        "a captured\n"
+        "                          live-point library (.imolib) "
+        "instead of re-running\n"
+        "                          functional warming\n"
         "  --list                  print the expanded grid and exit\n"
         "  --quiet                 suppress warn/info diagnostics\n",
         sweep::gridAxesHelp());
@@ -96,6 +104,7 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string trace_format = "chrome";
     std::string manifest_path;
+    std::string library_path;
 
     const std::vector<std::string> cli_args(argv + 1, argv + argc);
 
@@ -124,6 +133,8 @@ main(int argc, char **argv)
                     return usage();
             } else if (arg == "--manifest") {
                 manifest_path = value();
+            } else if (arg == "--sample-library") {
+                library_path = value();
             } else if (arg == "--list") {
                 list_only = true;
             } else if (arg == "--quiet") {
@@ -167,12 +178,30 @@ main(int argc, char **argv)
         };
         const std::uint64_t run_start = steady_ms();
 
+        // Live-point library sharing: geometry-matching sampled points
+        // run one functional-warming pass between them (or none at
+        // all, with a supplied library). Report bytes are unaffected.
+        sweep::LibrarySharing sharing;
+        if (!library_path.empty()) {
+            sharing.supplied =
+                std::make_shared<const sample::LivePointLibrary>(
+                    sample::loadLibraryFile(library_path));
+        }
+
         std::vector<std::uint8_t> completed;
         std::vector<sweep::PointTiming> timings;
         const std::vector<sweep::SweepOutcome> outcomes =
             sweep::runSweep(points, jobs, &g_stop, &completed,
-                            want_telemetry ? &timings : nullptr);
+                            want_telemetry ? &timings : nullptr,
+                            &sharing);
         const std::uint64_t run_end = steady_ms();
+
+        if (sharing.captured || sharing.reused) {
+            inform("imo-sweep: live-point libraries: %llu captured, "
+                   "%llu points reused",
+                   static_cast<unsigned long long>(sharing.captured),
+                   static_cast<unsigned long long>(sharing.reused));
+        }
 
         // Telemetry artifacts first (written for interrupted runs too);
         // they never touch the report bytes.
@@ -211,6 +240,14 @@ main(int argc, char **argv)
             m.status = g_stop ? "interrupted" : "ok";
             m.elapsedMs = run_end - run_start;
             m.pointsTotal = points.size();
+            if (sharing.supplied) {
+                m.libraryMode = "load";
+                m.libraryPath = library_path;
+                m.libraryHash = simFormat(
+                    "%016llx", static_cast<unsigned long long>(
+                                   sharing.supplied->contentHash));
+                m.libraryWindows = sharing.supplied->points.size();
+            }
             for (std::size_t i = 0; i < points.size(); ++i) {
                 manifest::PointEntry e;
                 e.desc = sweep::describePoint(points[i]);
