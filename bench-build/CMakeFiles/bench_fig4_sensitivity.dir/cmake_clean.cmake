@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_sensitivity"
+  "../bench/bench_fig4_sensitivity.pdb"
+  "CMakeFiles/bench_fig4_sensitivity.dir/bench_fig4_sensitivity.cc.o"
+  "CMakeFiles/bench_fig4_sensitivity.dir/bench_fig4_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_handler100"
+  "../bench/bench_handler100.pdb"
+  "CMakeFiles/bench_handler100.dir/bench_handler100.cc.o"
+  "CMakeFiles/bench_handler100.dir/bench_handler100.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_handler100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

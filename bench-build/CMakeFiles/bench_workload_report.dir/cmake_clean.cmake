@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_workload_report"
+  "../bench/bench_workload_report.pdb"
+  "CMakeFiles/bench_workload_report.dir/bench_workload_report.cc.o"
+  "CMakeFiles/bench_workload_report.dir/bench_workload_report.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

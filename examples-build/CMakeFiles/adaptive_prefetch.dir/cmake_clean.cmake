@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/adaptive_prefetch"
+  "../examples/adaptive_prefetch.pdb"
+  "CMakeFiles/adaptive_prefetch.dir/adaptive_prefetch.cpp.o"
+  "CMakeFiles/adaptive_prefetch.dir/adaptive_prefetch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

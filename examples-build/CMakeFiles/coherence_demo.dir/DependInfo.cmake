@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/coherence_demo.cpp" "examples-build/CMakeFiles/coherence_demo.dir/coherence_demo.cpp.o" "gcc" "examples-build/CMakeFiles/coherence_demo.dir/coherence_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/coherence/CMakeFiles/imo_coherence.dir/DependInfo.cmake"
+  "/root/repo/src/farm/CMakeFiles/imo_farm.dir/DependInfo.cmake"
+  "/root/repo/src/sweep/CMakeFiles/imo_sweep.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/imo_core.dir/DependInfo.cmake"
+  "/root/repo/src/workloads/CMakeFiles/imo_workloads.dir/DependInfo.cmake"
+  "/root/repo/src/sample/CMakeFiles/imo_sample.dir/DependInfo.cmake"
+  "/root/repo/src/pipeline/CMakeFiles/imo_pipeline.dir/DependInfo.cmake"
+  "/root/repo/src/branch/CMakeFiles/imo_branch.dir/DependInfo.cmake"
+  "/root/repo/src/func/CMakeFiles/imo_func.dir/DependInfo.cmake"
+  "/root/repo/src/isa/CMakeFiles/imo_isa.dir/DependInfo.cmake"
+  "/root/repo/src/memory/CMakeFiles/imo_memory.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/imo_obs.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/imo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/coherence_demo"
+  "../examples/coherence_demo.pdb"
+  "CMakeFiles/coherence_demo.dir/coherence_demo.cpp.o"
+  "CMakeFiles/coherence_demo.dir/coherence_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

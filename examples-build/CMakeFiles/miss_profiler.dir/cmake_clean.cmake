@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/miss_profiler"
+  "../examples/miss_profiler.pdb"
+  "CMakeFiles/miss_profiler.dir/miss_profiler.cpp.o"
+  "CMakeFiles/miss_profiler.dir/miss_profiler.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miss_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/multithread_switch"
+  "../examples/multithread_switch.pdb"
+  "CMakeFiles/multithread_switch.dir/multithread_switch.cpp.o"
+  "CMakeFiles/multithread_switch.dir/multithread_switch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multithread_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("isa")
+subdirs("memory")
+subdirs("branch")
+subdirs("func")
+subdirs("core")
+subdirs("pipeline")
+subdirs("workloads")
+subdirs("coherence")
+subdirs("sample")
+subdirs("sweep")
+subdirs("farm")

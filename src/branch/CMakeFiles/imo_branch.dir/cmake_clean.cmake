@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imo_branch.dir/predictor.cc.o"
+  "CMakeFiles/imo_branch.dir/predictor.cc.o.d"
+  "libimo_branch.a"
+  "libimo_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imo_coherence.dir/directory.cc.o"
+  "CMakeFiles/imo_coherence.dir/directory.cc.o.d"
+  "CMakeFiles/imo_coherence.dir/kernels.cc.o"
+  "CMakeFiles/imo_coherence.dir/kernels.cc.o.d"
+  "CMakeFiles/imo_coherence.dir/machine.cc.o"
+  "CMakeFiles/imo_coherence.dir/machine.cc.o.d"
+  "CMakeFiles/imo_coherence.dir/params.cc.o"
+  "CMakeFiles/imo_coherence.dir/params.cc.o.d"
+  "libimo_coherence.a"
+  "libimo_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/checkpoint.cc" "src/common/CMakeFiles/imo_common.dir/checkpoint.cc.o" "gcc" "src/common/CMakeFiles/imo_common.dir/checkpoint.cc.o.d"
+  "/root/repo/src/common/diagring.cc" "src/common/CMakeFiles/imo_common.dir/diagring.cc.o" "gcc" "src/common/CMakeFiles/imo_common.dir/diagring.cc.o.d"
+  "/root/repo/src/common/error.cc" "src/common/CMakeFiles/imo_common.dir/error.cc.o" "gcc" "src/common/CMakeFiles/imo_common.dir/error.cc.o.d"
+  "/root/repo/src/common/faultinject.cc" "src/common/CMakeFiles/imo_common.dir/faultinject.cc.o" "gcc" "src/common/CMakeFiles/imo_common.dir/faultinject.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/common/CMakeFiles/imo_common.dir/json.cc.o" "gcc" "src/common/CMakeFiles/imo_common.dir/json.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/imo_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/imo_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/manifest.cc" "src/common/CMakeFiles/imo_common.dir/manifest.cc.o" "gcc" "src/common/CMakeFiles/imo_common.dir/manifest.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/imo_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/imo_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/common/CMakeFiles/imo_common.dir/table.cc.o" "gcc" "src/common/CMakeFiles/imo_common.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

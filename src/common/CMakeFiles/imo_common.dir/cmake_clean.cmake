@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imo_common.dir/checkpoint.cc.o"
+  "CMakeFiles/imo_common.dir/checkpoint.cc.o.d"
+  "CMakeFiles/imo_common.dir/diagring.cc.o"
+  "CMakeFiles/imo_common.dir/diagring.cc.o.d"
+  "CMakeFiles/imo_common.dir/error.cc.o"
+  "CMakeFiles/imo_common.dir/error.cc.o.d"
+  "CMakeFiles/imo_common.dir/faultinject.cc.o"
+  "CMakeFiles/imo_common.dir/faultinject.cc.o.d"
+  "CMakeFiles/imo_common.dir/json.cc.o"
+  "CMakeFiles/imo_common.dir/json.cc.o.d"
+  "CMakeFiles/imo_common.dir/logging.cc.o"
+  "CMakeFiles/imo_common.dir/logging.cc.o.d"
+  "CMakeFiles/imo_common.dir/manifest.cc.o"
+  "CMakeFiles/imo_common.dir/manifest.cc.o.d"
+  "CMakeFiles/imo_common.dir/stats.cc.o"
+  "CMakeFiles/imo_common.dir/stats.cc.o.d"
+  "CMakeFiles/imo_common.dir/table.cc.o"
+  "CMakeFiles/imo_common.dir/table.cc.o.d"
+  "libimo_common.a"
+  "libimo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

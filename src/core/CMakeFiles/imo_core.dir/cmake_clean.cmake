@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imo_core.dir/handlers.cc.o"
+  "CMakeFiles/imo_core.dir/handlers.cc.o.d"
+  "CMakeFiles/imo_core.dir/informing.cc.o"
+  "CMakeFiles/imo_core.dir/informing.cc.o.d"
+  "libimo_core.a"
+  "libimo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

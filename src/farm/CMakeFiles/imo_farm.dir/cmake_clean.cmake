@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imo_farm.dir/farm.cc.o"
+  "CMakeFiles/imo_farm.dir/farm.cc.o.d"
+  "CMakeFiles/imo_farm.dir/proto.cc.o"
+  "CMakeFiles/imo_farm.dir/proto.cc.o.d"
+  "CMakeFiles/imo_farm.dir/store.cc.o"
+  "CMakeFiles/imo_farm.dir/store.cc.o.d"
+  "CMakeFiles/imo_farm.dir/telemetry.cc.o"
+  "CMakeFiles/imo_farm.dir/telemetry.cc.o.d"
+  "CMakeFiles/imo_farm.dir/transport.cc.o"
+  "CMakeFiles/imo_farm.dir/transport.cc.o.d"
+  "CMakeFiles/imo_farm.dir/worker.cc.o"
+  "CMakeFiles/imo_farm.dir/worker.cc.o.d"
+  "libimo_farm.a"
+  "libimo_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imo_func.dir/executor.cc.o"
+  "CMakeFiles/imo_func.dir/executor.cc.o.d"
+  "libimo_func.a"
+  "libimo_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

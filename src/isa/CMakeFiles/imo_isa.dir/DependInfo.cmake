@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/asm.cc" "src/isa/CMakeFiles/imo_isa.dir/asm.cc.o" "gcc" "src/isa/CMakeFiles/imo_isa.dir/asm.cc.o.d"
+  "/root/repo/src/isa/builder.cc" "src/isa/CMakeFiles/imo_isa.dir/builder.cc.o" "gcc" "src/isa/CMakeFiles/imo_isa.dir/builder.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/isa/CMakeFiles/imo_isa.dir/disasm.cc.o" "gcc" "src/isa/CMakeFiles/imo_isa.dir/disasm.cc.o.d"
+  "/root/repo/src/isa/op.cc" "src/isa/CMakeFiles/imo_isa.dir/op.cc.o" "gcc" "src/isa/CMakeFiles/imo_isa.dir/op.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/isa/CMakeFiles/imo_isa.dir/program.cc.o" "gcc" "src/isa/CMakeFiles/imo_isa.dir/program.cc.o.d"
+  "/root/repo/src/isa/verify.cc" "src/isa/CMakeFiles/imo_isa.dir/verify.cc.o" "gcc" "src/isa/CMakeFiles/imo_isa.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/imo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imo_isa.dir/asm.cc.o"
+  "CMakeFiles/imo_isa.dir/asm.cc.o.d"
+  "CMakeFiles/imo_isa.dir/builder.cc.o"
+  "CMakeFiles/imo_isa.dir/builder.cc.o.d"
+  "CMakeFiles/imo_isa.dir/disasm.cc.o"
+  "CMakeFiles/imo_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/imo_isa.dir/op.cc.o"
+  "CMakeFiles/imo_isa.dir/op.cc.o.d"
+  "CMakeFiles/imo_isa.dir/program.cc.o"
+  "CMakeFiles/imo_isa.dir/program.cc.o.d"
+  "CMakeFiles/imo_isa.dir/verify.cc.o"
+  "CMakeFiles/imo_isa.dir/verify.cc.o.d"
+  "libimo_isa.a"
+  "libimo_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

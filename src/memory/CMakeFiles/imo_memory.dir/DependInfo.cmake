@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/cache.cc" "src/memory/CMakeFiles/imo_memory.dir/cache.cc.o" "gcc" "src/memory/CMakeFiles/imo_memory.dir/cache.cc.o.d"
+  "/root/repo/src/memory/hierarchy.cc" "src/memory/CMakeFiles/imo_memory.dir/hierarchy.cc.o" "gcc" "src/memory/CMakeFiles/imo_memory.dir/hierarchy.cc.o.d"
+  "/root/repo/src/memory/mshr.cc" "src/memory/CMakeFiles/imo_memory.dir/mshr.cc.o" "gcc" "src/memory/CMakeFiles/imo_memory.dir/mshr.cc.o.d"
+  "/root/repo/src/memory/timing.cc" "src/memory/CMakeFiles/imo_memory.dir/timing.cc.o" "gcc" "src/memory/CMakeFiles/imo_memory.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/imo_common.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/imo_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

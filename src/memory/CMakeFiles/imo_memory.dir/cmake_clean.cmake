@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imo_memory.dir/cache.cc.o"
+  "CMakeFiles/imo_memory.dir/cache.cc.o.d"
+  "CMakeFiles/imo_memory.dir/hierarchy.cc.o"
+  "CMakeFiles/imo_memory.dir/hierarchy.cc.o.d"
+  "CMakeFiles/imo_memory.dir/mshr.cc.o"
+  "CMakeFiles/imo_memory.dir/mshr.cc.o.d"
+  "CMakeFiles/imo_memory.dir/timing.cc.o"
+  "CMakeFiles/imo_memory.dir/timing.cc.o.d"
+  "libimo_memory.a"
+  "libimo_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

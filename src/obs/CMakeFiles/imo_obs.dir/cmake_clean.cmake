@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imo_obs.dir/profiler.cc.o"
+  "CMakeFiles/imo_obs.dir/profiler.cc.o.d"
+  "CMakeFiles/imo_obs.dir/trace.cc.o"
+  "CMakeFiles/imo_obs.dir/trace.cc.o.d"
+  "libimo_obs.a"
+  "libimo_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

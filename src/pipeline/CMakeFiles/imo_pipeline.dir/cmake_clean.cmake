@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imo_pipeline.dir/config.cc.o"
+  "CMakeFiles/imo_pipeline.dir/config.cc.o.d"
+  "CMakeFiles/imo_pipeline.dir/inorder/cpu.cc.o"
+  "CMakeFiles/imo_pipeline.dir/inorder/cpu.cc.o.d"
+  "CMakeFiles/imo_pipeline.dir/ooo/cpu.cc.o"
+  "CMakeFiles/imo_pipeline.dir/ooo/cpu.cc.o.d"
+  "CMakeFiles/imo_pipeline.dir/simulate.cc.o"
+  "CMakeFiles/imo_pipeline.dir/simulate.cc.o.d"
+  "libimo_pipeline.a"
+  "libimo_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imo_sample.dir/livepoint.cc.o"
+  "CMakeFiles/imo_sample.dir/livepoint.cc.o.d"
+  "CMakeFiles/imo_sample.dir/sample.cc.o"
+  "CMakeFiles/imo_sample.dir/sample.cc.o.d"
+  "libimo_sample.a"
+  "libimo_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

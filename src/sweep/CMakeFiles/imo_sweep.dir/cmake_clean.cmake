@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imo_sweep.dir/gridcli.cc.o"
+  "CMakeFiles/imo_sweep.dir/gridcli.cc.o.d"
+  "CMakeFiles/imo_sweep.dir/sweep.cc.o"
+  "CMakeFiles/imo_sweep.dir/sweep.cc.o.d"
+  "libimo_sweep.a"
+  "libimo_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

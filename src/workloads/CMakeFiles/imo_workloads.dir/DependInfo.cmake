@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/fp_kernels.cc" "src/workloads/CMakeFiles/imo_workloads.dir/fp_kernels.cc.o" "gcc" "src/workloads/CMakeFiles/imo_workloads.dir/fp_kernels.cc.o.d"
+  "/root/repo/src/workloads/int_kernels.cc" "src/workloads/CMakeFiles/imo_workloads.dir/int_kernels.cc.o" "gcc" "src/workloads/CMakeFiles/imo_workloads.dir/int_kernels.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/imo_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/imo_workloads.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/imo_common.dir/DependInfo.cmake"
+  "/root/repo/src/isa/CMakeFiles/imo_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imo_workloads.dir/fp_kernels.cc.o"
+  "CMakeFiles/imo_workloads.dir/fp_kernels.cc.o.d"
+  "CMakeFiles/imo_workloads.dir/int_kernels.cc.o"
+  "CMakeFiles/imo_workloads.dir/int_kernels.cc.o.d"
+  "CMakeFiles/imo_workloads.dir/suite.cc.o"
+  "CMakeFiles/imo_workloads.dir/suite.cc.o.d"
+  "libimo_workloads.a"
+  "libimo_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_random.dir/test_exec_random.cc.o"
+  "CMakeFiles/test_exec_random.dir/test_exec_random.cc.o.d"
+  "test_exec_random"
+  "test_exec_random.pdb"
+  "test_exec_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

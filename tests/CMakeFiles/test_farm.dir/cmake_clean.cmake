@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_farm.dir/test_farm.cc.o"
+  "CMakeFiles/test_farm.dir/test_farm.cc.o.d"
+  "test_farm"
+  "test_farm.pdb"
+  "test_farm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

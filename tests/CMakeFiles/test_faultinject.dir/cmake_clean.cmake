@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faultinject.dir/test_faultinject.cc.o"
+  "CMakeFiles/test_faultinject.dir/test_faultinject.cc.o.d"
+  "test_faultinject"
+  "test_faultinject.pdb"
+  "test_faultinject[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faultinject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_func.dir/test_func.cc.o"
+  "CMakeFiles/test_func.dir/test_func.cc.o.d"
+  "test_func"
+  "test_func.pdb"
+  "test_func[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_handlers.dir/test_handlers.cc.o"
+  "CMakeFiles/test_handlers.dir/test_handlers.cc.o.d"
+  "test_handlers"
+  "test_handlers.pdb"
+  "test_handlers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_handlers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

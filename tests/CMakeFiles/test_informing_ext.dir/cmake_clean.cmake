@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_informing_ext.dir/test_informing_ext.cc.o"
+  "CMakeFiles/test_informing_ext.dir/test_informing_ext.cc.o.d"
+  "test_informing_ext"
+  "test_informing_ext.pdb"
+  "test_informing_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_informing_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_livepoint.dir/test_livepoint.cc.o"
+  "CMakeFiles/test_livepoint.dir/test_livepoint.cc.o.d"
+  "test_livepoint"
+  "test_livepoint.pdb"
+  "test_livepoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_livepoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_livepoint.
+# This may be replaced when dependencies are built.

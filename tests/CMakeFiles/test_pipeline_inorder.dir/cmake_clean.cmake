@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_inorder.dir/test_pipeline_inorder.cc.o"
+  "CMakeFiles/test_pipeline_inorder.dir/test_pipeline_inorder.cc.o.d"
+  "test_pipeline_inorder"
+  "test_pipeline_inorder.pdb"
+  "test_pipeline_inorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_ooo.dir/test_pipeline_ooo.cc.o"
+  "CMakeFiles/test_pipeline_ooo.dir/test_pipeline_ooo.cc.o.d"
+  "test_pipeline_ooo"
+  "test_pipeline_ooo.pdb"
+  "test_pipeline_ooo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

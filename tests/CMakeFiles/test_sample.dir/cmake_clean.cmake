@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sample.dir/test_sample.cc.o"
+  "CMakeFiles/test_sample.dir/test_sample.cc.o.d"
+  "test_sample"
+  "test_sample.pdb"
+  "test_sample[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

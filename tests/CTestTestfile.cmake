@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/test_common[1]_include.cmake")
+include("/root/repo/tests/test_stats[1]_include.cmake")
+include("/root/repo/tests/test_obs[1]_include.cmake")
+include("/root/repo/tests/test_checkpoint[1]_include.cmake")
+include("/root/repo/tests/test_errors[1]_include.cmake")
+include("/root/repo/tests/test_faultinject[1]_include.cmake")
+include("/root/repo/tests/test_isa[1]_include.cmake")
+include("/root/repo/tests/test_asm[1]_include.cmake")
+include("/root/repo/tests/test_memory[1]_include.cmake")
+include("/root/repo/tests/test_mshr[1]_include.cmake")
+include("/root/repo/tests/test_branch[1]_include.cmake")
+include("/root/repo/tests/test_func[1]_include.cmake")
+include("/root/repo/tests/test_informing_func[1]_include.cmake")
+include("/root/repo/tests/test_informing_ext[1]_include.cmake")
+include("/root/repo/tests/test_timing_properties[1]_include.cmake")
+include("/root/repo/tests/test_exec_random[1]_include.cmake")
+include("/root/repo/tests/test_core[1]_include.cmake")
+include("/root/repo/tests/test_handlers[1]_include.cmake")
+include("/root/repo/tests/test_pipeline_inorder[1]_include.cmake")
+include("/root/repo/tests/test_pipeline_ooo[1]_include.cmake")
+include("/root/repo/tests/test_sweep[1]_include.cmake")
+include("/root/repo/tests/test_livepoint[1]_include.cmake")
+include("/root/repo/tests/test_sample[1]_include.cmake")
+include("/root/repo/tests/test_farm[1]_include.cmake")
+include("/root/repo/tests/test_workloads[1]_include.cmake")
+include("/root/repo/tests/test_coherence[1]_include.cmake")
+include("/root/repo/tests/test_coherence_kernels[1]_include.cmake")
+include("/root/repo/tests/test_integration[1]_include.cmake")

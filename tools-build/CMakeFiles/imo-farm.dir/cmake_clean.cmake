@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/imo-farm"
+  "../tools/imo-farm.pdb"
+  "CMakeFiles/imo-farm.dir/imo_farm.cc.o"
+  "CMakeFiles/imo-farm.dir/imo_farm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo-farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

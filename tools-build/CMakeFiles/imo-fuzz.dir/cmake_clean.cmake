@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/imo-fuzz"
+  "../tools/imo-fuzz.pdb"
+  "CMakeFiles/imo-fuzz.dir/imo_fuzz.cc.o"
+  "CMakeFiles/imo-fuzz.dir/imo_fuzz.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo-fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for imo-fuzz.
+# This may be replaced when dependencies are built.

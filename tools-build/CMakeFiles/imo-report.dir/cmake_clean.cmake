@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/imo-report"
+  "../tools/imo-report.pdb"
+  "CMakeFiles/imo-report.dir/imo_report.cc.o"
+  "CMakeFiles/imo-report.dir/imo_report.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo-report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

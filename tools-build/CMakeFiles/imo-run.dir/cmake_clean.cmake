@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/imo-run"
+  "../tools/imo-run.pdb"
+  "CMakeFiles/imo-run.dir/imo_run.cc.o"
+  "CMakeFiles/imo-run.dir/imo_run.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for imo-run.
+# This may be replaced when dependencies are built.

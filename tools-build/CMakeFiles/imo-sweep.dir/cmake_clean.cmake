@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/imo-sweep"
+  "../tools/imo-sweep.pdb"
+  "CMakeFiles/imo-sweep.dir/imo_sweep.cc.o"
+  "CMakeFiles/imo-sweep.dir/imo_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo-sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

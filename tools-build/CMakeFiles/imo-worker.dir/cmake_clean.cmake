@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/imo-worker"
+  "../tools/imo-worker.pdb"
+  "CMakeFiles/imo-worker.dir/imo_worker.cc.o"
+  "CMakeFiles/imo-worker.dir/imo_worker.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imo-worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
