@@ -15,6 +15,7 @@
 #include "obs/trace.hh"
 #include "func/executor.hh"
 #include "memory/cache.hh"
+#include "memory/multicache.hh"
 #include "memory/timing.hh"
 #include "pipeline/simulate.hh"
 #include "sample/sample.hh"
@@ -122,6 +123,81 @@ BM_SampledSimulation(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(insts));
 }
 BENCHMARK(BM_SampledSimulation)->Unit(benchmark::kMillisecond);
+
+/** Classification throughput of the single-pass multi-configuration
+ *  engine: one captured reference stream driven through Arg(0)
+ *  geometry configs at once. Items = references classified, so the
+ *  per-config amortization shows up directly as items/s scaling with
+ *  the arg (a dedicated pass would be flat). */
+void
+BM_MultiConfigPass(benchmark::State &state)
+{
+    struct Rec
+    {
+        Addr addr;
+        bool write;
+    };
+    struct Capture final : func::RefSink
+    {
+        std::vector<Rec> *out;
+        void
+        onAccess(Addr a, bool w) override
+        {
+            out->push_back({a, w});
+        }
+        void
+        onPrefetch(Addr) override
+        {
+        }
+    };
+    static const std::vector<Rec> stream = [] {
+        // alvinn at full scale: ~400k references, so the per-pass
+        // engine construction amortizes the way a real sweep's does.
+        workloads::WorkloadParams wp;
+        wp.scale = 1.0;
+        const isa::Program prog = core::instrument(
+            workloads::build("alvinn", wp),
+            core::InformingMode::None, {});
+        const auto cfg = pipeline::makeOutOfOrderConfig();
+        std::vector<Rec> recs;
+        Capture cap;
+        cap.out = &recs;
+        func::Executor exec(
+            prog, func::Executor::Config{
+                      .l1 = cfg.l1, .l2 = cfg.l2,
+                      .maxInstructions = cfg.maxInstructions});
+        exec.setRefSink(&cap);
+        exec.fastForward(~std::uint64_t{0} >> 1, nullptr);
+        return recs;
+    }();
+
+    const auto base = pipeline::makeOutOfOrderConfig();
+    const std::uint64_t sizes[] = {4096, 8192, 16384, 32768, 65536,
+                                   131072};
+    const std::uint32_t assocs[] = {1, 2, 4, 8};
+    std::vector<memory::MultiCacheConfig> cfgs;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+        memory::CacheGeometry g = base.l1;
+        g.sizeBytes = sizes[(i / 4) % 6];
+        g.assoc = assocs[i % 4];
+        cfgs.push_back({g, base.l2});
+    }
+
+    std::uint64_t refs = 0;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        memory::MultiCacheSim engine(cfgs);
+        for (const Rec &r : stream)
+            engine.access(r.addr, r.write);
+        engine.sync();
+        sink += engine.l1Misses(0);
+        refs += stream.size();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+}
+BENCHMARK(BM_MultiConfigPass)->Arg(1)->Arg(8)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
 
 /** The one-time cost of capturing a live-point library on top of the
  *  sampled run: the functional pass serializes every window's executor

@@ -63,6 +63,17 @@ writeManifestJson(std::ostream &os, const Manifest &m)
     os << ",\n ";
     emitString(os, "library_hash", m.libraryHash);
     os << ",\n \"library_windows\":" << m.libraryWindows
+       << ",\n \"multi_cache_groups\":[";
+    for (std::size_t i = 0; i < m.multiCacheGroups.size(); ++i) {
+        const MultiCacheGroupEntry &g = m.multiCacheGroups[i];
+        os << (i ? "," : "") << "\n  {\"members\":" << g.members
+           << ",\"configs\":" << g.configs
+           << ",\"stream_length\":" << g.streamLength
+           << ",\"prefetches\":" << g.prefetches
+           << ",\"windows\":" << g.windows << ",\"shared\":"
+           << (g.shared ? "true" : "false") << "}";
+    }
+    os << (m.multiCacheGroups.empty() ? "]" : "\n ]")
        << ",\n \"points\":[";
     for (std::size_t i = 0; i < m.points.size(); ++i) {
         const PointEntry &p = m.points[i];
@@ -79,7 +90,7 @@ writeManifestJson(std::ostream &os, const Manifest &m)
            << ",\"serialize_ms\":" << p.serializeMs
            << ",\"store_put_ms\":" << p.storePutMs
            << ",\"start_ms\":" << p.startMs << ",\"end_ms\":" << p.endMs
-           << ",";
+           << ",\"multi_cache_group\":" << p.multiCacheGroup << ",";
         emitString(os, "error", p.error);
         os << "}";
     }

@@ -29,8 +29,11 @@ namespace imo::manifest
 
 /** Bump on any incompatible change to the manifest JSON layout.
  *  v2: live-point library provenance (mode/path/hash/window count)
- *  joins the top level. */
-constexpr std::uint32_t manifestSchemaVersion = 2;
+ *  joins the top level.
+ *  v3: multi-cache shared-pass provenance — a top-level group table
+ *  (configs served, stream length, windows) plus a per-point group
+ *  index. */
+constexpr std::uint32_t manifestSchemaVersion = 3;
 
 /** Per-point outcome and timings. Fields a tool cannot know stay 0 /
  *  empty and are still emitted (fixed schema beats optional keys). */
@@ -48,6 +51,23 @@ struct PointEntry
     std::uint64_t startMs = 0;     //!< start, ms since run start
     std::uint64_t endMs = 0;       //!< end, ms since run start
     std::string error;             //!< "[Code] message" when failed
+    /** Index into Manifest::multiCacheGroups of the shared pass that
+     *  served this point; -1 = ran on its own. */
+    std::int32_t multiCacheGroup = -1;
+};
+
+/** Provenance of one multi-cache shared pass (see
+ *  sweep::MultiCacheGroup): which reference stream served how many
+ *  configs, so any grouped point's result can be traced back to the
+ *  single pass that produced it. */
+struct MultiCacheGroupEntry
+{
+    std::uint64_t members = 0;      //!< points served by the group
+    std::uint64_t configs = 0;      //!< distinct (L1, L2) classes
+    std::uint64_t streamLength = 0; //!< demand references classified
+    std::uint64_t prefetches = 0;   //!< prefetches observed
+    std::uint64_t windows = 0;      //!< SMARTS windows served
+    bool shared = false; //!< false = fell back to dedicated points
 };
 
 struct Manifest
@@ -72,6 +92,10 @@ struct Manifest
     std::string libraryPath;
     std::string libraryHash; //!< contentHash as 16 hex digits
     std::uint64_t libraryWindows = 0;
+
+    /** Multi-cache shared-pass provenance; empty when --multi-cache was
+     *  off or nothing grouped. PointEntry::multiCacheGroup indexes it. */
+    std::vector<MultiCacheGroupEntry> multiCacheGroups;
 
     std::vector<PointEntry> points;
     std::string statsJson; //!< embedded stats dump (raw JSON), "" = none

@@ -68,6 +68,12 @@ struct Slot
     std::shared_ptr<const sample::LivePointLibrary> library;
     std::uint64_t windowIndex = LeaseMsg::noWindow;
 
+    /** Multi-cache group slot: the members served by one shared-pass
+     *  lease (empty = a plain point or window slot). The fragment is
+     *  then an encodeFragmentBundle() of the members' fragments. */
+    std::vector<sweep::SweepPoint> groupPoints;
+    std::uint64_t groupConfigs = 0; //!< distinct (L1, L2) classes
+
     std::vector<std::uint8_t> fragment;
     bool done = false;
     bool queued = false;       //!< sitting in the pending queue
@@ -416,6 +422,8 @@ class Coordinator
                 s.library->points[s.windowIndex];
             msg.warmImage = lp.warmImage;
             msg.execImage = lp.execImage;
+        } else if (!_slots[slot].groupPoints.empty()) {
+            msg.groupPoints = _slots[slot].groupPoints;
         }
         try {
             w.io->sendFrame(FrameType::Lease, encodeLease(msg));
@@ -976,7 +984,9 @@ driveSlots(std::vector<Slot> slots, const FarmOptions &opt,
 
     FarmTelemetry tel(opt, farm_start);
     for (std::size_t i = 0; i < slots.size(); ++i)
-        tel.describeSlot(i, slots[i].key.hex(), slots[i].desc);
+        tel.describeSlot(i, slots[i].key.hex(), slots[i].desc,
+                         slots[i].groupPoints.size(),
+                         slots[i].groupConfigs);
 
     std::optional<ResultStore> store;
     if (!opt.storeDir.empty()) {
@@ -1054,6 +1064,20 @@ runFarm(const std::vector<sweep::SweepPoint> &points,
     res.runId = opt.runId;
     res.stats.points = points.size();
 
+    // Multi-cache planning first: every grouped point is served by its
+    // group's single shared-pass lease and skips per-point content
+    // addressing entirely. The plan is a pure function of the point
+    // list, so a resumed farm derives identical slots and keys.
+    std::vector<std::vector<std::size_t>> plan;
+    std::vector<long> group_of(points.size(), -1);
+    if (opt.multiCache) {
+        plan = sweep::planMultiCacheGroups(points);
+        for (std::size_t g = 0; g < plan.size(); ++g)
+            for (const std::size_t i : plan[g])
+                group_of[i] = static_cast<long>(g);
+        res.stats.multiCacheGroups = plan.size();
+    }
+
     // Content addressing builds and instruments each point's program,
     // which can rival a short simulation in cost — so first collapse
     // structurally identical points (their wire encoding covers every
@@ -1063,6 +1087,8 @@ runFarm(const std::vector<sweep::SweepPoint> &points,
     std::map<std::string, std::size_t> by_struct;
     std::vector<std::size_t> struct_of(points.size());
     for (std::size_t i = 0; i < points.size(); ++i) {
+        if (group_of[i] >= 0)
+            continue;
         LeaseMsg probe;
         probe.point = points[i];
         const std::vector<std::uint8_t> enc = encodeLease(probe);
@@ -1073,9 +1099,17 @@ runFarm(const std::vector<sweep::SweepPoint> &points,
         struct_of[i] = it->second;
     }
     std::vector<std::function<PointKey()>> key_tasks;
-    key_tasks.reserve(distinct.size());
+    key_tasks.reserve(distinct.size() + plan.size());
     for (const sweep::SweepPoint &p : distinct)
         key_tasks.emplace_back([&p] { return keyForPoint(p); });
+    std::vector<std::vector<sweep::SweepPoint>> group_members(
+        plan.size());
+    for (std::size_t g = 0; g < plan.size(); ++g) {
+        for (const std::size_t i : plan[g])
+            group_members[g].push_back(points[i]);
+        const std::vector<sweep::SweepPoint> &m = group_members[g];
+        key_tasks.emplace_back([&m] { return keyForGroup(m); });
+    }
     const std::vector<PointKey> keys =
         sweep::runOrdered(key_tasks, std::max(1u, options.workers));
 
@@ -1085,6 +1119,8 @@ runFarm(const std::vector<sweep::SweepPoint> &points,
     std::map<std::string, std::size_t> slot_by_key;
     std::vector<std::size_t> slot_of(points.size());
     for (std::size_t i = 0; i < points.size(); ++i) {
+        if (group_of[i] >= 0)
+            continue;
         const PointKey &key = keys[struct_of[i]];
         const auto [it, inserted] =
             slot_by_key.emplace(key.hex(), slots.size());
@@ -1097,13 +1133,75 @@ runFarm(const std::vector<sweep::SweepPoint> &points,
         }
         slot_of[i] = it->second;
     }
+    std::vector<std::size_t> group_slot(plan.size());
+    for (std::size_t g = 0; g < plan.size(); ++g) {
+        Slot s;
+        s.key = keys[distinct.size() + g];
+        s.point = group_members[g].front();
+        s.groupPoints = group_members[g];
+        // Same distinct-class count the shared pass derives, so the
+        // manifest's "configs" means one thing farm-wide.
+        for (const sweep::SweepPoint &p : s.groupPoints) {
+            const pipeline::MachineConfig cfg = p.resolveConfig();
+            bool fresh = true;
+            for (std::size_t j = 0; fresh && j < s.groupConfigs; ++j) {
+                const pipeline::MachineConfig other =
+                    s.groupPoints[j].resolveConfig();
+                fresh = !(other.l1.sizeBytes == cfg.l1.sizeBytes &&
+                          other.l1.lineBytes == cfg.l1.lineBytes &&
+                          other.l1.assoc == cfg.l1.assoc &&
+                          other.l2.sizeBytes == cfg.l2.sizeBytes &&
+                          other.l2.lineBytes == cfg.l2.lineBytes &&
+                          other.l2.assoc == cfg.l2.assoc);
+            }
+            if (fresh)
+                ++s.groupConfigs;
+        }
+        s.desc = simFormat(
+            "multi-cache group of %zu (%llu configs): %s",
+            s.groupPoints.size(),
+            static_cast<unsigned long long>(s.groupConfigs),
+            sweep::describePoint(s.point).c_str());
+        group_slot[g] = slots.size();
+        slots.push_back(std::move(s));
+        res.stats.pointsGrouped += plan[g].size();
+    }
 
     slots = driveSlots(std::move(slots), opt, farm_start, res, stop);
 
     if (res.ok) {
+        // Split every group bundle back into member fragments before
+        // assembling the report, validating the member count against
+        // the plan (a short bundle is a protocol violation, not a
+        // retryable fault).
+        std::vector<std::vector<std::vector<std::uint8_t>>> split(
+            plan.size());
+        for (std::size_t g = 0; g < plan.size(); ++g) {
+            try {
+                split[g] = decodeFragmentBundle(
+                    slots[group_slot[g]].fragment);
+                sim_throw_if(split[g].size() != plan[g].size(),
+                             ErrCode::WorkerLost,
+                             "farm: multi-cache group bundle holds %zu "
+                             "fragments for %zu members",
+                             split[g].size(), plan[g].size());
+            } catch (const SimException &e) {
+                res.ok = false;
+                res.error = e.error();
+                return res;
+            }
+        }
+        std::vector<std::size_t> member_pos(plan.size(), 0);
         res.fragments.reserve(points.size());
-        for (std::size_t i = 0; i < points.size(); ++i)
-            res.fragments.push_back(slots[slot_of[i]].fragment);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (group_of[i] >= 0) {
+                const std::size_t g =
+                    static_cast<std::size_t>(group_of[i]);
+                res.fragments.push_back(split[g][member_pos[g]++]);
+            } else {
+                res.fragments.push_back(slots[slot_of[i]].fragment);
+            }
+        }
     }
     return res;
 }

@@ -93,6 +93,13 @@ struct FarmOptions
      *  memoized re-run). */
     bool resume = false;
 
+    /** Single-pass multi-configuration cache simulation: sampled
+     *  points differing only in cache geometry / timing knobs form
+     *  group leases — one worker classifies every member geometry in
+     *  one pass over the shared reference stream (sweep::MultiCache)
+     *  and returns a fragment bundle. Report bytes are unchanged. */
+    bool multiCache = false;
+
     /** Lease deadline: a worker that neither heartbeats nor delivers
      *  for this long is declared lost. */
     std::uint64_t leaseMs = 10'000;
@@ -154,6 +161,8 @@ struct FarmStats
     std::uint64_t storeCorrupt = 0; //!< records failing key/CRC checks
     std::uint64_t authFailures = 0; //!< peers rejected at admission
     std::uint64_t remotesAdmitted = 0; //!< TCP peers through admission
+    std::uint64_t multiCacheGroups = 0; //!< group leases planned
+    std::uint64_t pointsGrouped = 0; //!< points served by group leases
 };
 
 /** Per-unique-slot operational record of one farm run: attempt counts
@@ -173,6 +182,10 @@ struct SlotRecord
     std::uint64_t startMs = 0;     //!< first grant, ms since run start
     std::uint64_t endMs = 0;       //!< result accepted (or store hit)
     std::uint64_t fragmentBytes = 0;
+    /** Members of a multi-cache group slot (0 = a plain point or
+     *  window slot). Drives manifest group provenance. */
+    std::uint64_t groupMembers = 0;
+    std::uint64_t groupConfigs = 0; //!< distinct (L1, L2) classes
 };
 
 /** Outcome of a farm run. */

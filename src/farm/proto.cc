@@ -348,6 +348,9 @@ encodeLease(const LeaseMsg &msg)
     s.u64(msg.libraryHash);
     s.vecU8(msg.warmImage);
     s.vecU8(msg.execImage);
+    s.u32(static_cast<std::uint32_t>(msg.groupPoints.size()));
+    for (const sweep::SweepPoint &p : msg.groupPoints)
+        savePoint(s, p);
     s.endSection();
     return s.finish();
 }
@@ -365,6 +368,10 @@ decodeLease(const std::vector<std::uint8_t> &payload)
         msg.libraryHash = d.u64();
         msg.warmImage = d.vecU8();
         msg.execImage = d.vecU8();
+        const std::uint32_t group = d.u32();
+        msg.groupPoints.reserve(group);
+        for (std::uint32_t i = 0; i < group; ++i)
+            msg.groupPoints.push_back(restorePoint(d));
         d.closeSection();
         return msg;
     });
@@ -484,6 +491,35 @@ decodeStats(const std::vector<std::uint8_t> &payload)
         msg.statsJson = d.str();
         d.closeSection();
         return msg;
+    });
+}
+
+std::vector<std::uint8_t>
+encodeFragmentBundle(
+    const std::vector<std::vector<std::uint8_t>> &fragments)
+{
+    Serializer s;
+    s.beginSection("bundle");
+    s.u32(static_cast<std::uint32_t>(fragments.size()));
+    for (const std::vector<std::uint8_t> &f : fragments)
+        s.vecU8(f);
+    s.endSection();
+    return s.finish();
+}
+
+std::vector<std::vector<std::uint8_t>>
+decodeFragmentBundle(const std::vector<std::uint8_t> &bundle)
+{
+    return decodePayload("bundle", [&] {
+        Deserializer d(bundle);
+        d.openSection("bundle");
+        const std::uint32_t n = d.u32();
+        std::vector<std::vector<std::uint8_t>> fragments;
+        fragments.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            fragments.push_back(d.vecU8());
+        d.closeSection();
+        return fragments;
     });
 }
 

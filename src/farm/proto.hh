@@ -46,8 +46,11 @@ namespace imo::farm
  *  v4: Lease optionally carries one live-point window (index, library
  *      hash, warm/executor images) so a sampled point's measurement
  *      windows shard across workers.
+ *  v5: Lease optionally carries a multi-cache point group; the worker
+ *      answers with a fragment bundle (one report fragment per
+ *      member, produced by a single shared pass).
  */
-constexpr std::uint32_t protocolVersion = 4;
+constexpr std::uint32_t protocolVersion = 5;
 
 /** Wire message types. */
 enum class FrameType : std::uint32_t
@@ -176,6 +179,13 @@ struct LeaseMsg
     std::uint64_t libraryHash = 0;         //!< LivePointLibrary::contentHash
     std::vector<std::uint8_t> warmImage;   //!< predictor warm state
     std::vector<std::uint8_t> execImage;   //!< functional executor state
+
+    /** Multi-cache group lease (v5): when nonempty, the worker runs
+     *  sweep::runPointGroup() over these members (point is then the
+     *  first member, kept for logs) and its Result fragment is a
+     *  fragment *bundle* — encodeFragmentBundle() of one report-JSON
+     *  fragment per member, in member order. */
+    std::vector<sweep::SweepPoint> groupPoints;
 };
 
 /** Result: the slot and the point's report-JSON fragment bytes. */
@@ -226,6 +236,15 @@ ErrorMsg decodeError(const std::vector<std::uint8_t> &payload);
 
 std::vector<std::uint8_t> encodeStats(const StatsMsg &msg);
 StatsMsg decodeStats(const std::vector<std::uint8_t> &payload);
+
+/** Fragment bundle: the Result payload of a multi-cache group lease —
+ *  every member's report-JSON fragment, in member order, in one
+ *  length-checked container. Also the store record format of a group
+ *  slot, so memoized group results split identically. */
+std::vector<std::uint8_t>
+encodeFragmentBundle(const std::vector<std::vector<std::uint8_t>> &fragments);
+std::vector<std::vector<std::uint8_t>>
+decodeFragmentBundle(const std::vector<std::uint8_t> &bundle);
 
 } // namespace imo::farm
 

@@ -122,6 +122,36 @@ keyForPoint(const sweep::SweepPoint &point)
 }
 
 PointKey
+keyForGroup(const std::vector<sweep::SweepPoint> &members)
+{
+    sim_throw_if(members.empty(), ErrCode::BadConfig,
+                 "result store: cannot key an empty point group");
+    PointKey key;
+    Fnv64 cfg;
+    cfg.str("multicache-group"); // domain tag: never aliases a point
+    cfg.u64(members.size());
+    for (const sweep::SweepPoint &p : members)
+        mixPoint(cfg, p);
+    key.configHash = cfg.value();
+
+    // Members agree on workload/mode/handlerLen/scale/seed (the
+    // multi-cache grouping key), so the shared program fingerprints
+    // once for the whole group.
+    workloads::WorkloadParams wp;
+    wp.scale = members.front().scale;
+    wp.seed = members.front().seed;
+    const isa::Program base =
+        workloads::build(members.front().workload, wp);
+    const isa::Program prog =
+        core::instrument(base, members.front().mode,
+                         {.length = members.front().handlerLen});
+    key.programHash = prog.fingerprint();
+
+    key.schemaVersion = sweep::reportSchemaVersion;
+    return key;
+}
+
+PointKey
 keyForWindow(const sweep::SweepPoint &point, std::uint64_t libraryHash,
              std::uint64_t windowIndex)
 {

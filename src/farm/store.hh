@@ -74,6 +74,15 @@ PointKey keyForWindow(const sweep::SweepPoint &point,
                       std::uint64_t libraryHash,
                       std::uint64_t windowIndex);
 
+/**
+ * Content address of one multi-cache group slot. The config hash
+ * digests every member point under a distinct domain tag (a group
+ * record — a fragment bundle — can never alias a whole-point record);
+ * the program hash fingerprints the shared instrumented program, which
+ * every member agrees on by the grouping key. Builds the program once.
+ */
+PointKey keyForGroup(const std::vector<sweep::SweepPoint> &members);
+
 /** Outcome of a store lookup. */
 enum class StoreGet : std::uint8_t
 {

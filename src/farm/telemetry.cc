@@ -68,11 +68,15 @@ FarmTelemetry::slotState(std::size_t slot)
 
 void
 FarmTelemetry::describeSlot(std::size_t slot, std::string key_hex,
-                            std::string desc)
+                            std::string desc,
+                            std::uint64_t group_members,
+                            std::uint64_t group_configs)
 {
     SlotState &s = slotState(slot);
     s.rec.keyHex = std::move(key_hex);
     s.rec.desc = std::move(desc);
+    s.rec.groupMembers = group_members;
+    s.rec.groupConfigs = group_configs;
 }
 
 void

@@ -53,7 +53,9 @@ class FarmTelemetry
 
     // --- Slot lifecycle ---------------------------------------------
     void describeSlot(std::size_t slot, std::string key_hex,
-                      std::string desc);
+                      std::string desc,
+                      std::uint64_t group_members = 0,
+                      std::uint64_t group_configs = 0);
     void noteStoreHit(std::size_t slot, std::uint64_t now);
     void noteEnqueue(std::size_t slot, std::uint64_t now);
     void noteRetry(std::size_t slot, unsigned attempts,

@@ -323,13 +323,19 @@ serveSession(int rfd, int wfd, const SessionParams &params,
             *admitted = true;
         const LeaseMsg lease = decodeLease(frame.payload);
         const bool is_window = lease.windowIndex != LeaseMsg::noWindow;
+        const bool is_group = !lease.groupPoints.empty();
         event("lease", lease.slot,
               is_window
                   ? simFormat("%s window %llu",
                               sweep::describePoint(lease.point).c_str(),
                               static_cast<unsigned long long>(
                                   lease.windowIndex))
-                  : sweep::describePoint(lease.point));
+                  : (is_group
+                         ? simFormat(
+                               "multi-cache group of %zu: %s",
+                               lease.groupPoints.size(),
+                               sweep::describePoint(lease.point).c_str())
+                         : sweep::describePoint(lease.point)));
 
         if (inject.fire(FaultPoint::WorkerKill)) {
             // Crash / preemption: die without a word mid-lease.
@@ -360,12 +366,35 @@ serveSession(int rfd, int wfd, const SessionParams &params,
         });
 
         std::ostringstream fragment;
+        std::vector<std::uint8_t> bundle;
         bool sim_ok = true;
         SimError sim_err;
         StatsMsg point_stats;
         point_stats.slot = lease.slot;
         try {
-            if (is_window) {
+            if (is_group) {
+                // Multi-cache group: one shared pass classifies every
+                // member geometry; the fragment is a bundle of the
+                // members' report fragments, split by the coordinator.
+                const std::uint64_t t0 = steadyMs();
+                const std::vector<sweep::SweepOutcome> outcomes =
+                    sweep::runPointGroup(lease.groupPoints);
+                const std::uint64_t t1 = steadyMs();
+                std::vector<std::vector<std::uint8_t>> frags;
+                frags.reserve(outcomes.size());
+                for (const sweep::SweepOutcome &o : outcomes) {
+                    std::ostringstream one;
+                    sweep::writePointJson(one, o);
+                    const std::string text = one.str();
+                    frags.emplace_back(text.begin(), text.end());
+                }
+                bundle = encodeFragmentBundle(frags);
+                const std::uint64_t t2 = steadyMs();
+                point_stats.simulateMs = t1 - t0;
+                point_stats.serializeMs = t2 - t1;
+                point_stats.statsJson = simFormat(
+                    "{\"cycles\":0,\"instructions\":0}");
+            } else if (is_window) {
                 // Window shard: the fragment is the fixed-width
                 // WindowSample encoding, not report JSON — the
                 // coordinator folds the shards into the point's
@@ -441,11 +470,14 @@ serveSession(int rfd, int wfd, const SessionParams &params,
         ResultMsg result;
         result.slot = lease.slot;
         const std::string &text = fragment.str();
-        result.fragment.assign(text.begin(), text.end());
+        if (is_group)
+            result.fragment = std::move(bundle);
+        else
+            result.fragment.assign(text.begin(), text.end());
         writer.send(FrameType::Result, encodeResult(result));
         event("result", lease.slot,
               simFormat("%zu bytes, %llu ms simulate",
-                        text.size(),
+                        result.fragment.size(),
                         static_cast<unsigned long long>(
                             point_stats.simulateMs)));
     }

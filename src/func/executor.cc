@@ -177,6 +177,8 @@ Executor::stepImpl(TraceRecord *out, WarmSink *warm)
             readIreg(in.rs1) + static_cast<std::uint64_t>(in.imm);
         const bool is_store = isa::isStore(in.op);
         const MemLevel level = _hier.access(addr, is_store);
+        if (_refSink) [[unlikely]]
+            _refSink->onAccess(addr, is_store);
 
         switch (in.op) {
           case Op::LD:
@@ -234,6 +236,8 @@ Executor::stepImpl(TraceRecord *out, WarmSink *warm)
         const Addr addr =
             readIreg(in.rs1) + static_cast<std::uint64_t>(in.imm);
         _hier.prefetch(addr);
+        if (_refSink) [[unlikely]]
+            _refSink->onPrefetch(addr);
         if constexpr (Fill)
             out->addr = addr;
         ++_stats.prefetches;

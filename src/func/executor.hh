@@ -84,6 +84,25 @@ class WarmSink
     virtual void condBranch(InstAddr pc, bool taken) = 0;
 };
 
+/**
+ * Observes the raw data-reference stream (demand accesses and software
+ * prefetches) as the executor produces it, independent of the
+ * executor's own hierarchy outcome. This is the attachment point of
+ * the multi-configuration cache engine (memory::MultiCacheSim): one
+ * functional pass can classify the stream for many geometries at once.
+ */
+class RefSink
+{
+  public:
+    virtual ~RefSink() = default;
+
+    /** A demand data reference to @p addr retired. */
+    virtual void onAccess(Addr addr, bool is_write) = 0;
+
+    /** A software prefetch of @p addr retired. */
+    virtual void onPrefetch(Addr addr) = 0;
+};
+
 /** Executes one MRISC program against a reference cache hierarchy. */
 class Executor : public TraceSource
 {
@@ -138,6 +157,14 @@ class Executor : public TraceSource
     bool inHandler() const { return _inHandler; }
 
     /**
+     * Attach (or detach, with nullptr) a reference-stream observer.
+     * The sink sees every demand data reference and prefetch in
+     * program order, under both next() and fastForward(). Transient:
+     * not part of checkpoints.
+     */
+    void setRefSink(RefSink *sink) { _refSink = sink; }
+
+    /**
      * Checkpoint hooks: architectural state, statistics, data memory,
      * and the reference hierarchy all round-trip. The image embeds the
      * program's fingerprint; restoring against a different program
@@ -170,6 +197,7 @@ class Executor : public TraceSource
 
     bool _inHandler = false;   //!< between dispatch and RETMH
     bool _trapArmed = true;    //!< hardware trap-enable (off in handler)
+    RefSink *_refSink = nullptr; //!< optional stream observer
 };
 
 } // namespace imo::func

@@ -574,6 +574,43 @@ Sampler::runFromWindowSamples(const std::vector<WindowSample> &samples)
     return _est;
 }
 
+SampleEstimate
+Sampler::runFromSharedPass(const SharedPassTotals &totals,
+                           const std::vector<WindowSample> &samples)
+{
+    resetAccumulators();
+
+    try {
+        _params.validate();
+        _config.validate();
+        isa::verifyProgram(_program);
+
+        // Mirror the interleaved pass exactly: fold in window order,
+        // stop at the first truncated window (program halt), and set
+        // the exact totals only after the fold — the same ordering
+        // runPass() uses, so even degenerate runs match byte-for-byte.
+        for (const WindowSample &ws : samples)
+            if (!foldWindow(ws))
+                break;
+
+        _est.instructions = totals.instructions;
+        _est.dataRefs = totals.dataRefs;
+        _est.l1Misses = totals.l1Misses;
+        _est.traps = totals.traps;
+        _est.passes = 1;
+
+        finishEstimate();
+        xcheckAgainstFull();
+    } catch (const SimException &e) {
+        _est.ok = false;
+        _est.error = e.error();
+    } catch (const std::exception &e) {
+        _est.ok = false;
+        _est.error = SimError{ErrCode::Internal, e.what(), {}};
+    }
+    return _est;
+}
+
 void
 Sampler::xcheckAgainstFull()
 {

@@ -114,6 +114,19 @@ struct SampleParams
                                const std::string &workload);
 };
 
+/** Exact functional totals of one configuration, as produced by a
+ *  shared multi-configuration reference pass (sample/sharedpass.hh):
+ *  instruction, reference and trap counts are geometry-invariant for
+ *  an eligible program, while l1Misses is the per-config count the
+ *  multicache engine classified. */
+struct SharedPassTotals
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t dataRefs = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t traps = 0;
+};
+
 /** The sampled estimate: exact functional totals plus interval
  *  estimates of the timing-only quantities. */
 struct SampleEstimate
@@ -257,6 +270,20 @@ class Sampler
      */
     SampleEstimate
     runFromWindowSamples(const std::vector<WindowSample> &samples);
+
+    /**
+     * Fold the window samples a shared multi-configuration reference
+     * pass produced for this configuration, exactly as run() would
+     * have folded locally executed windows: same fold order, same
+     * halt-truncation handling, totals applied after the fold, one
+     * pass. The estimate is byte-identical to a dedicated run()
+     * because the shared pass replays each window on a fresh machine
+     * of this exact configuration, seeded with the same warm image the
+     * dedicated pass would have built.
+     */
+    SampleEstimate
+    runFromSharedPass(const SharedPassTotals &totals,
+                      const std::vector<WindowSample> &samples);
 
     /** Estimate from the most recent run() (empty before). */
     const SampleEstimate &estimate() const { return _est; }

@@ -9,6 +9,7 @@
 
 #include "common/error.hh"
 #include "pipeline/simulate.hh"
+#include "sample/sharedpass.hh"
 #include "sweep/engine.hh"
 #include "workloads/suite.hh"
 
@@ -153,7 +154,120 @@ libraryKey(const SweepPoint &p)
             sample::captureDigest(p.resolveConfig())));
 }
 
+/** Grouping key for multi-cache shared passes: every non-geometry
+ *  input. Points with equal keys can share one reference stream. */
+std::string
+multiCacheKey(const SweepPoint &p)
+{
+    return simFormat("%s|%s|%s|%u|%.17g|%llu|%s", p.machine.c_str(),
+                     p.workload.c_str(),
+                     core::informingModeName(p.mode), p.handlerLen,
+                     p.scale, static_cast<unsigned long long>(p.seed),
+                     p.sample.c_str());
+}
+
+isa::Program
+buildProgram(const SweepPoint &p)
+{
+    workloads::WorkloadParams wp;
+    wp.scale = p.scale;
+    wp.seed = p.seed;
+    return core::instrument(workloads::build(p.workload, wp), p.mode,
+                            {.length = p.handlerLen});
+}
+
 } // anonymous namespace
+
+std::vector<std::vector<std::size_t>>
+planMultiCacheGroups(const std::vector<SweepPoint> &points)
+{
+    std::unordered_map<std::string, std::size_t> slot;
+    std::vector<std::vector<std::size_t>> cands;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        if (p.sample.empty())
+            continue;
+        try {
+            // A member whose config cannot validate would poison the
+            // whole shared pass; leave it on the dedicated path, where
+            // the sampler's envelope turns it into an error estimate.
+            p.resolveConfig().validate();
+        } catch (const SimException &) {
+            continue;
+        }
+        const auto [it, fresh] = slot.try_emplace(multiCacheKey(p),
+                                                  cands.size());
+        if (fresh)
+            cands.emplace_back();
+        cands[it->second].push_back(i);
+    }
+
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::vector<std::size_t> &members : cands) {
+        if (members.size() < 2)
+            continue; // nothing to amortize
+        // One program build per candidate decides eligibility: an
+        // informing-mode program's stream depends on cache outcomes,
+        // so it cannot share a pass and stays dedicated.
+        try {
+            if (!sample::sharedPassEligible(
+                    buildProgram(points[members[0]])))
+                continue;
+        } catch (const SimException &) {
+            continue; // workload/instrument errors surface per point
+        }
+        groups.push_back(std::move(members));
+    }
+    return groups;
+}
+
+std::vector<SweepOutcome>
+runPointGroup(const std::vector<SweepPoint> &members,
+              MultiCacheGroup *prov)
+{
+    sim_throw_if(members.empty(), ErrCode::BadConfig,
+                 "multi-cache group: no members");
+    const SweepPoint &p0 = members[0];
+    for (const SweepPoint &p : members) {
+        sim_throw_if(p.machine != p0.machine ||
+                     p.workload != p0.workload || p.mode != p0.mode ||
+                     p.handlerLen != p0.handlerLen ||
+                     p.scale != p0.scale || p.seed != p0.seed ||
+                     p.sample != p0.sample,
+                     ErrCode::BadConfig,
+                     "multi-cache group: members differ in a "
+                     "non-geometry input (%s vs %s)",
+                     describePoint(p).c_str(),
+                     describePoint(p0).c_str());
+    }
+
+    const isa::Program prog = buildProgram(p0);
+    const sample::SampleParams params =
+        sample::SampleParams::parse(p0.sample);
+    std::vector<pipeline::MachineConfig> cfgs;
+    cfgs.reserve(members.size());
+    for (const SweepPoint &p : members)
+        cfgs.push_back(p.resolveConfig());
+
+    const sample::SharedPassResult shared =
+        sample::runSharedGeometryPass(prog, cfgs, params);
+
+    std::vector<SweepOutcome> outs(members.size());
+    for (std::size_t m = 0; m < members.size(); ++m) {
+        outs[m].point = members[m];
+        sample::Sampler sampler(prog, cfgs[m], params);
+        outs[m].estimate = sampler.runFromSharedPass(
+            shared.totals[m], shared.samples[m]);
+    }
+    if (prov) {
+        prov->configs = shared.configs;
+        prov->streamLength = shared.streamLength;
+        prov->prefetches = shared.prefetches;
+        prov->windows = shared.windows;
+        prov->shared = true;
+    }
+    return outs;
+}
 
 bool
 libraryMatchesPoint(const sample::LivePointLibrary &supplied,
@@ -182,7 +296,7 @@ runSweep(const std::vector<SweepPoint> &points, unsigned jobs,
          const volatile std::sig_atomic_t *cancel,
          std::vector<std::uint8_t> *completed,
          std::vector<PointTiming> *timings,
-         LibrarySharing *sharing)
+         LibrarySharing *sharing, MultiCache *multiCache)
 {
     if (timings) {
         timings->clear();
@@ -195,9 +309,35 @@ runSweep(const std::vector<SweepPoint> &points, unsigned jobs,
                 .count());
     };
 
-    // Library-sharing plan: the first point of each geometry-matching
-    // sampled group captures ("leader"), the rest replay ("follower");
-    // a supplied library turns whole matching groups into followers.
+    // Every task writes its own pre-sized slots (outcome, timing,
+    // completion flag) directly — point tasks own one index, a group
+    // task owns its members' indices — so results assemble in point
+    // order regardless of scheduling and the report stays
+    // byte-identical for any job count.
+    std::vector<SweepOutcome> outcomes(points.size());
+    if (completed)
+        completed->assign(points.size(), 0);
+
+    // Multi-cache plan: each group of geometry-axis points becomes one
+    // shared-pass task.
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::vector<std::vector<std::size_t>> mcGroups;
+    std::vector<std::size_t> groupOf(points.size(), kNone);
+    if (multiCache) {
+        mcGroups = planMultiCacheGroups(points);
+        multiCache->groups.assign(mcGroups.size(), MultiCacheGroup{});
+        for (std::size_t g = 0; g < mcGroups.size(); ++g) {
+            multiCache->groups[g].members = mcGroups[g];
+            for (const std::size_t i : mcGroups[g])
+                groupOf[i] = g;
+        }
+    }
+
+    // Library-sharing plan over the remaining points: the first point
+    // of each geometry-matching sampled group captures ("leader"), the
+    // rest replay ("follower"); a supplied library turns whole
+    // matching groups into followers. Points served by a multi-cache
+    // group need no functional warming at all, so they opt out.
     enum class Role : std::uint8_t { Independent, Leader, Follower };
     constexpr std::size_t kSupplied = static_cast<std::size_t>(-1);
     std::vector<Role> role(points.size(), Role::Independent);
@@ -208,7 +348,7 @@ runSweep(const std::vector<SweepPoint> &points, unsigned jobs,
         std::unordered_map<std::string, std::vector<std::size_t>>
             groups;
         for (std::size_t i = 0; i < points.size(); ++i) {
-            if (!points[i].sample.empty())
+            if (!points[i].sample.empty() && groupOf[i] == kNone)
                 groups[libraryKey(points[i])].push_back(i);
         }
         for (const auto &[key, members] : groups) {
@@ -230,10 +370,10 @@ runSweep(const std::vector<SweepPoint> &points, unsigned jobs,
         }
     }
 
-    // One task per point; leaders retain their capture in their own
-    // slot of capturedLibs (pre-sized, no synchronisation needed —
-    // same discipline as the timing slots).
-    const auto makeTask = [&](std::size_t i) {
+    // One task per ungrouped point; leaders retain their capture in
+    // their own slot of capturedLibs (pre-sized, no synchronisation
+    // needed — same discipline as the timing slots).
+    const auto makePointTask = [&](std::size_t i) {
         const SweepPoint &p = points[i];
         std::shared_ptr<const sample::LivePointLibrary> replay;
         if (role[i] == Role::Follower) {
@@ -244,79 +384,113 @@ runSweep(const std::vector<SweepPoint> &points, unsigned jobs,
         std::shared_ptr<const sample::LivePointLibrary> *cap =
             role[i] == Role::Leader ? &capturedLibs[i] : nullptr;
         PointTiming *t = timings ? &(*timings)[i] : nullptr;
-        return std::function<SweepOutcome()>(
-            [p, replay, cap, t, steady_ms] {
+        std::uint8_t *done = completed ? completed->data() + i : nullptr;
+        SweepOutcome *out = &outcomes[i];
+        return std::function<int()>(
+            [p, replay, cap, t, done, out, steady_ms] {
                 if (t) {
                     t->startMs = steady_ms();
                     t->threadId = std::hash<std::thread::id>{}(
                         std::this_thread::get_id());
                 }
-                SweepOutcome out = runPoint(p, replay, cap);
+                *out = runPoint(p, replay, cap);
                 if (t) {
                     t->endMs = steady_ms();
                     t->ran = true;
                 }
-                return out;
+                if (done)
+                    *done = 1;
+                return 0;
             });
     };
 
-    std::vector<std::size_t> followers;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        if (role[i] == Role::Follower)
-            followers.push_back(i);
-    }
-
-    if (followers.empty()) {
-        // No sharing opportunities: the classic single phase.
-        std::vector<std::function<SweepOutcome()>> tasks;
-        tasks.reserve(points.size());
-        for (std::size_t i = 0; i < points.size(); ++i)
-            tasks.emplace_back(makeTask(i));
-        return runOrdered(tasks, jobs, cancel, completed);
-    }
-
-    // Phase 1: leaders and independents in parallel (captures land in
-    // capturedLibs). Phase 2: followers in parallel, replaying. The
-    // output is assembled in point order either way, so the report is
-    // byte-identical to the unshared sweep.
-    std::vector<SweepOutcome> outcomes(points.size());
-    if (completed)
-        completed->assign(points.size(), 0);
-
-    std::vector<std::size_t> phase1;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        if (role[i] != Role::Follower)
-            phase1.push_back(i);
-    }
-    const auto runPhase = [&](const std::vector<std::size_t> &index) {
-        std::vector<std::function<SweepOutcome()>> tasks;
-        tasks.reserve(index.size());
-        for (const std::size_t i : index)
-            tasks.emplace_back(makeTask(i));
-        std::vector<std::uint8_t> done;
-        std::vector<SweepOutcome> results =
-            runOrdered(tasks, jobs, cancel, completed ? &done : nullptr);
-        for (std::size_t k = 0; k < index.size(); ++k) {
-            outcomes[index[k]] = std::move(results[k]);
-            if (completed)
-                (*completed)[index[k]] = done[k];
-        }
+    // One task per multi-cache group. A group whose shared pass is
+    // refused (BadConfig — e.g. the plan was computed for a different
+    // build of the planner) falls back to dedicated per-member runs
+    // inside the same task; anything else (notably an
+    // IMO_PARANOID_XCHECK divergence, ErrCode::Internal) stays loud.
+    const auto makeGroupTask = [&](std::size_t g) {
+        std::vector<SweepPoint> mem;
+        mem.reserve(mcGroups[g].size());
+        for (const std::size_t i : mcGroups[g])
+            mem.push_back(points[i]);
+        const std::vector<std::size_t> idx = mcGroups[g];
+        MultiCacheGroup *prov = &multiCache->groups[g];
+        return std::function<int()>([&, mem = std::move(mem), idx,
+                                     prov, steady_ms] {
+            const std::uint64_t t0 = steady_ms();
+            const std::uint64_t tid = std::hash<std::thread::id>{}(
+                std::this_thread::get_id());
+            std::vector<SweepOutcome> outs;
+            try {
+                outs = runPointGroup(mem, prov);
+            } catch (const SimException &e) {
+                if (e.code() != ErrCode::BadConfig)
+                    throw;
+                outs.clear();
+                for (const SweepPoint &p : mem)
+                    outs.push_back(runPoint(p));
+                prov->shared = false;
+            }
+            const std::uint64_t t1 = steady_ms();
+            for (std::size_t k = 0; k < idx.size(); ++k) {
+                outcomes[idx[k]] = std::move(outs[k]);
+                if (timings)
+                    (*timings)[idx[k]] =
+                        PointTiming{t0, t1, tid, true};
+                if (completed)
+                    (*completed)[idx[k]] = 1;
+            }
+            return 0;
+        });
     };
-    runPhase(phase1);
+
+    // Phase 1: group tasks, leaders, and independents in parallel
+    // (captures land in capturedLibs). Phase 2: followers in parallel,
+    // replaying. Group tasks enter the queue where their first member
+    // sits in grid order.
+    std::vector<std::function<int()>> phase1;
+    std::vector<std::uint8_t> groupQueued(mcGroups.size(), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (groupOf[i] != kNone) {
+            if (!groupQueued[groupOf[i]]) {
+                groupQueued[groupOf[i]] = 1;
+                phase1.emplace_back(makeGroupTask(groupOf[i]));
+            }
+            continue;
+        }
+        if (role[i] != Role::Follower)
+            phase1.emplace_back(makePointTask(i));
+    }
+    runOrdered(phase1, jobs, cancel);
 
     if (sharing) {
         for (std::size_t i = 0; i < points.size(); ++i) {
             if (capturedLibs[i])
                 ++sharing->captured;
         }
-        for (const std::size_t i : followers) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (role[i] != Role::Follower)
+                continue;
             // A leader that failed (or was cancelled) leaves its
             // followers libraryless; they fall back to a full run.
             if (leaderOf[i] == kSupplied || capturedLibs[leaderOf[i]])
                 ++sharing->reused;
         }
     }
-    runPhase(followers);
+    if (multiCache) {
+        for (const MultiCacheGroup &g : multiCache->groups) {
+            if (g.shared)
+                multiCache->pointsShared += g.members.size();
+        }
+    }
+
+    std::vector<std::function<int()>> phase2;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (role[i] == Role::Follower)
+            phase2.emplace_back(makePointTask(i));
+    }
+    runOrdered(phase2, jobs, cancel);
     return outcomes;
 }
 

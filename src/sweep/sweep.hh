@@ -151,8 +151,66 @@ struct LibrarySharing
     std::uint64_t reused = 0;   //!< points replayed from a shared library
 };
 
+/** Provenance of one multi-cache shared pass: which points one
+ *  reference stream served, and how much work it did. Recorded in run
+ *  manifests; never part of the report. */
+struct MultiCacheGroup
+{
+    std::vector<std::size_t> members; //!< point indices, grid order
+    std::uint64_t configs = 0;      //!< distinct (L1, L2) classes
+    std::uint64_t streamLength = 0; //!< demand references classified
+    std::uint64_t prefetches = 0;   //!< prefetches observed
+    std::uint64_t windows = 0;      //!< SMARTS windows served
+    bool shared = false; //!< ran as one pass (false = dedicated fallback)
+};
+
+/**
+ * Single-pass multi-configuration cache simulation across a sweep
+ * (in/out parameter of runSweep). Sampled points that differ only in
+ * cache geometry and timing knobs — same machine kind, workload,
+ * informing mode, handler length, scale, seed, and sampling schedule —
+ * form a group; when the instrumented program's reference stream is
+ * geometry-invariant (sample::sharedPassEligible), the whole group is
+ * served by ONE functional pass whose memory::MultiCacheSim classifies
+ * every access for every member geometry simultaneously. Reports are
+ * unaffected: grouped points emit byte-identical JSON to the dedicated
+ * per-point path for any --jobs value.
+ */
+struct MultiCache
+{
+    // Filled by runSweep():
+    std::vector<MultiCacheGroup> groups; //!< plan + per-group provenance
+    std::uint64_t pointsShared = 0; //!< points served by shared passes
+};
+
+/**
+ * Partition @p points into multi-cache groups: indices of sampled
+ * points sharing every non-geometry input, in first-occurrence order,
+ * keeping only groups of two or more members whose configs validate
+ * and whose instrumented program is sample::sharedPassEligible().
+ * A pure function of the point list, so every driver (and every
+ * --jobs value) derives the identical plan.
+ */
+std::vector<std::vector<std::size_t>>
+planMultiCacheGroups(const std::vector<SweepPoint> &points);
+
+/**
+ * Run one multi-cache group: build the shared program once, classify
+ * the reference stream for every member geometry in a single pass, and
+ * fold each member's windows into its estimate. @p members must agree
+ * on every non-geometry input (the planner's grouping key) — throws
+ * SimException(BadConfig) otherwise, or when the program is not
+ * eligible; runSweep falls back to dedicated runPoint() calls in that
+ * case. Outcomes are byte-identical to runPoint() per member. This is
+ * the unit of work a farm worker executes for a group lease.
+ */
+std::vector<SweepOutcome>
+runPointGroup(const std::vector<SweepPoint> &members,
+              MultiCacheGroup *prov = nullptr);
+
 /** Wall-clock execution record of one sweep point — observability
- *  only (lease timelines, manifests); never part of the report. */
+ *  only (lease timelines, manifests); never part of the report.
+ *  Points served by one multi-cache group share that group's span. */
 struct PointTiming
 {
     std::uint64_t startMs = 0;  //!< steady-clock ms, process-relative
@@ -179,13 +237,21 @@ struct PointTiming
  * in memory), then the followers replay in parallel. Output bytes are
  * identical with sharing on or off; only the redundant functional
  * warming disappears.
+ *
+ * @p multiCache (optional) enables single-pass multi-configuration
+ * cache simulation: planMultiCacheGroups() partitions the points, each
+ * group runs as ONE task via runPointGroup() (so groups parallelize
+ * across the pool like points do), and ungrouped points proceed
+ * exactly as before — including library sharing among themselves.
+ * Output bytes are identical with multi-cache on or off.
  */
 std::vector<SweepOutcome> runSweep(
     const std::vector<SweepPoint> &points, unsigned jobs,
     const volatile std::sig_atomic_t *cancel = nullptr,
     std::vector<std::uint8_t> *completed = nullptr,
     std::vector<PointTiming> *timings = nullptr,
-    LibrarySharing *sharing = nullptr);
+    LibrarySharing *sharing = nullptr,
+    MultiCache *multiCache = nullptr);
 
 /**
  * Write one point's report object (the bytes between the braces of one

@@ -435,6 +435,112 @@ TEST(Farm, SecondRunIsServedFromStore)
     EXPECT_EQ(farmReport(second), sweepReport(pts));
 }
 
+// ------------------------------------------------ multi-cache group leases
+
+/** Sampled geometry axis sharing one reference stream: 2 sizes x 2
+ *  ways over one workload/mode/schedule. */
+std::vector<sweep::SweepPoint>
+geometryPoints()
+{
+    sweep::SweepGrid g;
+    g.workloads = {"ora"};
+    g.machines = {"inorder"};
+    g.modes = {core::InformingMode::None};
+    g.scale = 0.1;
+    g.l1SizesBytes = {4096, 8192};
+    g.l1Assocs = {1, 2};
+    g.samples = {"2000:100:100"};
+    return sweep::expandGrid(g);
+}
+
+TEST(FarmMultiCache, GroupLeaseMatchesSweepForAnyWorkerCount)
+{
+    const std::vector<sweep::SweepPoint> pts = geometryPoints();
+    const std::string expect = sweepReport(pts);
+
+    for (const unsigned workers : {1u, 2u}) {
+        farm::FarmOptions opt;
+        opt.workers = workers;
+        opt.multiCache = true;
+        const farm::FarmResult res = farm::runFarm(pts, opt);
+        ASSERT_TRUE(res.ok) << res.error.format();
+        // The whole axis collapses into one group lease.
+        EXPECT_EQ(res.stats.multiCacheGroups, 1u);
+        EXPECT_EQ(res.stats.pointsGrouped, pts.size());
+        EXPECT_EQ(res.stats.uniqueSlots, 1u);
+        ASSERT_EQ(res.slotRecords.size(), 1u);
+        EXPECT_EQ(res.slotRecords[0].groupMembers, pts.size());
+        EXPECT_EQ(res.slotRecords[0].groupConfigs, pts.size());
+        EXPECT_EQ(farmReport(res), expect) << "workers=" << workers;
+    }
+}
+
+TEST(FarmMultiCache, MixedGridLeavesIneligiblePointsDedicated)
+{
+    // A full-detail point rides along with the sampled geometry axis:
+    // it must get its own per-point lease, and the merged report stays
+    // byte-identical to the sweep over the mixed grid.
+    std::vector<sweep::SweepPoint> pts = geometryPoints();
+    sweep::SweepPoint full = pts[0];
+    full.sample.clear();
+    pts.push_back(full);
+
+    farm::FarmOptions opt;
+    opt.workers = 2;
+    opt.multiCache = true;
+    const farm::FarmResult res = farm::runFarm(pts, opt);
+    ASSERT_TRUE(res.ok) << res.error.format();
+    EXPECT_EQ(res.stats.multiCacheGroups, 1u);
+    EXPECT_EQ(res.stats.pointsGrouped, pts.size() - 1);
+    EXPECT_EQ(res.stats.uniqueSlots, 2u);
+    EXPECT_EQ(farmReport(res), sweepReport(pts));
+}
+
+TEST(FarmMultiCache, SecondRunIsServedFromStore)
+{
+    const std::vector<sweep::SweepPoint> pts = geometryPoints();
+    const std::string dir = tempDir("mc_memo");
+
+    farm::FarmOptions opt;
+    opt.workers = 2;
+    opt.multiCache = true;
+    opt.storeDir = dir;
+
+    const farm::FarmResult first = farm::runFarm(pts, opt);
+    ASSERT_TRUE(first.ok) << first.error.format();
+    EXPECT_EQ(first.stats.storeHits, 0u);
+    EXPECT_EQ(first.stats.simulated, first.stats.uniqueSlots);
+
+    // The group bundle is one store record, keyed by the member list;
+    // the re-run replays it without simulating.
+    opt.resume = true;
+    const farm::FarmResult second = farm::runFarm(pts, opt);
+    ASSERT_TRUE(second.ok) << second.error.format();
+    EXPECT_EQ(second.stats.storeHits, second.stats.uniqueSlots);
+    EXPECT_EQ(second.stats.simulated, 0u);
+    EXPECT_EQ(farmReport(second), farmReport(first));
+    EXPECT_EQ(farmReport(second), sweepReport(pts));
+}
+
+TEST(FarmMultiCache, GroupKeyIsOrderAndMembershipSensitive)
+{
+    const std::vector<sweep::SweepPoint> pts = geometryPoints();
+    const farm::PointKey whole = farm::keyForGroup(pts);
+    EXPECT_EQ(whole.hex(), farm::keyForGroup(pts).hex());
+
+    std::vector<sweep::SweepPoint> fewer(pts.begin(), pts.end() - 1);
+    EXPECT_NE(whole.hex(), farm::keyForGroup(fewer).hex());
+
+    std::vector<sweep::SweepPoint> swapped = pts;
+    std::swap(swapped[0], swapped[1]);
+    EXPECT_NE(whole.hex(), farm::keyForGroup(swapped).hex());
+
+    // A group of one is not a per-point key: the domain tag differs.
+    const std::vector<sweep::SweepPoint> one = {pts[0]};
+    EXPECT_NE(farm::keyForGroup(one).hex(),
+              farm::keyForPoint(pts[0]).hex());
+}
+
 // --------------------------------------------------------- wire protocol
 
 /** A small multi-frame stream plus the frames it should parse into. */

@@ -5,6 +5,7 @@ Usage:
     check_manifest.py manifest PATH [--expect-status S] [--expect-tool T]
                       [--min-attempts N] [--expect-library-mode M]
                       [--expect-library-windows N]
+                      [--expect-multi-cache-groups N]
     check_manifest.py progress PATH
 
 Used by ctest and CI to gate the telemetry artifacts imo-run /
@@ -16,7 +17,7 @@ violation otherwise.
 import json
 import sys
 
-MANIFEST_SCHEMA_VERSION = 2
+MANIFEST_SCHEMA_VERSION = 3
 PROGRESS_SCHEMA_VERSION = 1
 
 LIBRARY_MODES = {"", "capture", "load"}
@@ -36,7 +37,17 @@ POINT_FIELDS = {
     "store_put_ms": int,
     "start_ms": int,
     "end_ms": int,
+    "multi_cache_group": int,
     "error": str,
+}
+
+MULTI_CACHE_GROUP_FIELDS = {
+    "members": int,
+    "configs": int,
+    "stream_length": int,
+    "prefetches": int,
+    "windows": int,
+    "shared": bool,
 }
 
 MANIFEST_FIELDS = {
@@ -58,6 +69,7 @@ MANIFEST_FIELDS = {
     "library_path": str,
     "library_hash": str,
     "library_windows": int,
+    "multi_cache_groups": list,
     "points": list,
 }
 
@@ -101,7 +113,8 @@ class Checker:
 
 
 def check_manifest(doc, chk, expect_status, expect_tool, min_attempts,
-                   expect_library_mode, expect_library_windows):
+                   expect_library_mode, expect_library_windows,
+                   expect_multi_cache_groups):
     chk.check_fields(doc, MANIFEST_FIELDS, "manifest")
     if chk.errors:
         return
@@ -165,6 +178,32 @@ def check_manifest(doc, chk, expect_status, expect_tool, min_attempts,
             f"{expect_library_windows}",
         )
 
+    groups = doc["multi_cache_groups"]
+    for i, g in enumerate(groups):
+        where = f"multi_cache_groups[{i}]"
+        if not isinstance(g, dict):
+            chk.fail(f"{where}: not an object")
+            continue
+        chk.check_fields(g, MULTI_CACHE_GROUP_FIELDS, where)
+        if chk.errors:
+            continue
+        chk.require(
+            g["members"] >= 2,
+            f"{where}: a multi-cache group needs >= 2 members, "
+            f"has {g['members']}",
+        )
+        if g["shared"]:
+            chk.require(
+                g["configs"] >= 1,
+                f"{where}: shared group served {g['configs']} configs",
+            )
+    if expect_multi_cache_groups is not None:
+        chk.require(
+            len(groups) == expect_multi_cache_groups,
+            f"manifest has {len(groups)} multi-cache groups, expected "
+            f"{expect_multi_cache_groups}",
+        )
+
     points = doc["points"]
     chk.require(
         doc["points_total"] == len(points),
@@ -206,6 +245,12 @@ def check_manifest(doc, chk, expect_status, expect_tool, min_attempts,
                 f"{where}: attempts {p['attempts']} < required "
                 f"minimum {min_attempts}",
             )
+        mcg = p["multi_cache_group"]
+        chk.require(
+            mcg == -1 or 0 <= mcg < len(groups),
+            f"{where}: multi_cache_group {mcg} does not index "
+            f"multi_cache_groups (len {len(groups)})",
+        )
     chk.require(
         doc["points_done"] == done,
         f"points_done is {doc['points_done']} but {done} points have "
@@ -251,6 +296,7 @@ def main(argv):
     min_attempts = None
     expect_library_mode = None
     expect_library_windows = None
+    expect_multi_cache_groups = None
     args = argv[3:]
     while args:
         flag = args.pop(0)
@@ -264,6 +310,8 @@ def main(argv):
             expect_library_mode = args.pop(0)
         elif flag == "--expect-library-windows" and args:
             expect_library_windows = int(args.pop(0))
+        elif flag == "--expect-multi-cache-groups" and args:
+            expect_multi_cache_groups = int(args.pop(0))
         else:
             sys.stderr.write(f"unknown flag {flag}\n")
             return 2
@@ -281,7 +329,8 @@ def main(argv):
     elif mode == "manifest":
         check_manifest(doc, chk, expect_status, expect_tool,
                        min_attempts, expect_library_mode,
-                       expect_library_windows)
+                       expect_library_windows,
+                       expect_multi_cache_groups)
     else:
         check_progress(doc, chk)
 

@@ -142,6 +142,13 @@ usage()
         "  --stats-json PATH       write the aggregated farm stats as "
         "JSON ('-' for\n"
         "                          stdout)\n"
+        "  --multi-cache           classify all geometries of a "
+        "sampled grid\n"
+        "                          group in one shared pass per lease "
+        "(grouped\n"
+        "                          points become one lease; report "
+        "bytes are\n"
+        "                          unchanged)\n"
         "  --sample-library PATH   shard the measurement windows of "
         "one sampled\n"
         "                          grid point across the farm's "
@@ -321,6 +328,8 @@ main(int argc, char **argv)
                 want_stats = true;
             } else if (arg == "--stats-json") {
                 stats_json_path = value();
+            } else if (arg == "--multi-cache") {
+                opt.multiCache = true;
             } else if (arg == "--sample-library") {
                 library_path = value();
             } else if (arg == "--run-id") {
@@ -460,6 +469,15 @@ main(int argc, char **argv)
                 manifest::PointEntry e;
                 e.key = r.keyHex;
                 e.desc = r.desc;
+                if (r.groupMembers > 0) {
+                    e.multiCacheGroup = static_cast<std::int32_t>(
+                        m.multiCacheGroups.size());
+                    manifest::MultiCacheGroupEntry g;
+                    g.members = r.groupMembers;
+                    g.configs = r.groupConfigs;
+                    g.shared = true;
+                    m.multiCacheGroups.push_back(g);
+                }
                 e.status = r.done ? "ok" : "failed";
                 e.storeHit = r.storeHit;
                 e.attempts = r.attempts;

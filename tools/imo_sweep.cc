@@ -86,6 +86,11 @@ usage()
         "                          live-point library (.imolib) "
         "instead of re-running\n"
         "                          functional warming\n"
+        "  --multi-cache           classify all cache geometries of a "
+        "sampled group\n"
+        "                          in one pass over the reference "
+        "stream (report\n"
+        "                          bytes unchanged)\n"
         "  --list                  print the expanded grid and exit\n"
         "  --quiet                 suppress warn/info diagnostics\n",
         sweep::gridAxesHelp());
@@ -105,6 +110,7 @@ main(int argc, char **argv)
     std::string trace_format = "chrome";
     std::string manifest_path;
     std::string library_path;
+    bool multi_cache = false;
 
     const std::vector<std::string> cli_args(argv + 1, argv + argc);
 
@@ -135,6 +141,8 @@ main(int argc, char **argv)
                 manifest_path = value();
             } else if (arg == "--sample-library") {
                 library_path = value();
+            } else if (arg == "--multi-cache") {
+                multi_cache = true;
             } else if (arg == "--list") {
                 list_only = true;
             } else if (arg == "--quiet") {
@@ -190,11 +198,20 @@ main(int argc, char **argv)
 
         std::vector<std::uint8_t> completed;
         std::vector<sweep::PointTiming> timings;
+        sweep::MultiCache mc;
         const std::vector<sweep::SweepOutcome> outcomes =
             sweep::runSweep(points, jobs, &g_stop, &completed,
                             want_telemetry ? &timings : nullptr,
-                            &sharing);
+                            &sharing, multi_cache ? &mc : nullptr);
         const std::uint64_t run_end = steady_ms();
+
+        if (multi_cache) {
+            inform("imo-sweep: multi-cache: %zu groups, %llu of %zu "
+                   "points served by shared passes",
+                   mc.groups.size(),
+                   static_cast<unsigned long long>(mc.pointsShared),
+                   points.size());
+        }
 
         if (sharing.captured || sharing.reused) {
             inform("imo-sweep: live-point libraries: %llu captured, "
@@ -248,9 +265,28 @@ main(int argc, char **argv)
                                    sharing.supplied->contentHash));
                 m.libraryWindows = sharing.supplied->points.size();
             }
+            // Multi-cache provenance: the group table plus, per
+            // point, which shared pass (if any) produced its result.
+            std::vector<std::int32_t> group_of(points.size(), -1);
+            for (std::size_t gi = 0; gi < mc.groups.size(); ++gi) {
+                const sweep::MultiCacheGroup &g = mc.groups[gi];
+                manifest::MultiCacheGroupEntry ge;
+                ge.members = g.members.size();
+                ge.configs = g.configs;
+                ge.streamLength = g.streamLength;
+                ge.prefetches = g.prefetches;
+                ge.windows = g.windows;
+                ge.shared = g.shared;
+                m.multiCacheGroups.push_back(ge);
+                if (g.shared) {
+                    for (const std::size_t pi : g.members)
+                        group_of[pi] = static_cast<std::int32_t>(gi);
+                }
+            }
             for (std::size_t i = 0; i < points.size(); ++i) {
                 manifest::PointEntry e;
                 e.desc = sweep::describePoint(points[i]);
+                e.multiCacheGroup = group_of[i];
                 const sweep::PointTiming &t = timings[i];
                 if (!t.ran) {
                     e.status = "cancelled";
